@@ -1,0 +1,120 @@
+// Ablation: memory bound of the reference stream analyzer. The paper's
+// analyzer keeps a bounded list of block/reference-count pairs with a
+// replacement heuristic, and reports that short lists still guess the hot
+// blocks well ([Salem 92, Salem 93]). This bench compares the bounded
+// Space-Saving counter at several capacities against exact counting:
+// (a) hot-list overlap on an identical one-day record stream, and
+// (b) end-to-end on-day seek time when the system adapts with the bounded
+//     counter.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "analyzer/exact_counter.h"
+#include "analyzer/space_saving_counter.h"
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace abr;
+
+/// Collects one day's request records by running a fresh experiment.
+std::vector<driver::RequestRecord> CollectDayRecords() {
+  core::ExperimentConfig config = core::ExperimentConfig::ToshibaSystem();
+  core::Experiment exp(std::move(config));
+  bench::CheckOk(exp.Setup(), "setup");
+  bench::CheckOk(exp.RunMeasuredDay().status(), "day");
+  // The day's exact counts are in day_counts_all(); reconstruct a record
+  // stream equivalent for feeding counters by expanding counts. Rank
+  // overlap only depends on the multiset of references, not their order,
+  // for the exact counter; for Space-Saving order matters, so interleave
+  // round-robin to be fair (worst-ish case).
+  std::vector<driver::RequestRecord> records;
+  auto hot = exp.day_counts_all().TopK(
+      static_cast<std::size_t>(exp.day_counts_all().tracked()));
+  bool any = true;
+  std::vector<std::int64_t> remaining(hot.size());
+  for (std::size_t i = 0; i < hot.size(); ++i) remaining[i] = hot[i].count;
+  while (any) {
+    any = false;
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (remaining[i] > 0) {
+        --remaining[i];
+        any = true;
+        records.push_back(driver::RequestRecord{
+            hot[i].id.device, hot[i].id.block, 8192, sched::IoType::kRead});
+      }
+    }
+  }
+  return records;
+}
+
+double HotListOverlap(const std::vector<analyzer::HotBlock>& a,
+                      const std::vector<analyzer::HotBlock>& b) {
+  std::unordered_set<std::uint64_t> sa;
+  for (const auto& hb : a) sa.insert(analyzer::PackBlockId(hb.id));
+  std::size_t common = 0;
+  for (const auto& hb : b) {
+    if (sa.contains(analyzer::PackBlockId(hb.id))) ++common;
+  }
+  return a.empty() ? 0.0
+                   : 100.0 * static_cast<double>(common) /
+                         static_cast<double>(a.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace abr;
+  using namespace abr::bench;
+
+  Banner("Ablation — analyzer memory bound (Toshiba, system fs)");
+
+  // (a) Hot-list accuracy vs exact counting on the same stream.
+  const std::vector<driver::RequestRecord> records = CollectDayRecords();
+  analyzer::ExactCounter exact;
+  for (const auto& r : records) {
+    exact.Observe(analyzer::BlockId{r.device, r.block});
+  }
+  const auto truth = exact.TopK(1018);
+
+  Table t({"counter", "entries", "top-1018 overlap %", "top-100 overlap %"});
+  t.AddRow({"Exact", Table::Fmt((std::int64_t)exact.tracked()), "100.0",
+            "100.0"});
+  for (std::size_t cap : {128, 256, 512, 1024, 2048, 4096}) {
+    analyzer::SpaceSavingCounter ss(cap);
+    for (const auto& r : records) {
+      ss.Observe(analyzer::BlockId{r.device, r.block});
+    }
+    t.AddRow({"Space-Saving", Table::Fmt((std::int64_t)cap),
+              Table::Fmt(HotListOverlap(truth, ss.TopK(1018)), 1),
+              Table::Fmt(HotListOverlap(exact.TopK(100), ss.TopK(100)), 1)});
+  }
+  std::printf("%s", t.ToString().c_str());
+
+  // (b) End-to-end: on-day seek time using bounded vs exact analyzers.
+  Banner("End-to-end on-day seek time by analyzer capacity");
+  Table t2({"analyzer", "on-day seek ms", "on-day zero-seek %"});
+  for (std::int32_t entries : {0, 256, 1024, 4096}) {
+    core::ExperimentConfig config = core::ExperimentConfig::ToshibaSystem();
+    config.system.analyzer_entries = entries;
+    core::Experiment exp(std::move(config));
+    CheckOk(exp.Setup(), "setup");
+    CheckOk(exp.RunMeasuredDay().status(), "warm-up");
+    CheckOk(exp.RearrangeForNextDay(), "rearrange");
+    exp.AdvanceWorkloadDay();
+    const core::DayMetrics day = CheckOk(exp.RunMeasuredDay(), "on day");
+    t2.AddRow({entries == 0 ? "Exact" : "Space-Saving " +
+                                            std::to_string(entries),
+               Table::Fmt(day.all.mean_seek_ms, 2),
+               Table::Fmt(day.all.zero_seek_pct, 0)});
+  }
+  std::printf("%s", t2.ToString().c_str());
+  std::printf(
+      "\nExpected shape: a few hundred entries already recover nearly all\n"
+      "of the exact analyzer's benefit (the paper kept several thousand\n"
+      "so that replacement was rarely needed).\n");
+  return 0;
+}

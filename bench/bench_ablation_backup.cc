@@ -1,0 +1,103 @@
+// Ablation: interference between a dump(8)-style raw sequential scan and
+// the interactive workload, with and without rearrangement. The scan's
+// requests trickle in all day (as a tape-paced dump does) and share the
+// driver queue with interactive traffic, dragging the head across the
+// whole surface between interactive requests. Rearrangement keeps the
+// interactive hot set in one region, so it loses less to the interference.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+using namespace abr;
+using abr::bench::Banner;
+using abr::bench::CheckOk;
+
+namespace {
+
+struct Row {
+  double seek_ms;
+  double service_ms;
+  double wait_ms;
+  std::int64_t scan_requests;
+};
+
+Row RunDay(bool rearranged, bool with_backup) {
+  core::ExperimentConfig config = core::ExperimentConfig::ToshibaSystem();
+  core::Experiment exp(std::move(config));
+  CheckOk(exp.Setup(), "setup");
+  CheckOk(exp.RunMeasuredDay().status(), "warm-up");
+  CheckOk(rearranged ? exp.RearrangeForNextDay() : exp.CleanForNextDay(),
+          "day prep");
+  exp.AdvanceWorkloadDay();
+  exp.driver().IoctlReadStats(/*clear=*/true);
+
+  // Tape-paced dump: a few raw requests per monitoring period, issued
+  // from the day-runner's periodic hook so they interleave with the
+  // interactive traffic. 256-sector requests cover the partition in
+  // roughly one day.
+  const std::int64_t partition_sectors =
+      exp.driver().label().partitions()[0].sector_count;
+  constexpr std::int64_t kRequestSectors = 256;
+  const Micros day = exp.config().profile.day_length;
+  const std::int64_t ticks = day / (2 * kMinute);
+  const std::int64_t per_tick =
+      (partition_sectors / kRequestSectors + ticks - 1) / ticks;
+  SectorNo scan_at = 0;
+  std::int64_t scan_requests = 0;
+
+  auto periodic = [&](Micros now) {
+    if (!with_backup) return;
+    for (std::int64_t i = 0;
+         i < per_tick && scan_at < partition_sectors; ++i) {
+      const std::int64_t count = std::min<std::int64_t>(
+          kRequestSectors, partition_sectors - scan_at);
+      CheckOk(exp.driver().SubmitRaw(0, scan_at, count,
+                                     sched::IoType::kRead, now),
+              "raw scan request");
+      scan_at += count;
+      ++scan_requests;
+    }
+  };
+
+  StatusOr<std::int64_t> ops =
+      exp.workload().RunDay(exp.driver().now(), periodic);
+  CheckOk(ops.status(), "day");
+  exp.server().FlushAndDrain();
+  const core::DayMetrics m = core::DayMetrics::From(
+      exp.driver().IoctlReadStats(true), exp.seek_model());
+  return Row{m.all.mean_seek_ms, m.all.mean_service_ms, m.all.mean_wait_ms,
+             scan_requests};
+}
+
+}  // namespace
+
+int main() {
+  Banner("Ablation — dump/backup raw-scan interference (Toshiba, system fs)");
+  std::printf(
+      "Note: the 'yes' rows include the scan's own requests in the\n"
+      "day's statistics, as the driver's monitor would.\n\n");
+  Table t({"Rearrangement", "Backup", "seek ms", "service ms", "wait ms",
+           "scan reqs"});
+  for (const bool rearranged : {false, true}) {
+    for (const bool with_backup : {false, true}) {
+      const Row r = RunDay(rearranged, with_backup);
+      t.AddRow({rearranged ? "On" : "Off", with_backup ? "yes" : "no",
+                Table::Fmt(r.seek_ms, 2), Table::Fmt(r.service_ms, 2),
+                Table::Fmt(r.wait_ms, 2),
+                with_backup ? Table::Fmt(r.scan_requests)
+                            : std::string("-")});
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape: the all-day scan inflates waiting times in both\n"
+      "conditions (its sequential requests dilute the *mean* seek, but\n"
+      "every interactive request now queues behind scan I/O); the\n"
+      "rearranged day keeps a clear advantage throughout. The scan also\n"
+      "exercises physio splitting and raw redirection at full-partition\n"
+      "scale.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Extension experiment: rotationally staggered organ-pipe placement.
+// Table 10 shows organ-pipe costing ~1 ms of extra rotational latency
+// versus the file system's interleaved layout. The staggered policy keeps
+// organ-pipe's cylinder assignment (so seek behaviour is identical by
+// construction) but spreads consecutive hot ranks around the track within
+// each cylinder, attacking the rotational cost directly.
+
+#include <cstdio>
+
+#include "bench/policy_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace abr;
+  using namespace abr::bench;
+
+  Banner("Extension — staggered organ-pipe placement (Toshiba, system fs)");
+  Table t({"Placement", "seek ms", "zero-seek %",
+           "rot+transfer ms (reads)", "service ms"});
+  for (const auto kind :
+       {placement::PolicyKind::kOrganPipe, placement::PolicyKind::kStaggered,
+        placement::PolicyKind::kInterleaved}) {
+    const std::vector<core::DayMetrics> days = RunPolicyDays(
+        core::ExperimentConfig::ToshibaSystem(), kind, /*days=*/2);
+    double seek = 0, zero = 0, rot = 0, service = 0;
+    for (const core::DayMetrics& d : days) {
+      seek += d.all.mean_seek_ms;
+      zero += d.all.zero_seek_pct;
+      rot += d.reads.rot_plus_transfer_ms;
+      service += d.all.mean_service_ms;
+    }
+    const double n = static_cast<double>(days.size());
+    t.AddRow({placement::PolicyKindName(kind), Table::Fmt(seek / n, 2),
+              Table::Fmt(zero / n, 0), Table::Fmt(rot / n, 2),
+              Table::Fmt(service / n, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape: staggered matches organ-pipe's seek behaviour\n"
+      "exactly (same per-cylinder block sets). Its rotational effect is\n"
+      "neutral under this workload: requests reach hot cylinders at\n"
+      "effectively random rotational phases, so intra-cylinder ordering\n"
+      "barely matters — consistent with the paper's Table 10 finding that\n"
+      "placement shifts rotational delay by at most ~1 ms and that the\n"
+      "simple organ-pipe policy is the right default.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 8: percentage reduction in daily mean seek distance
+// and seek time as a function of the number of rearranged blocks (Toshiba
+// disk, system file system), relative to FCFS arrival-order service with
+// no rearrangement. The paper's headline: the marginal benefit of
+// rearranging more than about 100 blocks is small, because the 100 hottest
+// blocks absorb ~90% of requests.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace abr;
+  using namespace abr::bench;
+
+  Banner("Figure 8 — % reduction vs number of rearranged blocks "
+         "(Toshiba, system fs)");
+
+  Table t({"blocks", "seek dist red. % (all)", "seek time red. % (all)",
+           "seek dist red. % (reads)", "seek time red. % (reads)"});
+
+  for (std::int32_t blocks : {0, 10, 25, 50, 100, 200, 400, 700, 1018}) {
+    core::ExperimentConfig config = core::ExperimentConfig::ToshibaSystem();
+    core::Experiment exp(std::move(config));
+    CheckOk(exp.Setup(), "setup");
+    CheckOk(exp.RunMeasuredDay().status(), "warm-up day");
+    exp.set_rearrange_blocks(blocks);
+    if (blocks > 0) {
+      CheckOk(exp.RearrangeForNextDay(), "rearrange");
+    } else {
+      CheckOk(exp.CleanForNextDay(), "clean");
+    }
+    exp.AdvanceWorkloadDay();
+    const core::DayMetrics day = CheckOk(exp.RunMeasuredDay(), "day");
+
+    auto reduction = [](double fcfs, double actual) {
+      return fcfs > 0 ? 100.0 * (fcfs - actual) / fcfs : 0.0;
+    };
+    t.AddRow({Table::Fmt(static_cast<std::int64_t>(blocks)),
+              Table::Fmt(reduction(day.all.fcfs_seek_dist,
+                                   day.all.mean_seek_dist), 1),
+              Table::Fmt(reduction(day.all.fcfs_seek_ms,
+                                   day.all.mean_seek_ms), 1),
+              Table::Fmt(reduction(day.reads.fcfs_seek_dist,
+                                   day.reads.mean_seek_dist), 1),
+              Table::Fmt(reduction(day.reads.fcfs_seek_ms,
+                                   day.reads.mean_seek_ms), 1)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nShape checks: the curves rise steeply up to ~100 blocks and then\n"
+      "flatten; seek-distance reductions exceed seek-time reductions\n"
+      "(time is a concave function of distance). The 0-block row shows the\n"
+      "reduction from SCAN request reordering alone.\n");
+  return 0;
+}

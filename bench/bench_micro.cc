@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the hot in-driver paths: block
+// table lookups and the request monitor sit on every I/O, the Space-Saving
+// counter on every analyzer drain, the schedulers and disk model on every
+// dispatch. These bound the CPU cost the adaptive driver adds per request.
+
+#include <benchmark/benchmark.h>
+
+#include "analyzer/space_saving_counter.h"
+#include "disk/disk.h"
+#include "driver/block_table.h"
+#include "driver/request_monitor.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace abr;
+
+void BM_BlockTableLookupHit(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  driver::BlockTable table(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    (void)table.Insert(/*original=*/i * 16, /*relocated=*/1000000 + i * 16);
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    const SectorNo key =
+        static_cast<SectorNo>(rng.NextBounded(static_cast<std::uint64_t>(n))) *
+        16;
+    benchmark::DoNotOptimize(table.Lookup(key));
+  }
+}
+BENCHMARK(BM_BlockTableLookupHit)->Arg(1018)->Arg(4096);
+
+void BM_BlockTableLookupMiss(benchmark::State& state) {
+  driver::BlockTable table(1018);
+  for (std::int32_t i = 0; i < 1018; ++i) {
+    (void)table.Insert(i * 16, 1000000 + i * 16);
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    const SectorNo key =
+        2000000 + static_cast<SectorNo>(rng.NextBounded(100000));
+    benchmark::DoNotOptimize(table.Lookup(key));
+  }
+}
+BENCHMARK(BM_BlockTableLookupMiss);
+
+void BM_BlockTableSerialize(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  driver::BlockTable table(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    (void)table.Insert(i * 16, 1000000 + i * 16);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Serialize());
+  }
+}
+BENCHMARK(BM_BlockTableSerialize)->Arg(1018)->Arg(3500);
+
+void BM_RequestMonitorRecord(benchmark::State& state) {
+  driver::RequestMonitor monitor(1 << 16);
+  driver::RequestRecord rec{0, 42, 8192, sched::IoType::kRead};
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    if (monitor.suspended()) monitor.ReadAndClear();
+    rec.block = i++ & 0xFFFF;
+    benchmark::DoNotOptimize(monitor.Record(rec));
+  }
+}
+BENCHMARK(BM_RequestMonitorRecord);
+
+void BM_SpaceSavingObserve(benchmark::State& state) {
+  analyzer::SpaceSavingCounter counter(
+      static_cast<std::size_t>(state.range(0)));
+  ZipfSampler zipf(100000, 1.0);
+  Rng rng(13);
+  for (auto _ : state) {
+    counter.Observe(analyzer::BlockId{0, zipf.Sample(rng)});
+  }
+}
+BENCHMARK(BM_SpaceSavingObserve)->Arg(512)->Arg(4096);
+
+void BM_ScanSchedulerCycle(benchmark::State& state) {
+  sched::ScanScheduler scheduler(340);
+  Rng rng(17);
+  sched::IoRequest req;
+  req.sector_count = 16;
+  std::int64_t queued = 0;
+  for (auto _ : state) {
+    if (queued < 16) {
+      req.sector = static_cast<SectorNo>(rng.NextBounded(815 * 340));
+      scheduler.Enqueue(req);
+      ++queued;
+    } else {
+      benchmark::DoNotOptimize(scheduler.Dequeue(400));
+      --queued;
+    }
+  }
+}
+BENCHMARK(BM_ScanSchedulerCycle);
+
+void BM_DiskService(benchmark::State& state) {
+  disk::Disk d(disk::DriveSpec::ToshibaMK156F());
+  Rng rng(23);
+  Micros now = 0;
+  for (auto _ : state) {
+    const SectorNo s =
+        static_cast<SectorNo>(rng.NextBounded(815 * 340 - 16));
+    const disk::ServiceBreakdown b = d.Service(s, 16, /*is_read=*/true, now);
+    now += b.total();
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_DiskService);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<std::int64_t>(state.range(0)), 1.2);
+  Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

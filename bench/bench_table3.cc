@@ -1,0 +1,78 @@
+// Reproduces Table 3: detailed results for one "off" day followed by one
+// "on" day of the system file system, on both disks. Reported per day:
+// FCFS mean seek distance/time (arrival order, no rearrangement), actual
+// mean seek distance/time, percentage of zero-length seeks, mean service
+// time and mean waiting time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "core/onoff.h"
+#include "util/table.h"
+
+namespace {
+
+using abr::Table;
+using abr::core::DayMetrics;
+using abr::core::Experiment;
+using abr::core::ExperimentConfig;
+
+void PrintPaperReference() {
+  Table t({"Disk", "", "Day 1 (Off)", "Day 2 (On)"});
+  t.AddRow({"Toshiba", "FCFS Mean Seek Dist (cyln)", "220", "225"});
+  t.AddRow({"Toshiba", "Mean Seek Distance (cyln)", "173", "8"});
+  t.AddRow({"Toshiba", "Zero-length Seeks (%)", "23", "88"});
+  t.AddRow({"Toshiba", "FCFS Mean Seek Time (ms)", "20.92", "21.46"});
+  t.AddRow({"Toshiba", "Mean Seek Time (ms)", "18.21", "1.55"});
+  t.AddRow({"Toshiba", "Mean Service Time (ms)", "38.41", "22.95"});
+  t.AddRow({"Toshiba", "Mean Waiting Time (ms)", "87.30", "50.03"});
+  t.AddSeparator();
+  t.AddRow({"Fujitsu", "FCFS Mean Seek Dist (cyln)", "435", "413"});
+  t.AddRow({"Fujitsu", "Mean Seek Distance (cyln)", "315", "27"});
+  t.AddRow({"Fujitsu", "Zero-length Seeks (%)", "27", "76"});
+  t.AddRow({"Fujitsu", "FCFS Mean Seek Time (ms)", "10.31", "9.73"});
+  t.AddRow({"Fujitsu", "Mean Seek Time (ms)", "8.01", "1.16"});
+  t.AddRow({"Fujitsu", "Mean Service Time (ms)", "21.15", "14.08"});
+  t.AddRow({"Fujitsu", "Mean Waiting Time (ms)", "69.98", "35.65"});
+  std::printf("%s", t.ToString().c_str());
+}
+
+void RunDisk(const char* name, ExperimentConfig config, Table& t) {
+  Experiment exp(std::move(config));
+  abr::core::OnOffResult result = abr::bench::CheckOk(
+      abr::core::RunOnOff(exp, /*days_per_side=*/1), "on/off run");
+  const DayMetrics& off = result.off_days.front();
+  const DayMetrics& on = result.on_days.front();
+
+  auto row = [&](const char* label, double off_v, double on_v, int dec) {
+    t.AddRow({name, label, Table::Fmt(off_v, dec), Table::Fmt(on_v, dec)});
+  };
+  row("FCFS Mean Seek Dist (cyln)", off.all.fcfs_seek_dist,
+      on.all.fcfs_seek_dist, 0);
+  row("Mean Seek Distance (cyln)", off.all.mean_seek_dist,
+      on.all.mean_seek_dist, 0);
+  row("Zero-length Seeks (%)", off.all.zero_seek_pct, on.all.zero_seek_pct,
+      0);
+  row("FCFS Mean Seek Time (ms)", off.all.fcfs_seek_ms, on.all.fcfs_seek_ms,
+      2);
+  row("Mean Seek Time (ms)", off.all.mean_seek_ms, on.all.mean_seek_ms, 2);
+  row("Mean Service Time (ms)", off.all.mean_service_ms,
+      on.all.mean_service_ms, 2);
+  row("Mean Waiting Time (ms)", off.all.mean_wait_ms, on.all.mean_wait_ms, 2);
+}
+
+}  // namespace
+
+int main() {
+  abr::bench::Banner("Table 3 — paper reference (system file system)");
+  PrintPaperReference();
+
+  abr::bench::Banner("Table 3 — this reproduction");
+  Table t({"Disk", "", "Day 1 (Off)", "Day 2 (On)"});
+  RunDisk("Toshiba", ExperimentConfig::ToshibaSystem(), t);
+  t.AddSeparator();
+  RunDisk("Fujitsu", ExperimentConfig::FujitsuSystem(), t);
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 5: on/off experiments on the *users* file system (home
+// directories, mounted read/write). Seek-time reductions are smaller than
+// on the system file system: request distributions are less skewed, new
+// file creation and extension writes cannot be predicted, and day-to-day
+// access patterns of a small user population drift faster.
+
+#include <cstdio>
+
+#include "bench/onoff_common.h"
+
+int main() {
+  using namespace abr;
+  using namespace abr::bench;
+
+  Banner("Table 5 — paper reference (users file system, all requests)");
+  {
+    Table t = MakeSummaryTable();
+    AddPaperRow(t, "Toshiba", "Off",
+                {"11.06", "13.10", "15.45", "28.83", "31.14", "34.06",
+                 "8.32", "16.86", "31.93"});
+    AddPaperRow(t, "Toshiba", "On",
+                {"8.10", "8.90", "10.78", "26.08", "27.32", "29.54", "4.74",
+                 "10.18", "18.63"});
+    AddPaperRow(t, "Fujitsu", "Off",
+                {"3.27", "4.27", "4.79", "16.23", "17.00", "17.37", "4.33",
+                 "15.19", "48.96"});
+    AddPaperRow(t, "Fujitsu", "On",
+                {"1.76", "2.73", "3.92", "14.04", "15.12", "16.13", "3.53",
+                 "5.83", "8.75"});
+    std::printf("%s", t.ToString().c_str());
+  }
+
+  Banner("Table 5 — this reproduction");
+  Table t = MakeSummaryTable();
+  RunAndSummarize("Toshiba", core::ExperimentConfig::ToshibaUsers(),
+                  /*days_per_side=*/6, core::OnOffResult::Slice::kAll, t);
+  RunAndSummarize("Fujitsu", core::ExperimentConfig::FujitsuUsers(),
+                  /*days_per_side=*/5, core::OnOffResult::Slice::kAll, t);
+  std::printf("%s", t.ToString().c_str());
+
+  std::printf(
+      "\nShape checks: rearrangement still helps, but the relative seek\n"
+      "reduction is much smaller than on the system file system "
+      "(~30-35%%\nin the paper vs ~90%% there).\n");
+  return 0;
+}

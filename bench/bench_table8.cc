@@ -1,0 +1,109 @@
+// Reproduces Table 8: detailed placement-policy results on the Toshiba
+// disk (system file system) — one representative rearranged day per
+// policy, reporting FCFS/actual seek distances and times, zero-length
+// seek percentage, service and waiting times, for all requests and reads.
+
+#include <cstdio>
+
+#include "bench/policy_common.h"
+#include "util/table.h"
+
+namespace {
+
+using abr::Table;
+
+void AddPolicyColumns(Table& t, const char* metric,
+                      const abr::core::DayMetrics* days,
+                      double (*get)(const abr::core::SliceMetrics&),
+                      int decimals) {
+  std::vector<std::string> cells{metric};
+  for (int p = 0; p < 3; ++p) {
+    cells.push_back(Table::Fmt(get(days[p].all), decimals));
+    cells.push_back(Table::Fmt(get(days[p].reads), decimals));
+  }
+  t.AddRow(std::move(cells));
+}
+
+void PrintMeasured(const char* title, abr::core::ExperimentConfig (*make)()) {
+  using namespace abr::bench;
+  abr::core::DayMetrics days[3];
+  const abr::placement::PolicyKind kinds[3] = {
+      abr::placement::PolicyKind::kOrganPipe,
+      abr::placement::PolicyKind::kInterleaved,
+      abr::placement::PolicyKind::kSerial};
+  for (int p = 0; p < 3; ++p) {
+    days[p] = RunPolicyDays(make(), kinds[p], /*days=*/1).front();
+  }
+
+  Banner(title);
+  Table t({"", "OP all", "OP reads", "IL all", "IL reads", "SER all",
+           "SER reads"});
+  AddPolicyColumns(t, "FCFS Mean Seek Dist (cyln)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.fcfs_seek_dist;
+                   },
+                   0);
+  AddPolicyColumns(t, "Mean Seek Distance (cyln)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.mean_seek_dist;
+                   },
+                   0);
+  AddPolicyColumns(t, "Zero-length Seeks (%)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.zero_seek_pct;
+                   },
+                   0);
+  AddPolicyColumns(t, "FCFS Mean Seek Time (ms)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.fcfs_seek_ms;
+                   },
+                   2);
+  AddPolicyColumns(t, "Mean Seek Time (ms)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.mean_seek_ms;
+                   },
+                   2);
+  AddPolicyColumns(t, "Mean Service Time (ms)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.mean_service_ms;
+                   },
+                   2);
+  AddPolicyColumns(t, "Mean Waiting Time (ms)", days,
+                   [](const abr::core::SliceMetrics& m) {
+                     return m.mean_wait_ms;
+                   },
+                   2);
+  std::printf("%s", t.ToString().c_str());
+}
+
+void PrintPaper() {
+  abr::bench::Banner("Table 8 — paper reference (Toshiba, system fs)");
+  Table t({"", "OP all", "OP reads", "IL all", "IL reads", "SER all",
+           "SER reads"});
+  t.AddRow({"FCFS Mean Seek Dist (cyln)", "225", "165", "208", "144", "208",
+            "142"});
+  t.AddRow({"Mean Seek Distance (cyln)", "8", "23", "15", "24", "22", "39"});
+  t.AddRow({"Zero-length Seeks (%)", "88", "67", "83", "61", "26", "39"});
+  t.AddRow({"FCFS Mean Seek Time (ms)", "21.46", "16.14", "20.02", "14.39",
+            "20.02", "14.23"});
+  t.AddRow(
+      {"Mean Seek Time (ms)", "1.55", "4.49", "2.50", "5.86", "8.50", "8.57"});
+  t.AddRow({"Mean Service Time (ms)", "22.95", "24.18", "23.71", "24.31",
+            "28.53", "27.8"});
+  t.AddRow({"Mean Waiting Time (ms)", "50.03", "5.47", "46.85", "5.14",
+            "61.32", "6.32"});
+  std::printf("%s", t.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintPaper();
+  PrintMeasured("Table 8 — this reproduction (Toshiba, system fs)",
+                &abr::core::ExperimentConfig::ToshibaSystem);
+  std::printf(
+      "\nShape checks: organ-pipe <= interleaved << serial in mean seek\n"
+      "time; serial's zero-length-seek share collapses because it does not\n"
+      "cluster the hottest blocks together.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Table 9: detailed placement-policy results on the Fujitsu
+// disk (system file system), one representative rearranged day per policy.
+
+#include <cstdio>
+
+#include "bench/policy_detail.h"
+
+int main() {
+  using namespace abr;
+  using namespace abr::bench;
+
+  Banner("Table 9 — paper reference (Fujitsu, system fs)");
+  {
+    Table t({"", "OP all", "OP reads", "IL all", "IL reads", "SER all",
+             "SER reads"});
+    t.AddRow({"FCFS Mean Seek Dist (cyln)", "408", "311", "400", "305", "440",
+              "321"});
+    t.AddRow(
+        {"Mean Seek Distance (cyln)", "22", "35", "26", "44", "26", "41"});
+    t.AddRow({"Zero-length Seeks (%)", "74", "59", "77", "62", "35", "35"});
+    t.AddRow({"FCFS Mean Seek Time (ms)", "9.62", "7.63", "9.79", "7.78",
+              "10.36", "8.02"});
+    t.AddRow({"Mean Seek Time (ms)", "1.10", "1.74", "1.12", "1.92", "2.49",
+              "2.82"});
+    t.AddRow({"Mean Service Time (ms)", "13.83", "13.03", "14.35", "13.74",
+              "15.47", "14.51"});
+    t.AddRow({"Mean Waiting Time (ms)", "44.52", "3.23", "51.33", "3.25",
+              "46.16", "2.73"});
+    std::printf("%s", t.ToString().c_str());
+  }
+
+  PrintMeasuredPolicyDetail("Table 9 — this reproduction (Fujitsu, system fs)",
+                            &core::ExperimentConfig::FujitsuSystem);
+  std::printf(
+      "\nShape checks: organ-pipe and interleaved close together; serial\n"
+      "clearly worse in seek time and zero-length-seek share.\n");
+  return 0;
+}

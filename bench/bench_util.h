@@ -1,0 +1,34 @@
+#ifndef ABR_BENCH_BENCH_UTIL_H_
+#define ABR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace abr::bench {
+
+/// Aborts the benchmark with a message when a Status is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Unwraps a StatusOr or aborts.
+template <typename T>
+T CheckOk(StatusOr<T> value, const char* what) {
+  CheckOk(value.status(), what);
+  return std::move(value.value());
+}
+
+/// Prints a section header.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace abr::bench
+
+#endif  // ABR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+#ifndef ABR_BENCH_ONOFF_COMMON_H_
+#define ABR_BENCH_ONOFF_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "core/onoff.h"
+#include "util/table.h"
+
+namespace abr::bench {
+
+/// Adds a "Disk | On/Off | min avg max (seek, service, wait)" row to the
+/// table, matching the layout of the paper's Tables 2, 4, 5 and 6.
+inline void AddSummaryRow(Table& t, const std::string& disk,
+                          const char* on_off,
+                          const core::SummaryRow& row) {
+  t.AddRow({disk, on_off, Table::Fmt(row.seek_ms.min()),
+            Table::Fmt(row.seek_ms.avg()), Table::Fmt(row.seek_ms.max()),
+            Table::Fmt(row.service_ms.min()), Table::Fmt(row.service_ms.avg()),
+            Table::Fmt(row.service_ms.max()), Table::Fmt(row.wait_ms.min()),
+            Table::Fmt(row.wait_ms.avg()), Table::Fmt(row.wait_ms.max())});
+}
+
+/// The header used by all on/off summary tables.
+inline Table MakeSummaryTable() {
+  return Table({"Disk", "On/Off", "seek min", "seek avg", "seek max",
+                "svc min", "svc avg", "svc max", "wait min", "wait avg",
+                "wait max"});
+}
+
+/// Runs the alternating on/off protocol for one disk config and appends
+/// the two summary rows for the requested slice.
+inline core::OnOffResult RunAndSummarize(const std::string& disk_name,
+                                         core::ExperimentConfig config,
+                                         std::int32_t days_per_side,
+                                         core::OnOffResult::Slice slice,
+                                         Table& t) {
+  core::Experiment exp(std::move(config));
+  core::OnOffResult result =
+      CheckOk(core::RunOnOff(exp, days_per_side), "on/off run");
+  AddSummaryRow(t, disk_name, "Off",
+                core::OnOffResult::Summarize(result.off_days, slice));
+  AddSummaryRow(t, disk_name, "On",
+                core::OnOffResult::Summarize(result.on_days, slice));
+  return result;
+}
+
+/// Adds a paper-reference row (numbers transcribed from the paper).
+inline void AddPaperRow(Table& t, const std::string& disk, const char* on_off,
+                        std::initializer_list<const char*> nine) {
+  std::vector<std::string> cells{disk, on_off};
+  for (const char* c : nine) cells.emplace_back(c);
+  t.AddRow(std::move(cells));
+}
+
+}  // namespace abr::bench
+
+#endif  // ABR_BENCH_ONOFF_COMMON_H_

@@ -1,0 +1,49 @@
+#ifndef ABR_BENCH_POLICY_COMMON_H_
+#define ABR_BENCH_POLICY_COMMON_H_
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "placement/policy.h"
+
+namespace abr::bench {
+
+/// Runs `days` consecutive rearranged ("on") days under one placement
+/// policy, after one unmeasured warm-up day that seeds the reference
+/// counts. Each day's rearrangement uses the previous day's counts, as in
+/// the paper's procedure.
+inline std::vector<core::DayMetrics> RunPolicyDays(
+    core::ExperimentConfig config, placement::PolicyKind kind,
+    std::int32_t days) {
+  config.system.policy = kind;
+  core::Experiment exp(std::move(config));
+  CheckOk(exp.Setup(), "setup");
+  CheckOk(exp.RunMeasuredDay().status(), "warm-up day");
+  std::vector<core::DayMetrics> out;
+  for (std::int32_t i = 0; i < days; ++i) {
+    CheckOk(exp.RearrangeForNextDay(), "rearrange");
+    exp.AdvanceWorkloadDay();
+    out.push_back(CheckOk(exp.RunMeasuredDay(), "measured day"));
+  }
+  return out;
+}
+
+/// Percentage reduction of the daily mean seek time relative to the seek
+/// time FCFS service with no rearrangement would have shown (the metric of
+/// Table 7), averaged over the days.
+inline double MeanSeekReductionPct(const std::vector<core::DayMetrics>& days,
+                                   bool reads_only) {
+  double sum = 0;
+  for (const core::DayMetrics& d : days) {
+    const core::SliceMetrics& m = reads_only ? d.reads : d.all;
+    if (m.fcfs_seek_ms > 0) {
+      sum += 100.0 * (m.fcfs_seek_ms - m.mean_seek_ms) / m.fcfs_seek_ms;
+    }
+  }
+  return days.empty() ? 0.0 : sum / static_cast<double>(days.size());
+}
+
+}  // namespace abr::bench
+
+#endif  // ABR_BENCH_POLICY_COMMON_H_

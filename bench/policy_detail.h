@@ -1,0 +1,56 @@
+#ifndef ABR_BENCH_POLICY_DETAIL_H_
+#define ABR_BENCH_POLICY_DETAIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/policy_common.h"
+#include "util/table.h"
+
+namespace abr::bench {
+
+/// Runs one rearranged day per placement policy and prints the detailed
+/// per-policy table used by the paper's Tables 8 and 9.
+inline void PrintMeasuredPolicyDetail(const char* title,
+                                      core::ExperimentConfig (*make)()) {
+  core::DayMetrics days[3];
+  const placement::PolicyKind kinds[3] = {placement::PolicyKind::kOrganPipe,
+                                          placement::PolicyKind::kInterleaved,
+                                          placement::PolicyKind::kSerial};
+  for (int p = 0; p < 3; ++p) {
+    days[p] = RunPolicyDays(make(), kinds[p], /*days=*/1).front();
+  }
+
+  Banner(title);
+  Table t({"", "OP all", "OP reads", "IL all", "IL reads", "SER all",
+           "SER reads"});
+  auto add = [&](const char* metric,
+                 double (*get)(const core::SliceMetrics&), int decimals) {
+    std::vector<std::string> cells{metric};
+    for (int p = 0; p < 3; ++p) {
+      cells.push_back(Table::Fmt(get(days[p].all), decimals));
+      cells.push_back(Table::Fmt(get(days[p].reads), decimals));
+    }
+    t.AddRow(std::move(cells));
+  };
+  add("FCFS Mean Seek Dist (cyln)",
+      [](const core::SliceMetrics& m) { return m.fcfs_seek_dist; }, 0);
+  add("Mean Seek Distance (cyln)",
+      [](const core::SliceMetrics& m) { return m.mean_seek_dist; }, 0);
+  add("Zero-length Seeks (%)",
+      [](const core::SliceMetrics& m) { return m.zero_seek_pct; }, 0);
+  add("FCFS Mean Seek Time (ms)",
+      [](const core::SliceMetrics& m) { return m.fcfs_seek_ms; }, 2);
+  add("Mean Seek Time (ms)",
+      [](const core::SliceMetrics& m) { return m.mean_seek_ms; }, 2);
+  add("Mean Service Time (ms)",
+      [](const core::SliceMetrics& m) { return m.mean_service_ms; }, 2);
+  add("Mean Waiting Time (ms)",
+      [](const core::SliceMetrics& m) { return m.mean_wait_ms; }, 2);
+  std::printf("%s", t.ToString().c_str());
+}
+
+}  // namespace abr::bench
+
+#endif  // ABR_BENCH_POLICY_DETAIL_H_

@@ -1,0 +1,115 @@
+// placement_explorer: visualizes how the three placement policies lay the
+// same hot blocks out in the reserved region — the scenario of the paper's
+// Figure 3 (a reserved area of three cylinders with four blocks each, file
+// system interleaving factor of one block).
+//
+//   $ ./placement_explorer
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "disk/geometry.h"
+#include "placement/policy.h"
+
+using namespace abr;
+using placement::PlacementPlan;
+using placement::ReservedRegion;
+
+namespace {
+
+/// The Figure 3 reserved area: 3 cylinders x 4 block slots.
+ReservedRegion FigureRegion() {
+  disk::Geometry g;
+  g.cylinders = 12;
+  g.tracks_per_cylinder = 1;
+  g.sectors_per_track = 8;
+  g.rpm = 3600;
+  g.bytes_per_sector = 512;
+  // Data slots start on cylinder 4; 12 slots of 2 sectors.
+  return ReservedRegion(g, /*data_first_sector=*/32, /*slot_count=*/12,
+                        /*block_sectors=*/2);
+}
+
+/// Blocks to rearrange with their estimated access frequencies. Blocks
+/// 10/12/14 and 30/32 form interleaved file chains (gap of one block,
+/// frequencies within 50% of their predecessors).
+std::vector<analyzer::HotBlock> FigureBlocks() {
+  return {
+      {{0, 10}, 100},  // file A, block 0
+      {{0, 12}, 95},   // file A, block 1 (successor of 10)
+      {{0, 50}, 90},
+      {{0, 30}, 55},   // file B, block 0
+      {{0, 70}, 50},
+      {{0, 32}, 40},   // file B, block 1 (successor of 30)
+      {{0, 14}, 35},   // file A, block 2 (successor of 12)... too far
+      {{0, 90}, 20},
+      {{0, 24}, 12},
+      {{0, 44}, 10},
+      {{0, 64}, 6},
+      {{0, 84}, 3},
+  };
+}
+
+void Draw(const char* name, const PlacementPlan& plan,
+          const ReservedRegion& region,
+          const std::map<BlockNo, std::int64_t>& freq) {
+  std::printf("%s\n", name);
+  std::map<std::int32_t, BlockNo> by_slot;
+  for (const placement::SlotAssignment& a : plan) {
+    by_slot[a.slot] = a.id.block;
+  }
+  for (Cylinder c : region.cylinders()) {
+    std::printf("  cyl %2d: ", c);
+    for (std::int32_t slot : region.SlotsOfCylinder(c)) {
+      auto it = by_slot.find(slot);
+      if (it == by_slot.end()) {
+        std::printf("[   --   ] ");
+      } else {
+        std::printf("[b%02lld f=%-3lld] ",
+                    static_cast<long long>(it->second),
+                    static_cast<long long>(freq.at(it->second)));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const ReservedRegion region = FigureRegion();
+  const std::vector<analyzer::HotBlock> blocks = FigureBlocks();
+  std::map<BlockNo, std::int64_t> freq;
+  for (const analyzer::HotBlock& hb : blocks) freq[hb.id.block] = hb.count;
+
+  std::printf(
+      "Reserved area: %zu cylinders x 4 blocks; interleave factor 1.\n"
+      "Hot blocks (rank order): ",
+      region.cylinders().size());
+  for (const analyzer::HotBlock& hb : blocks) {
+    std::printf("b%lld(%lld) ", static_cast<long long>(hb.id.block),
+                static_cast<long long>(hb.count));
+  }
+  std::printf("\n\nOrgan-pipe cylinder fill order: ");
+  for (Cylinder c : region.OrganPipeCylinderOrder()) std::printf("%d ", c);
+  std::printf("(center first, alternating outward)\n\n");
+
+  for (const auto kind :
+       {placement::PolicyKind::kOrganPipe, placement::PolicyKind::kInterleaved,
+        placement::PolicyKind::kSerial}) {
+    auto policy = placement::MakePolicy(kind, /*interleave_factor=*/1);
+    Draw(policy->name(), policy->Place(blocks, region), region, freq);
+  }
+
+  std::printf(
+      "Notes:\n"
+      " - Organ-pipe: hottest blocks pack the center cylinder; frequency\n"
+      "   falls off toward the edges of the region.\n"
+      " - Interleaved: file chains (b10->b12->b14, b30->b32) keep their\n"
+      "   one-block rotational gap inside a cylinder where possible.\n"
+      " - Serial: the same set of blocks in block-number order; reference\n"
+      "   counts choose the set but not the layout.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "analyzer/analyzer.h"
+
+#include <cassert>
+
+#include "analyzer/decaying_counter.h"
+
+namespace abr::analyzer {
+
+ReferenceStreamAnalyzer::ReferenceStreamAnalyzer(
+    std::unique_ptr<ReferenceCounter> counter)
+    : counter_(std::move(counter)) {
+  assert(counter_ != nullptr);
+}
+
+void ReferenceStreamAnalyzer::Drain(driver::AdaptiveDriver& driver) {
+  for (const driver::RequestRecord& record : driver.IoctlReadRequests()) {
+    ObserveRecord(record);
+  }
+}
+
+void ReferenceStreamAnalyzer::EndPeriod() {
+  if (auto* decaying = dynamic_cast<DecayingCounter*>(counter_.get())) {
+    decaying->EndPeriod();
+  } else {
+    counter_->Reset();
+  }
+}
+
+void ReferenceStreamAnalyzer::ObserveRecord(
+    const driver::RequestRecord& record) {
+  counter_->Observe(BlockId{record.device, record.block});
+  ++records_consumed_;
+}
+
+}  // namespace abr::analyzer

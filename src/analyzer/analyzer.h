@@ -1,0 +1,58 @@
+#ifndef ABR_ANALYZER_ANALYZER_H_
+#define ABR_ANALYZER_ANALYZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "analyzer/counter.h"
+#include "driver/adaptive_driver.h"
+#include "util/types.h"
+
+namespace abr::analyzer {
+
+/// The user-level reference stream analyzer (Section 4.2): periodically
+/// reads (and clears) the driver's request-monitoring table through the
+/// ioctl interface and accumulates per-block reference counts with a
+/// pluggable counter. At the end of a measurement period the ranked hot
+/// block list drives the block arranger.
+class ReferenceStreamAnalyzer {
+ public:
+  /// Takes ownership of the counting strategy.
+  explicit ReferenceStreamAnalyzer(std::unique_ptr<ReferenceCounter> counter);
+
+  /// Drains the driver's request table into the counter. Call this every
+  /// monitoring period (the paper used two minutes — short enough that the
+  /// driver's table almost never filled).
+  void Drain(driver::AdaptiveDriver& driver);
+
+  /// Feeds one record directly (tests / trace replay).
+  void ObserveRecord(const driver::RequestRecord& record);
+
+  /// The ranked hot-block list: the k most-referenced blocks, hottest
+  /// first.
+  std::vector<HotBlock> HotList(std::size_t k) const {
+    return counter_->TopK(k);
+  }
+
+  /// Starts a new measurement period, discarding all counts.
+  void Reset() { counter_->Reset(); }
+
+  /// Period boundary that respects aging: if the counter is a
+  /// DecayingCounter its history is aged rather than discarded; otherwise
+  /// equivalent to Reset().
+  void EndPeriod();
+
+  /// Underlying counter (for inspection).
+  const ReferenceCounter& counter() const { return *counter_; }
+
+  /// Total records consumed from the driver.
+  std::int64_t records_consumed() const { return records_consumed_; }
+
+ private:
+  std::unique_ptr<ReferenceCounter> counter_;
+  std::int64_t records_consumed_ = 0;
+};
+
+}  // namespace abr::analyzer
+
+#endif  // ABR_ANALYZER_ANALYZER_H_

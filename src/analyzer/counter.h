@@ -1,0 +1,66 @@
+#ifndef ABR_ANALYZER_COUNTER_H_
+#define ABR_ANALYZER_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace abr::analyzer {
+
+/// Identifies a block across the disk's logical devices.
+struct BlockId {
+  std::int32_t device = 0;
+  BlockNo block = 0;
+
+  friend bool operator==(const BlockId&, const BlockId&) = default;
+};
+
+/// Packs a BlockId into one 64-bit key (device in the top 16 bits).
+constexpr std::uint64_t PackBlockId(const BlockId& id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(id.device))
+          << 48) |
+         (static_cast<std::uint64_t>(id.block) & 0xFFFFFFFFFFFFULL);
+}
+
+/// Inverse of PackBlockId.
+constexpr BlockId UnpackBlockId(std::uint64_t key) {
+  return BlockId{static_cast<std::int32_t>(key >> 48),
+                 static_cast<BlockNo>(key & 0xFFFFFFFFFFFFULL)};
+}
+
+/// A block together with its (estimated) reference count.
+struct HotBlock {
+  BlockId id;
+  std::int64_t count = 0;
+};
+
+/// Estimates per-block reference frequencies from the request stream. The
+/// reference stream analyzer (Section 4.2) maintains block/reference-count
+/// pairs; implementations differ in how much memory they need and how
+/// exact their counts are.
+class ReferenceCounter {
+ public:
+  virtual ~ReferenceCounter() = default;
+
+  /// Records one reference to the block.
+  virtual void Observe(const BlockId& id) = 0;
+
+  /// Returns the k blocks with the highest (estimated) counts, ordered by
+  /// descending count (ties broken by ascending block for determinism).
+  /// Fewer than k are returned when fewer blocks were observed.
+  virtual std::vector<HotBlock> TopK(std::size_t k) const = 0;
+
+  /// Number of distinct blocks currently tracked.
+  virtual std::size_t tracked() const = 0;
+
+  /// Total references observed.
+  virtual std::int64_t total() const = 0;
+
+  /// Forgets all counts (start of a new measurement period).
+  virtual void Reset() = 0;
+};
+
+}  // namespace abr::analyzer
+
+#endif  // ABR_ANALYZER_COUNTER_H_

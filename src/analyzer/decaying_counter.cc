@@ -1,0 +1,72 @@
+#include "analyzer/decaying_counter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace abr::analyzer {
+
+DecayingCounter::DecayingCounter(std::unique_ptr<ReferenceCounter> base,
+                                 double decay)
+    : base_(std::move(base)), decay_(decay) {
+  assert(base_ != nullptr);
+  assert(decay >= 0.0 && decay < 1.0);
+}
+
+std::size_t DecayingCounter::tracked() const {
+  // Upper bound: current + historical entries may overlap; report the
+  // merged set's size.
+  return Merged(base_->tracked() + history_.size()).size();
+}
+
+std::int64_t DecayingCounter::total() const { return base_->total(); }
+
+void DecayingCounter::Reset() {
+  base_->Reset();
+  history_.clear();
+}
+
+void DecayingCounter::EndPeriod() {
+  if (decay_ <= 0.0) {
+    history_.clear();
+    base_->Reset();
+    return;
+  }
+  // Fold current counts into history, then age everything.
+  for (const HotBlock& hb :
+       base_->TopK(base_->tracked())) {
+    history_[PackBlockId(hb.id)] += static_cast<double>(hb.count);
+  }
+  base_->Reset();
+  for (auto it = history_.begin(); it != history_.end();) {
+    it->second *= decay_;
+    if (it->second < 0.5) {
+      it = history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<HotBlock> DecayingCounter::Merged(std::size_t k) const {
+  std::unordered_map<std::uint64_t, double> combined = history_;
+  for (const HotBlock& hb : base_->TopK(base_->tracked())) {
+    combined[PackBlockId(hb.id)] += static_cast<double>(hb.count);
+  }
+  std::vector<HotBlock> all;
+  all.reserve(combined.size());
+  for (const auto& [key, weight] : combined) {
+    all.push_back(HotBlock{UnpackBlockId(key),
+                           static_cast<std::int64_t>(std::llround(weight))});
+  }
+  auto by_count_desc = [](const HotBlock& a, const HotBlock& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.id.device != b.id.device) return a.id.device < b.id.device;
+    return a.id.block < b.id.block;
+  };
+  std::sort(all.begin(), all.end(), by_count_desc);
+  if (k < all.size()) all.resize(k);
+  return all;
+}
+
+}  // namespace abr::analyzer

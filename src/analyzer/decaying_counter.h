@@ -1,0 +1,58 @@
+#ifndef ABR_ANALYZER_DECAYING_COUNTER_H_
+#define ABR_ANALYZER_DECAYING_COUNTER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/counter.h"
+
+namespace abr::analyzer {
+
+/// Exponentially-aged reference counting.
+///
+/// The measured system discards each day's counts after rearranging
+/// (Section 5.1: one day's counts place blocks for the next day). An
+/// alternative the follow-on literature explores is *aging*: instead of a
+/// hard reset, scale all counts by a decay factor at the period boundary so
+/// that a block's history influences placement with exponentially
+/// diminishing weight. Aging trades adaptation speed against stability:
+/// workloads that drift slowly benefit from the longer memory; fast-moving
+/// workloads prefer the paper's hard reset (decay = 0).
+///
+/// Implemented as a decorator over any ReferenceCounter: Observe() passes
+/// through; EndPeriod() applies the decay (counts are scaled and rounded
+/// down; zeroed entries are dropped).
+class DecayingCounter : public ReferenceCounter {
+ public:
+  /// `decay` in [0, 1): the factor counts are multiplied by at each period
+  /// boundary. 0 reproduces the paper's daily reset.
+  DecayingCounter(std::unique_ptr<ReferenceCounter> base, double decay);
+
+  void Observe(const BlockId& id) override { base_->Observe(id); }
+  std::vector<HotBlock> TopK(std::size_t k) const override {
+    return Merged(k);
+  }
+  std::size_t tracked() const override;
+  std::int64_t total() const override;
+  void Reset() override;
+
+  /// Period boundary: ages the history by `decay()` and folds the current
+  /// period's counts into it.
+  void EndPeriod();
+
+  double decay() const { return decay_; }
+
+ private:
+  /// Current counts merged with the aged history, top-k by combined count.
+  std::vector<HotBlock> Merged(std::size_t k) const;
+
+  std::unique_ptr<ReferenceCounter> base_;
+  double decay_;
+  // Aged history: block -> carried-over (scaled) count.
+  std::unordered_map<std::uint64_t, double> history_;
+};
+
+}  // namespace abr::analyzer
+
+#endif  // ABR_ANALYZER_DECAYING_COUNTER_H_

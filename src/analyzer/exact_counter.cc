@@ -1,0 +1,43 @@
+#include "analyzer/exact_counter.h"
+
+#include <algorithm>
+
+namespace abr::analyzer {
+
+void ExactCounter::Observe(const BlockId& id) {
+  ++counts_[PackBlockId(id)];
+  ++total_;
+}
+
+std::vector<HotBlock> ExactCounter::TopK(std::size_t k) const {
+  std::vector<HotBlock> all;
+  all.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    all.push_back(HotBlock{UnpackBlockId(key), count});
+  }
+  auto by_count_desc = [](const HotBlock& a, const HotBlock& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.id.device != b.id.device) return a.id.device < b.id.device;
+    return a.id.block < b.id.block;
+  };
+  if (k < all.size()) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                      all.end(), by_count_desc);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), by_count_desc);
+  }
+  return all;
+}
+
+void ExactCounter::Reset() {
+  counts_.clear();
+  total_ = 0;
+}
+
+std::int64_t ExactCounter::CountOf(const BlockId& id) const {
+  auto it = counts_.find(PackBlockId(id));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace abr::analyzer

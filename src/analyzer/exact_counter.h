@@ -1,0 +1,36 @@
+#ifndef ABR_ANALYZER_EXACT_COUNTER_H_
+#define ABR_ANALYZER_EXACT_COUNTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/counter.h"
+
+namespace abr::analyzer {
+
+/// Exact reference counting with one entry per distinct referenced block.
+/// Worst-case memory is proportional to the number of blocks on the disk —
+/// the cost the paper notes would be unacceptable inside the kernel, but
+/// acceptable for a user-level analyzer and as ground truth for evaluating
+/// bounded counters.
+class ExactCounter : public ReferenceCounter {
+ public:
+  ExactCounter() = default;
+
+  void Observe(const BlockId& id) override;
+  std::vector<HotBlock> TopK(std::size_t k) const override;
+  std::size_t tracked() const override { return counts_.size(); }
+  std::int64_t total() const override { return total_; }
+  void Reset() override;
+
+  /// Exact count for one block (0 if never seen).
+  std::int64_t CountOf(const BlockId& id) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace abr::analyzer
+
+#endif  // ABR_ANALYZER_EXACT_COUNTER_H_

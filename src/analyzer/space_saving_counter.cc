@@ -1,0 +1,79 @@
+#include "analyzer/space_saving_counter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::analyzer {
+
+SpaceSavingCounter::SpaceSavingCounter(std::size_t capacity)
+    : capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+void SpaceSavingCounter::Reindex(std::uint64_t key, std::int64_t old_count,
+                                 std::int64_t new_count) {
+  auto [lo, hi] = by_count_.equal_range(old_count);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == key) {
+      by_count_.erase(it);
+      break;
+    }
+  }
+  by_count_.emplace(new_count, key);
+}
+
+void SpaceSavingCounter::Observe(const BlockId& id) {
+  ++total_;
+  const std::uint64_t key = PackBlockId(id);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Reindex(key, it->second.count, it->second.count + 1);
+    ++it->second.count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, Entry{1, 0});
+    by_count_.emplace(1, key);
+    return;
+  }
+  // Replacement heuristic: evict the minimum-count entry; the newcomer
+  // inherits its count (as its error bound) plus one.
+  ++replacements_;
+  auto min_it = by_count_.begin();
+  const std::int64_t min_count = min_it->first;
+  const std::uint64_t victim = min_it->second;
+  by_count_.erase(min_it);
+  entries_.erase(victim);
+  entries_.emplace(key, Entry{min_count + 1, min_count});
+  by_count_.emplace(min_count + 1, key);
+}
+
+std::vector<HotBlock> SpaceSavingCounter::TopK(std::size_t k) const {
+  std::vector<HotBlock> all;
+  all.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    all.push_back(HotBlock{UnpackBlockId(key), entry.count});
+  }
+  auto by_count_desc = [](const HotBlock& a, const HotBlock& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.id.device != b.id.device) return a.id.device < b.id.device;
+    return a.id.block < b.id.block;
+  };
+  std::sort(all.begin(), all.end(), by_count_desc);
+  if (k < all.size()) all.resize(k);
+  return all;
+}
+
+void SpaceSavingCounter::Reset() {
+  entries_.clear();
+  by_count_.clear();
+  total_ = 0;
+  replacements_ = 0;
+}
+
+std::int64_t SpaceSavingCounter::ErrorOf(const BlockId& id) const {
+  auto it = entries_.find(PackBlockId(id));
+  return it == entries_.end() ? 0 : it->second.error;
+}
+
+}  // namespace abr::analyzer

@@ -1,0 +1,64 @@
+#ifndef ABR_ANALYZER_SPACE_SAVING_COUNTER_H_
+#define ABR_ANALYZER_SPACE_SAVING_COUNTER_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/counter.h"
+
+namespace abr::analyzer {
+
+/// Bounded-memory hot-block estimation.
+///
+/// The paper's analyzer limits its list of block/reference-count pairs and
+/// applies a replacement heuristic when a block not on the list is
+/// referenced; experiments in [Salem 92, Salem 93] show that short lists
+/// still guess the hottest blocks accurately. This class implements the
+/// Space-Saving replacement heuristic: when the list is full, the entry
+/// with the minimum count is evicted and the newcomer inherits that count
+/// plus one. Estimated counts overestimate true counts by at most the
+/// inherited error, which is tracked per entry.
+class SpaceSavingCounter : public ReferenceCounter {
+ public:
+  /// Creates a counter holding at most `capacity` entries.
+  explicit SpaceSavingCounter(std::size_t capacity);
+
+  void Observe(const BlockId& id) override;
+  std::vector<HotBlock> TopK(std::size_t k) const override;
+  std::size_t tracked() const override { return entries_.size(); }
+  std::int64_t total() const override { return total_; }
+  void Reset() override;
+
+  /// Maximum entries retained.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Worst-case overestimation of the entry for `id` (0 when absent or
+  /// never evicted-into).
+  std::int64_t ErrorOf(const BlockId& id) const;
+
+  /// Number of replacements performed (how often the heuristic fired).
+  std::int64_t replacements() const { return replacements_; }
+
+ private:
+  struct Entry {
+    std::int64_t count = 0;
+    std::int64_t error = 0;  // count inherited at replacement time
+  };
+
+  /// Re-inserts `key` into the count-ordered index.
+  void Reindex(std::uint64_t key, std::int64_t old_count,
+               std::int64_t new_count);
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  // count -> keys at that count; supports O(log n) min-eviction.
+  std::multimap<std::int64_t, std::uint64_t> by_count_;
+  std::int64_t total_ = 0;
+  std::int64_t replacements_ = 0;
+};
+
+}  // namespace abr::analyzer
+
+#endif  // ABR_ANALYZER_SPACE_SAVING_COUNTER_H_

@@ -1,0 +1,166 @@
+#include "baselines/cylinder_shuffle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace abr::baselines {
+
+CylinderShuffleDriver::CylinderShuffleDriver(disk::Disk* disk,
+                                             disk::DiskLabel label,
+                                             const Config& config)
+    : disk_(disk),
+      label_(std::move(label)),
+      config_(config),
+      system_(disk, sched::MakeScheduler(
+                        config.scheduler,
+                        label_.physical_geometry().sectors_per_cylinder())) {
+  assert(disk_ != nullptr);
+  assert(!label_.rearranged() && "cylinder shuffling uses a plain label");
+  const disk::Geometry& g = label_.physical_geometry();
+  block_sectors_ = config_.block_size_bytes / g.bytes_per_sector;
+  permutation_.resize(static_cast<std::size_t>(g.cylinders));
+  std::iota(permutation_.begin(), permutation_.end(), 0);
+  cylinder_refs_.assign(static_cast<std::size_t>(g.cylinders), 0);
+  system_.set_completion_callback([this](const sim::CompletedIo& done) {
+    if (done.request.internal) return;
+    perf_monitor_.RecordCompletion(
+        done.request.type, done.queue_time, done.service_time,
+        done.breakdown.seek_distance, done.breakdown.rotation,
+        done.breakdown.transfer, done.breakdown.buffer_hit);
+  });
+}
+
+Status CylinderShuffleDriver::SubmitBlock(std::int32_t device, BlockNo block,
+                                          sched::IoType type,
+                                          Micros arrival_time) {
+  if (device < 0 ||
+      device >= static_cast<std::int32_t>(label_.partitions().size())) {
+    return Status::InvalidArgument("no such logical device");
+  }
+  const disk::Partition& part =
+      label_.partitions()[static_cast<std::size_t>(device)];
+  if (block < 0 || (block + 1) * block_sectors_ > part.sector_count) {
+    return Status::OutOfRange("block outside partition");
+  }
+  const disk::Geometry& g = label_.physical_geometry();
+  const std::int64_t spc = g.sectors_per_cylinder();
+  const SectorNo vsector = part.first_sector + block * block_sectors_;
+  const Cylinder vcyl = static_cast<Cylinder>(vsector / spc);
+
+  ++cylinder_refs_[static_cast<std::size_t>(vcyl)];
+  // FCFS baseline distances use the unshuffled layout.
+  perf_monitor_.RecordArrival(type, vcyl);
+
+  // A block may straddle a cylinder boundary; each piece maps through the
+  // permutation separately.
+  SectorNo at = vsector;
+  std::int64_t remaining = block_sectors_;
+  while (remaining > 0) {
+    const Cylinder c = static_cast<Cylinder>(at / spc);
+    const std::int64_t within = at % spc;
+    const std::int64_t piece = std::min<std::int64_t>(remaining, spc - within);
+    sched::IoRequest req;
+    req.id = next_request_id_++;
+    req.type = type;
+    req.arrival_time = arrival_time;
+    req.sector =
+        static_cast<SectorNo>(permutation_[static_cast<std::size_t>(c)]) *
+            spc +
+        within;
+    req.sector_count = piece;
+    req.logical_block = block;
+    req.device = device;
+    system_.Submit(req);
+    at += piece;
+    remaining -= piece;
+  }
+  return Status::Ok();
+}
+
+void CylinderShuffleDriver::CylinderIo(Cylinder physical, bool is_read) {
+  assert(!system_.busy() && system_.queued() == 0);
+  const disk::Geometry& g = label_.physical_geometry();
+  const disk::ServiceBreakdown b =
+      disk_->Service(g.FirstSectorOf(physical), g.sectors_per_cylinder(),
+                     is_read, system_.now());
+  system_.AdvanceTo(system_.now() + b.total());
+  ++shuffle_io_count_;
+  shuffle_io_time_ += b.total();
+}
+
+std::int32_t CylinderShuffleDriver::ApplyPermutation(
+    const std::vector<Cylinder>& target) {
+  const disk::Geometry& g = label_.physical_geometry();
+  const std::int64_t spc = g.sectors_per_cylinder();
+
+  // Snapshot the payloads of every cylinder that moves, then rewrite.
+  std::vector<std::pair<Cylinder, std::vector<std::uint64_t>>> moved;
+  for (std::size_t v = 0; v < permutation_.size(); ++v) {
+    if (permutation_[v] == target[v]) continue;
+    std::vector<std::uint64_t> data(static_cast<std::size_t>(spc));
+    const SectorNo src = g.FirstSectorOf(permutation_[v]);
+    for (std::int64_t s = 0; s < spc; ++s) {
+      data[static_cast<std::size_t>(s)] = disk_->ReadPayload(src + s);
+    }
+    CylinderIo(permutation_[v], /*is_read=*/true);
+    moved.emplace_back(target[v], std::move(data));
+  }
+  for (const auto& [dst_cyl, data] : moved) {
+    const SectorNo dst = g.FirstSectorOf(dst_cyl);
+    for (std::int64_t s = 0; s < spc; ++s) {
+      disk_->WritePayload(dst + s, data[static_cast<std::size_t>(s)]);
+    }
+    CylinderIo(dst_cyl, /*is_read=*/false);
+  }
+  permutation_ = target;
+  return static_cast<std::int32_t>(moved.size());
+}
+
+StatusOr<std::int32_t> CylinderShuffleDriver::Shuffle() {
+  if (system_.busy() || system_.queued() > 0) {
+    return Status::Busy("workload in flight");
+  }
+  const std::int32_t n = label_.physical_geometry().cylinders;
+
+  // Virtual cylinders by reference count, hottest first.
+  std::vector<Cylinder> by_heat(static_cast<std::size_t>(n));
+  std::iota(by_heat.begin(), by_heat.end(), 0);
+  std::stable_sort(by_heat.begin(), by_heat.end(),
+                   [this](Cylinder a, Cylinder b) {
+                     return cylinder_refs_[static_cast<std::size_t>(a)] >
+                            cylinder_refs_[static_cast<std::size_t>(b)];
+                   });
+
+  // Physical positions in organ-pipe order: center, then alternating.
+  std::vector<Cylinder> positions;
+  positions.reserve(static_cast<std::size_t>(n));
+  const Cylinder center = n / 2;
+  positions.push_back(center);
+  for (Cylinder step = 1; static_cast<std::int32_t>(positions.size()) < n;
+       ++step) {
+    if (center + step < n) positions.push_back(center + step);
+    if (center - step >= 0) positions.push_back(center - step);
+  }
+
+  std::vector<Cylinder> target(static_cast<std::size_t>(n));
+  for (std::size_t rank = 0; rank < by_heat.size(); ++rank) {
+    target[static_cast<std::size_t>(by_heat[rank])] = positions[rank];
+  }
+  const std::int32_t movedCount = ApplyPermutation(target);
+  std::fill(cylinder_refs_.begin(), cylinder_refs_.end(), 0);
+  return movedCount;
+}
+
+StatusOr<std::int32_t> CylinderShuffleDriver::ResetLayout() {
+  if (system_.busy() || system_.queued() > 0) {
+    return Status::Busy("workload in flight");
+  }
+  std::vector<Cylinder> identity(permutation_.size());
+  std::iota(identity.begin(), identity.end(), 0);
+  const std::int32_t movedCount = ApplyPermutation(identity);
+  std::fill(cylinder_refs_.begin(), cylinder_refs_.end(), 0);
+  return movedCount;
+}
+
+}  // namespace abr::baselines

@@ -1,0 +1,107 @@
+#ifndef ABR_BASELINES_CYLINDER_SHUFFLE_H_
+#define ABR_BASELINES_CYLINDER_SHUFFLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/disk_label.h"
+#include "driver/perf_monitor.h"
+#include "sched/scheduler.h"
+#include "sim/disk_system.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::baselines {
+
+/// Adaptive *cylinder* rearrangement in the style of Vongsathorn & Carson
+/// [Vongsath 90]: the driver counts references per cylinder and, once per
+/// adaptation period, permutes whole cylinders into an organ-pipe layout
+/// (the hottest cylinder in the middle of the disk, alternating outward).
+///
+/// The paper's own conclusion — corroborating [Ruemmler 91] — is that
+/// block rearrangement generally outperforms cylinder shuffling: cylinders
+/// mix hot and cold blocks, shuffling cannot increase zero-length seeks
+/// beyond what the layout already allows, and permuting cylinders moves
+/// vastly more data. This class exists as that comparison baseline.
+///
+/// The driver exposes the same logical block interface as AdaptiveDriver
+/// and the same performance monitoring, so experiment harnesses can drive
+/// either interchangeably.
+class CylinderShuffleDriver {
+ public:
+  struct Config {
+    std::int32_t block_size_bytes = 8192;
+    sched::SchedulerKind scheduler = sched::SchedulerKind::kScan;
+  };
+
+  /// The label must be a plain (non-rearranged) label: cylinder shuffling
+  /// uses no reserved space. The disk must outlive the driver.
+  CylinderShuffleDriver(disk::Disk* disk, disk::DiskLabel label,
+                        const Config& config);
+
+  CylinderShuffleDriver(const CylinderShuffleDriver&) = delete;
+  CylinderShuffleDriver& operator=(const CylinderShuffleDriver&) = delete;
+
+  /// Submits one file-system block request.
+  Status SubmitBlock(std::int32_t device, BlockNo block, sched::IoType type,
+                     Micros arrival_time);
+
+  /// Recomputes the organ-pipe cylinder permutation from the reference
+  /// counts gathered since the last shuffle, physically moves every
+  /// cylinder whose position changes (two full-cylinder I/Os per moved
+  /// cylinder), and resets the counts. Returns the number of cylinders
+  /// moved. Must be called with no workload in flight.
+  StatusOr<std::int32_t> Shuffle();
+
+  /// Restores the identity layout (costs the same movement I/O).
+  StatusOr<std::int32_t> ResetLayout();
+
+  /// Performance statistics (identical semantics to AdaptiveDriver's).
+  driver::PerfSnapshot ReadStats(bool clear = true) {
+    return perf_monitor_.Snapshot(clear);
+  }
+
+  void AdvanceTo(Micros t) { system_.AdvanceTo(t); }
+  Micros Drain() { return system_.Drain(); }
+  Micros now() const { return system_.now(); }
+
+  /// Physical cylinder currently holding virtual cylinder `v`.
+  Cylinder PhysicalCylinderOf(Cylinder v) const {
+    return permutation_[static_cast<std::size_t>(v)];
+  }
+
+  /// Disk time consumed by shuffle data movement so far.
+  Micros shuffle_io_time() const { return shuffle_io_time_; }
+
+  /// I/O operations consumed by shuffling so far.
+  std::int64_t shuffle_io_count() const { return shuffle_io_count_; }
+
+  const disk::DiskLabel& label() const { return label_; }
+
+ private:
+  /// Services one whole-cylinder transfer at the simulator's current time
+  /// (used only during shuffling; bypasses the request queue, which is
+  /// empty by precondition).
+  void CylinderIo(Cylinder physical, bool is_read);
+
+  /// Applies a new virtual->physical permutation, physically moving data.
+  std::int32_t ApplyPermutation(const std::vector<Cylinder>& target);
+
+  disk::Disk* disk_;
+  disk::DiskLabel label_;
+  Config config_;
+  sim::DiskSystem system_;
+  driver::PerfMonitor perf_monitor_;
+  std::int32_t block_sectors_;
+  std::vector<Cylinder> permutation_;       // virtual -> physical
+  std::vector<std::int64_t> cylinder_refs_;  // per *virtual* cylinder
+  std::int64_t next_request_id_ = 1;
+  std::int64_t shuffle_io_count_ = 0;
+  Micros shuffle_io_time_ = 0;
+};
+
+}  // namespace abr::baselines
+
+#endif  // ABR_BASELINES_CYLINDER_SHUFFLE_H_

@@ -1,0 +1,56 @@
+#ifndef ABR_BASELINES_FILE_TEMPERATURE_H_
+#define ABR_BASELINES_FILE_TEMPERATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analyzer/counter.h"
+#include "driver/adaptive_driver.h"
+#include "fs/ffs.h"
+#include "placement/arranger.h"
+#include "util/status.h"
+
+namespace abr::baselines {
+
+/// File-granularity rearrangement in the style of the iPcress file system
+/// [Staelin 91]: files are ranked by *temperature* — frequency of access
+/// divided by file size — and the hottest whole files are moved to the
+/// center of the disk.
+///
+/// The paper's granularity argument (Section 1.1) is that blocks within a
+/// file vary in temperature, so moving whole files wastes reserved space
+/// on cold blocks. This arranger exists to quantify that: it reuses the
+/// same driver, reserved region and ioctls, differing only in selection
+/// and layout.
+class FileTemperatureArranger {
+ public:
+  /// One ranked file.
+  struct FileHeat {
+    fs::FileId file = 0;
+    std::int64_t references = 0;  // over the file's data blocks
+    std::int64_t blocks = 0;      // file size
+    double temperature = 0.0;     // references / blocks
+  };
+
+  FileTemperatureArranger() = default;
+
+  /// Aggregates per-block reference counts (the analyzer's hot list; pass
+  /// as many entries as available) into per-file temperatures using the
+  /// file system's block-ownership map. Counts for metadata or free blocks
+  /// are ignored.
+  static std::vector<FileHeat> RankFiles(
+      const fs::Ffs& fs, const std::vector<analyzer::HotBlock>& block_counts);
+
+  /// Cleans the reserved area, then copies whole files — hottest
+  /// temperature first, each file's blocks in file order — into the
+  /// reserved region's organ-pipe slot order until it is full. Skips
+  /// ineligible blocks (straddling the hidden-region boundary).
+  StatusOr<placement::ArrangeResult> Rearrange(
+      driver::AdaptiveDriver& driver, const fs::Ffs& fs,
+      std::int32_t device,
+      const std::vector<analyzer::HotBlock>& block_counts) const;
+};
+
+}  // namespace abr::baselines
+
+#endif  // ABR_BASELINES_FILE_TEMPERATURE_H_

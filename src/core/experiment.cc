@@ -1,0 +1,135 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::core {
+
+namespace {
+
+ExperimentConfig BaseConfig(disk::DriveSpec drive,
+                            std::int32_t reserved_cylinders,
+                            std::int32_t rearrange_blocks,
+                            workload::WorkloadProfile profile) {
+  ExperimentConfig c;
+  c.drive = std::move(drive);
+  c.reserved_cylinders = reserved_cylinders;
+  c.rearrange_blocks = rearrange_blocks;
+  c.profile = std::move(profile);
+  c.ffs.interleave = 1;
+  c.system.interleave_factor = c.ffs.interleave;
+  return c;
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::ToshibaSystem() {
+  return BaseConfig(disk::DriveSpec::ToshibaMK156F(), 48, 1018,
+                    workload::WorkloadProfile::SystemFs());
+}
+
+ExperimentConfig ExperimentConfig::FujitsuSystem() {
+  return BaseConfig(disk::DriveSpec::FujitsuM2266(), 80, 3500,
+                    workload::WorkloadProfile::SystemFs());
+}
+
+ExperimentConfig ExperimentConfig::ToshibaUsers() {
+  return BaseConfig(disk::DriveSpec::ToshibaMK156F(), 48, 1018,
+                    workload::WorkloadProfile::UsersFs());
+}
+
+ExperimentConfig ExperimentConfig::FujitsuUsers() {
+  ExperimentConfig c = BaseConfig(disk::DriveSpec::FujitsuM2266(), 80, 3500,
+                                  workload::WorkloadProfile::UsersFs());
+  // The larger disk held twice as many home directories (Section 5).
+  c.profile.file_count *= 2;
+  return c;
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)) {}
+
+Experiment::~Experiment() = default;
+
+Status Experiment::Setup() {
+  if (system_ != nullptr) {
+    return Status::FailedPrecondition("Setup() already ran");
+  }
+  // Size the driver's table to exactly what we plan to rearrange: the
+  // serialized table occupies the head of the reserved area, so a tight
+  // capacity maximizes data slots. (48 reserved Toshiba cylinders less a
+  // 1018-entry table leave exactly the paper's 1018 slots.)
+  config_.system.driver.block_table_capacity = config_.rearrange_blocks;
+  config_.system.rearrange_blocks = config_.rearrange_blocks;
+  if (config_.ffs.block_size_bytes != config_.system.driver.block_size_bytes) {
+    return Status::InvalidArgument(
+        "file system and driver block sizes disagree");
+  }
+
+  StatusOr<disk::DiskLabel> label = disk::DiskLabel::Rearranged(
+      config_.drive.geometry, config_.reserved_cylinders);
+  if (!label.ok()) return label.status();
+  ABR_RETURN_IF_ERROR(label->PartitionEvenly(1));
+
+  disk_ = std::make_unique<disk::Disk>(config_.drive);
+  store_ = std::make_unique<driver::InMemoryTableStore>();
+  system_ = std::make_unique<AdaptiveSystem>(disk_.get(), std::move(*label),
+                                             config_.system, store_.get());
+  ABR_RETURN_IF_ERROR(system_->Start());
+
+  server_ = std::make_unique<fs::FileServer>(&system_->driver(),
+                                             config_.server);
+  ABR_RETURN_IF_ERROR(server_->AddFileSystem(0, config_.ffs));
+  workload_ = std::make_unique<workload::FileServerWorkload>(
+      server_.get(), 0, config_.profile, config_.seed);
+  ABR_RETURN_IF_ERROR(workload_->Populate(driver().now()));
+
+  // Discard population traffic from all monitors.
+  driver().IoctlReadStats(/*clear=*/true);
+  driver().IoctlReadRequests();
+  system_->ResetCounts();
+  return Status::Ok();
+}
+
+void Experiment::Tick(Micros now) {
+  if (now > driver().now()) driver().AdvanceTo(now);
+  for (const driver::RequestRecord& rec : driver().IoctlReadRequests()) {
+    system_->analyzer().ObserveRecord(rec);
+    const analyzer::BlockId id{rec.device, rec.block};
+    day_counts_all_.Observe(id);
+    if (rec.type == sched::IoType::kRead) day_counts_reads_.Observe(id);
+  }
+}
+
+StatusOr<DayMetrics> Experiment::RunMeasuredDay() {
+  if (system_ == nullptr) {
+    return Status::FailedPrecondition("Setup() has not run");
+  }
+  driver().IoctlReadStats(/*clear=*/true);
+  day_counts_all_.Reset();
+  day_counts_reads_.Reset();
+
+  StatusOr<std::int64_t> ops = workload_->RunDay(
+      driver().now(), [this](Micros t) { Tick(t); });
+  if (!ops.ok()) return ops.status();
+  server_->FlushAndDrain();
+  Tick(driver().now());
+
+  ++day_;
+  return DayMetrics::From(driver().IoctlReadStats(/*clear=*/true),
+                          seek_model());
+}
+
+Status Experiment::RearrangeForNextDay() {
+  StatusOr<placement::ArrangeResult> result = system_->Rearrange();
+  return result.status();
+}
+
+Status Experiment::CleanForNextDay() { return system_->Clean(); }
+
+void Experiment::set_rearrange_blocks(std::int32_t n) {
+  config_.rearrange_blocks = n;
+  if (system_ != nullptr) system_->set_rearrange_blocks(n);
+}
+
+}  // namespace abr::core

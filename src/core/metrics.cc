@@ -1,0 +1,31 @@
+#include "core/metrics.h"
+
+namespace abr::core {
+
+SliceMetrics SliceMetrics::From(const driver::PerfSide& side,
+                                const disk::SeekModel& model) {
+  SliceMetrics m;
+  m.mean_seek_ms = side.MeanSeekTimeMillis(model);
+  m.fcfs_seek_ms = side.FcfsMeanSeekTimeMillis(model);
+  m.mean_seek_dist = side.sched_seek_distance.Mean();
+  m.fcfs_seek_dist = side.fcfs_seek_distance.Mean();
+  m.zero_seek_pct = 100.0 * side.sched_seek_distance.ZeroFraction();
+  m.mean_service_ms = side.service_time.MeanMillis();
+  m.mean_wait_ms = side.queue_time.MeanMillis();
+  m.rot_plus_transfer_ms = side.MeanRotationPlusTransferMillis();
+  m.count = side.count();
+  return m;
+}
+
+DayMetrics DayMetrics::From(const driver::PerfSnapshot& snapshot,
+                            const disk::SeekModel& model) {
+  DayMetrics d;
+  d.all = SliceMetrics::From(snapshot.all, model);
+  d.reads = SliceMetrics::From(snapshot.reads, model);
+  d.writes = SliceMetrics::From(snapshot.writes, model);
+  d.service_all = snapshot.all.service_time;
+  d.service_reads = snapshot.reads.service_time;
+  return d;
+}
+
+}  // namespace abr::core

@@ -1,0 +1,46 @@
+#ifndef ABR_CORE_METRICS_H_
+#define ABR_CORE_METRICS_H_
+
+#include "disk/seek_model.h"
+#include "driver/perf_monitor.h"
+#include "stats/histogram.h"
+
+namespace abr::core {
+
+/// The per-day quantities the paper's tables report for one slice of the
+/// workload (all requests, reads only, or writes only).
+struct SliceMetrics {
+  double mean_seek_ms = 0;       // from measured scheduled-order distances
+  double fcfs_seek_ms = 0;       // FCFS order, no rearrangement
+  double mean_seek_dist = 0;     // cylinders
+  double fcfs_seek_dist = 0;     // cylinders
+  double zero_seek_pct = 0;      // % of zero-length seeks
+  double mean_service_ms = 0;
+  double mean_wait_ms = 0;       // queueing time
+  double rot_plus_transfer_ms = 0;  // mean service - seek decomposition
+  std::int64_t count = 0;
+
+  /// Extracts the metrics from one PerfSide using the drive's seek model
+  /// (seek *times* are computed from the measured distance distributions,
+  /// exactly as the paper does).
+  static SliceMetrics From(const driver::PerfSide& side,
+                           const disk::SeekModel& model);
+};
+
+/// Everything measured over one experiment day.
+struct DayMetrics {
+  SliceMetrics all;
+  SliceMetrics reads;
+  SliceMetrics writes;
+  /// Service-time distributions, for the CDF figures (4 and 6).
+  stats::TimeHistogram service_all;
+  stats::TimeHistogram service_reads;
+
+  /// Builds day metrics from a driver stats snapshot.
+  static DayMetrics From(const driver::PerfSnapshot& snapshot,
+                         const disk::SeekModel& model);
+};
+
+}  // namespace abr::core
+
+#endif  // ABR_CORE_METRICS_H_

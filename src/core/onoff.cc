@@ -1,0 +1,51 @@
+#include "core/onoff.h"
+
+namespace abr::core {
+
+SummaryRow OnOffResult::Summarize(const std::vector<DayMetrics>& days,
+                                  Slice slice) {
+  SummaryRow row;
+  for (const DayMetrics& d : days) {
+    switch (slice) {
+      case Slice::kAll:
+        row.Add(d.all);
+        break;
+      case Slice::kReads:
+        row.Add(d.reads);
+        break;
+      case Slice::kWrites:
+        row.Add(d.writes);
+        break;
+    }
+  }
+  return row;
+}
+
+StatusOr<OnOffResult> RunOnOff(Experiment& experiment,
+                               std::int32_t days_per_side) {
+  ABR_RETURN_IF_ERROR(experiment.Setup());
+
+  // Warm-up day: traffic and monitoring only; its counts seed the first
+  // rearrangement if day 0 is an "on" day (it is not — we start "off", as
+  // the paper's Table 3 does).
+  StatusOr<DayMetrics> warmup = experiment.RunMeasuredDay();
+  if (!warmup.ok()) return warmup.status();
+
+  OnOffResult result;
+  const std::int32_t total_days = 2 * days_per_side;
+  for (std::int32_t i = 0; i < total_days; ++i) {
+    const bool on = (i % 2) == 1;
+    if (on) {
+      ABR_RETURN_IF_ERROR(experiment.RearrangeForNextDay());
+    } else {
+      ABR_RETURN_IF_ERROR(experiment.CleanForNextDay());
+    }
+    experiment.AdvanceWorkloadDay();
+    StatusOr<DayMetrics> day = experiment.RunMeasuredDay();
+    if (!day.ok()) return day.status();
+    (on ? result.on_days : result.off_days).push_back(std::move(day.value()));
+  }
+  return result;
+}
+
+}  // namespace abr::core

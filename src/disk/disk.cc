@@ -1,0 +1,92 @@
+#include "disk/disk.h"
+
+#include <cassert>
+
+namespace abr::disk {
+
+namespace {
+
+std::int64_t BufferCapacitySectors(const DriveSpec& spec) {
+  return spec.track_buffer_bytes / spec.geometry.bytes_per_sector;
+}
+
+}  // namespace
+
+Disk::Disk(DriveSpec spec)
+    : spec_(std::move(spec)),
+      buffer_(BufferCapacitySectors(spec_)),
+      payload_(static_cast<std::size_t>(spec_.geometry.total_sectors()), 0) {
+  assert(spec_.geometry.Valid());
+  // Per-sector time for a buffer-speed transfer: bytes / (MB/s).
+  const double us_per_sector =
+      static_cast<double>(spec_.geometry.bytes_per_sector) /
+      (spec_.buffer_transfer_mb_per_s * 1e6) * 1e6;
+  buffer_sector_time_ = static_cast<Micros>(us_per_sector + 0.5);
+}
+
+ServiceBreakdown Disk::Service(SectorNo sector, std::int64_t count,
+                               bool is_read, Micros start_time) {
+  assert(spec_.geometry.ContainsRange(sector, count));
+  assert(count > 0);
+
+  ServiceBreakdown out;
+  sectors_serviced_ += count;
+
+  if (is_read && buffer_.Contains(sector, count)) {
+    // Buffer hit: no mechanical delay, bus-speed transfer only. The head
+    // does not move (the data came off this cylinder earlier).
+    ++buffer_hits_;
+    out.buffer_hit = true;
+    out.transfer = buffer_sector_time_ * count;
+    return out;
+  }
+
+  const Geometry& g = spec_.geometry;
+  const Cylinder target = g.CylinderOf(sector);
+  out.seek_distance = target >= head_cylinder_ ? target - head_cylinder_
+                                               : head_cylinder_ - target;
+  out.seek = spec_.seek_model.TimeFor(out.seek_distance);
+  head_cylinder_ = target;
+
+  // Rotational latency: the platter's angular position advances with
+  // absolute time; wait for the target sector's leading edge.
+  const Micros rotation = g.rotation_time();
+  const Micros at = start_time + out.seek;
+  const Micros target_offset =
+      static_cast<Micros>(g.SectorInTrack(sector)) * g.sector_time();
+  const Micros now_offset = at % rotation;
+  out.rotation = (target_offset - now_offset + rotation) % rotation;
+
+  // Media transfer: head switches within the cylinder are free; the
+  // simulator does not model track skew.
+  out.transfer = g.sector_time() * count;
+
+  if (is_read) {
+    const SectorNo cyl_end = g.FirstSectorOf(target) + g.sectors_per_cylinder();
+    buffer_.OnMediaRead(sector, count, cyl_end);
+  } else {
+    buffer_.OnWrite(sector, count);
+  }
+  return out;
+}
+
+std::uint64_t Disk::ReadPayload(SectorNo sector) const {
+  assert(spec_.geometry.Contains(sector));
+  return payload_[static_cast<std::size_t>(sector)];
+}
+
+void Disk::WritePayload(SectorNo sector, std::uint64_t value) {
+  assert(spec_.geometry.Contains(sector));
+  payload_[static_cast<std::size_t>(sector)] = value;
+}
+
+void Disk::CopyPayload(SectorNo src, SectorNo dst, std::int64_t count) {
+  assert(spec_.geometry.ContainsRange(src, count));
+  assert(spec_.geometry.ContainsRange(dst, count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    payload_[static_cast<std::size_t>(dst + i)] =
+        payload_[static_cast<std::size_t>(src + i)];
+  }
+}
+
+}  // namespace abr::disk

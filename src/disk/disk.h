@@ -1,0 +1,97 @@
+#ifndef ABR_DISK_DISK_H_
+#define ABR_DISK_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/drive_spec.h"
+#include "disk/track_buffer.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::disk {
+
+/// Per-request service-time decomposition, the same quantities the paper
+/// reasons about: seek, rotational latency, transfer (Section 5.5 uses
+/// "service - seek = rotation + transfer" on the Toshiba drive).
+struct ServiceBreakdown {
+  Micros seek = 0;
+  Micros rotation = 0;
+  Micros transfer = 0;
+  std::int64_t seek_distance = 0;  // cylinders moved
+  bool buffer_hit = false;         // read satisfied from the track buffer
+
+  /// Total service time.
+  Micros total() const { return seek + rotation + transfer; }
+};
+
+/// Event-free disk service model with a data plane.
+///
+/// Timing: given an absolute start time, Service() computes the seek from
+/// the current head cylinder (Table 1 seek model), the rotational delay
+/// until the target sector passes under the head (the platter rotates
+/// continuously with absolute time), and the media transfer time. Reads
+/// wholly contained in the track buffer skip seek and rotation and transfer
+/// at bus speed.
+///
+/// Data: every sector carries a 64-bit payload so that block-copy
+/// correctness (redirection, write-back of dirty blocks, crash recovery)
+/// can be asserted end-to-end in tests.
+class Disk {
+ public:
+  explicit Disk(DriveSpec spec);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Services an I/O against [sector, sector+count). `start_time` is the
+  /// absolute simulator time at which the disk begins the operation.
+  /// Advances the head and updates the track buffer. The caller is
+  /// responsible for not overlapping operations in time.
+  ServiceBreakdown Service(SectorNo sector, std::int64_t count, bool is_read,
+                           Micros start_time);
+
+  /// Head position after the last operation.
+  Cylinder head_cylinder() const { return head_cylinder_; }
+
+  /// Forces the head to a cylinder (test setup).
+  void MoveHeadTo(Cylinder cyl) { head_cylinder_ = cyl; }
+
+  /// Drive description.
+  const DriveSpec& spec() const { return spec_; }
+
+  /// Shorthand for spec().geometry.
+  const Geometry& geometry() const { return spec_.geometry; }
+
+  /// Number of sectors serviced so far (reads + writes).
+  std::int64_t sectors_serviced() const { return sectors_serviced_; }
+
+  /// Number of read requests answered from the track buffer.
+  std::int64_t buffer_hits() const { return buffer_hits_; }
+
+  // --- Data plane -----------------------------------------------------
+
+  /// Reads the 64-bit payload of one sector.
+  std::uint64_t ReadPayload(SectorNo sector) const;
+
+  /// Writes the 64-bit payload of one sector.
+  void WritePayload(SectorNo sector, std::uint64_t value);
+
+  /// Copies the payloads of `count` sectors from `src` to `dst`
+  /// (non-overlapping). This is a data-plane helper only: callers that care
+  /// about timing must issue the read and write through Service().
+  void CopyPayload(SectorNo src, SectorNo dst, std::int64_t count);
+
+ private:
+  DriveSpec spec_;
+  TrackBuffer buffer_;
+  Cylinder head_cylinder_ = 0;
+  std::int64_t sectors_serviced_ = 0;
+  std::int64_t buffer_hits_ = 0;
+  Micros buffer_sector_time_;  // per-sector bus transfer time
+  std::vector<std::uint64_t> payload_;
+};
+
+}  // namespace abr::disk
+
+#endif  // ABR_DISK_DISK_H_

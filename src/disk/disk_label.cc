@@ -1,0 +1,131 @@
+#include "disk/disk_label.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::disk {
+
+DiskLabel DiskLabel::Plain(const Geometry& physical) {
+  assert(physical.Valid());
+  DiskLabel label;
+  label.physical_geometry_ = physical;
+  label.virtual_geometry_ = physical;
+  label.partitions_ = {
+      Partition{"a", 0, physical.total_sectors()},
+  };
+  return label;
+}
+
+StatusOr<DiskLabel> DiskLabel::Rearranged(const Geometry& physical,
+                                          std::int32_t reserved_cylinders) {
+  if (!physical.Valid()) {
+    return Status::InvalidArgument("invalid physical geometry");
+  }
+  if (reserved_cylinders <= 0) {
+    return Status::InvalidArgument("reserved cylinder count must be > 0");
+  }
+  if (reserved_cylinders >= physical.cylinders) {
+    return Status::InvalidArgument(
+        "reserved region does not leave room for a virtual disk");
+  }
+  DiskLabel label;
+  label.physical_geometry_ = physical;
+  label.virtual_geometry_ = physical;
+  label.virtual_geometry_.cylinders = physical.cylinders - reserved_cylinders;
+  label.magic_ = kRearrangedMagic;
+  // Center the reserved region on the middle of the *physical* disk so the
+  // head tends to linger there (Section 2).
+  label.reserved_first_cyl_ =
+      static_cast<Cylinder>((physical.cylinders - reserved_cylinders) / 2);
+  label.reserved_cyl_count_ = reserved_cylinders;
+  label.partitions_ = {
+      Partition{"a", 0, label.virtual_geometry_.total_sectors()},
+  };
+  return label;
+}
+
+Status DiskLabel::SetPartitions(std::vector<Partition> partitions) {
+  std::vector<Partition> sorted = partitions;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Partition& a, const Partition& b) {
+              return a.first_sector < b.first_sector;
+            });
+  SectorNo prev_end = 0;
+  for (const Partition& p : sorted) {
+    if (p.first_sector < 0 || p.sector_count <= 0) {
+      return Status::InvalidArgument("partition '" + p.name +
+                                     "' has an empty or negative extent");
+    }
+    if (p.first_sector < prev_end) {
+      return Status::InvalidArgument("partition '" + p.name +
+                                     "' overlaps its predecessor");
+    }
+    if (p.end_sector() > virtual_geometry_.total_sectors()) {
+      return Status::OutOfRange("partition '" + p.name +
+                                "' extends past the virtual disk");
+    }
+    prev_end = p.end_sector();
+  }
+  partitions_ = std::move(partitions);
+  return Status::Ok();
+}
+
+Status DiskLabel::PartitionEvenly(int count) {
+  if (count <= 0 || count > 26) {
+    return Status::InvalidArgument("partition count must be in [1, 26]");
+  }
+  // Align partitions to cylinder boundaries, as newfs expects.
+  const std::int64_t spc = virtual_geometry_.sectors_per_cylinder();
+  const std::int32_t cyls = virtual_geometry_.cylinders;
+  std::vector<Partition> parts;
+  std::int32_t next_cyl = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::int32_t remaining = cyls - next_cyl;
+    const std::int32_t take = remaining / (count - i);
+    if (take == 0) {
+      return Status::InvalidArgument("too many partitions for this disk");
+    }
+    Partition p;
+    p.name = std::string(1, static_cast<char>('a' + i));
+    p.first_sector = static_cast<SectorNo>(next_cyl) * spc;
+    p.sector_count = static_cast<std::int64_t>(take) * spc;
+    parts.push_back(p);
+    next_cyl += take;
+  }
+  return SetPartitions(std::move(parts));
+}
+
+StatusOr<Partition> DiskLabel::FindPartition(const std::string& name) const {
+  for (const Partition& p : partitions_) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("no partition named '" + name + "'");
+}
+
+SectorNo DiskLabel::VirtualToPhysical(SectorNo virtual_sector) const {
+  assert(virtual_geometry_.Contains(virtual_sector));
+  if (!rearranged()) return virtual_sector;
+  const SectorNo boundary =
+      physical_geometry_.FirstSectorOf(reserved_first_cyl_);
+  if (virtual_sector < boundary) return virtual_sector;
+  return virtual_sector + reserved_sector_count();
+}
+
+SectorNo DiskLabel::PhysicalToVirtual(SectorNo physical_sector) const {
+  assert(physical_geometry_.Contains(physical_sector));
+  if (!rearranged()) return physical_sector;
+  assert(!InReservedRegion(physical_sector));
+  const SectorNo boundary =
+      physical_geometry_.FirstSectorOf(reserved_first_cyl_);
+  if (physical_sector < boundary) return physical_sector;
+  return physical_sector - reserved_sector_count();
+}
+
+bool DiskLabel::InReservedRegion(SectorNo physical_sector) const {
+  if (!rearranged()) return false;
+  const SectorNo first = reserved_first_sector();
+  return physical_sector >= first &&
+         physical_sector < first + reserved_sector_count();
+}
+
+}  // namespace abr::disk

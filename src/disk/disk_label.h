@@ -1,0 +1,108 @@
+#ifndef ABR_DISK_DISK_LABEL_H_
+#define ABR_DISK_DISK_LABEL_H_
+
+#include <string>
+#include <vector>
+
+#include "disk/geometry.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::disk {
+
+/// One entry of the label's partition table. Partitions are contiguous
+/// ranges of *virtual* disk sectors; each holds at most one file system.
+struct Partition {
+  std::string name;      // e.g. "a", "g" in SunOS convention
+  SectorNo first_sector = 0;
+  std::int64_t sector_count = 0;
+
+  SectorNo end_sector() const { return first_sector + sector_count; }
+};
+
+/// UNIX disk label: advertised geometry and partition table, extended (as
+/// in Section 4.1.1) with the rearrangement record. To make space for
+/// rearranged blocks, the label advertises fewer cylinders than the drive
+/// really has; the hidden middle cylinders form the reserved region. A
+/// magic value marks the disk as "rearranged" so the driver's attach
+/// routine knows to load the mapping information at start-up.
+class DiskLabel {
+ public:
+  /// Magic value recorded on rearranged disks.
+  static constexpr std::uint32_t kRearrangedMagic = 0xAB12EA55;
+
+  DiskLabel() = default;
+
+  /// Creates a plain (non-rearranged) label advertising the full drive with
+  /// a single partition spanning everything.
+  static DiskLabel Plain(const Geometry& physical);
+
+  /// Creates a rearranged label: hides `reserved_cylinders` cylinders from
+  /// the middle of the drive. The advertised (virtual) geometry shrinks by
+  /// that amount; the reserved region is recorded in the label. Fails if
+  /// the reservation does not fit.
+  static StatusOr<DiskLabel> Rearranged(const Geometry& physical,
+                                        std::int32_t reserved_cylinders);
+
+  /// Geometry advertised to the file system (virtual disk).
+  const Geometry& virtual_geometry() const { return virtual_geometry_; }
+
+  /// True physical geometry of the drive.
+  const Geometry& physical_geometry() const { return physical_geometry_; }
+
+  /// True iff the label carries the rearranged magic.
+  bool rearranged() const { return magic_ == kRearrangedMagic; }
+
+  /// First physical cylinder of the reserved region (rearranged only).
+  Cylinder reserved_first_cylinder() const { return reserved_first_cyl_; }
+
+  /// Number of physical cylinders in the reserved region (rearranged only).
+  std::int32_t reserved_cylinder_count() const { return reserved_cyl_count_; }
+
+  /// First physical sector of the reserved region (rearranged only).
+  SectorNo reserved_first_sector() const {
+    return physical_geometry_.FirstSectorOf(reserved_first_cyl_);
+  }
+
+  /// Number of physical sectors in the reserved region (rearranged only).
+  std::int64_t reserved_sector_count() const {
+    return static_cast<std::int64_t>(reserved_cyl_count_) *
+           physical_geometry_.sectors_per_cylinder();
+  }
+
+  /// Partition table over the virtual disk.
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// Replaces the partition table. Partitions must be within the virtual
+  /// disk and non-overlapping.
+  Status SetPartitions(std::vector<Partition> partitions);
+
+  /// Splits the virtual disk into `count` equal partitions named "a".."z".
+  Status PartitionEvenly(int count);
+
+  /// Finds a partition by name.
+  StatusOr<Partition> FindPartition(const std::string& name) const;
+
+  /// Maps a virtual-disk sector to the actual physical sector, skipping
+  /// over the hidden reserved cylinders (Figure 2's mapping).
+  SectorNo VirtualToPhysical(SectorNo virtual_sector) const;
+
+  /// Inverse of VirtualToPhysical; the sector must not lie inside the
+  /// reserved region.
+  SectorNo PhysicalToVirtual(SectorNo physical_sector) const;
+
+  /// True iff the physical sector lies inside the reserved region.
+  bool InReservedRegion(SectorNo physical_sector) const;
+
+ private:
+  Geometry physical_geometry_;
+  Geometry virtual_geometry_;
+  std::uint32_t magic_ = 0;
+  Cylinder reserved_first_cyl_ = 0;
+  std::int32_t reserved_cyl_count_ = 0;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace abr::disk
+
+#endif  // ABR_DISK_DISK_LABEL_H_

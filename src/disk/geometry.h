@@ -1,0 +1,92 @@
+#ifndef ABR_DISK_GEOMETRY_H_
+#define ABR_DISK_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace abr::disk {
+
+/// Physical layout of a drive: the quantities listed in the paper's
+/// Table 1 (cylinders, tracks per cylinder, sectors per track, rotational
+/// speed) plus the sector size, which SunOS-era SCSI drives fixed at 512
+/// bytes.
+///
+/// The geometry also provides sector <-> CHS arithmetic. A SCSI disk
+/// presents a linear sector address space; per the paper's footnote 2, we
+/// rely on sector numbers mapping monotonically onto physical positions:
+/// sector s lives on cylinder s / sectors_per_cylinder().
+struct Geometry {
+  std::int32_t cylinders = 0;
+  std::int32_t tracks_per_cylinder = 0;
+  std::int32_t sectors_per_track = 0;
+  std::int32_t rpm = 3600;
+  std::int32_t bytes_per_sector = 512;
+
+  /// Sectors in one cylinder.
+  std::int64_t sectors_per_cylinder() const {
+    return static_cast<std::int64_t>(tracks_per_cylinder) * sectors_per_track;
+  }
+
+  /// Total sectors on the drive.
+  std::int64_t total_sectors() const {
+    return static_cast<std::int64_t>(cylinders) * sectors_per_cylinder();
+  }
+
+  /// Total capacity in bytes.
+  std::int64_t capacity_bytes() const {
+    return total_sectors() * bytes_per_sector;
+  }
+
+  /// Time for one full platter revolution.
+  Micros rotation_time() const {
+    return static_cast<Micros>(60.0 * 1e6 / rpm + 0.5);
+  }
+
+  /// Time for one sector to pass under the head.
+  Micros sector_time() const { return rotation_time() / sectors_per_track; }
+
+  /// Cylinder holding the given sector.
+  Cylinder CylinderOf(SectorNo sector) const {
+    return static_cast<Cylinder>(sector / sectors_per_cylinder());
+  }
+
+  /// Track within its cylinder holding the given sector.
+  std::int32_t TrackOf(SectorNo sector) const {
+    return static_cast<std::int32_t>(
+        (sector % sectors_per_cylinder()) / sectors_per_track);
+  }
+
+  /// Rotational position (sector index within its track) of the sector.
+  std::int32_t SectorInTrack(SectorNo sector) const {
+    return static_cast<std::int32_t>(sector % sectors_per_track);
+  }
+
+  /// First sector of the given cylinder.
+  SectorNo FirstSectorOf(Cylinder cyl) const {
+    return static_cast<SectorNo>(cyl) * sectors_per_cylinder();
+  }
+
+  /// True iff the sector number addresses a real sector.
+  bool Contains(SectorNo sector) const {
+    return sector >= 0 && sector < total_sectors();
+  }
+
+  /// True iff the whole range [sector, sector+count) is on the drive.
+  bool ContainsRange(SectorNo sector, std::int64_t count) const {
+    return sector >= 0 && count >= 0 && sector + count <= total_sectors();
+  }
+
+  /// Validates that all fields are positive.
+  bool Valid() const {
+    return cylinders > 0 && tracks_per_cylinder > 0 &&
+           sectors_per_track > 0 && rpm > 0 && bytes_per_sector > 0;
+  }
+
+  friend bool operator==(const Geometry&, const Geometry&) = default;
+};
+
+}  // namespace abr::disk
+
+#endif  // ABR_DISK_GEOMETRY_H_

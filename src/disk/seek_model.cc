@@ -1,0 +1,68 @@
+#include "disk/seek_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace abr::disk {
+
+SeekModel::SeekModel(std::function<double(std::int64_t)> fn,
+                     std::int64_t max_distance) {
+  assert(max_distance >= 0);
+  table_ms_.resize(static_cast<std::size_t>(max_distance) + 1);
+  table_us_.resize(table_ms_.size());
+  table_ms_[0] = 0.0;
+  table_us_[0] = 0;
+  for (std::int64_t d = 1; d <= max_distance; ++d) {
+    const double ms = fn(d);
+    assert(ms >= 0.0);
+    table_ms_[static_cast<std::size_t>(d)] = ms;
+    table_us_[static_cast<std::size_t>(d)] = MillisToMicros(ms);
+  }
+}
+
+double SeekModel::Millis(std::int64_t distance) const {
+  assert(distance >= 0 && distance <= max_distance());
+  return table_ms_[static_cast<std::size_t>(distance)];
+}
+
+Micros SeekModel::TimeFor(std::int64_t distance) const {
+  assert(distance >= 0 && distance <= max_distance());
+  return table_us_[static_cast<std::size_t>(distance)];
+}
+
+SeekModel SeekModel::ToshibaMK156F() {
+  return SeekModel(
+      [](std::int64_t d) -> double {
+        const double x = static_cast<double>(d);
+        if (d < 315) {
+          return 6.248 + 1.393 * std::sqrt(x) - 0.99 * std::cbrt(x) +
+                 0.813 * std::log(x);
+        }
+        return 17.503 + 0.03 * x;
+      },
+      /*max_distance=*/814);
+}
+
+SeekModel SeekModel::FujitsuM2266() {
+  return SeekModel(
+      [](std::int64_t d) -> double {
+        const double x = static_cast<double>(d);
+        if (d <= 225) {
+          return 1.205 + 0.65 * std::sqrt(x) - 0.734 * std::cbrt(x) +
+                 0.659 * std::log(x);
+        }
+        return 7.44 + 0.0114 * x;
+      },
+      /*max_distance=*/1657);
+}
+
+SeekModel SeekModel::Linear(double base_ms, double per_cyl_ms,
+                            std::int64_t max_distance) {
+  return SeekModel(
+      [base_ms, per_cyl_ms](std::int64_t d) {
+        return base_ms + per_cyl_ms * static_cast<double>(d);
+      },
+      max_distance);
+}
+
+}  // namespace abr::disk

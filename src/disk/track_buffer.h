@@ -1,0 +1,67 @@
+#ifndef ABR_DISK_TRACK_BUFFER_H_
+#define ABR_DISK_TRACK_BUFFER_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace abr::disk {
+
+/// Read-ahead track buffer (Section 5's Fujitsu drive): after the media
+/// read for a request completes, the drive keeps reading subsequent sectors
+/// into its buffer. A later read whose whole range is already buffered is
+/// served from the buffer at bus speed, with no seek or rotational delay.
+///
+/// The model keeps one contiguous buffered extent: the serviced range plus
+/// read-ahead up to the buffer capacity, clamped to the end of the current
+/// cylinder (read-ahead does not seek). Writes that overlap the extent
+/// invalidate it, as drives of this era did not write through the buffer.
+class TrackBuffer {
+ public:
+  /// capacity_sectors == 0 disables the buffer entirely.
+  explicit TrackBuffer(std::int64_t capacity_sectors)
+      : capacity_sectors_(capacity_sectors) {}
+
+  /// True iff the whole range [sector, sector+count) is buffered.
+  bool Contains(SectorNo sector, std::int64_t count) const {
+    return capacity_sectors_ > 0 && count > 0 && sector >= start_ &&
+           sector + count <= end_;
+  }
+
+  /// Records a media read of [sector, sector+count): the buffer now holds
+  /// that range plus read-ahead, limited by capacity and by
+  /// `cylinder_end_sector` (read-ahead stops at the cylinder boundary).
+  void OnMediaRead(SectorNo sector, std::int64_t count,
+                   SectorNo cylinder_end_sector) {
+    if (capacity_sectors_ <= 0) return;
+    start_ = sector;
+    SectorNo ahead = sector + capacity_sectors_;
+    if (ahead > cylinder_end_sector) ahead = cylinder_end_sector;
+    end_ = ahead > sector + count ? ahead : sector + count;
+  }
+
+  /// Invalidates the buffer if a write touches it.
+  void OnWrite(SectorNo sector, std::int64_t count) {
+    if (capacity_sectors_ <= 0) return;
+    const bool overlap = sector < end_ && sector + count > start_;
+    if (overlap) Invalidate();
+  }
+
+  /// Drops all buffered data.
+  void Invalidate() {
+    start_ = 0;
+    end_ = 0;
+  }
+
+  /// Buffer capacity in sectors (0 = disabled).
+  std::int64_t capacity_sectors() const { return capacity_sectors_; }
+
+ private:
+  std::int64_t capacity_sectors_;
+  SectorNo start_ = 0;
+  SectorNo end_ = 0;  // empty when start_ == end_
+};
+
+}  // namespace abr::disk
+
+#endif  // ABR_DISK_TRACK_BUFFER_H_

@@ -1,0 +1,276 @@
+#ifndef ABR_DRIVER_ADAPTIVE_DRIVER_H_
+#define ABR_DRIVER_ADAPTIVE_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/disk_label.h"
+#include "driver/block_table.h"
+#include "driver/perf_monitor.h"
+#include "driver/request_monitor.h"
+#include "driver/table_store.h"
+#include "sched/scheduler.h"
+#include "sim/disk_system.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::driver {
+
+/// Driver configuration (compile-time constants of the real driver).
+struct DriverConfig {
+  /// File-system block size; every file system on the disk must use it
+  /// (Section 4.1.1). SunOS UFS in the paper: 8 KB.
+  std::int32_t block_size_bytes = 8192;
+
+  /// Maximum entries in the block table (bounds the reserved data area:
+  /// the serialized table occupies the start of the reserved region).
+  std::int32_t block_table_capacity = 4096;
+
+  /// Capacity of the in-driver request monitoring table (Section 4.1.4).
+  std::int32_t request_monitor_capacity = 1 << 16;
+
+  /// Disk-queue policy; the measured driver uses SCAN.
+  sched::SchedulerKind scheduler = sched::SchedulerKind::kScan;
+};
+
+/// The modified UNIX disk driver of Section 4: logical-device to physical
+/// translation, virtual-to-actual disk mapping around the hidden reserved
+/// cylinders, block-table redirection of rearranged blocks, the
+/// DKIOCBCOPY / DKIOCCLEAN block-movement ioctls, request monitoring and
+/// performance monitoring, and physio splitting of large raw requests.
+///
+/// The driver owns the request queue (via sim::DiskSystem) and the clock:
+/// callers submit logical requests with arrival timestamps and advance
+/// simulated time with AdvanceTo()/Drain().
+class AdaptiveDriver {
+ public:
+  /// `disk` and `store` must outlive the driver. `store` may be null only
+  /// for non-rearranged labels.
+  AdaptiveDriver(disk::Disk* disk, disk::DiskLabel label, DriverConfig config,
+                 BlockTableStore* store);
+
+  AdaptiveDriver(const AdaptiveDriver&) = delete;
+  AdaptiveDriver& operator=(const AdaptiveDriver&) = delete;
+
+  /// The attach routine (Section 4.1.1): on a rearranged disk, reads the
+  /// reserved-area information and the on-disk block table. If
+  /// `after_crash` is set, every loaded entry is marked dirty — the
+  /// conservative recovery of Section 4.1.2. Must be called once before
+  /// submitting requests.
+  Status Attach(bool after_crash = false);
+
+  /// Clean shutdown: drains outstanding I/O and writes the block table —
+  /// including the in-memory dirty bits, which the on-disk copy otherwise
+  /// lacks — back to the reserved area. After a Detach()ed shutdown the
+  /// next Attach() needs no conservative dirty-marking; skipping Detach()
+  /// (a crash) requires Attach(after_crash=true) for safety.
+  Status Detach();
+
+  // --- Request entry points (strategy / physio) ------------------------
+
+  /// Block-interface request: exactly one file-system block, as the buffer
+  /// cache issues them. `device` indexes the label's partition table.
+  Status SubmitBlock(std::int32_t device, BlockNo block, sched::IoType type,
+                     Micros arrival_time);
+
+  /// Raw-interface request: an arbitrary sector extent relative to the
+  /// partition start. physio breaks it into block-sized sub-requests at
+  /// file-system block boundaries so that each piece is either wholly
+  /// rearranged or wholly not (Section 4.1.2).
+  Status SubmitRaw(std::int32_t device, SectorNo sector, std::int64_t count,
+                   sched::IoType type, Micros arrival_time);
+
+  // --- ioctls -----------------------------------------------------------
+
+  /// DKIOCBCOPY: copies the block whose original physical start sector is
+  /// `original` into the reserved area at `target` (a slot start sector),
+  /// enters it into the block table and forces the table to disk. The copy
+  /// costs three I/O operations which interleave with normal traffic;
+  /// requests for the block are delayed until the move completes.
+  Status IoctlCopyBlock(SectorNo original, SectorNo target);
+
+  /// DKIOCCLEAN: removes every block from the reserved area. Dirty blocks
+  /// are first copied back to their original positions; after each block
+  /// the table is updated and rewritten to disk.
+  Status IoctlClean();
+
+  /// Reads and clears the request-monitoring table.
+  std::vector<RequestRecord> IoctlReadRequests() {
+    return request_monitor_.ReadAndClear();
+  }
+
+  /// DKIOCGGEOM-style geometry ioctl: what the disk label advertises to
+  /// the file system plus the rearrangement record (Section 3.2 mentions
+  /// these special-purpose entry points; newfs and the arranger use them).
+  struct GeometryInfo {
+    disk::Geometry virtual_geometry;
+    bool rearranged = false;
+    Cylinder reserved_first_cylinder = 0;
+    std::int32_t reserved_cylinder_count = 0;
+    std::int32_t block_size_bytes = 0;
+  };
+  GeometryInfo IoctlGetGeometry() const;
+
+  /// Reads the performance statistics; clears them when `clear` is set.
+  PerfSnapshot IoctlReadStats(bool clear = true) {
+    return perf_monitor_.Snapshot(clear);
+  }
+
+  // --- Simulated-time control -------------------------------------------
+
+  /// Advances simulated time, completing I/O that finishes by `t`.
+  void AdvanceTo(Micros t) { system_.AdvanceTo(t); }
+
+  /// Completes all outstanding work (including in-flight block moves).
+  Micros Drain();
+
+  /// Current simulated time.
+  Micros now() const { return system_.now(); }
+
+  // --- Introspection ------------------------------------------------------
+
+  const disk::DiskLabel& label() const { return label_; }
+  const BlockTable& block_table() const { return *block_table_; }
+  const DriverConfig& config() const { return config_; }
+  sim::DiskSystem& disk_system() { return system_; }
+  disk::Disk& disk() { return *disk_; }
+  const RequestMonitor& request_monitor() const { return request_monitor_; }
+
+  /// Sectors per file-system block.
+  std::int32_t block_sectors() const { return block_sectors_; }
+
+  /// Sectors at the head of the reserved area holding the table copy.
+  std::int64_t table_area_sectors() const { return table_area_sectors_; }
+
+  /// First physical sector available for rearranged blocks.
+  SectorNo reserved_data_first_sector() const;
+
+  /// Number of whole block slots in the reserved data area.
+  std::int32_t reserved_slot_count() const;
+
+  /// Physical start sector of reserved slot `slot`.
+  SectorNo ReservedSlotSector(std::int32_t slot) const;
+
+  /// Physical cylinder holding the start of reserved slot `slot`.
+  Cylinder ReservedSlotCylinder(std::int32_t slot) const;
+
+  /// Count of driver-generated I/O operations (block moves, table writes).
+  std::int64_t internal_io_count() const { return internal_io_count_; }
+
+  /// Total disk time consumed by driver-generated I/O.
+  Micros internal_io_time() const { return internal_io_time_; }
+
+  /// Number of requests currently held back because their block is moving.
+  std::size_t held_request_count() const;
+
+  /// Maps a virtual-disk sector extent to physical extents, skipping the
+  /// hidden reserved cylinders. Returns one extent normally, two when the
+  /// extent straddles the hidden-region boundary. Exposed for tests.
+  struct PhysExtent {
+    SectorNo sector = 0;
+    std::int64_t count = 0;
+  };
+  std::vector<PhysExtent> MapVirtualExtent(SectorNo virtual_sector,
+                                           std::int64_t count) const;
+
+ private:
+  /// One logical request held while its block moves; re-translated when
+  /// released because the block's location may have changed.
+  struct HeldRequest {
+    std::int32_t device;
+    BlockNo block;             // block path when >= 0
+    SectorNo raw_sector;       // raw path otherwise
+    std::int64_t raw_count;
+    sched::IoType type;
+    Micros arrival_time;
+  };
+
+  /// One internal I/O of a move chain plus the state change applied when
+  /// it completes (payload copy, table entry insert/remove, table save).
+  struct ChainOp {
+    sched::IoRequest request;
+    std::function<void()> after;
+  };
+
+  /// Sequenced internal I/O chain for one block move (copy-in or move-out).
+  /// Ops run strictly one after another; requests for the moving block are
+  /// held until the chain retires.
+  struct MoveChain {
+    std::deque<ChainOp> ops;
+    std::function<void()> active_after;  // effect of the op in flight
+    std::vector<HeldRequest> held;
+    std::function<void()> on_finish;
+  };
+
+  /// Validates device/extent and returns the partition.
+  StatusOr<disk::Partition> CheckedPartition(std::int32_t device) const;
+
+  /// Translates and enqueues one block request. `record_stats` is false
+  /// when re-submitting a previously-held request.
+  Status RouteBlock(std::int32_t device, BlockNo block, sched::IoType type,
+                    Micros arrival_time, bool record_stats);
+
+  /// Translates and enqueues one raw fragment (never spans a block
+  /// boundary in partition space).
+  Status RouteRawFragment(std::int32_t device, SectorNo sector,
+                          std::int64_t count, sched::IoType type,
+                          Micros arrival_time, bool record_stats);
+
+  /// True iff a move chain is active for the block keyed by `original`.
+  bool IsMoving(SectorNo original) const {
+    return moving_.contains(original);
+  }
+
+  /// Enqueues the next pending internal op of a chain, if any, or finishes
+  /// the chain (releasing held requests).
+  void PumpChain(SectorNo key);
+
+  /// Submits one internal I/O belonging to chain `key`.
+  void SubmitInternal(SectorNo key, sched::IoRequest op);
+
+  /// Builds an internal request for the on-disk table area.
+  sched::IoRequest TableWriteOp() const;
+
+  /// Persists the table image to the store (bytes only; the I/O charge is
+  /// the accompanying TableWriteOp).
+  void SaveTable();
+
+  /// DiskSystem completion hook.
+  void OnCompletion(const sim::CompletedIo& done);
+
+  /// Starts processing of the next queued clean-out entry, if any.
+  void PumpClean();
+
+  disk::Disk* disk_;
+  disk::DiskLabel label_;
+  DriverConfig config_;
+  BlockTableStore* store_;
+  sim::DiskSystem system_;
+  std::unique_ptr<BlockTable> block_table_;
+  RequestMonitor request_monitor_;
+  PerfMonitor perf_monitor_;
+
+  bool attached_ = false;
+  std::int32_t block_sectors_ = 0;
+  std::int64_t table_area_sectors_ = 0;
+
+  std::int64_t next_request_id_ = 1;
+  std::int64_t internal_io_count_ = 0;
+  Micros internal_io_time_ = 0;
+
+  // Active move chains keyed by the block's original physical start sector.
+  std::unordered_map<SectorNo, MoveChain> moving_;
+  // Internal request id -> chain key.
+  std::unordered_map<std::int64_t, SectorNo> internal_ops_;
+  // Blocks still awaiting clean-out (original start sectors).
+  std::deque<SectorNo> clean_queue_;
+};
+
+}  // namespace abr::driver
+
+#endif  // ABR_DRIVER_ADAPTIVE_DRIVER_H_

@@ -1,0 +1,179 @@
+#include "driver/block_table.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace abr::driver {
+namespace {
+
+constexpr std::uint64_t kTableMagic = 0xAB12B70C4BB71EULL;
+constexpr std::int64_t kHeaderBytes = 8 /*magic*/ + 8 /*count*/ + 8 /*cksum*/;
+constexpr std::int64_t kEntryBytes = 8 /*original*/ + 8 /*relocated+dirty*/;
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t GetU64(const std::vector<std::uint8_t>& in, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+// FNV-1a over a byte range.
+std::uint64_t Checksum(const std::vector<std::uint8_t>& data,
+                       std::size_t from) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = from; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+BlockTable::BlockTable(std::int32_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+  entries_.reserve(static_cast<std::size_t>(capacity));
+}
+
+Status BlockTable::Insert(SectorNo original, SectorNo relocated) {
+  if (size() >= capacity_) {
+    return Status::ResourceExhausted("block table full");
+  }
+  if (by_original_.contains(original)) {
+    return Status::AlreadyExists("block already rearranged");
+  }
+  if (by_relocated_.contains(relocated)) {
+    return Status::AlreadyExists("reserved-area target already occupied");
+  }
+  const std::size_t idx = entries_.size();
+  entries_.push_back(BlockTableEntry{original, relocated, /*dirty=*/false});
+  by_original_.emplace(original, idx);
+  by_relocated_.emplace(relocated, idx);
+  return Status::Ok();
+}
+
+std::optional<SectorNo> BlockTable::Lookup(SectorNo original) const {
+  auto it = by_original_.find(original);
+  if (it == by_original_.end()) return std::nullopt;
+  return entries_[it->second].relocated;
+}
+
+std::optional<BlockTableEntry> BlockTable::LookupEntry(
+    SectorNo original) const {
+  auto it = by_original_.find(original);
+  if (it == by_original_.end()) return std::nullopt;
+  return entries_[it->second];
+}
+
+bool BlockTable::TargetInUse(SectorNo relocated) const {
+  return by_relocated_.contains(relocated);
+}
+
+Status BlockTable::MarkDirty(SectorNo original) {
+  auto it = by_original_.find(original);
+  if (it == by_original_.end()) {
+    return Status::NotFound("no entry for block");
+  }
+  entries_[it->second].dirty = true;
+  return Status::Ok();
+}
+
+void BlockTable::MarkAllDirty() {
+  for (auto& e : entries_) e.dirty = true;
+}
+
+Status BlockTable::Remove(SectorNo original) {
+  auto it = by_original_.find(original);
+  if (it == by_original_.end()) {
+    return Status::NotFound("no entry for block");
+  }
+  const std::size_t idx = it->second;
+  const std::size_t last = entries_.size() - 1;
+  by_relocated_.erase(entries_[idx].relocated);
+  by_original_.erase(it);
+  if (idx != last) {
+    entries_[idx] = entries_[last];
+    by_original_[entries_[idx].original] = idx;
+    by_relocated_[entries_[idx].relocated] = idx;
+  }
+  entries_.pop_back();
+  return Status::Ok();
+}
+
+void BlockTable::Clear() {
+  entries_.clear();
+  by_original_.clear();
+  by_relocated_.clear();
+}
+
+std::vector<std::uint8_t> BlockTable::Serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(SerializedBytes(capacity_)));
+  PutU64(out, kTableMagic);
+  PutU64(out, static_cast<std::uint64_t>(entries_.size()));
+  PutU64(out, 0);  // checksum placeholder
+  for (const BlockTableEntry& e : entries_) {
+    PutU64(out, static_cast<std::uint64_t>(e.original));
+    PutU64(out, (static_cast<std::uint64_t>(e.relocated) << 1) |
+                    (e.dirty ? 1u : 0u));
+  }
+  const std::uint64_t cksum = Checksum(out, kHeaderBytes);
+  for (int i = 0; i < 8; ++i) {
+    out[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(cksum >> (8 * i));
+  }
+  return out;
+}
+
+StatusOr<BlockTable> BlockTable::Deserialize(
+    const std::vector<std::uint8_t>& in, std::int32_t capacity) {
+  if (in.size() < static_cast<std::size_t>(kHeaderBytes)) {
+    return Status::Corruption("block table image truncated");
+  }
+  if (GetU64(in, 0) != kTableMagic) {
+    return Status::Corruption("bad block table magic");
+  }
+  const std::uint64_t count = GetU64(in, 8);
+  if (in.size() < static_cast<std::size_t>(kHeaderBytes) +
+                      count * static_cast<std::size_t>(kEntryBytes)) {
+    return Status::Corruption("block table image shorter than entry count");
+  }
+  if (count > static_cast<std::uint64_t>(capacity)) {
+    return Status::InvalidArgument("stored table exceeds capacity");
+  }
+  if (GetU64(in, 16) != Checksum(in, static_cast<std::size_t>(kHeaderBytes))) {
+    return Status::Corruption("block table checksum mismatch");
+  }
+  BlockTable table(capacity);
+  std::size_t pos = static_cast<std::size_t>(kHeaderBytes);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SectorNo original = static_cast<SectorNo>(GetU64(in, pos));
+    const std::uint64_t packed = GetU64(in, pos + 8);
+    pos += static_cast<std::size_t>(kEntryBytes);
+    ABR_RETURN_IF_ERROR(
+        table.Insert(original, static_cast<SectorNo>(packed >> 1)));
+    if ((packed & 1) != 0) {
+      ABR_RETURN_IF_ERROR(table.MarkDirty(original));
+    }
+  }
+  return table;
+}
+
+std::int64_t BlockTable::SerializedBytes(std::int32_t capacity) {
+  return kHeaderBytes + static_cast<std::int64_t>(capacity) * kEntryBytes;
+}
+
+std::int64_t BlockTable::SerializedSectors(std::int32_t capacity,
+                                           std::int32_t bytes_per_sector) {
+  const std::int64_t bytes = SerializedBytes(capacity);
+  return (bytes + bytes_per_sector - 1) / bytes_per_sector;
+}
+
+}  // namespace abr::driver

@@ -1,0 +1,82 @@
+#include "driver/perf_monitor.h"
+
+#include <cstdlib>
+
+namespace abr::driver {
+
+double PerfSide::MeanSeekTimeMillis(const disk::SeekModel& model) const {
+  return sched_seek_distance.MeanOf(
+      [&model](std::int64_t d) { return model.Millis(d); });
+}
+
+double PerfSide::FcfsMeanSeekTimeMillis(const disk::SeekModel& model) const {
+  return fcfs_seek_distance.MeanOf(
+      [&model](std::int64_t d) { return model.Millis(d); });
+}
+
+double PerfSide::MeanRotationPlusTransferMillis() const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  return MicrosToMillis(rotation_total + transfer_total) /
+         static_cast<double>(n);
+}
+
+void PerfSide::Clear() {
+  fcfs_seek_distance.Clear();
+  sched_seek_distance.Clear();
+  service_time.Clear();
+  queue_time.Clear();
+  rotation_total = 0;
+  transfer_total = 0;
+  buffer_hits = 0;
+}
+
+void PerfMonitor::Advance(Chain& chain, Cylinder cylinder, PerfSide& side) {
+  if (chain.has_prev) {
+    side.fcfs_seek_distance.Add(std::abs(
+        static_cast<std::int64_t>(cylinder) - chain.prev));
+  }
+  chain.prev = cylinder;
+  chain.has_prev = true;
+}
+
+void PerfMonitor::RecordArrival(sched::IoType type,
+                                Cylinder original_cylinder) {
+  Advance(all_chain_, original_cylinder, snapshot_.all);
+  if (type == sched::IoType::kRead) {
+    Advance(read_chain_, original_cylinder, snapshot_.reads);
+  } else {
+    Advance(write_chain_, original_cylinder, snapshot_.writes);
+  }
+}
+
+void PerfMonitor::RecordCompletion(sched::IoType type, Micros queue_time,
+                                   Micros service_time,
+                                   std::int64_t seek_distance, Micros rotation,
+                                   Micros transfer, bool buffer_hit) {
+  PerfSide& side =
+      type == sched::IoType::kRead ? snapshot_.reads : snapshot_.writes;
+  for (PerfSide* s : {&side, &snapshot_.all}) {
+    s->sched_seek_distance.Add(seek_distance);
+    s->service_time.Add(service_time);
+    s->queue_time.Add(queue_time);
+    s->rotation_total += rotation;
+    s->transfer_total += transfer;
+    if (buffer_hit) ++s->buffer_hits;
+  }
+}
+
+PerfSnapshot PerfMonitor::Snapshot(bool clear) {
+  PerfSnapshot out = snapshot_;
+  if (clear) {
+    snapshot_.reads.Clear();
+    snapshot_.writes.Clear();
+    snapshot_.all.Clear();
+    read_chain_ = Chain{};
+    write_chain_ = Chain{};
+    all_chain_ = Chain{};
+  }
+  return out;
+}
+
+}  // namespace abr::driver

@@ -1,0 +1,97 @@
+#ifndef ABR_DRIVER_PERF_MONITOR_H_
+#define ABR_DRIVER_PERF_MONITOR_H_
+
+#include <cstdint>
+
+#include "disk/seek_model.h"
+#include "sched/request.h"
+#include "stats/histogram.h"
+#include "util/types.h"
+
+namespace abr::driver {
+
+/// Statistics for one slice of the workload (reads, writes, or all). The
+/// contents mirror the driver's performance monitoring (Section 4.1.5):
+///  - seek distance distributions in arrival order and in scheduled order;
+///  - service-time and queueing-time distributions at 1 ms resolution with
+///    full-resolution cumulative totals;
+///  - rotation + transfer accumulation (used for Table 10's decomposition).
+struct PerfSide {
+  stats::DistanceHistogram fcfs_seek_distance;   // arrival order, original addresses
+  stats::DistanceHistogram sched_seek_distance;  // scheduled order, actual seeks
+  stats::TimeHistogram service_time;
+  stats::TimeHistogram queue_time;
+  Micros rotation_total = 0;
+  Micros transfer_total = 0;
+  std::int64_t buffer_hits = 0;
+
+  /// Number of completed requests in this slice.
+  std::int64_t count() const { return service_time.count(); }
+
+  /// Mean seek time in ms, computed (as the paper does) from the measured
+  /// scheduled-order seek distance distribution and the seek-time model.
+  double MeanSeekTimeMillis(const disk::SeekModel& model) const;
+
+  /// Mean seek time in ms that FCFS service order with no rearrangement
+  /// would have produced, from the arrival-order distances.
+  double FcfsMeanSeekTimeMillis(const disk::SeekModel& model) const;
+
+  /// Mean rotational latency + transfer time per request, in ms.
+  double MeanRotationPlusTransferMillis() const;
+
+  /// Resets everything.
+  void Clear();
+};
+
+/// Snapshot returned by the stats ioctl. `all` is a true single-chain view
+/// of the whole request stream: its arrival-order seek distances are the
+/// distances between consecutive arrivals of *any* type, not a merge of the
+/// per-side chains.
+struct PerfSnapshot {
+  PerfSide reads;
+  PerfSide writes;
+  PerfSide all;
+};
+
+/// In-driver performance monitor. The driver reports request arrivals (for
+/// the arrival-order distance chains) and completions; user processes fetch
+/// snapshots through an ioctl that may also clear the tables. All
+/// statistics are kept separately for reads and writes (Section 4.1.5) and
+/// additionally for the combined stream.
+class PerfMonitor {
+ public:
+  PerfMonitor() = default;
+
+  /// Records a request arrival whose *unrearranged* target cylinder is
+  /// `original_cylinder`. Maintains the read-only, write-only, and combined
+  /// arrival chains so "FCFS with no rearrangement" seek distances can be
+  /// reported for all requests and for reads alone (Tables 3 and 8).
+  void RecordArrival(sched::IoType type, Cylinder original_cylinder);
+
+  /// Records a completed request.
+  void RecordCompletion(sched::IoType type, Micros queue_time,
+                        Micros service_time, std::int64_t seek_distance,
+                        Micros rotation, Micros transfer, bool buffer_hit);
+
+  /// Returns the current statistics; clears them when `clear` is set (the
+  /// real ioctl always clears; tests sometimes want to peek).
+  PerfSnapshot Snapshot(bool clear = false);
+
+ private:
+  struct Chain {
+    bool has_prev = false;
+    Cylinder prev = 0;
+  };
+
+  /// Advances one arrival chain and records the distance into `side`.
+  static void Advance(Chain& chain, Cylinder cylinder, PerfSide& side);
+
+  PerfSnapshot snapshot_;
+  Chain read_chain_;
+  Chain write_chain_;
+  Chain all_chain_;
+};
+
+}  // namespace abr::driver
+
+#endif  // ABR_DRIVER_PERF_MONITOR_H_

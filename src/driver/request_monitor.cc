@@ -1,0 +1,30 @@
+#include "driver/request_monitor.h"
+
+#include <cassert>
+
+namespace abr::driver {
+
+RequestMonitor::RequestMonitor(std::int32_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+  records_.reserve(static_cast<std::size_t>(capacity));
+}
+
+bool RequestMonitor::Record(const RequestRecord& record) {
+  if (suspended()) {
+    ++dropped_;
+    ++total_dropped_;
+    return false;
+  }
+  records_.push_back(record);
+  return true;
+}
+
+std::vector<RequestRecord> RequestMonitor::ReadAndClear() {
+  std::vector<RequestRecord> out;
+  out.swap(records_);
+  records_.reserve(static_cast<std::size_t>(capacity_));
+  dropped_ = 0;
+  return out;
+}
+
+}  // namespace abr::driver

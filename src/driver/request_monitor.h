@@ -1,0 +1,62 @@
+#ifndef ABR_DRIVER_REQUEST_MONITOR_H_
+#define ABR_DRIVER_REQUEST_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/request.h"
+#include "util/types.h"
+
+namespace abr::driver {
+
+/// One record of the driver's internal request table (Section 4.1.4): the
+/// block number and request size of an arriving I/O request.
+struct RequestRecord {
+  std::int32_t device = 0;
+  BlockNo block = 0;
+  std::int32_t size_bytes = 0;
+  sched::IoType type = sched::IoType::kRead;
+};
+
+/// Bounded in-driver request log. A user process periodically reads and
+/// clears the table through an ioctl; if the table fills before being
+/// cleared, recording is temporarily suspended (requests are dropped, and
+/// the drop count is kept so the analyzer can detect it).
+class RequestMonitor {
+ public:
+  /// Creates a monitor whose table holds `capacity` records.
+  explicit RequestMonitor(std::int32_t capacity);
+
+  /// Records one request; returns false (and counts a drop) when the table
+  /// is full.
+  bool Record(const RequestRecord& record);
+
+  /// Implements the read-and-clear ioctl: returns all records and empties
+  /// the table, resuming recording if it was suspended.
+  std::vector<RequestRecord> ReadAndClear();
+
+  /// Records currently held.
+  std::int32_t size() const { return static_cast<std::int32_t>(records_.size()); }
+
+  /// Table capacity.
+  std::int32_t capacity() const { return capacity_; }
+
+  /// True iff the table is full and recording is suspended.
+  bool suspended() const { return size() >= capacity_; }
+
+  /// Requests dropped while suspended, since the last ReadAndClear().
+  std::int64_t dropped() const { return dropped_; }
+
+  /// Total requests dropped over the monitor's lifetime.
+  std::int64_t total_dropped() const { return total_dropped_; }
+
+ private:
+  std::int32_t capacity_;
+  std::vector<RequestRecord> records_;
+  std::int64_t dropped_ = 0;
+  std::int64_t total_dropped_ = 0;
+};
+
+}  // namespace abr::driver
+
+#endif  // ABR_DRIVER_REQUEST_MONITOR_H_

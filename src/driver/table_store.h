@@ -1,0 +1,53 @@
+#ifndef ABR_DRIVER_TABLE_STORE_H_
+#define ABR_DRIVER_TABLE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace abr::driver {
+
+/// Stable storage for the on-disk copy of the block table.
+///
+/// The simulator's disk data plane carries one 64-bit payload fingerprint
+/// per sector (enough to verify block copies end-to-end); the block table's
+/// byte-exact image is held by this store instead. The driver still charges
+/// the I/O for every table write by issuing an internal write over the
+/// table's sectors at the head of the reserved area, so timing and layout
+/// are faithful; only the bytes live here. The store outlives driver
+/// instances, which is how "reboot" and "crash" are modeled: a new driver
+/// attaches and loads whatever image the previous one last saved.
+class BlockTableStore {
+ public:
+  virtual ~BlockTableStore() = default;
+
+  /// Persists a serialized table image (atomically, whole-image).
+  virtual void Save(std::vector<std::uint8_t> image) = 0;
+
+  /// Returns the last saved image, or nullopt if none was ever saved.
+  virtual std::optional<std::vector<std::uint8_t>> Load() const = 0;
+};
+
+/// Trivial in-memory store.
+class InMemoryTableStore : public BlockTableStore {
+ public:
+  void Save(std::vector<std::uint8_t> image) override {
+    image_ = std::move(image);
+  }
+
+  std::optional<std::vector<std::uint8_t>> Load() const override {
+    return image_;
+  }
+
+  /// Corrupts one byte of the stored image (failure-injection tests).
+  void CorruptByte(std::size_t offset) {
+    if (image_ && offset < image_->size()) (*image_)[offset] ^= 0xFF;
+  }
+
+ private:
+  std::optional<std::vector<std::uint8_t>> image_;
+};
+
+}  // namespace abr::driver
+
+#endif  // ABR_DRIVER_TABLE_STORE_H_

@@ -1,0 +1,91 @@
+#include "fs/buffer_cache.h"
+
+#include <cassert>
+
+namespace abr::fs {
+
+BufferCache::BufferCache(std::int64_t capacity_blocks, IoFn io)
+    : capacity_(capacity_blocks), io_(std::move(io)) {
+  assert(capacity_ > 0);
+  assert(io_ != nullptr);
+}
+
+void BufferCache::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+BufferCache::LruList::iterator BufferCache::Insert(const Key& key, bool dirty,
+                                                   Micros t) {
+  if (static_cast<std::int64_t>(map_.size()) >= capacity_) {
+    // Evict the LRU entry; a dirty victim is written back first.
+    Entry& victim = lru_.back();
+    if (victim.dirty) {
+      io_(victim.key.device, victim.key.block, /*is_read=*/false, t);
+      --dirty_count_;
+    }
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, dirty});
+  if (dirty) ++dirty_count_;
+  auto [mit, inserted] = map_.emplace(key, lru_.begin());
+  assert(inserted);
+  (void)inserted;
+  return mit->second;
+}
+
+bool BufferCache::Read(std::int32_t device, BlockNo block, Micros t) {
+  const Key key{device, block};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Touch(it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  // Allocate the buffer first (possibly writing back a dirty victim), then
+  // read the block into it, as the real buffer cache does.
+  Insert(key, /*dirty=*/false, t);
+  io_(device, block, /*is_read=*/true, t);
+  return false;
+}
+
+void BufferCache::Write(std::int32_t device, BlockNo block, Micros t) {
+  const Key key{device, block};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Touch(it->second);
+    if (!it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    return;
+  }
+  // Whole-block overwrite: no read-modify-write is modeled; the block is
+  // installed dirty.
+  Insert(key, /*dirty=*/true, t);
+}
+
+std::int64_t BufferCache::SyncAll(Micros t) {
+  std::int64_t flushed = 0;
+  for (Entry& e : lru_) {
+    if (e.dirty) {
+      io_(e.key.device, e.key.block, /*is_read=*/false, t);
+      e.dirty = false;
+      ++flushed;
+    }
+  }
+  dirty_count_ = 0;
+  return flushed;
+}
+
+void BufferCache::Invalidate(std::int32_t device, BlockNo block) {
+  const Key key{device, block};
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  if (it->second->dirty) --dirty_count_;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace abr::fs

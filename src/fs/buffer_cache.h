@@ -1,0 +1,98 @@
+#ifndef ABR_FS_BUFFER_CACHE_H_
+#define ABR_FS_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace abr::fs {
+
+/// Write-back UNIX buffer cache (Section 3.1). All file I/O goes through
+/// it: reads are forwarded to the disk only on a miss; writes update the
+/// cached block and merely mark it dirty, and the periodic update policy
+/// copies all dirty blocks back to the disk at once — the source of the
+/// bursty write arrival pattern the paper observes (Section 5.2).
+///
+/// The cache is global across logical devices (as in SunOS), keyed by
+/// (device, block). Capacity is in blocks; eviction is LRU, writing back
+/// a dirty victim immediately.
+class BufferCache {
+ public:
+  /// Key of one cached block.
+  struct Key {
+    std::int32_t device = 0;
+    BlockNo block = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// Sink receiving the disk I/O the cache decides to issue.
+  /// (device, block, is_read, time)
+  using IoFn = std::function<void(std::int32_t, BlockNo, bool, Micros)>;
+
+  /// Creates a cache of `capacity_blocks` blocks writing through `io`.
+  BufferCache(std::int64_t capacity_blocks, IoFn io);
+
+  /// Read access: on a miss, issues a disk read at time `t` and caches the
+  /// block. Returns true on a hit.
+  bool Read(std::int32_t device, BlockNo block, Micros t);
+
+  /// Write access: installs/updates the block in the cache and marks it
+  /// dirty. No disk I/O happens now (unless a dirty victim is evicted).
+  void Write(std::int32_t device, BlockNo block, Micros t);
+
+  /// The periodic update policy: writes every dirty block back to the disk
+  /// at time `t` and cleans it. Returns the number flushed.
+  std::int64_t SyncAll(Micros t);
+
+  /// Drops a block from the cache (e.g. file deletion), without write-back.
+  void Invalidate(std::int32_t device, BlockNo block);
+
+  /// Number of cached blocks.
+  std::int64_t size() const { return static_cast<std::int64_t>(map_.size()); }
+
+  /// Number of dirty cached blocks.
+  std::int64_t dirty_count() const { return dirty_count_; }
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.device))
+           << 40) ^
+          static_cast<std::uint64_t>(k.block));
+    }
+  };
+
+  struct Entry {
+    Key key;
+    bool dirty = false;
+  };
+
+  using LruList = std::list<Entry>;
+
+  /// Moves an entry to the MRU position.
+  void Touch(LruList::iterator it);
+
+  /// Inserts a block, evicting the LRU entry if full.
+  LruList::iterator Insert(const Key& key, bool dirty, Micros t);
+
+  std::int64_t capacity_;
+  IoFn io_;
+  LruList lru_;  // front = MRU
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  std::int64_t dirty_count_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace abr::fs
+
+#endif  // ABR_FS_BUFFER_CACHE_H_

@@ -1,0 +1,410 @@
+#include "fs/ffs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+
+namespace abr::fs {
+
+Ffs::Ffs(const FfsConfig& config) : config_(config) {
+  assert(config.total_blocks > 0);
+  assert(config.blocks_per_group > config.inode_blocks_per_group + 1);
+  assert(config.inode_size_bytes > 0 &&
+         config.block_size_bytes % config.inode_size_bytes == 0);
+  const std::int32_t inodes_per_block =
+      config.block_size_bytes / config.inode_size_bytes;
+
+  for (BlockNo first = 0; first < config.total_blocks;
+       first += config.blocks_per_group) {
+    const BlockNo end =
+        std::min<BlockNo>(first + config.blocks_per_group, config.total_blocks);
+    Group g;
+    g.first_block = first;
+    g.data_first = std::min<BlockNo>(
+        first + 1 + config.inode_blocks_per_group, end);
+    g.data_end = end;
+    const std::int64_t data_blocks = g.data_end - g.data_first;
+    g.used.assign(static_cast<std::size_t>(data_blocks), false);
+    g.free = data_blocks;
+    g.inode_capacity =
+        static_cast<std::int32_t>(std::min<BlockNo>(
+            config.inode_blocks_per_group, end - first - 1)) *
+        inodes_per_block;
+    g.inode_used.assign(static_cast<std::size_t>(g.inode_capacity), false);
+    free_blocks_ += data_blocks;
+    data_capacity_ += data_blocks;
+    groups_.push_back(std::move(g));
+  }
+
+  // The root directory lives in group 0 and is always present.
+  Inode root_inode;
+  root_inode.is_dir = true;
+  Status s = AllocInode(0, root_inode);
+  assert(s.ok());
+  (void)s;
+  ++groups_[0].directories;
+  root_ = next_file_id_++;
+  files_.emplace(root_, std::move(root_inode));
+}
+
+std::int32_t Ffs::EmptiestGroup() const {
+  std::int32_t best = 0;
+  for (std::int32_t i = 1; i < group_count(); ++i) {
+    if (groups_[static_cast<std::size_t>(i)].free >
+        groups_[static_cast<std::size_t>(best)].free) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::int32_t Ffs::GroupForNewDirectory() const {
+  // Among the groups with the fewest directories, pick the one farthest
+  // from any group that already holds a directory, so unrelated subtrees
+  // spread across the whole disk surface rather than packing the low
+  // groups. (Real FFS achieves the same spread because directories
+  // greatly outnumber cylinder groups.)
+  std::int32_t min_dirs = groups_[0].directories;
+  for (const Group& g : groups_) {
+    min_dirs = std::min(min_dirs, g.directories);
+  }
+  std::int32_t best = -1;
+  std::int64_t best_distance = -1;
+  for (std::int32_t i = 0; i < group_count(); ++i) {
+    if (groups_[static_cast<std::size_t>(i)].directories != min_dirs) {
+      continue;
+    }
+    std::int64_t nearest = std::numeric_limits<std::int64_t>::max();
+    for (std::int32_t j = 0; j < group_count(); ++j) {
+      if (groups_[static_cast<std::size_t>(j)].directories > 0) {
+        nearest = std::min<std::int64_t>(nearest, std::abs(i - j));
+      }
+    }
+    if (nearest > best_distance) {
+      best_distance = nearest;
+      best = i;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+Status Ffs::AllocInode(std::int32_t group, Inode& inode) {
+  // Find a group with a free i-node, starting from the preferred one.
+  for (std::int32_t probe = 0; probe < group_count(); ++probe) {
+    Group& g = groups_[static_cast<std::size_t>(group)];
+    auto it = std::find(g.inode_used.begin(), g.inode_used.end(), false);
+    if (it != g.inode_used.end()) {
+      *it = true;
+      inode.group = group;
+      inode.index = static_cast<std::int32_t>(it - g.inode_used.begin());
+      return Status::Ok();
+    }
+    group = (group + 1) % group_count();
+  }
+  return Status::ResourceExhausted("no free i-nodes");
+}
+
+StatusOr<BlockNo> Ffs::EntryBlock(FileId directory,
+                                  std::int32_t entry_index) const {
+  StatusOr<const Inode*> inode = FindInode(directory);
+  if (!inode.ok()) return inode.status();
+  if (!(*inode)->is_dir) return Status::InvalidArgument("not a directory");
+  const std::int32_t entries_per_block =
+      config_.block_size_bytes / config_.dirent_size_bytes;
+  const std::int32_t block_index = entry_index / entries_per_block;
+  if (block_index >= static_cast<std::int32_t>((*inode)->blocks.size())) {
+    return Status::OutOfRange("entry beyond directory size");
+  }
+  return (*inode)->blocks[static_cast<std::size_t>(block_index)];
+}
+
+Status Ffs::AddEntry(FileId directory, FileId child) {
+  auto dir_it = files_.find(directory);
+  if (dir_it == files_.end()) return Status::NotFound("no such directory");
+  if (!dir_it->second.is_dir) {
+    return Status::InvalidArgument("not a directory");
+  }
+  const std::int32_t entries_per_block =
+      config_.block_size_bytes / config_.dirent_size_bytes;
+  const std::int32_t entry_index =
+      static_cast<std::int32_t>(dir_it->second.entries.size());
+  // Grow the directory when its entry blocks are full.
+  if (entry_index / entries_per_block >=
+      static_cast<std::int32_t>(dir_it->second.blocks.size())) {
+    StatusOr<BlockNo> grown = AppendBlock(directory);
+    if (!grown.ok()) return grown.status();
+    dir_it = files_.find(directory);  // AppendBlock may rehash
+  }
+  dir_it->second.entries.push_back(child);
+  auto child_it = files_.find(child);
+  assert(child_it != files_.end());
+  child_it->second.parent = directory;
+  child_it->second.entry_index = entry_index;
+  return Status::Ok();
+}
+
+StatusOr<FileId> Ffs::CreateFile(std::int32_t group_hint) {
+  const std::int32_t group =
+      group_hint >= 0 && group_hint < group_count() ? group_hint
+                                                    : EmptiestGroup();
+  Inode inode;
+  ABR_RETURN_IF_ERROR(AllocInode(group, inode));
+  const FileId id = next_file_id_++;
+  files_.emplace(id, std::move(inode));
+  Status linked = AddEntry(root_, id);
+  if (!linked.ok()) {
+    // Roll back the i-node.
+    auto it = files_.find(id);
+    groups_[static_cast<std::size_t>(it->second.group)]
+        .inode_used[static_cast<std::size_t>(it->second.index)] = false;
+    files_.erase(it);
+    return linked;
+  }
+  return id;
+}
+
+StatusOr<FileId> Ffs::CreateDirectory(FileId parent) {
+  if (parent == kInvalidFile) parent = root_;
+  StatusOr<const Inode*> parent_inode = FindInode(parent);
+  if (!parent_inode.ok()) return parent_inode.status();
+  if (!(*parent_inode)->is_dir) {
+    return Status::InvalidArgument("parent is not a directory");
+  }
+  // FFS spreads new directories into under-used groups.
+  Inode inode;
+  inode.is_dir = true;
+  ABR_RETURN_IF_ERROR(AllocInode(GroupForNewDirectory(), inode));
+  ++groups_[static_cast<std::size_t>(inode.group)].directories;
+  const FileId id = next_file_id_++;
+  files_.emplace(id, std::move(inode));
+  Status linked = AddEntry(parent, id);
+  if (!linked.ok()) {
+    auto it = files_.find(id);
+    groups_[static_cast<std::size_t>(it->second.group)]
+        .inode_used[static_cast<std::size_t>(it->second.index)] = false;
+    files_.erase(it);
+    return linked;
+  }
+  return id;
+}
+
+StatusOr<FileId> Ffs::CreateFileIn(FileId directory) {
+  StatusOr<const Inode*> dir_inode = FindInode(directory);
+  if (!dir_inode.ok()) return dir_inode.status();
+  if (!(*dir_inode)->is_dir) {
+    return Status::InvalidArgument("not a directory");
+  }
+  // Files inherit their directory's cylinder group.
+  Inode inode;
+  ABR_RETURN_IF_ERROR(AllocInode((*dir_inode)->group, inode));
+  const FileId id = next_file_id_++;
+  files_.emplace(id, std::move(inode));
+  Status linked = AddEntry(directory, id);
+  if (!linked.ok()) {
+    auto it = files_.find(id);
+    groups_[static_cast<std::size_t>(it->second.group)]
+        .inode_used[static_cast<std::size_t>(it->second.index)] = false;
+    files_.erase(it);
+    return linked;
+  }
+  return id;
+}
+
+bool Ffs::IsDirectory(FileId file) const {
+  auto it = files_.find(file);
+  return it != files_.end() && it->second.is_dir;
+}
+
+StatusOr<FileId> Ffs::ParentOf(FileId file) const {
+  StatusOr<const Inode*> inode = FindInode(file);
+  if (!inode.ok()) return inode.status();
+  if ((*inode)->parent == kInvalidFile) {
+    return Status::NotFound("the root has no parent");
+  }
+  return (*inode)->parent;
+}
+
+StatusOr<std::vector<BlockNo>> Ffs::LookupBlocks(FileId file) const {
+  StatusOr<const Inode*> inode = FindInode(file);
+  if (!inode.ok()) return inode.status();
+  // Collect ancestors from the file up to the root.
+  std::vector<FileId> chain;  // file, ..., root
+  FileId at = file;
+  while (at != kInvalidFile) {
+    chain.push_back(at);
+    auto it = files_.find(at);
+    assert(it != files_.end());
+    at = it->second.parent;
+  }
+  // Walk root-first: each directory contributes its i-node block and the
+  // entry block of the next component; the file contributes its i-node.
+  std::vector<BlockNo> blocks;
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    const FileId dir = chain[i];
+    const FileId next = chain[i - 1];
+    StatusOr<BlockNo> dir_inode_block = InodeBlock(dir);
+    if (!dir_inode_block.ok()) return dir_inode_block.status();
+    blocks.push_back(*dir_inode_block);
+    auto next_it = files_.find(next);
+    StatusOr<BlockNo> entry_block =
+        EntryBlock(dir, next_it->second.entry_index);
+    if (!entry_block.ok()) return entry_block.status();
+    blocks.push_back(*entry_block);
+  }
+  StatusOr<BlockNo> own_inode = InodeBlock(file);
+  if (!own_inode.ok()) return own_inode.status();
+  blocks.push_back(*own_inode);
+  return blocks;
+}
+
+BlockNo Ffs::AllocInGroup(std::int32_t group, BlockNo near) {
+  Group& g = groups_[static_cast<std::size_t>(group)];
+  if (g.free == 0) return kInvalidBlock;
+  const std::int64_t n = static_cast<std::int64_t>(g.used.size());
+  std::int64_t start = 0;
+  if (near >= g.data_first && near < g.data_end) {
+    // Rotationally interleaved successor position.
+    start = (near - g.data_first + config_.interleave + 1) % n;
+  }
+  for (std::int64_t probe = 0; probe < n; ++probe) {
+    const std::int64_t at = (start + probe) % n;
+    if (!g.used[static_cast<std::size_t>(at)]) {
+      g.used[static_cast<std::size_t>(at)] = true;
+      --g.free;
+      --free_blocks_;
+      return g.data_first + at;
+    }
+  }
+  return kInvalidBlock;
+}
+
+StatusOr<BlockNo> Ffs::AppendBlock(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  Inode& inode = it->second;
+
+  // FFS rotates large files across groups every max_blocks_per_group_per_file
+  // blocks so no single file monopolizes its group.
+  const std::int64_t chunk = config_.max_blocks_per_group_per_file;
+  const std::int64_t rotation =
+      static_cast<std::int64_t>(inode.blocks.size()) / chunk;
+  std::int32_t group = static_cast<std::int32_t>(
+      (inode.group + rotation) % group_count());
+  const BlockNo near = inode.blocks.empty() ? kInvalidBlock
+                                            : inode.blocks.back();
+
+  BlockNo block = AllocInGroup(group, near);
+  for (std::int32_t probe = 1; block == kInvalidBlock && probe < group_count();
+       ++probe) {
+    block = AllocInGroup((group + probe) % group_count(), kInvalidBlock);
+  }
+  if (block == kInvalidBlock) {
+    return Status::ResourceExhausted("file system full");
+  }
+  inode.blocks.push_back(block);
+  owner_of_block_.emplace(block, file);
+  return block;
+}
+
+Status Ffs::DeleteFile(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  if (file == root_) {
+    return Status::InvalidArgument("cannot delete the root directory");
+  }
+  if (it->second.is_dir && !it->second.entries.empty()) {
+    return Status::FailedPrecondition("directory not empty");
+  }
+  // Unlink from the parent: swap-remove the entry and fix the moved
+  // child's entry index.
+  if (it->second.parent != kInvalidFile) {
+    auto parent_it = files_.find(it->second.parent);
+    assert(parent_it != files_.end());
+    std::vector<FileId>& entries = parent_it->second.entries;
+    const std::size_t idx =
+        static_cast<std::size_t>(it->second.entry_index);
+    assert(idx < entries.size() && entries[idx] == file);
+    entries[idx] = entries.back();
+    entries.pop_back();
+    if (idx < entries.size()) {
+      files_.find(entries[idx])->second.entry_index =
+          static_cast<std::int32_t>(idx);
+    }
+  }
+  const Inode& inode = it->second;
+  for (BlockNo b : inode.blocks) {
+    owner_of_block_.erase(b);
+    for (Group& g : groups_) {
+      if (b >= g.data_first && b < g.data_end) {
+        std::size_t idx = static_cast<std::size_t>(b - g.data_first);
+        assert(g.used[idx]);
+        g.used[idx] = false;
+        ++g.free;
+        ++free_blocks_;
+        break;
+      }
+    }
+  }
+  if (inode.is_dir) {
+    --groups_[static_cast<std::size_t>(inode.group)].directories;
+  }
+  groups_[static_cast<std::size_t>(inode.group)]
+      .inode_used[static_cast<std::size_t>(inode.index)] = false;
+  files_.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<const Ffs::Inode*> Ffs::FindInode(FileId file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  return &it->second;
+}
+
+StatusOr<BlockNo> Ffs::FileBlock(FileId file, std::int64_t index) const {
+  StatusOr<const Inode*> inode = FindInode(file);
+  if (!inode.ok()) return inode.status();
+  if (index < 0 ||
+      index >= static_cast<std::int64_t>((*inode)->blocks.size())) {
+    return Status::OutOfRange("block index beyond end of file");
+  }
+  return (*inode)->blocks[static_cast<std::size_t>(index)];
+}
+
+StatusOr<std::int64_t> Ffs::FileSize(FileId file) const {
+  StatusOr<const Inode*> inode = FindInode(file);
+  if (!inode.ok()) return inode.status();
+  return static_cast<std::int64_t>((*inode)->blocks.size());
+}
+
+StatusOr<BlockNo> Ffs::InodeBlock(FileId file) const {
+  StatusOr<const Inode*> inode = FindInode(file);
+  if (!inode.ok()) return inode.status();
+  const std::int32_t inodes_per_block =
+      config_.block_size_bytes / config_.inode_size_bytes;
+  const Group& g = groups_[static_cast<std::size_t>((*inode)->group)];
+  return g.first_block + 1 + (*inode)->index / inodes_per_block;
+}
+
+StatusOr<std::int32_t> Ffs::FileGroup(FileId file) const {
+  StatusOr<const Inode*> inode = FindInode(file);
+  if (!inode.ok()) return inode.status();
+  return (*inode)->group;
+}
+
+StatusOr<FileId> Ffs::OwnerOf(BlockNo block) const {
+  auto it = owner_of_block_.find(block);
+  if (it == owner_of_block_.end()) {
+    return Status::NotFound("block is free or holds metadata");
+  }
+  return it->second;
+}
+
+std::vector<FileId> Ffs::FileIds() const {
+  std::vector<FileId> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, inode] : files_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace abr::fs

@@ -1,0 +1,199 @@
+#ifndef ABR_FS_FFS_H_
+#define ABR_FS_FFS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::fs {
+
+/// File identifier within one file system.
+using FileId = std::int64_t;
+
+/// Sentinel for "no file".
+inline constexpr FileId kInvalidFile = -1;
+
+/// Layout parameters of an FFS-style file system (Section 3.1: the SunOS
+/// UFS the paper runs on is closely related to the Berkeley Fast File
+/// System).
+struct FfsConfig {
+  /// Logical blocks in the partition (fixed at newfs time).
+  std::int64_t total_blocks = 0;
+
+  /// Blocks per cylinder group. FFS clusters related data within a group
+  /// and spreads unrelated data across groups, which is what scatters hot
+  /// blocks over the disk surface (Section 1.1).
+  std::int64_t blocks_per_group = 512;
+
+  /// Blocks of each group reserved for i-nodes (after the group's metadata
+  /// block).
+  std::int32_t inode_blocks_per_group = 4;
+
+  /// Bytes per i-node; 8 KB blocks hold block_size/inode_size i-nodes.
+  std::int32_t inode_size_bytes = 128;
+
+  /// Block size in bytes (must match the driver's).
+  std::int32_t block_size_bytes = 8192;
+
+  /// Rotational interleaving factor: successive blocks of a file are
+  /// placed with this many block-gaps between them (Section 4.2's
+  /// "interleaved placement" preserves it in the reserved region).
+  std::int32_t interleave = 1;
+
+  /// Maximum file blocks allocated in one group before the allocator
+  /// rotates to another group (FFS's maxbpg policy).
+  std::int32_t max_blocks_per_group_per_file = 32;
+
+  /// Bytes per directory entry; an 8 KB directory block then holds
+  /// block_size/dirent_size entries.
+  std::int32_t dirent_size_bytes = 32;
+};
+
+/// In-memory model of an FFS-style file system: i-node placement, cylinder
+/// group accounting, and data-block allocation with rotational
+/// interleaving. It tracks *which* logical partition block every piece of
+/// data and metadata lives on — the quantity that matters for seek
+/// behaviour — without materializing file contents.
+class Ffs {
+ public:
+  explicit Ffs(const FfsConfig& config);
+
+  /// Creates a file. `group_hint` >= 0 requests a specific cylinder group
+  /// (as FFS does for files, which inherit their directory's group);
+  /// otherwise the group with the most free data blocks is used.
+  StatusOr<FileId> CreateFile(std::int32_t group_hint = -1);
+
+  // --- Directory hierarchy ----------------------------------------------
+
+  /// The root directory (always present).
+  FileId root() const { return root_; }
+
+  /// Creates a directory under `parent` (root() if kInvalidFile). FFS
+  /// places new directories in under-used cylinder groups to spread
+  /// unrelated subtrees over the disk.
+  StatusOr<FileId> CreateDirectory(FileId parent);
+
+  /// Creates a file inside `directory`; the i-node lands in the
+  /// directory's cylinder group (the FFS locality policy the paper's
+  /// Section 1.1 describes).
+  StatusOr<FileId> CreateFileIn(FileId directory);
+
+  /// True iff the id names a directory.
+  bool IsDirectory(FileId file) const;
+
+  /// Directory containing `file` (NotFound for the root).
+  StatusOr<FileId> ParentOf(FileId file) const;
+
+  /// The logical blocks a path lookup of `file` touches, root-first: for
+  /// each ancestor directory, its i-node block and the directory data
+  /// block holding the next component's entry, then the file's own i-node
+  /// block. This is the metadata read stream name resolution generates.
+  StatusOr<std::vector<BlockNo>> LookupBlocks(FileId file) const;
+
+  /// Appends one block to the file and returns its logical block number.
+  StatusOr<BlockNo> AppendBlock(FileId file);
+
+  /// Removes the file, freeing its blocks and i-node.
+  Status DeleteFile(FileId file);
+
+  /// Logical block holding the file's data block `index`.
+  StatusOr<BlockNo> FileBlock(FileId file, std::int64_t index) const;
+
+  /// Number of data blocks in the file.
+  StatusOr<std::int64_t> FileSize(FileId file) const;
+
+  /// Logical block holding the file's i-node.
+  StatusOr<BlockNo> InodeBlock(FileId file) const;
+
+  /// Cylinder group of the file's i-node.
+  StatusOr<std::int32_t> FileGroup(FileId file) const;
+
+  /// Number of cylinder groups.
+  std::int32_t group_count() const {
+    return static_cast<std::int32_t>(groups_.size());
+  }
+
+  /// Free data blocks across all groups.
+  std::int64_t free_blocks() const { return free_blocks_; }
+
+  /// Total data-block capacity.
+  std::int64_t data_block_capacity() const { return data_capacity_; }
+
+  /// Live files.
+  std::size_t file_count() const { return files_.size(); }
+
+  /// All live file ids (unordered).
+  std::vector<FileId> FileIds() const;
+
+  /// File owning the given *data* block, or NotFound for free blocks and
+  /// metadata (group/i-node) blocks. Used by file-granularity placement
+  /// baselines to aggregate block reference counts per file.
+  StatusOr<FileId> OwnerOf(BlockNo block) const;
+
+  const FfsConfig& config() const { return config_; }
+
+ private:
+  struct Group {
+    BlockNo first_block = 0;   // group's first logical block (metadata)
+    BlockNo data_first = 0;    // first data block
+    BlockNo data_end = 0;      // one past the last data block
+    std::vector<bool> used;    // data-block occupancy, index 0 = data_first
+    std::int64_t free = 0;
+    std::int32_t inode_capacity = 0;
+    std::vector<bool> inode_used;
+    std::int32_t directories = 0;  // directories homed in this group
+  };
+
+  struct Inode {
+    std::int32_t group = 0;
+    std::int32_t index = 0;  // i-node index within the group
+    std::vector<BlockNo> blocks;
+    bool is_dir = false;
+    FileId parent = kInvalidFile;
+    std::int32_t entry_index = 0;    // position within the parent directory
+    std::vector<FileId> entries;      // directory contents (dirs only)
+  };
+
+  /// Allocates a data block in `group` near `near` (a logical block the
+  /// new block should follow at the interleave distance), or the first
+  /// free one. Returns kInvalidBlock when the group is full.
+  BlockNo AllocInGroup(std::int32_t group, BlockNo near);
+
+  /// Allocates an i-node in (or near) `group`; fills in the Inode's group
+  /// and index. Fails when every group is out of i-nodes.
+  Status AllocInode(std::int32_t group, Inode& inode);
+
+  /// Adds `child` to `directory`, growing the directory by a block when
+  /// the current entry blocks are full.
+  Status AddEntry(FileId directory, FileId child);
+
+  /// Directory data block holding entry `entry_index`.
+  StatusOr<BlockNo> EntryBlock(FileId directory,
+                               std::int32_t entry_index) const;
+
+  /// Group with the most free data blocks.
+  std::int32_t EmptiestGroup() const;
+
+  /// FFS directory placement: the group with the fewest directories,
+  /// breaking ties toward more free data blocks, then lower index. This
+  /// spreads unrelated subtrees across the whole disk.
+  std::int32_t GroupForNewDirectory() const;
+
+  StatusOr<const Inode*> FindInode(FileId file) const;
+
+  FfsConfig config_;
+  std::vector<Group> groups_;
+  std::unordered_map<FileId, Inode> files_;
+  std::unordered_map<BlockNo, FileId> owner_of_block_;
+  FileId root_ = kInvalidFile;
+  FileId next_file_id_ = 1;
+  std::int64_t free_blocks_ = 0;
+  std::int64_t data_capacity_ = 0;
+};
+
+}  // namespace abr::fs
+
+#endif  // ABR_FS_FFS_H_

@@ -1,0 +1,139 @@
+#ifndef ABR_FS_FILE_SERVER_H_
+#define ABR_FS_FILE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "driver/adaptive_driver.h"
+#include "fs/buffer_cache.h"
+#include "fs/name_cache.h"
+#include "fs/ffs.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::fs {
+
+/// Host-level behaviour knobs.
+struct FileServerConfig {
+  /// Buffer-cache size in blocks. SunOS sizes the cache dynamically out of
+  /// main memory (Section 5); this fixes the effective size.
+  std::int64_t cache_blocks = 16;
+
+  /// Period of the update policy that flushes dirty blocks.
+  Micros sync_period = 30 * kSecond;
+
+  /// Entries in the directory name lookup cache (DNLC); 0 disables it and
+  /// every OpenFile() walks the full path. A hit skips the directory
+  /// reads and touches only the file's own i-node block.
+  std::int64_t name_cache_entries = 0;
+
+  /// When set, every file read marks the file's i-node block dirty (access
+  /// time stamps) — the reason even a read-only mounted file system sees
+  /// write traffic (Section 3.1), and the source of the strongly
+  /// concentrated write distribution (Section 5.2).
+  bool update_atime = true;
+};
+
+/// The file-server host: the operating-system layers between applications
+/// and the adaptive driver — per-partition FFS file systems and the global
+/// write-back buffer cache with its periodic update policy. Applications
+/// (the workload generators) express file-level operations; the host turns
+/// them into the logical-block request stream the driver sees.
+class FileServer {
+ public:
+  /// The driver must outlive the server and must be attached.
+  FileServer(driver::AdaptiveDriver* driver, FileServerConfig config);
+
+  FileServer(const FileServer&) = delete;
+  FileServer& operator=(const FileServer&) = delete;
+
+  /// Initializes ("newfs") an FFS file system on the given partition; the
+  /// config's total_blocks is derived from the partition size. Layout
+  /// parameters other than total_blocks are taken from `config`.
+  Status AddFileSystem(std::int32_t device, FfsConfig config);
+
+  /// The file system mounted on `device`.
+  StatusOr<Ffs*> FileSystemOf(std::int32_t device);
+
+  // --- Application-level operations (all advance the clock to `t`) ------
+
+  /// Creates a file; `group_hint` as in Ffs::CreateFile. Writes the i-node.
+  StatusOr<FileId> CreateFile(std::int32_t device, Micros t,
+                              std::int32_t group_hint = -1);
+
+  /// Creates a directory under `parent` (the root when kInvalidFile).
+  /// Dirties the new i-node and the parent's entry block.
+  StatusOr<FileId> CreateDirectory(std::int32_t device, Micros t,
+                                   FileId parent = kInvalidFile);
+
+  /// Creates a file inside `directory` (i-node in the directory's
+  /// cylinder group). Dirties the new i-node and the directory's entry
+  /// block.
+  StatusOr<FileId> CreateFileIn(std::int32_t device, FileId directory,
+                                Micros t);
+
+  /// Appends one block to the file (allocation + data write + i-node
+  /// update), as file creation/expansion does on the users file system.
+  StatusOr<BlockNo> AppendBlock(std::int32_t device, FileId file, Micros t);
+
+  /// Performs a path lookup ("open") of the file: reads every directory
+  /// i-node and entry block on the path from the root, plus the file's own
+  /// i-node, through the buffer cache. Returns the number of blocks that
+  /// missed the cache. This is the metadata read stream name resolution
+  /// generates on a real server.
+  StatusOr<std::int64_t> OpenFile(std::int32_t device, FileId file, Micros t);
+
+  /// Reads data block `index` of the file through the buffer cache;
+  /// returns true on a cache hit. Touches the i-node (atime) if enabled.
+  StatusOr<bool> ReadFileBlock(std::int32_t device, FileId file,
+                               std::int64_t index, Micros t);
+
+  /// Overwrites data block `index` of the file (dirty in cache; reaches
+  /// the disk at the next sync). Updates the i-node (mtime).
+  Status WriteFileBlock(std::int32_t device, FileId file, std::int64_t index,
+                        Micros t);
+
+  /// Deletes the file: frees blocks, drops cached copies, rewrites the
+  /// i-node block.
+  Status DeleteFile(std::int32_t device, FileId file, Micros t);
+
+  /// Advances simulated time to `t`, firing the periodic update policy as
+  /// often as it is due.
+  void AdvanceTo(Micros t);
+
+  /// Flushes all dirty blocks now and drains outstanding disk I/O.
+  void FlushAndDrain();
+
+  /// The buffer cache (for statistics).
+  const BufferCache& cache() const { return *cache_; }
+
+  /// The name cache (for statistics).
+  const NameCache& name_cache() const { return *name_cache_; }
+
+  /// The underlying driver.
+  driver::AdaptiveDriver& driver() { return *driver_; }
+
+  const FileServerConfig& config() const { return config_; }
+
+ private:
+  /// Cache IO sink: forwards to the driver's block interface.
+  void DiskIo(std::int32_t device, BlockNo block, bool is_read, Micros t);
+
+  /// Marks the file's i-node block dirty in the cache.
+  Status TouchInode(std::int32_t device, FileId file, Micros t);
+
+  /// Fires pending syncs up to (and including) time `t`.
+  void RunSyncsUntil(Micros t);
+
+  driver::AdaptiveDriver* driver_;
+  FileServerConfig config_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<NameCache> name_cache_;
+  std::map<std::int32_t, std::unique_ptr<Ffs>> file_systems_;
+  Micros next_sync_;
+};
+
+}  // namespace abr::fs
+
+#endif  // ABR_FS_FILE_SERVER_H_

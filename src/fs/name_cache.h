@@ -1,0 +1,81 @@
+#ifndef ABR_FS_NAME_CACHE_H_
+#define ABR_FS_NAME_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "fs/ffs.h"
+
+namespace abr::fs {
+
+/// Directory name lookup cache (the kernel's DNLC). A hit on an open means
+/// the path walk — directory i-node and entry-block reads — is skipped
+/// entirely and only the file's own i-node block is touched; a miss pays
+/// the full chain and installs the entry. SunOS's DNLC is why most opens
+/// on the measured server produced no directory I/O at all.
+///
+/// Keyed by file id ((directory, component-name) in a real kernel; our
+/// file model has no names, and the pair collapses to the file identity).
+/// LRU replacement, per-device via the owning FileServer.
+class NameCache {
+ public:
+  /// `capacity` == 0 disables the cache (every open walks the path).
+  explicit NameCache(std::int64_t capacity) : capacity_(capacity) {}
+
+  /// Returns true (and refreshes recency) if the name is cached.
+  bool Lookup(std::int32_t device, FileId file) {
+    if (capacity_ <= 0) return false;
+    auto it = map_.find(Key(device, file));
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+
+  /// Installs a name after a successful path walk.
+  void Insert(std::int32_t device, FileId file) {
+    if (capacity_ <= 0) return;
+    const std::uint64_t key = Key(device, file);
+    if (map_.contains(key)) return;
+    if (static_cast<std::int64_t>(map_.size()) >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    map_.emplace(key, lru_.begin());
+  }
+
+  /// Drops a name (file deletion / rename).
+  void Invalidate(std::int32_t device, FileId file) {
+    auto it = map_.find(Key(device, file));
+    if (it == map_.end()) return;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(map_.size()); }
+  std::int64_t capacity() const { return capacity_; }
+
+ private:
+  static std::uint64_t Key(std::int32_t device, FileId file) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(device))
+            << 48) ^
+           static_cast<std::uint64_t>(file);
+  }
+
+  std::int64_t capacity_;
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace abr::fs
+
+#endif  // ABR_FS_NAME_CACHE_H_

@@ -1,0 +1,87 @@
+#include "placement/arranger.h"
+
+#include <cassert>
+
+namespace abr::placement {
+
+BlockArranger::BlockArranger(const PlacementPolicy* policy)
+    : policy_(policy) {
+  assert(policy != nullptr);
+}
+
+StatusOr<SectorNo> BlockArranger::OriginalSector(
+    const driver::AdaptiveDriver& driver, const analyzer::BlockId& id) {
+  const auto& partitions = driver.label().partitions();
+  if (id.device < 0 ||
+      id.device >= static_cast<std::int32_t>(partitions.size())) {
+    return Status::InvalidArgument("no such logical device");
+  }
+  const disk::Partition& part =
+      partitions[static_cast<std::size_t>(id.device)];
+  const std::int32_t bs = driver.block_sectors();
+  if (id.block < 0 || (id.block + 1) * bs > part.sector_count) {
+    return Status::OutOfRange("block outside partition");
+  }
+  const SectorNo vsector = part.first_sector + id.block * bs;
+  const std::vector<driver::AdaptiveDriver::PhysExtent> extents =
+      driver.MapVirtualExtent(vsector, bs);
+  if (extents.size() != 1) {
+    return Status::NotFound("block straddles the hidden-region boundary");
+  }
+  return extents[0].sector;
+}
+
+StatusOr<ArrangeResult> BlockArranger::Rearrange(
+    driver::AdaptiveDriver& driver,
+    const std::vector<analyzer::HotBlock>& ranked) const {
+  if (!driver.label().rearranged()) {
+    return Status::FailedPrecondition("disk is not set up for rearrangement");
+  }
+  ArrangeResult result;
+  const std::int64_t ios_before = driver.internal_io_count();
+  const Micros time_before = driver.internal_io_time();
+
+  // Empty the reserved area: cooled blocks return to their original
+  // locations (dirty ones are copied back by the driver).
+  result.cleaned = driver.block_table().size();
+  ABR_RETURN_IF_ERROR(driver.IoctlClean());
+  driver.Drain();
+
+  // Filter the ranked list down to eligible blocks, preserving rank order.
+  const ReservedRegion region = ReservedRegion::FromDriver(driver);
+  std::vector<analyzer::HotBlock> eligible;
+  eligible.reserve(ranked.size());
+  for (const analyzer::HotBlock& hb : ranked) {
+    if (eligible.size() >= static_cast<std::size_t>(region.slot_count())) {
+      break;
+    }
+    StatusOr<SectorNo> original = OriginalSector(driver, hb.id);
+    if (original.ok()) {
+      eligible.push_back(hb);
+    } else if (original.status().code() == StatusCode::kNotFound ||
+               original.status().code() == StatusCode::kOutOfRange) {
+      ++result.skipped;
+    } else {
+      return original.status();
+    }
+  }
+
+  // Place and copy. Each DKIOCBCOPY costs three I/Os which the driver
+  // sequences; other requests may interleave, so the arranger simply lets
+  // the clock run after each ioctl.
+  const PlacementPlan plan = policy_->Place(eligible, region);
+  for (const SlotAssignment& a : plan) {
+    StatusOr<SectorNo> original = OriginalSector(driver, a.id);
+    assert(original.ok());
+    ABR_RETURN_IF_ERROR(
+        driver.IoctlCopyBlock(*original, region.SlotSector(a.slot)));
+    driver.Drain();
+    ++result.copied;
+  }
+
+  result.internal_ios = driver.internal_io_count() - ios_before;
+  result.io_time = driver.internal_io_time() - time_before;
+  return result;
+}
+
+}  // namespace abr::placement

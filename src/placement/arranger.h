@@ -1,0 +1,57 @@
+#ifndef ABR_PLACEMENT_ARRANGER_H_
+#define ABR_PLACEMENT_ARRANGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analyzer/counter.h"
+#include "driver/adaptive_driver.h"
+#include "placement/policy.h"
+#include "util/status.h"
+
+namespace abr::placement {
+
+/// Outcome of one rearrangement pass.
+struct ArrangeResult {
+  std::int32_t cleaned = 0;       // blocks removed from the reserved area
+  std::int32_t copied = 0;        // blocks copied into the reserved area
+  std::int32_t skipped = 0;       // hot blocks that were ineligible
+  std::int64_t internal_ios = 0;  // driver I/O operations consumed
+  Micros io_time = 0;             // disk time consumed by those I/Os
+};
+
+/// The user-level block arranger (Section 4.2): given the analyzer's ranked
+/// hot-block list, selects the blocks to rearrange, asks the placement
+/// policy where each goes, and drives the DKIOCCLEAN / DKIOCBCOPY ioctls.
+///
+/// Blocks whose original location straddles the hidden-region boundary map
+/// to two discontiguous physical extents and are skipped (they cannot be
+/// described by a single old/new address pair in the block table).
+class BlockArranger {
+ public:
+  /// The policy must outlive the arranger.
+  explicit BlockArranger(const PlacementPolicy* policy);
+
+  /// Performs a full rearrangement: cleans out the reserved area, then
+  /// copies the selected hot blocks in. Runs the driver's clock forward
+  /// until all movement I/O completes (the experiments rearrange between
+  /// measurement days, as the paper does — roughly once per day).
+  StatusOr<ArrangeResult> Rearrange(
+      driver::AdaptiveDriver& driver,
+      const std::vector<analyzer::HotBlock>& ranked) const;
+
+  /// Translates a logical block to the original physical start sector the
+  /// block table is keyed by. Returns NotFound for blocks that straddle
+  /// the hidden-region boundary (ineligible) and errors for bad addresses.
+  static StatusOr<SectorNo> OriginalSector(
+      const driver::AdaptiveDriver& driver, const analyzer::BlockId& id);
+
+  const PlacementPolicy& policy() const { return *policy_; }
+
+ private:
+  const PlacementPolicy* policy_;
+};
+
+}  // namespace abr::placement
+
+#endif  // ABR_PLACEMENT_ARRANGER_H_

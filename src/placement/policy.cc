@@ -1,0 +1,231 @@
+#include "placement/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace abr::placement {
+
+namespace {
+
+/// Truncates the ranked list to what fits in the region.
+std::vector<analyzer::HotBlock> Select(
+    const std::vector<analyzer::HotBlock>& ranked,
+    const ReservedRegion& region) {
+  std::vector<analyzer::HotBlock> selected = ranked;
+  const std::size_t max = static_cast<std::size_t>(region.slot_count());
+  if (selected.size() > max) selected.resize(max);
+  return selected;
+}
+
+}  // namespace
+
+PlacementPlan OrganPipePolicy::Place(
+    const std::vector<analyzer::HotBlock>& ranked,
+    const ReservedRegion& region) const {
+  const std::vector<analyzer::HotBlock> selected = Select(ranked, region);
+  const std::vector<std::int32_t> order = region.OrganPipeSlotOrder();
+  PlacementPlan plan;
+  plan.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    plan.push_back(SlotAssignment{selected[i].id, order[i]});
+  }
+  return plan;
+}
+
+PlacementPlan SerialPolicy::Place(const std::vector<analyzer::HotBlock>& ranked,
+                                  const ReservedRegion& region) const {
+  std::vector<analyzer::HotBlock> selected = Select(ranked, region);
+  // Reference counts chose the set; positions follow original block order.
+  std::sort(selected.begin(), selected.end(),
+            [](const analyzer::HotBlock& a, const analyzer::HotBlock& b) {
+              if (a.id.device != b.id.device) return a.id.device < b.id.device;
+              return a.id.block < b.id.block;
+            });
+  PlacementPlan plan;
+  plan.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    plan.push_back(
+        SlotAssignment{selected[i].id, static_cast<std::int32_t>(i)});
+  }
+  return plan;
+}
+
+InterleavedPolicy::InterleavedPolicy(std::int32_t interleave_factor,
+                                     double closeness)
+    : interleave_factor_(interleave_factor), closeness_(closeness) {
+  assert(interleave_factor >= 0);
+  assert(closeness > 0.0 && closeness <= 1.0);
+}
+
+PlacementPlan InterleavedPolicy::Place(
+    const std::vector<analyzer::HotBlock>& ranked,
+    const ReservedRegion& region) const {
+  const std::vector<analyzer::HotBlock> selected = Select(ranked, region);
+  // Logical distance between consecutive interleaved file blocks, which is
+  // also the slot-position distance used inside a cylinder.
+  const std::int64_t stride = interleave_factor_ + 1;
+
+  // Membership and counts of the still-unplaced selected blocks.
+  std::unordered_map<std::uint64_t, std::int64_t> unplaced_count;
+  unplaced_count.reserve(selected.size());
+  for (const analyzer::HotBlock& hb : selected) {
+    unplaced_count.emplace(analyzer::PackBlockId(hb.id), hb.count);
+  }
+
+  PlacementPlan plan;
+  plan.reserve(selected.size());
+
+  const std::vector<Cylinder> cylinder_order = region.OrganPipeCylinderOrder();
+  std::size_t ci = 0;
+  // Free/occupied state of the current cylinder's slot positions.
+  std::vector<std::int32_t> positions;  // slot ids of the current cylinder
+  std::vector<bool> used;
+
+  auto load_cylinder = [&]() -> bool {
+    while (ci < cylinder_order.size()) {
+      positions = region.SlotsOfCylinder(cylinder_order[ci]);
+      used.assign(positions.size(), false);
+      if (!positions.empty()) return true;
+      ++ci;
+    }
+    return false;
+  };
+  auto first_free = [&]() -> std::ptrdiff_t {
+    for (std::size_t p = 0; p < used.size(); ++p) {
+      if (!used[p]) return static_cast<std::ptrdiff_t>(p);
+    }
+    return -1;
+  };
+
+  if (!load_cylinder()) return plan;
+
+  std::size_t next_rank = 0;  // cursor into `selected` for chain heads
+  while (plan.size() < selected.size()) {
+    std::ptrdiff_t p = first_free();
+    if (p < 0) {
+      ++ci;
+      if (!load_cylinder()) break;
+      continue;
+    }
+    // Start a new chain with the hottest remaining block.
+    while (next_rank < selected.size() &&
+           !unplaced_count.contains(
+               analyzer::PackBlockId(selected[next_rank].id))) {
+      ++next_rank;
+    }
+    if (next_rank >= selected.size()) break;
+    analyzer::HotBlock current = selected[next_rank];
+
+    // Follow the chain of successors as long as they exist, are hot enough,
+    // and the interleaved position is available.
+    while (true) {
+      plan.push_back(SlotAssignment{current.id,
+                                    positions[static_cast<std::size_t>(p)]});
+      used[static_cast<std::size_t>(p)] = true;
+      unplaced_count.erase(analyzer::PackBlockId(current.id));
+
+      const analyzer::BlockId succ_id{current.id.device,
+                                      current.id.block + stride};
+      auto succ = unplaced_count.find(analyzer::PackBlockId(succ_id));
+      if (succ == unplaced_count.end()) break;  // no successor in the set
+      if (static_cast<double>(succ->second) <
+          closeness_ * static_cast<double>(current.count)) {
+        break;  // successor's frequency is not "close"
+      }
+      const std::ptrdiff_t q = p + stride;
+      if (q >= static_cast<std::ptrdiff_t>(positions.size()) ||
+          used[static_cast<std::size_t>(q)]) {
+        break;  // successor cannot be placed
+      }
+      current = analyzer::HotBlock{succ_id, succ->second};
+      p = q;
+    }
+  }
+  return plan;
+}
+
+std::vector<std::int32_t> StaggeredPolicy::StaggerOrder(std::int32_t n) {
+  // Successive halving: visit even strides first, recursively. For n = 8:
+  // 0 4 2 6 1 5 3 7 — every prefix spreads nearly uniformly.
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  // Breadth-first span subdivision: take each span's left edge, then
+  // split the remainder.
+  std::vector<bool> taken(static_cast<std::size_t>(n), false);
+  std::deque<std::pair<std::int32_t, std::int32_t>> queue;
+  queue.emplace_back(0, n);
+  while (!queue.empty()) {
+    auto [lo, hi] = queue.front();
+    queue.pop_front();
+    if (lo >= hi) continue;
+    const std::int32_t mid = lo;  // take the left edge of the span
+    if (!taken[static_cast<std::size_t>(mid)]) {
+      taken[static_cast<std::size_t>(mid)] = true;
+      order.push_back(mid);
+    }
+    const std::int32_t half = (hi - lo + 1) / 2;
+    if (hi - lo > 1) {
+      queue.emplace_back(lo + half, hi);
+      queue.emplace_back(lo + 1, lo + half);
+    }
+  }
+  return order;
+}
+
+PlacementPlan StaggeredPolicy::Place(
+    const std::vector<analyzer::HotBlock>& ranked,
+    const ReservedRegion& region) const {
+  std::vector<analyzer::HotBlock> selected = ranked;
+  const std::size_t max = static_cast<std::size_t>(region.slot_count());
+  if (selected.size() > max) selected.resize(max);
+
+  PlacementPlan plan;
+  plan.reserve(selected.size());
+  std::size_t next = 0;
+  for (Cylinder c : region.OrganPipeCylinderOrder()) {
+    const std::vector<std::int32_t>& slots = region.SlotsOfCylinder(c);
+    const std::vector<std::int32_t> order =
+        StaggerOrder(static_cast<std::int32_t>(slots.size()));
+    for (std::int32_t pos : order) {
+      if (next >= selected.size()) return plan;
+      plan.push_back(SlotAssignment{
+          selected[next].id, slots[static_cast<std::size_t>(pos)]});
+      ++next;
+    }
+  }
+  return plan;
+}
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kOrganPipe:
+      return "Organ-pipe";
+    case PolicyKind::kInterleaved:
+      return "Interleaved";
+    case PolicyKind::kSerial:
+      return "Serial";
+    case PolicyKind::kStaggered:
+      return "Staggered";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlacementPolicy> MakePolicy(PolicyKind kind,
+                                            std::int32_t interleave_factor,
+                                            double closeness) {
+  switch (kind) {
+    case PolicyKind::kOrganPipe:
+      return std::make_unique<OrganPipePolicy>();
+    case PolicyKind::kInterleaved:
+      return std::make_unique<InterleavedPolicy>(interleave_factor, closeness);
+    case PolicyKind::kSerial:
+      return std::make_unique<SerialPolicy>();
+    case PolicyKind::kStaggered:
+      return std::make_unique<StaggeredPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace abr::placement

@@ -1,0 +1,75 @@
+#include "placement/reserved_region.h"
+
+#include <cassert>
+
+#include "driver/adaptive_driver.h"
+
+namespace abr::placement {
+
+ReservedRegion::ReservedRegion(const disk::Geometry& physical,
+                               SectorNo data_first_sector,
+                               std::int32_t slot_count,
+                               std::int32_t block_sectors)
+    : physical_(physical),
+      data_first_sector_(data_first_sector),
+      slot_count_(slot_count),
+      block_sectors_(block_sectors) {
+  assert(physical_.Valid());
+  assert(slot_count_ >= 0);
+  assert(block_sectors_ > 0);
+  for (std::int32_t s = 0; s < slot_count_; ++s) {
+    const Cylinder c = SlotCylinder(s);
+    auto [it, inserted] = slots_by_cylinder_.try_emplace(c);
+    if (inserted) cylinders_.push_back(c);
+    it->second.push_back(s);
+  }
+  // cylinders_ is ascending because slots are laid out in sector order.
+}
+
+ReservedRegion ReservedRegion::FromDriver(
+    const driver::AdaptiveDriver& driver) {
+  return ReservedRegion(driver.label().physical_geometry(),
+                        driver.reserved_data_first_sector(),
+                        driver.reserved_slot_count(), driver.block_sectors());
+}
+
+SectorNo ReservedRegion::SlotSector(std::int32_t slot) const {
+  assert(slot >= 0 && slot < slot_count_);
+  return data_first_sector_ + static_cast<SectorNo>(slot) * block_sectors_;
+}
+
+Cylinder ReservedRegion::SlotCylinder(std::int32_t slot) const {
+  return physical_.CylinderOf(SlotSector(slot));
+}
+
+const std::vector<std::int32_t>& ReservedRegion::SlotsOfCylinder(
+    Cylinder cylinder) const {
+  static const std::vector<std::int32_t> kEmpty;
+  auto it = slots_by_cylinder_.find(cylinder);
+  return it == slots_by_cylinder_.end() ? kEmpty : it->second;
+}
+
+std::vector<Cylinder> ReservedRegion::OrganPipeCylinderOrder() const {
+  std::vector<Cylinder> order;
+  if (cylinders_.empty()) return order;
+  order.reserve(cylinders_.size());
+  const std::size_t n = cylinders_.size();
+  std::size_t center = n / 2;
+  order.push_back(cylinders_[center]);
+  for (std::size_t step = 1; order.size() < n; ++step) {
+    if (center + step < n) order.push_back(cylinders_[center + step]);
+    if (center >= step) order.push_back(cylinders_[center - step]);
+  }
+  return order;
+}
+
+std::vector<std::int32_t> ReservedRegion::OrganPipeSlotOrder() const {
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(slot_count_));
+  for (Cylinder c : OrganPipeCylinderOrder()) {
+    for (std::int32_t s : SlotsOfCylinder(c)) order.push_back(s);
+  }
+  return order;
+}
+
+}  // namespace abr::placement

@@ -1,0 +1,72 @@
+#ifndef ABR_PLACEMENT_RESERVED_REGION_H_
+#define ABR_PLACEMENT_RESERVED_REGION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "disk/geometry.h"
+#include "util/types.h"
+
+namespace abr::driver {
+class AdaptiveDriver;
+}  // namespace abr::driver
+
+namespace abr::placement {
+
+/// Geometry of the reserved area's block slots.
+///
+/// The reserved area occupies whole cylinders in the middle of the disk;
+/// its first sectors hold the on-disk block table, and the remainder is a
+/// packed array of block-sized slots. Placement policies reason about
+/// which *cylinder* each slot starts on: the organ-pipe heuristic fills the
+/// center cylinder with the hottest blocks and works outward on
+/// alternating sides (Section 2).
+class ReservedRegion {
+ public:
+  /// Describes a region whose data slots start at `data_first_sector`.
+  ReservedRegion(const disk::Geometry& physical, SectorNo data_first_sector,
+                 std::int32_t slot_count, std::int32_t block_sectors);
+
+  /// Convenience: builds the region the given driver exposes.
+  static ReservedRegion FromDriver(const driver::AdaptiveDriver& driver);
+
+  /// Number of block slots.
+  std::int32_t slot_count() const { return slot_count_; }
+
+  /// Sectors per block.
+  std::int32_t block_sectors() const { return block_sectors_; }
+
+  /// Physical start sector of a slot.
+  SectorNo SlotSector(std::int32_t slot) const;
+
+  /// Physical cylinder a slot starts on.
+  Cylinder SlotCylinder(std::int32_t slot) const;
+
+  /// Distinct cylinders containing slots, ascending.
+  const std::vector<Cylinder>& cylinders() const { return cylinders_; }
+
+  /// Slots starting on the given cylinder, ascending slot index.
+  const std::vector<std::int32_t>& SlotsOfCylinder(Cylinder cylinder) const;
+
+  /// Cylinders ordered for organ-pipe filling: the center cylinder of the
+  /// region first, then alternating adjacent cylinders outward.
+  std::vector<Cylinder> OrganPipeCylinderOrder() const;
+
+  /// Slot indices in organ-pipe fill order: all slots of the center
+  /// cylinder, then of its neighbours alternating outward. Assigning the
+  /// ranked hot list to this order yields the organ-pipe layout.
+  std::vector<std::int32_t> OrganPipeSlotOrder() const;
+
+ private:
+  disk::Geometry physical_;
+  SectorNo data_first_sector_;
+  std::int32_t slot_count_;
+  std::int32_t block_sectors_;
+  std::vector<Cylinder> cylinders_;
+  std::map<Cylinder, std::vector<std::int32_t>> slots_by_cylinder_;
+};
+
+}  // namespace abr::placement
+
+#endif  // ABR_PLACEMENT_RESERVED_REGION_H_

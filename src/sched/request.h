@@ -1,0 +1,54 @@
+#ifndef ABR_SCHED_REQUEST_H_
+#define ABR_SCHED_REQUEST_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace abr::sched {
+
+/// Direction of an I/O operation.
+enum class IoType { kRead, kWrite };
+
+/// Returns "read" or "write".
+inline const char* IoTypeName(IoType t) {
+  return t == IoType::kRead ? "read" : "write";
+}
+
+/// One disk request as it sits in the driver's queue. The sector address is
+/// the *final physical* address — all logical-to-physical translation and
+/// block-table redirection has already happened in the driver's strategy
+/// routine by the time a request is enqueued.
+struct IoRequest {
+  /// Monotonically increasing id assigned at submission.
+  std::int64_t id = 0;
+
+  IoType type = IoType::kRead;
+
+  /// Time the driver first received the request (queueing time starts here).
+  Micros arrival_time = 0;
+
+  /// Final physical start sector (after remapping).
+  SectorNo sector = 0;
+
+  /// Number of sectors.
+  std::int64_t sector_count = 0;
+
+  /// Logical block number on the logical device, as the file system issued
+  /// it; used by the request monitor. kInvalidBlock for raw sub-requests
+  /// that are not block aligned.
+  BlockNo logical_block = kInvalidBlock;
+
+  /// Logical device (partition) index the request was issued against.
+  std::int32_t device = 0;
+
+  /// True for driver-generated I/O (block-table writes, block moves); such
+  /// requests are serviced normally but excluded from workload statistics.
+  bool internal = false;
+
+  bool is_read() const { return type == IoType::kRead; }
+};
+
+}  // namespace abr::sched
+
+#endif  // ABR_SCHED_REQUEST_H_

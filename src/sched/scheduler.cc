@@ -1,0 +1,141 @@
+#include "sched/scheduler.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace abr::sched {
+
+namespace {
+
+Cylinder CylinderOf(const IoRequest& request,
+                    std::int64_t sectors_per_cylinder) {
+  return static_cast<Cylinder>(request.sector / sectors_per_cylinder);
+}
+
+}  // namespace
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return "FCFS";
+    case SchedulerKind::kSstf:
+      return "SSTF";
+    case SchedulerKind::kScan:
+      return "SCAN";
+    case SchedulerKind::kCLook:
+      return "C-LOOK";
+  }
+  return "?";
+}
+
+FcfsScheduler::FcfsScheduler(std::int64_t sectors_per_cylinder) {
+  (void)sectors_per_cylinder;
+}
+
+void FcfsScheduler::Enqueue(const IoRequest& request) {
+  queue_.push_back(request);
+}
+
+std::optional<IoRequest> FcfsScheduler::Dequeue(Cylinder /*head_cylinder*/) {
+  if (queue_.empty()) return std::nullopt;
+  IoRequest front = queue_.front();
+  queue_.pop_front();
+  return front;
+}
+
+SstfScheduler::SstfScheduler(std::int64_t sectors_per_cylinder)
+    : sectors_per_cylinder_(sectors_per_cylinder) {
+  assert(sectors_per_cylinder > 0);
+}
+
+void SstfScheduler::Enqueue(const IoRequest& request) {
+  by_cylinder_.emplace(CylinderOf(request, sectors_per_cylinder_), request);
+  ++size_;
+}
+
+std::optional<IoRequest> SstfScheduler::Dequeue(Cylinder head_cylinder) {
+  if (by_cylinder_.empty()) return std::nullopt;
+  // Closest entry at or above the head vs. the closest below it.
+  auto above = by_cylinder_.lower_bound(head_cylinder);
+  auto chosen = by_cylinder_.end();
+  if (above != by_cylinder_.end()) chosen = above;
+  if (above != by_cylinder_.begin()) {
+    auto below = std::prev(above);
+    if (chosen == by_cylinder_.end() ||
+        head_cylinder - below->first < chosen->first - head_cylinder) {
+      chosen = below;
+    }
+  }
+  IoRequest out = chosen->second;
+  by_cylinder_.erase(chosen);
+  --size_;
+  return out;
+}
+
+ScanScheduler::ScanScheduler(std::int64_t sectors_per_cylinder)
+    : sectors_per_cylinder_(sectors_per_cylinder) {
+  assert(sectors_per_cylinder > 0);
+}
+
+void ScanScheduler::Enqueue(const IoRequest& request) {
+  by_cylinder_.emplace(CylinderOf(request, sectors_per_cylinder_), request);
+  ++size_;
+}
+
+std::optional<IoRequest> ScanScheduler::Dequeue(Cylinder head_cylinder) {
+  if (by_cylinder_.empty()) return std::nullopt;
+  auto take = [&](std::multimap<Cylinder, IoRequest>::iterator it) {
+    IoRequest out = it->second;
+    by_cylinder_.erase(it);
+    --size_;
+    return out;
+  };
+  if (sweeping_up_) {
+    auto it = by_cylinder_.lower_bound(head_cylinder);
+    if (it != by_cylinder_.end()) return take(it);
+    sweeping_up_ = false;  // nothing ahead; reverse
+  }
+  // Sweeping down: closest request at or below the head.
+  auto it = by_cylinder_.upper_bound(head_cylinder);
+  if (it != by_cylinder_.begin()) return take(std::prev(it));
+  // Nothing below either; reverse to an upward sweep.
+  sweeping_up_ = true;
+  return take(by_cylinder_.begin());
+}
+
+CLookScheduler::CLookScheduler(std::int64_t sectors_per_cylinder)
+    : sectors_per_cylinder_(sectors_per_cylinder) {
+  assert(sectors_per_cylinder > 0);
+}
+
+void CLookScheduler::Enqueue(const IoRequest& request) {
+  by_cylinder_.emplace(CylinderOf(request, sectors_per_cylinder_), request);
+  ++size_;
+}
+
+std::optional<IoRequest> CLookScheduler::Dequeue(Cylinder head_cylinder) {
+  if (by_cylinder_.empty()) return std::nullopt;
+  auto it = by_cylinder_.lower_bound(head_cylinder);
+  if (it == by_cylinder_.end()) it = by_cylinder_.begin();  // wrap
+  IoRequest out = it->second;
+  by_cylinder_.erase(it);
+  --size_;
+  return out;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,
+                                         std::int64_t sectors_per_cylinder) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsScheduler>(sectors_per_cylinder);
+    case SchedulerKind::kSstf:
+      return std::make_unique<SstfScheduler>(sectors_per_cylinder);
+    case SchedulerKind::kScan:
+      return std::make_unique<ScanScheduler>(sectors_per_cylinder);
+    case SchedulerKind::kCLook:
+      return std::make_unique<CLookScheduler>(sectors_per_cylinder);
+  }
+  return nullptr;
+}
+
+}  // namespace abr::sched

@@ -1,0 +1,65 @@
+#include "sim/disk_system.h"
+
+#include <cassert>
+
+namespace abr::sim {
+
+DiskSystem::DiskSystem(disk::Disk* disk,
+                       std::unique_ptr<sched::Scheduler> scheduler)
+    : disk_(disk), scheduler_(std::move(scheduler)) {
+  assert(disk_ != nullptr);
+  assert(scheduler_ != nullptr);
+}
+
+void DiskSystem::AdvanceTo(Micros t) {
+  assert(t >= now_);
+  while (in_flight_ && in_flight_->completion_time <= t) {
+    const InFlight done = *in_flight_;
+    in_flight_.reset();
+    now_ = done.completion_time;
+
+    CompletedIo completed;
+    completed.request = done.request;
+    completed.dispatch_time = done.dispatch_time;
+    completed.completion_time = done.completion_time;
+    completed.queue_time = done.dispatch_time - done.request.arrival_time;
+    completed.service_time = done.completion_time - done.dispatch_time;
+    completed.breakdown = done.breakdown;
+    if (callback_) callback_(completed);
+
+    MaybeStartNext();
+  }
+  if (t > now_) now_ = t;
+}
+
+void DiskSystem::Submit(const sched::IoRequest& request) {
+  assert(request.sector_count > 0);
+  // arrival_time may lie in the past for requests the driver held back
+  // (e.g. while their block was being moved); queueing time still counts
+  // from the original arrival.
+  if (request.arrival_time > now_) AdvanceTo(request.arrival_time);
+  scheduler_->Enqueue(request);
+  if (!in_flight_) MaybeStartNext();
+}
+
+Micros DiskSystem::Drain() {
+  while (in_flight_) AdvanceTo(in_flight_->completion_time);
+  return now_;
+}
+
+void DiskSystem::MaybeStartNext() {
+  if (in_flight_) return;
+  std::optional<sched::IoRequest> next =
+      scheduler_->Dequeue(disk_->head_cylinder());
+  if (!next) return;
+
+  InFlight flight;
+  flight.request = *next;
+  flight.dispatch_time = now_;
+  flight.breakdown =
+      disk_->Service(next->sector, next->sector_count, next->is_read(), now_);
+  flight.completion_time = now_ + flight.breakdown.total();
+  in_flight_ = flight;
+}
+
+}  // namespace abr::sim

@@ -1,0 +1,100 @@
+#ifndef ABR_SIM_DISK_SYSTEM_H_
+#define ABR_SIM_DISK_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "disk/disk.h"
+#include "sched/scheduler.h"
+#include "util/types.h"
+
+namespace abr::sim {
+
+/// A serviced request with its measured times, defined exactly as in the
+/// paper (Section 4.1.5): queueing time runs from the driver first
+/// receiving the request until it is submitted to the disk; service time
+/// runs from then until the disk returns the request.
+struct CompletedIo {
+  sched::IoRequest request;
+  Micros dispatch_time = 0;    // submitted to the disk
+  Micros completion_time = 0;  // returned by the disk
+  Micros queue_time = 0;       // dispatch - arrival
+  Micros service_time = 0;     // completion - dispatch
+  disk::ServiceBreakdown breakdown;
+};
+
+/// Discrete-event model of one disk plus its request queue.
+///
+/// The caller submits fully-mapped physical requests in nondecreasing
+/// arrival-time order; the system advances a simulated clock, dispatches
+/// one operation at a time to the disk under the configured scheduling
+/// policy, and reports each completion through a callback.
+class DiskSystem {
+ public:
+  using CompletionCallback = std::function<void(const CompletedIo&)>;
+
+  /// The disk must outlive this object.
+  DiskSystem(disk::Disk* disk, std::unique_ptr<sched::Scheduler> scheduler);
+
+  DiskSystem(const DiskSystem&) = delete;
+  DiskSystem& operator=(const DiskSystem&) = delete;
+
+  /// Registers the completion callback (may be empty).
+  void set_completion_callback(CompletionCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Advances the clock to `t` (>= now()), completing every operation that
+  /// finishes by then and dispatching queued work as the disk frees up.
+  void AdvanceTo(Micros t);
+
+  /// Submits a request. If arrival_time is in the future the clock first
+  /// advances to it; an arrival_time in the past is allowed (the driver
+  /// releases held-back requests this way) and leaves the clock untouched,
+  /// so the measured queueing time still starts at the original arrival.
+  void Submit(const sched::IoRequest& request);
+
+  /// Services everything still queued or in flight; returns the completion
+  /// time of the last operation (or now() if there was none).
+  Micros Drain();
+
+  /// Current simulated time.
+  Micros now() const { return now_; }
+
+  /// Requests waiting in the scheduler queue (not counting the in-flight
+  /// operation).
+  std::size_t queued() const { return scheduler_->size(); }
+
+  /// True iff an operation is in flight.
+  bool busy() const { return in_flight_.has_value(); }
+
+  /// The underlying disk.
+  disk::Disk& disk() { return *disk_; }
+  const disk::Disk& disk() const { return *disk_; }
+
+  /// The scheduling policy in use.
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  struct InFlight {
+    sched::IoRequest request;
+    Micros dispatch_time;
+    Micros completion_time;
+    disk::ServiceBreakdown breakdown;
+  };
+
+  /// Dispatches the next queued request, if any, at time now().
+  void MaybeStartNext();
+
+  disk::Disk* disk_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  CompletionCallback callback_;
+  Micros now_ = 0;
+  std::optional<InFlight> in_flight_;
+};
+
+}  // namespace abr::sim
+
+#endif  // ABR_SIM_DISK_SYSTEM_H_

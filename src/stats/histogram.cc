@@ -1,0 +1,148 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::stats {
+
+TimeHistogram::TimeHistogram(Micros bucket_width)
+    : bucket_width_(bucket_width) {
+  assert(bucket_width > 0);
+}
+
+void TimeHistogram::Add(Micros value) {
+  assert(value >= 0);
+  const std::size_t bucket = static_cast<std::size_t>(value / bucket_width_);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  total_ += value;
+}
+
+void TimeHistogram::Merge(const TimeHistogram& other) {
+  assert(bucket_width_ == other.bucket_width_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+void TimeHistogram::Clear() {
+  buckets_.clear();
+  count_ = 0;
+  total_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double TimeHistogram::MeanMillis() const {
+  if (count_ == 0) return 0.0;
+  return MicrosToMillis(total_) / static_cast<double>(count_);
+}
+
+double TimeHistogram::FractionBelow(Micros value) const {
+  if (count_ == 0) return 0.0;
+  const std::size_t limit = static_cast<std::size_t>(value / bucket_width_);
+  std::int64_t below = 0;
+  for (std::size_t i = 0; i < buckets_.size() && i < limit; ++i) {
+    below += buckets_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+double TimeHistogram::PercentileMillis(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      return MicrosToMillis(static_cast<Micros>(i + 1) * bucket_width_);
+    }
+  }
+  return MicrosToMillis(static_cast<Micros>(buckets_.size()) * bucket_width_);
+}
+
+std::vector<std::pair<double, double>> TimeHistogram::CdfPoints() const {
+  std::vector<std::pair<double, double>> points;
+  if (count_ == 0) return points;
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    points.emplace_back(
+        MicrosToMillis(static_cast<Micros>(i + 1) * bucket_width_),
+        static_cast<double>(cum) / static_cast<double>(count_));
+  }
+  return points;
+}
+
+void DistanceHistogram::Add(std::int64_t distance) {
+  assert(distance >= 0);
+  const std::size_t d = static_cast<std::size_t>(distance);
+  if (d >= counts_.size()) counts_.resize(d + 1, 0);
+  ++counts_[d];
+  ++count_;
+  total_distance_ += distance;
+}
+
+void DistanceHistogram::Merge(const DistanceHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  total_distance_ += other.total_distance_;
+}
+
+void DistanceHistogram::Clear() {
+  counts_.clear();
+  count_ = 0;
+  total_distance_ = 0;
+}
+
+double DistanceHistogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(total_distance_) / static_cast<double>(count_);
+}
+
+double DistanceHistogram::ZeroFraction() const {
+  if (count_ == 0) return 0.0;
+  const std::int64_t zeros = counts_.empty() ? 0 : counts_[0];
+  return static_cast<double>(zeros) / static_cast<double>(count_);
+}
+
+double DistanceHistogram::MeanOf(
+    const std::function<double(std::int64_t)>& f) const {
+  if (count_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    if (counts_[d] != 0) {
+      sum += f(static_cast<std::int64_t>(d)) *
+             static_cast<double>(counts_[d]);
+    }
+  }
+  return sum / static_cast<double>(count_);
+}
+
+}  // namespace abr::stats

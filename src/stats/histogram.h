@@ -1,0 +1,113 @@
+#ifndef ABR_STATS_HISTOGRAM_H_
+#define ABR_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace abr::stats {
+
+/// Time histogram mirroring the paper's driver instrumentation (Section
+/// 4.1.5): samples are recorded with microsecond resolution; the
+/// *distribution* is kept at one-millisecond resolution while *cumulative*
+/// totals retain full resolution, so means are exact even though the
+/// histogram buckets are coarse.
+class TimeHistogram {
+ public:
+  /// Creates a histogram with the given bucket width (default 1 ms).
+  explicit TimeHistogram(Micros bucket_width = kMillisecond);
+
+  /// Records one duration (>= 0).
+  void Add(Micros value);
+
+  /// Merges another histogram with the same bucket width into this one.
+  void Merge(const TimeHistogram& other);
+
+  /// Discards all recorded samples.
+  void Clear();
+
+  /// Number of samples recorded.
+  std::int64_t count() const { return count_; }
+
+  /// Exact sum of all samples in microseconds.
+  Micros total() const { return total_; }
+
+  /// Exact mean in milliseconds (0 when empty).
+  double MeanMillis() const;
+
+  /// Smallest/largest recorded value (0 when empty), full resolution.
+  Micros min() const { return count_ == 0 ? 0 : min_; }
+  Micros max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Fraction of samples strictly below the given duration, computed from
+  /// the bucketed distribution (bucket granularity applies).
+  double FractionBelow(Micros value) const;
+
+  /// p-th percentile (p in [0,1]) from the bucketed distribution, returned
+  /// as the upper edge of the bucket containing the quantile, in ms.
+  double PercentileMillis(double p) const;
+
+  /// One (x = bucket upper edge in ms, y = cumulative fraction) point per
+  /// non-empty prefix bucket; suitable for plotting service-time CDFs like
+  /// the paper's Figures 4 and 6.
+  std::vector<std::pair<double, double>> CdfPoints() const;
+
+  /// Bucket width in microseconds.
+  Micros bucket_width() const { return bucket_width_; }
+
+  /// Raw bucket counts (bucket i covers [i*w, (i+1)*w)).
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+
+ private:
+  Micros bucket_width_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  Micros total_ = 0;
+  Micros min_ = 0;
+  Micros max_ = 0;
+};
+
+/// Distribution of seek distances in cylinders. The paper records these in
+/// both arrival order and scheduled order (Section 4.1.5) and converts them
+/// to seek times via the drive's analytic seek-time function (Table 2
+/// caption).
+class DistanceHistogram {
+ public:
+  DistanceHistogram() = default;
+
+  /// Records one absolute seek distance (>= 0 cylinders).
+  void Add(std::int64_t distance);
+
+  /// Merges another distribution into this one.
+  void Merge(const DistanceHistogram& other);
+
+  /// Discards all samples.
+  void Clear();
+
+  /// Number of seeks recorded.
+  std::int64_t count() const { return count_; }
+
+  /// Mean seek distance in cylinders (0 when empty).
+  double Mean() const;
+
+  /// Fraction of zero-length seeks (0 when empty).
+  double ZeroFraction() const;
+
+  /// Mean of f(distance) over all samples — e.g. pass a seek-time function
+  /// to obtain the mean seek time in ms exactly as the paper computes it.
+  double MeanOf(const std::function<double(std::int64_t)>& f) const;
+
+  /// Raw counts indexed by distance.
+  const std::vector<std::int64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  std::int64_t total_distance_ = 0;
+};
+
+}  // namespace abr::stats
+
+#endif  // ABR_STATS_HISTOGRAM_H_

@@ -1,0 +1,52 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::stats {
+
+void Summary::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double Summary::avg() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+RankCurve::RankCurve(std::vector<std::int64_t> counts) {
+  sorted_.reserve(counts.size());
+  for (std::int64_t c : counts) {
+    assert(c >= 0);
+    if (c > 0) sorted_.push_back(c);
+  }
+  std::sort(sorted_.begin(), sorted_.end(), std::greater<>());
+  prefix_.reserve(sorted_.size());
+  std::int64_t run = 0;
+  for (std::int64_t c : sorted_) {
+    run += c;
+    prefix_.push_back(run);
+  }
+  total_ = run;
+}
+
+double RankCurve::TopKFraction(std::int64_t k) const {
+  if (total_ == 0) return 0.0;
+  k = std::clamp<std::int64_t>(k, 0, distinct());
+  if (k == 0) return 0.0;
+  return static_cast<double>(prefix_[static_cast<std::size_t>(k - 1)]) /
+         static_cast<double>(total_);
+}
+
+std::int64_t RankCurve::CountAtRank(std::int64_t rank) const {
+  assert(rank >= 0 && rank < distinct());
+  return sorted_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace abr::stats

@@ -1,0 +1,70 @@
+#ifndef ABR_STATS_SUMMARY_H_
+#define ABR_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace abr::stats {
+
+/// Min / average / max reducer over a sequence of scalar observations.
+/// The paper's summary tables (Tables 2, 4, 5, 6) report the minimum,
+/// average and maximum of the *daily mean* times across all "on" or all
+/// "off" days; this class performs that reduction.
+class Summary {
+ public:
+  Summary() = default;
+
+  /// Records one observation (typically one day's mean).
+  void Add(double value);
+
+  /// Number of observations.
+  std::int64_t count() const { return count_; }
+
+  /// Minimum observation (0 when empty).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+
+  /// Maximum observation (0 when empty).
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Arithmetic mean of the observations (0 when empty).
+  double avg() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Rank/frequency curve: given per-item reference counts, produces the
+/// cumulative fraction of references absorbed by the top-k items, the shape
+/// plotted in the paper's Figures 5 and 7.
+class RankCurve {
+ public:
+  /// Builds the curve from raw reference counts (unsorted; zeros ignored).
+  explicit RankCurve(std::vector<std::int64_t> counts);
+
+  /// Number of items with a nonzero count.
+  std::int64_t distinct() const {
+    return static_cast<std::int64_t>(sorted_.size());
+  }
+
+  /// Total number of references.
+  std::int64_t total() const { return total_; }
+
+  /// Fraction of all references absorbed by the k most-referenced items
+  /// (k clamped to [0, distinct()]).
+  double TopKFraction(std::int64_t k) const;
+
+  /// Count of the item at the given (0-based) popularity rank.
+  std::int64_t CountAtRank(std::int64_t rank) const;
+
+ private:
+  std::vector<std::int64_t> sorted_;  // descending
+  std::vector<std::int64_t> prefix_;  // prefix sums of sorted_
+  std::int64_t total_ = 0;
+};
+
+}  // namespace abr::stats
+
+#endif  // ABR_STATS_SUMMARY_H_

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace abr {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(Row{/*separator=*/false, std::move(cells)});
+}
+
+void Table::AddSeparator() { rows_.push_back(Row{/*separator=*/true, {}}); }
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule();
+  out += render_line(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : render_line(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string Table::Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::Fmt(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace abr

@@ -1,0 +1,48 @@
+#ifndef ABR_UTIL_TABLE_H_
+#define ABR_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace abr {
+
+/// Renders aligned ASCII tables in the style of the paper's result tables.
+/// Used by the benchmark harnesses to print paper-vs-measured rows.
+///
+/// Usage:
+///   Table t({"Disk", "On/Off", "avg seek (ms)"});
+///   t.AddRow({"Toshiba", "Off", Table::Fmt(19.46)});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with a header rule and column alignment.
+  std::string ToString() const;
+
+  /// Formats a double with the given number of decimals (default 2).
+  static std::string Fmt(double v, int decimals = 2);
+
+  /// Formats an integer.
+  static std::string Fmt(std::int64_t v);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace abr
+
+#endif  // ABR_UTIL_TABLE_H_

@@ -1,0 +1,57 @@
+#ifndef ABR_UTIL_TYPES_H_
+#define ABR_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace abr {
+
+/// Simulated time in microseconds. The paper's driver measures times with
+/// microsecond resolution (Section 4.1.5); the simulator clock uses the
+/// same unit so measured distributions match the paper's definition.
+using Micros = std::int64_t;
+
+/// One millisecond expressed in simulator time units.
+inline constexpr Micros kMillisecond = 1000;
+
+/// One second expressed in simulator time units.
+inline constexpr Micros kSecond = 1000 * kMillisecond;
+
+/// One minute expressed in simulator time units.
+inline constexpr Micros kMinute = 60 * kSecond;
+
+/// One hour expressed in simulator time units.
+inline constexpr Micros kHour = 60 * kMinute;
+
+/// Converts a duration in (possibly fractional) milliseconds to Micros,
+/// rounding to the nearest microsecond.
+constexpr Micros MillisToMicros(double ms) {
+  return static_cast<Micros>(ms * 1000.0 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a simulator duration to fractional milliseconds for reporting.
+constexpr double MicrosToMillis(Micros us) {
+  return static_cast<double>(us) / 1000.0;
+}
+
+/// Physical sector address on a disk (SCSI logical sector number).
+/// Sectors are the disk's addressing unit; file-system blocks span a fixed
+/// number of consecutive sectors.
+using SectorNo = std::int64_t;
+
+/// Logical block number as seen by a file system within one partition.
+using BlockNo = std::int64_t;
+
+/// Physical block number on the *virtual* (shrunk) disk exposed to file
+/// systems, or on the actual disk after driver remapping; which one is
+/// meant is documented at each use site.
+using PhysBlockNo = std::int64_t;
+
+/// Cylinder index, 0-based from the outer edge of the disk.
+using Cylinder = std::int32_t;
+
+/// Invalid sentinel for block numbers.
+inline constexpr BlockNo kInvalidBlock = -1;
+
+}  // namespace abr
+
+#endif  // ABR_UTIL_TYPES_H_

@@ -1,0 +1,41 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace abr {
+
+ZipfSampler::ZipfSampler(std::int64_t n, double theta)
+    : n_(n), theta_(theta), cdf_(static_cast<std::size_t>(n)) {
+  assert(n > 0);
+  assert(theta >= 0.0);
+  double sum = 0.0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[static_cast<std::size_t>(k)] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::int64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::int64_t rank) const {
+  assert(rank >= 0 && rank < n_);
+  const std::size_t k = static_cast<std::size_t>(rank);
+  return rank == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+double ZipfSampler::Cdf(std::int64_t rank) const {
+  assert(rank >= 0 && rank < n_);
+  return cdf_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace abr

@@ -1,0 +1,47 @@
+#ifndef ABR_UTIL_ZIPF_H_
+#define ABR_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace abr {
+
+/// Samples ranks from a (generalized) Zipf distribution over {0, ..., n-1}:
+/// P(rank = k) proportional to 1 / (k + 1)^theta.
+///
+/// Disk block reference streams are highly skewed (paper Section 2, Figures
+/// 5 and 7); Zipf-like rank/frequency curves are the standard synthetic
+/// model for that skew. Sampling uses a precomputed CDF with binary search,
+/// which is exact and fast for the population sizes used here (<= millions).
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n ranks with exponent theta >= 0.
+  /// theta == 0 degenerates to the uniform distribution.
+  ZipfSampler(std::int64_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  std::int64_t Sample(Rng& rng) const;
+
+  /// Number of ranks.
+  std::int64_t n() const { return n_; }
+
+  /// Skew exponent.
+  double theta() const { return theta_; }
+
+  /// Probability mass of the given rank.
+  double Pmf(std::int64_t rank) const;
+
+  /// Cumulative probability of ranks [0, rank].
+  double Cdf(std::int64_t rank) const;
+
+ private:
+  std::int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace abr
+
+#endif  // ABR_UTIL_ZIPF_H_

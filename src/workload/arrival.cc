@@ -1,0 +1,43 @@
+#include "workload/arrival.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace abr::workload {
+
+BurstyArrivals::BurstyArrivals(const ArrivalConfig& config, Micros start,
+                               Rng rng)
+    : config_(config), rng_(rng), burst_start_(start), next_time_(start) {
+  assert(config.mean_burst_gap > 0);
+  assert(config.mean_burst_size >= 1.0);
+  assert(config.mean_intra_gap >= 0);
+  StartBurst();
+}
+
+void BurstyArrivals::StartBurst() {
+  burst_start_ += static_cast<Micros>(
+      rng_.NextExponential(static_cast<double>(config_.mean_burst_gap)));
+  // Geometric with mean m: P(size = k) = (1/m) * (1 - 1/m)^(k-1), k >= 1.
+  const double p = 1.0 / config_.mean_burst_size;
+  std::int32_t size = 1;
+  while (!rng_.NextBernoulli(p)) ++size;
+  remaining_in_burst_ = size;
+  next_time_ = burst_start_;
+}
+
+Micros BurstyArrivals::Next() {
+  // Clamp to keep emitted times nondecreasing even if the next burst's
+  // Poisson start lands inside the tail of a long previous burst.
+  if (next_time_ < last_emitted_) next_time_ = last_emitted_;
+  const Micros out = next_time_;
+  last_emitted_ = out;
+  if (--remaining_in_burst_ > 0) {
+    next_time_ += static_cast<Micros>(
+        rng_.NextExponential(static_cast<double>(config_.mean_intra_gap)));
+  } else {
+    StartBurst();
+  }
+  return out;
+}
+
+}  // namespace abr::workload

@@ -1,0 +1,52 @@
+#ifndef ABR_WORKLOAD_ARRIVAL_H_
+#define ABR_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace abr::workload {
+
+/// Parameters of the bursty arrival process. Although the measured disks
+/// were lightly utilized, arrivals came in bursts that build queues
+/// (Section 5.2) — the effect behind the large waiting-time reductions.
+/// Bursts arrive as a Poisson process; each burst carries a geometrically
+/// distributed number of requests separated by short exponential gaps.
+struct ArrivalConfig {
+  /// Mean time between burst starts.
+  Micros mean_burst_gap = 5 * kSecond;
+
+  /// Mean requests per burst (>= 1).
+  double mean_burst_size = 6.0;
+
+  /// Mean gap between requests inside a burst.
+  Micros mean_intra_gap = 5 * kMillisecond;
+};
+
+/// Generates the arrival timestamps of the bursty process.
+class BurstyArrivals {
+ public:
+  /// Starts the process at `start`; draws randomness from `rng`.
+  BurstyArrivals(const ArrivalConfig& config, Micros start, Rng rng);
+
+  /// Returns the next arrival time (strictly nondecreasing).
+  Micros Next();
+
+  /// The configuration in use.
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  Micros burst_start_;
+  std::int32_t remaining_in_burst_ = 0;
+  Micros next_time_;
+  Micros last_emitted_ = 0;
+
+  void StartBurst();
+};
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_ARRIVAL_H_

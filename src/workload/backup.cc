@@ -1,0 +1,33 @@
+#include "workload/backup.h"
+
+#include <algorithm>
+
+namespace abr::workload {
+
+StatusOr<Micros> BackupJob::Run(driver::AdaptiveDriver& driver,
+                                Micros start_time) {
+  const auto& partitions = driver.label().partitions();
+  if (device_ < 0 ||
+      device_ >= static_cast<std::int32_t>(partitions.size())) {
+    return Status::InvalidArgument("no such logical device");
+  }
+  const std::int64_t partition_sectors =
+      partitions[static_cast<std::size_t>(device_)].sector_count;
+  const std::int64_t scan_sectors = static_cast<std::int64_t>(
+      static_cast<double>(partition_sectors) *
+      std::clamp(config_.coverage, 0.0, 1.0));
+
+  requests_issued_ = 0;
+  Micros t = start_time;
+  for (SectorNo at = 0; at < scan_sectors; at += config_.request_sectors) {
+    const std::int64_t count =
+        std::min<std::int64_t>(config_.request_sectors, scan_sectors - at);
+    ABR_RETURN_IF_ERROR(
+        driver.SubmitRaw(device_, at, count, sched::IoType::kRead, t));
+    ++requests_issued_;
+    t += config_.inter_request_gap;
+  }
+  return driver.Drain();
+}
+
+}  // namespace abr::workload

@@ -1,0 +1,53 @@
+#ifndef ABR_WORKLOAD_BACKUP_H_
+#define ABR_WORKLOAD_BACKUP_H_
+
+#include <cstdint>
+
+#include "driver/adaptive_driver.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::workload {
+
+/// Parameters of a dump/backup job.
+struct BackupConfig {
+  /// Sectors per raw read request (dump(8) used large sequential reads;
+  /// the driver's physio splits them into block-sized sub-requests,
+  /// Section 4.1.2).
+  std::int64_t request_sectors = 128;
+
+  /// Gap between consecutive raw requests (tape/host processing time).
+  Micros inter_request_gap = 40 * kMillisecond;
+
+  /// Fraction of the partition scanned (1.0 = full dump).
+  double coverage = 1.0;
+};
+
+/// A dump(8)-style backup job: sequentially scans a partition through the
+/// driver's *raw* (character-device) interface. Exercises two paths the
+/// file-system workload never touches — physio splitting of multi-block
+/// requests and raw-fragment redirection of rearranged blocks — and
+/// doubles as the classic "sequential scan interferes with everything"
+/// workload for the interference ablation.
+class BackupJob {
+ public:
+  BackupJob(std::int32_t device, const BackupConfig& config)
+      : device_(device), config_(config) {}
+
+  /// Runs the scan starting at `start_time`; returns the completion time.
+  /// The scan is open-loop: each raw request is issued `inter_request_gap`
+  /// after the previous one, and the driver drains at the end.
+  StatusOr<Micros> Run(driver::AdaptiveDriver& driver, Micros start_time);
+
+  /// Raw requests issued by the last Run().
+  std::int64_t requests_issued() const { return requests_issued_; }
+
+ private:
+  std::int32_t device_;
+  BackupConfig config_;
+  std::int64_t requests_issued_ = 0;
+};
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_BACKUP_H_

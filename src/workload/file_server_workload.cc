@@ -1,0 +1,253 @@
+#include "workload/file_server_workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::workload {
+
+WorkloadProfile WorkloadProfile::SystemFs() {
+  WorkloadProfile p;
+  p.file_count = 250;
+  p.mean_file_blocks = 8.0;
+  p.max_file_blocks = 120;
+  p.directory_count = 25;
+  p.file_zipf_theta = 1.8;
+  p.block_zipf_theta = 0.8;
+  p.open_fraction = 0.3;
+  p.write_fraction = 0.0;   // read-only mount: no user writes
+  p.create_fraction = 0.0;  // no file creation either
+  p.arrivals.mean_burst_gap = 4 * kSecond;
+  p.arrivals.mean_burst_size = 5.0;
+  p.arrivals.mean_intra_gap = 8 * kMillisecond;
+  p.daily_drift = 0.02;
+  return p;
+}
+
+WorkloadProfile WorkloadProfile::UsersFs() {
+  WorkloadProfile p;
+  p.file_count = 600;
+  p.mean_file_blocks = 8.0;
+  p.max_file_blocks = 200;
+  p.directory_count = 20;  // one home directory per user
+  p.file_zipf_theta = 1.2;
+  p.block_zipf_theta = 0.6;
+  p.open_fraction = 0.4;
+  // Home-directory write traffic is dominated by new-file creation and
+  // file extension — writes the rearrangement system cannot predict —
+  // while reads revisit existing files and remain predictable.
+  p.write_fraction = 0.08;
+  p.create_fraction = 0.07;
+  p.arrivals.mean_burst_gap = 7 * kSecond;
+  p.arrivals.mean_burst_size = 2.5;
+  p.arrivals.mean_intra_gap = 20 * kMillisecond;
+  p.daily_drift = 0.04;
+  return p;
+}
+
+FileServerWorkload::FileServerWorkload(fs::FileServer* server,
+                                       std::int32_t device,
+                                       WorkloadProfile profile,
+                                       std::uint64_t seed)
+    : server_(server), device_(device), profile_(profile), rng_(seed) {
+  assert(server_ != nullptr);
+  assert(profile_.file_count > 0);
+  file_sampler_ = std::make_unique<ZipfSampler>(profile_.file_count,
+                                                profile_.file_zipf_theta);
+}
+
+Status FileServerWorkload::Populate(Micros t) {
+  StatusOr<fs::Ffs*> fs = server_->FileSystemOf(device_);
+  if (!fs.ok()) return fs.status();
+  const std::int32_t groups = (*fs)->group_count();
+  files_by_rank_.clear();
+  files_by_rank_.reserve(static_cast<std::size_t>(profile_.file_count));
+  // Build the directory tree first; FFS spreads directories (and with
+  // them their files' i-nodes) across cylinder groups.
+  directories_.clear();
+  for (std::int32_t d = 0; d < profile_.directory_count; ++d) {
+    StatusOr<fs::FileId> dir = server_->CreateDirectory(device_, t);
+    if (!dir.ok()) return dir.status();
+    directories_.push_back(*dir);
+  }
+  for (std::int32_t i = 0; i < profile_.file_count; ++i) {
+    // Flat populations spread i-nodes over groups directly; with
+    // directories, files inherit a random directory's group.
+    const std::int32_t hint = static_cast<std::int32_t>(
+        rng_.NextBounded(static_cast<std::uint64_t>(groups)));
+    StatusOr<fs::FileId> file =
+        directories_.empty()
+            ? server_->CreateFile(device_, t, hint)
+            : server_->CreateFileIn(
+                  device_,
+                  directories_[rng_.NextBounded(directories_.size())], t);
+    if (!file.ok()) return file.status();
+    std::int64_t size = 1;
+    const double p = 1.0 / profile_.mean_file_blocks;
+    while (size < profile_.max_file_blocks && !rng_.NextBernoulli(p)) ++size;
+    for (std::int64_t b = 0; b < size; ++b) {
+      StatusOr<BlockNo> blk = server_->AppendBlock(device_, *file, t);
+      if (!blk.ok()) return blk.status();
+    }
+    files_by_rank_.push_back(*file);
+  }
+  // Popularity rank should not correlate with allocation order.
+  for (std::size_t i = files_by_rank_.size(); i > 1; --i) {
+    std::swap(files_by_rank_[i - 1],
+              files_by_rank_[rng_.NextBounded(i)]);
+  }
+  server_->FlushAndDrain();
+  return Status::Ok();
+}
+
+fs::FileId FileServerWorkload::FileAtRank(std::int64_t rank) const {
+  assert(rank >= 0 &&
+         rank < static_cast<std::int64_t>(files_by_rank_.size()));
+  return files_by_rank_[static_cast<std::size_t>(rank)];
+}
+
+const ZipfSampler& FileServerWorkload::BlockSampler(std::int64_t n) {
+  auto it = block_samplers_.find(n);
+  if (it == block_samplers_.end()) {
+    it = block_samplers_
+             .emplace(n, ZipfSampler(n, profile_.block_zipf_theta))
+             .first;
+  }
+  return it->second;
+}
+
+std::int64_t FileServerWorkload::SampleRank() {
+  if (last_rank_ >= 0 && rng_.NextBernoulli(profile_.file_affinity)) {
+    return last_rank_;
+  }
+  last_rank_ = file_sampler_->Sample(rng_);
+  return last_rank_;
+}
+
+Status FileServerWorkload::DoRead(Micros t) {
+  const fs::FileId file = FileAtRank(SampleRank());
+  StatusOr<fs::Ffs*> fs = server_->FileSystemOf(device_);
+  if (!fs.ok()) return fs.status();
+  if (rng_.NextBernoulli(profile_.open_fraction)) {
+    // Name resolution before the data access.
+    StatusOr<std::int64_t> misses = server_->OpenFile(device_, file, t);
+    if (!misses.ok()) return misses.status();
+  }
+  StatusOr<std::int64_t> size = (*fs)->FileSize(file);
+  if (!size.ok()) return size.status();
+  if (*size == 0) return Status::Ok();  // empty file: open() only
+  // Sequential run: start at a popular block and read forward.
+  const std::int64_t start = BlockSampler(*size).Sample(rng_);
+  std::int64_t run = 1;
+  if (profile_.mean_run_blocks > 1.0) {
+    const double p = 1.0 / profile_.mean_run_blocks;
+    while (start + run < *size && !rng_.NextBernoulli(p)) ++run;
+  }
+  for (std::int64_t j = 0; j < run; ++j) {
+    StatusOr<bool> hit = server_->ReadFileBlock(
+        device_, file, start + j, t + j * profile_.intra_run_gap);
+    if (!hit.ok()) return hit.status();
+  }
+  return Status::Ok();
+}
+
+Status FileServerWorkload::DoWrite(Micros t) {
+  const fs::FileId file = FileAtRank(SampleRank());
+  StatusOr<fs::Ffs*> fs = server_->FileSystemOf(device_);
+  if (!fs.ok()) return fs.status();
+  StatusOr<std::int64_t> size = (*fs)->FileSize(file);
+  if (!size.ok()) return size.status();
+  if (*size == 0) return Status::Ok();
+  const std::int64_t index = BlockSampler(*size).Sample(rng_);
+  return server_->WriteFileBlock(device_, file, index, t);
+}
+
+Status FileServerWorkload::DoCreate(Micros t) {
+  StatusOr<fs::Ffs*> fs = server_->FileSystemOf(device_);
+  if (!fs.ok()) return fs.status();
+
+  // Keep space bounded: when the file system runs low, recycle a cold
+  // file's rank for the newcomer.
+  const bool low_space =
+      (*fs)->free_blocks() < (*fs)->data_block_capacity() / 20;
+  const bool extend = !low_space && rng_.NextBernoulli(0.7);
+
+  if (extend) {
+    // File expansion: append one block to a popular file.
+    const fs::FileId file = FileAtRank(SampleRank());
+    StatusOr<BlockNo> blk = server_->AppendBlock(device_, file, t);
+    return blk.ok() ? Status::Ok() : blk.status();
+  }
+
+  // New file replacing a cold one: pick a rank in the coldest quarter.
+  const std::int64_t n = static_cast<std::int64_t>(files_by_rank_.size());
+  const std::int64_t victim_rank =
+      n - 1 - static_cast<std::int64_t>(rng_.NextBounded(
+                  static_cast<std::uint64_t>(std::max<std::int64_t>(
+                      1, n / 4))));
+  ABR_RETURN_IF_ERROR(
+      server_->DeleteFile(device_, FileAtRank(victim_rank), t));
+  StatusOr<fs::FileId> file =
+      directories_.empty()
+          ? server_->CreateFile(device_, t)
+          : server_->CreateFileIn(
+                device_,
+                directories_[rng_.NextBounded(directories_.size())], t);
+  if (!file.ok()) return file.status();
+  std::int64_t size = 1;
+  const double p = 1.0 / profile_.mean_file_blocks;
+  while (size < profile_.max_file_blocks && !rng_.NextBernoulli(p)) ++size;
+  for (std::int64_t b = 0; b < size; ++b) {
+    StatusOr<BlockNo> blk = server_->AppendBlock(device_, *file, t);
+    if (!blk.ok()) return blk.status();
+  }
+  files_by_rank_[static_cast<std::size_t>(victim_rank)] = *file;
+  return Status::Ok();
+}
+
+Status FileServerWorkload::DoOperation(Micros t) {
+  ++ops_issued_;
+  const double r = rng_.NextDouble();
+  if (r < profile_.create_fraction) return DoCreate(t);
+  if (r < profile_.create_fraction + profile_.write_fraction) {
+    return DoWrite(t);
+  }
+  return DoRead(t);
+}
+
+StatusOr<std::int64_t> FileServerWorkload::RunDay(Micros day_start,
+                                                  const PeriodicFn& periodic,
+                                                  Micros period) {
+  assert(!files_by_rank_.empty() && "Populate() must run first");
+  const Micros day_end = day_start + profile_.day_length;
+  BurstyArrivals arrivals(profile_.arrivals, day_start, rng_.Fork());
+  Micros next_tick = day_start + period;
+  std::int64_t ops = 0;
+  for (Micros t = arrivals.Next(); t < day_end; t = arrivals.Next()) {
+    while (periodic && next_tick <= t) {
+      server_->AdvanceTo(next_tick);
+      periodic(next_tick);
+      next_tick += period;
+    }
+    ABR_RETURN_IF_ERROR(DoOperation(t));
+    ++ops;
+  }
+  server_->AdvanceTo(day_end);
+  if (periodic) periodic(day_end);
+  return ops;
+}
+
+void FileServerWorkload::EndDay() {
+  const std::int64_t n =
+      static_cast<std::int64_t>(files_by_rank_.size());
+  for (std::int64_t rank = 0; rank < n; ++rank) {
+    if (rng_.NextBernoulli(profile_.daily_drift)) {
+      const std::int64_t other =
+          static_cast<std::int64_t>(rng_.NextBounded(
+              static_cast<std::uint64_t>(n)));
+      std::swap(files_by_rank_[static_cast<std::size_t>(rank)],
+                files_by_rank_[static_cast<std::size_t>(other)]);
+    }
+  }
+}
+
+}  // namespace abr::workload

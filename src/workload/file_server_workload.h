@@ -1,0 +1,148 @@
+#ifndef ABR_WORKLOAD_FILE_SERVER_WORKLOAD_H_
+#define ABR_WORKLOAD_FILE_SERVER_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fs/file_server.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/arrival.h"
+
+namespace abr::workload {
+
+/// Statistical shape of one file system's traffic. The two presets model
+/// the paper's measured workloads (Section 5): a *system* file system of
+/// executables and libraries mounted read-only by 14 client workstations
+/// (~40 users), and a *users* file system of 10–20 home directories
+/// mounted read/write.
+struct WorkloadProfile {
+  // --- Population -------------------------------------------------------
+  std::int32_t file_count = 400;
+  double mean_file_blocks = 10.0;     // geometric file sizes
+  std::int64_t max_file_blocks = 200;
+
+  /// Directories the population spreads over (0 = flat, directly under
+  /// the root). FFS places each directory in an under-used cylinder group
+  /// and its files' i-nodes with it, so directories control how hot data
+  /// scatters across the disk.
+  std::int32_t directory_count = 25;
+
+  // --- Reference skew ----------------------------------------------------
+  double file_zipf_theta = 1.1;   // popularity across files
+  double block_zipf_theta = 0.4;  // popularity across blocks within a file
+
+  // --- Operation mix (fractions; remainder = reads) -----------------------
+  double write_fraction = 0.0;   // overwrite an existing block
+  double create_fraction = 0.0;  // file creation / extension
+
+  // --- Sequential locality -------------------------------------------------
+  /// Mean consecutive blocks read per read operation (files are mostly
+  /// read sequentially; FFS places consecutive blocks in one cylinder
+  /// group, so runs produce the short intra-cylinder seeks real traffic
+  /// shows).
+  double mean_run_blocks = 1.5;
+
+  /// Gap between the requests of one sequential run.
+  Micros intra_run_gap = 3 * kMillisecond;
+
+  /// Probability that an operation targets the same file as the previous
+  /// one (several clients working on the same hot binary, or one client
+  /// making consecutive accesses). Temporal file affinity plus SCAN is
+  /// what turns bursts into strings of zero-length seeks.
+  double file_affinity = 0.15;
+
+  /// Probability that a read operation performs a path lookup (open)
+  /// first, touching directory i-nodes and entry blocks. NFS clients
+  /// re-validate names constantly; this models that metadata stream.
+  double open_fraction = 0.1;
+
+  // --- Arrival process ----------------------------------------------------
+  ArrivalConfig arrivals;
+
+  // --- Day structure ------------------------------------------------------
+  /// Length of the measured day (the paper monitors 7am–10pm).
+  Micros day_length = 15 * kHour;
+
+  /// Fraction of file-popularity ranks reshuffled between days. The
+  /// rearrangement system predicts tomorrow's hot blocks from today's
+  /// counts, so drift directly degrades it (Section 5.3).
+  double daily_drift = 0.02;
+
+  /// Read-mostly shared binaries: high skew, slow drift, no explicit
+  /// writes (write traffic arises from i-node timestamp updates alone).
+  static WorkloadProfile SystemFs();
+
+  /// Home directories: lower skew, faster drift, explicit data writes plus
+  /// file creation and extension.
+  static WorkloadProfile UsersFs();
+};
+
+/// Generates multi-day file-server traffic against a fs::FileServer,
+/// mirroring how the paper's user population loads the measured machine.
+/// All randomness is seeded; a (seed, profile) pair reproduces the same
+/// request stream.
+class FileServerWorkload {
+ public:
+  /// Callback invoked periodically during a day (simulated time); the
+  /// experiment uses it to run the reference stream analyzer's
+  /// request-table drains.
+  using PeriodicFn = std::function<void(Micros)>;
+
+  FileServerWorkload(fs::FileServer* server, std::int32_t device,
+                     WorkloadProfile profile, std::uint64_t seed);
+
+  /// Creates the file population (run once, before the first day). Leaves
+  /// the cache warm-ish and the disk idle.
+  Status Populate(Micros t);
+
+  /// Runs one day of traffic starting at `day_start`. `periodic` (if set)
+  /// fires every `period` of simulated time. Returns the number of
+  /// operations issued.
+  StatusOr<std::int64_t> RunDay(Micros day_start,
+                                const PeriodicFn& periodic = nullptr,
+                                Micros period = 2 * kMinute);
+
+  /// Applies the day-to-day popularity drift; call between days.
+  void EndDay();
+
+  /// Total operations issued so far.
+  std::int64_t ops_issued() const { return ops_issued_; }
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  /// File at popularity rank `rank`.
+  fs::FileId FileAtRank(std::int64_t rank) const;
+
+  /// Zipf sampler over `n` items, cached by n.
+  const ZipfSampler& BlockSampler(std::int64_t n);
+
+  /// One read / write / create operation at time `t`.
+  Status DoOperation(Micros t);
+  Status DoRead(Micros t);
+  Status DoWrite(Micros t);
+  Status DoCreate(Micros t);
+
+  /// Picks a file by Zipf rank (or repeats the previous file, with the
+  /// profile's affinity probability); returns its rank.
+  std::int64_t SampleRank();
+
+  fs::FileServer* server_;
+  std::int32_t device_;
+  WorkloadProfile profile_;
+  Rng rng_;
+  std::unique_ptr<ZipfSampler> file_sampler_;
+  std::map<std::int64_t, ZipfSampler> block_samplers_;
+  std::vector<fs::FileId> files_by_rank_;
+  std::vector<fs::FileId> directories_;
+  std::int64_t ops_issued_ = 0;
+  std::int64_t last_rank_ = -1;
+};
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_FILE_SERVER_WORKLOAD_H_

@@ -1,0 +1,24 @@
+#include "workload/replay.h"
+
+namespace abr::workload {
+
+Status Replay(driver::AdaptiveDriver& driver, const Trace& trace,
+              const std::function<void(Micros)>& periodic, Micros period) {
+  Micros next_tick = driver.now() + period;
+  for (const TraceRecord& rec : trace.records()) {
+    while (periodic && next_tick <= rec.time) {
+      driver.AdvanceTo(next_tick);
+      periodic(next_tick);
+      next_tick += period;
+    }
+    ABR_RETURN_IF_ERROR(
+        driver.SubmitBlock(rec.device, rec.block, rec.type, rec.time));
+  }
+  if (periodic && !trace.empty()) {
+    driver.AdvanceTo(trace.records().back().time);
+    periodic(driver.now());
+  }
+  return Status::Ok();
+}
+
+}  // namespace abr::workload

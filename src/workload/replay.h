@@ -1,0 +1,22 @@
+#ifndef ABR_WORKLOAD_REPLAY_H_
+#define ABR_WORKLOAD_REPLAY_H_
+
+#include <functional>
+
+#include "driver/adaptive_driver.h"
+#include "util/status.h"
+#include "workload/trace.h"
+
+namespace abr::workload {
+
+/// Replays a logical-request trace against a driver, optionally invoking
+/// `periodic` every `period` of simulated time (the hook the reference
+/// stream analyzer uses to drain the driver's request table). Leaves
+/// outstanding I/O in flight; callers drain when they need quiescence.
+Status Replay(driver::AdaptiveDriver& driver, const Trace& trace,
+              const std::function<void(Micros)>& periodic = nullptr,
+              Micros period = 2 * kMinute);
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_REPLAY_H_

@@ -1,0 +1,66 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace abr::workload {
+
+namespace {
+
+std::int64_t WritePopulation(const SyntheticConfig& c) {
+  const std::int64_t n = static_cast<std::int64_t>(
+      static_cast<double>(c.population) * c.write_population_fraction);
+  return std::max<std::int64_t>(1, n);
+}
+
+}  // namespace
+
+SyntheticBlockWorkload::SyntheticBlockWorkload(std::int32_t device,
+                                               std::int64_t partition_blocks,
+                                               const SyntheticConfig& config,
+                                               std::uint64_t seed)
+    : device_(device),
+      config_(config),
+      rng_(seed),
+      read_sampler_(config.population, config.theta),
+      write_sampler_(WritePopulation(config), config.theta) {
+  assert(config.population > 0);
+  assert(partition_blocks >= config.population);
+  // Sample `population` distinct blocks uniformly from the partition.
+  std::unordered_set<BlockNo> chosen;
+  chosen.reserve(static_cast<std::size_t>(config.population));
+  rank_to_block_.reserve(static_cast<std::size_t>(config.population));
+  while (static_cast<std::int64_t>(rank_to_block_.size()) <
+         config.population) {
+    const BlockNo b = static_cast<BlockNo>(
+        rng_.NextBounded(static_cast<std::uint64_t>(partition_blocks)));
+    if (chosen.insert(b).second) rank_to_block_.push_back(b);
+  }
+}
+
+BlockNo SyntheticBlockWorkload::BlockAtRank(std::int64_t rank) const {
+  assert(rank >= 0 &&
+         rank < static_cast<std::int64_t>(rank_to_block_.size()));
+  return rank_to_block_[static_cast<std::size_t>(rank)];
+}
+
+void SyntheticBlockWorkload::Generate(Micros start, Micros end,
+                                      Trace& trace) {
+  BurstyArrivals arrivals(config_.arrivals, start, rng_.Fork());
+  for (Micros t = arrivals.Next(); t < end; t = arrivals.Next()) {
+    TraceRecord rec;
+    rec.time = t;
+    rec.device = device_;
+    if (rng_.NextBernoulli(config_.write_fraction)) {
+      rec.type = sched::IoType::kWrite;
+      rec.block = BlockAtRank(write_sampler_.Sample(rng_));
+    } else {
+      rec.type = sched::IoType::kRead;
+      rec.block = BlockAtRank(read_sampler_.Sample(rng_));
+    }
+    trace.Append(rec);
+  }
+}
+
+}  // namespace abr::workload

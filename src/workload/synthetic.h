@@ -1,0 +1,66 @@
+#ifndef ABR_WORKLOAD_SYNTHETIC_H_
+#define ABR_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/arrival.h"
+#include "workload/trace.h"
+
+namespace abr::workload {
+
+/// Parameters of the driver-level synthetic workload.
+struct SyntheticConfig {
+  /// Distinct blocks ever referenced (the active set).
+  std::int64_t population = 2000;
+
+  /// Zipf exponent of block popularity.
+  double theta = 1.0;
+
+  /// Fraction of requests that are writes.
+  double write_fraction = 0.2;
+
+  /// Writes draw from a smaller, hotter sub-population (the paper observed
+  /// write requests concentrated on a very small set of blocks). 1.0 means
+  /// writes use the same distribution as reads.
+  double write_population_fraction = 0.05;
+
+  /// Arrival process.
+  ArrivalConfig arrivals;
+};
+
+/// Generates logical block request traces directly at the driver level,
+/// bypassing the file system and cache. Used by unit tests and by benches
+/// that need precise control over the request distribution. Block
+/// popularity ranks map to logical blocks scattered uniformly over the
+/// partition (hot data spread across the disk surface, as FFS leaves it).
+class SyntheticBlockWorkload {
+ public:
+  /// `partition_blocks` is the number of file-system blocks on the target
+  /// logical device.
+  SyntheticBlockWorkload(std::int32_t device, std::int64_t partition_blocks,
+                         const SyntheticConfig& config, std::uint64_t seed);
+
+  /// Appends requests with arrival times in [start, end) to `trace`.
+  void Generate(Micros start, Micros end, Trace& trace);
+
+  /// The logical block at popularity rank `rank`.
+  BlockNo BlockAtRank(std::int64_t rank) const;
+
+  const SyntheticConfig& config() const { return config_; }
+
+ private:
+  std::int32_t device_;
+  SyntheticConfig config_;
+  Rng rng_;
+  ZipfSampler read_sampler_;
+  ZipfSampler write_sampler_;
+  std::vector<BlockNo> rank_to_block_;
+};
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_SYNTHETIC_H_

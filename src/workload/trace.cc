@@ -1,0 +1,75 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace abr::workload {
+
+void Trace::Append(const TraceRecord& record) {
+  assert(records_.empty() || records_.back().time <= record.time);
+  records_.push_back(record);
+}
+
+void Trace::MergeFrom(const Trace& other) {
+  std::vector<TraceRecord> merged;
+  merged.reserve(records_.size() + other.records_.size());
+  std::merge(records_.begin(), records_.end(), other.records_.begin(),
+             other.records_.end(), std::back_inserter(merged),
+             [](const TraceRecord& a, const TraceRecord& b) {
+               return a.time < b.time;
+             });
+  records_ = std::move(merged);
+}
+
+Status Trace::SaveTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  std::fprintf(f, "# abr-trace-v1 records=%zu\n", records_.size());
+  for (const TraceRecord& r : records_) {
+    std::fprintf(f, "%" PRId64 " %d %" PRId64 " %c\n", r.time, r.device,
+                 r.block, r.type == sched::IoType::kRead ? 'R' : 'W');
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+StatusOr<Trace> Trace::LoadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  Trace trace;
+  char line[256];
+  std::int64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n') continue;
+    std::int64_t time = 0;
+    int device = 0;
+    std::int64_t block = 0;
+    char type = 0;
+    if (std::sscanf(line, "%" SCNd64 " %d %" SCNd64 " %c", &time, &device,
+                    &block, &type) != 4 ||
+        (type != 'R' && type != 'W')) {
+      std::fclose(f);
+      return Status::Corruption("bad trace line " + std::to_string(line_no) +
+                                " in '" + path + "'");
+    }
+    if (!trace.records_.empty() && trace.records_.back().time > time) {
+      std::fclose(f);
+      return Status::Corruption("trace not time-ordered at line " +
+                                std::to_string(line_no));
+    }
+    trace.records_.push_back(TraceRecord{
+        time, device, block,
+        type == 'R' ? sched::IoType::kRead : sched::IoType::kWrite});
+  }
+  std::fclose(f);
+  return trace;
+}
+
+}  // namespace abr::workload

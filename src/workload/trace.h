@@ -1,0 +1,58 @@
+#ifndef ABR_WORKLOAD_TRACE_H_
+#define ABR_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/request.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace abr::workload {
+
+/// One logical-device request in a trace: what the driver's strategy
+/// routine receives.
+struct TraceRecord {
+  Micros time = 0;
+  std::int32_t device = 0;
+  BlockNo block = 0;
+  sched::IoType type = sched::IoType::kRead;
+};
+
+/// A time-ordered sequence of logical requests. Traces decouple workload
+/// generation from driver execution: generators append records, the
+/// experiment runner replays them against a driver, and they can be saved
+/// to / loaded from a simple text format for external tooling.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Appends a record; records must be appended in nondecreasing time
+  /// order.
+  void Append(const TraceRecord& record);
+
+  /// All records.
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Merges another trace, preserving time order (stable for equal times:
+  /// records of *this* come first).
+  void MergeFrom(const Trace& other);
+
+  /// Writes the trace as text: one "time_us device block R|W" line per
+  /// record, with a header line.
+  Status SaveTo(const std::string& path) const;
+
+  /// Parses a trace written by SaveTo.
+  static StatusOr<Trace> LoadFrom(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_TRACE_H_

@@ -1,0 +1,64 @@
+#include "workload/trace_stats.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace abr::workload {
+
+TraceStats TraceStats::Of(const Trace& trace) {
+  TraceStats out;
+  out.requests = static_cast<std::int64_t>(trace.size());
+  if (trace.empty()) return out;
+
+  std::unordered_map<std::uint64_t, std::int64_t> counts;
+  double sum_gap = 0.0;
+  double sum_gap_sq = 0.0;
+  std::int64_t gaps = 0;
+  Micros prev = trace.records().front().time;
+  for (const TraceRecord& rec : trace.records()) {
+    if (rec.type == sched::IoType::kRead) {
+      ++out.reads;
+    } else {
+      ++out.writes;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rec.device))
+         << 48) ^
+        static_cast<std::uint64_t>(rec.block);
+    ++counts[key];
+    const double gap = static_cast<double>(rec.time - prev);
+    if (&rec != &trace.records().front()) {
+      sum_gap += gap;
+      sum_gap_sq += gap * gap;
+      ++gaps;
+    }
+    prev = rec.time;
+  }
+
+  out.duration = trace.records().back().time - trace.records().front().time;
+  if (out.duration > 0) {
+    out.requests_per_second = static_cast<double>(out.requests) /
+                              (static_cast<double>(out.duration) / kSecond);
+  }
+  out.read_fraction =
+      static_cast<double>(out.reads) / static_cast<double>(out.requests);
+
+  std::vector<std::int64_t> raw;
+  raw.reserve(counts.size());
+  for (const auto& [key, count] : counts) raw.push_back(count);
+  const stats::RankCurve curve(std::move(raw));
+  out.distinct_blocks = curve.distinct();
+  out.top10_fraction = curve.TopKFraction(10);
+  out.top100_fraction = curve.TopKFraction(100);
+  out.top1000_fraction = curve.TopKFraction(1000);
+
+  if (gaps > 1 && sum_gap > 0) {
+    const double mean = sum_gap / static_cast<double>(gaps);
+    const double var =
+        sum_gap_sq / static_cast<double>(gaps) - mean * mean;
+    out.interarrival_cv2 = var / (mean * mean);
+  }
+  return out;
+}
+
+}  // namespace abr::workload

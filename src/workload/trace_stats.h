@@ -1,0 +1,38 @@
+#ifndef ABR_WORKLOAD_TRACE_STATS_H_
+#define ABR_WORKLOAD_TRACE_STATS_H_
+
+#include <cstdint>
+
+#include "stats/summary.h"
+#include "workload/trace.h"
+
+namespace abr::workload {
+
+/// Workload-characterization summary of a request trace — the quantities
+/// the paper uses to describe its measured streams (Sections 2 and 5):
+/// volume, read/write mix, skew (rank curve), burstiness, and footprint.
+struct TraceStats {
+  std::int64_t requests = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  Micros duration = 0;        // last arrival - first arrival
+  double requests_per_second = 0.0;
+  double read_fraction = 0.0;
+
+  std::int64_t distinct_blocks = 0;
+  double top10_fraction = 0.0;    // share of requests to 10 hottest blocks
+  double top100_fraction = 0.0;
+  double top1000_fraction = 0.0;
+
+  /// Squared coefficient of variation of inter-arrival times; 1 for a
+  /// Poisson process, >> 1 for bursty arrivals (the paper's streams are
+  /// very bursty, Section 5.2).
+  double interarrival_cv2 = 0.0;
+
+  /// Computes the statistics of a (time-ordered) trace.
+  static TraceStats Of(const Trace& trace);
+};
+
+}  // namespace abr::workload
+
+#endif  // ABR_WORKLOAD_TRACE_STATS_H_

@@ -1,0 +1,60 @@
+#include "analyzer/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "analyzer/exact_counter.h"
+#include "disk/drive_spec.h"
+
+namespace abr::analyzer {
+namespace {
+
+TEST(AnalyzerTest, ObserveRecordCounts) {
+  ReferenceStreamAnalyzer a(std::make_unique<ExactCounter>());
+  a.ObserveRecord(driver::RequestRecord{0, 5, 8192, sched::IoType::kRead});
+  a.ObserveRecord(driver::RequestRecord{0, 5, 8192, sched::IoType::kWrite});
+  a.ObserveRecord(driver::RequestRecord{1, 6, 8192, sched::IoType::kRead});
+  EXPECT_EQ(a.records_consumed(), 3);
+  auto hot = a.HotList(10);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].id, (BlockId{0, 5}));
+  EXPECT_EQ(hot[0].count, 2);
+}
+
+TEST(AnalyzerTest, ResetClearsCounts) {
+  ReferenceStreamAnalyzer a(std::make_unique<ExactCounter>());
+  a.ObserveRecord(driver::RequestRecord{0, 5, 8192, sched::IoType::kRead});
+  a.Reset();
+  EXPECT_TRUE(a.HotList(10).empty());
+}
+
+TEST(AnalyzerTest, DrainsDriverRequestTable) {
+  disk::Disk disk(disk::DriveSpec::TestDrive());
+  disk::DiskLabel label = disk::DiskLabel::Plain(disk.geometry());
+  driver::AdaptiveDriver drv(&disk, label, driver::DriverConfig{}, nullptr);
+  ASSERT_TRUE(drv.Attach().ok());
+
+  ReferenceStreamAnalyzer a(std::make_unique<ExactCounter>());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(drv.SubmitBlock(0, 9, sched::IoType::kRead, drv.now()).ok());
+    drv.Drain();
+  }
+  a.Drain(drv);
+  EXPECT_EQ(a.records_consumed(), 3);
+  EXPECT_EQ(a.HotList(1)[0].count, 3);
+  // The driver's table was cleared by the drain.
+  EXPECT_TRUE(drv.IoctlReadRequests().empty());
+  // A second drain adds nothing.
+  a.Drain(drv);
+  EXPECT_EQ(a.records_consumed(), 3);
+}
+
+TEST(AnalyzerTest, HotListBounded) {
+  ReferenceStreamAnalyzer a(std::make_unique<ExactCounter>());
+  for (BlockNo b = 0; b < 50; ++b) {
+    a.ObserveRecord(driver::RequestRecord{0, b, 8192, sched::IoType::kRead});
+  }
+  EXPECT_EQ(a.HotList(10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace abr::analyzer

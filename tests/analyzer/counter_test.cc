@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analyzer/exact_counter.h"
+#include "analyzer/space_saving_counter.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace abr::analyzer {
+namespace {
+
+TEST(BlockIdTest, PackUnpackRoundTrip) {
+  for (const BlockId id : {BlockId{0, 0}, BlockId{3, 12345},
+                           BlockId{25, (1LL << 40) - 1}}) {
+    EXPECT_EQ(UnpackBlockId(PackBlockId(id)), id);
+  }
+}
+
+TEST(ExactCounterTest, CountsExactly) {
+  ExactCounter c;
+  for (int i = 0; i < 5; ++i) c.Observe(BlockId{0, 7});
+  c.Observe(BlockId{0, 9});
+  c.Observe(BlockId{1, 7});  // different device, same block number
+  EXPECT_EQ(c.CountOf(BlockId{0, 7}), 5);
+  EXPECT_EQ(c.CountOf(BlockId{0, 9}), 1);
+  EXPECT_EQ(c.CountOf(BlockId{1, 7}), 1);
+  EXPECT_EQ(c.CountOf(BlockId{0, 8}), 0);
+  EXPECT_EQ(c.total(), 7);
+  EXPECT_EQ(c.tracked(), 3u);
+}
+
+TEST(ExactCounterTest, TopKOrderedByCount) {
+  ExactCounter c;
+  for (int i = 0; i < 3; ++i) c.Observe(BlockId{0, 1});
+  for (int i = 0; i < 5; ++i) c.Observe(BlockId{0, 2});
+  c.Observe(BlockId{0, 3});
+  auto top = c.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id.block, 2);
+  EXPECT_EQ(top[0].count, 5);
+  EXPECT_EQ(top[1].id.block, 1);
+}
+
+TEST(ExactCounterTest, TopKTieBreakDeterministic) {
+  ExactCounter c;
+  c.Observe(BlockId{0, 9});
+  c.Observe(BlockId{0, 3});
+  c.Observe(BlockId{1, 3});
+  auto top = c.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  // Equal counts order by (device, block).
+  EXPECT_EQ(top[0].id, (BlockId{0, 3}));
+  EXPECT_EQ(top[1].id, (BlockId{0, 9}));
+  EXPECT_EQ(top[2].id, (BlockId{1, 3}));
+}
+
+TEST(ExactCounterTest, TopKLargerThanTracked) {
+  ExactCounter c;
+  c.Observe(BlockId{0, 1});
+  EXPECT_EQ(c.TopK(10).size(), 1u);
+}
+
+TEST(ExactCounterTest, Reset) {
+  ExactCounter c;
+  c.Observe(BlockId{0, 1});
+  c.Reset();
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(c.tracked(), 0u);
+  EXPECT_EQ(c.CountOf(BlockId{0, 1}), 0);
+}
+
+TEST(SpaceSavingTest, ExactWhileUnderCapacity) {
+  SpaceSavingCounter c(10);
+  for (int i = 0; i < 4; ++i) c.Observe(BlockId{0, 1});
+  c.Observe(BlockId{0, 2});
+  auto top = c.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id.block, 1);
+  EXPECT_EQ(top[0].count, 4);
+  EXPECT_EQ(c.ErrorOf(BlockId{0, 1}), 0);
+  EXPECT_EQ(c.replacements(), 0);
+}
+
+TEST(SpaceSavingTest, ReplacementEvictsMinimum) {
+  SpaceSavingCounter c(2);
+  for (int i = 0; i < 5; ++i) c.Observe(BlockId{0, 1});  // hot
+  c.Observe(BlockId{0, 2});                              // min, count 1
+  c.Observe(BlockId{0, 3});                              // evicts 2
+  EXPECT_EQ(c.tracked(), 2u);
+  EXPECT_EQ(c.replacements(), 1);
+  auto top = c.TopK(2);
+  EXPECT_EQ(top[0].id.block, 1);
+  EXPECT_EQ(top[1].id.block, 3);
+  // Newcomer inherited min count + 1 with error = min count.
+  EXPECT_EQ(top[1].count, 2);
+  EXPECT_EQ(c.ErrorOf(BlockId{0, 3}), 1);
+}
+
+TEST(SpaceSavingTest, CountsNeverUnderestimate) {
+  // Space-Saving guarantees estimate >= true count for tracked items.
+  SpaceSavingCounter ss(16);
+  ExactCounter exact;
+  ZipfSampler zipf(200, 1.0);
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    BlockId id{0, zipf.Sample(rng)};
+    ss.Observe(id);
+    exact.Observe(id);
+  }
+  for (const HotBlock& hb : ss.TopK(16)) {
+    EXPECT_GE(hb.count, exact.CountOf(hb.id));
+    EXPECT_LE(hb.count - exact.CountOf(hb.id), ss.ErrorOf(hb.id));
+  }
+}
+
+TEST(SpaceSavingTest, FindsTrueHeavyHittersOnSkewedStream) {
+  SpaceSavingCounter ss(64);
+  ExactCounter exact;
+  ZipfSampler zipf(5000, 1.2);
+  Rng rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    BlockId id{0, zipf.Sample(rng)};
+    ss.Observe(id);
+    exact.Observe(id);
+  }
+  // The true top-10 must all be present in the bounded counter's top-20.
+  std::unordered_set<std::uint64_t> approx_top;
+  for (const HotBlock& hb : ss.TopK(20)) {
+    approx_top.insert(PackBlockId(hb.id));
+  }
+  for (const HotBlock& hb : exact.TopK(10)) {
+    EXPECT_TRUE(approx_top.contains(PackBlockId(hb.id)))
+        << "missing true hot block " << hb.id.block;
+  }
+}
+
+TEST(SpaceSavingTest, TotalCountsAllObservations) {
+  SpaceSavingCounter c(4);
+  for (int i = 0; i < 100; ++i) c.Observe(BlockId{0, i});
+  EXPECT_EQ(c.total(), 100);
+  EXPECT_EQ(c.tracked(), 4u);
+}
+
+TEST(SpaceSavingTest, Reset) {
+  SpaceSavingCounter c(4);
+  c.Observe(BlockId{0, 1});
+  c.Reset();
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(c.tracked(), 0u);
+  EXPECT_EQ(c.replacements(), 0);
+  c.Observe(BlockId{0, 2});
+  EXPECT_EQ(c.TopK(1)[0].id.block, 2);
+}
+
+class SpaceSavingCapacityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceSavingCapacityTest, RecallImprovesWithCapacity) {
+  const std::size_t capacity = static_cast<std::size_t>(GetParam());
+  SpaceSavingCounter ss(capacity);
+  ExactCounter exact;
+  ZipfSampler zipf(2000, 1.1);
+  Rng rng(123);
+  for (int i = 0; i < 100000; ++i) {
+    BlockId id{0, zipf.Sample(rng)};
+    ss.Observe(id);
+    exact.Observe(id);
+  }
+  // Recall of the true top-(capacity/4) within the estimate's top-capacity:
+  // should be high for every capacity (the paper's "short lists still give
+  // accurate guesses").
+  const std::size_t k = capacity / 4;
+  std::unordered_set<std::uint64_t> approx;
+  for (const HotBlock& hb : ss.TopK(capacity)) {
+    approx.insert(PackBlockId(hb.id));
+  }
+  std::size_t hit = 0;
+  for (const HotBlock& hb : exact.TopK(k)) {
+    if (approx.contains(PackBlockId(hb.id))) ++hit;
+  }
+  EXPECT_GE(static_cast<double>(hit) / static_cast<double>(k), 0.9)
+      << "capacity " << capacity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpaceSavingCapacityTest,
+                         ::testing::Values(64, 128, 256, 512, 1024));
+
+}  // namespace
+}  // namespace abr::analyzer

@@ -1,0 +1,121 @@
+#include "analyzer/decaying_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/exact_counter.h"
+
+namespace abr::analyzer {
+namespace {
+
+std::unique_ptr<DecayingCounter> Make(double decay) {
+  return std::make_unique<DecayingCounter>(
+      std::make_unique<ExactCounter>(), decay);
+}
+
+void ObserveN(ReferenceCounter& c, BlockNo block, int n) {
+  for (int i = 0; i < n; ++i) c.Observe(BlockId{0, block});
+}
+
+TEST(DecayingCounterTest, PassThroughWithinPeriod) {
+  auto c = Make(0.5);
+  ObserveN(*c, 1, 3);
+  ObserveN(*c, 2, 7);
+  auto top = c->TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id.block, 2);
+  EXPECT_EQ(top[0].count, 7);
+  EXPECT_EQ(top[1].count, 3);
+}
+
+TEST(DecayingCounterTest, ZeroDecayIsHardReset) {
+  auto c = Make(0.0);
+  ObserveN(*c, 1, 10);
+  c->EndPeriod();
+  EXPECT_TRUE(c->TopK(5).empty());
+}
+
+TEST(DecayingCounterTest, HistoryAgesExponentially) {
+  auto c = Make(0.5);
+  ObserveN(*c, 1, 16);
+  c->EndPeriod();  // history: 8
+  auto top = c->TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].count, 8);
+  c->EndPeriod();  // history: 4
+  EXPECT_EQ(c->TopK(1)[0].count, 4);
+  c->EndPeriod();  // 2
+  c->EndPeriod();  // 1
+  c->EndPeriod();  // 0.5 (kept; rounds to 1)
+  ASSERT_EQ(c->TopK(1).size(), 1u);
+  c->EndPeriod();  // 0.25 -> dropped
+  EXPECT_TRUE(c->TopK(1).empty());
+}
+
+TEST(DecayingCounterTest, CurrentAndHistoryCombine) {
+  auto c = Make(0.5);
+  ObserveN(*c, 1, 10);
+  c->EndPeriod();  // history: b1=5
+  ObserveN(*c, 1, 2);
+  ObserveN(*c, 2, 6);
+  auto top = c->TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  // b1: 5 (aged) + 2 (current) = 7 > b2: 6.
+  EXPECT_EQ(top[0].id.block, 1);
+  EXPECT_EQ(top[0].count, 7);
+  EXPECT_EQ(top[1].id.block, 2);
+}
+
+TEST(DecayingCounterTest, HistoryChangesRanking) {
+  // With hard reset b2 would win the second period; with aging b1 does.
+  auto aged = Make(0.9);
+  ObserveN(*aged, 1, 100);
+  aged->EndPeriod();
+  ObserveN(*aged, 2, 20);
+  ObserveN(*aged, 1, 5);
+  EXPECT_EQ(aged->TopK(1)[0].id.block, 1);
+
+  auto reset = Make(0.0);
+  ObserveN(*reset, 1, 100);
+  reset->EndPeriod();
+  ObserveN(*reset, 2, 20);
+  ObserveN(*reset, 1, 5);
+  EXPECT_EQ(reset->TopK(1)[0].id.block, 2);
+}
+
+TEST(DecayingCounterTest, ResetDropsHistoryToo) {
+  auto c = Make(0.9);
+  ObserveN(*c, 1, 10);
+  c->EndPeriod();
+  c->Reset();
+  EXPECT_TRUE(c->TopK(5).empty());
+  EXPECT_EQ(c->total(), 0);
+}
+
+TEST(DecayingCounterTest, AnalyzerEndPeriodDispatch) {
+  // The analyzer ages DecayingCounters and resets plain ones.
+  ReferenceStreamAnalyzer aging(Make(0.5));
+  aging.ObserveRecord(driver::RequestRecord{0, 1, 8192,
+                                            sched::IoType::kRead});
+  aging.ObserveRecord(driver::RequestRecord{0, 1, 8192,
+                                            sched::IoType::kRead});
+  aging.EndPeriod();
+  ASSERT_EQ(aging.HotList(1).size(), 1u);  // history survives
+
+  ReferenceStreamAnalyzer plain(std::make_unique<ExactCounter>());
+  plain.ObserveRecord(driver::RequestRecord{0, 1, 8192,
+                                            sched::IoType::kRead});
+  plain.EndPeriod();
+  EXPECT_TRUE(plain.HotList(1).empty());
+}
+
+TEST(DecayingCounterTest, TotalTracksCurrentPeriod) {
+  auto c = Make(0.5);
+  ObserveN(*c, 1, 4);
+  EXPECT_EQ(c->total(), 4);
+  c->EndPeriod();
+  EXPECT_EQ(c->total(), 0);
+}
+
+}  // namespace
+}  // namespace abr::analyzer

@@ -1,0 +1,159 @@
+#include "baselines/cylinder_shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+
+namespace abr::baselines {
+namespace {
+
+class CylinderShuffleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    disk::DiskLabel label = disk::DiskLabel::Plain(disk_->geometry());
+    driver_ = std::make_unique<CylinderShuffleDriver>(
+        disk_.get(), label, CylinderShuffleDriver::Config{});
+  }
+
+  /// Issues n reads of the given block and drains.
+  void ReadBlock(BlockNo block, int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(driver_
+                      ->SubmitBlock(0, block, sched::IoType::kRead,
+                                    driver_->now())
+                      .ok());
+    }
+    driver_->Drain();
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  std::unique_ptr<CylinderShuffleDriver> driver_;
+};
+
+TEST_F(CylinderShuffleTest, IdentityLayoutInitially) {
+  for (Cylinder c = 0; c < 100; c += 13) {
+    EXPECT_EQ(driver_->PhysicalCylinderOf(c), c);
+  }
+}
+
+TEST_F(CylinderShuffleTest, SubmitValidation) {
+  EXPECT_EQ(driver_->SubmitBlock(3, 0, sched::IoType::kRead, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(driver_->SubmitBlock(0, -1, sched::IoType::kRead, 0).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(CylinderShuffleTest, RequestsServedAtMappedLocation) {
+  ReadBlock(0, 1);  // block 0 = cylinder 0
+  EXPECT_EQ(disk_->head_cylinder(), 0);
+}
+
+TEST_F(CylinderShuffleTest, ShuffleMovesHotCylinderToCenter) {
+  // Heat cylinder 2 (blocks 16..23 live on cylinder 2: 128 sectors/cyl,
+  // 16 per block -> 8 blocks per cylinder).
+  ReadBlock(16, 10);
+  ReadBlock(17, 5);
+  auto moved = driver_->Shuffle();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_GT(*moved, 0);
+  EXPECT_EQ(driver_->PhysicalCylinderOf(2), 50);  // center of 100 cylinders
+  // Requests for cylinder-2 blocks now service at the center.
+  driver_->ReadStats(true);
+  ReadBlock(16, 1);
+  EXPECT_EQ(disk_->head_cylinder(), 50);
+}
+
+TEST_F(CylinderShuffleTest, ShuffleIsAPermutation) {
+  ReadBlock(16, 10);
+  ReadBlock(400, 7);
+  ASSERT_TRUE(driver_->Shuffle().ok());
+  std::vector<bool> used(100, false);
+  for (Cylinder v = 0; v < 100; ++v) {
+    const Cylinder p = driver_->PhysicalCylinderOf(v);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 100);
+    EXPECT_FALSE(used[static_cast<std::size_t>(p)]);
+    used[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST_F(CylinderShuffleTest, ShufflePreservesData) {
+  // Stamp a sector on cylinder 2, heat that cylinder, shuffle, and check
+  // the stamp moved with it.
+  disk_->WritePayload(2 * 128 + 5, 0xABCD);
+  ReadBlock(16, 10);
+  ASSERT_TRUE(driver_->Shuffle().ok());
+  const Cylinder now_at = driver_->PhysicalCylinderOf(2);
+  EXPECT_EQ(disk_->ReadPayload(now_at * 128 + 5), 0xABCDu);
+}
+
+TEST_F(CylinderShuffleTest, ShuffleChargesMovementIo) {
+  ReadBlock(16, 10);
+  EXPECT_EQ(driver_->shuffle_io_count(), 0);
+  auto moved = driver_->Shuffle();
+  ASSERT_TRUE(moved.ok());
+  // One read + one write per moved cylinder.
+  EXPECT_EQ(driver_->shuffle_io_count(), 2 * *moved);
+  EXPECT_GT(driver_->shuffle_io_time(), 0);
+}
+
+TEST_F(CylinderShuffleTest, ResetLayoutRestoresIdentityAndData) {
+  disk_->WritePayload(2 * 128 + 5, 0x1234);
+  ReadBlock(16, 10);
+  ASSERT_TRUE(driver_->Shuffle().ok());
+  ASSERT_TRUE(driver_->ResetLayout().ok());
+  for (Cylinder c = 0; c < 100; ++c) {
+    EXPECT_EQ(driver_->PhysicalCylinderOf(c), c);
+  }
+  EXPECT_EQ(disk_->ReadPayload(2 * 128 + 5), 0x1234u);
+}
+
+TEST_F(CylinderShuffleTest, ShuffleRejectedWhileBusy) {
+  ASSERT_TRUE(
+      driver_->SubmitBlock(0, 500, sched::IoType::kRead, driver_->now())
+          .ok());
+  EXPECT_EQ(driver_->Shuffle().status().code(), StatusCode::kBusy);
+  driver_->Drain();
+  EXPECT_TRUE(driver_->Shuffle().ok());
+}
+
+TEST_F(CylinderShuffleTest, StatsRecorded) {
+  ReadBlock(16, 3);
+  auto stats = driver_->ReadStats(true);
+  EXPECT_EQ(stats.reads.count(), 3);
+  EXPECT_EQ(stats.all.count(), 3);
+}
+
+TEST_F(CylinderShuffleTest, FcfsDistancesUseUnshuffledLayout) {
+  ReadBlock(16, 10);  // heat cylinder 2
+  ASSERT_TRUE(driver_->Shuffle().ok());
+  driver_->ReadStats(true);
+  // Alternate between virtual cylinders 2 and 3.
+  ReadBlock(16, 1);
+  ReadBlock(24, 1);
+  auto stats = driver_->ReadStats(true);
+  ASSERT_GE(stats.reads.fcfs_seek_distance.count(), 1);
+  // FCFS distance is |3 - 2| = 1 in the unshuffled layout, regardless of
+  // where the cylinders physically ended up.
+  EXPECT_DOUBLE_EQ(stats.reads.fcfs_seek_distance.Mean(), 1.0);
+}
+
+TEST_F(CylinderShuffleTest, BlockStraddlingCylinderSplit) {
+  // TestDrive has 128 sectors per cylinder and 16-sector blocks, so no
+  // straddling; rebuild with 34-sector tracks (136 per cylinder).
+  disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive(100, 4, 34));
+  disk::DiskLabel label = disk::DiskLabel::Plain(disk_->geometry());
+  driver_ = std::make_unique<CylinderShuffleDriver>(
+      disk_.get(), label, CylinderShuffleDriver::Config{});
+  // Block 8 covers sectors 128..143, straddling cylinders 0 and 1.
+  ASSERT_TRUE(driver_->SubmitBlock(0, 8, sched::IoType::kRead, 0).ok());
+  driver_->Drain();
+  auto stats = driver_->ReadStats(true);
+  EXPECT_EQ(stats.reads.count(), 2);  // two pieces
+}
+
+}  // namespace
+}  // namespace abr::baselines

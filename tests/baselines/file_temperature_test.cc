@@ -1,0 +1,159 @@
+#include "baselines/file_temperature.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+#include "placement/reserved_region.h"
+
+namespace abr::baselines {
+namespace {
+
+using analyzer::BlockId;
+using analyzer::HotBlock;
+
+class FileTemperatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver::DriverConfig config;
+    config.block_table_capacity = 16;
+    driver_ = std::make_unique<driver::AdaptiveDriver>(
+        disk_.get(), std::move(*label), config, &store_);
+    ASSERT_TRUE(driver_->Attach().ok());
+
+    fs::FfsConfig ffs_config;
+    ffs_config.total_blocks = 720;
+    ffs_config.blocks_per_group = 90;
+    fs_ = std::make_unique<fs::Ffs>(ffs_config);
+  }
+
+  /// Creates a file of `blocks` blocks; returns (id, its block numbers).
+  std::pair<fs::FileId, std::vector<BlockNo>> MakeFile(std::int64_t blocks) {
+    auto f = fs_->CreateFile();
+    EXPECT_TRUE(f.ok());
+    std::vector<BlockNo> out;
+    for (std::int64_t i = 0; i < blocks; ++i) {
+      auto b = fs_->AppendBlock(*f);
+      EXPECT_TRUE(b.ok());
+      out.push_back(*b);
+    }
+    return {*f, out};
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  std::unique_ptr<fs::Ffs> fs_;
+};
+
+TEST_F(FileTemperatureTest, RankFilesByTemperature) {
+  auto [hot_small, hot_blocks] = MakeFile(2);     // 20 refs / 2 = 10.0
+  auto [warm_big, warm_blocks] = MakeFile(10);    // 50 refs / 10 = 5.0
+  auto [cold, cold_blocks] = MakeFile(4);         // untouched
+
+  std::vector<HotBlock> counts;
+  for (BlockNo b : hot_blocks) counts.push_back({BlockId{0, b}, 10});
+  for (BlockNo b : warm_blocks) counts.push_back({BlockId{0, b}, 5});
+  // Metadata/unknown blocks are ignored.
+  counts.push_back({BlockId{0, 0}, 1000});
+
+  auto ranked = FileTemperatureArranger::RankFiles(*fs_, counts);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].file, hot_small);
+  EXPECT_DOUBLE_EQ(ranked[0].temperature, 10.0);
+  EXPECT_EQ(ranked[0].references, 20);
+  EXPECT_EQ(ranked[0].blocks, 2);
+  EXPECT_EQ(ranked[1].file, warm_big);
+  (void)cold;
+  (void)cold_blocks;
+}
+
+TEST_F(FileTemperatureTest, RearrangeMovesWholeFiles) {
+  auto [hot, hot_blocks] = MakeFile(3);
+  std::vector<HotBlock> counts;
+  for (BlockNo b : hot_blocks) counts.push_back({BlockId{0, b}, 9});
+  FileTemperatureArranger arranger;
+  auto result = arranger.Rearrange(*driver_, *fs_, 0, counts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copied, 3);
+  for (BlockNo b : hot_blocks) {
+    EXPECT_TRUE(driver_->block_table().Lookup(b * 16).has_value())
+        << "block " << b;
+  }
+  (void)hot;
+}
+
+TEST_F(FileTemperatureTest, HotterFileGetsMoreCentralSlots) {
+  auto [hot, hot_blocks] = MakeFile(2);
+  auto [warm, warm_blocks] = MakeFile(2);
+  std::vector<HotBlock> counts;
+  for (BlockNo b : hot_blocks) counts.push_back({BlockId{0, b}, 50});
+  for (BlockNo b : warm_blocks) counts.push_back({BlockId{0, b}, 5});
+  FileTemperatureArranger arranger;
+  ASSERT_TRUE(arranger.Rearrange(*driver_, *fs_, 0, counts).ok());
+  const placement::ReservedRegion region =
+      placement::ReservedRegion::FromDriver(*driver_);
+  const std::vector<std::int32_t> order = region.OrganPipeSlotOrder();
+  // The hot file's blocks occupy the first organ-pipe slots in file order.
+  EXPECT_EQ(driver_->block_table().Lookup(hot_blocks[0] * 16).value(),
+            region.SlotSector(order[0]));
+  EXPECT_EQ(driver_->block_table().Lookup(hot_blocks[1] * 16).value(),
+            region.SlotSector(order[1]));
+  (void)hot;
+  (void)warm;
+}
+
+TEST_F(FileTemperatureTest, OversizedFileSkippedForSmallerOne) {
+  // Reserved slots: table capacity 16 -> at most 16 slots.
+  auto [huge, huge_blocks] = MakeFile(40);  // cannot fit
+  auto [small, small_blocks] = MakeFile(2);
+  std::vector<HotBlock> counts;
+  for (BlockNo b : huge_blocks) counts.push_back({BlockId{0, b}, 100});
+  for (BlockNo b : small_blocks) counts.push_back({BlockId{0, b}, 1});
+  FileTemperatureArranger arranger;
+  auto result = arranger.Rearrange(*driver_, *fs_, 0, counts);
+  ASSERT_TRUE(result.ok());
+  // The huge file is passed over; the small one fits.
+  EXPECT_EQ(result->copied, 2);
+  EXPECT_TRUE(
+      driver_->block_table().Lookup(small_blocks[0] * 16).has_value());
+  (void)huge;
+  (void)small;
+}
+
+TEST_F(FileTemperatureTest, SecondRearrangeCleansFirst) {
+  auto [a, a_blocks] = MakeFile(2);
+  auto [b, b_blocks] = MakeFile(2);
+  FileTemperatureArranger arranger;
+  std::vector<HotBlock> first;
+  for (BlockNo blk : a_blocks) first.push_back({BlockId{0, blk}, 5});
+  ASSERT_TRUE(arranger.Rearrange(*driver_, *fs_, 0, first).ok());
+  std::vector<HotBlock> second;
+  for (BlockNo blk : b_blocks) second.push_back({BlockId{0, blk}, 5});
+  auto result = arranger.Rearrange(*driver_, *fs_, 0, second);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned, 2);
+  EXPECT_FALSE(driver_->block_table().Lookup(a_blocks[0] * 16).has_value());
+  EXPECT_TRUE(driver_->block_table().Lookup(b_blocks[0] * 16).has_value());
+  (void)a;
+  (void)b;
+}
+
+TEST_F(FileTemperatureTest, RequiresRearrangedDisk) {
+  disk::Disk plain(disk::DriveSpec::TestDrive());
+  disk::DiskLabel label = disk::DiskLabel::Plain(plain.geometry());
+  driver::AdaptiveDriver plain_driver(&plain, label, driver::DriverConfig{},
+                                      nullptr);
+  ASSERT_TRUE(plain_driver.Attach().ok());
+  FileTemperatureArranger arranger;
+  EXPECT_EQ(arranger.Rearrange(plain_driver, *fs_, 0, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace abr::baselines

@@ -1,0 +1,134 @@
+#include "core/adaptive_system.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/metrics.h"
+#include "disk/drive_spec.h"
+#include "workload/replay.h"
+#include "workload/synthetic.h"
+
+namespace abr::core {
+namespace {
+
+class AdaptiveSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    drive_ = disk::DriveSpec::TestDrive(200, 4, 32);
+    disk_ = std::make_unique<disk::Disk>(drive_);
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    AdaptiveSystemConfig config;
+    config.driver.block_table_capacity = 64;
+    config.rearrange_blocks = 64;
+    config.analyzer_entries = 0;  // exact
+    system_ = std::make_unique<AdaptiveSystem>(disk_.get(), std::move(*label),
+                                               config, &store_);
+    ASSERT_TRUE(system_->Start().ok());
+  }
+
+  /// One "day" of synthetic skewed traffic; returns its metrics.
+  DayMetrics RunPeriod(std::uint64_t seed) {
+    workload::SyntheticConfig config;
+    config.population = 300;
+    config.theta = 1.2;
+    config.write_fraction = 0.2;
+    config.arrivals.mean_burst_gap = 200 * kMillisecond;
+    config.arrivals.mean_burst_size = 4.0;
+    // Same seed -> same block population & request sequence shape, so the
+    // previous period's hot list predicts the next period well.
+    workload::SyntheticBlockWorkload w(
+        0,
+        disk_->geometry().total_sectors() / 16 - 10 * 8 /* virtual blocks */,
+        config, seed);
+    workload::Trace trace;
+    w.Generate(system_->driver().now(),
+               system_->driver().now() + 60 * kSecond, trace);
+    system_->driver().IoctlReadStats(/*clear=*/true);
+    EXPECT_TRUE(workload::Replay(system_->driver(), trace,
+                                 [this](Micros t) {
+                                   system_->PeriodicTick(t);
+                                 },
+                                 10 * kSecond)
+                    .ok());
+    system_->driver().Drain();
+    return DayMetrics::From(system_->driver().IoctlReadStats(true),
+                            drive_.seek_model);
+  }
+
+  disk::DriveSpec drive_ = disk::DriveSpec::TestDrive();
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<AdaptiveSystem> system_;
+};
+
+TEST_F(AdaptiveSystemTest, HotListComesFromMonitoredTraffic) {
+  RunPeriod(1);
+  auto hot = system_->HotList();
+  ASSERT_FALSE(hot.empty());
+  EXPECT_LE(hot.size(), 64u);
+  // Hottest first.
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    EXPECT_GE(hot[i - 1].count, hot[i].count);
+  }
+}
+
+TEST_F(AdaptiveSystemTest, RearrangeReducesSeekTime) {
+  const DayMetrics before = RunPeriod(1);
+  auto result = system_->Rearrange();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copied, 64);
+  const DayMetrics after = RunPeriod(1);
+  // Same workload, hot blocks now clustered: seek time must drop sharply.
+  EXPECT_LT(after.all.mean_seek_ms, 0.6 * before.all.mean_seek_ms);
+  EXPECT_GT(after.all.zero_seek_pct, before.all.zero_seek_pct);
+}
+
+TEST_F(AdaptiveSystemTest, CleanRestoresOriginalBehaviour) {
+  const DayMetrics before = RunPeriod(1);
+  ASSERT_TRUE(system_->Rearrange().ok());
+  RunPeriod(1);
+  ASSERT_TRUE(system_->Clean().ok());
+  EXPECT_EQ(system_->driver().block_table().size(), 0);
+  const DayMetrics restored = RunPeriod(1);
+  // Within a reasonable band of the original (seed-identical traffic).
+  EXPECT_NEAR(restored.all.mean_seek_ms, before.all.mean_seek_ms,
+              0.25 * before.all.mean_seek_ms);
+}
+
+TEST_F(AdaptiveSystemTest, RearrangeResetsCounts) {
+  RunPeriod(1);
+  ASSERT_TRUE(system_->Rearrange().ok());
+  EXPECT_TRUE(system_->HotList().empty());
+}
+
+TEST_F(AdaptiveSystemTest, SetRearrangeBlocksLimitsCopies) {
+  RunPeriod(1);
+  system_->set_rearrange_blocks(10);
+  auto result = system_->Rearrange();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copied, 10);
+}
+
+TEST_F(AdaptiveSystemTest, SurvivesRestart) {
+  RunPeriod(1);
+  ASSERT_TRUE(system_->Rearrange().ok());
+  const std::int32_t moved = system_->driver().block_table().size();
+  ASSERT_GT(moved, 0);
+
+  // Clean shutdown + new system on the same disk and table store.
+  auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+  ASSERT_TRUE(label.ok());
+  ASSERT_TRUE(label->PartitionEvenly(1).ok());
+  AdaptiveSystemConfig config;
+  config.driver.block_table_capacity = 64;
+  config.rearrange_blocks = 64;
+  AdaptiveSystem revived(disk_.get(), std::move(*label), config, &store_);
+  ASSERT_TRUE(revived.Start().ok());
+  EXPECT_EQ(revived.driver().block_table().size(), moved);
+}
+
+}  // namespace
+}  // namespace abr::core

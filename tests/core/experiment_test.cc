@@ -1,0 +1,124 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/onoff.h"
+
+namespace abr::core {
+namespace {
+
+/// A miniature configuration that runs in milliseconds of wall time.
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config = ExperimentConfig::ToshibaSystem();
+  config.rearrange_blocks = 200;
+  config.profile.file_count = 60;
+  config.profile.mean_file_blocks = 5.0;
+  config.profile.max_file_blocks = 20;
+  config.profile.day_length = 20 * kMinute;
+  config.profile.arrivals.mean_burst_gap = 2 * kSecond;
+  return config;
+}
+
+TEST(ExperimentTest, SetupPopulatesAndClearsStats) {
+  Experiment exp(TinyConfig());
+  ASSERT_TRUE(exp.Setup().ok());
+  // Population traffic must not leak into the measured statistics.
+  EXPECT_EQ(exp.driver().IoctlReadStats(false).all.count(), 0);
+  EXPECT_TRUE(exp.system().HotList().empty());
+  EXPECT_EQ(exp.day(), 0);
+}
+
+TEST(ExperimentTest, SetupTwiceFails) {
+  Experiment exp(TinyConfig());
+  ASSERT_TRUE(exp.Setup().ok());
+  EXPECT_EQ(exp.Setup().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExperimentTest, RunBeforeSetupFails) {
+  Experiment exp(TinyConfig());
+  EXPECT_EQ(exp.RunMeasuredDay().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExperimentTest, MeasuredDayProducesMetricsAndCounts) {
+  Experiment exp(TinyConfig());
+  ASSERT_TRUE(exp.Setup().ok());
+  auto day = exp.RunMeasuredDay();
+  ASSERT_TRUE(day.ok());
+  EXPECT_GT(day->all.count, 0);
+  EXPECT_GT(day->all.mean_service_ms, 0.0);
+  EXPECT_GT(exp.day_counts_all().total(), 0);
+  EXPECT_GE(exp.day_counts_all().total(), exp.day_counts_reads().total());
+  EXPECT_EQ(exp.day(), 1);
+  // Counts feed the analyzer for the end-of-day decision.
+  EXPECT_FALSE(exp.system().HotList().empty());
+}
+
+TEST(ExperimentTest, RearrangeThenCleanCycle) {
+  Experiment exp(TinyConfig());
+  ASSERT_TRUE(exp.Setup().ok());
+  ASSERT_TRUE(exp.RunMeasuredDay().ok());
+  ASSERT_TRUE(exp.RearrangeForNextDay().ok());
+  EXPECT_GT(exp.driver().block_table().size(), 0);
+  exp.AdvanceWorkloadDay();
+  ASSERT_TRUE(exp.RunMeasuredDay().ok());
+  ASSERT_TRUE(exp.CleanForNextDay().ok());
+  EXPECT_EQ(exp.driver().block_table().size(), 0);
+}
+
+TEST(ExperimentTest, TighterBlockBudgetRespected) {
+  Experiment exp(TinyConfig());
+  ASSERT_TRUE(exp.Setup().ok());
+  ASSERT_TRUE(exp.RunMeasuredDay().ok());
+  exp.set_rearrange_blocks(15);
+  ASSERT_TRUE(exp.RearrangeForNextDay().ok());
+  EXPECT_LE(exp.driver().block_table().size(), 15);
+}
+
+TEST(OnOffProtocolTest, AlternatesAndImproves) {
+  Experiment exp(TinyConfig());
+  auto result = RunOnOff(exp, /*days_per_side=*/1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->off_days.size(), 1u);
+  ASSERT_EQ(result->on_days.size(), 1u);
+  // The rearranged day must show a clear seek-time advantage.
+  EXPECT_LT(result->on_days[0].all.mean_seek_ms,
+            result->off_days[0].all.mean_seek_ms);
+}
+
+TEST(OnOffProtocolTest, SummarizeSlices) {
+  Experiment exp(TinyConfig());
+  auto result = RunOnOff(exp, 1);
+  ASSERT_TRUE(result.ok());
+  const SummaryRow all =
+      OnOffResult::Summarize(result->off_days, OnOffResult::Slice::kAll);
+  const SummaryRow reads =
+      OnOffResult::Summarize(result->off_days, OnOffResult::Slice::kReads);
+  EXPECT_EQ(all.seek_ms.count(), 1);
+  EXPECT_GT(all.service_ms.avg(), 0.0);
+  EXPECT_GT(reads.service_ms.avg(), 0.0);
+}
+
+TEST(ExperimentConfigTest, PresetsMatchPaperParameters) {
+  const ExperimentConfig ts = ExperimentConfig::ToshibaSystem();
+  EXPECT_EQ(ts.reserved_cylinders, 48);
+  EXPECT_EQ(ts.rearrange_blocks, 1018);
+  const ExperimentConfig fs = ExperimentConfig::FujitsuSystem();
+  EXPECT_EQ(fs.reserved_cylinders, 80);
+  EXPECT_EQ(fs.rearrange_blocks, 3500);
+  const ExperimentConfig fu = ExperimentConfig::FujitsuUsers();
+  // The bigger disk holds twice the home directories.
+  EXPECT_EQ(fu.profile.file_count,
+            2 * ExperimentConfig::ToshibaUsers().profile.file_count);
+}
+
+TEST(ExperimentConfigTest, ToshibaReservedRegionYields1018Slots) {
+  Experiment exp(ExperimentConfig::ToshibaSystem());
+  ASSERT_TRUE(exp.Setup().ok());
+  // 48 cylinders minus the 1018-entry table leaves exactly 1018 slots —
+  // the number of blocks the paper rearranged.
+  EXPECT_EQ(exp.driver().reserved_slot_count(), 1018);
+}
+
+}  // namespace
+}  // namespace abr::core

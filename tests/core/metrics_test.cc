@@ -1,0 +1,60 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::core {
+namespace {
+
+driver::PerfSnapshot MakeSnapshot() {
+  driver::PerfMonitor m;
+  m.RecordArrival(sched::IoType::kRead, 0);
+  m.RecordArrival(sched::IoType::kRead, 100);
+  m.RecordCompletion(sched::IoType::kRead, 2000, 20000, 0, 8000, 2000,
+                     false);
+  m.RecordCompletion(sched::IoType::kRead, 4000, 30000, 50, 8000, 2000,
+                     false);
+  m.RecordCompletion(sched::IoType::kWrite, 6000, 10000, 0, 4000, 1000,
+                     true);
+  return m.Snapshot();
+}
+
+TEST(SliceMetricsTest, ExtractsAllFields) {
+  const disk::SeekModel model = disk::SeekModel::Linear(2.0, 0.1, 200);
+  const SliceMetrics m = SliceMetrics::From(MakeSnapshot().reads, model);
+  EXPECT_EQ(m.count, 2);
+  EXPECT_DOUBLE_EQ(m.mean_service_ms, 25.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait_ms, 3.0);
+  EXPECT_DOUBLE_EQ(m.mean_seek_dist, 25.0);
+  EXPECT_DOUBLE_EQ(m.fcfs_seek_dist, 100.0);
+  EXPECT_DOUBLE_EQ(m.zero_seek_pct, 50.0);
+  // Seek times derive from the distance distributions and the model:
+  // distances {0, 50} -> {0, 7} ms -> mean 3.5; FCFS {100} -> 12.
+  EXPECT_DOUBLE_EQ(m.mean_seek_ms, 3.5);
+  EXPECT_DOUBLE_EQ(m.fcfs_seek_ms, 12.0);
+  EXPECT_DOUBLE_EQ(m.rot_plus_transfer_ms, 10.0);
+}
+
+TEST(DayMetricsTest, SlicesAreConsistent) {
+  const disk::SeekModel model = disk::SeekModel::Linear(2.0, 0.1, 200);
+  const DayMetrics d = DayMetrics::From(MakeSnapshot(), model);
+  EXPECT_EQ(d.all.count, d.reads.count + d.writes.count);
+  EXPECT_EQ(d.service_all.count(), 3);
+  EXPECT_EQ(d.service_reads.count(), 2);
+  // The all-slice service mean is the count-weighted combination.
+  EXPECT_NEAR(d.all.mean_service_ms,
+              (2 * d.reads.mean_service_ms + 1 * d.writes.mean_service_ms) /
+                  3.0,
+              1e-9);
+}
+
+TEST(DayMetricsTest, EmptySnapshot) {
+  driver::PerfMonitor m;
+  const disk::SeekModel model = disk::SeekModel::Linear(1.0, 0.1, 10);
+  const DayMetrics d = DayMetrics::From(m.Snapshot(), model);
+  EXPECT_EQ(d.all.count, 0);
+  EXPECT_DOUBLE_EQ(d.all.mean_seek_ms, 0.0);
+  EXPECT_DOUBLE_EQ(d.all.zero_seek_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace abr::core

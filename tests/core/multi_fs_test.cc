@@ -1,0 +1,124 @@
+// Integration test for the multi-partition capability of Section 4.1.1:
+// a disk may carry several partitions (file systems), but the driver
+// implements a single reserved region, and blocks from *any* of the file
+// systems may be copied there. The only requirement is a common block
+// size.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/adaptive_system.h"
+#include "disk/drive_spec.h"
+#include "fs/file_server.h"
+
+namespace abr::core {
+namespace {
+
+class MultiFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive(200, 4, 32));
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(2).ok());
+    AdaptiveSystemConfig config;
+    config.driver.block_table_capacity = 32;
+    config.rearrange_blocks = 32;
+    config.analyzer_entries = 0;
+    system_ = std::make_unique<AdaptiveSystem>(disk_.get(), std::move(*label),
+                                               config, &store_);
+    ASSERT_TRUE(system_->Start().ok());
+    server_ = std::make_unique<fs::FileServer>(&system_->driver(),
+                                               fs::FileServerConfig{});
+    fs::FfsConfig ffs;
+    ffs.blocks_per_group = 64;
+    ASSERT_TRUE(server_->AddFileSystem(0, ffs).ok());
+    ASSERT_TRUE(server_->AddFileSystem(1, ffs).ok());
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<AdaptiveSystem> system_;
+  std::unique_ptr<fs::FileServer> server_;
+};
+
+TEST_F(MultiFsTest, BothPartitionsShareOneReservedRegion) {
+  // Touch one file on each partition repeatedly.
+  fs::FileId f0 = server_->CreateFile(0, 0).value();
+  fs::FileId f1 = server_->CreateFile(1, 0).value();
+  ASSERT_TRUE(server_->AppendBlock(0, f0, 0).ok());
+  ASSERT_TRUE(server_->AppendBlock(1, f1, 0).ok());
+  server_->FlushAndDrain();
+  Micros t = system_->driver().now();
+  for (int i = 0; i < 20; ++i) {
+    t += kSecond;
+    ASSERT_TRUE(server_->ReadFileBlock(0, f0, 0, t).ok());
+    ASSERT_TRUE(server_->ReadFileBlock(1, f1, 0, t).ok());
+  }
+  server_->FlushAndDrain();
+  system_->PeriodicTick(system_->driver().now());
+
+  auto result = system_->Rearrange();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->copied, 0);
+
+  // Blocks from both devices must be present in the block table.
+  bool device_block_seen[2] = {false, false};
+  const auto& partitions = system_->driver().label().partitions();
+  for (const driver::BlockTableEntry& e :
+       system_->driver().block_table().entries()) {
+    // Classify the entry's original sector by partition (via the virtual
+    // address: originals never sit inside the reserved region).
+    const SectorNo v =
+        system_->driver().label().PhysicalToVirtual(e.original);
+    for (int d = 0; d < 2; ++d) {
+      const disk::Partition& p = partitions[static_cast<std::size_t>(d)];
+      if (v >= p.first_sector && v < p.end_sector()) {
+        device_block_seen[d] = true;
+      }
+    }
+  }
+  EXPECT_TRUE(device_block_seen[0]);
+  EXPECT_TRUE(device_block_seen[1]);
+}
+
+TEST_F(MultiFsTest, RedirectionKeepsDevicesSeparate) {
+  fs::FileId f0 = server_->CreateFile(0, 0).value();
+  fs::FileId f1 = server_->CreateFile(1, 0).value();
+  BlockNo b0 = server_->AppendBlock(0, f0, 0).value();
+  BlockNo b1 = server_->AppendBlock(1, f1, 0).value();
+  server_->FlushAndDrain();
+
+  // The same logical block number on different devices maps to different
+  // physical sectors.
+  driver::AdaptiveDriver& driver = system_->driver();
+  const auto& parts = driver.label().partitions();
+  const SectorNo v0 = parts[0].first_sector + b0 * driver.block_sectors();
+  const SectorNo v1 = parts[1].first_sector + b1 * driver.block_sectors();
+  EXPECT_NE(driver.MapVirtualExtent(v0, 16)[0].sector,
+            driver.MapVirtualExtent(v1, 16)[0].sector);
+}
+
+TEST_F(MultiFsTest, CleanReturnsBlocksOfAllDevices) {
+  fs::FileId f0 = server_->CreateFile(0, 0).value();
+  fs::FileId f1 = server_->CreateFile(1, 0).value();
+  ASSERT_TRUE(server_->AppendBlock(0, f0, 0).ok());
+  ASSERT_TRUE(server_->AppendBlock(1, f1, 0).ok());
+  server_->FlushAndDrain();
+  Micros t = system_->driver().now();
+  for (int i = 0; i < 10; ++i) {
+    t += kSecond;
+    ASSERT_TRUE(server_->ReadFileBlock(0, f0, 0, t).ok());
+    ASSERT_TRUE(server_->ReadFileBlock(1, f1, 0, t).ok());
+  }
+  server_->FlushAndDrain();
+  system_->PeriodicTick(system_->driver().now());
+  ASSERT_TRUE(system_->Rearrange().ok());
+  ASSERT_GT(system_->driver().block_table().size(), 0);
+  ASSERT_TRUE(system_->Clean().ok());
+  EXPECT_EQ(system_->driver().block_table().size(), 0);
+}
+
+}  // namespace
+}  // namespace abr::core

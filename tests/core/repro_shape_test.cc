@@ -1,0 +1,150 @@
+// Reproduction shape regression tests: scaled-down versions of the paper's
+// experiments asserting the *qualitative* results every table/figure
+// hinges on. These guard the calibrated workload and the whole stack
+// against regressions that would silently flip a conclusion.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/onoff.h"
+#include "placement/policy.h"
+
+namespace abr::core {
+namespace {
+
+/// Shrinks a config so one day runs in tens of milliseconds.
+ExperimentConfig Shrink(ExperimentConfig config) {
+  config.profile.day_length = 90 * kMinute;
+  return config;
+}
+
+DayMetrics OnDay(ExperimentConfig config,
+                 placement::PolicyKind kind = placement::PolicyKind::kOrganPipe) {
+  config.system.policy = kind;
+  Experiment exp(std::move(config));
+  EXPECT_TRUE(exp.Setup().ok());
+  EXPECT_TRUE(exp.RunMeasuredDay().ok());
+  EXPECT_TRUE(exp.RearrangeForNextDay().ok());
+  exp.AdvanceWorkloadDay();
+  auto day = exp.RunMeasuredDay();
+  EXPECT_TRUE(day.ok());
+  return std::move(day.value());
+}
+
+struct OffOn {
+  DayMetrics off;
+  DayMetrics on;
+};
+
+OffOn RunPair(ExperimentConfig config) {
+  Experiment exp(std::move(config));
+  auto result = RunOnOff(exp, 1);
+  EXPECT_TRUE(result.ok());
+  return OffOn{std::move(result->off_days.front()),
+               std::move(result->on_days.front())};
+}
+
+TEST(ReproShapeTest, Table2SeekTimesDropSharplyOnSystemFs) {
+  for (auto make : {&ExperimentConfig::ToshibaSystem,
+                    &ExperimentConfig::FujitsuSystem}) {
+    const OffOn r = RunPair(Shrink(make()));
+    // Headline: large seek reduction (paper ~90%; require >= 60% at this
+    // reduced scale), substantial service reduction (paper 33-42%;
+    // require >= 20%).
+    EXPECT_LT(r.on.all.mean_seek_ms, 0.4 * r.off.all.mean_seek_ms);
+    EXPECT_LT(r.on.all.mean_service_ms, 0.8 * r.off.all.mean_service_ms);
+    EXPECT_LT(r.on.all.mean_wait_ms, r.off.all.mean_wait_ms);
+  }
+}
+
+TEST(ReproShapeTest, Table3ZeroSeeksJumpAndFcfsBaselineUnchanged) {
+  const OffOn r = RunPair(Shrink(ExperimentConfig::ToshibaSystem()));
+  EXPECT_GT(r.on.all.zero_seek_pct, r.off.all.zero_seek_pct + 10.0);
+  // The FCFS/no-rearrangement baseline is computed from original
+  // addresses, so it must be nearly identical on both days.
+  EXPECT_NEAR(r.on.all.fcfs_seek_ms, r.off.all.fcfs_seek_ms,
+              0.2 * r.off.all.fcfs_seek_ms);
+  // Rearrangement cannot beat physics: the actual seek time is below the
+  // FCFS baseline on both days (SCAN alone already reorders).
+  EXPECT_LT(r.off.all.mean_seek_ms, r.off.all.fcfs_seek_ms);
+  EXPECT_LT(r.on.all.mean_seek_ms, r.on.all.fcfs_seek_ms);
+}
+
+TEST(ReproShapeTest, Table5UsersFsBenefitsLessThanSystemFs) {
+  const OffOn users = RunPair(Shrink(ExperimentConfig::ToshibaUsers()));
+  const OffOn system = RunPair(Shrink(ExperimentConfig::ToshibaSystem()));
+  const double users_cut =
+      1.0 - users.on.all.mean_seek_ms / users.off.all.mean_seek_ms;
+  const double system_cut =
+      1.0 - system.on.all.mean_seek_ms / system.off.all.mean_seek_ms;
+  EXPECT_GT(users_cut, 0.0);          // still helps...
+  EXPECT_LT(users_cut, system_cut);   // ...but less than the system fs
+}
+
+TEST(ReproShapeTest, Fig5SystemDistributionIsHighlySkewed) {
+  ExperimentConfig config = Shrink(ExperimentConfig::ToshibaSystem());
+  Experiment exp(std::move(config));
+  ASSERT_TRUE(exp.Setup().ok());
+  ASSERT_TRUE(exp.RunMeasuredDay().ok());
+  auto top = exp.day_counts_all().TopK(
+      static_cast<std::size_t>(exp.day_counts_all().tracked()));
+  std::int64_t total = 0, top100 = 0;
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    total += top[i].count;
+    if (i < 100) top100 += top[i].count;
+  }
+  // Paper: the 100 hottest blocks absorb ~90% of requests.
+  EXPECT_GT(static_cast<double>(top100) / static_cast<double>(total), 0.75);
+  // And fewer than ~2000 distinct blocks absorb everything.
+  EXPECT_LT(top.size(), 2500u);
+}
+
+TEST(ReproShapeTest, Table7SerialPlacementIsWorst) {
+  const ExperimentConfig base = Shrink(ExperimentConfig::ToshibaSystem());
+  const DayMetrics organ = OnDay(base, placement::PolicyKind::kOrganPipe);
+  const DayMetrics serial = OnDay(base, placement::PolicyKind::kSerial);
+  EXPECT_LT(organ.all.mean_seek_ms, serial.all.mean_seek_ms);
+  EXPECT_GT(organ.all.zero_seek_pct, serial.all.zero_seek_pct);
+}
+
+TEST(ReproShapeTest, Fig8MarginalBenefitFlattens) {
+  auto seek_with_blocks = [](std::int32_t blocks) {
+    ExperimentConfig config = Shrink(ExperimentConfig::ToshibaSystem());
+    Experiment exp(std::move(config));
+    EXPECT_TRUE(exp.Setup().ok());
+    EXPECT_TRUE(exp.RunMeasuredDay().ok());
+    exp.set_rearrange_blocks(blocks);
+    EXPECT_TRUE((blocks > 0 ? exp.RearrangeForNextDay()
+                            : exp.CleanForNextDay())
+                    .ok());
+    exp.AdvanceWorkloadDay();
+    auto day = exp.RunMeasuredDay();
+    EXPECT_TRUE(day.ok());
+    return day->all.mean_seek_ms;
+  };
+  const double none = seek_with_blocks(0);
+  const double few = seek_with_blocks(100);
+  const double many = seek_with_blocks(1018);
+  // The first 100 blocks capture most of the benefit.
+  EXPECT_LT(few, none);
+  const double benefit_few = none - few;
+  const double benefit_many = none - many;
+  EXPECT_GT(benefit_few, 0.55 * benefit_many);
+}
+
+TEST(ReproShapeTest, ExperimentIsDeterministic) {
+  auto run = []() {
+    ExperimentConfig config = Shrink(ExperimentConfig::ToshibaSystem());
+    Experiment exp(std::move(config));
+    EXPECT_TRUE(exp.Setup().ok());
+    auto day = exp.RunMeasuredDay();
+    EXPECT_TRUE(day.ok());
+    return std::tuple{day->all.count, day->all.mean_seek_ms,
+                      day->all.mean_wait_ms,
+                      exp.day_counts_all().total()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace abr::core

@@ -1,0 +1,166 @@
+#include "disk/disk_label.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/drive_spec.h"
+
+namespace abr::disk {
+namespace {
+
+Geometry TestGeometry() { return DriveSpec::TestDrive(100, 4, 32).geometry; }
+
+TEST(DiskLabelTest, PlainLabelExposesFullDisk) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  EXPECT_FALSE(label.rearranged());
+  EXPECT_EQ(label.virtual_geometry(), label.physical_geometry());
+  ASSERT_EQ(label.partitions().size(), 1u);
+  EXPECT_EQ(label.partitions()[0].sector_count,
+            TestGeometry().total_sectors());
+}
+
+TEST(DiskLabelTest, PlainMappingIsIdentity) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  for (SectorNo s : {0, 100, 3199}) {
+    EXPECT_EQ(label.VirtualToPhysical(s), s);
+    EXPECT_EQ(label.PhysicalToVirtual(s), s);
+    EXPECT_FALSE(label.InReservedRegion(s));
+  }
+}
+
+TEST(DiskLabelTest, RearrangedShrinksVirtualDisk) {
+  auto label = DiskLabel::Rearranged(TestGeometry(), 10);
+  ASSERT_TRUE(label.ok());
+  EXPECT_TRUE(label->rearranged());
+  EXPECT_EQ(label->virtual_geometry().cylinders, 90);
+  EXPECT_EQ(label->reserved_cylinder_count(), 10);
+  // Reserved region centered on the physical disk.
+  EXPECT_EQ(label->reserved_first_cylinder(), 45);
+  EXPECT_EQ(label->reserved_sector_count(), 10 * 128);
+}
+
+TEST(DiskLabelTest, RearrangedValidation) {
+  EXPECT_FALSE(DiskLabel::Rearranged(TestGeometry(), 0).ok());
+  EXPECT_FALSE(DiskLabel::Rearranged(TestGeometry(), -1).ok());
+  EXPECT_FALSE(DiskLabel::Rearranged(TestGeometry(), 100).ok());
+  EXPECT_TRUE(DiskLabel::Rearranged(TestGeometry(), 99).ok());
+  EXPECT_FALSE(DiskLabel::Rearranged(Geometry{}, 5).ok());
+}
+
+TEST(DiskLabelTest, MappingSkipsReservedRegion) {
+  auto label = DiskLabel::Rearranged(TestGeometry(), 10);
+  ASSERT_TRUE(label.ok());
+  const SectorNo boundary = 45 * 128;
+  EXPECT_EQ(label->VirtualToPhysical(0), 0);
+  EXPECT_EQ(label->VirtualToPhysical(boundary - 1), boundary - 1);
+  // First virtual sector at/after the boundary jumps past the region.
+  EXPECT_EQ(label->VirtualToPhysical(boundary), boundary + 10 * 128);
+  const SectorNo last_virtual =
+      label->virtual_geometry().total_sectors() - 1;
+  EXPECT_EQ(label->VirtualToPhysical(last_virtual),
+            TestGeometry().total_sectors() - 1);
+}
+
+TEST(DiskLabelTest, MappingRoundTripProperty) {
+  auto label = DiskLabel::Rearranged(TestGeometry(), 8);
+  ASSERT_TRUE(label.ok());
+  for (SectorNo v = 0; v < label->virtual_geometry().total_sectors(); ++v) {
+    const SectorNo p = label->VirtualToPhysical(v);
+    EXPECT_FALSE(label->InReservedRegion(p)) << "v=" << v;
+    EXPECT_EQ(label->PhysicalToVirtual(p), v);
+  }
+}
+
+TEST(DiskLabelTest, MappingIsInjective) {
+  auto label = DiskLabel::Rearranged(TestGeometry(), 8);
+  ASSERT_TRUE(label.ok());
+  std::vector<bool> hit(
+      static_cast<std::size_t>(TestGeometry().total_sectors()), false);
+  for (SectorNo v = 0; v < label->virtual_geometry().total_sectors(); ++v) {
+    const SectorNo p = label->VirtualToPhysical(v);
+    EXPECT_FALSE(hit[static_cast<std::size_t>(p)]);
+    hit[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(DiskLabelTest, InReservedRegionBounds) {
+  auto label = DiskLabel::Rearranged(TestGeometry(), 10);
+  ASSERT_TRUE(label.ok());
+  const SectorNo first = label->reserved_first_sector();
+  const SectorNo count = label->reserved_sector_count();
+  EXPECT_FALSE(label->InReservedRegion(first - 1));
+  EXPECT_TRUE(label->InReservedRegion(first));
+  EXPECT_TRUE(label->InReservedRegion(first + count - 1));
+  EXPECT_FALSE(label->InReservedRegion(first + count));
+}
+
+TEST(DiskLabelTest, PartitionEvenly) {
+  auto label = DiskLabel::Rearranged(TestGeometry(), 10);
+  ASSERT_TRUE(label.ok());
+  ASSERT_TRUE(label->PartitionEvenly(3).ok());
+  ASSERT_EQ(label->partitions().size(), 3u);
+  std::int64_t total = 0;
+  for (const Partition& p : label->partitions()) {
+    EXPECT_EQ(p.first_sector %
+                  label->virtual_geometry().sectors_per_cylinder(),
+              0)
+        << "partitions start on cylinder boundaries";
+    total += p.sector_count;
+  }
+  EXPECT_EQ(total, label->virtual_geometry().total_sectors());
+}
+
+TEST(DiskLabelTest, PartitionEvenlyValidation) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  EXPECT_FALSE(label.PartitionEvenly(0).ok());
+  EXPECT_FALSE(label.PartitionEvenly(27).ok());
+  EXPECT_TRUE(label.PartitionEvenly(26).ok());
+}
+
+TEST(DiskLabelTest, SetPartitionsRejectsOverlap) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  Status s = label.SetPartitions({Partition{"a", 0, 100},
+                                  Partition{"b", 50, 100}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiskLabelTest, SetPartitionsRejectsOutOfRange) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  Status s = label.SetPartitions(
+      {Partition{"a", 0, TestGeometry().total_sectors() + 1}});
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(DiskLabelTest, SetPartitionsRejectsEmpty) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  EXPECT_FALSE(label.SetPartitions({Partition{"a", 0, 0}}).ok());
+  EXPECT_FALSE(label.SetPartitions({Partition{"a", -5, 10}}).ok());
+}
+
+TEST(DiskLabelTest, FindPartition) {
+  DiskLabel label = DiskLabel::Plain(TestGeometry());
+  ASSERT_TRUE(label.PartitionEvenly(2).ok());
+  auto a = label.FindPartition("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->first_sector, 0);
+  EXPECT_FALSE(label.FindPartition("z").ok());
+}
+
+TEST(DiskLabelTest, PaperReservedSizes) {
+  // 48 Toshiba cylinders ~ 8 MB (6%); 80 Fujitsu cylinders ~ 50 MB (5%).
+  auto toshiba =
+      DiskLabel::Rearranged(DriveSpec::ToshibaMK156F().geometry, 48);
+  ASSERT_TRUE(toshiba.ok());
+  const double toshiba_mb =
+      toshiba->reserved_sector_count() * 512.0 / 1e6;
+  EXPECT_NEAR(toshiba_mb, 8.4, 0.2);
+
+  auto fujitsu =
+      DiskLabel::Rearranged(DriveSpec::FujitsuM2266().geometry, 80);
+  ASSERT_TRUE(fujitsu.ok());
+  const double fujitsu_mb =
+      fujitsu->reserved_sector_count() * 512.0 / 1e6;
+  EXPECT_NEAR(fujitsu_mb, 52.2, 0.5);
+}
+
+}  // namespace
+}  // namespace abr::disk

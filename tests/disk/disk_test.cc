@@ -1,0 +1,137 @@
+#include "disk/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::disk {
+namespace {
+
+DriveSpec Spec() { return DriveSpec::TestDrive(100, 4, 32); }
+
+TEST(DiskTest, SeekDistanceAndTime) {
+  Disk d(Spec());
+  EXPECT_EQ(d.head_cylinder(), 0);
+  // Target cylinder 10: 128 sectors/cylinder in the test drive.
+  ServiceBreakdown b = d.Service(10 * 128, 16, /*is_read=*/true, 0);
+  EXPECT_EQ(b.seek_distance, 10);
+  EXPECT_EQ(b.seek, Spec().seek_model.TimeFor(10));
+  EXPECT_EQ(d.head_cylinder(), 10);
+}
+
+TEST(DiskTest, ZeroSeekOnSameCylinder) {
+  Disk d(Spec());
+  d.Service(10 * 128, 16, true, 0);
+  ServiceBreakdown b = d.Service(10 * 128 + 64, 16, true, 1000000);
+  EXPECT_EQ(b.seek_distance, 0);
+  EXPECT_EQ(b.seek, 0);
+}
+
+TEST(DiskTest, RotationBounded) {
+  Disk d(Spec());
+  const Micros rotation = Spec().geometry.rotation_time();
+  for (int i = 0; i < 50; ++i) {
+    ServiceBreakdown b =
+        d.Service((i * 37) % 3000, 4, true, i * 997 + 13);
+    EXPECT_GE(b.rotation, 0);
+    EXPECT_LT(b.rotation, rotation);
+  }
+}
+
+TEST(DiskTest, RotationDependsOnArrivalPhase) {
+  // Servicing the same sector at two different absolute times should
+  // generally produce different rotational delays (continuous platter).
+  Disk d1(Spec()), d2(Spec());
+  ServiceBreakdown b1 = d1.Service(320, 4, true, 0);
+  ServiceBreakdown b2 = d2.Service(320, 4, true, 1234);
+  EXPECT_NE(b1.rotation, b2.rotation);
+}
+
+TEST(DiskTest, RotationExactPhase) {
+  Disk d(Spec());
+  const Geometry& g = Spec().geometry;
+  // At time 0 the head is over sector 0 of each track; sector index 4
+  // starts after 4 sector times; target on cylinder 0 => no seek.
+  ServiceBreakdown b = d.Service(4, 1, true, 0);
+  EXPECT_EQ(b.seek, 0);
+  EXPECT_EQ(b.rotation, 4 * g.sector_time());
+}
+
+TEST(DiskTest, TransferProportionalToLength) {
+  Disk d(Spec());
+  const Micros sector_time = Spec().geometry.sector_time();
+  ServiceBreakdown b1 = d.Service(0, 1, true, 0);
+  ServiceBreakdown b16 = d.Service(0, 16, true, 1000000);
+  EXPECT_EQ(b1.transfer, sector_time);
+  EXPECT_EQ(b16.transfer, 16 * sector_time);
+}
+
+TEST(DiskTest, TotalIsSumOfParts) {
+  Disk d(Spec());
+  ServiceBreakdown b = d.Service(777, 8, false, 31337);
+  EXPECT_EQ(b.total(), b.seek + b.rotation + b.transfer);
+}
+
+TEST(DiskTest, BufferHitSkipsMechanics) {
+  DriveSpec spec = Spec();
+  spec.track_buffer_bytes = 64 * 512;  // 64 sectors
+  Disk d(std::move(spec));
+  d.Service(10 * 128, 16, true, 0);  // media read fills buffer
+  ServiceBreakdown hit = d.Service(10 * 128 + 16, 16, true, 1000000);
+  EXPECT_TRUE(hit.buffer_hit);
+  EXPECT_EQ(hit.seek, 0);
+  EXPECT_EQ(hit.rotation, 0);
+  EXPECT_GT(hit.transfer, 0);
+  EXPECT_EQ(d.buffer_hits(), 1);
+}
+
+TEST(DiskTest, NoBufferHitsWithoutBuffer) {
+  Disk d(Spec());  // test drive has no buffer
+  d.Service(0, 16, true, 0);
+  ServiceBreakdown again = d.Service(0, 16, true, 1000000);
+  EXPECT_FALSE(again.buffer_hit);
+  EXPECT_EQ(d.buffer_hits(), 0);
+}
+
+TEST(DiskTest, WriteInvalidatesBuffer) {
+  DriveSpec spec = Spec();
+  spec.track_buffer_bytes = 64 * 512;
+  Disk d(std::move(spec));
+  d.Service(10 * 128, 16, true, 0);
+  d.Service(10 * 128, 16, false, 1000000);  // overlapping write
+  ServiceBreakdown after = d.Service(10 * 128, 16, true, 2000000);
+  EXPECT_FALSE(after.buffer_hit);
+}
+
+TEST(DiskTest, PayloadReadWrite) {
+  Disk d(Spec());
+  EXPECT_EQ(d.ReadPayload(42), 0u);
+  d.WritePayload(42, 0xDEADBEEF);
+  EXPECT_EQ(d.ReadPayload(42), 0xDEADBEEFu);
+}
+
+TEST(DiskTest, PayloadCopy) {
+  Disk d(Spec());
+  for (SectorNo s = 0; s < 16; ++s) {
+    d.WritePayload(100 + s, 0x1000 + static_cast<std::uint64_t>(s));
+  }
+  d.CopyPayload(100, 500, 16);
+  for (SectorNo s = 0; s < 16; ++s) {
+    EXPECT_EQ(d.ReadPayload(500 + s), 0x1000 + static_cast<std::uint64_t>(s));
+  }
+}
+
+TEST(DiskTest, SectorsServicedAccumulates) {
+  Disk d(Spec());
+  d.Service(0, 16, true, 0);
+  d.Service(128, 8, false, 1000000);
+  EXPECT_EQ(d.sectors_serviced(), 24);
+}
+
+TEST(DiskTest, MoveHeadTo) {
+  Disk d(Spec());
+  d.MoveHeadTo(50);
+  ServiceBreakdown b = d.Service(50 * 128, 4, true, 0);
+  EXPECT_EQ(b.seek_distance, 0);
+}
+
+}  // namespace
+}  // namespace abr::disk

@@ -1,0 +1,114 @@
+#include "disk/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/drive_spec.h"
+
+namespace abr::disk {
+namespace {
+
+Geometry Small() {
+  Geometry g;
+  g.cylinders = 10;
+  g.tracks_per_cylinder = 4;
+  g.sectors_per_track = 8;
+  g.rpm = 3600;
+  g.bytes_per_sector = 512;
+  return g;
+}
+
+TEST(GeometryTest, DerivedCounts) {
+  Geometry g = Small();
+  EXPECT_EQ(g.sectors_per_cylinder(), 32);
+  EXPECT_EQ(g.total_sectors(), 320);
+  EXPECT_EQ(g.capacity_bytes(), 320 * 512);
+}
+
+TEST(GeometryTest, RotationTimes) {
+  Geometry g = Small();
+  EXPECT_EQ(g.rotation_time(), MillisToMicros(1000.0 * 60 / 3600));
+  EXPECT_EQ(g.sector_time(), g.rotation_time() / 8);
+}
+
+TEST(GeometryTest, ChsMapping) {
+  Geometry g = Small();
+  EXPECT_EQ(g.CylinderOf(0), 0);
+  EXPECT_EQ(g.CylinderOf(31), 0);
+  EXPECT_EQ(g.CylinderOf(32), 1);
+  EXPECT_EQ(g.TrackOf(0), 0);
+  EXPECT_EQ(g.TrackOf(8), 1);
+  EXPECT_EQ(g.TrackOf(33), 0);
+  EXPECT_EQ(g.SectorInTrack(0), 0);
+  EXPECT_EQ(g.SectorInTrack(9), 1);
+}
+
+TEST(GeometryTest, FirstSectorOfInvertsCylinderOf) {
+  Geometry g = Small();
+  for (Cylinder c = 0; c < g.cylinders; ++c) {
+    EXPECT_EQ(g.CylinderOf(g.FirstSectorOf(c)), c);
+  }
+}
+
+TEST(GeometryTest, ContainsAndRanges) {
+  Geometry g = Small();
+  EXPECT_TRUE(g.Contains(0));
+  EXPECT_TRUE(g.Contains(319));
+  EXPECT_FALSE(g.Contains(320));
+  EXPECT_FALSE(g.Contains(-1));
+  EXPECT_TRUE(g.ContainsRange(310, 10));
+  EXPECT_FALSE(g.ContainsRange(311, 10));
+  EXPECT_FALSE(g.ContainsRange(-1, 2));
+}
+
+TEST(GeometryTest, Validity) {
+  EXPECT_TRUE(Small().Valid());
+  Geometry g;
+  EXPECT_FALSE(g.Valid());
+}
+
+TEST(GeometryTest, PaperDrivesCapacity) {
+  // Table 1: Toshiba 135 MB, Fujitsu ~1 GB.
+  const Geometry toshiba = DriveSpec::ToshibaMK156F().geometry;
+  const Geometry fujitsu = DriveSpec::FujitsuM2266().geometry;
+  EXPECT_NEAR(toshiba.capacity_bytes() / 1e6, 141.9, 1.0);
+  EXPECT_NEAR(fujitsu.capacity_bytes() / 1e9, 1.08, 0.05);
+  EXPECT_EQ(toshiba.cylinders, 815);
+  EXPECT_EQ(fujitsu.cylinders, 1658);
+}
+
+class GeometryParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GeometryParamTest, SectorChsRoundTrip) {
+  auto [cyl, tracks, sectors] = GetParam();
+  Geometry g;
+  g.cylinders = cyl;
+  g.tracks_per_cylinder = tracks;
+  g.sectors_per_track = sectors;
+  ASSERT_TRUE(g.Valid());
+  // Property: every sector's (cylinder, track, sector-in-track) decomposes
+  // uniquely and recombines to the sector number.
+  for (SectorNo s = 0; s < g.total_sectors();
+       s += std::max<SectorNo>(1, g.total_sectors() / 997)) {
+    const Cylinder c = g.CylinderOf(s);
+    const std::int32_t t = g.TrackOf(s);
+    const std::int32_t i = g.SectorInTrack(s);
+    // Reconstruct via track-relative offset within the cylinder: note the
+    // track index counts whole tracks from the cylinder start, and
+    // SectorInTrack is modulo the track length.
+    const SectorNo within = s - g.FirstSectorOf(c);
+    EXPECT_EQ(within / g.sectors_per_track, t);
+    EXPECT_EQ(s % g.sectors_per_track, i);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, g.cylinders);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryParamTest,
+    ::testing::Values(std::tuple{815, 10, 34}, std::tuple{1658, 15, 85},
+                      std::tuple{100, 4, 32}, std::tuple{3, 1, 1},
+                      std::tuple{7, 2, 9}));
+
+}  // namespace
+}  // namespace abr::disk

@@ -1,0 +1,75 @@
+#include "disk/track_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::disk {
+namespace {
+
+TEST(TrackBufferTest, DisabledNeverContains) {
+  TrackBuffer b(0);
+  b.OnMediaRead(100, 16, 1000);
+  EXPECT_FALSE(b.Contains(100, 16));
+}
+
+TEST(TrackBufferTest, EmptyContainsNothing) {
+  TrackBuffer b(64);
+  EXPECT_FALSE(b.Contains(0, 1));
+}
+
+TEST(TrackBufferTest, ReadAheadExtendsPastRequest) {
+  TrackBuffer b(64);
+  b.OnMediaRead(100, 16, 1000);
+  EXPECT_TRUE(b.Contains(100, 16));
+  EXPECT_TRUE(b.Contains(116, 16));  // read-ahead
+  EXPECT_TRUE(b.Contains(100, 64));
+  EXPECT_FALSE(b.Contains(100, 65));
+  EXPECT_FALSE(b.Contains(99, 1));  // before the request
+}
+
+TEST(TrackBufferTest, ReadAheadStopsAtCylinderEnd) {
+  TrackBuffer b(64);
+  b.OnMediaRead(100, 16, /*cylinder_end_sector=*/120);
+  EXPECT_TRUE(b.Contains(100, 16));
+  EXPECT_TRUE(b.Contains(100, 20));
+  EXPECT_FALSE(b.Contains(100, 21));
+}
+
+TEST(TrackBufferTest, RequestLargerThanBufferStillBuffered) {
+  TrackBuffer b(8);
+  b.OnMediaRead(50, 16, 1000);
+  // The whole serviced range is retained even beyond nominal capacity.
+  EXPECT_TRUE(b.Contains(50, 16));
+  EXPECT_FALSE(b.Contains(50, 17));
+}
+
+TEST(TrackBufferTest, NewReadReplacesOld) {
+  TrackBuffer b(32);
+  b.OnMediaRead(0, 8, 1000);
+  b.OnMediaRead(500, 8, 1000);
+  EXPECT_FALSE(b.Contains(0, 8));
+  EXPECT_TRUE(b.Contains(500, 8));
+}
+
+TEST(TrackBufferTest, OverlappingWriteInvalidates) {
+  TrackBuffer b(32);
+  b.OnMediaRead(100, 16, 1000);
+  b.OnWrite(110, 4);
+  EXPECT_FALSE(b.Contains(100, 4));
+}
+
+TEST(TrackBufferTest, DisjointWriteKeepsBuffer) {
+  TrackBuffer b(32);
+  b.OnMediaRead(100, 16, 1000);
+  b.OnWrite(500, 4);
+  EXPECT_TRUE(b.Contains(100, 16));
+}
+
+TEST(TrackBufferTest, ExplicitInvalidate) {
+  TrackBuffer b(32);
+  b.OnMediaRead(100, 16, 1000);
+  b.Invalidate();
+  EXPECT_FALSE(b.Contains(100, 1));
+}
+
+}  // namespace
+}  // namespace abr::disk

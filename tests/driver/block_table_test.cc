@@ -1,0 +1,178 @@
+#include "driver/block_table.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::driver {
+namespace {
+
+TEST(BlockTableTest, InsertAndLookup) {
+  BlockTable t(8);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  ASSERT_TRUE(t.Insert(200, 5016).ok());
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.Lookup(100).value(), 5000);
+  EXPECT_EQ(t.Lookup(200).value(), 5016);
+  EXPECT_FALSE(t.Lookup(300).has_value());
+}
+
+TEST(BlockTableTest, DuplicateOriginalRejected) {
+  BlockTable t(8);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  EXPECT_EQ(t.Insert(100, 6000).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(BlockTableTest, DuplicateTargetRejected) {
+  BlockTable t(8);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  EXPECT_EQ(t.Insert(200, 5000).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(t.TargetInUse(5000));
+  EXPECT_FALSE(t.TargetInUse(6000));
+}
+
+TEST(BlockTableTest, CapacityEnforced) {
+  BlockTable t(2);
+  ASSERT_TRUE(t.Insert(1, 100).ok());
+  ASSERT_TRUE(t.Insert(2, 200).ok());
+  EXPECT_EQ(t.Insert(3, 300).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BlockTableTest, DirtyBit) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  EXPECT_FALSE(t.LookupEntry(100)->dirty);
+  ASSERT_TRUE(t.MarkDirty(100).ok());
+  EXPECT_TRUE(t.LookupEntry(100)->dirty);
+  EXPECT_EQ(t.MarkDirty(999).code(), StatusCode::kNotFound);
+}
+
+TEST(BlockTableTest, MarkAllDirty) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(1, 100).ok());
+  ASSERT_TRUE(t.Insert(2, 200).ok());
+  t.MarkAllDirty();
+  for (const BlockTableEntry& e : t.entries()) EXPECT_TRUE(e.dirty);
+}
+
+TEST(BlockTableTest, RemoveSwapsLast) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(1, 100).ok());
+  ASSERT_TRUE(t.Insert(2, 200).ok());
+  ASSERT_TRUE(t.Insert(3, 300).ok());
+  ASSERT_TRUE(t.Remove(2).ok());
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_FALSE(t.Lookup(2).has_value());
+  EXPECT_EQ(t.Lookup(1).value(), 100);
+  EXPECT_EQ(t.Lookup(3).value(), 300);
+  EXPECT_FALSE(t.TargetInUse(200));
+  EXPECT_EQ(t.Remove(2).code(), StatusCode::kNotFound);
+}
+
+TEST(BlockTableTest, RemoveLastEntry) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(1, 100).ok());
+  ASSERT_TRUE(t.Remove(1).ok());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(BlockTableTest, ReinsertAfterRemove) {
+  BlockTable t(2);
+  ASSERT_TRUE(t.Insert(1, 100).ok());
+  ASSERT_TRUE(t.Remove(1).ok());
+  EXPECT_TRUE(t.Insert(1, 100).ok());
+}
+
+TEST(BlockTableTest, Clear) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(1, 100).ok());
+  t.Clear();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_FALSE(t.Lookup(1).has_value());
+  EXPECT_TRUE(t.Insert(1, 100).ok());
+}
+
+TEST(BlockTableTest, SerializeRoundTrip) {
+  BlockTable t(16);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  ASSERT_TRUE(t.Insert(200, 5016).ok());
+  ASSERT_TRUE(t.MarkDirty(200).ok());
+  auto image = t.Serialize();
+  StatusOr<BlockTable> loaded = BlockTable::Deserialize(image, 16);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2);
+  EXPECT_EQ(loaded->Lookup(100).value(), 5000);
+  EXPECT_FALSE(loaded->LookupEntry(100)->dirty);
+  EXPECT_TRUE(loaded->LookupEntry(200)->dirty);
+}
+
+TEST(BlockTableTest, SerializeEmpty) {
+  BlockTable t(16);
+  StatusOr<BlockTable> loaded = BlockTable::Deserialize(t.Serialize(), 16);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0);
+}
+
+TEST(BlockTableTest, DeserializeRejectsCorruption) {
+  BlockTable t(16);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  auto image = t.Serialize();
+  image[30] ^= 0xFF;  // flip a bit inside an entry
+  EXPECT_EQ(BlockTable::Deserialize(image, 16).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BlockTableTest, DeserializeRejectsBadMagic) {
+  BlockTable t(16);
+  auto image = t.Serialize();
+  image[0] ^= 0xFF;
+  EXPECT_EQ(BlockTable::Deserialize(image, 16).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BlockTableTest, DeserializeRejectsTruncation) {
+  BlockTable t(16);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  auto image = t.Serialize();
+  image.resize(20);
+  EXPECT_EQ(BlockTable::Deserialize(image, 16).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BlockTableTest, DeserializeRejectsOverCapacity) {
+  BlockTable t(16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(i, 1000 + i).ok());
+  }
+  EXPECT_EQ(BlockTable::Deserialize(t.Serialize(), 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BlockTableTest, SerializedSizeIndependentOfFill) {
+  // The on-disk area is sized for a full table.
+  EXPECT_EQ(BlockTable::SerializedBytes(1018), 24 + 1018 * 16);
+  EXPECT_EQ(BlockTable::SerializedSectors(1018, 512),
+            (24 + 1018 * 16 + 511) / 512);
+}
+
+TEST(BlockTableTest, PaperToshibaTableFitsInTwoBlocks) {
+  // 1018 entries -> 32 sectors = exactly 2 file-system blocks, leaving
+  // 1018 data slots in the 48-cylinder reserved region (Section 5).
+  EXPECT_EQ(BlockTable::SerializedSectors(1018, 512), 32);
+}
+
+TEST(BlockTableTest, ManyEntriesRoundTrip) {
+  BlockTable t(4096);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(t.Insert(i * 16, 1000000 + i * 16).ok());
+    if (i % 3 == 0) ASSERT_TRUE(t.MarkDirty(i * 16).ok());
+  }
+  StatusOr<BlockTable> loaded = BlockTable::Deserialize(t.Serialize(), 4096);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 4096);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_EQ(loaded->Lookup(i * 16).value(), 1000000 + i * 16);
+    EXPECT_EQ(loaded->LookupEntry(i * 16)->dirty, i % 3 == 0);
+  }
+}
+
+}  // namespace
+}  // namespace abr::driver

@@ -1,0 +1,121 @@
+#include "driver/perf_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/seek_model.h"
+
+namespace abr::driver {
+namespace {
+
+using sched::IoType;
+
+TEST(PerfMonitorTest, ArrivalChainsPerSide) {
+  PerfMonitor m;
+  // Arrival cylinders: R10, W100, R30, W100.
+  m.RecordArrival(IoType::kRead, 10);
+  m.RecordArrival(IoType::kWrite, 100);
+  m.RecordArrival(IoType::kRead, 30);
+  m.RecordArrival(IoType::kWrite, 100);
+  PerfSnapshot s = m.Snapshot();
+  // Read chain: |30-10| = 20 -> one sample.
+  EXPECT_EQ(s.reads.fcfs_seek_distance.count(), 1);
+  EXPECT_DOUBLE_EQ(s.reads.fcfs_seek_distance.Mean(), 20.0);
+  // Write chain: |100-100| = 0.
+  EXPECT_EQ(s.writes.fcfs_seek_distance.count(), 1);
+  EXPECT_DOUBLE_EQ(s.writes.fcfs_seek_distance.Mean(), 0.0);
+  // Combined chain: 90, 70, 70 -> three samples.
+  EXPECT_EQ(s.all.fcfs_seek_distance.count(), 3);
+  EXPECT_NEAR(s.all.fcfs_seek_distance.Mean(), (90 + 70 + 70) / 3.0, 1e-9);
+}
+
+TEST(PerfMonitorTest, CombinedChainIsNotUnionOfSides) {
+  PerfMonitor m;
+  m.RecordArrival(IoType::kRead, 0);
+  m.RecordArrival(IoType::kWrite, 500);
+  m.RecordArrival(IoType::kRead, 0);
+  PerfSnapshot s = m.Snapshot();
+  EXPECT_DOUBLE_EQ(s.reads.fcfs_seek_distance.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.all.fcfs_seek_distance.Mean(), 500.0);
+}
+
+TEST(PerfMonitorTest, CompletionsSplitBySide) {
+  PerfMonitor m;
+  m.RecordCompletion(IoType::kRead, 1000, 20000, 5, 8000, 2000, false);
+  m.RecordCompletion(IoType::kWrite, 3000, 10000, 0, 4000, 2000, true);
+  PerfSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.reads.count(), 1);
+  EXPECT_EQ(s.writes.count(), 1);
+  EXPECT_EQ(s.all.count(), 2);
+  EXPECT_DOUBLE_EQ(s.reads.service_time.MeanMillis(), 20.0);
+  EXPECT_DOUBLE_EQ(s.writes.queue_time.MeanMillis(), 3.0);
+  EXPECT_DOUBLE_EQ(s.all.service_time.MeanMillis(), 15.0);
+  EXPECT_EQ(s.writes.buffer_hits, 1);
+  EXPECT_EQ(s.all.buffer_hits, 1);
+}
+
+TEST(PerfMonitorTest, SeekTimeFromDistanceDistribution) {
+  PerfMonitor m;
+  m.RecordCompletion(IoType::kRead, 0, 1, 0, 0, 0, false);
+  m.RecordCompletion(IoType::kRead, 0, 1, 10, 0, 0, false);
+  PerfSnapshot s = m.Snapshot();
+  const disk::SeekModel model = disk::SeekModel::Linear(2.0, 0.1, 100);
+  // distances {0, 10} -> times {0, 3.0} -> mean 1.5 ms.
+  EXPECT_DOUBLE_EQ(s.reads.MeanSeekTimeMillis(model), 1.5);
+}
+
+TEST(PerfMonitorTest, FcfsSeekTimeFromArrivalChain) {
+  PerfMonitor m;
+  m.RecordArrival(IoType::kRead, 0);
+  m.RecordArrival(IoType::kRead, 50);
+  PerfSnapshot s = m.Snapshot();
+  const disk::SeekModel model = disk::SeekModel::Linear(1.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(s.reads.FcfsMeanSeekTimeMillis(model), 6.0);
+}
+
+TEST(PerfMonitorTest, RotationPlusTransfer) {
+  PerfMonitor m;
+  m.RecordCompletion(IoType::kRead, 0, 30000, 3, 8000, 4000, false);
+  m.RecordCompletion(IoType::kRead, 0, 30000, 3, 4000, 4000, false);
+  PerfSnapshot s = m.Snapshot();
+  EXPECT_DOUBLE_EQ(s.reads.MeanRotationPlusTransferMillis(), 10.0);
+}
+
+TEST(PerfMonitorTest, SnapshotWithoutClearKeepsData) {
+  PerfMonitor m;
+  m.RecordCompletion(IoType::kRead, 0, 1000, 1, 0, 0, false);
+  m.Snapshot(/*clear=*/false);
+  EXPECT_EQ(m.Snapshot().reads.count(), 1);
+}
+
+TEST(PerfMonitorTest, SnapshotWithClearResetsAll) {
+  PerfMonitor m;
+  m.RecordArrival(IoType::kRead, 10);
+  m.RecordCompletion(IoType::kRead, 0, 1000, 1, 0, 0, false);
+  m.Snapshot(/*clear=*/true);
+  PerfSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.reads.count(), 0);
+  EXPECT_EQ(s.all.count(), 0);
+  // Arrival chain also reset: next arrival starts a fresh chain.
+  m.RecordArrival(IoType::kRead, 500);
+  EXPECT_EQ(m.Snapshot().reads.fcfs_seek_distance.count(), 0);
+}
+
+TEST(PerfMonitorTest, ZeroSeekFraction) {
+  PerfMonitor m;
+  m.RecordCompletion(IoType::kWrite, 0, 1, 0, 0, 0, false);
+  m.RecordCompletion(IoType::kWrite, 0, 1, 0, 0, 0, false);
+  m.RecordCompletion(IoType::kWrite, 0, 1, 7, 0, 0, false);
+  PerfSnapshot s = m.Snapshot();
+  EXPECT_NEAR(s.writes.sched_seek_distance.ZeroFraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PerfMonitorTest, EmptySidesAreZero) {
+  PerfMonitor m;
+  PerfSnapshot s = m.Snapshot();
+  const disk::SeekModel model = disk::SeekModel::Linear(1.0, 0.1, 10);
+  EXPECT_DOUBLE_EQ(s.reads.MeanSeekTimeMillis(model), 0.0);
+  EXPECT_DOUBLE_EQ(s.all.MeanRotationPlusTransferMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace abr::driver

@@ -1,0 +1,74 @@
+#include "driver/request_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::driver {
+namespace {
+
+RequestRecord Rec(BlockNo block) {
+  return RequestRecord{0, block, 8192, sched::IoType::kRead};
+}
+
+TEST(RequestMonitorTest, RecordsUntilFull) {
+  RequestMonitor m(3);
+  EXPECT_TRUE(m.Record(Rec(1)));
+  EXPECT_TRUE(m.Record(Rec(2)));
+  EXPECT_TRUE(m.Record(Rec(3)));
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_TRUE(m.suspended());
+}
+
+TEST(RequestMonitorTest, SuspendsAndCountsDrops) {
+  RequestMonitor m(2);
+  m.Record(Rec(1));
+  m.Record(Rec(2));
+  EXPECT_FALSE(m.Record(Rec(3)));
+  EXPECT_FALSE(m.Record(Rec(4)));
+  EXPECT_EQ(m.dropped(), 2);
+  EXPECT_EQ(m.total_dropped(), 2);
+  EXPECT_EQ(m.size(), 2);
+}
+
+TEST(RequestMonitorTest, ReadAndClearResumesRecording) {
+  RequestMonitor m(2);
+  m.Record(Rec(1));
+  m.Record(Rec(2));
+  m.Record(Rec(3));  // dropped
+  auto records = m.ReadAndClear();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].block, 1);
+  EXPECT_EQ(records[1].block, 2);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_FALSE(m.suspended());
+  EXPECT_EQ(m.dropped(), 0);           // per-period counter reset
+  EXPECT_EQ(m.total_dropped(), 1);     // lifetime counter kept
+  EXPECT_TRUE(m.Record(Rec(4)));
+}
+
+TEST(RequestMonitorTest, PreservesRecordFields) {
+  RequestMonitor m(4);
+  m.Record(RequestRecord{3, 77, 4096, sched::IoType::kWrite});
+  auto records = m.ReadAndClear();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].device, 3);
+  EXPECT_EQ(records[0].block, 77);
+  EXPECT_EQ(records[0].size_bytes, 4096);
+  EXPECT_EQ(records[0].type, sched::IoType::kWrite);
+}
+
+TEST(RequestMonitorTest, EmptyReadAndClear) {
+  RequestMonitor m(4);
+  EXPECT_TRUE(m.ReadAndClear().empty());
+}
+
+TEST(RequestMonitorTest, OrderPreserved) {
+  RequestMonitor m(100);
+  for (BlockNo b = 0; b < 50; ++b) m.Record(Rec(b));
+  auto records = m.ReadAndClear();
+  for (BlockNo b = 0; b < 50; ++b) {
+    EXPECT_EQ(records[static_cast<std::size_t>(b)].block, b);
+  }
+}
+
+}  // namespace
+}  // namespace abr::driver

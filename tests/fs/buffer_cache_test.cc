@@ -1,0 +1,158 @@
+#include "fs/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abr::fs {
+namespace {
+
+struct Io {
+  std::int32_t device;
+  BlockNo block;
+  bool is_read;
+  Micros time;
+};
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<BufferCache> MakeCache(std::int64_t capacity) {
+    return std::make_unique<BufferCache>(
+        capacity, [this](std::int32_t d, BlockNo b, bool r, Micros t) {
+          ios_.push_back(Io{d, b, r, t});
+        });
+  }
+
+  std::vector<Io> ios_;
+};
+
+TEST_F(BufferCacheTest, ReadMissIssuesDiskRead) {
+  auto cache = MakeCache(4);
+  EXPECT_FALSE(cache->Read(0, 7, 100));
+  ASSERT_EQ(ios_.size(), 1u);
+  EXPECT_TRUE(ios_[0].is_read);
+  EXPECT_EQ(ios_[0].block, 7);
+  EXPECT_EQ(ios_[0].time, 100);
+  EXPECT_EQ(cache->misses(), 1);
+}
+
+TEST_F(BufferCacheTest, ReadHitIssuesNothing) {
+  auto cache = MakeCache(4);
+  cache->Read(0, 7, 0);
+  ios_.clear();
+  EXPECT_TRUE(cache->Read(0, 7, 50));
+  EXPECT_TRUE(ios_.empty());
+  EXPECT_EQ(cache->hits(), 1);
+}
+
+TEST_F(BufferCacheTest, DevicesAreDistinct) {
+  auto cache = MakeCache(4);
+  cache->Read(0, 7, 0);
+  EXPECT_FALSE(cache->Read(1, 7, 0));
+}
+
+TEST_F(BufferCacheTest, WriteIsDeferred) {
+  auto cache = MakeCache(4);
+  cache->Write(0, 9, 0);
+  EXPECT_TRUE(ios_.empty());
+  EXPECT_EQ(cache->dirty_count(), 1);
+  // A read of the freshly written block hits.
+  EXPECT_TRUE(cache->Read(0, 9, 1));
+}
+
+TEST_F(BufferCacheTest, SyncFlushesAllDirty) {
+  auto cache = MakeCache(8);
+  cache->Write(0, 1, 0);
+  cache->Write(0, 2, 0);
+  cache->Read(0, 3, 0);
+  ios_.clear();
+  EXPECT_EQ(cache->SyncAll(500), 2);
+  ASSERT_EQ(ios_.size(), 2u);
+  for (const Io& io : ios_) {
+    EXPECT_FALSE(io.is_read);
+    EXPECT_EQ(io.time, 500);
+  }
+  EXPECT_EQ(cache->dirty_count(), 0);
+  // Blocks stay cached, now clean: second sync writes nothing.
+  EXPECT_EQ(cache->SyncAll(600), 0);
+}
+
+TEST_F(BufferCacheTest, RewriteKeepsSingleDirtyCount) {
+  auto cache = MakeCache(4);
+  cache->Write(0, 1, 0);
+  cache->Write(0, 1, 1);
+  EXPECT_EQ(cache->dirty_count(), 1);
+}
+
+TEST_F(BufferCacheTest, LruEvictionOrder) {
+  auto cache = MakeCache(2);
+  cache->Read(0, 1, 0);
+  cache->Read(0, 2, 0);
+  cache->Read(0, 1, 0);  // touch 1; LRU is now 2
+  ios_.clear();
+  cache->Read(0, 3, 0);  // evicts 2
+  EXPECT_TRUE(cache->Read(0, 1, 0));   // still cached
+  EXPECT_FALSE(cache->Read(0, 2, 0));  // was evicted
+}
+
+TEST_F(BufferCacheTest, DirtyEvictionWritesBack) {
+  auto cache = MakeCache(2);
+  cache->Write(0, 1, 0);
+  cache->Read(0, 2, 0);
+  ios_.clear();
+  cache->Read(0, 3, 100);  // evicts dirty block 1
+  ASSERT_EQ(ios_.size(), 2u);
+  EXPECT_FALSE(ios_[0].is_read);  // write-back first
+  EXPECT_EQ(ios_[0].block, 1);
+  EXPECT_EQ(ios_[0].time, 100);
+  EXPECT_TRUE(ios_[1].is_read);
+  EXPECT_EQ(cache->dirty_count(), 0);
+}
+
+TEST_F(BufferCacheTest, CleanEvictionSilent) {
+  auto cache = MakeCache(1);
+  cache->Read(0, 1, 0);
+  ios_.clear();
+  cache->Read(0, 2, 0);  // evicts clean 1: only the new read
+  ASSERT_EQ(ios_.size(), 1u);
+  EXPECT_TRUE(ios_[0].is_read);
+}
+
+TEST_F(BufferCacheTest, InvalidateDropsWithoutWriteback) {
+  auto cache = MakeCache(4);
+  cache->Write(0, 1, 0);
+  ios_.clear();
+  cache->Invalidate(0, 1);
+  EXPECT_TRUE(ios_.empty());
+  EXPECT_EQ(cache->dirty_count(), 0);
+  EXPECT_FALSE(cache->Read(0, 1, 0));  // miss again
+}
+
+TEST_F(BufferCacheTest, InvalidateMissingIsNoOp) {
+  auto cache = MakeCache(4);
+  cache->Invalidate(0, 99);
+  EXPECT_EQ(cache->size(), 0);
+}
+
+TEST_F(BufferCacheTest, SizeTracksOccupancy) {
+  auto cache = MakeCache(3);
+  cache->Read(0, 1, 0);
+  cache->Write(0, 2, 0);
+  EXPECT_EQ(cache->size(), 2);
+  cache->Read(0, 3, 0);
+  cache->Read(0, 4, 0);  // eviction keeps size at capacity
+  EXPECT_EQ(cache->size(), 3);
+}
+
+TEST_F(BufferCacheTest, WriteToFullCacheEvicts) {
+  auto cache = MakeCache(1);
+  cache->Write(0, 1, 0);
+  ios_.clear();
+  cache->Write(0, 2, 10);  // evicts dirty 1
+  ASSERT_EQ(ios_.size(), 1u);
+  EXPECT_EQ(ios_[0].block, 1);
+  EXPECT_FALSE(ios_[0].is_read);
+}
+
+}  // namespace
+}  // namespace abr::fs

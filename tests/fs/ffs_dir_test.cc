@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fs/ffs.h"
+
+namespace abr::fs {
+namespace {
+
+FfsConfig SmallConfig() {
+  FfsConfig c;
+  c.total_blocks = 256;
+  c.blocks_per_group = 64;
+  c.inode_blocks_per_group = 2;
+  c.block_size_bytes = 8192;
+  c.dirent_size_bytes = 32;  // 256 entries per directory block
+  return c;
+}
+
+TEST(FfsDirTest, RootExists) {
+  Ffs fs(SmallConfig());
+  EXPECT_TRUE(fs.IsDirectory(fs.root()));
+  EXPECT_EQ(fs.ParentOf(fs.root()).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(FfsDirTest, CreateDirectoryUnderRoot) {
+  Ffs fs(SmallConfig());
+  auto dir = fs.CreateDirectory(kInvalidFile);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(fs.IsDirectory(*dir));
+  EXPECT_EQ(fs.ParentOf(*dir).value(), fs.root());
+}
+
+TEST(FfsDirTest, NestedDirectories) {
+  Ffs fs(SmallConfig());
+  auto a = fs.CreateDirectory(fs.root());
+  ASSERT_TRUE(a.ok());
+  auto b = fs.CreateDirectory(*a);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(fs.ParentOf(*b).value(), *a);
+}
+
+TEST(FfsDirTest, CreateFileInDirectoryInheritsGroup) {
+  Ffs fs(SmallConfig());
+  auto dir = fs.CreateDirectory(fs.root());
+  ASSERT_TRUE(dir.ok());
+  const std::int32_t dir_group = fs.FileGroup(*dir).value();
+  auto f = fs.CreateFileIn(*dir);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.FileGroup(*f).value(), dir_group);
+  EXPECT_FALSE(fs.IsDirectory(*f));
+  EXPECT_EQ(fs.ParentOf(*f).value(), *dir);
+}
+
+TEST(FfsDirTest, CreateFileInRejectsRegularFile) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile();
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.CreateFileIn(*f).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs.CreateDirectory(*f).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FfsDirTest, DirectoriesSpreadAcrossGroups) {
+  Ffs fs(SmallConfig());
+  std::set<std::int32_t> groups;
+  for (int i = 0; i < 8; ++i) {
+    auto dir = fs.CreateDirectory(fs.root());
+    ASSERT_TRUE(dir.ok());
+    // Fill the directory a bit so the next one prefers another group.
+    auto f = fs.CreateFileIn(*dir);
+    ASSERT_TRUE(f.ok());
+    for (int j = 0; j < 6; ++j) ASSERT_TRUE(fs.AppendBlock(*f).ok());
+    groups.insert(fs.FileGroup(*dir).value());
+  }
+  EXPECT_GE(groups.size(), 3u);
+}
+
+TEST(FfsDirTest, LookupBlocksWalksThePath) {
+  Ffs fs(SmallConfig());
+  auto dir = fs.CreateDirectory(fs.root());
+  ASSERT_TRUE(dir.ok());
+  auto f = fs.CreateFileIn(*dir);
+  ASSERT_TRUE(f.ok());
+  auto blocks = fs.LookupBlocks(*f);
+  ASSERT_TRUE(blocks.ok());
+  // root inode, root entry block, dir inode, dir entry block, file inode.
+  ASSERT_EQ(blocks->size(), 5u);
+  EXPECT_EQ((*blocks)[0], fs.InodeBlock(fs.root()).value());
+  EXPECT_EQ((*blocks)[2], fs.InodeBlock(*dir).value());
+  EXPECT_EQ((*blocks)[4], fs.InodeBlock(*f).value());
+}
+
+TEST(FfsDirTest, LookupBlocksForRootChild) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile();
+  ASSERT_TRUE(f.ok());
+  auto blocks = fs.LookupBlocks(*f);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 3u);  // root inode, root entry block, file inode
+}
+
+TEST(FfsDirTest, LookupOfRootIsItsInode) {
+  Ffs fs(SmallConfig());
+  auto blocks = fs.LookupBlocks(fs.root());
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0], fs.InodeBlock(fs.root()).value());
+}
+
+TEST(FfsDirTest, DirectoryGrowsEntryBlocks) {
+  FfsConfig config = SmallConfig();
+  config.dirent_size_bytes = 2048;  // only 4 entries per block
+  Ffs fs(config);
+  auto dir = fs.CreateDirectory(fs.root());
+  ASSERT_TRUE(dir.ok());
+  std::vector<FileId> files;
+  for (int i = 0; i < 6; ++i) {
+    auto f = fs.CreateFileIn(*dir);
+    ASSERT_TRUE(f.ok());
+    files.push_back(*f);
+  }
+  // Entries 0..3 in directory block 0; 4..5 in block 1.
+  EXPECT_EQ(fs.FileSize(*dir).value(), 2);
+  auto b0 = fs.LookupBlocks(files[0]);
+  auto b5 = fs.LookupBlocks(files[5]);
+  ASSERT_TRUE(b0.ok());
+  ASSERT_TRUE(b5.ok());
+  // The entry block differs (second-to-last element of the lookup chain).
+  EXPECT_NE((*b0)[b0->size() - 2], (*b5)[b5->size() - 2]);
+}
+
+TEST(FfsDirTest, DeleteUnlinksFromParent) {
+  Ffs fs(SmallConfig());
+  auto dir = fs.CreateDirectory(fs.root());
+  ASSERT_TRUE(dir.ok());
+  auto a = fs.CreateFileIn(*dir);
+  auto b = fs.CreateFileIn(*dir);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(fs.DeleteFile(*a).ok());
+  // b still resolves cleanly after the swap-remove fixed its entry index.
+  EXPECT_TRUE(fs.LookupBlocks(*b).ok());
+  ASSERT_TRUE(fs.DeleteFile(*b).ok());
+  EXPECT_TRUE(fs.DeleteFile(*dir).ok());  // now empty
+}
+
+TEST(FfsDirTest, CannotDeleteNonEmptyDirectoryOrRoot) {
+  Ffs fs(SmallConfig());
+  auto dir = fs.CreateDirectory(fs.root());
+  ASSERT_TRUE(dir.ok());
+  auto f = fs.CreateFileIn(*dir);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.DeleteFile(*dir).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fs.DeleteFile(fs.root()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FfsDirTest, EntryIndexStableAcrossManyDeletes) {
+  Ffs fs(SmallConfig());
+  std::vector<FileId> files;
+  for (int i = 0; i < 20; ++i) {
+    auto f = fs.CreateFile();
+    ASSERT_TRUE(f.ok());
+    files.push_back(*f);
+  }
+  // Delete every other file; the survivors must all still resolve.
+  for (int i = 0; i < 20; i += 2) ASSERT_TRUE(fs.DeleteFile(files[i]).ok());
+  for (int i = 1; i < 20; i += 2) {
+    EXPECT_TRUE(fs.LookupBlocks(files[i]).ok()) << "file index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace abr::fs

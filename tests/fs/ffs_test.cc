@@ -1,0 +1,213 @@
+#include "fs/ffs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace abr::fs {
+namespace {
+
+FfsConfig SmallConfig() {
+  FfsConfig c;
+  c.total_blocks = 256;
+  c.blocks_per_group = 64;
+  c.inode_blocks_per_group = 2;
+  c.inode_size_bytes = 128;
+  c.block_size_bytes = 8192;
+  c.interleave = 1;
+  c.max_blocks_per_group_per_file = 8;
+  return c;
+}
+
+TEST(FfsTest, GroupLayout) {
+  Ffs fs(SmallConfig());
+  EXPECT_EQ(fs.group_count(), 4);
+  // Each group: 1 metadata + 2 inode blocks -> 61 data blocks.
+  EXPECT_EQ(fs.data_block_capacity(), 4 * 61);
+  EXPECT_EQ(fs.free_blocks(), fs.data_block_capacity());
+}
+
+TEST(FfsTest, CreateFileHonorsGroupHint) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile(/*group_hint=*/2);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.FileGroup(*f).value(), 2);
+}
+
+TEST(FfsTest, CreateWithoutHintPicksEmptiestGroup) {
+  Ffs fs(SmallConfig());
+  // Fill group 0 somewhat.
+  auto f0 = fs.CreateFile(0);
+  ASSERT_TRUE(f0.ok());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fs.AppendBlock(*f0).ok());
+  auto f1 = fs.CreateFile();
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NE(fs.FileGroup(*f1).value(), 0);
+}
+
+TEST(FfsTest, AppendAllocatesInInodeGroup) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile(1);
+  ASSERT_TRUE(f.ok());
+  auto b = fs.AppendBlock(*f);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(*b, 64 * 1);
+  EXPECT_LT(*b, 64 * 2);
+}
+
+TEST(FfsTest, RotationalInterleaveBetweenConsecutiveBlocks) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile(0);
+  ASSERT_TRUE(f.ok());
+  auto b0 = fs.AppendBlock(*f);
+  auto b1 = fs.AppendBlock(*f);
+  ASSERT_TRUE(b0.ok());
+  ASSERT_TRUE(b1.ok());
+  // With interleave 1, consecutive file blocks sit 2 apart on an empty
+  // group.
+  EXPECT_EQ(*b1 - *b0, 2);
+}
+
+TEST(FfsTest, InterleaveGapsFilledByOtherFiles) {
+  Ffs fs(SmallConfig());
+  auto a = fs.CreateFile(0);
+  auto b = fs.CreateFile(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto a0 = fs.AppendBlock(*a);
+  auto a1 = fs.AppendBlock(*a);
+  auto b0 = fs.AppendBlock(*b);
+  ASSERT_TRUE(b0.ok());
+  // The other file's first block lands in a gap or after, still in group 0.
+  EXPECT_NE(*b0, *a0);
+  EXPECT_NE(*b0, *a1);
+  EXPECT_LT(*b0, 64);
+}
+
+TEST(FfsTest, LargeFileRotatesGroups) {
+  Ffs fs(SmallConfig());  // maxbpg = 8
+  auto f = fs.CreateFile(0);
+  ASSERT_TRUE(f.ok());
+  std::set<std::int64_t> groups;
+  for (int i = 0; i < 24; ++i) {
+    auto b = fs.AppendBlock(*f);
+    ASSERT_TRUE(b.ok());
+    groups.insert(*b / 64);
+  }
+  EXPECT_GE(groups.size(), 3u);
+}
+
+TEST(FfsTest, FileBlockLookup) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile();
+  ASSERT_TRUE(f.ok());
+  std::vector<BlockNo> blocks;
+  for (int i = 0; i < 5; ++i) {
+    blocks.push_back(fs.AppendBlock(*f).value());
+  }
+  EXPECT_EQ(fs.FileSize(*f).value(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fs.FileBlock(*f, i).value(), blocks[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(fs.FileBlock(*f, 5).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(fs.FileBlock(*f, -1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FfsTest, InodeBlockWithinGroupMetadata) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile(3);
+  ASSERT_TRUE(f.ok());
+  const BlockNo inode_block = fs.InodeBlock(*f).value();
+  EXPECT_GE(inode_block, 3 * 64 + 1);
+  EXPECT_LT(inode_block, 3 * 64 + 1 + 2);
+}
+
+TEST(FfsTest, InodesShareBlocks) {
+  Ffs fs(SmallConfig());
+  // 8192/128 = 64 inodes per block: the first 64 files of a group share
+  // one inode block.
+  auto f1 = fs.CreateFile(0);
+  auto f2 = fs.CreateFile(0);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(fs.InodeBlock(*f1).value(), fs.InodeBlock(*f2).value());
+}
+
+TEST(FfsTest, DeleteFreesBlocksAndInode) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile(0);
+  ASSERT_TRUE(f.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(fs.AppendBlock(*f).ok());
+  const std::int64_t free_before = fs.free_blocks();
+  ASSERT_TRUE(fs.DeleteFile(*f).ok());
+  EXPECT_EQ(fs.free_blocks(), free_before + 4);
+  EXPECT_EQ(fs.file_count(), 1u);  // only the root directory remains
+  EXPECT_EQ(fs.FileSize(*f).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FfsTest, BlocksReusedAfterDelete) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile(0);
+  auto b = fs.AppendBlock(*f);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(fs.DeleteFile(*f).ok());
+  auto g = fs.CreateFile(0);
+  auto b2 = fs.AppendBlock(*g);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(*b2, *b);
+}
+
+TEST(FfsTest, FillToCapacity) {
+  Ffs fs(SmallConfig());
+  auto f = fs.CreateFile();
+  ASSERT_TRUE(f.ok());
+  // The root directory already holds one entry block for its entries.
+  const std::int64_t capacity = fs.free_blocks();
+  for (std::int64_t i = 0; i < capacity; ++i) {
+    ASSERT_TRUE(fs.AppendBlock(*f).ok()) << "block " << i;
+  }
+  EXPECT_EQ(fs.free_blocks(), 0);
+  EXPECT_EQ(fs.AppendBlock(*f).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FfsTest, NoTwoFilesShareABlock) {
+  Ffs fs(SmallConfig());
+  std::set<BlockNo> all;
+  for (int i = 0; i < 20; ++i) {
+    auto f = fs.CreateFile();
+    ASSERT_TRUE(f.ok());
+    for (int j = 0; j < 6; ++j) {
+      auto b = fs.AppendBlock(*f);
+      ASSERT_TRUE(b.ok());
+      EXPECT_TRUE(all.insert(*b).second) << "block allocated twice";
+    }
+  }
+}
+
+TEST(FfsTest, InodeExhaustion) {
+  FfsConfig config = SmallConfig();
+  config.inode_blocks_per_group = 1;  // 64 inodes per group, 256 total
+  Ffs fs(config);
+  // The root directory consumes one i-node.
+  for (int i = 0; i < 255; ++i) {
+    ASSERT_TRUE(fs.CreateFile().ok());
+  }
+  EXPECT_EQ(fs.CreateFile().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FfsTest, FileIdsEnumeratesLiveFiles) {
+  Ffs fs(SmallConfig());
+  auto a = fs.CreateFile();
+  auto b = fs.CreateFile();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(fs.DeleteFile(*a).ok());
+  auto ids = fs.FileIds();  // includes the root directory
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(ids[0] == *b || ids[1] == *b);
+}
+
+}  // namespace
+}  // namespace abr::fs

@@ -1,0 +1,124 @@
+// Path-lookup (open) behaviour of the FileServer: the metadata read
+// stream, its caching, and its interaction with the adaptive driver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+#include "fs/file_server.h"
+
+namespace abr::fs {
+namespace {
+
+class FileServerOpenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(8); }
+
+  void Build(std::int64_t cache_blocks) {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver_ = std::make_unique<driver::AdaptiveDriver>(
+        disk_.get(), std::move(*label), driver::DriverConfig{}, &store_);
+    ASSERT_TRUE(driver_->Attach().ok());
+    FileServerConfig config;
+    config.cache_blocks = cache_blocks;
+    config.update_atime = false;
+    server_ = std::make_unique<FileServer>(driver_.get(), config);
+    FfsConfig ffs;
+    ffs.blocks_per_group = 64;
+    ASSERT_TRUE(server_->AddFileSystem(0, ffs).ok());
+  }
+
+  std::int64_t DiskReads() {
+    driver_->Drain();
+    return driver_->IoctlReadStats(/*clear=*/true).reads.count();
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  std::unique_ptr<FileServer> server_;
+};
+
+TEST_F(FileServerOpenTest, ColdOpenReadsWholeLookupChain) {
+  FileId dir = server_->CreateDirectory(0, 0).value();
+  FileId file = server_->CreateFileIn(0, dir, 0).value();
+  server_->FlushAndDrain();
+  // Evict everything by touching unrelated blocks.
+  FileId filler = server_->CreateFile(0, 0, 3).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server_->AppendBlock(0, filler, 0).ok());
+    ASSERT_TRUE(server_->ReadFileBlock(0, filler, i, 0).ok());
+  }
+  server_->FlushAndDrain();
+  DiskReads();
+
+  // Lookup chain: root inode + root entry + dir inode + dir entry + file
+  // inode = 5 blocks, of which the dir and file i-nodes share one disk
+  // block (both are early i-nodes of the same group) -> 4 cold misses.
+  StatusOr<std::int64_t> misses = server_->OpenFile(0, file, kSecond);
+  ASSERT_TRUE(misses.ok());
+  EXPECT_EQ(*misses, 4);
+  EXPECT_EQ(DiskReads(), 4);
+}
+
+TEST_F(FileServerOpenTest, WarmOpenHitsCache) {
+  FileId dir = server_->CreateDirectory(0, 0).value();
+  FileId file = server_->CreateFileIn(0, dir, 0).value();
+  server_->FlushAndDrain();
+  ASSERT_TRUE(server_->OpenFile(0, file, kSecond).ok());
+  DiskReads();
+  StatusOr<std::int64_t> misses = server_->OpenFile(0, file, 2 * kSecond);
+  ASSERT_TRUE(misses.ok());
+  EXPECT_EQ(*misses, 0);
+  EXPECT_EQ(DiskReads(), 0);
+}
+
+TEST_F(FileServerOpenTest, SiblingOpensShareDirectoryBlocks) {
+  FileId dir = server_->CreateDirectory(0, 0).value();
+  FileId a = server_->CreateFileIn(0, dir, 0).value();
+  FileId b = server_->CreateFileIn(0, dir, 0).value();
+  server_->FlushAndDrain();
+  ASSERT_TRUE(server_->OpenFile(0, a, kSecond).ok());
+  DiskReads();
+  // b shares root + dir metadata with a; only blocks not already cached
+  // can miss. With a warm chain and shared inode blocks, the second open
+  // misses at most one block (b's inode may share a's block).
+  StatusOr<std::int64_t> misses = server_->OpenFile(0, b, 2 * kSecond);
+  ASSERT_TRUE(misses.ok());
+  EXPECT_LE(*misses, 1);
+}
+
+TEST_F(FileServerOpenTest, OpenOfMissingFileFails) {
+  EXPECT_FALSE(server_->OpenFile(0, 9999, 0).ok());
+  EXPECT_FALSE(server_->OpenFile(3, 1, 0).ok());
+}
+
+TEST_F(FileServerOpenTest, OpenTrafficIsVisibleToTheDriverMonitor) {
+  FileId dir = server_->CreateDirectory(0, 0).value();
+  FileId file = server_->CreateFileIn(0, dir, 0).value();
+  server_->FlushAndDrain();
+  // Churn the cache so the whole lookup chain is cold.
+  FileId filler = server_->CreateFile(0, 0, 3).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server_->AppendBlock(0, filler, 0).ok());
+    ASSERT_TRUE(server_->ReadFileBlock(0, filler, i, 0).ok());
+  }
+  server_->FlushAndDrain();
+  driver_->IoctlReadRequests();  // clear
+  ASSERT_TRUE(server_->OpenFile(0, file, kSecond).ok());
+  driver_->Drain();
+  // The reference stream analyzer sees the metadata blocks the lookup
+  // read, so directory/inode blocks can become hot and be rearranged.
+  auto records = driver_->IoctlReadRequests();
+  EXPECT_EQ(records.size(), 4u);  // 5-block chain, one shared i-node block
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.type, sched::IoType::kRead);
+  }
+}
+
+}  // namespace
+}  // namespace abr::fs

@@ -1,0 +1,182 @@
+#include "fs/file_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+
+namespace abr::fs {
+namespace {
+
+class FileServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(FileServerConfig{}); }
+
+  void Build(FileServerConfig config) {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver_ = std::make_unique<driver::AdaptiveDriver>(
+        disk_.get(), std::move(*label), driver::DriverConfig{}, &store_);
+    ASSERT_TRUE(driver_->Attach().ok());
+    server_ = std::make_unique<FileServer>(driver_.get(), config);
+    FfsConfig ffs;
+    ffs.blocks_per_group = 64;
+    ASSERT_TRUE(server_->AddFileSystem(0, ffs).ok());
+  }
+
+  /// Completed non-internal request count, via the driver's stats.
+  std::int64_t DiskRequests() {
+    driver_->Drain();
+    return driver_->IoctlReadStats(/*clear=*/true).all.count();
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  std::unique_ptr<FileServer> server_;
+};
+
+TEST_F(FileServerTest, AddFileSystemValidation) {
+  EXPECT_EQ(server_->AddFileSystem(0, FfsConfig{}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(server_->AddFileSystem(9, FfsConfig{}).code(),
+            StatusCode::kInvalidArgument);
+  FfsConfig bad;
+  bad.block_size_bytes = 4096;  // driver uses 8192
+  EXPECT_EQ(server_->AddFileSystem(1, bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FileServerTest, FileSystemSizedFromPartition) {
+  Ffs* fs = server_->FileSystemOf(0).value();
+  // 90 virtual cylinders * 128 sectors / 16 sectors per block.
+  EXPECT_EQ(fs->config().total_blocks, 720);
+}
+
+TEST_F(FileServerTest, ReadMissGoesToDisk) {
+  // A one-block cache guarantees the data block is cold by read time; no
+  // atime updates keeps the request count to exactly the data read.
+  FileServerConfig config;
+  config.cache_blocks = 1;
+  config.update_atime = false;
+  Build(config);
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  server_->FlushAndDrain();
+  DiskRequests();  // clear
+  auto hit = server_->ReadFileBlock(0, *f, 0, kSecond);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(*hit);  // cold cache
+  server_->FlushAndDrain();
+  EXPECT_EQ(DiskRequests(), 1);  // one data-block read
+}
+
+TEST_F(FileServerTest, ReadHitStaysInCache) {
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  ASSERT_TRUE(server_->ReadFileBlock(0, *f, 0, kSecond).ok());
+  DiskRequests();
+  auto hit = server_->ReadFileBlock(0, *f, 0, 2 * kSecond);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  EXPECT_EQ(DiskRequests(), 0);
+}
+
+TEST_F(FileServerTest, PeriodicSyncFlushesDirtyBlocks) {
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());  // data + inode dirty
+  DiskRequests();
+  // Advance past the 30 s update period: dirty blocks reach the disk.
+  server_->AdvanceTo(31 * kSecond);
+  const std::int64_t writes = DiskRequests();
+  EXPECT_GE(writes, 2);  // data block + inode block
+  // Nothing left dirty afterwards.
+  server_->AdvanceTo(65 * kSecond);
+  EXPECT_EQ(DiskRequests(), 0);
+}
+
+TEST_F(FileServerTest, AtimeUpdatesMakeReadOnlyWorkloadWrite) {
+  FileServerConfig config;
+  config.cache_blocks = 1;  // keep the data block cold
+  Build(config);
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  server_->FlushAndDrain();
+  DiskRequests();
+  ASSERT_TRUE(server_->ReadFileBlock(0, *f, 0, kSecond).ok());
+  server_->FlushAndDrain();
+  auto stats = driver_->IoctlReadStats(true);
+  EXPECT_EQ(stats.reads.count(), 1);   // the data block
+  EXPECT_EQ(stats.writes.count(), 1);  // the i-node timestamp
+}
+
+TEST_F(FileServerTest, AtimeCanBeDisabled) {
+  FileServerConfig config;
+  config.update_atime = false;
+  Build(config);
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  server_->FlushAndDrain();
+  DiskRequests();
+  ASSERT_TRUE(server_->ReadFileBlock(0, *f, 0, kSecond).ok());
+  server_->FlushAndDrain();
+  auto stats = driver_->IoctlReadStats(true);
+  EXPECT_EQ(stats.writes.count(), 0);
+}
+
+TEST_F(FileServerTest, WriteFileBlockDirtiesDataAndInode) {
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  server_->FlushAndDrain();
+  DiskRequests();
+  ASSERT_TRUE(server_->WriteFileBlock(0, *f, 0, kSecond).ok());
+  server_->FlushAndDrain();
+  auto stats = driver_->IoctlReadStats(true);
+  EXPECT_EQ(stats.writes.count(), 2);  // data + inode
+  EXPECT_EQ(stats.reads.count(), 0);   // whole-block overwrite, no RMW
+}
+
+TEST_F(FileServerTest, DeleteInvalidatesCachedBlocks) {
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  ASSERT_TRUE(server_->DeleteFile(0, *f, kSecond).ok());
+  server_->FlushAndDrain();
+  DiskRequests();
+  // The deleted file's dirty data must NOT be written at the next sync.
+  server_->AdvanceTo(2 * 31 * kSecond);
+  auto stats = driver_->IoctlReadStats(true);
+  // Only the freed-inode write could appear, and it was already flushed.
+  EXPECT_EQ(stats.writes.count(), 0);
+}
+
+TEST_F(FileServerTest, OperationsOnMissingDeviceFail) {
+  EXPECT_EQ(server_->CreateFile(3, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server_->ReadFileBlock(3, 1, 0, 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileServerTest, SyncTimerFiresRepeatedly) {
+  auto f = server_->CreateFile(0, 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(server_->AppendBlock(0, *f, 0).ok());
+  server_->AdvanceTo(31 * kSecond);
+  DiskRequests();
+  // Dirty something between two later sync points.
+  ASSERT_TRUE(server_->WriteFileBlock(0, *f, 0, 40 * kSecond).ok());
+  server_->AdvanceTo(61 * kSecond);
+  EXPECT_GE(DiskRequests(), 1);
+}
+
+}  // namespace
+}  // namespace abr::fs

@@ -1,0 +1,121 @@
+#include "fs/name_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+#include "fs/file_server.h"
+
+namespace abr::fs {
+namespace {
+
+TEST(NameCacheTest, DisabledNeverHits) {
+  NameCache cache(0);
+  cache.Insert(0, 1);
+  EXPECT_FALSE(cache.Lookup(0, 1));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(NameCacheTest, HitAfterInsert) {
+  NameCache cache(4);
+  EXPECT_FALSE(cache.Lookup(0, 1));
+  cache.Insert(0, 1);
+  EXPECT_TRUE(cache.Lookup(0, 1));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(NameCacheTest, DevicesDistinct) {
+  NameCache cache(4);
+  cache.Insert(0, 1);
+  EXPECT_FALSE(cache.Lookup(1, 1));
+}
+
+TEST(NameCacheTest, LruEviction) {
+  NameCache cache(2);
+  cache.Insert(0, 1);
+  cache.Insert(0, 2);
+  EXPECT_TRUE(cache.Lookup(0, 1));  // touch 1; LRU = 2
+  cache.Insert(0, 3);               // evicts 2
+  EXPECT_TRUE(cache.Lookup(0, 1));
+  EXPECT_FALSE(cache.Lookup(0, 2));
+  EXPECT_TRUE(cache.Lookup(0, 3));
+}
+
+TEST(NameCacheTest, DuplicateInsertKeepsSize) {
+  NameCache cache(4);
+  cache.Insert(0, 1);
+  cache.Insert(0, 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(NameCacheTest, Invalidate) {
+  NameCache cache(4);
+  cache.Insert(0, 1);
+  cache.Invalidate(0, 1);
+  EXPECT_FALSE(cache.Lookup(0, 1));
+  cache.Invalidate(0, 99);  // absent: no-op
+}
+
+class DnlcIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver_ = std::make_unique<driver::AdaptiveDriver>(
+        disk_.get(), std::move(*label), driver::DriverConfig{}, &store_);
+    ASSERT_TRUE(driver_->Attach().ok());
+    FileServerConfig config;
+    config.cache_blocks = 4;  // tiny, so path blocks never stay cached
+    config.name_cache_entries = 64;
+    config.update_atime = false;
+    server_ = std::make_unique<FileServer>(driver_.get(), config);
+    FfsConfig ffs;
+    ffs.blocks_per_group = 64;
+    ASSERT_TRUE(server_->AddFileSystem(0, ffs).ok());
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  std::unique_ptr<FileServer> server_;
+};
+
+TEST_F(DnlcIntegrationTest, SecondOpenSkipsDirectoryWalk) {
+  FileId dir = server_->CreateDirectory(0, 0).value();
+  FileId file = server_->CreateFileIn(0, dir, 0).value();
+  server_->FlushAndDrain();
+  ASSERT_TRUE(server_->OpenFile(0, file, kSecond).ok());
+  // Churn the tiny buffer cache so the directory blocks are cold again.
+  FileId filler = server_->CreateFile(0, 0, 3).value();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server_->AppendBlock(0, filler, 0).ok());
+    ASSERT_TRUE(server_->ReadFileBlock(0, filler, i, 0).ok());
+  }
+  server_->FlushAndDrain();
+  driver_->IoctlReadStats(true);
+  // DNLC hit: at most the file's own i-node block is read from disk,
+  // never the directory chain.
+  StatusOr<std::int64_t> misses = server_->OpenFile(0, file, 2 * kSecond);
+  ASSERT_TRUE(misses.ok());
+  EXPECT_LE(*misses, 1);
+  driver_->Drain();
+  EXPECT_LE(driver_->IoctlReadStats(true).reads.count(), 1);
+  EXPECT_GE(server_->name_cache().hits(), 1);
+}
+
+TEST_F(DnlcIntegrationTest, DeletedFileDropsFromNameCache) {
+  FileId dir = server_->CreateDirectory(0, 0).value();
+  FileId file = server_->CreateFileIn(0, dir, 0).value();
+  server_->FlushAndDrain();
+  ASSERT_TRUE(server_->OpenFile(0, file, kSecond).ok());
+  ASSERT_TRUE(server_->DeleteFile(0, file, 2 * kSecond).ok());
+  // A stale DNLC entry must not resolve a dead file.
+  EXPECT_FALSE(server_->OpenFile(0, file, 3 * kSecond).ok());
+}
+
+}  // namespace
+}  // namespace abr::fs

@@ -1,0 +1,184 @@
+#include "placement/arranger.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+
+namespace abr::placement {
+namespace {
+
+using analyzer::BlockId;
+using analyzer::HotBlock;
+
+class ArrangerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver::DriverConfig config;
+    config.block_table_capacity = 16;
+    driver_ = std::make_unique<driver::AdaptiveDriver>(
+        disk_.get(), std::move(*label), config, &store_);
+    ASSERT_TRUE(driver_->Attach().ok());
+  }
+
+  std::vector<HotBlock> Ranked(std::initializer_list<BlockNo> blocks) {
+    std::vector<HotBlock> out;
+    std::int64_t count = 1000;
+    for (BlockNo b : blocks) {
+      out.push_back(HotBlock{BlockId{0, b}, count});
+      count -= 10;
+    }
+    return out;
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  OrganPipePolicy organ_pipe_;
+};
+
+TEST_F(ArrangerTest, OriginalSectorTranslation) {
+  auto sector = BlockArranger::OriginalSector(*driver_, BlockId{0, 7});
+  ASSERT_TRUE(sector.ok());
+  EXPECT_EQ(*sector, 7 * 16);
+  // Blocks past the hidden region shift by its size.
+  auto late = BlockArranger::OriginalSector(*driver_, BlockId{0, 700});
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(*late, 700 * 16 + 10 * 128);
+}
+
+TEST_F(ArrangerTest, OriginalSectorValidation) {
+  EXPECT_EQ(BlockArranger::OriginalSector(*driver_, BlockId{9, 0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BlockArranger::OriginalSector(*driver_, BlockId{0, 1 << 20})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ArrangerTest, RearrangeCopiesHotBlocks) {
+  BlockArranger arranger(&organ_pipe_);
+  auto result = arranger.Rearrange(*driver_, Ranked({3, 9, 27}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copied, 3);
+  EXPECT_EQ(result->cleaned, 0);
+  EXPECT_EQ(result->skipped, 0);
+  EXPECT_GT(result->internal_ios, 0);
+  EXPECT_EQ(driver_->block_table().size(), 3);
+  for (BlockNo b : {3, 9, 27}) {
+    EXPECT_TRUE(driver_->block_table().Lookup(b * 16).has_value());
+  }
+}
+
+TEST_F(ArrangerTest, RearrangePreservesData) {
+  for (int i = 0; i < 16; ++i) {
+    disk_->WritePayload(3 * 16 + i, 0xAA00 + static_cast<std::uint64_t>(i));
+  }
+  BlockArranger arranger(&organ_pipe_);
+  ASSERT_TRUE(arranger.Rearrange(*driver_, Ranked({3})).ok());
+  const SectorNo target = driver_->block_table().Lookup(3 * 16).value();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(disk_->ReadPayload(target + i),
+              0xAA00 + static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(ArrangerTest, SecondRearrangeCleansFirst) {
+  BlockArranger arranger(&organ_pipe_);
+  ASSERT_TRUE(arranger.Rearrange(*driver_, Ranked({3, 9})).ok());
+  auto result = arranger.Rearrange(*driver_, Ranked({27, 40}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned, 2);
+  EXPECT_EQ(result->copied, 2);
+  EXPECT_EQ(driver_->block_table().size(), 2);
+  EXPECT_FALSE(driver_->block_table().Lookup(3 * 16).has_value());
+  EXPECT_TRUE(driver_->block_table().Lookup(27 * 16).has_value());
+}
+
+TEST_F(ArrangerTest, HotterBlocksGetMoreCentralSlots) {
+  BlockArranger arranger(&organ_pipe_);
+  ASSERT_TRUE(arranger.Rearrange(*driver_, Ranked({5, 6, 7, 8})).ok());
+  // Organ-pipe: rank 0 lands on the organ-pipe-first slot.
+  const ReservedRegion region = ReservedRegion::FromDriver(*driver_);
+  const std::vector<std::int32_t> order = region.OrganPipeSlotOrder();
+  EXPECT_EQ(driver_->block_table().Lookup(5 * 16).value(),
+            region.SlotSector(order[0]));
+  EXPECT_EQ(driver_->block_table().Lookup(6 * 16).value(),
+            region.SlotSector(order[1]));
+}
+
+TEST_F(ArrangerTest, TruncatesToCapacity) {
+  BlockArranger arranger(&organ_pipe_);
+  std::vector<HotBlock> ranked;
+  for (BlockNo b = 0; b < 30; ++b) {
+    ranked.push_back(HotBlock{BlockId{0, b}, 1000 - b});
+  }
+  auto result = arranger.Rearrange(*driver_, ranked);
+  ASSERT_TRUE(result.ok());
+  // Table capacity (and thus slot count) is 16.
+  EXPECT_EQ(result->copied, 16);
+  EXPECT_EQ(driver_->block_table().size(), 16);
+}
+
+TEST_F(ArrangerTest, SkipsOutOfRangeBlocks) {
+  BlockArranger arranger(&organ_pipe_);
+  std::vector<HotBlock> ranked = Ranked({3});
+  ranked.push_back(HotBlock{BlockId{0, 1 << 20}, 5});  // bogus block
+  auto result = arranger.Rearrange(*driver_, ranked);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copied, 1);
+  EXPECT_EQ(result->skipped, 1);
+}
+
+TEST_F(ArrangerTest, RequiresRearrangedDisk) {
+  disk::Disk plain_disk(disk::DriveSpec::TestDrive());
+  disk::DiskLabel label = disk::DiskLabel::Plain(plain_disk.geometry());
+  driver::AdaptiveDriver plain_driver(&plain_disk, label,
+                                      driver::DriverConfig{}, nullptr);
+  ASSERT_TRUE(plain_driver.Attach().ok());
+  BlockArranger arranger(&organ_pipe_);
+  EXPECT_EQ(arranger.Rearrange(plain_driver, Ranked({1})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ArrangerTest, StraddlingBlocksSkipped) {
+  // Rebuild with a geometry whose cylinders are not block aligned.
+  disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive(100, 4, 34));
+  auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+  ASSERT_TRUE(label.ok());
+  ASSERT_TRUE(label->PartitionEvenly(1).ok());
+  driver::DriverConfig config;
+  config.block_table_capacity = 16;
+  store_ = driver::InMemoryTableStore();
+  driver_ = std::make_unique<driver::AdaptiveDriver>(
+      disk_.get(), std::move(*label), config, &store_);
+  ASSERT_TRUE(driver_->Attach().ok());
+
+  // Block 382 straddles the hidden-region boundary (45 * 136 = 6120).
+  BlockArranger arranger(&organ_pipe_);
+  auto result = arranger.Rearrange(*driver_, Ranked({382, 3}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->skipped, 1);
+  EXPECT_EQ(result->copied, 1);
+  EXPECT_TRUE(driver_->block_table().Lookup(3 * 16).has_value());
+}
+
+TEST_F(ArrangerTest, EmptyHotListCleansOnly) {
+  BlockArranger arranger(&organ_pipe_);
+  ASSERT_TRUE(arranger.Rearrange(*driver_, Ranked({3})).ok());
+  auto result = arranger.Rearrange(*driver_, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned, 1);
+  EXPECT_EQ(result->copied, 0);
+  EXPECT_EQ(driver_->block_table().size(), 0);
+}
+
+}  // namespace
+}  // namespace abr::placement

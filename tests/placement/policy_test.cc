@@ -1,0 +1,264 @@
+#include "placement/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "disk/geometry.h"
+
+namespace abr::placement {
+namespace {
+
+using analyzer::BlockId;
+using analyzer::HotBlock;
+
+// Figure 3 setting: a reserved area of three cylinders with four blocks in
+// each, file-system interleaving factor of one block.
+disk::Geometry FigGeometry() {
+  disk::Geometry g;
+  g.cylinders = 12;
+  g.tracks_per_cylinder = 1;
+  g.sectors_per_track = 8;
+  g.rpm = 3600;
+  g.bytes_per_sector = 512;
+  return g;
+}
+
+ReservedRegion FigRegion() {
+  // Data slots start at sector 32 (cylinder 4); 12 slots of 2 sectors over
+  // cylinders 4, 5, 6; organ-pipe cylinder order is 5, 6, 4.
+  return ReservedRegion(FigGeometry(), 32, 12, 2);
+}
+
+HotBlock Hot(BlockNo block, std::int64_t count) {
+  return HotBlock{BlockId{0, block}, count};
+}
+
+std::map<BlockNo, std::int32_t> SlotOf(const PlacementPlan& plan) {
+  std::map<BlockNo, std::int32_t> out;
+  for (const SlotAssignment& a : plan) out[a.id.block] = a.slot;
+  return out;
+}
+
+TEST(OrganPipePolicyTest, HottestBlocksOnCenterCylinder) {
+  OrganPipePolicy policy;
+  std::vector<HotBlock> ranked;
+  for (int i = 0; i < 12; ++i) ranked.push_back(Hot(i, 100 - i));
+  const ReservedRegion region = FigRegion();
+  const PlacementPlan plan = policy.Place(ranked, region);
+  ASSERT_EQ(plan.size(), 12u);
+  // The four hottest fill center cylinder 5 (slots 4..7); the next four
+  // fill cylinder 6; the coolest four fill cylinder 4.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(region.SlotCylinder(plan[static_cast<std::size_t>(i)].slot), 5);
+  }
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(region.SlotCylinder(plan[static_cast<std::size_t>(i)].slot), 6);
+  }
+  for (int i = 8; i < 12; ++i) {
+    EXPECT_EQ(region.SlotCylinder(plan[static_cast<std::size_t>(i)].slot), 4);
+  }
+}
+
+TEST(OrganPipePolicyTest, RankOrderMatchesSlotOrder) {
+  OrganPipePolicy policy;
+  std::vector<HotBlock> ranked = {Hot(30, 50), Hot(10, 40), Hot(20, 30)};
+  const ReservedRegion region = FigRegion();
+  const PlacementPlan plan = policy.Place(ranked, region);
+  const std::vector<std::int32_t> order = region.OrganPipeSlotOrder();
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].slot, order[i]);
+    EXPECT_EQ(plan[i].id, ranked[i].id);
+  }
+}
+
+TEST(SerialPolicyTest, PlacesInBlockNumberOrder) {
+  SerialPolicy policy;
+  // Counts pick the set; positions ignore them.
+  std::vector<HotBlock> ranked = {Hot(50, 100), Hot(10, 90), Hot(30, 80)};
+  const PlacementPlan plan = policy.Place(ranked, FigRegion());
+  auto slots = SlotOf(plan);
+  EXPECT_LT(slots[10], slots[30]);
+  EXPECT_LT(slots[30], slots[50]);
+  EXPECT_EQ(slots[10], 0);  // ascending from the first slot
+}
+
+TEST(SerialPolicyTest, MultiDeviceOrdering) {
+  SerialPolicy policy;
+  std::vector<HotBlock> ranked = {HotBlock{BlockId{1, 5}, 10},
+                                  HotBlock{BlockId{0, 9}, 9}};
+  const PlacementPlan plan = policy.Place(ranked, FigRegion());
+  // Device 0 sorts before device 1.
+  EXPECT_EQ(plan[0].id, (BlockId{0, 9}));
+  EXPECT_EQ(plan[1].id, (BlockId{1, 5}));
+}
+
+TEST(InterleavedPolicyTest, FollowsSuccessorChains) {
+  InterleavedPolicy policy(/*interleave_factor=*/1);
+  // File A: blocks 10, 12, 14 with gently decaying frequencies (each
+  // successor is "close": >= 50% of its predecessor).
+  const std::vector<HotBlock> ranked = {Hot(10, 100), Hot(99, 90),
+                                        Hot(50, 80),  Hot(12, 60),
+                                        Hot(14, 35)};
+  const ReservedRegion region = FigRegion();
+  const PlacementPlan plan = policy.Place(ranked, region);
+  auto slots = SlotOf(plan);
+  ASSERT_EQ(plan.size(), 5u);
+  // Chain 10 -> 12 laid out with the interleave stride inside center
+  // cylinder 5 (slots 4..7): 10 at position 0, 12 at position 2.
+  EXPECT_EQ(slots[10], 4);
+  EXPECT_EQ(slots[12], 6);
+  // 14 is 12's successor but position 4 does not exist in the cylinder:
+  // it starts a later chain (first slot of next organ-pipe cylinder, 6).
+  EXPECT_EQ(slots[14], 8);
+  // Chain heads fill the gaps: 99 then 50.
+  EXPECT_EQ(slots[99], 5);
+  EXPECT_EQ(slots[50], 7);
+}
+
+TEST(InterleavedPolicyTest, ClosenessRuleBreaksChains) {
+  InterleavedPolicy policy(/*interleave_factor=*/1, /*closeness=*/0.5);
+  // 22 references 40 times < 50% of 100: not a successor.
+  const std::vector<HotBlock> ranked = {Hot(20, 100), Hot(22, 40)};
+  const PlacementPlan plan = policy.Place(ranked, FigRegion());
+  auto slots = SlotOf(plan);
+  // Both start chains at consecutive free positions, no stride gap.
+  EXPECT_EQ(slots[20], 4);
+  EXPECT_EQ(slots[22], 5);
+}
+
+TEST(InterleavedPolicyTest, CloseSuccessorUsesStride) {
+  InterleavedPolicy policy(1, 0.5);
+  const std::vector<HotBlock> ranked = {Hot(20, 100), Hot(22, 60)};
+  const PlacementPlan plan = policy.Place(ranked, FigRegion());
+  auto slots = SlotOf(plan);
+  EXPECT_EQ(slots[20], 4);
+  EXPECT_EQ(slots[22], 6);  // one-gap interleave preserved
+}
+
+TEST(InterleavedPolicyTest, ZeroFactorChainsContiguously) {
+  InterleavedPolicy policy(/*interleave_factor=*/0);
+  const std::vector<HotBlock> ranked = {Hot(20, 100), Hot(21, 80)};
+  const PlacementPlan plan = policy.Place(ranked, FigRegion());
+  auto slots = SlotOf(plan);
+  EXPECT_EQ(slots[21], slots[20] + 1);
+}
+
+TEST(InterleavedPolicyTest, ChainsDoNotCrossDevices) {
+  InterleavedPolicy policy(1);
+  const std::vector<HotBlock> ranked = {HotBlock{BlockId{0, 10}, 100},
+                                        HotBlock{BlockId{1, 12}, 60}};
+  const PlacementPlan plan = policy.Place(ranked, FigRegion());
+  // Device-1 block 12 is NOT device-0 block 10's successor.
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].slot, 4);
+  EXPECT_EQ(plan[1].slot, 5);
+}
+
+TEST(StaggeredPolicyTest, StaggerOrderIsAPermutation) {
+  for (std::int32_t n : {1, 2, 3, 4, 7, 8, 21, 79}) {
+    const std::vector<std::int32_t> order =
+        StaggeredPolicy::StaggerOrder(n);
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    std::set<std::int32_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    EXPECT_EQ(*unique.begin(), 0);
+    EXPECT_EQ(*unique.rbegin(), n - 1);
+  }
+}
+
+TEST(StaggeredPolicyTest, EarlyRanksAreRotationallySpread) {
+  const std::vector<std::int32_t> order = StaggeredPolicy::StaggerOrder(21);
+  // The two hottest blocks of a cylinder sit roughly half a track apart
+  // instead of adjacent.
+  EXPECT_GE(std::abs(order[1] - order[0]), 21 / 3);
+}
+
+TEST(StaggeredPolicyTest, SameCylinderFillAsOrganPipe) {
+  // Staggering only permutes positions *within* cylinders; the set of
+  // blocks per cylinder matches organ-pipe.
+  StaggeredPolicy staggered;
+  OrganPipePolicy organ;
+  std::vector<HotBlock> ranked;
+  for (int i = 0; i < 12; ++i) ranked.push_back(Hot(i, 100 - i));
+  const ReservedRegion region = FigRegion();
+  auto cyl_sets = [&region](const PlacementPlan& plan) {
+    std::map<Cylinder, std::set<BlockNo>> sets;
+    for (const SlotAssignment& a : plan) {
+      sets[region.SlotCylinder(a.slot)].insert(a.id.block);
+    }
+    return sets;
+  };
+  EXPECT_EQ(cyl_sets(staggered.Place(ranked, region)),
+            cyl_sets(organ.Place(ranked, region)));
+}
+
+TEST(PolicyFactoryTest, NamesAndKinds) {
+  EXPECT_STREQ(MakePolicy(PolicyKind::kOrganPipe)->name(), "Organ-pipe");
+  EXPECT_STREQ(MakePolicy(PolicyKind::kInterleaved)->name(), "Interleaved");
+  EXPECT_STREQ(MakePolicy(PolicyKind::kSerial)->name(), "Serial");
+  EXPECT_STREQ(MakePolicy(PolicyKind::kStaggered)->name(), "Staggered");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kSerial), "Serial");
+}
+
+class AllPoliciesTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(AllPoliciesTest, PlanIsValid) {
+  auto policy = MakePolicy(GetParam(), 1);
+  std::vector<HotBlock> ranked;
+  for (int i = 0; i < 30; ++i) ranked.push_back(Hot(i * 3, 1000 - i * 7));
+  const ReservedRegion region = FigRegion();
+  const PlacementPlan plan = policy->Place(ranked, region);
+  // Exactly slot_count blocks placed (ranked list larger than region).
+  EXPECT_EQ(plan.size(), static_cast<std::size_t>(region.slot_count()));
+  // Distinct slots in range; placed blocks drawn from the hottest prefix.
+  std::set<std::int32_t> slots;
+  std::set<BlockNo> placed;
+  for (const SlotAssignment& a : plan) {
+    EXPECT_GE(a.slot, 0);
+    EXPECT_LT(a.slot, region.slot_count());
+    EXPECT_TRUE(slots.insert(a.slot).second) << "duplicate slot " << a.slot;
+    placed.insert(a.id.block);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(region.slot_count());
+       ++i) {
+    EXPECT_TRUE(placed.contains(ranked[i].id.block))
+        << "hot block at rank " << i << " missing";
+  }
+}
+
+TEST_P(AllPoliciesTest, EmptyRankedListGivesEmptyPlan) {
+  auto policy = MakePolicy(GetParam(), 1);
+  EXPECT_TRUE(policy->Place({}, FigRegion()).empty());
+}
+
+TEST_P(AllPoliciesTest, FewerBlocksThanSlots) {
+  auto policy = MakePolicy(GetParam(), 1);
+  const PlacementPlan plan =
+      policy->Place({Hot(4, 10), Hot(8, 5)}, FigRegion());
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllPoliciesTest,
+                         ::testing::Values(PolicyKind::kOrganPipe,
+                                           PolicyKind::kInterleaved,
+                                           PolicyKind::kSerial,
+                                           PolicyKind::kStaggered),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case PolicyKind::kOrganPipe:
+                               return "OrganPipe";
+                             case PolicyKind::kInterleaved:
+                               return "Interleaved";
+                             case PolicyKind::kSerial:
+                               return "Serial";
+                             case PolicyKind::kStaggered:
+                               return "Staggered";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace abr::placement

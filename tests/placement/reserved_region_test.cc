@@ -1,0 +1,96 @@
+#include "placement/reserved_region.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "disk/drive_spec.h"
+
+namespace abr::placement {
+namespace {
+
+disk::Geometry SmallGeometry() {
+  // 12 cylinders x 1 track x 8 sectors; blocks of 2 sectors -> 4 slots
+  // per cylinder.
+  disk::Geometry g;
+  g.cylinders = 12;
+  g.tracks_per_cylinder = 1;
+  g.sectors_per_track = 8;
+  g.rpm = 3600;
+  g.bytes_per_sector = 512;
+  return g;
+}
+
+TEST(ReservedRegionTest, SlotSectorsArePacked) {
+  // Data starts at sector 32 (cylinder 4).
+  ReservedRegion r(SmallGeometry(), 32, 12, 2);
+  EXPECT_EQ(r.slot_count(), 12);
+  EXPECT_EQ(r.SlotSector(0), 32);
+  EXPECT_EQ(r.SlotSector(1), 34);
+  EXPECT_EQ(r.SlotSector(11), 54);
+}
+
+TEST(ReservedRegionTest, SlotCylinders) {
+  ReservedRegion r(SmallGeometry(), 32, 12, 2);
+  EXPECT_EQ(r.SlotCylinder(0), 4);
+  EXPECT_EQ(r.SlotCylinder(3), 4);
+  EXPECT_EQ(r.SlotCylinder(4), 5);
+  EXPECT_EQ(r.SlotCylinder(11), 6);
+  EXPECT_EQ(r.cylinders().size(), 3u);
+}
+
+TEST(ReservedRegionTest, SlotsOfCylinder) {
+  ReservedRegion r(SmallGeometry(), 32, 12, 2);
+  EXPECT_EQ(r.SlotsOfCylinder(4), (std::vector<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(r.SlotsOfCylinder(5), (std::vector<std::int32_t>{4, 5, 6, 7}));
+  EXPECT_TRUE(r.SlotsOfCylinder(99).empty());
+}
+
+TEST(ReservedRegionTest, OrganPipeCylinderOrderCenterOut) {
+  ReservedRegion r(SmallGeometry(), 32, 12, 2);  // cylinders 4, 5, 6
+  EXPECT_EQ(r.OrganPipeCylinderOrder(),
+            (std::vector<Cylinder>{5, 6, 4}));
+}
+
+TEST(ReservedRegionTest, OrganPipeCylinderOrderAlternates) {
+  // 5 cylinders of slots: 4..8; center = 6, then 7, 5, 8, 4.
+  ReservedRegion r(SmallGeometry(), 32, 20, 2);
+  EXPECT_EQ(r.OrganPipeCylinderOrder(),
+            (std::vector<Cylinder>{6, 7, 5, 8, 4}));
+}
+
+TEST(ReservedRegionTest, OrganPipeSlotOrderCoversAllSlotsOnce) {
+  ReservedRegion r(SmallGeometry(), 32, 20, 2);
+  const std::vector<std::int32_t> order = r.OrganPipeSlotOrder();
+  EXPECT_EQ(order.size(), 20u);
+  std::set<std::int32_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(ReservedRegionTest, OrganPipeSlotOrderCenterFirst) {
+  ReservedRegion r(SmallGeometry(), 32, 12, 2);
+  const std::vector<std::int32_t> order = r.OrganPipeSlotOrder();
+  // Center cylinder 5 holds slots 4..7, which come first.
+  EXPECT_EQ(std::vector<std::int32_t>(order.begin(), order.begin() + 4),
+            (std::vector<std::int32_t>{4, 5, 6, 7}));
+}
+
+TEST(ReservedRegionTest, SlotStraddlingCylinderCountedOnStart) {
+  // 3-sector blocks in 8-sector cylinders straddle; the slot belongs to
+  // the cylinder its first sector is on.
+  ReservedRegion r(SmallGeometry(), 32, 5, 3);
+  EXPECT_EQ(r.SlotCylinder(0), 4);  // 32..34
+  EXPECT_EQ(r.SlotCylinder(1), 4);  // 35..37
+  EXPECT_EQ(r.SlotCylinder(2), 4);  // 38..40 (straddles into cyl 5)
+  EXPECT_EQ(r.SlotCylinder(3), 5);  // 41..43
+}
+
+TEST(ReservedRegionTest, EmptyRegion) {
+  ReservedRegion r(SmallGeometry(), 32, 0, 2);
+  EXPECT_EQ(r.slot_count(), 0);
+  EXPECT_TRUE(r.OrganPipeSlotOrder().empty());
+  EXPECT_TRUE(r.OrganPipeCylinderOrder().empty());
+}
+
+}  // namespace
+}  // namespace abr::placement

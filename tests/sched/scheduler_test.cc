@@ -1,0 +1,206 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace abr::sched {
+namespace {
+
+constexpr std::int64_t kSpc = 128;  // sectors per cylinder in these tests
+
+IoRequest Req(std::int64_t id, Cylinder cylinder) {
+  IoRequest r;
+  r.id = id;
+  r.sector = static_cast<SectorNo>(cylinder) * kSpc;
+  r.sector_count = 16;
+  return r;
+}
+
+TEST(FcfsSchedulerTest, ServesInArrivalOrder) {
+  FcfsScheduler s(kSpc);
+  s.Enqueue(Req(1, 50));
+  s.Enqueue(Req(2, 10));
+  s.Enqueue(Req(3, 90));
+  EXPECT_EQ(s.Dequeue(0)->id, 1);
+  EXPECT_EQ(s.Dequeue(0)->id, 2);
+  EXPECT_EQ(s.Dequeue(0)->id, 3);
+  EXPECT_FALSE(s.Dequeue(0).has_value());
+}
+
+TEST(SstfSchedulerTest, PicksClosest) {
+  SstfScheduler s(kSpc);
+  s.Enqueue(Req(1, 10));
+  s.Enqueue(Req(2, 45));
+  s.Enqueue(Req(3, 90));
+  EXPECT_EQ(s.Dequeue(40)->id, 2);
+  EXPECT_EQ(s.Dequeue(45)->id, 1);  // 35 away vs 45 away
+  EXPECT_EQ(s.Dequeue(10)->id, 3);
+}
+
+TEST(SstfSchedulerTest, ExactHeadPosition) {
+  SstfScheduler s(kSpc);
+  s.Enqueue(Req(1, 20));
+  s.Enqueue(Req(2, 30));
+  EXPECT_EQ(s.Dequeue(30)->id, 2);
+}
+
+TEST(ScanSchedulerTest, SweepsUpThenDown) {
+  ScanScheduler s(kSpc);
+  for (Cylinder c : {30, 10, 50, 70}) {
+    s.Enqueue(Req(c, c));
+  }
+  // Head at 40, initial direction up: 50, 70, then reverse: 30, 10.
+  EXPECT_EQ(s.Dequeue(40)->id, 50);
+  EXPECT_EQ(s.Dequeue(50)->id, 70);
+  EXPECT_EQ(s.Dequeue(70)->id, 30);
+  EXPECT_EQ(s.Dequeue(30)->id, 10);
+}
+
+TEST(ScanSchedulerTest, ServicesCurrentCylinder) {
+  ScanScheduler s(kSpc);
+  s.Enqueue(Req(1, 40));
+  EXPECT_EQ(s.Dequeue(40)->id, 1);  // zero-distance request served first
+}
+
+TEST(ScanSchedulerTest, ReversesWhenNothingAhead) {
+  ScanScheduler s(kSpc);
+  s.Enqueue(Req(1, 5));
+  EXPECT_EQ(s.Dequeue(80)->id, 1);
+}
+
+TEST(ScanSchedulerTest, NewArrivalsJoinSweep) {
+  ScanScheduler s(kSpc);
+  s.Enqueue(Req(1, 60));
+  EXPECT_EQ(s.Dequeue(50)->id, 1);
+  // While at 60, a request behind arrives; sweep continues up first.
+  s.Enqueue(Req(2, 55));
+  s.Enqueue(Req(3, 65));
+  EXPECT_EQ(s.Dequeue(60)->id, 3);
+  EXPECT_EQ(s.Dequeue(65)->id, 2);
+}
+
+TEST(ScanSchedulerTest, EqualCylinderFifo) {
+  ScanScheduler s(kSpc);
+  s.Enqueue(Req(1, 40));
+  s.Enqueue(Req(2, 40));
+  EXPECT_EQ(s.Dequeue(40)->id, 1);
+  EXPECT_EQ(s.Dequeue(40)->id, 2);
+}
+
+TEST(CLookSchedulerTest, AscendingWithWrap) {
+  CLookScheduler s(kSpc);
+  for (Cylinder c : {30, 10, 50}) s.Enqueue(Req(c, c));
+  EXPECT_EQ(s.Dequeue(40)->id, 50);
+  EXPECT_EQ(s.Dequeue(50)->id, 10);  // wrap to lowest
+  EXPECT_EQ(s.Dequeue(10)->id, 30);
+}
+
+TEST(SchedulerKindTest, NamesAndFactory) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kFcfs, SchedulerKind::kSstf, SchedulerKind::kScan,
+        SchedulerKind::kCLook}) {
+    auto s = MakeScheduler(kind, kSpc);
+    ASSERT_NE(s, nullptr);
+    EXPECT_STREQ(s->name(), SchedulerKindName(kind));
+  }
+}
+
+class AllSchedulersTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(AllSchedulersTest, ServesEveryRequestExactlyOnce) {
+  auto s = MakeScheduler(GetParam(), kSpc);
+  Rng rng(99);
+  std::set<std::int64_t> expected;
+  for (std::int64_t i = 0; i < 200; ++i) {
+    IoRequest r = Req(i, static_cast<Cylinder>(rng.NextBounded(100)));
+    s->Enqueue(r);
+    expected.insert(i);
+  }
+  Cylinder head = 0;
+  std::set<std::int64_t> served;
+  while (auto r = s->Dequeue(head)) {
+    EXPECT_TRUE(served.insert(r->id).second) << "duplicate id " << r->id;
+    head = static_cast<Cylinder>(r->sector / kSpc);
+  }
+  EXPECT_EQ(served, expected);
+  EXPECT_TRUE(s->empty());
+}
+
+TEST_P(AllSchedulersTest, InterleavedEnqueueDequeue) {
+  auto s = MakeScheduler(GetParam(), kSpc);
+  Rng rng(7);
+  std::size_t queued = 0;
+  std::size_t enqueued = 0;
+  std::size_t served = 0;
+  Cylinder head = 0;
+  for (int round = 0; round < 1000; ++round) {
+    if (queued == 0 || rng.NextBernoulli(0.6)) {
+      s->Enqueue(Req(round, static_cast<Cylinder>(rng.NextBounded(100))));
+      ++queued;
+      ++enqueued;
+    } else {
+      auto r = s->Dequeue(head);
+      ASSERT_TRUE(r.has_value());
+      head = static_cast<Cylinder>(r->sector / kSpc);
+      --queued;
+      ++served;
+    }
+    EXPECT_EQ(s->size(), queued);
+  }
+  while (s->Dequeue(head)) ++served;
+  EXPECT_EQ(served, enqueued);
+  EXPECT_TRUE(s->empty());
+}
+
+TEST_P(AllSchedulersTest, EmptyDequeueReturnsNothing) {
+  auto s = MakeScheduler(GetParam(), kSpc);
+  EXPECT_FALSE(s->Dequeue(0).has_value());
+  EXPECT_TRUE(s->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllSchedulersTest,
+                         ::testing::Values(SchedulerKind::kFcfs,
+                                           SchedulerKind::kSstf,
+                                           SchedulerKind::kScan,
+                                           SchedulerKind::kCLook),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case SchedulerKind::kFcfs:
+                               return "Fcfs";
+                             case SchedulerKind::kSstf:
+                               return "Sstf";
+                             case SchedulerKind::kScan:
+                               return "Scan";
+                             case SchedulerKind::kCLook:
+                               return "CLook";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ScanPropertyTest, SweepNeverReversesWithWorkAhead) {
+  // Property: with a static queue, SCAN's service order is a single
+  // up-sweep followed by a single down-sweep.
+  ScanScheduler s(kSpc);
+  Rng rng(1234);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    s.Enqueue(Req(i, static_cast<Cylinder>(rng.NextBounded(200))));
+  }
+  Cylinder head = 100;
+  std::vector<Cylinder> order;
+  while (auto r = s.Dequeue(head)) {
+    head = static_cast<Cylinder>(r->sector / kSpc);
+    order.push_back(head);
+  }
+  // Find the peak; before it the order must be nondecreasing, after it
+  // nonincreasing.
+  auto peak = std::max_element(order.begin(), order.end());
+  EXPECT_TRUE(std::is_sorted(order.begin(), peak + 1));
+  EXPECT_TRUE(std::is_sorted(peak, order.end(), std::greater<Cylinder>()));
+}
+
+}  // namespace
+}  // namespace abr::sched

@@ -1,0 +1,152 @@
+#include "sim/disk_system.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abr::sim {
+namespace {
+
+disk::DriveSpec Spec() { return disk::DriveSpec::TestDrive(100, 4, 32); }
+
+sched::IoRequest Req(std::int64_t id, Micros arrival, Cylinder cylinder) {
+  sched::IoRequest r;
+  r.id = id;
+  r.arrival_time = arrival;
+  r.sector = static_cast<SectorNo>(cylinder) * 128;
+  r.sector_count = 16;
+  return r;
+}
+
+class DiskSystemTest : public ::testing::Test {
+ protected:
+  DiskSystemTest()
+      : disk_(Spec()),
+        system_(&disk_, sched::MakeScheduler(sched::SchedulerKind::kFcfs,
+                                             128)) {
+    system_.set_completion_callback(
+        [this](const CompletedIo& io) { completed_.push_back(io); });
+  }
+
+  disk::Disk disk_;
+  DiskSystem system_;
+  std::vector<CompletedIo> completed_;
+};
+
+TEST_F(DiskSystemTest, IdleDiskDispatchesImmediately) {
+  system_.Submit(Req(1, 1000, 10));
+  EXPECT_TRUE(system_.busy());
+  EXPECT_EQ(system_.queued(), 0u);
+  system_.Drain();
+  ASSERT_EQ(completed_.size(), 1u);
+  EXPECT_EQ(completed_[0].dispatch_time, 1000);
+  EXPECT_EQ(completed_[0].queue_time, 0);
+  EXPECT_GT(completed_[0].service_time, 0);
+}
+
+TEST_F(DiskSystemTest, QueueTimeMeasuredFromArrival) {
+  system_.Submit(Req(1, 0, 50));     // long seek keeps the disk busy
+  system_.Submit(Req(2, 100, 10));   // arrives while busy
+  system_.Drain();
+  ASSERT_EQ(completed_.size(), 2u);
+  const CompletedIo& second = completed_[1];
+  EXPECT_EQ(second.dispatch_time, completed_[0].completion_time);
+  EXPECT_EQ(second.queue_time, second.dispatch_time - 100);
+  EXPECT_GT(second.queue_time, 0);
+}
+
+TEST_F(DiskSystemTest, ServiceTimeMatchesBreakdown) {
+  system_.Submit(Req(1, 0, 30));
+  system_.Drain();
+  ASSERT_EQ(completed_.size(), 1u);
+  EXPECT_EQ(completed_[0].service_time, completed_[0].breakdown.total());
+  EXPECT_EQ(completed_[0].completion_time,
+            completed_[0].dispatch_time + completed_[0].service_time);
+}
+
+TEST_F(DiskSystemTest, AdvanceToCompletesDueWork) {
+  system_.Submit(Req(1, 0, 1));
+  const Micros far = 10 * kSecond;
+  system_.AdvanceTo(far);
+  EXPECT_EQ(completed_.size(), 1u);
+  EXPECT_FALSE(system_.busy());
+  EXPECT_EQ(system_.now(), far);
+}
+
+TEST_F(DiskSystemTest, AdvanceToBeforeCompletionDoesNotComplete) {
+  system_.Submit(Req(1, 0, 99));  // sizable seek
+  system_.AdvanceTo(1);
+  EXPECT_TRUE(system_.busy());
+  EXPECT_TRUE(completed_.empty());
+}
+
+TEST_F(DiskSystemTest, ClockAdvancesToArrival) {
+  system_.Submit(Req(1, 5000, 3));
+  EXPECT_GE(system_.now(), 5000);
+}
+
+TEST_F(DiskSystemTest, PastArrivalAllowedForHeldRequests) {
+  system_.Submit(Req(1, 0, 40));
+  system_.Drain();
+  const Micros now = system_.now();
+  // Release a request whose arrival was long ago.
+  sched::IoRequest held = Req(2, 10, 5);
+  system_.Submit(held);
+  system_.Drain();
+  ASSERT_EQ(completed_.size(), 2u);
+  EXPECT_EQ(completed_[1].dispatch_time, now);
+  EXPECT_EQ(completed_[1].queue_time, now - 10);
+}
+
+TEST_F(DiskSystemTest, DrainReturnsLastCompletion) {
+  system_.Submit(Req(1, 0, 10));
+  system_.Submit(Req(2, 0, 20));
+  const Micros end = system_.Drain();
+  ASSERT_EQ(completed_.size(), 2u);
+  EXPECT_EQ(end, completed_[1].completion_time);
+  EXPECT_FALSE(system_.busy());
+  EXPECT_EQ(system_.queued(), 0u);
+}
+
+TEST_F(DiskSystemTest, CompletionOrderFollowsScheduler) {
+  // FCFS: completion order == arrival order even when seeks differ.
+  system_.Submit(Req(1, 0, 90));
+  system_.Submit(Req(2, 1, 0));
+  system_.Submit(Req(3, 2, 90));
+  system_.Drain();
+  ASSERT_EQ(completed_.size(), 3u);
+  EXPECT_EQ(completed_[0].request.id, 1);
+  EXPECT_EQ(completed_[1].request.id, 2);
+  EXPECT_EQ(completed_[2].request.id, 3);
+}
+
+TEST(DiskSystemScanTest, ScanReordersQueuedBurst) {
+  disk::Disk disk(Spec());
+  DiskSystem system(&disk, sched::MakeScheduler(
+                               sched::SchedulerKind::kScan, 128));
+  std::vector<std::int64_t> order;
+  system.set_completion_callback([&order](const CompletedIo& io) {
+    order.push_back(io.request.id);
+  });
+  // One in-flight op, then a burst that SCAN should serve in sweep order.
+  system.Submit(Req(1, 0, 10));
+  system.Submit(Req(2, 1, 80));
+  system.Submit(Req(3, 1, 20));
+  system.Submit(Req(4, 1, 50));
+  system.Drain();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  // From cylinder 10 sweeping up: 20, 50, 80.
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 4);
+  EXPECT_EQ(order[3], 2);
+}
+
+TEST_F(DiskSystemTest, SimultaneousArrivalsAllServed) {
+  for (int i = 0; i < 20; ++i) system_.Submit(Req(i, 1000, i * 4));
+  system_.Drain();
+  EXPECT_EQ(completed_.size(), 20u);
+}
+
+}  // namespace
+}  // namespace abr::sim

@@ -1,0 +1,157 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::stats {
+namespace {
+
+TEST(TimeHistogramTest, EmptyDefaults) {
+  TimeHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.MeanMillis(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(1000), 0.0);
+}
+
+TEST(TimeHistogramTest, MeanUsesFullResolution) {
+  TimeHistogram h;  // 1 ms buckets
+  h.Add(100);       // 0.1 ms
+  h.Add(200);
+  h.Add(300);
+  // Bucketed at 1 ms, but mean is exact: 0.2 ms.
+  EXPECT_DOUBLE_EQ(h.MeanMillis(), 0.2);
+}
+
+TEST(TimeHistogramTest, MinMaxFullResolution) {
+  TimeHistogram h;
+  h.Add(1234);
+  h.Add(99);
+  h.Add(5001);
+  EXPECT_EQ(h.min(), 99);
+  EXPECT_EQ(h.max(), 5001);
+}
+
+TEST(TimeHistogramTest, BucketBoundaries) {
+  TimeHistogram h(1000);
+  h.Add(0);
+  h.Add(999);   // same bucket as 0
+  h.Add(1000);  // next bucket
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+}
+
+TEST(TimeHistogramTest, FractionBelow) {
+  TimeHistogram h(1000);
+  for (Micros v : {500, 1500, 2500, 3500}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(2000), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(4000), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(1000), 0.25);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0), 0.0);
+}
+
+TEST(TimeHistogramTest, PercentileMillis) {
+  TimeHistogram h(1000);
+  for (int i = 0; i < 100; ++i) h.Add(i * 1000);
+  // p50 falls in the bucket of the 50th sample.
+  EXPECT_NEAR(h.PercentileMillis(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.PercentileMillis(1.0), 100.0, 1.0);
+}
+
+TEST(TimeHistogramTest, CdfPointsMonotone) {
+  TimeHistogram h(1000);
+  for (Micros v : {100, 2100, 2200, 9000}) h.Add(v);
+  auto points = h.CdfPoints();
+  ASSERT_FALSE(points.empty());
+  double prev = 0.0;
+  for (const auto& [ms, frac] : points) {
+    EXPECT_GE(frac, prev);
+    prev = frac;
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(TimeHistogramTest, MergeCombines) {
+  TimeHistogram a, b;
+  a.Add(1000);
+  a.Add(3000);
+  b.Add(2000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.total(), 6000);
+  EXPECT_EQ(a.min(), 1000);
+  EXPECT_EQ(a.max(), 3000);
+}
+
+TEST(TimeHistogramTest, MergeIntoEmpty) {
+  TimeHistogram a, b;
+  b.Add(700);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 700);
+}
+
+TEST(TimeHistogramTest, ClearResets) {
+  TimeHistogram h;
+  h.Add(42);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(DistanceHistogramTest, Empty) {
+  DistanceHistogram d;
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.ZeroFraction(), 0.0);
+}
+
+TEST(DistanceHistogramTest, MeanAndZeroFraction) {
+  DistanceHistogram d;
+  d.Add(0);
+  d.Add(0);
+  d.Add(10);
+  d.Add(30);
+  EXPECT_DOUBLE_EQ(d.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.ZeroFraction(), 0.5);
+}
+
+TEST(DistanceHistogramTest, MeanOfAppliesFunction) {
+  DistanceHistogram d;
+  d.Add(0);
+  d.Add(4);
+  // f(d) = d^2 -> mean = (0 + 16) / 2 = 8.
+  EXPECT_DOUBLE_EQ(d.MeanOf([](std::int64_t x) {
+    return static_cast<double>(x * x);
+  }),
+                   8.0);
+}
+
+TEST(DistanceHistogramTest, MeanOfMatchesPaperSeekComputation) {
+  // The paper computes mean seek time from the distance distribution and
+  // a seek-time function; duplicates must be weighted by count.
+  DistanceHistogram d;
+  d.Add(2);
+  d.Add(2);
+  d.Add(6);
+  EXPECT_DOUBLE_EQ(
+      d.MeanOf([](std::int64_t x) { return static_cast<double>(x); }),
+      d.Mean());
+}
+
+TEST(DistanceHistogramTest, MergeAndClear) {
+  DistanceHistogram a, b;
+  a.Add(1);
+  b.Add(0);
+  b.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  a.Clear();
+  EXPECT_EQ(a.count(), 0);
+}
+
+}  // namespace
+}  // namespace abr::stats

@@ -1,0 +1,75 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::stats {
+namespace {
+
+TEST(SummaryTest, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.avg(), 3.5);
+}
+
+TEST(SummaryTest, MinAvgMax) {
+  Summary s;
+  for (double v : {2.0, 8.0, 5.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.avg(), 5.0);
+}
+
+TEST(SummaryTest, NegativeValues) {
+  Summary s;
+  s.Add(-1.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.avg(), 0.0);
+}
+
+TEST(RankCurveTest, IgnoresZeros) {
+  RankCurve c({0, 5, 0, 3});
+  EXPECT_EQ(c.distinct(), 2);
+  EXPECT_EQ(c.total(), 8);
+}
+
+TEST(RankCurveTest, SortsDescending) {
+  RankCurve c({1, 9, 4});
+  EXPECT_EQ(c.CountAtRank(0), 9);
+  EXPECT_EQ(c.CountAtRank(1), 4);
+  EXPECT_EQ(c.CountAtRank(2), 1);
+}
+
+TEST(RankCurveTest, TopKFraction) {
+  RankCurve c({10, 30, 60});
+  EXPECT_DOUBLE_EQ(c.TopKFraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.TopKFraction(1), 0.6);
+  EXPECT_DOUBLE_EQ(c.TopKFraction(2), 0.9);
+  EXPECT_DOUBLE_EQ(c.TopKFraction(3), 1.0);
+}
+
+TEST(RankCurveTest, TopKClamped) {
+  RankCurve c({4});
+  EXPECT_DOUBLE_EQ(c.TopKFraction(100), 1.0);
+  EXPECT_DOUBLE_EQ(c.TopKFraction(-5), 0.0);
+}
+
+TEST(RankCurveTest, EmptyCurve) {
+  RankCurve c({});
+  EXPECT_EQ(c.distinct(), 0);
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_DOUBLE_EQ(c.TopKFraction(1), 0.0);
+}
+
+}  // namespace
+}  // namespace abr::stats

@@ -1,0 +1,109 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace abr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::ResourceExhausted("e"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::FailedPrecondition("f"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Corruption("g"), StatusCode::kCorruption, "Corruption"},
+      {Status::IoError("h"), StatusCode::kIoError, "IoError"},
+      {Status::Unimplemented("i"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::Busy("j"), StatusCode::kBusy, "Busy"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("missing widget");
+  EXPECT_EQ(s.ToString(), "NotFound: missing widget");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Busy("x"));
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad bits");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kCorruption);
+  EXPECT_EQ(t.message(), "bad bits");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2};
+  v->push_back(3);
+  EXPECT_EQ(v.value().size(), 3u);
+}
+
+Status Helper(bool fail) {
+  ABR_RETURN_IF_ERROR(fail ? Status::Busy("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_EQ(Helper(true).code(), StatusCode::kBusy);
+}
+
+}  // namespace
+}  // namespace abr

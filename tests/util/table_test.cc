@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace abr {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| bb "), std::string::npos);
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(TableTest, PadsToWidestCell) {
+  Table t({"x"});
+  t.AddRow({"wide-cell-content"});
+  t.AddRow({"y"});
+  const std::string out = t.ToString();
+  // The narrow row must be padded to the wide cell's width.
+  EXPECT_NE(out.find("| y                 |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorEmitsRule) {
+  Table t({"h"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.ToString();
+  // header rule + top + separator + bottom = 4 rules
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableTest, FmtDouble) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::Fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, FmtInt) {
+  EXPECT_EQ(Table::Fmt(static_cast<std::int64_t>(0)), "0");
+  EXPECT_EQ(Table::Fmt(static_cast<std::int64_t>(-42)), "-42");
+  EXPECT_EQ(Table::Fmt(static_cast<std::int64_t>(123456789)), "123456789");
+}
+
+}  // namespace
+}  // namespace abr

@@ -1,0 +1,89 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abr::workload {
+namespace {
+
+TEST(BurstyArrivalsTest, NonDecreasingTimes) {
+  ArrivalConfig config;
+  config.mean_burst_gap = 100 * kMillisecond;
+  config.mean_burst_size = 5.0;
+  config.mean_intra_gap = 2 * kMillisecond;
+  BurstyArrivals arrivals(config, 0, Rng(1));
+  Micros prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Micros t = arrivals.Next();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BurstyArrivalsTest, StartsAfterStartTime) {
+  ArrivalConfig config;
+  BurstyArrivals arrivals(config, 500 * kSecond, Rng(2));
+  EXPECT_GE(arrivals.Next(), 500 * kSecond);
+}
+
+TEST(BurstyArrivalsTest, MeanRateMatchesConfig) {
+  ArrivalConfig config;
+  config.mean_burst_gap = kSecond;
+  config.mean_burst_size = 4.0;
+  config.mean_intra_gap = kMillisecond;
+  BurstyArrivals arrivals(config, 0, Rng(3));
+  const int n = 40000;
+  Micros last = 0;
+  for (int i = 0; i < n; ++i) last = arrivals.Next();
+  // Expected rate: 4 requests per second.
+  const double rate = static_cast<double>(n) /
+                      (static_cast<double>(last) / kSecond);
+  EXPECT_NEAR(rate, 4.0, 0.4);
+}
+
+TEST(BurstyArrivalsTest, ArrivalsAreBursty) {
+  ArrivalConfig config;
+  config.mean_burst_gap = 10 * kSecond;
+  config.mean_burst_size = 8.0;
+  config.mean_intra_gap = kMillisecond;
+  BurstyArrivals arrivals(config, 0, Rng(4));
+  // Count gaps below 100 ms (intra-burst) vs above (between bursts).
+  int small = 0, large = 0;
+  Micros prev = arrivals.Next();
+  for (int i = 0; i < 5000; ++i) {
+    const Micros t = arrivals.Next();
+    ((t - prev < 100 * kMillisecond) ? small : large)++;
+    prev = t;
+  }
+  // With mean burst size 8, about 7/8 of gaps are intra-burst.
+  EXPECT_GT(small, large * 4);
+  EXPECT_GT(large, 0);
+}
+
+TEST(BurstyArrivalsTest, DeterministicForSeed) {
+  ArrivalConfig config;
+  BurstyArrivals a(config, 0, Rng(42));
+  BurstyArrivals b(config, 0, Rng(42));
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(BurstyArrivalsTest, BurstSizeOneDegeneratesToPoisson) {
+  ArrivalConfig config;
+  config.mean_burst_gap = kSecond;
+  config.mean_burst_size = 1.0;
+  config.mean_intra_gap = 0;
+  BurstyArrivals arrivals(config, 0, Rng(5));
+  Micros prev = arrivals.Next();
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Micros t = arrivals.Next();
+    sum += static_cast<double>(t - prev);
+    prev = t;
+  }
+  EXPECT_NEAR(sum / n / kSecond, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace abr::workload

@@ -1,0 +1,136 @@
+#include "workload/file_server_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disk/drive_spec.h"
+
+namespace abr::workload {
+namespace {
+
+WorkloadProfile TinyProfile() {
+  WorkloadProfile p = WorkloadProfile::SystemFs();
+  p.file_count = 20;
+  p.mean_file_blocks = 4.0;
+  p.max_file_blocks = 10;
+  p.directory_count = 5;
+  p.day_length = 2 * kMinute;
+  p.arrivals.mean_burst_gap = 2 * kSecond;
+  return p;
+}
+
+class FileServerWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver_ = std::make_unique<driver::AdaptiveDriver>(
+        disk_.get(), std::move(*label), driver::DriverConfig{}, &store_);
+    ASSERT_TRUE(driver_->Attach().ok());
+    server_ = std::make_unique<fs::FileServer>(driver_.get(),
+                                               fs::FileServerConfig{});
+    fs::FfsConfig ffs;
+    ffs.blocks_per_group = 64;
+    ASSERT_TRUE(server_->AddFileSystem(0, ffs).ok());
+  }
+
+  std::unique_ptr<disk::Disk> disk_;
+  driver::InMemoryTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  std::unique_ptr<fs::FileServer> server_;
+};
+
+TEST_F(FileServerWorkloadTest, PopulateCreatesFiles) {
+  FileServerWorkload w(server_.get(), 0, TinyProfile(), 1);
+  ASSERT_TRUE(w.Populate(0).ok());
+  fs::Ffs* fs = server_->FileSystemOf(0).value();
+  EXPECT_EQ(fs->file_count(), 26u);  // 20 files + root + 5 directories
+  EXPECT_GT(fs->data_block_capacity() - fs->free_blocks(), 20);
+}
+
+TEST_F(FileServerWorkloadTest, RunDayIssuesOperations) {
+  FileServerWorkload w(server_.get(), 0, TinyProfile(), 1);
+  ASSERT_TRUE(w.Populate(0).ok());
+  driver_->IoctlReadStats(true);
+  auto ops = w.RunDay(driver_->now());
+  ASSERT_TRUE(ops.ok());
+  EXPECT_GT(*ops, 10);
+  server_->FlushAndDrain();
+  EXPECT_GT(driver_->IoctlReadStats(true).all.count(), 0);
+}
+
+TEST_F(FileServerWorkloadTest, PeriodicCallbackFires) {
+  FileServerWorkload w(server_.get(), 0, TinyProfile(), 1);
+  ASSERT_TRUE(w.Populate(0).ok());
+  int ticks = 0;
+  auto ops = w.RunDay(driver_->now(),
+                      [&ticks](Micros) { ++ticks; }, 30 * kSecond);
+  ASSERT_TRUE(ops.ok());
+  // 2-minute day with 30 s period: at least 4 ticks (incl. final).
+  EXPECT_GE(ticks, 4);
+}
+
+TEST_F(FileServerWorkloadTest, DeterministicAcrossInstances) {
+  auto run = [this](std::uint64_t seed) {
+    SetUp();  // fresh stack
+    FileServerWorkload w(server_.get(), 0, TinyProfile(), seed);
+    EXPECT_TRUE(w.Populate(0).ok());
+    driver_->IoctlReadStats(true);
+    EXPECT_TRUE(w.RunDay(driver_->now()).ok());
+    server_->FlushAndDrain();
+    auto stats = driver_->IoctlReadStats(true);
+    return std::pair{stats.all.count(),
+                     stats.all.service_time.total()};
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(FileServerWorkloadTest, DriftReshufflesPopularity) {
+  WorkloadProfile profile = TinyProfile();
+  profile.daily_drift = 1.0;  // reshuffle aggressively
+  FileServerWorkload w(server_.get(), 0, profile, 3);
+  ASSERT_TRUE(w.Populate(0).ok());
+  // EndDay must not crash and must keep the population intact.
+  w.EndDay();
+  fs::Ffs* fs = server_->FileSystemOf(0).value();
+  EXPECT_EQ(fs->file_count(), 26u);  // 20 files + root + 5 directories
+  ASSERT_TRUE(w.RunDay(driver_->now()).ok());
+}
+
+TEST_F(FileServerWorkloadTest, UsersProfileCreatesAndDeletesFiles) {
+  WorkloadProfile profile = WorkloadProfile::UsersFs();
+  profile.file_count = 20;
+  profile.mean_file_blocks = 4.0;
+  profile.max_file_blocks = 10;
+  profile.day_length = 5 * kMinute;
+  profile.directory_count = 4;
+  profile.create_fraction = 0.5;  // exaggerate churn
+  profile.arrivals.mean_burst_gap = kSecond;
+  FileServerWorkload w(server_.get(), 0, profile, 5);
+  ASSERT_TRUE(w.Populate(0).ok());
+  auto ops = w.RunDay(driver_->now());
+  ASSERT_TRUE(ops.ok());
+  // Population count stays fixed (new files replace cold victims).
+  fs::Ffs* fs = server_->FileSystemOf(0).value();
+  EXPECT_EQ(fs->file_count(), 25u);  // 20 files + root + 4 directories
+}
+
+TEST_F(FileServerWorkloadTest, ProfilesDiffer) {
+  const WorkloadProfile system = WorkloadProfile::SystemFs();
+  const WorkloadProfile users = WorkloadProfile::UsersFs();
+  EXPECT_EQ(system.write_fraction, 0.0);
+  EXPECT_GT(users.write_fraction, 0.0);
+  EXPECT_GT(users.create_fraction, 0.0);
+  EXPECT_GT(system.file_zipf_theta, users.file_zipf_theta);
+  EXPECT_GT(users.daily_drift, system.daily_drift);
+}
+
+}  // namespace
+}  // namespace abr::workload

@@ -1,0 +1,101 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace abr::workload {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.population = 100;
+  c.theta = 1.0;
+  c.write_fraction = 0.3;
+  c.write_population_fraction = 0.1;
+  c.arrivals.mean_burst_gap = 50 * kMillisecond;
+  c.arrivals.mean_burst_size = 4.0;
+  c.arrivals.mean_intra_gap = kMillisecond;
+  return c;
+}
+
+TEST(SyntheticTest, PopulationBlocksDistinctAndInRange) {
+  SyntheticBlockWorkload w(0, 1000, SmallConfig(), 7);
+  std::set<BlockNo> seen;
+  for (std::int64_t r = 0; r < 100; ++r) {
+    const BlockNo b = w.BlockAtRank(r);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 1000);
+    EXPECT_TRUE(seen.insert(b).second);
+  }
+}
+
+TEST(SyntheticTest, GenerateProducesOrderedTrace) {
+  SyntheticBlockWorkload w(2, 1000, SmallConfig(), 7);
+  Trace trace;
+  w.Generate(0, 10 * kSecond, trace);
+  ASSERT_GT(trace.size(), 100u);
+  Micros prev = 0;
+  for (const TraceRecord& r : trace.records()) {
+    EXPECT_GE(r.time, prev);
+    EXPECT_LT(r.time, 10 * kSecond);
+    EXPECT_EQ(r.device, 2);
+    prev = r.time;
+  }
+}
+
+TEST(SyntheticTest, WriteFractionApproximatelyRespected) {
+  SyntheticBlockWorkload w(0, 1000, SmallConfig(), 11);
+  Trace trace;
+  w.Generate(0, 200 * kSecond, trace);
+  std::int64_t writes = 0;
+  for (const TraceRecord& r : trace.records()) {
+    if (r.type == sched::IoType::kWrite) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) /
+                  static_cast<double>(trace.size()),
+              0.3, 0.05);
+}
+
+TEST(SyntheticTest, WritesConcentratedOnSmallSubPopulation) {
+  SyntheticBlockWorkload w(0, 1000, SmallConfig(), 13);
+  Trace trace;
+  w.Generate(0, 500 * kSecond, trace);
+  std::set<BlockNo> write_blocks, read_blocks;
+  for (const TraceRecord& r : trace.records()) {
+    (r.type == sched::IoType::kWrite ? write_blocks : read_blocks)
+        .insert(r.block);
+  }
+  // Writes draw from 10% of the population.
+  EXPECT_LE(write_blocks.size(), 10u);
+  EXPECT_GT(read_blocks.size(), 50u);
+}
+
+TEST(SyntheticTest, SkewMatchesZipf) {
+  SyntheticConfig config = SmallConfig();
+  config.write_fraction = 0.0;
+  SyntheticBlockWorkload w(0, 1000, config, 17);
+  Trace trace;
+  w.Generate(0, 2000 * kSecond, trace);
+  std::map<BlockNo, std::int64_t> counts;
+  for (const TraceRecord& r : trace.records()) ++counts[r.block];
+  // Rank 0 should be referenced far more often than rank 50.
+  EXPECT_GT(counts[w.BlockAtRank(0)], 5 * counts[w.BlockAtRank(50)]);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticBlockWorkload a(0, 1000, SmallConfig(), 23);
+  SyntheticBlockWorkload b(0, 1000, SmallConfig(), 23);
+  Trace ta, tb;
+  a.Generate(0, 20 * kSecond, ta);
+  b.Generate(0, 20 * kSecond, tb);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.records()[i].time, tb.records()[i].time);
+    EXPECT_EQ(ta.records()[i].block, tb.records()[i].block);
+  }
+}
+
+}  // namespace
+}  // namespace abr::workload

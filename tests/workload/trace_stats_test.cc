@@ -1,0 +1,85 @@
+#include "workload/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace abr::workload {
+namespace {
+
+TraceRecord Rec(Micros t, BlockNo b, sched::IoType type) {
+  return TraceRecord{t, 0, b, type};
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  const TraceStats s = TraceStats::Of(Trace{});
+  EXPECT_EQ(s.requests, 0);
+  EXPECT_EQ(s.distinct_blocks, 0);
+  EXPECT_DOUBLE_EQ(s.requests_per_second, 0.0);
+}
+
+TEST(TraceStatsTest, CountsAndMix) {
+  Trace trace;
+  trace.Append(Rec(0, 1, sched::IoType::kRead));
+  trace.Append(Rec(kSecond, 1, sched::IoType::kRead));
+  trace.Append(Rec(2 * kSecond, 2, sched::IoType::kWrite));
+  trace.Append(Rec(4 * kSecond, 3, sched::IoType::kRead));
+  const TraceStats s = TraceStats::Of(trace);
+  EXPECT_EQ(s.requests, 4);
+  EXPECT_EQ(s.reads, 3);
+  EXPECT_EQ(s.writes, 1);
+  EXPECT_DOUBLE_EQ(s.read_fraction, 0.75);
+  EXPECT_EQ(s.duration, 4 * kSecond);
+  EXPECT_DOUBLE_EQ(s.requests_per_second, 1.0);
+  EXPECT_EQ(s.distinct_blocks, 3);
+}
+
+TEST(TraceStatsTest, SkewFractions) {
+  Trace trace;
+  Micros t = 0;
+  for (int i = 0; i < 90; ++i) trace.Append(Rec(t += 1000, 7, sched::IoType::kRead));
+  for (BlockNo b = 100; b < 110; ++b) {
+    trace.Append(Rec(t += 1000, b, sched::IoType::kRead));
+  }
+  const TraceStats s = TraceStats::Of(trace);
+  EXPECT_EQ(s.distinct_blocks, 11);
+  // Top-10 blocks = block 7 (90) + 9 singles = 99 of 100.
+  EXPECT_DOUBLE_EQ(s.top10_fraction, 0.99);
+  EXPECT_DOUBLE_EQ(s.top100_fraction, 1.0);
+}
+
+TEST(TraceStatsTest, PoissonHasCv2NearOne) {
+  SyntheticConfig config;
+  config.population = 100;
+  config.arrivals.mean_burst_size = 1.0;  // pure Poisson
+  config.arrivals.mean_burst_gap = 100 * kMillisecond;
+  SyntheticBlockWorkload w(0, 1000, config, 3);
+  Trace trace;
+  w.Generate(0, 2000 * kSecond, trace);
+  const TraceStats s = TraceStats::Of(trace);
+  EXPECT_NEAR(s.interarrival_cv2, 1.0, 0.15);
+}
+
+TEST(TraceStatsTest, BurstyArrivalsHaveHighCv2) {
+  SyntheticConfig config;
+  config.population = 100;
+  config.arrivals.mean_burst_size = 8.0;
+  config.arrivals.mean_burst_gap = 10 * kSecond;
+  config.arrivals.mean_intra_gap = kMillisecond;
+  SyntheticBlockWorkload w(0, 1000, config, 3);
+  Trace trace;
+  w.Generate(0, 2000 * kSecond, trace);
+  const TraceStats s = TraceStats::Of(trace);
+  EXPECT_GT(s.interarrival_cv2, 3.0);
+}
+
+TEST(TraceStatsTest, DevicesCountedSeparately) {
+  Trace trace;
+  trace.Append(TraceRecord{0, 0, 5, sched::IoType::kRead});
+  trace.Append(TraceRecord{1, 1, 5, sched::IoType::kRead});
+  const TraceStats s = TraceStats::Of(trace);
+  EXPECT_EQ(s.distinct_blocks, 2);
+}
+
+}  // namespace
+}  // namespace abr::workload

@@ -1,0 +1,104 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace abr::workload {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TraceRecord Rec(Micros t, BlockNo b, sched::IoType type) {
+  return TraceRecord{t, 0, b, type};
+}
+
+TEST(TraceTest, AppendAndAccess) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.Append(Rec(10, 1, sched::IoType::kRead));
+  trace.Append(Rec(20, 2, sched::IoType::kWrite));
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.records()[1].block, 2);
+}
+
+TEST(TraceTest, MergePreservesTimeOrder) {
+  Trace a, b;
+  a.Append(Rec(10, 1, sched::IoType::kRead));
+  a.Append(Rec(30, 3, sched::IoType::kRead));
+  b.Append(Rec(20, 2, sched::IoType::kRead));
+  b.Append(Rec(40, 4, sched::IoType::kRead));
+  a.MergeFrom(b);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a.records()[i - 1].time, a.records()[i].time);
+  }
+  EXPECT_EQ(a.records()[1].block, 2);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  Trace trace;
+  trace.Append(Rec(10, 123, sched::IoType::kRead));
+  trace.Append(Rec(999999, 456, sched::IoType::kWrite));
+  const std::string path = TempPath("roundtrip.trace");
+  ASSERT_TRUE(trace.SaveTo(path).ok());
+  auto loaded = Trace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->records()[0].time, 10);
+  EXPECT_EQ(loaded->records()[0].block, 123);
+  EXPECT_EQ(loaded->records()[0].type, sched::IoType::kRead);
+  EXPECT_EQ(loaded->records()[1].type, sched::IoType::kWrite);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, SaveLoadEmpty) {
+  Trace trace;
+  const std::string path = TempPath("empty.trace");
+  ASSERT_TRUE(trace.SaveTo(path).ok());
+  auto loaded = Trace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsBadLine) {
+  const std::string path = TempPath("bad.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "10 0 5 X\n");
+  std::fclose(f);
+  EXPECT_EQ(Trace::LoadFrom(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsUnorderedTimes) {
+  const std::string path = TempPath("unordered.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "20 0 5 R\n10 0 6 R\n");
+  std::fclose(f);
+  EXPECT_EQ(Trace::LoadFrom(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadMissingFileFails) {
+  EXPECT_EQ(Trace::LoadFrom("/nonexistent/path.trace").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(TraceTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("comments.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# header\n\n10 2 5 W\n");
+  std::fclose(f);
+  auto loaded = Trace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->records()[0].device, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace abr::workload

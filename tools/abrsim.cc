@@ -1,0 +1,341 @@
+// abrsim: command-line front end to the adaptive block rearrangement
+// simulator.
+//
+//   abrsim specs
+//   abrsim onoff  [--disk=toshiba|fujitsu] [--workload=system|users]
+//                 [--days=N] [--policy=organpipe|interleaved|serial]
+//                 [--blocks=N] [--cylinders=N] [--scheduler=scan|fcfs|
+//                 sstf|clook] [--seed=N] [--decay=F]
+//   abrsim sweep  [--disk=...] [--workload=...] [--seed=N]
+//                 [--blocks=a,b,c,...]
+//   abrsim policy [--disk=...] [--workload=...] [--days=N] [--seed=N]
+//
+// Every run prints paper-style tables on stdout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "workload/trace_stats.h"
+#include "core/onoff.h"
+#include "util/table.h"
+
+using namespace abr;
+
+namespace {
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", arg);
+        std::exit(2);
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "true";
+      } else {
+        values_[std::string(arg + 2, eq)] = eq + 1;
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) {
+    used_.push_back(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) {
+    const std::string v = Get(key, "");
+    return v.empty() ? fallback : std::atoll(v.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string v = Get(key, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  /// Errors out on flags nobody consumed (typo protection).
+  void CheckAllUsed() const {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const std::string& u : used_) {
+        if (u == key) found = true;
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> used_;
+};
+
+void Die(const std::string& what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+core::ExperimentConfig BuildConfig(Flags& flags) {
+  const std::string disk = flags.Get("disk", "toshiba");
+  const std::string workload = flags.Get("workload", "system");
+  core::ExperimentConfig config;
+  if (disk == "toshiba") {
+    config = workload == "users" ? core::ExperimentConfig::ToshibaUsers()
+                                 : core::ExperimentConfig::ToshibaSystem();
+  } else if (disk == "fujitsu") {
+    config = workload == "users" ? core::ExperimentConfig::FujitsuUsers()
+                                 : core::ExperimentConfig::FujitsuSystem();
+  } else {
+    std::fprintf(stderr, "unknown --disk=%s\n", disk.c_str());
+    std::exit(2);
+  }
+  if (workload != "system" && workload != "users") {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
+    std::exit(2);
+  }
+
+  config.reserved_cylinders = static_cast<std::int32_t>(
+      flags.GetInt("cylinders", config.reserved_cylinders));
+  config.rearrange_blocks = static_cast<std::int32_t>(
+      flags.GetInt("blocks", config.rearrange_blocks));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 0xAB12));
+  config.system.count_decay = flags.GetDouble("decay", 0.0);
+
+  const std::string policy = flags.Get("policy", "organpipe");
+  if (policy == "organpipe") {
+    config.system.policy = placement::PolicyKind::kOrganPipe;
+  } else if (policy == "interleaved") {
+    config.system.policy = placement::PolicyKind::kInterleaved;
+  } else if (policy == "serial") {
+    config.system.policy = placement::PolicyKind::kSerial;
+  } else {
+    std::fprintf(stderr, "unknown --policy=%s\n", policy.c_str());
+    std::exit(2);
+  }
+
+  const std::string scheduler = flags.Get("scheduler", "scan");
+  if (scheduler == "scan") {
+    config.system.driver.scheduler = sched::SchedulerKind::kScan;
+  } else if (scheduler == "fcfs") {
+    config.system.driver.scheduler = sched::SchedulerKind::kFcfs;
+  } else if (scheduler == "sstf") {
+    config.system.driver.scheduler = sched::SchedulerKind::kSstf;
+  } else if (scheduler == "clook") {
+    config.system.driver.scheduler = sched::SchedulerKind::kCLook;
+  } else {
+    std::fprintf(stderr, "unknown --scheduler=%s\n", scheduler.c_str());
+    std::exit(2);
+  }
+  return config;
+}
+
+int CmdTraceStats(Flags& flags) {
+  const std::string path = flags.Get("file", "");
+  flags.CheckAllUsed();
+  if (path.empty()) {
+    std::fprintf(stderr, "trace-stats requires --file=<trace>\n");
+    return 2;
+  }
+  StatusOr<workload::Trace> trace = workload::Trace::LoadFrom(path);
+  if (!trace.ok()) Die("load trace", trace.status());
+  const workload::TraceStats s = workload::TraceStats::Of(*trace);
+  Table t({"metric", "value"});
+  t.AddRow({"requests", Table::Fmt(s.requests)});
+  t.AddRow({"reads", Table::Fmt(s.reads)});
+  t.AddRow({"writes", Table::Fmt(s.writes)});
+  t.AddRow({"duration (s)", Table::Fmt(MicrosToMillis(s.duration) / 1000.0, 1)});
+  t.AddRow({"rate (req/s)", Table::Fmt(s.requests_per_second, 2)});
+  t.AddRow({"read fraction", Table::Fmt(s.read_fraction, 3)});
+  t.AddRow({"distinct blocks", Table::Fmt(s.distinct_blocks)});
+  t.AddRow({"top-10 share", Table::Fmt(s.top10_fraction, 3)});
+  t.AddRow({"top-100 share", Table::Fmt(s.top100_fraction, 3)});
+  t.AddRow({"top-1000 share", Table::Fmt(s.top1000_fraction, 3)});
+  t.AddRow({"inter-arrival CV^2", Table::Fmt(s.interarrival_cv2, 2)});
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+int CmdSpecs() {
+  Table t({"", "Toshiba MK156F", "Fujitsu M2266"});
+  const disk::DriveSpec a = disk::DriveSpec::ToshibaMK156F();
+  const disk::DriveSpec b = disk::DriveSpec::FujitsuM2266();
+  t.AddRow({"Capacity (MB)",
+            Table::Fmt(a.geometry.capacity_bytes() / 1e6, 0),
+            Table::Fmt(b.geometry.capacity_bytes() / 1e6, 0)});
+  t.AddRow({"Cylinders", Table::Fmt((std::int64_t)a.geometry.cylinders),
+            Table::Fmt((std::int64_t)b.geometry.cylinders)});
+  t.AddRow({"Tracks/cylinder",
+            Table::Fmt((std::int64_t)a.geometry.tracks_per_cylinder),
+            Table::Fmt((std::int64_t)b.geometry.tracks_per_cylinder)});
+  t.AddRow({"Sectors/track",
+            Table::Fmt((std::int64_t)a.geometry.sectors_per_track),
+            Table::Fmt((std::int64_t)b.geometry.sectors_per_track)});
+  t.AddRow({"RPM", Table::Fmt((std::int64_t)a.geometry.rpm),
+            Table::Fmt((std::int64_t)b.geometry.rpm)});
+  t.AddRow({"Track buffer (KB)", Table::Fmt(a.track_buffer_bytes / 1024),
+            Table::Fmt(b.track_buffer_bytes / 1024)});
+  t.AddRow({"Seek, 1 cyl (ms)", Table::Fmt(a.seek_model.Millis(1), 2),
+            Table::Fmt(b.seek_model.Millis(1), 2)});
+  t.AddRow({"Seek, full stroke (ms)",
+            Table::Fmt(a.seek_model.Millis(a.seek_model.max_distance()), 2),
+            Table::Fmt(b.seek_model.Millis(b.seek_model.max_distance()), 2)});
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+int CmdOnOff(Flags& flags) {
+  core::ExperimentConfig config = BuildConfig(flags);
+  const std::int32_t days =
+      static_cast<std::int32_t>(flags.GetInt("days", 3));
+  flags.CheckAllUsed();
+
+  std::printf("disk=%s  policy=%s  scheduler=%s  blocks=%d  reserved=%d "
+              "cylinders\n\n",
+              config.drive.name.c_str(),
+              placement::PolicyKindName(config.system.policy),
+              sched::SchedulerKindName(config.system.driver.scheduler),
+              config.rearrange_blocks, config.reserved_cylinders);
+
+  core::Experiment exp(std::move(config));
+  StatusOr<core::OnOffResult> result = core::RunOnOff(exp, days);
+  if (!result.ok()) Die("onoff", result.status());
+
+  Table t({"On/Off", "seek min", "seek avg", "seek max", "svc avg",
+           "wait avg"});
+  for (const auto& [label, daysv] :
+       {std::pair{"Off", &result->off_days}, {"On", &result->on_days}}) {
+    core::SummaryRow row =
+        core::OnOffResult::Summarize(*daysv, core::OnOffResult::Slice::kAll);
+    t.AddRow({label, Table::Fmt(row.seek_ms.min()),
+              Table::Fmt(row.seek_ms.avg()), Table::Fmt(row.seek_ms.max()),
+              Table::Fmt(row.service_ms.avg()),
+              Table::Fmt(row.wait_ms.avg())});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+int CmdSweep(Flags& flags) {
+  core::ExperimentConfig base = BuildConfig(flags);
+  std::vector<std::int32_t> points;
+  {
+    std::string list = flags.Get("blocks-list", "0,25,100,400,1018");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      points.push_back(std::atoi(list.c_str() + pos));
+      const std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  flags.CheckAllUsed();
+
+  Table t({"blocks", "seek ms", "zero-seek %", "service ms", "wait ms"});
+  for (const std::int32_t blocks : points) {
+    core::ExperimentConfig config = base;
+    core::Experiment exp(std::move(config));
+    if (Status s = exp.Setup(); !s.ok()) Die("setup", s);
+    if (auto day = exp.RunMeasuredDay(); !day.ok()) {
+      Die("warm-up day", day.status());
+    }
+    exp.set_rearrange_blocks(blocks);
+    Status s = blocks > 0 ? exp.RearrangeForNextDay() : exp.CleanForNextDay();
+    if (!s.ok()) Die("day prep", s);
+    exp.AdvanceWorkloadDay();
+    StatusOr<core::DayMetrics> day = exp.RunMeasuredDay();
+    if (!day.ok()) Die("measured day", day.status());
+    t.AddRow({Table::Fmt((std::int64_t)blocks),
+              Table::Fmt(day->all.mean_seek_ms, 2),
+              Table::Fmt(day->all.zero_seek_pct, 0),
+              Table::Fmt(day->all.mean_service_ms, 2),
+              Table::Fmt(day->all.mean_wait_ms, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+int CmdPolicy(Flags& flags) {
+  core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t days =
+      static_cast<std::int32_t>(flags.GetInt("days", 2));
+  flags.CheckAllUsed();
+
+  Table t({"policy", "on-day seek ms", "zero-seek %", "service ms",
+           "rot+xfer ms (reads)"});
+  for (const auto kind :
+       {placement::PolicyKind::kOrganPipe, placement::PolicyKind::kInterleaved,
+        placement::PolicyKind::kSerial}) {
+    core::ExperimentConfig config = base;
+    config.system.policy = kind;
+    core::Experiment exp(std::move(config));
+    if (Status s = exp.Setup(); !s.ok()) Die("setup", s);
+    if (auto d = exp.RunMeasuredDay(); !d.ok()) Die("warm-up", d.status());
+    double seek = 0, zero = 0, service = 0, rot = 0;
+    for (std::int32_t i = 0; i < days; ++i) {
+      if (Status s = exp.RearrangeForNextDay(); !s.ok()) {
+        Die("rearrange", s);
+      }
+      exp.AdvanceWorkloadDay();
+      StatusOr<core::DayMetrics> day = exp.RunMeasuredDay();
+      if (!day.ok()) Die("day", day.status());
+      seek += day->all.mean_seek_ms;
+      zero += day->all.zero_seek_pct;
+      service += day->all.mean_service_ms;
+      rot += day->reads.rot_plus_transfer_ms;
+    }
+    const double n = days;
+    t.AddRow({placement::PolicyKindName(kind), Table::Fmt(seek / n, 2),
+              Table::Fmt(zero / n, 0), Table::Fmt(service / n, 2),
+              Table::Fmt(rot / n, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: abrsim <command> [flags]\n"
+      "commands:\n"
+      "  specs       print the Table 1 drive models\n"
+      "  trace-stats characterize a saved trace (--file=...)\n"
+      "  onoff    alternating off/on days; summary like Tables 2/5\n"
+      "  sweep    vary the number of rearranged blocks (Figure 8)\n"
+      "  policy   compare placement policies (Tables 7-10)\n"
+      "common flags: --disk=toshiba|fujitsu --workload=system|users\n"
+      "  --days=N --policy=organpipe|interleaved|serial --blocks=N\n"
+      "  --cylinders=N --scheduler=scan|fcfs|sstf|clook --seed=N "
+      "--decay=F\n"
+      "sweep only: --blocks-list=a,b,c\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "specs") return CmdSpecs();
+  if (command == "trace-stats") return CmdTraceStats(flags);
+  if (command == "onoff") return CmdOnOff(flags);
+  if (command == "sweep") return CmdSweep(flags);
+  if (command == "policy") return CmdPolicy(flags);
+  Usage();
+  return 2;
+}
