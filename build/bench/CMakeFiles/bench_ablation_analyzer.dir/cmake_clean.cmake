@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_analyzer.dir/bench_ablation_analyzer.cc.o"
+  "CMakeFiles/bench_ablation_analyzer.dir/bench_ablation_analyzer.cc.o.d"
+  "bench_ablation_analyzer"
+  "bench_ablation_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

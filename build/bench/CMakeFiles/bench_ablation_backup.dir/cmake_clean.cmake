@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backup.dir/bench_ablation_backup.cc.o"
+  "CMakeFiles/bench_ablation_backup.dir/bench_ablation_backup.cc.o.d"
+  "bench_ablation_backup"
+  "bench_ablation_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

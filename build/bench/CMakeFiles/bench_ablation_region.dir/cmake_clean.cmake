@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_region.dir/bench_ablation_region.cc.o"
+  "CMakeFiles/bench_ablation_region.dir/bench_ablation_region.cc.o.d"
+  "bench_ablation_region"
+  "bench_ablation_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

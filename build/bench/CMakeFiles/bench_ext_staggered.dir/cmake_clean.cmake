@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_staggered.dir/bench_ext_staggered.cc.o"
+  "CMakeFiles/bench_ext_staggered.dir/bench_ext_staggered.cc.o.d"
+  "bench_ext_staggered"
+  "bench_ext_staggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

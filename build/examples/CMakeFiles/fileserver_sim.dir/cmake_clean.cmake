@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileserver_sim.dir/fileserver_sim.cpp.o"
+  "CMakeFiles/fileserver_sim.dir/fileserver_sim.cpp.o.d"
+  "fileserver_sim"
+  "fileserver_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileserver_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

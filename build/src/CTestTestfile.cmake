@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("disk")
+subdirs("sched")
+subdirs("sim")
+subdirs("driver")
+subdirs("analyzer")
+subdirs("placement")
+subdirs("fs")
+subdirs("workload")
+subdirs("baselines")
+subdirs("core")

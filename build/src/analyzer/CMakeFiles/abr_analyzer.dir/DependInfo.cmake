@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cc" "src/analyzer/CMakeFiles/abr_analyzer.dir/analyzer.cc.o" "gcc" "src/analyzer/CMakeFiles/abr_analyzer.dir/analyzer.cc.o.d"
+  "/root/repo/src/analyzer/decaying_counter.cc" "src/analyzer/CMakeFiles/abr_analyzer.dir/decaying_counter.cc.o" "gcc" "src/analyzer/CMakeFiles/abr_analyzer.dir/decaying_counter.cc.o.d"
+  "/root/repo/src/analyzer/exact_counter.cc" "src/analyzer/CMakeFiles/abr_analyzer.dir/exact_counter.cc.o" "gcc" "src/analyzer/CMakeFiles/abr_analyzer.dir/exact_counter.cc.o.d"
+  "/root/repo/src/analyzer/space_saving_counter.cc" "src/analyzer/CMakeFiles/abr_analyzer.dir/space_saving_counter.cc.o" "gcc" "src/analyzer/CMakeFiles/abr_analyzer.dir/space_saving_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/abr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/abr_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/abr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

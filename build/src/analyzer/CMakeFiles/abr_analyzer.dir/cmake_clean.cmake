@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_analyzer.dir/analyzer.cc.o"
+  "CMakeFiles/abr_analyzer.dir/analyzer.cc.o.d"
+  "CMakeFiles/abr_analyzer.dir/decaying_counter.cc.o"
+  "CMakeFiles/abr_analyzer.dir/decaying_counter.cc.o.d"
+  "CMakeFiles/abr_analyzer.dir/exact_counter.cc.o"
+  "CMakeFiles/abr_analyzer.dir/exact_counter.cc.o.d"
+  "CMakeFiles/abr_analyzer.dir/space_saving_counter.cc.o"
+  "CMakeFiles/abr_analyzer.dir/space_saving_counter.cc.o.d"
+  "libabr_analyzer.a"
+  "libabr_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_baselines.dir/cylinder_shuffle.cc.o"
+  "CMakeFiles/abr_baselines.dir/cylinder_shuffle.cc.o.d"
+  "CMakeFiles/abr_baselines.dir/file_temperature.cc.o"
+  "CMakeFiles/abr_baselines.dir/file_temperature.cc.o.d"
+  "libabr_baselines.a"
+  "libabr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

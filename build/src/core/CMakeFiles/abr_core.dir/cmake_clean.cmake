@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_core.dir/adaptive_system.cc.o"
+  "CMakeFiles/abr_core.dir/adaptive_system.cc.o.d"
+  "CMakeFiles/abr_core.dir/experiment.cc.o"
+  "CMakeFiles/abr_core.dir/experiment.cc.o.d"
+  "CMakeFiles/abr_core.dir/metrics.cc.o"
+  "CMakeFiles/abr_core.dir/metrics.cc.o.d"
+  "CMakeFiles/abr_core.dir/onoff.cc.o"
+  "CMakeFiles/abr_core.dir/onoff.cc.o.d"
+  "libabr_core.a"
+  "libabr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_disk.dir/disk.cc.o"
+  "CMakeFiles/abr_disk.dir/disk.cc.o.d"
+  "CMakeFiles/abr_disk.dir/disk_label.cc.o"
+  "CMakeFiles/abr_disk.dir/disk_label.cc.o.d"
+  "CMakeFiles/abr_disk.dir/seek_model.cc.o"
+  "CMakeFiles/abr_disk.dir/seek_model.cc.o.d"
+  "libabr_disk.a"
+  "libabr_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/adaptive_driver.cc" "src/driver/CMakeFiles/abr_driver.dir/adaptive_driver.cc.o" "gcc" "src/driver/CMakeFiles/abr_driver.dir/adaptive_driver.cc.o.d"
+  "/root/repo/src/driver/block_table.cc" "src/driver/CMakeFiles/abr_driver.dir/block_table.cc.o" "gcc" "src/driver/CMakeFiles/abr_driver.dir/block_table.cc.o.d"
+  "/root/repo/src/driver/perf_monitor.cc" "src/driver/CMakeFiles/abr_driver.dir/perf_monitor.cc.o" "gcc" "src/driver/CMakeFiles/abr_driver.dir/perf_monitor.cc.o.d"
+  "/root/repo/src/driver/request_monitor.cc" "src/driver/CMakeFiles/abr_driver.dir/request_monitor.cc.o" "gcc" "src/driver/CMakeFiles/abr_driver.dir/request_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/abr_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/abr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

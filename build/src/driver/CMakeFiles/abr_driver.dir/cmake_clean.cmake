@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_driver.dir/adaptive_driver.cc.o"
+  "CMakeFiles/abr_driver.dir/adaptive_driver.cc.o.d"
+  "CMakeFiles/abr_driver.dir/block_table.cc.o"
+  "CMakeFiles/abr_driver.dir/block_table.cc.o.d"
+  "CMakeFiles/abr_driver.dir/perf_monitor.cc.o"
+  "CMakeFiles/abr_driver.dir/perf_monitor.cc.o.d"
+  "CMakeFiles/abr_driver.dir/request_monitor.cc.o"
+  "CMakeFiles/abr_driver.dir/request_monitor.cc.o.d"
+  "libabr_driver.a"
+  "libabr_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/buffer_cache.cc" "src/fs/CMakeFiles/abr_fs.dir/buffer_cache.cc.o" "gcc" "src/fs/CMakeFiles/abr_fs.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/fs/ffs.cc" "src/fs/CMakeFiles/abr_fs.dir/ffs.cc.o" "gcc" "src/fs/CMakeFiles/abr_fs.dir/ffs.cc.o.d"
+  "/root/repo/src/fs/file_server.cc" "src/fs/CMakeFiles/abr_fs.dir/file_server.cc.o" "gcc" "src/fs/CMakeFiles/abr_fs.dir/file_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/abr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/abr_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/abr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_fs.dir/buffer_cache.cc.o"
+  "CMakeFiles/abr_fs.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/abr_fs.dir/ffs.cc.o"
+  "CMakeFiles/abr_fs.dir/ffs.cc.o.d"
+  "CMakeFiles/abr_fs.dir/file_server.cc.o"
+  "CMakeFiles/abr_fs.dir/file_server.cc.o.d"
+  "libabr_fs.a"
+  "libabr_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/arranger.cc" "src/placement/CMakeFiles/abr_placement.dir/arranger.cc.o" "gcc" "src/placement/CMakeFiles/abr_placement.dir/arranger.cc.o.d"
+  "/root/repo/src/placement/policy.cc" "src/placement/CMakeFiles/abr_placement.dir/policy.cc.o" "gcc" "src/placement/CMakeFiles/abr_placement.dir/policy.cc.o.d"
+  "/root/repo/src/placement/reserved_region.cc" "src/placement/CMakeFiles/abr_placement.dir/reserved_region.cc.o" "gcc" "src/placement/CMakeFiles/abr_placement.dir/reserved_region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/abr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/abr_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/abr_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/abr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_placement.dir/arranger.cc.o"
+  "CMakeFiles/abr_placement.dir/arranger.cc.o.d"
+  "CMakeFiles/abr_placement.dir/policy.cc.o"
+  "CMakeFiles/abr_placement.dir/policy.cc.o.d"
+  "CMakeFiles/abr_placement.dir/reserved_region.cc.o"
+  "CMakeFiles/abr_placement.dir/reserved_region.cc.o.d"
+  "libabr_placement.a"
+  "libabr_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

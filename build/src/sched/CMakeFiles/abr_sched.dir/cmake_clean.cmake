@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_sched.dir/scheduler.cc.o"
+  "CMakeFiles/abr_sched.dir/scheduler.cc.o.d"
+  "libabr_sched.a"
+  "libabr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

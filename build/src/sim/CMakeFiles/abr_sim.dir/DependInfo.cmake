@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/disk_system.cc" "src/sim/CMakeFiles/abr_sim.dir/disk_system.cc.o" "gcc" "src/sim/CMakeFiles/abr_sim.dir/disk_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/abr_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/abr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

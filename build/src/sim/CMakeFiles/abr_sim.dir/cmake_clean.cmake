@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_sim.dir/disk_system.cc.o"
+  "CMakeFiles/abr_sim.dir/disk_system.cc.o.d"
+  "libabr_sim.a"
+  "libabr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_stats.dir/histogram.cc.o"
+  "CMakeFiles/abr_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/abr_stats.dir/summary.cc.o"
+  "CMakeFiles/abr_stats.dir/summary.cc.o.d"
+  "libabr_stats.a"
+  "libabr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

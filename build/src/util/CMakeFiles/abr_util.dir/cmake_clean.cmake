@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_util.dir/rng.cc.o"
+  "CMakeFiles/abr_util.dir/rng.cc.o.d"
+  "CMakeFiles/abr_util.dir/status.cc.o"
+  "CMakeFiles/abr_util.dir/status.cc.o.d"
+  "CMakeFiles/abr_util.dir/table.cc.o"
+  "CMakeFiles/abr_util.dir/table.cc.o.d"
+  "CMakeFiles/abr_util.dir/zipf.cc.o"
+  "CMakeFiles/abr_util.dir/zipf.cc.o.d"
+  "libabr_util.a"
+  "libabr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

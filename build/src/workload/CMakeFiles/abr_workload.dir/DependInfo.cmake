@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/abr_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/backup.cc" "src/workload/CMakeFiles/abr_workload.dir/backup.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/backup.cc.o.d"
+  "/root/repo/src/workload/file_server_workload.cc" "src/workload/CMakeFiles/abr_workload.dir/file_server_workload.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/file_server_workload.cc.o.d"
+  "/root/repo/src/workload/replay.cc" "src/workload/CMakeFiles/abr_workload.dir/replay.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/replay.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/abr_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/abr_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_stats.cc" "src/workload/CMakeFiles/abr_workload.dir/trace_stats.cc.o" "gcc" "src/workload/CMakeFiles/abr_workload.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/abr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/abr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/abr_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/abr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

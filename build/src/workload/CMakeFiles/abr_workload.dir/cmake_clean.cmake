@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_workload.dir/arrival.cc.o"
+  "CMakeFiles/abr_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/abr_workload.dir/backup.cc.o"
+  "CMakeFiles/abr_workload.dir/backup.cc.o.d"
+  "CMakeFiles/abr_workload.dir/file_server_workload.cc.o"
+  "CMakeFiles/abr_workload.dir/file_server_workload.cc.o.d"
+  "CMakeFiles/abr_workload.dir/replay.cc.o"
+  "CMakeFiles/abr_workload.dir/replay.cc.o.d"
+  "CMakeFiles/abr_workload.dir/synthetic.cc.o"
+  "CMakeFiles/abr_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/abr_workload.dir/trace.cc.o"
+  "CMakeFiles/abr_workload.dir/trace.cc.o.d"
+  "CMakeFiles/abr_workload.dir/trace_stats.cc.o"
+  "CMakeFiles/abr_workload.dir/trace_stats.cc.o.d"
+  "libabr_workload.a"
+  "libabr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

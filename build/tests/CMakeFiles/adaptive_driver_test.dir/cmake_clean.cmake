@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_driver_test.dir/driver/adaptive_driver_test.cc.o"
+  "CMakeFiles/adaptive_driver_test.dir/driver/adaptive_driver_test.cc.o.d"
+  "adaptive_driver_test"
+  "adaptive_driver_test.pdb"
+  "adaptive_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_system_test.dir/core/adaptive_system_test.cc.o"
+  "CMakeFiles/adaptive_system_test.dir/core/adaptive_system_test.cc.o.d"
+  "adaptive_system_test"
+  "adaptive_system_test.pdb"
+  "adaptive_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arranger_test.dir/placement/arranger_test.cc.o"
+  "CMakeFiles/arranger_test.dir/placement/arranger_test.cc.o.d"
+  "arranger_test"
+  "arranger_test.pdb"
+  "arranger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arranger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_test.dir/workload/arrival_test.cc.o"
+  "CMakeFiles/arrival_test.dir/workload/arrival_test.cc.o.d"
+  "arrival_test"
+  "arrival_test.pdb"
+  "arrival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

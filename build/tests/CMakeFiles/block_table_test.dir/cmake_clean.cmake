@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_table_test.dir/driver/block_table_test.cc.o"
+  "CMakeFiles/block_table_test.dir/driver/block_table_test.cc.o.d"
+  "block_table_test"
+  "block_table_test.pdb"
+  "block_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cylinder_shuffle_test.dir/baselines/cylinder_shuffle_test.cc.o"
+  "CMakeFiles/cylinder_shuffle_test.dir/baselines/cylinder_shuffle_test.cc.o.d"
+  "cylinder_shuffle_test"
+  "cylinder_shuffle_test.pdb"
+  "cylinder_shuffle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder_shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decaying_counter_test.dir/analyzer/decaying_counter_test.cc.o"
+  "CMakeFiles/decaying_counter_test.dir/analyzer/decaying_counter_test.cc.o.d"
+  "decaying_counter_test"
+  "decaying_counter_test.pdb"
+  "decaying_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decaying_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

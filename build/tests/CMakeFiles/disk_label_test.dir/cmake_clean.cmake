@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_label_test.dir/disk/disk_label_test.cc.o"
+  "CMakeFiles/disk_label_test.dir/disk/disk_label_test.cc.o.d"
+  "disk_label_test"
+  "disk_label_test.pdb"
+  "disk_label_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_system_test.dir/sim/disk_system_test.cc.o"
+  "CMakeFiles/disk_system_test.dir/sim/disk_system_test.cc.o.d"
+  "disk_system_test"
+  "disk_system_test.pdb"
+  "disk_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

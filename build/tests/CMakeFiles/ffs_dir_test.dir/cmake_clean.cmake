@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_dir_test.dir/fs/ffs_dir_test.cc.o"
+  "CMakeFiles/ffs_dir_test.dir/fs/ffs_dir_test.cc.o.d"
+  "ffs_dir_test"
+  "ffs_dir_test.pdb"
+  "ffs_dir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

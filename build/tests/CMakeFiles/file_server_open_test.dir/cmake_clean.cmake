@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_server_open_test.dir/fs/file_server_open_test.cc.o"
+  "CMakeFiles/file_server_open_test.dir/fs/file_server_open_test.cc.o.d"
+  "file_server_open_test"
+  "file_server_open_test.pdb"
+  "file_server_open_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_server_open_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

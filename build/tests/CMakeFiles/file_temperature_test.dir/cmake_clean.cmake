@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_temperature_test.dir/baselines/file_temperature_test.cc.o"
+  "CMakeFiles/file_temperature_test.dir/baselines/file_temperature_test.cc.o.d"
+  "file_temperature_test"
+  "file_temperature_test.pdb"
+  "file_temperature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_temperature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fs_test.dir/core/multi_fs_test.cc.o"
+  "CMakeFiles/multi_fs_test.dir/core/multi_fs_test.cc.o.d"
+  "multi_fs_test"
+  "multi_fs_test.pdb"
+  "multi_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

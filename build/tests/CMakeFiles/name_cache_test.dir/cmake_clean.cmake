@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_cache_test.dir/fs/name_cache_test.cc.o"
+  "CMakeFiles/name_cache_test.dir/fs/name_cache_test.cc.o.d"
+  "name_cache_test"
+  "name_cache_test.pdb"
+  "name_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_shape_test.dir/core/repro_shape_test.cc.o"
+  "CMakeFiles/repro_shape_test.dir/core/repro_shape_test.cc.o.d"
+  "repro_shape_test"
+  "repro_shape_test.pdb"
+  "repro_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

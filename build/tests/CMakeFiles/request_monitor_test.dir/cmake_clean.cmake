@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_monitor_test.dir/driver/request_monitor_test.cc.o"
+  "CMakeFiles/request_monitor_test.dir/driver/request_monitor_test.cc.o.d"
+  "request_monitor_test"
+  "request_monitor_test.pdb"
+  "request_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

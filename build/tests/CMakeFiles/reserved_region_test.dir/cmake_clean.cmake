@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reserved_region_test.dir/placement/reserved_region_test.cc.o"
+  "CMakeFiles/reserved_region_test.dir/placement/reserved_region_test.cc.o.d"
+  "reserved_region_test"
+  "reserved_region_test.pdb"
+  "reserved_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reserved_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
