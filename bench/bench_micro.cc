@@ -2,10 +2,20 @@
 // table lookups and the request monitor sit on every I/O, the Space-Saving
 // counter on every analyzer drain, the schedulers and disk model on every
 // dispatch. These bound the CPU cost the adaptive driver adds per request.
+//
+// main() first times the rewritten hot structures against the
+// implementations they replaced (two-unordered_map block table, multimap
+// Space-Saving) and writes the machine-readable record BENCH_micro.json,
+// then hands over to the normal google-benchmark runner.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <unordered_map>
+
 #include "analyzer/space_saving_counter.h"
+#include "analyzer/space_saving_ref.h"
+#include "bench_util.h"
 #include "disk/disk.h"
 #include "driver/block_table.h"
 #include "driver/request_monitor.h"
@@ -82,6 +92,18 @@ void BM_SpaceSavingObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_SpaceSavingObserve)->Arg(512)->Arg(4096);
 
+void BM_SpaceSavingObserveRef(benchmark::State& state) {
+  // The multimap implementation the stream-summary rewrite replaced.
+  analyzer::SpaceSavingCounterRef counter(
+      static_cast<std::size_t>(state.range(0)));
+  ZipfSampler zipf(100000, 1.0);
+  Rng rng(13);
+  for (auto _ : state) {
+    counter.Observe(analyzer::BlockId{0, zipf.Sample(rng)});
+  }
+}
+BENCHMARK(BM_SpaceSavingObserveRef)->Arg(512)->Arg(4096);
+
 void BM_ScanSchedulerCycle(benchmark::State& state) {
   sched::ScanScheduler scheduler(340);
   Rng rng(17);
@@ -124,6 +146,176 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
 
+// --- Before/after record (BENCH_micro.json) -------------------------------
+//
+// Times each rewritten structure against the implementation it replaced on
+// identical pre-generated key streams, and emits ns/op + speedup through
+// bench::EmitJson so the perf trajectory is diffable across PRs.
+
+/// The block-table indexing scheme before the flat-hash rewrite: two
+/// node-based unordered_maps over a dense entry vector.
+struct LegacyBlockTable {
+  std::vector<driver::BlockTableEntry> entries;
+  std::unordered_map<SectorNo, std::size_t> by_original;
+  std::unordered_map<SectorNo, std::size_t> by_relocated;
+
+  bool Insert(SectorNo original, SectorNo relocated) {
+    if (by_original.contains(original) || by_relocated.contains(relocated)) {
+      return false;
+    }
+    const std::size_t idx = entries.size();
+    entries.push_back({original, relocated, false});
+    by_original.emplace(original, idx);
+    by_relocated.emplace(relocated, idx);
+    return true;
+  }
+
+  std::optional<SectorNo> Lookup(SectorNo original) const {
+    auto it = by_original.find(original);
+    if (it == by_original.end()) return std::nullopt;
+    return entries[it->second].relocated;
+  }
+
+  bool Remove(SectorNo original) {
+    auto it = by_original.find(original);
+    if (it == by_original.end()) return false;
+    const std::size_t idx = it->second;
+    const std::size_t last = entries.size() - 1;
+    by_relocated.erase(entries[idx].relocated);
+    by_original.erase(it);
+    if (idx != last) {
+      entries[idx] = entries[last];
+      by_original[entries[idx].original] = idx;
+      by_relocated[entries[idx].relocated] = idx;
+    }
+    entries.pop_back();
+    return true;
+  }
+};
+
+template <typename F>
+double NsPerOp(std::int64_t iters, F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) fn(i);
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+bench::BenchMetric Compare(const std::string& name, double legacy_ns,
+                           double new_ns) {
+  bench::BenchMetric m;
+  m.name = name;
+  m.ns_per_op = new_ns;
+  m.ops_per_sec = new_ns > 0 ? 1e9 / new_ns : 0;
+  m.threads = 1;
+  m.speedup = new_ns > 0 ? legacy_ns / new_ns : 0;
+  std::printf("%-28s %8.1f ns/op  (was %8.1f ns/op, %.2fx)\n", name.c_str(),
+              new_ns, legacy_ns, m.speedup);
+  return m;
+}
+
+void EmitBeforeAfterJson() {
+  bench::Banner("hot-path before/after (BENCH_micro.json)");
+  std::vector<bench::BenchMetric> metrics;
+  constexpr std::int32_t kTableSize = 1018;
+  constexpr std::int64_t kIters = 2000000;
+
+  // Identical random key streams for both implementations.
+  std::vector<SectorNo> hits(kIters), misses(kIters);
+  {
+    Rng rng(7);
+    for (std::int64_t i = 0; i < kIters; ++i) {
+      hits[i] = static_cast<SectorNo>(rng.NextBounded(kTableSize)) * 16;
+      misses[i] = 2000000 + static_cast<SectorNo>(rng.NextBounded(100000));
+    }
+  }
+
+  driver::BlockTable table(kTableSize);
+  LegacyBlockTable legacy;
+  for (std::int32_t i = 0; i < kTableSize; ++i) {
+    (void)table.Insert(i * 16, 1000000 + i * 16);
+    (void)legacy.Insert(i * 16, 1000000 + i * 16);
+  }
+
+  metrics.push_back(Compare(
+      "block_table_lookup_hit",
+      NsPerOp(kIters,
+              [&](std::int64_t i) {
+                benchmark::DoNotOptimize(legacy.Lookup(hits[i]));
+              }),
+      NsPerOp(kIters, [&](std::int64_t i) {
+        benchmark::DoNotOptimize(table.Lookup(hits[i]));
+      })));
+
+  metrics.push_back(Compare(
+      "block_table_lookup_miss",
+      NsPerOp(kIters,
+              [&](std::int64_t i) {
+                benchmark::DoNotOptimize(legacy.Lookup(misses[i]));
+              }),
+      NsPerOp(kIters, [&](std::int64_t i) {
+        benchmark::DoNotOptimize(table.Lookup(misses[i]));
+      })));
+
+  // Insert/Remove churn: every iteration retires one entry and re-admits
+  // it, the shape of a daily rearrangement rebuild. Table size stays
+  // constant so both implementations do identical work.
+  metrics.push_back(Compare(
+      "block_table_insert_remove",
+      NsPerOp(kIters / 4,
+              [&](std::int64_t i) {
+                const SectorNo s = (i % kTableSize) * 16;
+                (void)legacy.Remove(s);
+                (void)legacy.Insert(s, 1000000 + s);
+              }),
+      NsPerOp(kIters / 4, [&](std::int64_t i) {
+        const SectorNo s = (i % kTableSize) * 16;
+        (void)table.Remove(s);
+        (void)table.Insert(s, 1000000 + s);
+      })));
+
+  // Space-Saving on the analyzer's canonical workload: Zipf block stream,
+  // bounded list far smaller than the universe.
+  constexpr std::size_t kCapacity = 512;
+  std::vector<BlockNo> stream(kIters);
+  {
+    ZipfSampler zipf(100000, 1.0);
+    Rng rng(13);
+    for (std::int64_t i = 0; i < kIters; ++i) stream[i] = zipf.Sample(rng);
+  }
+  analyzer::SpaceSavingCounterRef ref(kCapacity);
+  analyzer::SpaceSavingCounter fast(kCapacity);
+  metrics.push_back(Compare(
+      "space_saving_observe",
+      NsPerOp(kIters,
+              [&](std::int64_t i) {
+                ref.Observe(analyzer::BlockId{0, stream[i]});
+              }),
+      NsPerOp(kIters, [&](std::int64_t i) {
+        fast.Observe(analyzer::BlockId{0, stream[i]});
+      })));
+
+  metrics.push_back(Compare(
+      "space_saving_topk100",
+      NsPerOp(2000,
+              [&](std::int64_t) { benchmark::DoNotOptimize(ref.TopK(100)); }),
+      NsPerOp(2000, [&](std::int64_t) {
+        benchmark::DoNotOptimize(fast.TopK(100));
+      })));
+
+  bench::EmitJson("micro", metrics);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  EmitBeforeAfterJson();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -27,6 +28,45 @@ T CheckOk(StatusOr<T> value, const char* what) {
 /// Prints a section header.
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// One measured quantity for the machine-readable perf record every bench
+/// binary can emit. `speedup` compares against a recorded baseline (the
+/// pre-optimization implementation re-run in the same process); 0 means
+/// "no baseline for this metric".
+struct BenchMetric {
+  std::string name;
+  double ns_per_op = 0;
+  double ops_per_sec = 0;  // requests/sec for request-shaped metrics
+  int threads = 1;
+  double speedup = 0;
+};
+
+/// Writes BENCH_<bench>.json in the working directory: one object per
+/// metric, so the perf trajectory of the hot paths can be tracked across
+/// PRs by diffing checked-in snapshots. Plain fprintf — no JSON library.
+inline void EmitJson(const std::string& bench,
+                     const std::vector<BenchMetric>& metrics) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n",
+               bench.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const BenchMetric& m = metrics[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.2f, "
+                 "\"ops_per_sec\": %.0f, \"threads\": %d, "
+                 "\"speedup\": %.2f}%s\n",
+                 m.name.c_str(), m.ns_per_op, m.ops_per_sec, m.threads,
+                 m.speedup, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace abr::bench

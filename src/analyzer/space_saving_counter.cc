@@ -6,53 +6,135 @@
 namespace abr::analyzer {
 
 SpaceSavingCounter::SpaceSavingCounter(std::size_t capacity)
-    : capacity_(capacity) {
+    : capacity_(capacity), index_(capacity) {
   assert(capacity > 0);
+  nodes_.reserve(capacity);
 }
 
-void SpaceSavingCounter::Reindex(std::uint64_t key, std::int64_t old_count,
-                                 std::int64_t new_count) {
-  auto [lo, hi] = by_count_.equal_range(old_count);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == key) {
-      by_count_.erase(it);
-      break;
-    }
+std::int32_t SpaceSavingCounter::AllocBucket() {
+  if (free_bucket_ != kNil) {
+    const std::int32_t b = free_bucket_;
+    free_bucket_ = buckets_[b].next;
+    buckets_[b] = Bucket{};
+    return b;
   }
-  by_count_.emplace(new_count, key);
+  buckets_.push_back(Bucket{});
+  return static_cast<std::int32_t>(buckets_.size()) - 1;
+}
+
+void SpaceSavingCounter::DetachNode(std::int32_t n) {
+  const std::int32_t b = nodes_[n].bucket;
+  const std::int32_t p = nodes_[n].prev;
+  const std::int32_t nx = nodes_[n].next;
+  if (p != kNil) {
+    nodes_[p].next = nx;
+  } else {
+    buckets_[b].head = nx;
+  }
+  if (nx != kNil) {
+    nodes_[nx].prev = p;
+  } else {
+    buckets_[b].tail = p;
+  }
+  nodes_[n].prev = nodes_[n].next = kNil;
+  nodes_[n].bucket = kNil;
+  if (buckets_[b].head == kNil) {
+    // Bucket emptied: unlink from the count chain, push on the free list.
+    const std::int32_t bp = buckets_[b].prev;
+    const std::int32_t bn = buckets_[b].next;
+    if (bp != kNil) {
+      buckets_[bp].next = bn;
+    } else {
+      min_bucket_ = bn;
+    }
+    if (bn != kNil) buckets_[bn].prev = bp;
+    buckets_[b].prev = kNil;
+    buckets_[b].next = free_bucket_;
+    free_bucket_ = b;
+  }
+}
+
+void SpaceSavingCounter::AppendNode(std::int32_t n, std::int32_t b) {
+  nodes_[n].bucket = b;
+  nodes_[n].next = kNil;
+  nodes_[n].prev = buckets_[b].tail;
+  if (buckets_[b].tail != kNil) {
+    nodes_[buckets_[b].tail].next = n;
+  } else {
+    buckets_[b].head = n;
+  }
+  buckets_[b].tail = n;
+}
+
+void SpaceSavingCounter::PromoteNode(std::int32_t n) {
+  const std::int32_t b = nodes_[n].bucket;
+  const std::int64_t c = buckets_[b].count;
+  const std::int32_t succ = buckets_[b].next;
+  if (succ != kNil && buckets_[succ].count == c + 1) {
+    DetachNode(n);  // may free b
+    AppendNode(n, succ);
+    return;
+  }
+  if (buckets_[b].head == n && buckets_[b].tail == n) {
+    // n is the bucket's only entry and no c+1 bucket exists: bump the
+    // bucket's count in place — its chain position stays valid because
+    // prev < c and (if present) succ > c+1.
+    buckets_[b].count = c + 1;
+    return;
+  }
+  const std::int32_t nb = AllocBucket();
+  buckets_[nb].count = c + 1;
+  buckets_[nb].prev = b;
+  buckets_[nb].next = succ;
+  if (succ != kNil) buckets_[succ].prev = nb;
+  buckets_[b].next = nb;
+  DetachNode(n);  // b keeps other entries, so it survives
+  AppendNode(n, nb);
 }
 
 void SpaceSavingCounter::Observe(const BlockId& id) {
   ++total_;
   const std::uint64_t key = PackBlockId(id);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    Reindex(key, it->second.count, it->second.count + 1);
-    ++it->second.count;
+  if (const std::int32_t* slot = index_.Find(key)) {
+    PromoteNode(*slot);
     return;
   }
-  if (entries_.size() < capacity_) {
-    entries_.emplace(key, Entry{1, 0});
-    by_count_.emplace(1, key);
+  if (nodes_.size() < capacity_) {
+    const std::int32_t n = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(Node{key, 0, kNil, kNil, kNil});
+    if (min_bucket_ != kNil && buckets_[min_bucket_].count == 1) {
+      AppendNode(n, min_bucket_);
+    } else {
+      const std::int32_t b = AllocBucket();
+      buckets_[b].count = 1;
+      buckets_[b].next = min_bucket_;
+      if (min_bucket_ != kNil) buckets_[min_bucket_].prev = b;
+      min_bucket_ = b;
+      AppendNode(n, b);
+    }
+    index_.Insert(key, n);
     return;
   }
-  // Replacement heuristic: evict the minimum-count entry; the newcomer
-  // inherits its count (as its error bound) plus one.
+  // Replacement heuristic: evict the entry that has held the minimum count
+  // longest (the min bucket's FIFO head — the same victim the multimap
+  // implementation picked); the newcomer reuses its node and inherits the
+  // minimum count (as its error bound) plus one.
   ++replacements_;
-  auto min_it = by_count_.begin();
-  const std::int64_t min_count = min_it->first;
-  const std::uint64_t victim = min_it->second;
-  by_count_.erase(min_it);
-  entries_.erase(victim);
-  entries_.emplace(key, Entry{min_count + 1, min_count});
-  by_count_.emplace(min_count + 1, key);
+  const std::int32_t b = min_bucket_;
+  const std::int32_t n = buckets_[b].head;
+  const std::int64_t min_count = buckets_[b].count;
+  index_.Erase(nodes_[n].key);
+  nodes_[n].key = key;
+  nodes_[n].error = min_count;
+  index_.Insert(key, n);
+  PromoteNode(n);  // min_count -> min_count + 1
 }
 
 std::vector<HotBlock> SpaceSavingCounter::TopK(std::size_t k) const {
   std::vector<HotBlock> all;
-  all.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) {
-    all.push_back(HotBlock{UnpackBlockId(key), entry.count});
+  all.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    all.push_back(HotBlock{UnpackBlockId(node.key), buckets_[node.bucket].count});
   }
   auto by_count_desc = [](const HotBlock& a, const HotBlock& b) {
     if (a.count != b.count) return a.count > b.count;
@@ -65,15 +147,18 @@ std::vector<HotBlock> SpaceSavingCounter::TopK(std::size_t k) const {
 }
 
 void SpaceSavingCounter::Reset() {
-  entries_.clear();
-  by_count_.clear();
+  nodes_.clear();
+  buckets_.clear();
+  free_bucket_ = kNil;
+  min_bucket_ = kNil;
+  index_.Clear();
   total_ = 0;
   replacements_ = 0;
 }
 
 std::int64_t SpaceSavingCounter::ErrorOf(const BlockId& id) const {
-  auto it = entries_.find(PackBlockId(id));
-  return it == entries_.end() ? 0 : it->second.error;
+  const std::int32_t* slot = index_.Find(PackBlockId(id));
+  return slot == nullptr ? 0 : nodes_[*slot].error;
 }
 
 }  // namespace abr::analyzer

@@ -2,11 +2,10 @@
 #define ABR_ANALYZER_SPACE_SAVING_COUNTER_H_
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "analyzer/counter.h"
+#include "util/flat_map.h"
 
 namespace abr::analyzer {
 
@@ -20,6 +19,17 @@ namespace abr::analyzer {
 /// with the minimum count is evicted and the newcomer inherits that count
 /// plus one. Estimated counts overestimate true counts by at most the
 /// inherited error, which is tracked per entry.
+///
+/// Internally this is the classic "stream-summary" structure: entries live
+/// in count buckets chained in ascending count order, each bucket holding
+/// a FIFO list of the entries sharing that count. A counted reference
+/// moves its entry from bucket c to bucket c+1 (adjacent, so found in
+/// O(1)); eviction pops the head of the lowest bucket. Observe is
+/// therefore amortized O(1) — no ordered-index rebalancing — while
+/// producing bit-identical estimates to the O(log n) multimap
+/// implementation it replaced (kept as SpaceSavingCounterRef, which
+/// evicts, among minimum-count entries, the one that reached that count
+/// earliest — exactly this structure's bucket FIFO order).
 class SpaceSavingCounter : public ReferenceCounter {
  public:
   /// Creates a counter holding at most `capacity` entries.
@@ -27,7 +37,7 @@ class SpaceSavingCounter : public ReferenceCounter {
 
   void Observe(const BlockId& id) override;
   std::vector<HotBlock> TopK(std::size_t k) const override;
-  std::size_t tracked() const override { return entries_.size(); }
+  std::size_t tracked() const override { return nodes_.size(); }
   std::int64_t total() const override { return total_; }
   void Reset() override;
 
@@ -42,19 +52,46 @@ class SpaceSavingCounter : public ReferenceCounter {
   std::int64_t replacements() const { return replacements_; }
 
  private:
-  struct Entry {
-    std::int64_t count = 0;
-    std::int64_t error = 0;  // count inherited at replacement time
+  static constexpr std::int32_t kNil = -1;
+
+  /// One tracked block. Its estimated count is its bucket's count.
+  struct Node {
+    std::uint64_t key = 0;
+    std::int64_t error = 0;
+    std::int32_t prev = kNil;    // neighbors in the bucket's FIFO list
+    std::int32_t next = kNil;
+    std::int32_t bucket = kNil;  // owning bucket
   };
 
-  /// Re-inserts `key` into the count-ordered index.
-  void Reindex(std::uint64_t key, std::int64_t old_count,
-               std::int64_t new_count);
+  /// All entries sharing one estimated count, FIFO by the time they
+  /// reached it (head = earliest, the eviction victim).
+  struct Bucket {
+    std::int64_t count = 0;
+    std::int32_t head = kNil;
+    std::int32_t tail = kNil;
+    std::int32_t prev = kNil;  // neighbors in ascending-count bucket chain
+    std::int32_t next = kNil;
+  };
+
+  /// Unlinks node `n` from its bucket, freeing the bucket if it empties.
+  void DetachNode(std::int32_t n);
+
+  /// Appends node `n` to bucket `b`'s FIFO tail.
+  void AppendNode(std::int32_t n, std::int32_t b);
+
+  /// Moves node `n` (currently counted c) into the bucket for c+1,
+  /// creating or reusing buckets as needed. O(1).
+  void PromoteNode(std::int32_t n);
+
+  /// Takes a bucket from the free list (or grows the slab).
+  std::int32_t AllocBucket();
 
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  // count -> keys at that count; supports O(log n) min-eviction.
-  std::multimap<std::int64_t, std::uint64_t> by_count_;
+  std::vector<Node> nodes_;      // slab; slots are only reused, never freed
+  std::vector<Bucket> buckets_;  // slab with free list via `next`
+  std::int32_t free_bucket_ = kNil;
+  std::int32_t min_bucket_ = kNil;       // lowest-count bucket
+  FlatMap64<std::int32_t> index_;        // packed BlockId -> node slot
   std::int64_t total_ = 0;
   std::int64_t replacements_ = 0;
 };

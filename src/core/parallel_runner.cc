@@ -1,0 +1,101 @@
+#include "core/parallel_runner.h"
+
+#include <future>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace abr::core {
+
+std::uint64_t DeriveReplicaSeed(std::uint64_t master, std::uint64_t index) {
+  // SplitMix64 on master + index*golden-gamma: adjacent indexes map to
+  // well-separated, full-avalanche seeds.
+  std::uint64_t z = master + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<ExperimentConfig> BuildGrid(const GridSpec& spec) {
+  std::vector<ExperimentConfig> grid;
+  const std::int32_t replicas = spec.replicas < 1 ? 1 : spec.replicas;
+  std::uint64_t index = 0;
+  for (const ExperimentConfig& base : spec.bases) {
+    const std::size_t policy_points =
+        spec.policies.empty() ? 1 : spec.policies.size();
+    for (std::size_t p = 0; p < policy_points; ++p) {
+      for (std::int32_t r = 0; r < replicas; ++r) {
+        ExperimentConfig config = base;
+        if (!spec.policies.empty()) config.system.policy = spec.policies[p];
+        config.seed = DeriveReplicaSeed(spec.master_seed, index++);
+        grid.push_back(std::move(config));
+      }
+    }
+  }
+  return grid;
+}
+
+namespace {
+
+StatusOr<std::vector<DayMetrics>> RunOne(std::size_t index,
+                                         const ExperimentConfig& config,
+                                         const ExperimentTask& task) {
+  Experiment experiment(config);
+  ABR_RETURN_IF_ERROR(experiment.Setup());
+  return task(index, experiment);
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<DayMetrics>>> ParallelRunner::Run(
+    const std::vector<ExperimentConfig>& configs,
+    const ExperimentTask& task) const {
+  std::vector<StatusOr<std::vector<DayMetrics>>> raw;
+  raw.reserve(configs.size());
+  if (jobs_ <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      raw.push_back(RunOne(i, configs[i], task));
+    }
+  } else {
+    ThreadPool pool(static_cast<std::size_t>(jobs_),
+                    /*queue_capacity=*/configs.size() + 1);
+    std::vector<std::future<StatusOr<std::vector<DayMetrics>>>> futures;
+    futures.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const ExperimentConfig& config = configs[i];
+      futures.push_back(pool.Submit(
+          [i, &config, &task]() { return RunOne(i, config, task); }));
+    }
+    for (auto& f : futures) raw.push_back(f.get());
+  }
+  std::vector<std::vector<DayMetrics>> results;
+  results.reserve(raw.size());
+  for (StatusOr<std::vector<DayMetrics>>& r : raw) {
+    if (!r.ok()) return r.status();
+    results.push_back(std::move(r.value()));
+  }
+  return results;
+}
+
+SummaryRow MergeSummary(const std::vector<std::vector<DayMetrics>>& results,
+                        OnOffResult::Slice slice) {
+  SummaryRow row;
+  for (const std::vector<DayMetrics>& days : results) {
+    for (const DayMetrics& day : days) {
+      switch (slice) {
+        case OnOffResult::Slice::kAll:
+          row.Add(day.all);
+          break;
+        case OnOffResult::Slice::kReads:
+          row.Add(day.reads);
+          break;
+        case OnOffResult::Slice::kWrites:
+          row.Add(day.writes);
+          break;
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace abr::core

@@ -1,0 +1,79 @@
+#ifndef ABR_CORE_PARALLEL_RUNNER_H_
+#define ABR_CORE_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "core/onoff.h"
+#include "placement/policy.h"
+#include "util/status.h"
+
+namespace abr::core {
+
+/// One unit of fleet work. The runner builds the Experiment from config
+/// `index` and calls Setup(); the task then drives however many days it
+/// needs and returns the metrics of each measured day, in day order. The
+/// index lets one closure carry per-point side data (e.g. the sweep's
+/// rearranged-block counts) without encoding it in the config.
+using ExperimentTask = std::function<StatusOr<std::vector<DayMetrics>>(
+    std::size_t index, Experiment&)>;
+
+/// Derives the replica seed for grid index `index` from the master seed
+/// (one SplitMix64 step per index). Replicas get decorrelated streams, yet
+/// the whole grid is a pure function of the master seed — the property the
+/// determinism guarantee of ParallelRunner::Run rests on.
+std::uint64_t DeriveReplicaSeed(std::uint64_t master, std::uint64_t index);
+
+/// A seed × base-config × policy cross product. `bases` usually holds
+/// disk × workload presets (e.g. ToshibaSystem, FujitsuUsers).
+struct GridSpec {
+  std::vector<ExperimentConfig> bases;
+  /// Policies to replicate each base over; empty keeps each base's own.
+  std::vector<placement::PolicyKind> policies;
+  /// Number of seed replicas per (base, policy) point.
+  std::int32_t replicas = 1;
+  /// Master seed; replica i runs with DeriveReplicaSeed(master_seed, i).
+  std::uint64_t master_seed = 0xAB12;
+};
+
+/// Expands the cross product in deterministic order: bases outermost,
+/// then policies, then replicas.
+std::vector<ExperimentConfig> BuildGrid(const GridSpec& spec);
+
+/// Runs a grid of independent experiments across a thread pool.
+///
+/// Every config is run in its own Experiment instance; experiments share
+/// no state (each derives all randomness from its config's seed), so the
+/// merged result is bit-identical regardless of `jobs` — `jobs=N` is
+/// purely a wall-clock optimization over `jobs=1`. Results and errors are
+/// collected in config-index order.
+class ParallelRunner {
+ public:
+  /// `jobs` <= 1 runs inline on the calling thread (no pool).
+  explicit ParallelRunner(std::int32_t jobs) : jobs_(jobs) {}
+
+  std::int32_t jobs() const { return jobs_; }
+
+  /// Runs `task` once per config. Element i of the result holds config
+  /// i's measured days. Fails with the lowest-index error if any task
+  /// fails (every task still runs to completion first).
+  StatusOr<std::vector<std::vector<DayMetrics>>> Run(
+      const std::vector<ExperimentConfig>& configs,
+      const ExperimentTask& task) const;
+
+ private:
+  std::int32_t jobs_;
+};
+
+/// Folds every day of every config (in config-index, then day order) into
+/// one summary row for the chosen slice — the deterministic merge used by
+/// fleet-level reporting.
+SummaryRow MergeSummary(const std::vector<std::vector<DayMetrics>>& results,
+                        OnOffResult::Slice slice);
+
+}  // namespace abr::core
+
+#endif  // ABR_CORE_PARALLEL_RUNNER_H_

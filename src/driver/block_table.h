@@ -2,9 +2,10 @@
 #define ABR_DRIVER_BLOCK_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -95,10 +96,22 @@ class BlockTable {
                                         std::int32_t bytes_per_sector);
 
  private:
+  // Both address directions are indexed in ONE open-addressing flat table
+  // (util/flat_map.h): a sector number is tagged with its direction in the
+  // low bit, so originals and relocation targets never collide. The
+  // per-request redirection lookup (the paper's strategy routine runs on
+  // every I/O) therefore probes a contiguous array — no node allocation,
+  // no pointer chasing.
+  static std::uint64_t OriginalKey(SectorNo s) {
+    return static_cast<std::uint64_t>(s) << 1;
+  }
+  static std::uint64_t RelocatedKey(SectorNo s) {
+    return (static_cast<std::uint64_t>(s) << 1) | 1u;
+  }
+
   std::int32_t capacity_;
   std::vector<BlockTableEntry> entries_;
-  std::unordered_map<SectorNo, std::size_t> by_original_;
-  std::unordered_map<SectorNo, std::size_t> by_relocated_;
+  FlatMap64<std::uint32_t> index_;  // tagged sector -> index into entries_
 };
 
 }  // namespace abr::driver

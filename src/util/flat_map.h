@@ -1,0 +1,149 @@
+#ifndef ABR_UTIL_FLAT_MAP_H_
+#define ABR_UTIL_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace abr {
+
+/// Open-addressing hash map from 64-bit keys to small trivially-copyable
+/// values, built for per-request hot paths: linear probing over a flat
+/// power-of-two key array, tombstone-free backward-shift deletion, and a
+/// single-multiply Fibonacci hash. Keys and values live in separate
+/// arrays, so a probe sequence touches only the densely packed key array
+/// (8 bytes per slot) and reads the value array exactly once on a hit —
+/// about half the cache footprint of an array-of-structs layout.
+///
+/// The all-ones key (~0) is reserved as the empty-slot sentinel and must
+/// never be inserted. Erase uses the classic backward-shift: subsequent
+/// probe-chain members whose home slot lies at or before the vacated slot
+/// are moved back, keeping every remaining key reachable without
+/// tombstones.
+template <typename V>
+class FlatMap64 {
+ public:
+  /// Reserved sentinel marking an empty slot.
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+  /// Creates a map sized so `expected` entries stay under the target load
+  /// factor without rehashing.
+  explicit FlatMap64(std::size_t expected = 0) { Rehash(SlotsFor(expected)); }
+
+  /// Number of entries.
+  std::size_t size() const { return size_; }
+
+  /// Grows the table (if needed) to hold `expected` entries rehash-free.
+  void Reserve(std::size_t expected) {
+    const std::size_t want = SlotsFor(expected);
+    if (want > keys_.size()) Rehash(want);
+  }
+
+  /// Inserts key -> value. Returns false (and leaves the map unchanged)
+  /// when the key is already present.
+  bool Insert(std::uint64_t key, V value) {
+    assert(key != kEmptyKey);
+    if ((size_ + 1) * 8 > keys_.size() * 7) Rehash(keys_.size() * 2);
+    std::size_t i = IndexFor(key);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    values_[i] = value;
+    ++size_;
+    return true;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr.
+  V* Find(std::uint64_t key) {
+    std::size_t i = IndexFor(key);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  const V* Find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  bool Contains(std::uint64_t key) const { return Find(key) != nullptr; }
+
+  /// Removes `key`. Returns false when absent.
+  bool Erase(std::uint64_t key) {
+    std::size_t i = IndexFor(key);
+    while (keys_[i] != key) {
+      if (keys_[i] == kEmptyKey) return false;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift: pull later chain members into the hole whenever their
+    // probe distance allows it, then vacate the final slot.
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == kEmptyKey) break;
+      const std::size_t home = IndexFor(keys_[j]);
+      // Distance j has probed past its home vs. distance back to the hole:
+      // the element may move iff the hole still lies in its probe chain.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        keys_[hole] = keys_[j];
+        values_[hole] = values_[j];
+        hole = j;
+      }
+    }
+    keys_[hole] = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  /// Removes every entry, keeping the current table size.
+  void Clear() {
+    keys_.assign(keys_.size(), kEmptyKey);
+    size_ = 0;
+  }
+
+ private:
+  /// Slot count (power of two) keeping `expected` entries under 7/8 load.
+  static std::size_t SlotsFor(std::size_t expected) {
+    std::size_t n = 16;
+    while (expected * 8 > n * 7) n *= 2;
+    return n;
+  }
+
+  /// Fibonacci hashing: one multiply by 2^64/phi, index from the TOP bits
+  /// (the well-mixed ones). Spreads strided sector numbers evenly without
+  /// the latency of a full-avalanche mix.
+  std::size_t IndexFor(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> shift_);
+  }
+
+  void Rehash(std::size_t new_slots) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_slots, kEmptyKey);
+    values_.assign(new_slots, V{});
+    mask_ = new_slots - 1;
+    // new_slots is a power of two >= 16: shift so the index is its top bits.
+    shift_ = 64;
+    for (std::size_t n = new_slots; n > 1; n /= 2) --shift_;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) Insert(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> values_;
+  std::size_t mask_ = 0;
+  int shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace abr
+
+#endif  // ABR_UTIL_FLAT_MAP_H_

@@ -1,0 +1,66 @@
+#include "util/thread_pool.h"
+
+#include <stdexcept>
+
+namespace abr {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity) {
+  if (threads == 0) threads = 1;
+  queue_capacity_ = queue_capacity == 0 ? threads * 8 : queue_capacity;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this]() {
+      return shutdown_ || queue_.size() < queue_capacity_;
+    });
+    if (shutdown_) {
+      throw std::runtime_error("ThreadPool::Submit after Shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();  // packaged_task captures any exception in its future
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace abr

@@ -1,0 +1,78 @@
+#ifndef ABR_UTIL_THREAD_POOL_H_
+#define ABR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace abr {
+
+/// Fixed-size worker pool with a bounded task queue.
+///
+/// Tasks submitted via Submit() run on one of `threads` workers; the
+/// returned std::future carries the task's result (or its exception).
+/// When the queue already holds `queue_capacity` pending tasks, Submit
+/// blocks until a worker drains one — back-pressure rather than unbounded
+/// memory growth when a producer outruns the pool.
+///
+/// Destruction (or an explicit Shutdown()) drains every already-submitted
+/// task before joining the workers; tasks submitted after shutdown begins
+/// throw std::runtime_error.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (minimum 1). `queue_capacity` bounds the
+  /// number of tasks waiting to run; 0 picks a default proportional to the
+  /// pool size.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 0);
+
+  /// Drains pending tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result. Blocks while the
+  /// queue is full. Throws std::runtime_error if the pool is shut down.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting new tasks, runs everything already queued, and joins
+  /// the workers. Idempotent.
+  void Shutdown();
+
+  /// Number of worker threads.
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Tasks currently waiting in the queue (for observability/tests).
+  std::size_t pending() const;
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // signals workers: task available
+  std::condition_variable not_full_;   // signals producers: queue has room
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_capacity_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace abr
+
+#endif  // ABR_UTIL_THREAD_POOL_H_

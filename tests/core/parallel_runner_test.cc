@@ -1,0 +1,151 @@
+#include "core/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace abr::core {
+namespace {
+
+/// A miniature configuration that runs in milliseconds of wall time.
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config = ExperimentConfig::ToshibaSystem();
+  config.rearrange_blocks = 200;
+  config.profile.file_count = 60;
+  config.profile.mean_file_blocks = 5.0;
+  config.profile.max_file_blocks = 20;
+  config.profile.day_length = 20 * kMinute;
+  config.profile.arrivals.mean_burst_gap = 2 * kSecond;
+  return config;
+}
+
+/// Warm-up day, rearrange, then one measured day.
+StatusOr<std::vector<DayMetrics>> OneOnDay(std::size_t, Experiment& exp) {
+  auto warmup = exp.RunMeasuredDay();
+  if (!warmup.ok()) return warmup.status();
+  ABR_RETURN_IF_ERROR(exp.RearrangeForNextDay());
+  exp.AdvanceWorkloadDay();
+  auto day = exp.RunMeasuredDay();
+  if (!day.ok()) return day.status();
+  return std::vector<DayMetrics>{*day};
+}
+
+/// A 4-config grid: two seeds x two placement policies.
+std::vector<ExperimentConfig> FourConfigGrid() {
+  GridSpec spec;
+  spec.bases = {TinyConfig()};
+  spec.policies = {placement::PolicyKind::kOrganPipe,
+                   placement::PolicyKind::kInterleaved};
+  spec.replicas = 2;
+  spec.master_seed = 0xAB12;
+  return BuildGrid(spec);
+}
+
+/// The complete observable surface of one grid run, bit-comparable.
+std::vector<double> Fingerprint(
+    const std::vector<std::vector<DayMetrics>>& results) {
+  std::vector<double> fp;
+  for (const auto& days : results) {
+    for (const DayMetrics& d : days) {
+      for (const SliceMetrics* s : {&d.all, &d.reads, &d.writes}) {
+        fp.push_back(s->mean_seek_ms);
+        fp.push_back(s->fcfs_seek_ms);
+        fp.push_back(s->mean_seek_dist);
+        fp.push_back(s->zero_seek_pct);
+        fp.push_back(s->mean_service_ms);
+        fp.push_back(s->mean_wait_ms);
+        fp.push_back(s->rot_plus_transfer_ms);
+        fp.push_back(static_cast<double>(s->count));
+      }
+    }
+  }
+  return fp;
+}
+
+TEST(ParallelRunnerTest, JobsDoNotChangeResults) {
+  // The determinism guarantee: the merged metrics of a 4-config grid are
+  // identical at jobs=1 (inline) and jobs=4 (pool), bit for bit.
+  const std::vector<ExperimentConfig> grid = FourConfigGrid();
+  ASSERT_EQ(grid.size(), 4u);
+
+  auto serial = ParallelRunner(1).Run(grid, OneOnDay);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = ParallelRunner(4).Run(grid, OneOnDay);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(serial->size(), parallel->size());
+  EXPECT_EQ(Fingerprint(*serial), Fingerprint(*parallel));
+
+  // And the deterministic merge over them is therefore identical too.
+  const SummaryRow a = MergeSummary(*serial, OnOffResult::Slice::kAll);
+  const SummaryRow b = MergeSummary(*parallel, OnOffResult::Slice::kAll);
+  EXPECT_EQ(a.seek_ms.avg(), b.seek_ms.avg());
+  EXPECT_EQ(a.service_ms.avg(), b.service_ms.avg());
+  EXPECT_EQ(a.wait_ms.avg(), b.wait_ms.avg());
+  EXPECT_EQ(a.seek_ms.count(), 4);
+}
+
+TEST(ParallelRunnerTest, MoreJobsThanConfigsWorks) {
+  const std::vector<ExperimentConfig> grid = {TinyConfig()};
+  auto result = ParallelRunner(8).Run(grid, OneOnDay);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_GT((*result)[0][0].all.count, 0);
+}
+
+TEST(ParallelRunnerTest, ErrorFromLowestConfigIndexWins) {
+  const std::vector<ExperimentConfig> grid = FourConfigGrid();
+  auto task = [](std::size_t index,
+                 Experiment&) -> StatusOr<std::vector<DayMetrics>> {
+    if (index >= 1) {
+      return Status::IoError("config " + std::to_string(index) + " failed");
+    }
+    return std::vector<DayMetrics>{};
+  };
+  auto result = ParallelRunner(4).Run(grid, task);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "config 1 failed");
+}
+
+TEST(BuildGridTest, CrossProductOrderAndSeeds) {
+  GridSpec spec;
+  spec.bases = {TinyConfig(), TinyConfig()};
+  spec.policies = {placement::PolicyKind::kOrganPipe,
+                   placement::PolicyKind::kSerial};
+  spec.replicas = 3;
+  spec.master_seed = 99;
+  const std::vector<ExperimentConfig> grid = BuildGrid(spec);
+  ASSERT_EQ(grid.size(), 12u);  // 2 bases x 2 policies x 3 replicas
+  // Bases outermost, then policies, then replicas.
+  EXPECT_EQ(grid[0].system.policy, placement::PolicyKind::kOrganPipe);
+  EXPECT_EQ(grid[3].system.policy, placement::PolicyKind::kSerial);
+  EXPECT_EQ(grid[6].system.policy, placement::PolicyKind::kOrganPipe);
+  // Every replica seed is distinct and a pure function of the master seed.
+  std::set<std::uint64_t> seeds;
+  for (const ExperimentConfig& c : grid) seeds.insert(c.seed);
+  EXPECT_EQ(seeds.size(), 12u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].seed, DeriveReplicaSeed(99, i));
+  }
+}
+
+TEST(BuildGridTest, EmptyPoliciesKeepBasePolicy) {
+  GridSpec spec;
+  ExperimentConfig base = TinyConfig();
+  base.system.policy = placement::PolicyKind::kSerial;
+  spec.bases = {base};
+  spec.replicas = 2;
+  const std::vector<ExperimentConfig> grid = BuildGrid(spec);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].system.policy, placement::PolicyKind::kSerial);
+  EXPECT_EQ(grid[1].system.policy, placement::PolicyKind::kSerial);
+}
+
+TEST(DeriveReplicaSeedTest, DeterministicAndSpread) {
+  EXPECT_EQ(DeriveReplicaSeed(1, 0), DeriveReplicaSeed(1, 0));
+  EXPECT_NE(DeriveReplicaSeed(1, 0), DeriveReplicaSeed(1, 1));
+  EXPECT_NE(DeriveReplicaSeed(1, 0), DeriveReplicaSeed(2, 0));
+}
+
+}  // namespace
+}  // namespace abr::core

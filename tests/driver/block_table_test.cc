@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
 namespace abr::driver {
 namespace {
 
@@ -157,6 +162,78 @@ TEST(BlockTableTest, PaperToshibaTableFitsInTwoBlocks) {
   // 1018 entries -> 32 sectors = exactly 2 file-system blocks, leaving
   // 1018 data slots in the 48-cylinder reserved region (Section 5).
   EXPECT_EQ(BlockTable::SerializedSectors(1018, 512), 32);
+}
+
+// Regression for the flat-hash index: backward-shift deletion must keep
+// every remaining entry findable through any interleaving of Insert,
+// Remove, and Lookup. Thousands of random ops run against an
+// std::unordered_map oracle; the dense key range keeps the flat table's
+// probe chains long so deletions constantly shift occupied slots.
+TEST(BlockTableTest, InterleavedOpsMatchUnorderedMapOracle) {
+  constexpr std::int32_t kCapacity = 1024;
+  BlockTable table(kCapacity);
+  std::unordered_map<SectorNo, SectorNo> oracle;       // original -> target
+  std::unordered_set<SectorNo> targets_in_use;
+  Rng rng(0xB10C);
+  for (int op = 0; op < 50000; ++op) {
+    const SectorNo original = static_cast<SectorNo>(rng.NextBounded(2048));
+    switch (rng.NextBounded(4)) {
+      case 0: {  // Insert (may collide on original, target, or capacity)
+        const SectorNo target =
+            1000000 + static_cast<SectorNo>(rng.NextBounded(2048));
+        const Status s = table.Insert(original, target);
+        if (oracle.size() >= static_cast<std::size_t>(kCapacity)) {
+          EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+        } else if (oracle.contains(original) ||
+                   targets_in_use.contains(target)) {
+          EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+        } else {
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          oracle.emplace(original, target);
+          targets_in_use.insert(target);
+        }
+        break;
+      }
+      case 1: {  // Remove
+        const Status s = table.Remove(original);
+        auto it = oracle.find(original);
+        if (it == oracle.end()) {
+          EXPECT_EQ(s.code(), StatusCode::kNotFound);
+        } else {
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          targets_in_use.erase(it->second);
+          oracle.erase(it);
+        }
+        break;
+      }
+      case 2: {  // Lookup
+        auto it = oracle.find(original);
+        const std::optional<SectorNo> got = table.Lookup(original);
+        if (it == oracle.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      default: {  // TargetInUse
+        const SectorNo target =
+            1000000 + static_cast<SectorNo>(rng.NextBounded(2048));
+        EXPECT_EQ(table.TargetInUse(target), targets_in_use.contains(target));
+      }
+    }
+    ASSERT_EQ(table.size(), static_cast<std::int32_t>(oracle.size()));
+  }
+  // Drain everything through Remove: the index must stay consistent all
+  // the way to empty.
+  while (!oracle.empty()) {
+    const SectorNo original = oracle.begin()->first;
+    ASSERT_TRUE(table.Remove(original).ok());
+    oracle.erase(oracle.begin());
+    ASSERT_EQ(table.size(), static_cast<std::int32_t>(oracle.size()));
+  }
+  EXPECT_EQ(table.size(), 0);
 }
 
 TEST(BlockTableTest, ManyEntriesRoundTrip) {

@@ -1,0 +1,91 @@
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace abr {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap64<std::uint32_t> m;
+  EXPECT_TRUE(m.Insert(10, 1));
+  EXPECT_TRUE(m.Insert(20, 2));
+  EXPECT_FALSE(m.Insert(10, 3));  // duplicate keeps the original
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.Find(10), nullptr);
+  EXPECT_EQ(*m.Find(10), 1u);
+  EXPECT_EQ(m.Find(30), nullptr);
+  EXPECT_TRUE(m.Erase(10));
+  EXPECT_FALSE(m.Erase(10));
+  EXPECT_EQ(m.Find(10), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, ValueIsMutableThroughFind) {
+  FlatMap64<std::uint32_t> m;
+  m.Insert(5, 1);
+  *m.Find(5) = 99;
+  EXPECT_EQ(*m.Find(5), 99u);
+}
+
+TEST(FlatMapTest, GrowsPastInitialCapacity) {
+  FlatMap64<std::uint32_t> m(4);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(m.Insert(k, static_cast<std::uint32_t>(k * 7)));
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), static_cast<std::uint32_t>(k * 7));
+  }
+}
+
+TEST(FlatMapTest, ClearKeepsTableUsable) {
+  FlatMap64<std::uint32_t> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.Insert(k, 1);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(50), nullptr);
+  EXPECT_TRUE(m.Insert(50, 2));
+  EXPECT_EQ(*m.Find(50), 2u);
+}
+
+// The backward-shift deletion must keep every probe chain intact under
+// arbitrary interleavings — checked against std::unordered_map on dense
+// keys (maximum collision pressure after the mix) and random ops.
+TEST(FlatMapTest, RandomOpsMatchUnorderedMapOracle) {
+  FlatMap64<std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> oracle;
+  Rng rng(0xF1A7);
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint64_t key = rng.NextBounded(512);  // dense: many collisions
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const std::uint32_t value = static_cast<std::uint32_t>(op);
+        EXPECT_EQ(m.Insert(key, value), oracle.emplace(key, value).second);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(m.Erase(key), oracle.erase(key) > 0);
+        break;
+      default: {
+        auto it = oracle.find(key);
+        const std::uint32_t* found = m.Find(key);
+        if (it == oracle.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(m.size(), oracle.size());
+  }
+}
+
+}  // namespace
+}  // namespace abr

@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace abr {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::future<std::string> f = pool.Submit([]() { return std::string("ok"); });
+  EXPECT_EQ(f.get(), "ok");
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4, /*queue_capacity=*/8);  // queue much smaller than load
+  constexpr int kTasks = 500;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  long long want = 0;
+  for (int i = 0; i < kTasks; ++i) want += 1LL * i * i;
+  EXPECT_EQ(sum, want);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  std::vector<std::future<void>> futures;
+  // Two tasks that can only finish once both have started: deadlocks
+  // unless the pool really runs them on distinct threads.
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(pool.Submit([&]() {
+      started.fetch_add(1);
+      while (!release.load()) {
+        if (started.load() >= 2) release.store(true);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(started.load(), 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2, /*queue_capacity=*/64);
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.Submit([&ran]() { ran.fetch_add(1); }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 50);
+  }
+  for (auto& f : futures) f.get();  // none may hold a broken promise
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([]() { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutShutdownCall) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.Submit([&ran]() { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace abr

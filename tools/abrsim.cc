@@ -7,8 +7,9 @@
 //                 [--blocks=N] [--cylinders=N] [--scheduler=scan|fcfs|
 //                 sstf|clook] [--seed=N] [--decay=F]
 //   abrsim sweep  [--disk=...] [--workload=...] [--seed=N]
-//                 [--blocks=a,b,c,...]
+//                 [--blocks-list=a,b,c,...] [--jobs=N]
 //   abrsim policy [--disk=...] [--workload=...] [--days=N] [--seed=N]
+//                 [--jobs=N]
 //
 // Every run prints paper-style tables on stdout.
 
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "workload/trace_stats.h"
 #include "core/onoff.h"
 #include "util/table.h"
@@ -228,8 +230,15 @@ int CmdOnOff(Flags& flags) {
   return 0;
 }
 
+// Both grid commands (sweep, policy) fan their independent experiments out
+// over a ParallelRunner. Every experiment derives all randomness from its
+// own config, and rows are built from the runner's config-index-ordered
+// results, so the printed tables are byte-identical for every --jobs value.
+
 int CmdSweep(Flags& flags) {
   core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   std::vector<std::int32_t> points;
   {
     std::string list = flags.Get("blocks-list", "0,25,100,400,1018");
@@ -243,25 +252,34 @@ int CmdSweep(Flags& flags) {
   }
   flags.CheckAllUsed();
 
-  Table t({"blocks", "seek ms", "zero-seek %", "service ms", "wait ms"});
-  for (const std::int32_t blocks : points) {
-    core::ExperimentConfig config = base;
-    core::Experiment exp(std::move(config));
-    if (Status s = exp.Setup(); !s.ok()) Die("setup", s);
-    if (auto day = exp.RunMeasuredDay(); !day.ok()) {
-      Die("warm-up day", day.status());
-    }
+  // One identical config per point; the per-point block count is applied
+  // after the warm-up day (the table was sized at Setup from the base
+  // config, exactly as the serial loop always did).
+  std::vector<core::ExperimentConfig> configs(points.size(), base);
+  auto task = [&points](std::size_t index, core::Experiment& exp)
+      -> StatusOr<std::vector<core::DayMetrics>> {
+    auto warmup = exp.RunMeasuredDay();
+    if (!warmup.ok()) return warmup.status();
+    const std::int32_t blocks = points[index];
     exp.set_rearrange_blocks(blocks);
-    Status s = blocks > 0 ? exp.RearrangeForNextDay() : exp.CleanForNextDay();
-    if (!s.ok()) Die("day prep", s);
+    ABR_RETURN_IF_ERROR(blocks > 0 ? exp.RearrangeForNextDay()
+                                   : exp.CleanForNextDay());
     exp.AdvanceWorkloadDay();
-    StatusOr<core::DayMetrics> day = exp.RunMeasuredDay();
-    if (!day.ok()) Die("measured day", day.status());
-    t.AddRow({Table::Fmt((std::int64_t)blocks),
-              Table::Fmt(day->all.mean_seek_ms, 2),
-              Table::Fmt(day->all.zero_seek_pct, 0),
-              Table::Fmt(day->all.mean_service_ms, 2),
-              Table::Fmt(day->all.mean_wait_ms, 2)});
+    auto day = exp.RunMeasuredDay();
+    if (!day.ok()) return day.status();
+    return std::vector<core::DayMetrics>{*day};
+  };
+  auto results = core::ParallelRunner(jobs).Run(configs, task);
+  if (!results.ok()) Die("sweep", results.status());
+
+  Table t({"blocks", "seek ms", "zero-seek %", "service ms", "wait ms"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const core::DayMetrics& day = (*results)[i][0];
+    t.AddRow({Table::Fmt((std::int64_t)points[i]),
+              Table::Fmt(day.all.mean_seek_ms, 2),
+              Table::Fmt(day.all.zero_seek_pct, 0),
+              Table::Fmt(day.all.mean_service_ms, 2),
+              Table::Fmt(day.all.mean_wait_ms, 2)});
   }
   std::printf("%s", t.ToString().c_str());
   return 0;
@@ -271,33 +289,48 @@ int CmdPolicy(Flags& flags) {
   core::ExperimentConfig base = BuildConfig(flags);
   const std::int32_t days =
       static_cast<std::int32_t>(flags.GetInt("days", 2));
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   flags.CheckAllUsed();
+
+  const std::vector<placement::PolicyKind> kinds = {
+      placement::PolicyKind::kOrganPipe, placement::PolicyKind::kInterleaved,
+      placement::PolicyKind::kSerial};
+  std::vector<core::ExperimentConfig> configs;
+  for (const auto kind : kinds) {
+    core::ExperimentConfig config = base;
+    config.system.policy = kind;
+    configs.push_back(std::move(config));
+  }
+  auto task = [days](std::size_t, core::Experiment& exp)
+      -> StatusOr<std::vector<core::DayMetrics>> {
+    auto warmup = exp.RunMeasuredDay();
+    if (!warmup.ok()) return warmup.status();
+    std::vector<core::DayMetrics> measured;
+    for (std::int32_t i = 0; i < days; ++i) {
+      ABR_RETURN_IF_ERROR(exp.RearrangeForNextDay());
+      exp.AdvanceWorkloadDay();
+      auto day = exp.RunMeasuredDay();
+      if (!day.ok()) return day.status();
+      measured.push_back(*day);
+    }
+    return measured;
+  };
+  auto results = core::ParallelRunner(jobs).Run(configs, task);
+  if (!results.ok()) Die("policy", results.status());
 
   Table t({"policy", "on-day seek ms", "zero-seek %", "service ms",
            "rot+xfer ms (reads)"});
-  for (const auto kind :
-       {placement::PolicyKind::kOrganPipe, placement::PolicyKind::kInterleaved,
-        placement::PolicyKind::kSerial}) {
-    core::ExperimentConfig config = base;
-    config.system.policy = kind;
-    core::Experiment exp(std::move(config));
-    if (Status s = exp.Setup(); !s.ok()) Die("setup", s);
-    if (auto d = exp.RunMeasuredDay(); !d.ok()) Die("warm-up", d.status());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
     double seek = 0, zero = 0, service = 0, rot = 0;
-    for (std::int32_t i = 0; i < days; ++i) {
-      if (Status s = exp.RearrangeForNextDay(); !s.ok()) {
-        Die("rearrange", s);
-      }
-      exp.AdvanceWorkloadDay();
-      StatusOr<core::DayMetrics> day = exp.RunMeasuredDay();
-      if (!day.ok()) Die("day", day.status());
-      seek += day->all.mean_seek_ms;
-      zero += day->all.zero_seek_pct;
-      service += day->all.mean_service_ms;
-      rot += day->reads.rot_plus_transfer_ms;
+    for (const core::DayMetrics& day : (*results)[i]) {
+      seek += day.all.mean_seek_ms;
+      zero += day.all.zero_seek_pct;
+      service += day.all.mean_service_ms;
+      rot += day.reads.rot_plus_transfer_ms;
     }
     const double n = days;
-    t.AddRow({placement::PolicyKindName(kind), Table::Fmt(seek / n, 2),
+    t.AddRow({placement::PolicyKindName(kinds[i]), Table::Fmt(seek / n, 2),
               Table::Fmt(zero / n, 0), Table::Fmt(service / n, 2),
               Table::Fmt(rot / n, 2)});
   }
@@ -319,7 +352,9 @@ void Usage() {
       "  --days=N --policy=organpipe|interleaved|serial --blocks=N\n"
       "  --cylinders=N --scheduler=scan|fcfs|sstf|clook --seed=N "
       "--decay=F\n"
-      "sweep only: --blocks-list=a,b,c\n");
+      "sweep only: --blocks-list=a,b,c\n"
+      "sweep/policy: --jobs=N  run grid points on N worker threads\n"
+      "  (output is byte-identical for every N; N=1 runs inline)\n");
 }
 
 }  // namespace

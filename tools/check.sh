@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then a ThreadSanitizer
+# build of the concurrency primitives (thread pool + parallel runner).
+#
+# Usage: tools/check.sh [--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+NO_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) NO_TSAN=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$NO_TSAN" == 1 ]]; then
+  echo "== tsan: skipped (--no-tsan) =="
+  exit 0
+fi
+
+echo "== tsan: thread_pool_test + parallel_runner_test =="
+cmake -B build-tsan -S . -DABR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target thread_pool_test parallel_runner_test >/dev/null
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
+
+echo "== all checks passed =="
