@@ -1,0 +1,231 @@
+// bench_e2e: whole-pipeline throughput of the simulator — workload
+// generation, file server, adaptive driver, scheduler queue, disk model
+// and monitoring all together, measured as simulated requests serviced per
+// wall-clock second over Table-2-style alternating on/off days.
+//
+// Two measurements, both emitted to BENCH_e2e.json via bench::EmitJson:
+//
+//  1. Per scheduler kind: an identical on/off run on the flat production
+//     queues vs. the multimap reference schedulers (scheduler_ref.h, the
+//     pre-rewrite implementation), with a bit-identical-metrics check —
+//     the flat rewrite must change wall-clock only, never results.
+//  2. Replication fan-out: R independent replications of one experiment at
+//     --jobs=1 vs --jobs=N through ParallelRunner::RunReplicated, again
+//     checked bit-identical. The speedup column records the measured
+//     wall-clock ratio on this machine (bounded by its core count).
+//
+// Flags: --quick (tiny day, for the sanitizer smoke in tools/check.sh),
+//        --days=N (days per side, default 3), --replicas=R (default 4),
+//        --jobs=N (default 4).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/onoff_common.h"
+#include "core/experiment.h"
+#include "core/onoff.h"
+#include "core/parallel_runner.h"
+#include "sched/scheduler.h"
+
+namespace {
+
+using namespace abr;
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// The complete observable surface of a set of runs, bit-comparable.
+std::vector<double> Fingerprint(
+    const std::vector<std::vector<core::DayMetrics>>& results) {
+  std::vector<double> fp;
+  for (const auto& days : results) {
+    for (const core::DayMetrics& d : days) {
+      for (const core::SliceMetrics* s : {&d.all, &d.reads, &d.writes}) {
+        fp.push_back(s->mean_seek_ms);
+        fp.push_back(s->fcfs_seek_ms);
+        fp.push_back(s->mean_seek_dist);
+        fp.push_back(s->zero_seek_pct);
+        fp.push_back(s->mean_service_ms);
+        fp.push_back(s->mean_wait_ms);
+        fp.push_back(s->rot_plus_transfer_ms);
+        fp.push_back(static_cast<double>(s->count));
+      }
+    }
+  }
+  return fp;
+}
+
+std::int64_t CountRequests(
+    const std::vector<std::vector<core::DayMetrics>>& results) {
+  std::int64_t n = 0;
+  for (const auto& days : results) {
+    for (const core::DayMetrics& d : days) n += d.all.count;
+  }
+  return n;
+}
+
+/// One full on/off run; returns the measured days in day order.
+StatusOr<std::vector<core::DayMetrics>> OnOffTask(std::int32_t days_per_side,
+                                                  core::Experiment& exp) {
+  StatusOr<core::OnOffResult> r = core::RunOnOffDays(exp, days_per_side);
+  if (!r.ok()) return r.status();
+  return core::InterleaveOnOff(*r);
+}
+
+struct Options {
+  bool quick = false;
+  std::int32_t days_per_side = 3;
+  std::int32_t replicas = 4;
+  std::int32_t jobs = 4;
+};
+
+core::ExperimentConfig BaseConfig(const Options& opt) {
+  core::ExperimentConfig config = core::ExperimentConfig::ToshibaSystem();
+  if (opt.quick) {
+    // Miniature day (the shape of the parallel_runner_test config): the
+    // whole binary then runs in a few seconds even under TSan.
+    config.rearrange_blocks = 200;
+    config.profile.file_count = 60;
+    config.profile.mean_file_blocks = 5.0;
+    config.profile.max_file_blocks = 20;
+    config.profile.day_length = 20 * kMinute;
+    config.profile.arrivals.mean_burst_gap = 2 * kSecond;
+  }
+  return config;
+}
+
+/// Measurement 1: flat production queues vs. the multimap oracles on the
+/// same whole-pipeline day, per scheduler kind.
+void BenchSchedulers(const Options& opt,
+                     std::vector<bench::BenchMetric>& metrics) {
+  bench::Banner("whole-pipeline day throughput: flat vs multimap queues");
+  const sched::SchedulerKind kinds[] = {
+      sched::SchedulerKind::kFcfs, sched::SchedulerKind::kSstf,
+      sched::SchedulerKind::kScan, sched::SchedulerKind::kCLook};
+  for (const sched::SchedulerKind kind : kinds) {
+    core::ExperimentConfig config = BaseConfig(opt);
+    config.system.driver.scheduler = kind;
+
+    std::vector<std::vector<core::DayMetrics>> flat_days, ref_days;
+    double flat_s = 0, ref_s = 0;
+    for (const bool reference : {true, false}) {
+      config.system.driver.reference_scheduler = reference;
+      core::Experiment exp(config);
+      const auto start = std::chrono::steady_clock::now();
+      bench::CheckOk(core::RunOnOff(exp, opt.days_per_side).status(),
+                     "on/off run");
+      core::Experiment exp2(config);
+      auto result = bench::CheckOk(core::RunOnOff(exp2, opt.days_per_side),
+                                   "on/off run");
+      const auto end = std::chrono::steady_clock::now();
+      // Two back-to-back runs halve timer noise; metrics come from the
+      // second (they are identical by determinism anyway).
+      (reference ? ref_s : flat_s) = Seconds(start, end) / 2;
+      (reference ? ref_days : flat_days)
+          .push_back(core::InterleaveOnOff(result));
+    }
+
+    if (Fingerprint(flat_days) != Fingerprint(ref_days)) {
+      std::fprintf(stderr,
+                   "FATAL: %s: flat scheduler changed the metrics vs the "
+                   "multimap reference\n",
+                   sched::SchedulerKindName(kind));
+      std::exit(1);
+    }
+    const std::int64_t requests = CountRequests(flat_days);
+    bench::BenchMetric m;
+    m.name = std::string("e2e_day_") + sched::SchedulerKindName(kind);
+    m.ns_per_op = flat_s * 1e9 / static_cast<double>(requests);
+    m.ops_per_sec = static_cast<double>(requests) / flat_s;
+    m.threads = 1;
+    m.speedup = flat_s > 0 ? ref_s / flat_s : 0;
+    std::printf(
+        "%-8s %9lld req  %8.0f req/s  (multimap %8.0f req/s, %.2fx)  "
+        "metrics identical\n",
+        sched::SchedulerKindName(kind), static_cast<long long>(requests),
+        m.ops_per_sec, static_cast<double>(requests) / ref_s, m.speedup);
+    metrics.push_back(m);
+  }
+}
+
+/// Measurement 2: replication fan-out across the thread pool.
+void BenchReplication(const Options& opt,
+                      std::vector<bench::BenchMetric>& metrics) {
+  bench::Banner("replication fan-out: jobs=1 vs jobs=N");
+  const core::ExperimentConfig config = BaseConfig(opt);
+  const auto task = [&opt](std::size_t, core::Experiment& exp) {
+    return OnOffTask(opt.days_per_side, exp);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto serial = bench::CheckOk(
+      core::ParallelRunner(1).RunReplicated({config}, opt.replicas, task),
+      "serial replicated run");
+  const auto t1 = std::chrono::steady_clock::now();
+  auto parallel = bench::CheckOk(
+      core::ParallelRunner(opt.jobs).RunReplicated({config}, opt.replicas,
+                                                   task),
+      "parallel replicated run");
+  const auto t2 = std::chrono::steady_clock::now();
+
+  if (Fingerprint(serial) != Fingerprint(parallel)) {
+    std::fprintf(stderr,
+                 "FATAL: jobs=%d changed the replicated metrics vs jobs=1\n",
+                 opt.jobs);
+    std::exit(1);
+  }
+
+  const double serial_s = Seconds(t0, t1);
+  const double parallel_s = Seconds(t1, t2);
+  const std::int64_t requests = CountRequests(parallel);
+  bench::BenchMetric m;
+  m.name = "e2e_replication_fanout";
+  m.ns_per_op = parallel_s * 1e9 / static_cast<double>(requests);
+  m.ops_per_sec = static_cast<double>(requests) / parallel_s;
+  m.threads = opt.jobs;
+  m.speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  std::printf(
+      "replicas=%d  jobs=1: %.2fs  jobs=%d: %.2fs  (%.2fx)  "
+      "metrics identical\n",
+      opt.replicas, serial_s, opt.jobs, parallel_s, m.speedup);
+  metrics.push_back(m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+      opt.days_per_side = 1;
+      opt.replicas = 2;
+      opt.jobs = 2;
+    } else if (std::strncmp(arg, "--days=", 7) == 0) {
+      opt.days_per_side = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--replicas=", 11) == 0) {
+      opt.replicas = std::atoi(arg + 11);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      opt.jobs = std::atoi(arg + 7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_e2e [--quick] [--days=N] [--replicas=R] "
+                   "[--jobs=N]\n");
+      return 2;
+    }
+  }
+
+  std::vector<bench::BenchMetric> metrics;
+  BenchSchedulers(opt, metrics);
+  BenchReplication(opt, metrics);
+  bench::EmitJson("e2e", metrics);
+  return 0;
+}

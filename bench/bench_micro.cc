@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <unordered_map>
 
@@ -20,6 +22,7 @@
 #include "driver/block_table.h"
 #include "driver/request_monitor.h"
 #include "sched/scheduler.h"
+#include "sched/scheduler_ref.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 
@@ -150,7 +153,8 @@ BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
 //
 // Times each rewritten structure against the implementation it replaced on
 // identical pre-generated key streams, and emits ns/op + speedup through
-// bench::EmitJson so the perf trajectory is diffable across PRs.
+// bench::EmitJson so the perf trajectory is diffable across PRs. Every
+// reported number is the median of five runs.
 
 /// The block-table indexing scheme before the flat-hash rewrite: two
 /// node-based unordered_maps over a dense entry vector.
@@ -194,7 +198,7 @@ struct LegacyBlockTable {
 };
 
 template <typename F>
-double NsPerOp(std::int64_t iters, F&& fn) {
+double OneRunNsPerOp(std::int64_t iters, F&& fn) {
   const auto start = std::chrono::steady_clock::now();
   for (std::int64_t i = 0; i < iters; ++i) fn(i);
   const auto end = std::chrono::steady_clock::now();
@@ -202,6 +206,16 @@ double NsPerOp(std::int64_t iters, F&& fn) {
              std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
                  .count()) /
          static_cast<double>(iters);
+}
+
+/// Median of five timed runs: robust against a scheduler hiccup or cache
+/// warm-up landing in any single run.
+template <typename F>
+double NsPerOp(std::int64_t iters, F&& fn) {
+  std::array<double, 5> runs;
+  for (double& r : runs) r = OneRunNsPerOp(iters, fn);
+  std::sort(runs.begin(), runs.end());
+  return runs[2];
 }
 
 bench::BenchMetric Compare(const std::string& name, double legacy_ns,
@@ -305,6 +319,42 @@ void EmitBeforeAfterJson() {
       NsPerOp(2000, [&](std::int64_t) {
         benchmark::DoNotOptimize(fast.TopK(100));
       })));
+
+  // Scheduler queues: the flat sorted runs vs the multimap originals
+  // (scheduler_ref.h), on an identical enqueue/dequeue cycle held at a
+  // queue depth where the node-vs-array layout shows.
+  std::vector<SectorNo> sectors(kIters);
+  {
+    Rng rng(17);
+    for (SectorNo& s : sectors) {
+      s = static_cast<SectorNo>(rng.NextBounded(815 * 340));
+    }
+  }
+  const auto sched_cycle = [&sectors](auto& scheduler) {
+    return [&scheduler, &sectors, queued = std::int64_t{0}](
+               std::int64_t i) mutable {
+      if (queued < 64) {
+        sched::IoRequest req;
+        req.sector = sectors[static_cast<std::size_t>(i)];
+        req.sector_count = 16;
+        scheduler.Enqueue(req);
+        ++queued;
+      } else {
+        benchmark::DoNotOptimize(scheduler.Dequeue(400));
+        --queued;
+      }
+    };
+  };
+  sched::ScanSchedulerRef scan_ref(340);
+  sched::ScanScheduler scan_flat(340);
+  metrics.push_back(Compare("scan_scheduler_cycle",
+                            NsPerOp(kIters, sched_cycle(scan_ref)),
+                            NsPerOp(kIters, sched_cycle(scan_flat))));
+  sched::SstfSchedulerRef sstf_ref(340);
+  sched::SstfScheduler sstf_flat(340);
+  metrics.push_back(Compare("sstf_scheduler_cycle",
+                            NsPerOp(kIters, sched_cycle(sstf_ref)),
+                            NsPerOp(kIters, sched_cycle(sstf_flat))));
 
   bench::EmitJson("micro", metrics);
 }

@@ -22,13 +22,15 @@ CylinderShuffleDriver::CylinderShuffleDriver(disk::Disk* disk,
   permutation_.resize(static_cast<std::size_t>(g.cylinders));
   std::iota(permutation_.begin(), permutation_.end(), 0);
   cylinder_refs_.assign(static_cast<std::size_t>(g.cylinders), 0);
-  system_.set_completion_callback([this](const sim::CompletedIo& done) {
-    if (done.request.internal) return;
-    perf_monitor_.RecordCompletion(
-        done.request.type, done.queue_time, done.service_time,
-        done.breakdown.seek_distance, done.breakdown.rotation,
-        done.breakdown.transfer, done.breakdown.buffer_hit);
-  });
+  system_.set_completion_sink(this);
+}
+
+void CylinderShuffleDriver::OnIoComplete(const sim::CompletedIo& done) {
+  if (done.request.internal) return;
+  perf_monitor_.RecordCompletion(
+      done.request.type, done.queue_time, done.service_time,
+      done.breakdown.seek_distance, done.breakdown.rotation,
+      done.breakdown.transfer, done.breakdown.buffer_hit);
 }
 
 Status CylinderShuffleDriver::SubmitBlock(std::int32_t device, BlockNo block,

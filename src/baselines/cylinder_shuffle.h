@@ -29,7 +29,7 @@ namespace abr::baselines {
 /// The driver exposes the same logical block interface as AdaptiveDriver
 /// and the same performance monitoring, so experiment harnesses can drive
 /// either interchangeably.
-class CylinderShuffleDriver {
+class CylinderShuffleDriver : private sim::CompletionSink {
  public:
   struct Config {
     std::int32_t block_size_bytes = 8192;
@@ -81,6 +81,9 @@ class CylinderShuffleDriver {
   const disk::DiskLabel& label() const { return label_; }
 
  private:
+  /// DiskSystem completion hook (sim::CompletionSink).
+  void OnIoComplete(const sim::CompletedIo& done) override;
+
   /// Services one whole-cylinder transfer at the simulator's current time
   /// (used only during shuffling; bypasses the request queue, which is
   /// empty by precondition).

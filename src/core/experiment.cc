@@ -93,7 +93,8 @@ Status Experiment::Setup() {
 
 void Experiment::Tick(Micros now) {
   if (now > driver().now()) driver().AdvanceTo(now);
-  for (const driver::RequestRecord& rec : driver().IoctlReadRequests()) {
+  driver().IoctlReadRequests(tick_records_);
+  for (const driver::RequestRecord& rec : tick_records_) {
     system_->analyzer().ObserveRecord(rec);
     const analyzer::BlockId id{rec.device, rec.block};
     day_counts_all_.Observe(id);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "analyzer/exact_counter.h"
 #include "core/adaptive_system.h"
@@ -114,6 +115,9 @@ class Experiment {
   std::unique_ptr<workload::FileServerWorkload> workload_;
   analyzer::ExactCounter day_counts_all_;
   analyzer::ExactCounter day_counts_reads_;
+  /// Reused across Tick() calls so the per-monitoring-period drain of the
+  /// request table allocates nothing once warm.
+  std::vector<driver::RequestRecord> tick_records_;
   std::int32_t day_ = 0;
 };
 

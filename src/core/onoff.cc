@@ -1,5 +1,7 @@
 #include "core/onoff.h"
 
+#include <algorithm>
+
 namespace abr::core {
 
 SummaryRow OnOffResult::Summarize(const std::vector<DayMetrics>& days,
@@ -24,7 +26,11 @@ SummaryRow OnOffResult::Summarize(const std::vector<DayMetrics>& days,
 StatusOr<OnOffResult> RunOnOff(Experiment& experiment,
                                std::int32_t days_per_side) {
   ABR_RETURN_IF_ERROR(experiment.Setup());
+  return RunOnOffDays(experiment, days_per_side);
+}
 
+StatusOr<OnOffResult> RunOnOffDays(Experiment& experiment,
+                                   std::int32_t days_per_side) {
   // Warm-up day: traffic and monitoring only; its counts seed the first
   // rearrangement if day 0 is an "on" day (it is not — we start "off", as
   // the paper's Table 3 does).
@@ -44,6 +50,26 @@ StatusOr<OnOffResult> RunOnOff(Experiment& experiment,
     StatusOr<DayMetrics> day = experiment.RunMeasuredDay();
     if (!day.ok()) return day.status();
     (on ? result.on_days : result.off_days).push_back(std::move(day.value()));
+  }
+  return result;
+}
+
+std::vector<DayMetrics> InterleaveOnOff(const OnOffResult& result) {
+  std::vector<DayMetrics> days;
+  days.reserve(result.off_days.size() + result.on_days.size());
+  const std::size_t sides =
+      std::max(result.off_days.size(), result.on_days.size());
+  for (std::size_t i = 0; i < sides; ++i) {
+    if (i < result.off_days.size()) days.push_back(result.off_days[i]);
+    if (i < result.on_days.size()) days.push_back(result.on_days[i]);
+  }
+  return days;
+}
+
+OnOffResult SplitOnOff(const std::vector<DayMetrics>& days) {
+  OnOffResult result;
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    ((i % 2) == 1 ? result.on_days : result.off_days).push_back(days[i]);
   }
   return result;
 }

@@ -44,6 +44,19 @@ struct OnOffResult {
 StatusOr<OnOffResult> RunOnOff(Experiment& experiment,
                                std::int32_t days_per_side);
 
+/// The same protocol on an experiment that is already Setup() — the form
+/// usable as a ParallelRunner task, whose runner owns experiment setup.
+StatusOr<OnOffResult> RunOnOffDays(Experiment& experiment,
+                                   std::int32_t days_per_side);
+
+/// Flattens an on/off result into measured-day order (off day 0, on day 0,
+/// off day 1, ...) — the shape ExperimentTask results use.
+std::vector<DayMetrics> InterleaveOnOff(const OnOffResult& result);
+
+/// Inverse of InterleaveOnOff: splits a day-ordered vector back into
+/// alternating off/on sides.
+OnOffResult SplitOnOff(const std::vector<DayMetrics>& days);
+
 }  // namespace abr::core
 
 #endif  // ABR_CORE_ONOFF_H_

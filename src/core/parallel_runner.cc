@@ -16,6 +16,12 @@ std::uint64_t DeriveReplicaSeed(std::uint64_t master, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t ReplicaSeed(std::uint64_t config_seed, std::int32_t replica) {
+  return replica == 0 ? config_seed
+                      : DeriveReplicaSeed(config_seed,
+                                          static_cast<std::uint64_t>(replica));
+}
+
 std::vector<ExperimentConfig> BuildGrid(const GridSpec& spec) {
   std::vector<ExperimentConfig> grid;
   const std::int32_t replicas = spec.replicas < 1 ? 1 : spec.replicas;
@@ -75,6 +81,27 @@ StatusOr<std::vector<std::vector<DayMetrics>>> ParallelRunner::Run(
     results.push_back(std::move(r.value()));
   }
   return results;
+}
+
+StatusOr<std::vector<std::vector<DayMetrics>>> ParallelRunner::RunReplicated(
+    const std::vector<ExperimentConfig>& configs, std::int32_t replicas,
+    const ExperimentTask& task) const {
+  if (replicas < 1) return Status::InvalidArgument("replicas must be >= 1");
+  const std::size_t n = static_cast<std::size_t>(replicas);
+  std::vector<ExperimentConfig> expanded;
+  expanded.reserve(configs.size() * n);
+  for (const ExperimentConfig& config : configs) {
+    for (std::size_t r = 0; r < n; ++r) {
+      ExperimentConfig replica = config;
+      replica.seed = ReplicaSeed(config.seed, static_cast<std::int32_t>(r));
+      expanded.push_back(std::move(replica));
+    }
+  }
+  // Each replication is an independent unit of pool work; the task sees
+  // the config index, not the flat one.
+  return Run(expanded, [&task, n](std::size_t flat, Experiment& experiment) {
+    return task(flat / n, experiment);
+  });
 }
 
 SummaryRow MergeSummary(const std::vector<std::vector<DayMetrics>>& results,

@@ -27,6 +27,12 @@ using ExperimentTask = std::function<StatusOr<std::vector<DayMetrics>>(
 /// determinism guarantee of ParallelRunner::Run rests on.
 std::uint64_t DeriveReplicaSeed(std::uint64_t master, std::uint64_t index);
 
+/// Seed of replication `replica` of a config whose own seed is
+/// `config_seed`. Replica 0 keeps the config's seed unchanged, so running
+/// one replication reproduces the unreplicated experiment bit for bit;
+/// further replicas branch off through DeriveReplicaSeed.
+std::uint64_t ReplicaSeed(std::uint64_t config_seed, std::int32_t replica);
+
 /// A seed × base-config × policy cross product. `bases` usually holds
 /// disk × workload presets (e.g. ToshibaSystem, FujitsuUsers).
 struct GridSpec {
@@ -62,6 +68,18 @@ class ParallelRunner {
   /// fails (every task still runs to completion first).
   StatusOr<std::vector<std::vector<DayMetrics>>> Run(
       const std::vector<ExperimentConfig>& configs,
+      const ExperimentTask& task) const;
+
+  /// Runs `task` for `replicas` independent replications of every config,
+  /// all fanned out across the pool together — so even a single config
+  /// saturates `jobs` workers. Replication r of config i runs with seed
+  /// ReplicaSeed(configs[i].seed, r) and lands at result index
+  /// i * replicas + r (config-major, replication-minor — the order a
+  /// serial nested loop would produce, regardless of `jobs`). The task
+  /// receives the original config index i. With replicas == 1 this is
+  /// exactly Run().
+  StatusOr<std::vector<std::vector<DayMetrics>>> RunReplicated(
+      const std::vector<ExperimentConfig>& configs, std::int32_t replicas,
       const ExperimentTask& task) const;
 
  private:

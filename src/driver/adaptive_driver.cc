@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sched/scheduler_ref.h"
+
 namespace abr::driver {
+
+namespace {
+
+std::unique_ptr<sched::Scheduler> MakeConfiguredScheduler(
+    const DriverConfig& config, std::int64_t sectors_per_cylinder) {
+  return config.reference_scheduler
+             ? sched::MakeRefScheduler(config.scheduler, sectors_per_cylinder)
+             : sched::MakeScheduler(config.scheduler, sectors_per_cylinder);
+}
+
+}  // namespace
 
 AdaptiveDriver::AdaptiveDriver(disk::Disk* disk, disk::DiskLabel label,
                                DriverConfig config, BlockTableStore* store)
@@ -11,8 +24,8 @@ AdaptiveDriver::AdaptiveDriver(disk::Disk* disk, disk::DiskLabel label,
       label_(std::move(label)),
       config_(config),
       store_(store),
-      system_(disk, sched::MakeScheduler(
-                        config.scheduler,
+      system_(disk, MakeConfiguredScheduler(
+                        config,
                         label_.physical_geometry().sectors_per_cylinder())),
       block_table_(std::make_unique<BlockTable>(config.block_table_capacity)),
       request_monitor_(config.request_monitor_capacity) {
@@ -22,8 +35,7 @@ AdaptiveDriver::AdaptiveDriver(disk::Disk* disk, disk::DiskLabel label,
          config.block_size_bytes %
                  label_.physical_geometry().bytes_per_sector ==
              0);
-  system_.set_completion_callback(
-      [this](const sim::CompletedIo& done) { OnCompletion(done); });
+  system_.set_completion_sink(this);
 }
 
 Status AdaptiveDriver::Attach(bool after_crash) {
@@ -88,24 +100,31 @@ StatusOr<disk::Partition> AdaptiveDriver::CheckedPartition(
   return label_.partitions()[static_cast<std::size_t>(device)];
 }
 
-std::vector<AdaptiveDriver::PhysExtent> AdaptiveDriver::MapVirtualExtent(
+AdaptiveDriver::PhysExtents AdaptiveDriver::MapVirtualExtent(
     SectorNo virtual_sector, std::int64_t count) const {
   assert(label_.virtual_geometry().ContainsRange(virtual_sector, count));
+  PhysExtents out;
   if (!label_.rearranged()) {
-    return {PhysExtent{virtual_sector, count}};
+    out.extent[0] = PhysExtent{virtual_sector, count};
+    out.count = 1;
+    return out;
   }
   const SectorNo boundary = label_.physical_geometry().FirstSectorOf(
       label_.reserved_first_cylinder());
   const std::int64_t shift = label_.reserved_sector_count();
   if (virtual_sector + count <= boundary) {
-    return {PhysExtent{virtual_sector, count}};
+    out.extent[0] = PhysExtent{virtual_sector, count};
+    out.count = 1;
+  } else if (virtual_sector >= boundary) {
+    out.extent[0] = PhysExtent{virtual_sector + shift, count};
+    out.count = 1;
+  } else {
+    const std::int64_t head = boundary - virtual_sector;
+    out.extent[0] = PhysExtent{virtual_sector, head};
+    out.extent[1] = PhysExtent{boundary + shift, count - head};
+    out.count = 2;
   }
-  if (virtual_sector >= boundary) {
-    return {PhysExtent{virtual_sector + shift, count}};
-  }
-  const std::int64_t head = boundary - virtual_sector;
-  return {PhysExtent{virtual_sector, head},
-          PhysExtent{boundary + shift, count - head}};
+  return out;
 }
 
 Status AdaptiveDriver::SubmitBlock(std::int32_t device, BlockNo block,
@@ -123,8 +142,7 @@ Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
     return Status::OutOfRange("block outside partition");
   }
   const SectorNo vsector = part->first_sector + block * block_sectors_;
-  const std::vector<PhysExtent> extents =
-      MapVirtualExtent(vsector, block_sectors_);
+  const PhysExtents extents = MapVirtualExtent(vsector, block_sectors_);
   const SectorNo original = extents[0].sector;
 
   if (record_stats) {
@@ -141,7 +159,7 @@ Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
     return Status::Ok();
   }
 
-  std::vector<PhysExtent> finals = extents;
+  PhysExtents finals = extents;
   if (extents.size() == 1) {
     if (std::optional<SectorNo> relocated = block_table_->Lookup(original)) {
       if (type == sched::IoType::kWrite) {
@@ -151,7 +169,7 @@ Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
         assert(s.ok());
         (void)s;
       }
-      finals[0].sector = *relocated;
+      finals.extent[0].sector = *relocated;
     }
   }
   // A block straddling the hidden-region boundary maps to two physical
@@ -211,7 +229,7 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
   // Determine the containing block's original physical address; the block
   // table is keyed by it.
   SectorNo original_key = kInvalidBlock;
-  std::vector<PhysExtent> block_extents;
+  PhysExtents block_extents;
   if (whole_block_in_partition) {
     block_extents =
         MapVirtualExtent(part->first_sector + block_start, block_sectors_);
@@ -219,7 +237,7 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
   }
 
   const SectorNo vsector = part->first_sector + sector;
-  const std::vector<PhysExtent> direct = MapVirtualExtent(vsector, count);
+  const PhysExtents direct = MapVirtualExtent(vsector, count);
 
   if (record_stats) {
     perf_monitor_.RecordArrival(
@@ -495,7 +513,7 @@ void AdaptiveDriver::SubmitInternal(SectorNo key, sched::IoRequest op) {
   system_.Submit(op);
 }
 
-void AdaptiveDriver::OnCompletion(const sim::CompletedIo& done) {
+void AdaptiveDriver::OnIoComplete(const sim::CompletedIo& done) {
   if (done.request.internal) {
     ++internal_io_count_;
     internal_io_time_ += done.service_time;

@@ -36,6 +36,12 @@ struct DriverConfig {
 
   /// Disk-queue policy; the measured driver uses SCAN.
   sched::SchedulerKind scheduler = sched::SchedulerKind::kScan;
+
+  /// When set, the driver uses the multimap reference scheduler
+  /// (scheduler_ref.h) instead of the flat production one. Benchmarks use
+  /// this to measure the flat queues against the original implementation
+  /// on identical whole-day workloads.
+  bool reference_scheduler = false;
 };
 
 /// The modified UNIX disk driver of Section 4: logical-device to physical
@@ -46,8 +52,10 @@ struct DriverConfig {
 ///
 /// The driver owns the request queue (via sim::DiskSystem) and the clock:
 /// callers submit logical requests with arrival timestamps and advance
-/// simulated time with AdvanceTo()/Drain().
-class AdaptiveDriver {
+/// simulated time with AdvanceTo()/Drain(). It is its own completion sink:
+/// the disk system reports every finished operation through one virtual
+/// call with no per-request allocation.
+class AdaptiveDriver : private sim::CompletionSink {
  public:
   /// `disk` and `store` must outlive the driver. `store` may be null only
   /// for non-rearranged labels.
@@ -102,6 +110,13 @@ class AdaptiveDriver {
   /// Reads and clears the request-monitoring table.
   std::vector<RequestRecord> IoctlReadRequests() {
     return request_monitor_.ReadAndClear();
+  }
+
+  /// Allocation-free variant: swaps the monitoring table into `out`
+  /// (clearing whatever it held). A caller polling every monitoring period
+  /// can reuse one buffer for the whole day.
+  void IoctlReadRequests(std::vector<RequestRecord>& out) {
+    request_monitor_.ReadAndClearInto(out);
   }
 
   /// DKIOCGGEOM-style geometry ioctl: what the disk label advertises to
@@ -168,15 +183,29 @@ class AdaptiveDriver {
   /// Number of requests currently held back because their block is moving.
   std::size_t held_request_count() const;
 
-  /// Maps a virtual-disk sector extent to physical extents, skipping the
-  /// hidden reserved cylinders. Returns one extent normally, two when the
-  /// extent straddles the hidden-region boundary. Exposed for tests.
+  /// One physical piece of a mapped virtual extent.
   struct PhysExtent {
     SectorNo sector = 0;
     std::int64_t count = 0;
   };
-  std::vector<PhysExtent> MapVirtualExtent(SectorNo virtual_sector,
-                                           std::int64_t count) const;
+
+  /// Fixed-size extent list: a virtual extent maps to one physical extent
+  /// normally, two when it straddles the hidden-region boundary — never
+  /// more, so the translation done on every request needs no heap.
+  struct PhysExtents {
+    PhysExtent extent[2];
+    std::size_t count = 0;
+
+    std::size_t size() const { return count; }
+    const PhysExtent& operator[](std::size_t i) const { return extent[i]; }
+    const PhysExtent* begin() const { return extent; }
+    const PhysExtent* end() const { return extent + count; }
+  };
+
+  /// Maps a virtual-disk sector extent to physical extents, skipping the
+  /// hidden reserved cylinders. Exposed for tests and the arranger.
+  PhysExtents MapVirtualExtent(SectorNo virtual_sector,
+                               std::int64_t count) const;
 
  private:
   /// One logical request held while its block moves; re-translated when
@@ -240,8 +269,8 @@ class AdaptiveDriver {
   /// the accompanying TableWriteOp).
   void SaveTable();
 
-  /// DiskSystem completion hook.
-  void OnCompletion(const sim::CompletedIo& done);
+  /// DiskSystem completion hook (sim::CompletionSink).
+  void OnIoComplete(const sim::CompletedIo& done) override;
 
   /// Starts processing of the next queued clean-out entry, if any.
   void PumpClean();

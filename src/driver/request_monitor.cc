@@ -21,10 +21,15 @@ bool RequestMonitor::Record(const RequestRecord& record) {
 
 std::vector<RequestRecord> RequestMonitor::ReadAndClear() {
   std::vector<RequestRecord> out;
+  ReadAndClearInto(out);
+  return out;
+}
+
+void RequestMonitor::ReadAndClearInto(std::vector<RequestRecord>& out) {
+  out.clear();
   out.swap(records_);
   records_.reserve(static_cast<std::size_t>(capacity_));
   dropped_ = 0;
-  return out;
 }
 
 }  // namespace abr::driver

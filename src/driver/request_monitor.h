@@ -35,6 +35,11 @@ class RequestMonitor {
   /// the table, resuming recording if it was suspended.
   std::vector<RequestRecord> ReadAndClear();
 
+  /// Allocation-free read-and-clear: swaps the table into `out` (whatever
+  /// `out` held is recycled as the next table buffer), so a periodic poller
+  /// reuses the same two buffers all day.
+  void ReadAndClearInto(std::vector<RequestRecord>& out);
+
   /// Records currently held.
   std::int32_t size() const { return static_cast<std::int32_t>(records_.size()); }
 

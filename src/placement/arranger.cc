@@ -23,7 +23,7 @@ StatusOr<SectorNo> BlockArranger::OriginalSector(
     return Status::OutOfRange("block outside partition");
   }
   const SectorNo vsector = part.first_sector + id.block * bs;
-  const std::vector<driver::AdaptiveDriver::PhysExtent> extents =
+  const driver::AdaptiveDriver::PhysExtents extents =
       driver.MapVirtualExtent(vsector, bs);
   if (extents.size() != 1) {
     return Status::NotFound("block straddles the hidden-region boundary");

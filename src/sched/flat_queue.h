@@ -1,0 +1,205 @@
+#ifndef ABR_SCHED_FLAT_QUEUE_H_
+#define ABR_SCHED_FLAT_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sched/request.h"
+#include "util/types.h"
+
+namespace abr::sched {
+
+/// Flat sorted-run request queue shared by the cylinder-ordered scheduling
+/// policies (SSTF, SCAN, C-LOOK). Replaces one std::multimap per policy.
+///
+/// The sort order lives in one narrow cache-contiguous array of packed
+/// (cylinder key << 32 | slab slot) entries kept in (cylinder, arrival)
+/// order, so the neighbor probes every Dequeue makes — lower bound,
+/// predecessor, front — walk adjacent memory instead of chasing
+/// red-black-tree nodes. The request payloads sit in a stable slab indexed
+/// by slot number and never move: an ordered insert or erase shifts 9
+/// bytes per displaced entry rather than a whole IoRequest, and nothing
+/// allocates once the arrays have grown to the queue's working depth.
+///
+/// Entries with equal cylinders are stored in arrival order (inserts go at
+/// the upper bound), preserving the multimap's FIFO-among-equals behavior
+/// that the policies and their oracle tests rely on. The packed encoding
+/// keeps that sound: searches compare whole packed words against
+/// key-boundary sentinels (slot bits zero), which order correctly by key
+/// alone no matter which recycled slot numbers the ties carry.
+///
+/// Removal is adaptive: near the array's tail — every realistic queue
+/// depth — Take() erases in place, which beats leaving tombstones exactly
+/// where the next probes would scan over them. In pathologically deep
+/// queues it falls back to lazy deletion: the position is tombstoned in
+/// O(1) and a compaction pass reclaims dead positions once they outnumber
+/// the live ones. Positions returned by the locate methods are only valid
+/// until the next Take().
+class FlatRequestQueue {
+ public:
+  /// Returned by the locate methods when no matching live entry exists.
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Inserts a request under `key`, after any existing entries with the
+  /// same key.
+  void Insert(Cylinder key, const IoRequest& request) {
+    assert(key >= 0 && "cylinder keys pack into the high word");
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back(request);
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+      slab_[slot] = request;
+    }
+    const std::size_t at = UpperBound(key);
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(at),
+                    Pack(key, slot));
+    dead_.insert(dead_.begin() + static_cast<std::ptrdiff_t>(at), 0);
+    ++live_;
+  }
+
+  /// Number of live entries.
+  std::size_t size() const { return live_; }
+
+  /// True iff no live entries remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Key of the entry at position `i` (which must be live).
+  Cylinder key_at(std::size_t i) const {
+    assert(i < entries_.size() && dead_[i] == 0);
+    return static_cast<Cylinder>(entries_[i] >> 32);
+  }
+
+  /// Removes and returns the entry at position `i`; invalidates all
+  /// positions.
+  IoRequest Take(std::size_t i) {
+    assert(i < entries_.size() && dead_[i] == 0);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(entries_[i] & 0xFFFFFFFFu);
+    free_.push_back(slot);
+    --live_;
+    if (entries_.size() - i <= kEraseShiftLimit) {
+      // Shifting the narrow arrays is cheaper than letting a tombstone
+      // sit where the next probes will scan over it (dequeues cluster at
+      // the head position, so that is exactly where it would land).
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      dead_.erase(dead_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      dead_[i] = 1;
+      if (entries_.size() - live_ > live_ + kCompactSlack) Compact();
+    }
+    return slab_[slot];
+  }
+
+  /// First live position with key >= `c`, or kNpos.
+  std::size_t FirstAtOrAbove(Cylinder c) const {
+    return SkipDeadForward(LowerBound(c));
+  }
+
+  /// Both neighbors of `c` from one search: the first live position with
+  /// key >= `c` and the last live position with key < `c` (the newest
+  /// among equal keys), each kNpos when absent. What SSTF asks every
+  /// dispatch; one binary search instead of two.
+  struct Neighbors {
+    std::size_t at_or_above;
+    std::size_t below;
+  };
+  Neighbors NeighborsOf(Cylinder c) const {
+    const std::size_t lb = LowerBound(c);
+    return Neighbors{SkipDeadForward(lb), SkipDeadBackward(lb)};
+  }
+
+  /// Last live position with key < `c`, or kNpos. Among equal keys this is
+  /// the newest entry, matching std::prev(multimap::lower_bound).
+  std::size_t LastBelow(Cylinder c) const {
+    return SkipDeadBackward(LowerBound(c));
+  }
+
+  /// Last live position with key <= `c`, or kNpos. Among equal keys this
+  /// is the newest entry, matching std::prev(multimap::upper_bound).
+  std::size_t LastAtOrBelow(Cylinder c) const {
+    return SkipDeadBackward(UpperBound(c));
+  }
+
+  /// Live position with the smallest key (oldest among equals), or kNpos.
+  std::size_t FirstLive() const { return SkipDeadForward(0); }
+
+ private:
+  /// Lazy deletion keeps this many dead positions around beyond the live
+  /// count before a compaction pass reclaims them.
+  static constexpr std::size_t kCompactSlack = 16;
+
+  /// Take() erases in place when at most this many trailing entries would
+  /// shift (~9 bytes each); deeper removals tombstone instead.
+  static constexpr std::size_t kEraseShiftLimit = 128;
+
+  static std::uint64_t Pack(Cylinder key, std::uint32_t slot) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key))
+            << 32) |
+           slot;
+  }
+
+  /// Branch-light lower bound: first position (live or dead) whose key is
+  /// >= `c`, found by comparing packed words against the key boundary
+  /// `c << 32`. The halving loop turns into conditional moves; no per-step
+  /// branch mispredicts.
+  std::size_t LowerBound(Cylinder c) const {
+    return Bound(Pack(c, 0));
+  }
+
+  /// First position whose key is > `c` (live or dead).
+  std::size_t UpperBound(Cylinder c) const {
+    return Bound(Pack(c + 1, 0));
+  }
+
+  /// First position whose packed entry is >= `boundary`.
+  std::size_t Bound(std::uint64_t boundary) const {
+    const std::uint64_t* base = entries_.data();
+    std::size_t n = entries_.size();
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      base = base[half - 1] < boundary ? base + half : base;
+      n -= half;
+    }
+    std::size_t at = static_cast<std::size_t>(base - entries_.data());
+    if (n == 1 && *base < boundary) ++at;
+    return at;
+  }
+
+  std::size_t SkipDeadForward(std::size_t i) const {
+    while (i < dead_.size() && dead_[i]) ++i;
+    return i < dead_.size() ? i : kNpos;
+  }
+
+  /// Scans backward from position `i - 1`.
+  std::size_t SkipDeadBackward(std::size_t i) const {
+    while (i > 0 && dead_[i - 1]) --i;
+    return i > 0 ? i - 1 : kNpos;
+  }
+
+  void Compact() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (dead_[i]) continue;
+      if (out != i) entries_[out] = entries_[i];
+      ++out;
+    }
+    assert(out == live_ && "live count drifted from the arrays");
+    entries_.resize(out);
+    dead_.assign(out, 0);
+  }
+
+  std::vector<std::uint64_t> entries_;  // sorted (key<<32|slot); ∥ dead_
+  std::vector<std::uint8_t> dead_;      // 1 = tombstoned position
+  std::vector<IoRequest> slab_;         // stable payload storage
+  std::vector<std::uint32_t> free_;     // recycled slab slots
+  std::size_t live_ = 0;
+};
+
+}  // namespace abr::sched
+
+#endif  // ABR_SCHED_FLAT_QUEUE_H_

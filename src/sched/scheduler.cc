@@ -49,27 +49,22 @@ SstfScheduler::SstfScheduler(std::int64_t sectors_per_cylinder)
 }
 
 void SstfScheduler::Enqueue(const IoRequest& request) {
-  by_cylinder_.emplace(CylinderOf(request, sectors_per_cylinder_), request);
-  ++size_;
+  queue_.Insert(CylinderOf(request, sectors_per_cylinder_), request);
 }
 
 std::optional<IoRequest> SstfScheduler::Dequeue(Cylinder head_cylinder) {
-  if (by_cylinder_.empty()) return std::nullopt;
-  // Closest entry at or above the head vs. the closest below it.
-  auto above = by_cylinder_.lower_bound(head_cylinder);
-  auto chosen = by_cylinder_.end();
-  if (above != by_cylinder_.end()) chosen = above;
-  if (above != by_cylinder_.begin()) {
-    auto below = std::prev(above);
-    if (chosen == by_cylinder_.end() ||
-        head_cylinder - below->first < chosen->first - head_cylinder) {
-      chosen = below;
-    }
+  if (queue_.empty()) return std::nullopt;
+  // Closest entry at or above the head vs. the closest below it; the
+  // below entry wins only when strictly closer.
+  const auto [above, below] = queue_.NeighborsOf(head_cylinder);
+  std::size_t chosen = above;
+  if (below != FlatRequestQueue::kNpos &&
+      (above == FlatRequestQueue::kNpos ||
+       head_cylinder - queue_.key_at(below) <
+           queue_.key_at(above) - head_cylinder)) {
+    chosen = below;
   }
-  IoRequest out = chosen->second;
-  by_cylinder_.erase(chosen);
-  --size_;
-  return out;
+  return queue_.Take(chosen);
 }
 
 ScanScheduler::ScanScheduler(std::int64_t sectors_per_cylinder)
@@ -78,29 +73,22 @@ ScanScheduler::ScanScheduler(std::int64_t sectors_per_cylinder)
 }
 
 void ScanScheduler::Enqueue(const IoRequest& request) {
-  by_cylinder_.emplace(CylinderOf(request, sectors_per_cylinder_), request);
-  ++size_;
+  queue_.Insert(CylinderOf(request, sectors_per_cylinder_), request);
 }
 
 std::optional<IoRequest> ScanScheduler::Dequeue(Cylinder head_cylinder) {
-  if (by_cylinder_.empty()) return std::nullopt;
-  auto take = [&](std::multimap<Cylinder, IoRequest>::iterator it) {
-    IoRequest out = it->second;
-    by_cylinder_.erase(it);
-    --size_;
-    return out;
-  };
+  if (queue_.empty()) return std::nullopt;
   if (sweeping_up_) {
-    auto it = by_cylinder_.lower_bound(head_cylinder);
-    if (it != by_cylinder_.end()) return take(it);
+    const std::size_t ahead = queue_.FirstAtOrAbove(head_cylinder);
+    if (ahead != FlatRequestQueue::kNpos) return queue_.Take(ahead);
     sweeping_up_ = false;  // nothing ahead; reverse
   }
   // Sweeping down: closest request at or below the head.
-  auto it = by_cylinder_.upper_bound(head_cylinder);
-  if (it != by_cylinder_.begin()) return take(std::prev(it));
+  const std::size_t behind = queue_.LastAtOrBelow(head_cylinder);
+  if (behind != FlatRequestQueue::kNpos) return queue_.Take(behind);
   // Nothing below either; reverse to an upward sweep.
   sweeping_up_ = true;
-  return take(by_cylinder_.begin());
+  return queue_.Take(queue_.FirstLive());
 }
 
 CLookScheduler::CLookScheduler(std::int64_t sectors_per_cylinder)
@@ -109,18 +97,14 @@ CLookScheduler::CLookScheduler(std::int64_t sectors_per_cylinder)
 }
 
 void CLookScheduler::Enqueue(const IoRequest& request) {
-  by_cylinder_.emplace(CylinderOf(request, sectors_per_cylinder_), request);
-  ++size_;
+  queue_.Insert(CylinderOf(request, sectors_per_cylinder_), request);
 }
 
 std::optional<IoRequest> CLookScheduler::Dequeue(Cylinder head_cylinder) {
-  if (by_cylinder_.empty()) return std::nullopt;
-  auto it = by_cylinder_.lower_bound(head_cylinder);
-  if (it == by_cylinder_.end()) it = by_cylinder_.begin();  // wrap
-  IoRequest out = it->second;
-  by_cylinder_.erase(it);
-  --size_;
-  return out;
+  if (queue_.empty()) return std::nullopt;
+  std::size_t at = queue_.FirstAtOrAbove(head_cylinder);
+  if (at == FlatRequestQueue::kNpos) at = queue_.FirstLive();  // wrap
+  return queue_.Take(at);
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "sched/flat_queue.h"
 #include "sched/request.h"
 #include "util/types.h"
 
@@ -18,6 +18,12 @@ namespace abr::sched {
 /// to start given the current head position. The measured SunOS driver uses
 /// SCAN (Section 5.2); FCFS, SSTF and C-LOOK are provided for the scheduler
 /// ablation benchmark.
+///
+/// The cylinder-ordered policies share one FlatRequestQueue (flat sorted
+/// key/request arrays with lazy deletion) instead of a per-policy
+/// std::multimap; the multimap originals live on in scheduler_ref.h as
+/// differential-test oracles. size() is always derived from the underlying
+/// container, so it cannot drift from the queue's actual contents.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -68,13 +74,12 @@ class SstfScheduler : public Scheduler {
 
   void Enqueue(const IoRequest& request) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
-  std::size_t size() const override { return size_; }
+  std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "SSTF"; }
 
  private:
   std::int64_t sectors_per_cylinder_;
-  std::multimap<Cylinder, IoRequest> by_cylinder_;
-  std::size_t size_ = 0;
+  FlatRequestQueue queue_;
 };
 
 /// SCAN (elevator): the head sweeps in one direction servicing requests in
@@ -86,13 +91,12 @@ class ScanScheduler : public Scheduler {
 
   void Enqueue(const IoRequest& request) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
-  std::size_t size() const override { return size_; }
+  std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "SCAN"; }
 
  private:
   std::int64_t sectors_per_cylinder_;
-  std::multimap<Cylinder, IoRequest> by_cylinder_;
-  std::size_t size_ = 0;
+  FlatRequestQueue queue_;
   bool sweeping_up_ = true;
 };
 
@@ -104,13 +108,12 @@ class CLookScheduler : public Scheduler {
 
   void Enqueue(const IoRequest& request) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
-  std::size_t size() const override { return size_; }
+  std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "C-LOOK"; }
 
  private:
   std::int64_t sectors_per_cylinder_;
-  std::multimap<Cylinder, IoRequest> by_cylinder_;
-  std::size_t size_ = 0;
+  FlatRequestQueue queue_;
 };
 
 /// Factory for the policy identified by `kind`.

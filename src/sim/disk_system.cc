@@ -13,20 +13,17 @@ DiskSystem::DiskSystem(disk::Disk* disk,
 
 void DiskSystem::AdvanceTo(Micros t) {
   assert(t >= now_);
-  while (in_flight_ && in_flight_->completion_time <= t) {
-    const InFlight done = *in_flight_;
-    in_flight_.reset();
-    now_ = done.completion_time;
-
-    CompletedIo completed;
-    completed.request = done.request;
-    completed.dispatch_time = done.dispatch_time;
-    completed.completion_time = done.completion_time;
-    completed.queue_time = done.dispatch_time - done.request.arrival_time;
-    completed.service_time = done.completion_time - done.dispatch_time;
-    completed.breakdown = done.breakdown;
-    if (callback_) callback_(completed);
-
+  // Batch-complete everything due by `t`. Each iteration fixes up the two
+  // derived times, copies the record onto the stack (so a sink that
+  // submits new work — the driver's move chains do — cannot clobber it
+  // mid-delivery), and redispatches.
+  while (in_flight_ && current_.completion_time <= t) {
+    now_ = current_.completion_time;
+    current_.queue_time = current_.dispatch_time - current_.request.arrival_time;
+    current_.service_time = current_.completion_time - current_.dispatch_time;
+    const CompletedIo completed = current_;
+    in_flight_ = false;
+    if (sink_ != nullptr) sink_->OnIoComplete(completed);
     MaybeStartNext();
   }
   if (t > now_) now_ = t;
@@ -43,7 +40,7 @@ void DiskSystem::Submit(const sched::IoRequest& request) {
 }
 
 Micros DiskSystem::Drain() {
-  while (in_flight_) AdvanceTo(in_flight_->completion_time);
+  while (in_flight_) AdvanceTo(current_.completion_time);
   return now_;
 }
 
@@ -53,13 +50,12 @@ void DiskSystem::MaybeStartNext() {
       scheduler_->Dequeue(disk_->head_cylinder());
   if (!next) return;
 
-  InFlight flight;
-  flight.request = *next;
-  flight.dispatch_time = now_;
-  flight.breakdown =
+  current_.request = *next;
+  current_.dispatch_time = now_;
+  current_.breakdown =
       disk_->Service(next->sector, next->sector_count, next->is_read(), now_);
-  flight.completion_time = now_ + flight.breakdown.total();
-  in_flight_ = flight;
+  current_.completion_time = now_ + current_.breakdown.total();
+  in_flight_ = true;
 }
 
 }  // namespace abr::sim

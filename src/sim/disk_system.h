@@ -2,7 +2,6 @@
 #define ABR_SIM_DISK_SYSTEM_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 
@@ -25,26 +24,37 @@ struct CompletedIo {
   disk::ServiceBreakdown breakdown;
 };
 
+/// Receives every completion from a DiskSystem. Implemented by the driver
+/// (and by tests); replaces the former per-system std::function callback so
+/// the completion path is one virtual call with no type-erased closure and
+/// no heap traffic. The sink may submit new requests from OnIoComplete —
+/// the driver's move chains do — but must not advance the clock.
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+  virtual void OnIoComplete(const CompletedIo& done) = 0;
+};
+
 /// Discrete-event model of one disk plus its request queue.
 ///
 /// The caller submits fully-mapped physical requests in nondecreasing
 /// arrival-time order; the system advances a simulated clock, dispatches
 /// one operation at a time to the disk under the configured scheduling
-/// policy, and reports each completion through a callback.
+/// policy, and reports each completion to the registered sink. The
+/// in-flight operation is stored directly as a prefilled CompletedIo, so
+/// completing an event is a two-field fix-up and a trivial copy — a whole
+/// measured day runs without per-request allocation.
 class DiskSystem {
  public:
-  using CompletionCallback = std::function<void(const CompletedIo&)>;
-
   /// The disk must outlive this object.
   DiskSystem(disk::Disk* disk, std::unique_ptr<sched::Scheduler> scheduler);
 
   DiskSystem(const DiskSystem&) = delete;
   DiskSystem& operator=(const DiskSystem&) = delete;
 
-  /// Registers the completion callback (may be empty).
-  void set_completion_callback(CompletionCallback callback) {
-    callback_ = std::move(callback);
-  }
+  /// Registers the completion sink (may be null; the sink must outlive
+  /// this object or be reset before it dies).
+  void set_completion_sink(CompletionSink* sink) { sink_ = sink; }
 
   /// Advances the clock to `t` (>= now()), completing every operation that
   /// finishes by then and dispatching queued work as the disk frees up.
@@ -68,7 +78,7 @@ class DiskSystem {
   std::size_t queued() const { return scheduler_->size(); }
 
   /// True iff an operation is in flight.
-  bool busy() const { return in_flight_.has_value(); }
+  bool busy() const { return in_flight_; }
 
   /// The underlying disk.
   disk::Disk& disk() { return *disk_; }
@@ -78,21 +88,19 @@ class DiskSystem {
   const sched::Scheduler& scheduler() const { return *scheduler_; }
 
  private:
-  struct InFlight {
-    sched::IoRequest request;
-    Micros dispatch_time;
-    Micros completion_time;
-    disk::ServiceBreakdown breakdown;
-  };
-
   /// Dispatches the next queued request, if any, at time now().
   void MaybeStartNext();
 
   disk::Disk* disk_;
   std::unique_ptr<sched::Scheduler> scheduler_;
-  CompletionCallback callback_;
+  CompletionSink* sink_ = nullptr;
   Micros now_ = 0;
-  std::optional<InFlight> in_flight_;
+  /// The one operation the disk is servicing. Kept as a prefilled
+  /// CompletedIo (dispatch/completion/breakdown set at dispatch,
+  /// queue/service times at completion) so finishing an event is a field
+  /// fix-up plus a virtual call — nothing is constructed per request.
+  CompletedIo current_;
+  bool in_flight_ = false;
 };
 
 }  // namespace abr::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 namespace abr::core {
@@ -105,6 +106,67 @@ TEST(ParallelRunnerTest, ErrorFromLowestConfigIndexWins) {
   auto result = ParallelRunner(4).Run(grid, task);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().message(), "config 1 failed");
+}
+
+TEST(RunReplicatedTest, JobsDoNotChangeResults) {
+  // Intra-experiment fan-out: R replications of a single config at jobs=1
+  // and jobs=4 produce bit-identical results in replication order.
+  const std::vector<ExperimentConfig> configs = {TinyConfig()};
+
+  auto serial = ParallelRunner(1).RunReplicated(configs, 3, OneOnDay);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = ParallelRunner(4).RunReplicated(configs, 3, OneOnDay);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(serial->size(), 3u);  // one result slot per replication
+  ASSERT_EQ(parallel->size(), 3u);
+  EXPECT_EQ(Fingerprint(*serial), Fingerprint(*parallel));
+
+  // The replications are genuinely independent: distinct derived seeds
+  // must produce distinct days, not three copies of one run.
+  EXPECT_NE(Fingerprint({(*serial)[0]}), Fingerprint({(*serial)[1]}));
+}
+
+TEST(RunReplicatedTest, SingleReplicaMatchesPlainRun) {
+  // replicas=1 keeps the config's own seed, so RunReplicated degenerates
+  // to Run exactly — unreplicated callers see no behavior change.
+  const std::vector<ExperimentConfig> configs = {TinyConfig()};
+  auto replicated = ParallelRunner(1).RunReplicated(configs, 1, OneOnDay);
+  ASSERT_TRUE(replicated.ok()) << replicated.status().ToString();
+  auto plain = ParallelRunner(1).Run(configs, OneOnDay);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(Fingerprint(*replicated), Fingerprint(*plain));
+}
+
+TEST(RunReplicatedTest, ResultsAreConfigMajorReplicationMinor) {
+  // Two configs x two replications: the task must see the *config* index
+  // (0,0,1,1 over the flat expansion) and results land in that order.
+  std::vector<ExperimentConfig> configs = {TinyConfig(), TinyConfig()};
+  configs[1].seed = 0x5EED;
+  std::vector<std::size_t> seen_indices(4, ~std::size_t{0});
+  std::vector<std::uint64_t> seen_seeds(4, 0);
+  std::atomic<std::size_t> slot{0};
+  auto task = [&](std::size_t config_index,
+                  Experiment& exp) -> StatusOr<std::vector<DayMetrics>> {
+    const std::size_t at = slot.fetch_add(1);
+    seen_indices[at] = config_index;
+    seen_seeds[at] = exp.config().seed;
+    return std::vector<DayMetrics>{};
+  };
+  auto result = ParallelRunner(1).RunReplicated(configs, 2, task);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 4u);
+  EXPECT_EQ(seen_indices, (std::vector<std::size_t>{0, 0, 1, 1}));
+  // Replica 0 keeps the config seed; replica 1 derives from it.
+  EXPECT_EQ(seen_seeds[0], configs[0].seed);
+  EXPECT_EQ(seen_seeds[1], ReplicaSeed(configs[0].seed, 1));
+  EXPECT_EQ(seen_seeds[2], configs[1].seed);
+  EXPECT_EQ(seen_seeds[3], ReplicaSeed(configs[1].seed, 1));
+}
+
+TEST(RunReplicatedTest, RejectsNonPositiveReplicas) {
+  auto result = ParallelRunner(1).RunReplicated({TinyConfig()}, 0, OneOnDay);
+  EXPECT_FALSE(result.ok());
 }
 
 TEST(BuildGridTest, CrossProductOrderAndSeeds) {

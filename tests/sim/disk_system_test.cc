@@ -18,19 +18,27 @@ sched::IoRequest Req(std::int64_t id, Micros arrival, Cylinder cylinder) {
   return r;
 }
 
+/// Test sink that collects every completion.
+struct CollectingSink : CompletionSink {
+  void OnIoComplete(const CompletedIo& done) override {
+    completed.push_back(done);
+  }
+  std::vector<CompletedIo> completed;
+};
+
 class DiskSystemTest : public ::testing::Test {
  protected:
   DiskSystemTest()
       : disk_(Spec()),
         system_(&disk_, sched::MakeScheduler(sched::SchedulerKind::kFcfs,
                                              128)) {
-    system_.set_completion_callback(
-        [this](const CompletedIo& io) { completed_.push_back(io); });
+    system_.set_completion_sink(&sink_);
   }
 
   disk::Disk disk_;
   DiskSystem system_;
-  std::vector<CompletedIo> completed_;
+  CollectingSink sink_;
+  std::vector<CompletedIo>& completed_ = sink_.completed;
 };
 
 TEST_F(DiskSystemTest, IdleDiskDispatchesImmediately) {
@@ -124,22 +132,20 @@ TEST(DiskSystemScanTest, ScanReordersQueuedBurst) {
   disk::Disk disk(Spec());
   DiskSystem system(&disk, sched::MakeScheduler(
                                sched::SchedulerKind::kScan, 128));
-  std::vector<std::int64_t> order;
-  system.set_completion_callback([&order](const CompletedIo& io) {
-    order.push_back(io.request.id);
-  });
+  CollectingSink sink;
+  system.set_completion_sink(&sink);
   // One in-flight op, then a burst that SCAN should serve in sweep order.
   system.Submit(Req(1, 0, 10));
   system.Submit(Req(2, 1, 80));
   system.Submit(Req(3, 1, 20));
   system.Submit(Req(4, 1, 50));
   system.Drain();
-  ASSERT_EQ(order.size(), 4u);
-  EXPECT_EQ(order[0], 1);
+  ASSERT_EQ(sink.completed.size(), 4u);
+  EXPECT_EQ(sink.completed[0].request.id, 1);
   // From cylinder 10 sweeping up: 20, 50, 80.
-  EXPECT_EQ(order[1], 3);
-  EXPECT_EQ(order[2], 4);
-  EXPECT_EQ(order[3], 2);
+  EXPECT_EQ(sink.completed[1].request.id, 3);
+  EXPECT_EQ(sink.completed[2].request.id, 4);
+  EXPECT_EQ(sink.completed[3].request.id, 2);
 }
 
 TEST_F(DiskSystemTest, SimultaneousArrivalsAllServed) {

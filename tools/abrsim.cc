@@ -5,7 +5,8 @@
 //   abrsim onoff  [--disk=toshiba|fujitsu] [--workload=system|users]
 //                 [--days=N] [--policy=organpipe|interleaved|serial]
 //                 [--blocks=N] [--cylinders=N] [--scheduler=scan|fcfs|
-//                 sstf|clook] [--seed=N] [--decay=F]
+//                 sstf|clook] [--seed=N] [--decay=F] [--replicas=R]
+//                 [--jobs=N]
 //   abrsim sweep  [--disk=...] [--workload=...] [--seed=N]
 //                 [--blocks-list=a,b,c,...] [--jobs=N]
 //   abrsim policy [--disk=...] [--workload=...] [--days=N] [--seed=N]
@@ -202,23 +203,52 @@ int CmdOnOff(Flags& flags) {
   core::ExperimentConfig config = BuildConfig(flags);
   const std::int32_t days =
       static_cast<std::int32_t>(flags.GetInt("days", 3));
+  const std::int32_t replicas =
+      static_cast<std::int32_t>(flags.GetInt("replicas", 1));
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   flags.CheckAllUsed();
+  if (replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
 
   std::printf("disk=%s  policy=%s  scheduler=%s  blocks=%d  reserved=%d "
-              "cylinders\n\n",
+              "cylinders",
               config.drive.name.c_str(),
               placement::PolicyKindName(config.system.policy),
               sched::SchedulerKindName(config.system.driver.scheduler),
               config.rearrange_blocks, config.reserved_cylinders);
+  if (replicas > 1) std::printf("  replicas=%d", replicas);
+  std::printf("\n\n");
 
-  core::Experiment exp(std::move(config));
-  StatusOr<core::OnOffResult> result = core::RunOnOff(exp, days);
-  if (!result.ok()) Die("onoff", result.status());
+  // Replication 0 keeps the config's own seed, so the default
+  // --replicas=1 output is byte-identical to the historical serial run;
+  // extra replications fan out across --jobs workers and fold into the
+  // same summary rows in replication order.
+  auto task = [days](std::size_t, core::Experiment& exp)
+      -> StatusOr<std::vector<core::DayMetrics>> {
+    StatusOr<core::OnOffResult> r = core::RunOnOffDays(exp, days);
+    if (!r.ok()) return r.status();
+    return core::InterleaveOnOff(*r);
+  };
+  auto results =
+      core::ParallelRunner(jobs).RunReplicated({config}, replicas, task);
+  if (!results.ok()) Die("onoff", results.status());
+
+  core::OnOffResult merged;
+  for (const std::vector<core::DayMetrics>& replica : *results) {
+    core::OnOffResult split = core::SplitOnOff(replica);
+    merged.off_days.insert(merged.off_days.end(), split.off_days.begin(),
+                           split.off_days.end());
+    merged.on_days.insert(merged.on_days.end(), split.on_days.begin(),
+                          split.on_days.end());
+  }
 
   Table t({"On/Off", "seek min", "seek avg", "seek max", "svc avg",
            "wait avg"});
   for (const auto& [label, daysv] :
-       {std::pair{"Off", &result->off_days}, {"On", &result->on_days}}) {
+       {std::pair{"Off", &merged.off_days}, {"On", &merged.on_days}}) {
     core::SummaryRow row =
         core::OnOffResult::Summarize(*daysv, core::OnOffResult::Slice::kAll);
     t.AddRow({label, Table::Fmt(row.seek_ms.min()),
@@ -354,7 +384,10 @@ void Usage() {
       "--decay=F\n"
       "sweep only: --blocks-list=a,b,c\n"
       "sweep/policy: --jobs=N  run grid points on N worker threads\n"
-      "  (output is byte-identical for every N; N=1 runs inline)\n");
+      "  (output is byte-identical for every N; N=1 runs inline)\n"
+      "onoff: --replicas=R  independent replications (replica 0 keeps\n"
+      "  --seed, so R=1 reproduces the serial run); --jobs=N fans the\n"
+      "  replications across N workers with identical output for every N\n");
 }
 
 }  // namespace

@@ -24,10 +24,14 @@ if [[ "$NO_TSAN" == 1 ]]; then
   exit 0
 fi
 
-echo "== tsan: thread_pool_test + parallel_runner_test =="
+echo "== tsan: thread_pool_test + parallel_runner_test + bench_e2e --quick =="
 cmake -B build-tsan -S . -DABR_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target thread_pool_test parallel_runner_test >/dev/null
+cmake --build build-tsan -j --target thread_pool_test parallel_runner_test bench_e2e >/dev/null
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
+# Whole-pipeline smoke: a miniature day through the replication fan-out,
+# including the flat-vs-reference scheduler identity check. Run from the
+# build dir so its BENCH_e2e.json does not clobber the repo-root one.
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_e2e --quick)
 
 echo "== all checks passed =="
