@@ -25,6 +25,7 @@ DayMetrics DayMetrics::From(const driver::PerfSnapshot& snapshot,
   d.writes = SliceMetrics::From(snapshot.writes, model);
   d.service_all = snapshot.all.service_time;
   d.service_reads = snapshot.reads.service_time;
+  d.faults = snapshot.faults;
   return d;
 }
 

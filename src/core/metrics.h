@@ -35,6 +35,8 @@ struct DayMetrics {
   /// Service-time distributions, for the CDF figures (4 and 6).
   stats::TimeHistogram service_all;
   stats::TimeHistogram service_reads;
+  /// Fault-path event counts for the day (zero on fault-free runs).
+  driver::FaultCounters faults;
 
   /// Builds day metrics from a driver stats snapshot.
   static DayMetrics From(const driver::PerfSnapshot& snapshot,

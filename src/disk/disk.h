@@ -11,6 +11,17 @@
 
 namespace abr::disk {
 
+/// Outcome of one media operation. The base Disk always reports kOk; the
+/// fault-injection decorator (fault::FaultyDisk) uses the other values.
+/// kCrashed marks the operation in flight when a scheduled crash point
+/// fired: it never completes and must not be delivered to any sink.
+enum class MediaStatus : std::uint8_t {
+  kOk = 0,
+  kTransientError,   // retryable: the range heals after bounded retries
+  kPersistentError,  // media defect: every retry fails
+  kCrashed,          // power loss mid-operation
+};
+
 /// Per-request service-time decomposition, the same quantities the paper
 /// reasons about: seek, rotational latency, transfer (Section 5.5 uses
 /// "service - seek = rotation + transfer" on the Toshiba drive).
@@ -20,6 +31,11 @@ struct ServiceBreakdown {
   Micros transfer = 0;
   std::int64_t seek_distance = 0;  // cylinders moved
   bool buffer_hit = false;         // read satisfied from the track buffer
+  MediaStatus media = MediaStatus::kOk;
+  SectorNo error_sector = -1;      // first failing sector when media != kOk
+  std::int64_t sectors_ok = 0;     // sectors that landed before the failure
+
+  bool ok() const { return media == MediaStatus::kOk; }
 
   /// Total service time.
   Micros total() const { return seek + rotation + transfer; }
@@ -40,6 +56,7 @@ struct ServiceBreakdown {
 class Disk {
  public:
   explicit Disk(DriveSpec spec);
+  virtual ~Disk() = default;
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -47,9 +64,10 @@ class Disk {
   /// Services an I/O against [sector, sector+count). `start_time` is the
   /// absolute simulator time at which the disk begins the operation.
   /// Advances the head and updates the track buffer. The caller is
-  /// responsible for not overlapping operations in time.
-  ServiceBreakdown Service(SectorNo sector, std::int64_t count, bool is_read,
-                           Micros start_time);
+  /// responsible for not overlapping operations in time. Virtual so a
+  /// fault-injection decorator can interpose on the data/timing plane.
+  virtual ServiceBreakdown Service(SectorNo sector, std::int64_t count,
+                                   bool is_read, Micros start_time);
 
   /// Head position after the last operation.
   Cylinder head_cylinder() const { return head_cylinder_; }
@@ -81,6 +99,11 @@ class Disk {
   /// (non-overlapping). This is a data-plane helper only: callers that care
   /// about timing must issue the read and write through Service().
   void CopyPayload(SectorNo src, SectorNo dst, std::int64_t count);
+
+ protected:
+  /// Derived fault decorators invalidate the read-ahead buffer after a
+  /// failed read so bad sectors cannot later be served from the buffer.
+  TrackBuffer& track_buffer() { return buffer_; }
 
  private:
   DriveSpec spec_;

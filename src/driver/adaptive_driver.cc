@@ -59,12 +59,34 @@ Status AdaptiveDriver::Attach(bool after_crash) {
     if (image.has_value()) {
       StatusOr<BlockTable> loaded =
           BlockTable::Deserialize(*image, config_.block_table_capacity);
+      if (!loaded.ok() && after_crash) {
+        // A crash can tear the table write mid-image. Fall back to the
+        // store's shadow copy (two-area layout), or — if that is also
+        // unusable — to an empty table: every block then reads from its
+        // original position, which is safe because a copy-in only redirects
+        // writes after its table update is durable, and a dirty clean-out
+        // leaves current data at the relocated slot that the entry in the
+        // *older* shadow image still points at.
+        perf_monitor_.RecordRecoveryFallback();
+        std::optional<std::vector<std::uint8_t>> shadow =
+            store_->LoadFallback();
+        if (shadow.has_value()) {
+          loaded = BlockTable::Deserialize(*shadow,
+                                           config_.block_table_capacity);
+        }
+        if (!loaded.ok()) {
+          loaded = BlockTable(config_.block_table_capacity);
+        }
+      }
       if (!loaded.ok()) return loaded.status();
       *block_table_ = std::move(loaded.value());
       if (after_crash) {
         // The on-disk dirty bits may be stale; assume the worst so that no
         // update to a repositioned block can be lost (Section 4.1.2).
         block_table_->MarkAllDirty();
+        perf_monitor_.RecordRecoveryDirtied(block_table_->size());
+        // Replace whatever torn image the store holds with a valid one.
+        store_->Save(block_table_->Serialize());
       }
     } else {
       store_->Save(block_table_->Serialize());
@@ -403,6 +425,22 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
 
   chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
 
+  // Abort rollback: if the entry was already inserted (the target write
+  // completed but the table write failed for good), withdraw it. The
+  // original still holds current data — no redirected write can have
+  // happened while the block was held — so dropping the entry is safe.
+  // Clean-out chains need no rollback: whether or not Remove ran, both
+  // locations hold the block's bytes at every abort point.
+  chain.on_abort = [this, original, target]() {
+    std::optional<SectorNo> relocated = block_table_->Lookup(original);
+    if (relocated.has_value() && *relocated == target) {
+      Status s = block_table_->Remove(original);
+      assert(s.ok());
+      (void)s;
+      SaveTable();
+    }
+  };
+
   moving_.emplace(original, std::move(chain));
   PumpChain(original);
   return Status::Ok();
@@ -514,6 +552,12 @@ void AdaptiveDriver::SubmitInternal(SectorNo key, sched::IoRequest op) {
 }
 
 void AdaptiveDriver::OnIoComplete(const sim::CompletedIo& done) {
+  const bool failed = done.breakdown.media != disk::MediaStatus::kOk;
+  if (failed) perf_monitor_.RecordMediaError();
+  const bool retryable =
+      failed && done.breakdown.media == disk::MediaStatus::kTransientError &&
+      done.request.retries < config_.max_io_retries;
+
   if (done.request.internal) {
     ++internal_io_count_;
     internal_io_time_ += done.service_time;
@@ -523,6 +567,19 @@ void AdaptiveDriver::OnIoComplete(const sim::CompletedIo& done) {
     internal_ops_.erase(it);
     auto chain_it = moving_.find(key);
     assert(chain_it != moving_.end());
+    if (failed) {
+      if (retryable) {
+        // Re-issue the same operation; the chain's pending state change
+        // (active_after) stays parked until a retry succeeds.
+        perf_monitor_.RecordRetry();
+        sched::IoRequest retry = done.request;
+        ++retry.retries;
+        SubmitInternal(key, retry);
+      } else {
+        AbortChain(key);
+      }
+      return;
+    }
     if (chain_it->second.active_after) {
       chain_it->second.active_after();
       chain_it->second.active_after = nullptr;
@@ -530,17 +587,58 @@ void AdaptiveDriver::OnIoComplete(const sim::CompletedIo& done) {
     PumpChain(key);
     return;
   }
+
+  if (failed) {
+    if (retryable) {
+      // Same id, bumped retry count: the client sees one request whose
+      // service merely took longer, exactly like a real driver's b_resid
+      // retry loop.
+      perf_monitor_.RecordRetry();
+      sched::IoRequest retry = done.request;
+      ++retry.retries;
+      system_.Submit(retry);
+      return;
+    }
+    // Budget exhausted or the medium is truly bad: the request fails. The
+    // error completion still reaches the client sink so callers observe
+    // the final outcome (and know the write was never acknowledged).
+    perf_monitor_.RecordFailedRequest();
+    if (client_sink_ != nullptr) client_sink_->OnIoComplete(done);
+    return;
+  }
+
   perf_monitor_.RecordCompletion(
       done.request.type, done.queue_time, done.service_time,
       done.breakdown.seek_distance, done.breakdown.rotation,
       done.breakdown.transfer, done.breakdown.buffer_hit);
+  if (client_sink_ != nullptr) client_sink_->OnIoComplete(done);
+}
+
+void AdaptiveDriver::AbortChain(SectorNo key) {
+  auto it = moving_.find(key);
+  assert(it != moving_.end());
+  MoveChain& chain = it->second;
+  perf_monitor_.RecordAbortedChain();
+  chain.ops.clear();
+  chain.active_after = nullptr;
+  if (chain.on_abort) {
+    std::function<void()> rollback = std::move(chain.on_abort);
+    chain.on_abort = nullptr;
+    rollback();
+  }
+  // With no ops left PumpChain retires the chain normally: held requests
+  // are released against the rolled-back table and on_finish (the clean
+  // pass's pump) keeps going with the next block.
+  PumpChain(key);
 }
 
 Micros AdaptiveDriver::Drain() {
   Micros t = system_.Drain();
   // Completion callbacks may have queued more chain ops; keep going until
-  // every move chain has retired.
-  while (!moving_.empty() || system_.busy() || system_.queued() > 0) {
+  // every move chain has retired. A halted (crashed) system never completes
+  // anything again, so chains frozen mid-flight are left as they are.
+  while (!system_.halted() &&
+         (!moving_.empty() || system_.busy() || system_.queued() > 0)) {
     t = system_.Drain();
     if (!system_.busy() && system_.queued() == 0 && !moving_.empty()) {
       // A chain exists but has no I/O in flight: it must be waiting in

@@ -42,6 +42,12 @@ struct DriverConfig {
   /// this to measure the flat queues against the original implementation
   /// on identical whole-day workloads.
   bool reference_scheduler = false;
+
+  /// Bounded retry budget for transient media errors: a request failing
+  /// with MediaStatus::kTransientError is re-issued up to this many times
+  /// before the driver gives up (external requests fail; internal move
+  /// chains abort and roll back).
+  std::int32_t max_io_retries = 3;
 };
 
 /// The modified UNIX disk driver of Section 4: logical-device to physical
@@ -68,8 +74,12 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// The attach routine (Section 4.1.1): on a rearranged disk, reads the
   /// reserved-area information and the on-disk block table. If
   /// `after_crash` is set, every loaded entry is marked dirty — the
-  /// conservative recovery of Section 4.1.2. Must be called once before
-  /// submitting requests.
+  /// conservative recovery of Section 4.1.2 — and a corrupt or torn
+  /// primary image no longer fails the attach: recovery falls back to the
+  /// store's shadow copy (two-area table writes) or, failing that, to an
+  /// empty table whose reserved area is reconciled by the next
+  /// DKIOCCLEAN-style pass. Must be called once before submitting
+  /// requests.
   Status Attach(bool after_crash = false);
 
   /// Clean shutdown: drains outstanding I/O and writes the block table —
@@ -156,6 +166,18 @@ class AdaptiveDriver : private sim::CompletionSink {
   disk::Disk& disk() { return *disk_; }
   const RequestMonitor& request_monitor() const { return request_monitor_; }
 
+  /// True once the underlying disk reported a crash point: the machine is
+  /// dead, no further I/O runs, and only a fresh driver instance with
+  /// Attach(after_crash=true) can resume service.
+  bool halted() const { return system_.halted(); }
+
+  /// Registers a second completion sink that observes every *external*
+  /// request's final outcome (successful completion, or the error
+  /// completion after the retry budget is exhausted). Internal move-chain
+  /// I/O and retried attempts are not forwarded. The crash harness uses
+  /// this to track acknowledged writes; may be null.
+  void set_client_sink(sim::CompletionSink* sink) { client_sink_ = sink; }
+
   /// Sectors per file-system block.
   std::int32_t block_sectors() const { return block_sectors_; }
 
@@ -234,6 +256,10 @@ class AdaptiveDriver : private sim::CompletionSink {
     std::function<void()> active_after;  // effect of the op in flight
     std::vector<HeldRequest> held;
     std::function<void()> on_finish;
+    /// Rollback run when a persistent media error aborts the chain: undoes
+    /// any table mutation already applied (in-memory + store bytes only;
+    /// no further timed I/O is attempted on a failing chain).
+    std::function<void()> on_abort;
   };
 
   /// Validates device/extent and returns the partition.
@@ -259,6 +285,11 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// the chain (releasing held requests).
   void PumpChain(SectorNo key);
 
+  /// Aborts chain `key` after an unrecoverable media error: runs the
+  /// rollback, drops the remaining ops, and retires the chain normally
+  /// (held requests are released and re-translated).
+  void AbortChain(SectorNo key);
+
   /// Submits one internal I/O belonging to chain `key`.
   void SubmitInternal(SectorNo key, sched::IoRequest op);
 
@@ -280,6 +311,7 @@ class AdaptiveDriver : private sim::CompletionSink {
   DriverConfig config_;
   BlockTableStore* store_;
   sim::DiskSystem system_;
+  sim::CompletionSink* client_sink_ = nullptr;
   std::unique_ptr<BlockTable> block_table_;
   RequestMonitor request_monitor_;
   PerfMonitor perf_monitor_;

@@ -145,13 +145,16 @@ StatusOr<BlockTable> BlockTable::Deserialize(
   if (GetU64(in, 0) != kTableMagic) {
     return Status::Corruption("bad block table magic");
   }
+  // Validate the entry count BEFORE any size arithmetic: a hostile count
+  // near 2^64 would overflow `count * kEntryBytes` and slip past the
+  // truncation check below.
   const std::uint64_t count = GetU64(in, 8);
+  if (count > static_cast<std::uint64_t>(capacity)) {
+    return Status::InvalidArgument("stored table exceeds capacity");
+  }
   if (in.size() < static_cast<std::size_t>(kHeaderBytes) +
                       count * static_cast<std::size_t>(kEntryBytes)) {
     return Status::Corruption("block table image shorter than entry count");
-  }
-  if (count > static_cast<std::uint64_t>(capacity)) {
-    return Status::InvalidArgument("stored table exceeds capacity");
   }
   if (GetU64(in, 16) != Checksum(in, static_cast<std::size_t>(kHeaderBytes))) {
     return Status::Corruption("block table checksum mismatch");

@@ -72,6 +72,7 @@ PerfSnapshot PerfMonitor::Snapshot(bool clear) {
     snapshot_.reads.Clear();
     snapshot_.writes.Clear();
     snapshot_.all.Clear();
+    snapshot_.faults.Clear();
     read_chain_ = Chain{};
     write_chain_ = Chain{};
     all_chain_ = Chain{};

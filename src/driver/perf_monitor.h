@@ -43,6 +43,21 @@ struct PerfSide {
   void Clear();
 };
 
+/// Fault-path event counts (the crash/fault subsystem's view of the day):
+/// how many injected media errors the driver saw, how often it retried,
+/// how many requests and internal move chains it gave up on, and what
+/// crash recovery had to conservatively dirty or reconstruct.
+struct FaultCounters {
+  std::int64_t media_errors = 0;        // error completions delivered
+  std::int64_t retries = 0;             // transient-error re-issues
+  std::int64_t failed_requests = 0;     // external requests given up on
+  std::int64_t aborted_chains = 0;      // move chains aborted + rolled back
+  std::int64_t recovery_dirtied = 0;    // entries dirtied by crash attach
+  std::int64_t recovery_fallbacks = 0;  // attaches that lost the primary image
+
+  void Clear() { *this = FaultCounters{}; }
+};
+
 /// Snapshot returned by the stats ioctl. `all` is a true single-chain view
 /// of the whole request stream: its arrival-order seek distances are the
 /// distances between consecutive arrivals of *any* type, not a merge of the
@@ -51,6 +66,7 @@ struct PerfSnapshot {
   PerfSide reads;
   PerfSide writes;
   PerfSide all;
+  FaultCounters faults;
 };
 
 /// In-driver performance monitor. The driver reports request arrivals (for
@@ -72,6 +88,16 @@ class PerfMonitor {
   void RecordCompletion(sched::IoType type, Micros queue_time,
                         Micros service_time, std::int64_t seek_distance,
                         Micros rotation, Micros transfer, bool buffer_hit);
+
+  // --- Fault-path events (see FaultCounters) ---------------------------
+  void RecordMediaError() { ++snapshot_.faults.media_errors; }
+  void RecordRetry() { ++snapshot_.faults.retries; }
+  void RecordFailedRequest() { ++snapshot_.faults.failed_requests; }
+  void RecordAbortedChain() { ++snapshot_.faults.aborted_chains; }
+  void RecordRecoveryDirtied(std::int64_t entries) {
+    snapshot_.faults.recovery_dirtied += entries;
+  }
+  void RecordRecoveryFallback() { ++snapshot_.faults.recovery_fallbacks; }
 
   /// Returns the current statistics; clears them when `clear` is set (the
   /// real ioctl always clears; tests sometimes want to peek).

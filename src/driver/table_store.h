@@ -26,6 +26,13 @@ class BlockTableStore {
 
   /// Returns the last saved image, or nullopt if none was ever saved.
   virtual std::optional<std::vector<std::uint8_t>> Load() const = 0;
+
+  /// Previous complete image, for stores that keep a two-area (ping-pong)
+  /// table layout: when a crash tears the primary image mid-Save, recovery
+  /// falls back to the shadow copy. The default store keeps no shadow.
+  virtual std::optional<std::vector<std::uint8_t>> LoadFallback() const {
+    return std::nullopt;
+  }
 };
 
 /// Trivial in-memory store.
@@ -40,8 +47,13 @@ class InMemoryTableStore : public BlockTableStore {
   }
 
   /// Corrupts one byte of the stored image (failure-injection tests).
-  void CorruptByte(std::size_t offset) {
-    if (image_ && offset < image_->size()) (*image_)[offset] ^= 0xFF;
+  /// Returns false when there was nothing to corrupt (no image, or offset
+  /// past its end) so a test aiming at the wrong byte fails loudly instead
+  /// of silently passing against an intact image.
+  [[nodiscard]] bool CorruptByte(std::size_t offset) {
+    if (!image_ || offset >= image_->size()) return false;
+    (*image_)[offset] ^= 0xFF;
+    return true;
   }
 
  private:

@@ -1,0 +1,159 @@
+#ifndef ABR_FAULT_CRASH_HARNESS_H_
+#define ABR_FAULT_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/disk_label.h"
+#include "driver/adaptive_driver.h"
+#include "driver/perf_monitor.h"
+#include "fault/crash_table_store.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_disk.h"
+#include "placement/policy.h"
+#include "sim/disk_system.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "util/zipf.h"
+
+namespace abr::fault {
+
+/// Crash-harness configuration. Everything is seeded; a (seed, config)
+/// pair reproduces the run exactly, including every injected fault and
+/// crash point.
+struct CrashHarnessConfig {
+  std::uint64_t seed = 1;
+
+  // Drive shape (small, so a run is fast).
+  std::int32_t cylinders = 60;
+  std::int32_t tracks_per_cylinder = 2;
+  std::int32_t sectors_per_track = 32;
+  std::int32_t reserved_cylinders = 8;
+  std::int32_t block_table_capacity = 16;
+
+  // Workload: seeded Zipf block references with exponential interarrivals.
+  std::int32_t phases = 10;              // workload bursts per run
+  std::int32_t requests_per_phase = 400;
+  double write_fraction = 0.5;
+  double zipf_theta = 0.9;
+  Micros mean_interarrival = 1500;
+  std::int32_t arrange_every = 2;        // rearrangement pass cadence
+
+  // Fault schedule.
+  std::int32_t crash_points = 2;
+  std::int32_t transient_faults = 3;
+  std::int32_t persistent_faults = 1;
+  std::int32_t torn_writes = 2;
+
+  /// Shrinks the run (fewer phases/requests) for smoke tests.
+  CrashHarnessConfig Quick() const {
+    CrashHarnessConfig q = *this;
+    q.phases = 4;
+    q.requests_per_phase = 120;
+    return q;
+  }
+};
+
+/// What one harness run observed and verified.
+struct CrashHarnessResult {
+  std::int32_t crashes = 0;
+  // Where each crash landed, classified by the op on the medium.
+  std::int32_t crash_in_table_save = 0;
+  std::int32_t crash_in_arrangement = 0;  // reserved-data-area move I/O
+  std::int32_t crash_in_steady_state = 0;
+
+  std::int64_t requests_submitted = 0;
+  std::int64_t writes_acked = 0;
+  std::int64_t reads_checked = 0;       // fingerprint-verified reads
+  std::int64_t blocks_verified = 0;     // full-block verify-pass checks
+  std::int64_t blocks_indeterminate = 0;  // unacked at a crash, re-stamped later
+  std::int64_t verify_reads_failed = 0;   // media errors during verification
+  std::int64_t mismatches = 0;          // lost or misdirected acked writes
+  std::int32_t arrange_passes = 0;
+
+  std::int64_t injected_faults = 0;   // disk-level error outcomes
+  driver::FaultCounters faults;       // driver-level view, all generations
+
+  /// Order-independent digest of the final verified state (expected
+  /// versions + on-platter payloads). Two runs of the same (seed, config)
+  /// must produce identical hashes — the determinism contract `abrsim
+  /// crashday` checks across --jobs values.
+  std::uint64_t fingerprint_hash = 0;
+
+  std::string first_error;  // empty when ok()
+  bool ok() const { return mismatches == 0 && first_error.empty(); }
+};
+
+/// Runs seeded on/off-style days against a FaultyDisk, crashing at the
+/// plan's scheduled points — including inside the arranger's copy/write-back
+/// pipeline and inside block-table saves — then re-attaches a fresh
+/// AdaptiveDriver with Attach(after_crash=true), resumes the workload, and
+/// asserts via per-sector payload fingerprints that no acknowledged write
+/// is ever lost or misdirected.
+///
+/// Acknowledgement semantics: a write counts as acknowledged exactly when
+/// its completion reached the driver's client sink before the crash. The
+/// harness stamps the block's payload fingerprint at ack time at the
+/// completed request's physical sector; blocks with an unacknowledged
+/// write in flight at a crash are indeterminate (either outcome is legal)
+/// and are excluded from verification until the next acknowledged write.
+class CrashHarness : public sim::CompletionSink {
+ public:
+  explicit CrashHarness(CrashHarnessConfig config);
+  ~CrashHarness() override;
+
+  CrashHarness(const CrashHarness&) = delete;
+  CrashHarness& operator=(const CrashHarness&) = delete;
+
+  /// Runs the whole schedule and returns the verdict.
+  CrashHarnessResult Run();
+
+  /// sim::CompletionSink: final outcome of every external request.
+  void OnIoComplete(const sim::CompletedIo& done) override;
+
+ private:
+  static constexpr std::uint64_t kIndeterminate = ~0ULL;
+
+  /// Fingerprint for sector `offset` of `block` at write version `version`.
+  static std::uint64_t PayloadValue(BlockNo block, std::uint64_t version,
+                                    std::int64_t offset);
+
+  void BuildMachine(bool after_crash);
+  void RunWorkloadPhase();
+  void MaybeArrange(std::int32_t phase);
+  void HandleCrash();
+  void VerifyAll();
+  void CheckBlockAt(SectorNo sector, BlockNo block, std::uint64_t version);
+  void RecordError(std::string what);
+  void CollectDriverStats();
+
+  CrashHarnessConfig config_;
+  CrashHarnessResult result_;
+
+  disk::DiskLabel label_;
+  std::unique_ptr<FaultyDisk> disk_;
+  CrashTableStore store_;
+  std::unique_ptr<driver::AdaptiveDriver> driver_;
+  std::unique_ptr<placement::PlacementPolicy> policy_;
+
+  Rng workload_rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  std::int32_t block_sectors_ = 0;
+  std::vector<BlockNo> eligible_;            // single-extent blocks
+  std::vector<SectorNo> original_sector_;    // by eligible index
+  std::vector<std::uint64_t> expected_;      // version or kIndeterminate
+  std::vector<std::uint64_t> next_version_;
+  std::vector<std::int64_t> refs_;           // reference counts for ranking
+  std::unordered_map<BlockNo, std::uint64_t> pending_;  // in-flight writes
+  std::unordered_map<BlockNo, std::size_t> eligible_index_;
+  Micros clock_ = 0;
+  bool verifying_ = false;
+  bool arranging_ = false;  // a rearrangement pass is (or was, at a crash) active
+};
+
+}  // namespace abr::fault
+
+#endif  // ABR_FAULT_CRASH_HARNESS_H_

@@ -1,0 +1,93 @@
+#ifndef ABR_FAULT_CRASH_TABLE_STORE_H_
+#define ABR_FAULT_CRASH_TABLE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "driver/table_store.h"
+#include "fault/faulty_disk.h"
+
+namespace abr::fault {
+
+/// Crash-accurate two-area (ping-pong) block-table store.
+///
+/// The driver's SaveTable() persists bytes immediately, but the matching
+/// table-area disk write completes later; between the two, the platter
+/// still holds the previous image. This store models that window: Save()
+/// only *stages* the image, and it becomes durable when FaultyDisk reports
+/// the table-area write complete (TableWriteObserver). A crash mid-write
+/// leaves a torn prefix as the newest on-disk image; the previous durable
+/// image survives intact in the other area, which is what
+/// AdaptiveDriver::Attach(after_crash=true) falls back to via
+/// LoadFallback().
+///
+/// Safety: the durable image is only ever replaced by a *completed* table
+/// write, and the driver releases requests held for a move only after the
+/// move's table write completes — so no acknowledged write can depend on
+/// table state newer than the fallback image.
+class CrashTableStore : public driver::BlockTableStore,
+                        public TableWriteObserver {
+ public:
+  // --- BlockTableStore --------------------------------------------------
+
+  void Save(std::vector<std::uint8_t> image) override {
+    pending_ = std::move(image);
+    ++saves_;
+  }
+
+  std::optional<std::vector<std::uint8_t>> Load() const override {
+    // The newest image the platter holds: a torn write attempt if one was
+    // interrupted, else the last durable image.
+    return torn_.has_value() ? torn_ : committed_;
+  }
+
+  std::optional<std::vector<std::uint8_t>> LoadFallback() const override {
+    return torn_.has_value() ? committed_ : previous_;
+  }
+
+  // --- TableWriteObserver ----------------------------------------------
+
+  void OnTableWriteDurable() override {
+    if (!pending_.has_value()) return;
+    previous_ = std::move(committed_);
+    committed_ = std::move(*pending_);
+    pending_.reset();
+    torn_.reset();
+    ++commits_;
+  }
+
+  void OnTableWriteTorn(double keep_fraction) override {
+    if (!pending_.has_value()) return;
+    std::vector<std::uint8_t> image = std::move(*pending_);
+    pending_.reset();
+    if (keep_fraction < 0) keep_fraction = 0;
+    if (keep_fraction > 1) keep_fraction = 1;
+    image.resize(static_cast<std::size_t>(
+        keep_fraction * static_cast<double>(image.size())));
+    torn_ = std::move(image);
+    ++tears_;
+  }
+
+  // --- Introspection ----------------------------------------------------
+
+  std::int64_t saves() const { return saves_; }
+  std::int64_t commits() const { return commits_; }
+  std::int64_t tears() const { return tears_; }
+  bool torn() const { return torn_.has_value(); }
+
+ private:
+  std::optional<std::vector<std::uint8_t>> pending_;    // staged, in flight
+  std::optional<std::vector<std::uint8_t>> committed_;  // last durable
+  std::optional<std::vector<std::uint8_t>> previous_;   // the other area
+  std::optional<std::vector<std::uint8_t>> torn_;       // interrupted write
+
+  std::int64_t saves_ = 0;
+  std::int64_t commits_ = 0;
+  std::int64_t tears_ = 0;
+};
+
+}  // namespace abr::fault
+
+#endif  // ABR_FAULT_CRASH_TABLE_STORE_H_

@@ -1,0 +1,81 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace abr::fault {
+
+FaultPlan FaultPlan::Random(std::uint64_t seed,
+                            const FaultPlanConfig& config) {
+  assert(config.sector_count > 0);
+  assert(config.io_horizon > 0);
+  Rng rng(seed);
+  FaultPlan plan;
+
+  auto draw_fault = [&](bool persistent) {
+    MediaFault f;
+    f.count = 1 + static_cast<std::int64_t>(rng.NextBounded(
+                      static_cast<std::uint64_t>(config.max_fault_sectors)));
+    f.first = static_cast<SectorNo>(
+        rng.NextBounded(static_cast<std::uint64_t>(config.sector_count)));
+    if (f.first + f.count > config.sector_count) {
+      f.first = config.sector_count - f.count;
+    }
+    f.persistent = persistent;
+    // Transients heal within the driver's default retry budget so the
+    // request stream keeps making progress.
+    f.fail_budget = 1 + static_cast<std::int32_t>(rng.NextBounded(2));
+    f.arm_after_io = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(config.io_horizon)));
+    plan.media.push_back(f);
+  };
+  for (std::int32_t i = 0; i < config.transient_faults; ++i) {
+    draw_fault(/*persistent=*/false);
+  }
+  for (std::int32_t i = 0; i < config.persistent_faults; ++i) {
+    draw_fault(/*persistent=*/true);
+  }
+
+  const std::int64_t torn_horizon = std::max<std::int64_t>(
+      1, config.io_horizon / 4);
+  for (std::int32_t i = 0; i < config.torn_writes; ++i) {
+    TornWrite t;
+    t.write_index = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(torn_horizon)));
+    t.keep_fraction = 0.2 + 0.6 * rng.NextDouble();
+    plan.torn.push_back(t);
+  }
+  std::sort(plan.torn.begin(), plan.torn.end(),
+            [](const TornWrite& a, const TornWrite& b) {
+              return a.write_index < b.write_index;
+            });
+  plan.torn.erase(std::unique(plan.torn.begin(), plan.torn.end(),
+                              [](const TornWrite& a, const TornWrite& b) {
+                                return a.write_index == b.write_index;
+                              }),
+                  plan.torn.end());
+
+  for (std::int32_t i = 0; i < config.crash_points; ++i) {
+    CrashPoint c;
+    c.at_io = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(config.io_horizon)));
+    plan.crashes.push_back(c);
+  }
+  std::sort(plan.crashes.begin(), plan.crashes.end(),
+            [](const CrashPoint& a, const CrashPoint& b) {
+              return a.at_io < b.at_io;
+            });
+  // Crash consistency holds for arbitrary timing (the table store only
+  // replaces its durable image on a completed table write), but spacing
+  // the points out keeps each boot long enough to be interesting.
+  for (std::size_t i = 1; i < plan.crashes.size(); ++i) {
+    plan.crashes[i].at_io =
+        std::max(plan.crashes[i].at_io,
+                 plan.crashes[i - 1].at_io + config.min_crash_spacing);
+  }
+  return plan;
+}
+
+}  // namespace abr::fault

@@ -1,0 +1,83 @@
+#ifndef ABR_FAULT_FAULT_PLAN_H_
+#define ABR_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace abr::fault {
+
+/// One bad sector range on the medium.
+struct MediaFault {
+  SectorNo first = 0;
+  std::int64_t count = 1;
+
+  /// Persistent faults (a real media defect) fail every operation that
+  /// touches the range, forever. Transient faults fail `fail_budget`
+  /// touches and then heal — the usual behaviour of a marginal sector that
+  /// reads fine on retry.
+  bool persistent = false;
+  std::int32_t fail_budget = 1;
+
+  /// The fault is dormant until the disk has serviced this many operations
+  /// (so a range can go bad in the middle of a day).
+  std::int64_t arm_after_io = 0;
+};
+
+/// One torn write: the Nth write operation the disk services lands only a
+/// prefix of its sectors on the medium and is reported back as a transient
+/// error whose ServiceBreakdown carries the landed-prefix length. The
+/// driver retries the whole operation.
+struct TornWrite {
+  std::int64_t write_index = 0;  // 0-based index in the disk's write stream
+  double keep_fraction = 0.5;    // fraction of the sectors that land
+};
+
+/// One crash point: power fails while an operation is on the medium. The
+/// operation never completes and the machine is dead until the harness
+/// builds a fresh driver and re-attaches. Either trigger may be used; the
+/// point fires on the first serviced operation that satisfies it.
+struct CrashPoint {
+  std::int64_t at_io = -1;  // fire on the Nth serviced operation (if >= 0)
+  Micros at_time = -1;      // or on the first op dispatched at/after this
+};
+
+/// Knobs for FaultPlan::Random.
+struct FaultPlanConfig {
+  SectorNo sector_count = 0;  // disk size; required
+
+  std::int32_t transient_faults = 3;
+  std::int32_t persistent_faults = 1;
+  std::int32_t torn_writes = 2;
+  std::int32_t crash_points = 1;
+
+  /// Random io-indexed events (crash points, fault arming) are drawn from
+  /// [0, io_horizon); torn-write indices from [0, io_horizon / 4) so they
+  /// usually fire before the first crash.
+  std::int64_t io_horizon = 4000;
+
+  /// Largest bad range, in sectors.
+  std::int64_t max_fault_sectors = 4;
+
+  /// Minimum spacing between consecutive crash points, in serviced
+  /// operations, so every reboot makes some progress before dying again.
+  std::int64_t min_crash_spacing = 64;
+};
+
+/// A complete, deterministic fault schedule for one disk. The plan is
+/// data: FaultyDisk interprets it. Two runs with the same plan (and the
+/// same request stream) inject byte-identical failures.
+struct FaultPlan {
+  std::vector<MediaFault> media;
+  std::vector<TornWrite> torn;      // sorted by write_index, no duplicates
+  std::vector<CrashPoint> crashes;  // sorted by at_io, consumed in order
+
+  /// Draws a plan from a seed. Deterministic: (seed, config) always yields
+  /// the same plan.
+  static FaultPlan Random(std::uint64_t seed, const FaultPlanConfig& config);
+};
+
+}  // namespace abr::fault
+
+#endif  // ABR_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,102 @@
+#include "fault/faulty_disk.h"
+
+#include <algorithm>
+
+namespace abr::fault {
+
+FaultyDisk::FaultyDisk(disk::DriveSpec spec, FaultPlan plan,
+                       std::uint64_t seed)
+    : disk::Disk(std::move(spec)), plan_(std::move(plan)), rng_(seed) {}
+
+MediaFault* FaultyDisk::FindFault(SectorNo sector, std::int64_t count,
+                                  std::int64_t io) {
+  for (MediaFault& f : plan_.media) {
+    if (io < f.arm_after_io) continue;
+    if (!f.persistent && f.fail_budget <= 0) continue;
+    if (f.first < sector + count && sector < f.first + f.count) return &f;
+  }
+  return nullptr;
+}
+
+disk::ServiceBreakdown FaultyDisk::Service(SectorNo sector,
+                                           std::int64_t count, bool is_read,
+                                           Micros start_time) {
+  const std::int64_t io = io_index_++;
+  const std::int64_t widx = is_read ? -1 : write_index_++;
+  const bool table_write =
+      !is_read && table_count_ > 0 && sector < table_first_ + table_count_ &&
+      table_first_ < sector + count;
+
+  disk::ServiceBreakdown out;
+  if (crashed_) {
+    // Defensive: a dead machine services nothing. DiskSystem freezes on the
+    // first kCrashed it sees, so this should not normally be reached.
+    out.media = disk::MediaStatus::kCrashed;
+    out.error_sector = sector;
+    return out;
+  }
+
+  if (next_crash_ < plan_.crashes.size()) {
+    const CrashPoint& cp = plan_.crashes[next_crash_];
+    const bool fire = (cp.at_io >= 0 && io >= cp.at_io) ||
+                      (cp.at_time >= 0 && start_time >= cp.at_time);
+    if (fire) {
+      ++next_crash_;
+      ++injected_crashes_;
+      crashed_ = true;
+      crashed_op_ = CrashedOp{sector, count, is_read, io, start_time};
+      if (table_write && table_observer_ != nullptr) {
+        // The table image in flight reached the platter only partially.
+        table_observer_->OnTableWriteTorn(rng_.NextDouble());
+      }
+      out.media = disk::MediaStatus::kCrashed;
+      out.error_sector = sector;
+      return out;
+    }
+  }
+
+  // The mechanical work happens whether or not the data is good; base
+  // timing (and head/buffer movement) applies in every non-crash case.
+  out = disk::Disk::Service(sector, count, is_read, start_time);
+
+  if (MediaFault* f = FindFault(sector, count, io)) {
+    ++injected_faults_;
+    if (!f->persistent) --f->fail_budget;
+    out.media = f->persistent ? disk::MediaStatus::kPersistentError
+                              : disk::MediaStatus::kTransientError;
+    out.error_sector = std::max(f->first, sector);
+    out.sectors_ok = out.error_sector - sector;
+    // Never let a bad range be served from read-ahead later.
+    if (is_read) track_buffer().Invalidate();
+    return out;
+  }
+
+  if (widx >= 0 && next_torn_ < plan_.torn.size()) {
+    while (next_torn_ < plan_.torn.size() &&
+           plan_.torn[next_torn_].write_index < widx) {
+      ++next_torn_;  // scheduled index already passed (duplicate guard)
+    }
+    if (next_torn_ < plan_.torn.size() &&
+        plan_.torn[next_torn_].write_index == widx) {
+      const double keep = plan_.torn[next_torn_].keep_fraction;
+      ++next_torn_;
+      ++injected_faults_;
+      out.media = disk::MediaStatus::kTransientError;
+      out.sectors_ok = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(keep * static_cast<double>(count)), 0,
+          count - 1);
+      out.error_sector = sector + out.sectors_ok;
+      // The driver retries the whole op, so a torn *table* write is not
+      // reported to the observer here: the image becomes durable when a
+      // retry completes. Only a crash leaves the torn image behind.
+      return out;
+    }
+  }
+
+  if (table_write && table_observer_ != nullptr) {
+    table_observer_->OnTableWriteDurable();
+  }
+  return out;
+}
+
+}  // namespace abr::fault

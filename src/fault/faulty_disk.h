@@ -1,0 +1,119 @@
+#ifndef ABR_FAULT_FAULTY_DISK_H_
+#define ABR_FAULT_FAULTY_DISK_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "disk/disk.h"
+#include "disk/drive_spec.h"
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace abr::fault {
+
+/// Observes the fate of block-table area writes so a two-area table store
+/// can mirror what the platter would hold: an image becomes durable only
+/// when its write completes; a crash mid-write leaves a torn image.
+class TableWriteObserver {
+ public:
+  virtual ~TableWriteObserver() = default;
+
+  /// A write covering the table area completed successfully.
+  virtual void OnTableWriteDurable() = 0;
+
+  /// A crash point fired while a table-area write was on the medium; only
+  /// `keep_fraction` of the image reached the platter.
+  virtual void OnTableWriteTorn(double keep_fraction) = 0;
+};
+
+/// Fault-injecting decorator over the Disk data/timing plane. Interprets a
+/// FaultPlan: media faults fail operations touching their range (transient
+/// ones heal after a bounded number of touches), torn writes land a prefix
+/// of their sectors and report a transient error, and crash points kill the
+/// machine mid-operation (the op never completes; DiskSystem freezes).
+///
+/// Everything is deterministic: the same plan and request stream produce
+/// the same failures, which is what lets the crash harness sweep hundreds
+/// of seeded (plan, crash point) combinations reproducibly.
+class FaultyDisk : public disk::Disk {
+ public:
+  /// The op that was on the medium when a crash point fired.
+  struct CrashedOp {
+    SectorNo sector = 0;
+    std::int64_t count = 0;
+    bool is_read = false;
+    std::int64_t io_index = 0;
+    Micros time = 0;
+  };
+
+  FaultyDisk(disk::DriveSpec spec, FaultPlan plan, std::uint64_t seed);
+
+  disk::ServiceBreakdown Service(SectorNo sector, std::int64_t count,
+                                 bool is_read, Micros start_time) override;
+
+  /// Declares where the on-disk block table lives so table-area writes can
+  /// be reported to the observer; count <= 0 disables the hook.
+  void SetTableArea(SectorNo first, std::int64_t count) {
+    table_first_ = first;
+    table_count_ = count;
+  }
+
+  /// Registers the table-write observer (may be null).
+  void set_table_observer(TableWriteObserver* observer) {
+    table_observer_ = observer;
+  }
+
+  /// True after a crash point fired; every further Service reports
+  /// kCrashed until ClearCrash().
+  bool crashed() const { return crashed_; }
+
+  /// The op in flight at the last crash (empty before any crash).
+  const std::optional<CrashedOp>& crashed_op() const { return crashed_op_; }
+
+  /// Re-arms the disk after the harness has rebuilt the machine: the
+  /// consumed crash point stays consumed, service resumes.
+  void ClearCrash() { crashed_ = false; }
+
+  /// Operations serviced (including the crashed ones).
+  std::int64_t io_index() const { return io_index_; }
+
+  /// Error outcomes injected so far (media faults + torn writes).
+  std::int64_t injected_faults() const { return injected_faults_; }
+
+  /// Crash points fired so far.
+  std::int64_t injected_crashes() const { return injected_crashes_; }
+
+  /// Crash points not yet fired.
+  std::size_t remaining_crash_points() const {
+    return plan_.crashes.size() - next_crash_;
+  }
+
+ private:
+  /// First armed fault with budget left whose range overlaps [sector,
+  /// sector+count), or null.
+  MediaFault* FindFault(SectorNo sector, std::int64_t count,
+                        std::int64_t io);
+
+  FaultPlan plan_;
+  Rng rng_;  // torn-at-crash fractions for table writes
+
+  std::int64_t io_index_ = 0;
+  std::int64_t write_index_ = 0;
+  std::size_t next_torn_ = 0;
+  std::size_t next_crash_ = 0;
+
+  bool crashed_ = false;
+  std::optional<CrashedOp> crashed_op_;
+
+  SectorNo table_first_ = -1;
+  std::int64_t table_count_ = 0;
+  TableWriteObserver* table_observer_ = nullptr;
+
+  std::int64_t injected_faults_ = 0;
+  std::int64_t injected_crashes_ = 0;
+};
+
+}  // namespace abr::fault
+
+#endif  // ABR_FAULT_FAULTY_DISK_H_

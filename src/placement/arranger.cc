@@ -40,12 +40,32 @@ StatusOr<ArrangeResult> BlockArranger::Rearrange(
   ArrangeResult result;
   const std::int64_t ios_before = driver.internal_io_count();
   const Micros time_before = driver.internal_io_time();
+  const std::int64_t aborted_before =
+      driver.IoctlReadStats(/*clear=*/false).faults.aborted_chains;
+  auto finish = [&]() {
+    result.halted = driver.halted();
+    result.aborted = static_cast<std::int32_t>(
+        driver.IoctlReadStats(/*clear=*/false).faults.aborted_chains -
+        aborted_before);
+    result.internal_ios = driver.internal_io_count() - ios_before;
+    result.io_time = driver.internal_io_time() - time_before;
+    return result;
+  };
+
+  // Quiesce first: rearrangement runs in an idle window (the paper's
+  // nightly pass). Queued requests were translated against the pre-pass
+  // table, so letting them drain before any chain starts is what keeps a
+  // clean/copy chain from racing a stale-translated write and stranding
+  // its acknowledged data at the old location.
+  driver.Drain();
+  if (driver.halted()) return finish();
 
   // Empty the reserved area: cooled blocks return to their original
   // locations (dirty ones are copied back by the driver).
   result.cleaned = driver.block_table().size();
   ABR_RETURN_IF_ERROR(driver.IoctlClean());
   driver.Drain();
+  if (driver.halted()) return finish();  // crash mid-clean: partial pass
 
   // Filter the ranked list down to eligible blocks, preserving rank order.
   const ReservedRegion region = ReservedRegion::FromDriver(driver);
@@ -71,17 +91,22 @@ StatusOr<ArrangeResult> BlockArranger::Rearrange(
   // the clock run after each ioctl.
   const PlacementPlan plan = policy_->Place(eligible, region);
   for (const SlotAssignment& a : plan) {
+    if (driver.halted()) break;  // crash mid-pass: stop issuing moves
     StatusOr<SectorNo> original = OriginalSector(driver, a.id);
     assert(original.ok());
-    ABR_RETURN_IF_ERROR(
-        driver.IoctlCopyBlock(*original, region.SlotSector(a.slot)));
+    // A copy can legitimately be rejected after faults: an aborted clean
+    // chain leaves its entry (and slot) occupied. Skip and keep going —
+    // the pass should place as much as it can.
+    Status s = driver.IoctlCopyBlock(*original, region.SlotSector(a.slot));
+    if (!s.ok()) {
+      ++result.skipped;
+      continue;
+    }
     driver.Drain();
     ++result.copied;
   }
 
-  result.internal_ios = driver.internal_io_count() - ios_before;
-  result.io_time = driver.internal_io_time() - time_before;
-  return result;
+  return finish();
 }
 
 }  // namespace abr::placement

@@ -16,6 +16,8 @@ struct ArrangeResult {
   std::int32_t cleaned = 0;       // blocks removed from the reserved area
   std::int32_t copied = 0;        // blocks copied into the reserved area
   std::int32_t skipped = 0;       // hot blocks that were ineligible
+  std::int32_t aborted = 0;       // move chains the driver aborted (faults)
+  bool halted = false;            // the machine died mid-pass (crash point)
   std::int64_t internal_ios = 0;  // driver I/O operations consumed
   Micros io_time = 0;             // disk time consumed by those I/Os
 };

@@ -46,6 +46,10 @@ struct IoRequest {
   /// requests are serviced normally but excluded from workload statistics.
   bool internal = false;
 
+  /// Times the driver has already re-issued this request after a transient
+  /// media error; bounded by DriverConfig::max_io_retries.
+  std::int32_t retries = 0;
+
   bool is_read() const { return type == IoType::kRead; }
 };
 

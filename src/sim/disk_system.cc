@@ -12,6 +12,7 @@ DiskSystem::DiskSystem(disk::Disk* disk,
 }
 
 void DiskSystem::AdvanceTo(Micros t) {
+  if (halted_) return;
   assert(t >= now_);
   // Batch-complete everything due by `t`. Each iteration fixes up the two
   // derived times, copies the record onto the stack (so a sink that
@@ -30,6 +31,7 @@ void DiskSystem::AdvanceTo(Micros t) {
 }
 
 void DiskSystem::Submit(const sched::IoRequest& request) {
+  if (halted_) return;  // the machine is dead; the request is simply lost
   assert(request.sector_count > 0);
   // arrival_time may lie in the past for requests the driver held back
   // (e.g. while their block was being moved); queueing time still counts
@@ -40,12 +42,12 @@ void DiskSystem::Submit(const sched::IoRequest& request) {
 }
 
 Micros DiskSystem::Drain() {
-  while (in_flight_) AdvanceTo(current_.completion_time);
+  while (in_flight_ && !halted_) AdvanceTo(current_.completion_time);
   return now_;
 }
 
 void DiskSystem::MaybeStartNext() {
-  if (in_flight_) return;
+  if (in_flight_ || halted_) return;
   std::optional<sched::IoRequest> next =
       scheduler_->Dequeue(disk_->head_cylinder());
   if (!next) return;
@@ -54,6 +56,13 @@ void DiskSystem::MaybeStartNext() {
   current_.dispatch_time = now_;
   current_.breakdown =
       disk_->Service(next->sector, next->sector_count, next->is_read(), now_);
+  if (current_.breakdown.media == disk::MediaStatus::kCrashed) {
+    // The crash point fired while this operation was on the media: it never
+    // completes and nothing queued behind it runs. Freeze the system.
+    halted_ = true;
+    in_flight_ = false;
+    return;
+  }
   current_.completion_time = now_ + current_.breakdown.total();
   in_flight_ = true;
 }

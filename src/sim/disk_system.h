@@ -80,6 +80,12 @@ class DiskSystem {
   /// True iff an operation is in flight.
   bool busy() const { return in_flight_; }
 
+  /// True once the disk reported a crash (MediaStatus::kCrashed) on a
+  /// dispatch. The operation that observed the crash never completes, the
+  /// queue is frozen, and every later AdvanceTo/Submit/Drain is a no-op —
+  /// the machine is dead until a fresh driver re-attaches on a new system.
+  bool halted() const { return halted_; }
+
   /// The underlying disk.
   disk::Disk& disk() { return *disk_; }
   const disk::Disk& disk() const { return *disk_; }
@@ -101,6 +107,7 @@ class DiskSystem {
   /// fix-up plus a virtual call — nothing is constructed per request.
   CompletedIo current_;
   bool in_flight_ = false;
+  bool halted_ = false;
 };
 
 }  // namespace abr::sim

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "disk/drive_spec.h"
+#include "fault/crash_table_store.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_disk.h"
 
 namespace abr::driver {
 namespace {
@@ -367,7 +371,7 @@ TEST_F(AdaptiveDriverTest, AttachRejectsCorruptTable) {
                                    driver_->ReservedSlotSector(0))
                   .ok());
   driver_->Drain();
-  store_.CorruptByte(30);  // inside the single entry's bytes
+  ASSERT_TRUE(store_.CorruptByte(30));  // inside the single entry's bytes
   driver_.reset();
   Build(/*attach=*/false);
   EXPECT_EQ(driver_->Attach().code(), StatusCode::kCorruption);
@@ -510,6 +514,225 @@ TEST_F(StraddlingDriverTest, StraddlingBlockIneligibleForCopy) {
                    ->IoctlCopyBlock(382 * 16,
                                     driver_->reserved_data_first_sector())
                    .ok());
+}
+
+/// Collects every completion forwarded to the client sink.
+struct RecordingSink : public sim::CompletionSink {
+  void OnIoComplete(const sim::CompletedIo& done) override {
+    completions.push_back(done);
+  }
+  std::vector<sim::CompletedIo> completions;
+};
+
+// Fault-path tests: same machine as AdaptiveDriverTest but the disk is a
+// fault::FaultyDisk and the table store models torn saves.
+class FaultyDriverTest : public ::testing::Test {
+ protected:
+  static constexpr std::int32_t kBlockSectors = 16;
+
+  void Build(fault::FaultPlan plan, bool after_crash = false) {
+    if (!disk_) {
+      disk_ = std::make_unique<fault::FaultyDisk>(
+          disk::DriveSpec::TestDrive(), std::move(plan), /*seed=*/7);
+    }
+    auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    DriverConfig config;
+    config.block_size_bytes = 8192;
+    config.block_table_capacity = 32;
+    config.request_monitor_capacity = 1 << 12;
+    driver_ = std::make_unique<AdaptiveDriver>(disk_.get(), std::move(*label),
+                                               config, &store_);
+    driver_->set_client_sink(&sink_);
+    disk_->set_table_observer(&store_);
+    ASSERT_TRUE(driver_->Attach(after_crash).ok());
+    // The table footprint is computed at attach time.
+    disk_->SetTableArea(label_first(), driver_->table_area_sectors());
+  }
+
+  SectorNo label_first() const { return 45 * 128; }
+
+  SectorNo OriginalOf(BlockNo b) {
+    auto extents =
+        driver_->MapVirtualExtent(b * kBlockSectors, kBlockSectors);
+    EXPECT_EQ(extents.size(), 1u);
+    return extents[0].sector;
+  }
+
+  void Stamp(SectorNo start, std::uint64_t tag) {
+    for (int i = 0; i < kBlockSectors; ++i) {
+      disk_->WritePayload(start + i, tag + static_cast<std::uint64_t>(i));
+    }
+  }
+
+  bool HasStamp(SectorNo start, std::uint64_t tag) {
+    for (int i = 0; i < kBlockSectors; ++i) {
+      if (disk_->ReadPayload(start + i) !=
+          tag + static_cast<std::uint64_t>(i)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<fault::FaultyDisk> disk_;
+  fault::CrashTableStore store_;
+  RecordingSink sink_;
+  std::unique_ptr<AdaptiveDriver> driver_;
+};
+
+TEST_F(FaultyDriverTest, TransientErrorRetriedToSuccess) {
+  fault::FaultPlan plan;
+  // Block 7 lives at sectors 112..127; one marginal sector, heals after
+  // a single failure — inside the driver's retry budget.
+  plan.media.push_back(fault::MediaFault{/*first=*/115, /*count=*/1,
+                                         /*persistent=*/false,
+                                         /*fail_budget=*/1,
+                                         /*arm_after_io=*/0});
+  Build(std::move(plan));
+  ASSERT_TRUE(driver_->SubmitBlock(0, 7, IoType::kRead, 0).ok());
+  driver_->Drain();
+
+  ASSERT_EQ(sink_.completions.size(), 1u);
+  EXPECT_TRUE(sink_.completions[0].breakdown.ok());
+  const FaultCounters faults = driver_->IoctlReadStats().faults;
+  EXPECT_EQ(faults.media_errors, 1);
+  EXPECT_EQ(faults.retries, 1);
+  EXPECT_EQ(faults.failed_requests, 0);
+}
+
+TEST_F(FaultyDriverTest, PersistentErrorReportedAfterRetryBudget) {
+  fault::FaultPlan plan;
+  plan.media.push_back(fault::MediaFault{/*first=*/112, /*count=*/2,
+                                         /*persistent=*/true,
+                                         /*fail_budget=*/1,
+                                         /*arm_after_io=*/0});
+  Build(std::move(plan));
+  ASSERT_TRUE(driver_->SubmitBlock(0, 7, IoType::kWrite, 0).ok());
+  driver_->Drain();
+
+  ASSERT_EQ(sink_.completions.size(), 1u);
+  EXPECT_FALSE(sink_.completions[0].breakdown.ok());
+  EXPECT_EQ(sink_.completions[0].breakdown.media,
+            disk::MediaStatus::kPersistentError);
+  const FaultCounters faults = driver_->IoctlReadStats().faults;
+  EXPECT_EQ(faults.failed_requests, 1);
+  // Persistent errors are not worth retrying: the request fails at once.
+  EXPECT_EQ(faults.retries, 0);
+  EXPECT_EQ(faults.media_errors, 1);
+}
+
+TEST_F(FaultyDriverTest, PersistentErrorAbortsCopyChainAndRollsBack) {
+  fault::FaultPlan plan;
+  // The first reserved slot is permanently bad: the copy's write leg can
+  // never land, so the chain must abort and remove the inserted entry.
+  Build(fault::FaultPlan{});
+  const SectorNo original = OriginalOf(7);
+  const SectorNo target = driver_->ReservedSlotSector(0);
+  // Inject the defect on the slot now that the geometry is known.
+  fault::FaultPlan bad;
+  bad.media.push_back(fault::MediaFault{target, /*count=*/1,
+                                        /*persistent=*/true,
+                                        /*fail_budget=*/1,
+                                        /*arm_after_io=*/0});
+  driver_ = nullptr;
+  disk_ = nullptr;
+  store_ = fault::CrashTableStore{};
+  sink_.completions.clear();
+  Build(std::move(bad));
+
+  Stamp(original, 0x700);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(original, target).ok());
+  driver_->Drain();
+
+  const FaultCounters faults = driver_->IoctlReadStats().faults;
+  EXPECT_EQ(faults.aborted_chains, 1);
+  // Rollback: the table does not advertise the failed copy, the original
+  // data is untouched, and the block is readable at its original address.
+  EXPECT_FALSE(driver_->block_table().Lookup(original).has_value());
+  EXPECT_TRUE(HasStamp(original, 0x700));
+  ASSERT_TRUE(driver_->SubmitBlock(0, 7, IoType::kRead, driver_->now()).ok());
+  driver_->Drain();
+  ASSERT_FALSE(sink_.completions.empty());
+  EXPECT_TRUE(sink_.completions.back().breakdown.ok());
+}
+
+TEST_F(FaultyDriverTest, TornTableSaveFallsBackToDurableImage) {
+  Build(fault::FaultPlan{});
+  const SectorNo orig7 = OriginalOf(7);
+  const SectorNo orig9 = OriginalOf(9);
+  ASSERT_TRUE(
+      driver_->IoctlCopyBlock(orig7, driver_->ReservedSlotSector(0)).ok());
+  driver_->Drain();
+  ASSERT_TRUE(
+      driver_->IoctlCopyBlock(orig9, driver_->ReservedSlotSector(1)).ok());
+  driver_->Drain();
+  ASSERT_EQ(store_.commits(), 2);
+
+  // A later save is torn mid-write by a crash: only a header fragment of
+  // the new image reaches the platter.
+  store_.Save(std::vector<std::uint8_t>(64, 0xEE));
+  store_.OnTableWriteTorn(0.1);
+  ASSERT_TRUE(store_.torn());
+
+  driver_.reset();
+  auto label = disk::DiskLabel::Rearranged(disk_->geometry(), 10);
+  ASSERT_TRUE(label.ok());
+  ASSERT_TRUE(label->PartitionEvenly(1).ok());
+  DriverConfig config;
+  config.block_table_capacity = 32;
+  driver_ = std::make_unique<AdaptiveDriver>(disk_.get(), std::move(*label),
+                                             config, &store_);
+
+  // A plain attach refuses the corrupt image; a crash attach falls back to
+  // the last durable image and conservatively dirties everything.
+  EXPECT_EQ(driver_->Attach(/*after_crash=*/false).code(),
+            StatusCode::kCorruption);
+  ASSERT_TRUE(driver_->Attach(/*after_crash=*/true).ok());
+  EXPECT_EQ(driver_->block_table().size(), 2);
+  EXPECT_TRUE(driver_->block_table().LookupEntry(orig7)->dirty);
+  EXPECT_TRUE(driver_->block_table().LookupEntry(orig9)->dirty);
+  EXPECT_EQ(driver_->IoctlReadStats().faults.recovery_fallbacks, 1);
+}
+
+TEST_F(AdaptiveDriverTest, CleanAfterCrashCopiesAllDirtyBlocksBack) {
+  // Satellite of the crash work: DKIOCCLEAN after a crash must copy every
+  // conservatively-dirtied block back with its latest contents.
+  Build();
+  const SectorNo orig7 = OriginalOf(7);
+  const SectorNo orig9 = OriginalOf(9);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  const SectorNo slot1 = driver_->ReservedSlotSector(1);
+  Stamp(orig7, 0x700);
+  Stamp(orig9, 0x900);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(orig7, slot0).ok());
+  ASSERT_TRUE(driver_->IoctlCopyBlock(orig9, slot1).ok());
+  driver_->Drain();
+
+  // Updates land on the relocated copies only.
+  ASSERT_TRUE(
+      driver_->SubmitBlock(0, 7, IoType::kWrite, driver_->now()).ok());
+  ASSERT_TRUE(
+      driver_->SubmitBlock(0, 9, IoType::kWrite, driver_->now()).ok());
+  driver_->Drain();
+  Stamp(slot0, 0xA700);
+  Stamp(slot1, 0xA900);
+
+  // Crash (no Detach): the new instance distrusts every on-disk dirty bit.
+  Reboot(/*after_crash=*/true);
+  ASSERT_EQ(driver_->block_table().size(), 2);
+
+  ASSERT_TRUE(driver_->IoctlClean().ok());
+  driver_->Drain();
+  EXPECT_EQ(driver_->block_table().size(), 0);
+  // The post-crash copy-back preserved the updated payloads, fingerprinted
+  // sector by sector.
+  EXPECT_TRUE(HasStamp(orig7, 0xA700));
+  EXPECT_TRUE(HasStamp(orig9, 0xA900));
+  // And reads now resolve to the originals.
+  ASSERT_TRUE(driver_->SubmitBlock(0, 7, IoType::kRead, driver_->now()).ok());
+  driver_->Drain();
 }
 
 }  // namespace

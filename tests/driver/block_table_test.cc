@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "driver/table_store.h"
 #include "util/rng.h"
 
 namespace abr::driver {
@@ -234,6 +235,41 @@ TEST(BlockTableTest, InterleavedOpsMatchUnorderedMapOracle) {
     ASSERT_EQ(table.size(), static_cast<std::int32_t>(oracle.size()));
   }
   EXPECT_EQ(table.size(), 0);
+}
+
+TEST(BlockTableTest, HostileEntryCountRejectedWithoutOverflow) {
+  // A count near 2^64 must be rejected by the capacity check before any
+  // `count * entry_bytes` arithmetic can wrap and admit the image.
+  BlockTable t(8);
+  std::vector<std::uint8_t> image = t.Serialize();
+  for (int i = 0; i < 8; ++i) {
+    image[8 + static_cast<std::size_t>(i)] = 0xFF;  // count = 2^64 - 1
+  }
+  const StatusOr<BlockTable> loaded = BlockTable::Deserialize(image, 8);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // A count that is huge but under 2^61 (so the multiply cannot wrap)
+  // still fails the same way at a larger capacity-shaped boundary.
+  for (int i = 0; i < 8; ++i) {
+    image[8 + static_cast<std::size_t>(i)] =
+        i == 7 ? 0x0F : 0xFF;  // count = 2^60 - 1
+  }
+  const StatusOr<BlockTable> big = BlockTable::Deserialize(image, 8);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockTableTest, CorruptByteReportsReach) {
+  InMemoryTableStore store;
+  // No image saved yet: nothing to corrupt.
+  EXPECT_FALSE(store.CorruptByte(0));
+  BlockTable t(4);
+  store.Save(t.Serialize());
+  EXPECT_TRUE(store.CorruptByte(0));
+  // Offsets past the image are out of reach.
+  EXPECT_FALSE(store.CorruptByte(t.Serialize().size()));
+  EXPECT_FALSE(store.CorruptByte(1u << 20));
 }
 
 TEST(BlockTableTest, ManyEntriesRoundTrip) {

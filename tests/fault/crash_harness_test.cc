@@ -1,0 +1,125 @@
+#include "fault/crash_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace abr::fault {
+namespace {
+
+TEST(CrashHarnessTest, CleanRunVerifiesEverything) {
+  CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+  config.seed = 11;
+  config.crash_points = 0;
+  config.transient_faults = 0;
+  config.persistent_faults = 0;
+  config.torn_writes = 0;
+  CrashHarness harness(config);
+  const CrashHarnessResult r = harness.Run();
+  EXPECT_TRUE(r.ok()) << r.first_error;
+  EXPECT_EQ(r.crashes, 0);
+  EXPECT_EQ(r.mismatches, 0);
+  EXPECT_EQ(r.injected_faults, 0);
+  EXPECT_GT(r.writes_acked, 0);
+  EXPECT_GT(r.blocks_verified, 0);
+  EXPECT_GT(r.arrange_passes, 0);
+}
+
+TEST(CrashHarnessTest, DeterministicFingerprint) {
+  CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+  config.seed = 21;
+  config.crash_points = 2;
+  const CrashHarnessResult a = CrashHarness(config).Run();
+  const CrashHarnessResult b = CrashHarness(config).Run();
+  EXPECT_TRUE(a.ok()) << a.first_error;
+  EXPECT_EQ(a.fingerprint_hash, b.fingerprint_hash);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.writes_acked, b.writes_acked);
+  EXPECT_EQ(a.blocks_verified, b.blocks_verified);
+  EXPECT_EQ(a.injected_faults, b.injected_faults);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+}
+
+TEST(CrashHarnessTest, RetriesSurviveTransientFaults) {
+  // Plenty of transient faults, no crashes: the driver's bounded retry
+  // must absorb every one of them without losing a request.
+  CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+  config.seed = 31;
+  config.crash_points = 0;
+  config.transient_faults = 8;
+  config.persistent_faults = 0;
+  config.torn_writes = 4;
+  const CrashHarnessResult r = CrashHarness(config).Run();
+  EXPECT_TRUE(r.ok()) << r.first_error;
+  EXPECT_EQ(r.crashes, 0);
+}
+
+// The randomized crash-consistency sweep the issue asks for: > 200 seeded
+// (fault plan, crash schedule) combinations. Every combination must verify
+// with zero lost or misdirected acknowledged writes, and across the sweep
+// the crashes must land in all three interesting places: inside a block
+// table save, inside the arranger's copy/write-back pipeline, and in
+// steady-state request processing.
+TEST(CrashHarnessTest, SweepTwoHundredSeededCombinations) {
+  std::int64_t table_save = 0, arrangement = 0, steady = 0;
+  std::int64_t crashes = 0, acked = 0, verified = 0, faults = 0;
+  std::int64_t retries = 0, aborted = 0, fallbacks = 0;
+  int runs = 0;
+
+  for (std::uint64_t seed = 1; seed <= 70; ++seed) {
+    for (std::int32_t crash_points = 1; crash_points <= 3; ++crash_points) {
+      CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+      config.seed = seed * 131 + static_cast<std::uint64_t>(crash_points);
+      config.crash_points = crash_points;
+      const CrashHarnessResult r = CrashHarness(config).Run();
+      ASSERT_TRUE(r.ok()) << "seed=" << config.seed
+                          << " crash_points=" << crash_points << ": "
+                          << r.first_error;
+      ASSERT_EQ(r.mismatches, 0);
+      table_save += r.crash_in_table_save;
+      arrangement += r.crash_in_arrangement;
+      steady += r.crash_in_steady_state;
+      crashes += r.crashes;
+      acked += r.writes_acked;
+      verified += r.blocks_verified;
+      faults += r.injected_faults;
+      retries += r.faults.retries;
+      aborted += r.faults.aborted_chains;
+      fallbacks += r.faults.recovery_fallbacks;
+      ++runs;
+    }
+  }
+
+  EXPECT_EQ(runs, 210);
+  EXPECT_EQ(crashes, table_save + arrangement + steady);
+  // The sweep must actually exercise every crash site and fault path.
+  EXPECT_GT(table_save, 0);
+  EXPECT_GT(arrangement, 0);
+  EXPECT_GT(steady, 0);
+  EXPECT_GT(acked, 0);
+  EXPECT_GT(verified, 0);
+  EXPECT_GT(faults, 0);
+  EXPECT_GT(retries, 0);
+  std::printf(
+      "sweep: %d runs, %lld crashes (table %lld / arrange %lld / steady "
+      "%lld), %lld acked, %lld verified, %lld faults, %lld retries, %lld "
+      "aborted chains, %lld fallbacks\n",
+      runs, static_cast<long long>(crashes),
+      static_cast<long long>(table_save), static_cast<long long>(arrangement),
+      static_cast<long long>(steady), static_cast<long long>(acked),
+      static_cast<long long>(verified), static_cast<long long>(faults),
+      static_cast<long long>(retries), static_cast<long long>(aborted),
+      static_cast<long long>(fallbacks));
+}
+
+TEST(CrashHarnessTest, FullSizeRunWithCrashes) {
+  CrashHarnessConfig config;  // full size, not Quick()
+  config.seed = 90844;        // historical regression: arranger quiesce race
+  config.crash_points = 2;
+  const CrashHarnessResult r = CrashHarness(config).Run();
+  EXPECT_TRUE(r.ok()) << r.first_error;
+  EXPECT_EQ(r.crashes, 2);
+}
+
+}  // namespace
+}  // namespace abr::fault

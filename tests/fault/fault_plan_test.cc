@@ -1,0 +1,119 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace abr::fault {
+namespace {
+
+FaultPlanConfig SmallConfig() {
+  FaultPlanConfig config;
+  config.sector_count = 4096;
+  config.transient_faults = 3;
+  config.persistent_faults = 2;
+  config.torn_writes = 4;
+  config.crash_points = 3;
+  config.io_horizon = 2000;
+  config.max_fault_sectors = 4;
+  config.min_crash_spacing = 64;
+  return config;
+}
+
+TEST(FaultPlanTest, DeterministicForSeed) {
+  const FaultPlanConfig config = SmallConfig();
+  const FaultPlan a = FaultPlan::Random(77, config);
+  const FaultPlan b = FaultPlan::Random(77, config);
+  ASSERT_EQ(a.media.size(), b.media.size());
+  for (std::size_t i = 0; i < a.media.size(); ++i) {
+    EXPECT_EQ(a.media[i].first, b.media[i].first);
+    EXPECT_EQ(a.media[i].count, b.media[i].count);
+    EXPECT_EQ(a.media[i].persistent, b.media[i].persistent);
+    EXPECT_EQ(a.media[i].fail_budget, b.media[i].fail_budget);
+    EXPECT_EQ(a.media[i].arm_after_io, b.media[i].arm_after_io);
+  }
+  ASSERT_EQ(a.torn.size(), b.torn.size());
+  for (std::size_t i = 0; i < a.torn.size(); ++i) {
+    EXPECT_EQ(a.torn[i].write_index, b.torn[i].write_index);
+    EXPECT_DOUBLE_EQ(a.torn[i].keep_fraction, b.torn[i].keep_fraction);
+  }
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].at_io, b.crashes[i].at_io);
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer) {
+  const FaultPlanConfig config = SmallConfig();
+  const FaultPlan a = FaultPlan::Random(1, config);
+  const FaultPlan b = FaultPlan::Random(2, config);
+  // Over this many draws at least one field must differ.
+  bool differ = a.media.size() != b.media.size();
+  for (std::size_t i = 0; !differ && i < a.media.size(); ++i) {
+    differ = a.media[i].first != b.media[i].first ||
+             a.media[i].arm_after_io != b.media[i].arm_after_io;
+  }
+  for (std::size_t i = 0; !differ && i < a.crashes.size(); ++i) {
+    differ = a.crashes[i].at_io != b.crashes[i].at_io;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlanTest, RespectsCountsAndBounds) {
+  const FaultPlanConfig config = SmallConfig();
+  const FaultPlan plan = FaultPlan::Random(123, config);
+
+  ASSERT_EQ(plan.media.size(),
+            static_cast<std::size_t>(config.transient_faults +
+                                     config.persistent_faults));
+  std::int32_t persistent = 0;
+  for (const MediaFault& f : plan.media) {
+    EXPECT_GE(f.first, 0);
+    EXPECT_GE(f.count, 1);
+    EXPECT_LE(f.count, config.max_fault_sectors);
+    EXPECT_LE(f.first + f.count, config.sector_count);
+    EXPECT_GE(f.fail_budget, 1);
+    EXPECT_GE(f.arm_after_io, 0);
+    EXPECT_LT(f.arm_after_io, config.io_horizon);
+    if (f.persistent) ++persistent;
+  }
+  EXPECT_EQ(persistent, config.persistent_faults);
+
+  ASSERT_EQ(plan.torn.size(), static_cast<std::size_t>(config.torn_writes));
+  for (std::size_t i = 0; i < plan.torn.size(); ++i) {
+    EXPECT_GE(plan.torn[i].write_index, 0);
+    EXPECT_LT(plan.torn[i].write_index, config.io_horizon / 4);
+    EXPECT_GT(plan.torn[i].keep_fraction, 0.0);
+    EXPECT_LT(plan.torn[i].keep_fraction, 1.0);
+    if (i > 0) {
+      EXPECT_LT(plan.torn[i - 1].write_index, plan.torn[i].write_index);
+    }
+  }
+}
+
+TEST(FaultPlanTest, CrashPointsSortedAndSpaced) {
+  FaultPlanConfig config = SmallConfig();
+  config.crash_points = 5;
+  const FaultPlan plan = FaultPlan::Random(9, config);
+  ASSERT_EQ(plan.crashes.size(), static_cast<std::size_t>(5));
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    EXPECT_GE(plan.crashes[i].at_io, 0);
+    if (i > 0) {
+      EXPECT_GE(plan.crashes[i].at_io,
+                plan.crashes[i - 1].at_io + config.min_crash_spacing);
+    }
+  }
+}
+
+TEST(FaultPlanTest, ZeroEventsYieldEmptyPlan) {
+  FaultPlanConfig config = SmallConfig();
+  config.transient_faults = 0;
+  config.persistent_faults = 0;
+  config.torn_writes = 0;
+  config.crash_points = 0;
+  const FaultPlan plan = FaultPlan::Random(5, config);
+  EXPECT_TRUE(plan.media.empty());
+  EXPECT_TRUE(plan.torn.empty());
+  EXPECT_TRUE(plan.crashes.empty());
+}
+
+}  // namespace
+}  // namespace abr::fault

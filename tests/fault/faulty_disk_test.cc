@@ -1,0 +1,184 @@
+#include "fault/faulty_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/drive_spec.h"
+
+namespace abr::fault {
+namespace {
+
+/// Records observer callbacks for the table-area hook tests.
+struct RecordingObserver : public TableWriteObserver {
+  void OnTableWriteDurable() override { ++durable; }
+  void OnTableWriteTorn(double keep_fraction) override {
+    ++torn;
+    last_fraction = keep_fraction;
+  }
+  int durable = 0;
+  int torn = 0;
+  double last_fraction = -1;
+};
+
+FaultyDisk MakeDisk(FaultPlan plan) {
+  return FaultyDisk(disk::DriveSpec::TestDrive(), std::move(plan), 42);
+}
+
+TEST(FaultyDiskTest, CleanPlanServicesNormally) {
+  FaultyDisk d = MakeDisk(FaultPlan{});
+  const disk::ServiceBreakdown b = d.Service(100, 8, /*is_read=*/false, 0);
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.media, disk::MediaStatus::kOk);
+  EXPECT_FALSE(d.crashed());
+  EXPECT_EQ(d.io_index(), 1);
+  EXPECT_EQ(d.injected_faults(), 0);
+}
+
+TEST(FaultyDiskTest, TransientFaultHealsAfterBudget) {
+  FaultPlan plan;
+  plan.media.push_back(MediaFault{/*first=*/50, /*count=*/2,
+                                  /*persistent=*/false, /*fail_budget=*/2,
+                                  /*arm_after_io=*/0});
+  FaultyDisk d = MakeDisk(std::move(plan));
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const disk::ServiceBreakdown b = d.Service(48, 8, /*is_read=*/true, 0);
+    EXPECT_EQ(b.media, disk::MediaStatus::kTransientError);
+    EXPECT_EQ(b.error_sector, 50);
+    EXPECT_EQ(b.sectors_ok, 2);  // 48 and 49 transferred first
+  }
+  // Budget exhausted: the marginal range now reads fine.
+  const disk::ServiceBreakdown healed = d.Service(48, 8, /*is_read=*/true, 0);
+  EXPECT_TRUE(healed.ok());
+  EXPECT_EQ(d.injected_faults(), 2);
+}
+
+TEST(FaultyDiskTest, PersistentFaultNeverHeals) {
+  FaultPlan plan;
+  plan.media.push_back(MediaFault{/*first=*/64, /*count=*/1,
+                                  /*persistent=*/true, /*fail_budget=*/1,
+                                  /*arm_after_io=*/0});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const disk::ServiceBreakdown b = d.Service(64, 1, /*is_read=*/false, 0);
+    EXPECT_EQ(b.media, disk::MediaStatus::kPersistentError);
+    EXPECT_EQ(b.error_sector, 64);
+    EXPECT_EQ(b.sectors_ok, 0);
+  }
+}
+
+TEST(FaultyDiskTest, FaultDormantUntilArmed) {
+  FaultPlan plan;
+  plan.media.push_back(MediaFault{/*first=*/10, /*count=*/1,
+                                  /*persistent=*/true, /*fail_budget=*/1,
+                                  /*arm_after_io=*/3});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  // io_index 0, 1, 2: the range has not gone bad yet.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(d.Service(10, 1, /*is_read=*/true, 0).ok());
+  }
+  EXPECT_EQ(d.Service(10, 1, /*is_read=*/true, 0).media,
+            disk::MediaStatus::kPersistentError);
+}
+
+TEST(FaultyDiskTest, MissOverlapLeavesOperationClean) {
+  FaultPlan plan;
+  plan.media.push_back(MediaFault{/*first=*/100, /*count=*/4,
+                                  /*persistent=*/true, /*fail_budget=*/1,
+                                  /*arm_after_io=*/0});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  EXPECT_TRUE(d.Service(96, 4, /*is_read=*/true, 0).ok());
+  EXPECT_TRUE(d.Service(104, 4, /*is_read=*/true, 0).ok());
+  EXPECT_FALSE(d.Service(98, 4, /*is_read=*/true, 0).ok());
+}
+
+TEST(FaultyDiskTest, TornWriteLandsPrefixThenRetrySucceeds) {
+  FaultPlan plan;
+  plan.torn.push_back(TornWrite{/*write_index=*/1, /*keep_fraction=*/0.5});
+  FaultyDisk d = MakeDisk(std::move(plan));
+
+  EXPECT_TRUE(d.Service(0, 8, /*is_read=*/false, 0).ok());  // write 0
+  const disk::ServiceBreakdown torn =
+      d.Service(200, 8, /*is_read=*/false, 0);  // write 1: torn
+  EXPECT_EQ(torn.media, disk::MediaStatus::kTransientError);
+  EXPECT_GE(torn.sectors_ok, 0);
+  EXPECT_LT(torn.sectors_ok, 8);
+  // Reads do not advance the write stream; the retried write succeeds.
+  EXPECT_TRUE(d.Service(200, 8, /*is_read=*/true, 0).ok());
+  EXPECT_TRUE(d.Service(200, 8, /*is_read=*/false, 0).ok());
+  EXPECT_EQ(d.injected_faults(), 1);
+}
+
+TEST(FaultyDiskTest, CrashPointFreezesTheDiskUntilCleared) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashPoint{/*at_io=*/2, /*at_time=*/-1});
+  FaultyDisk d = MakeDisk(std::move(plan));
+
+  EXPECT_TRUE(d.Service(0, 1, /*is_read=*/true, 0).ok());   // io 0
+  EXPECT_TRUE(d.Service(8, 1, /*is_read=*/true, 10).ok());  // io 1
+  const disk::ServiceBreakdown dead =
+      d.Service(16, 4, /*is_read=*/false, 20);  // io 2: power fails
+  EXPECT_EQ(dead.media, disk::MediaStatus::kCrashed);
+  EXPECT_TRUE(d.crashed());
+  ASSERT_TRUE(d.crashed_op().has_value());
+  EXPECT_EQ(d.crashed_op()->sector, 16);
+  EXPECT_EQ(d.crashed_op()->count, 4);
+  EXPECT_FALSE(d.crashed_op()->is_read);
+  EXPECT_EQ(d.injected_crashes(), 1);
+  EXPECT_EQ(d.remaining_crash_points(), 0u);
+
+  // Everything after the crash is dead too, until the harness re-arms.
+  EXPECT_EQ(d.Service(0, 1, /*is_read=*/true, 30).media,
+            disk::MediaStatus::kCrashed);
+  d.ClearCrash();
+  EXPECT_TRUE(d.Service(0, 1, /*is_read=*/true, 40).ok());
+  EXPECT_EQ(d.injected_crashes(), 1);  // the point stays consumed
+}
+
+TEST(FaultyDiskTest, TableWritesReportDurableAndTorn) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashPoint{/*at_io=*/2, /*at_time=*/-1});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  RecordingObserver observer;
+  d.set_table_observer(&observer);
+  d.SetTableArea(/*first=*/500, /*count=*/2);
+
+  // A completed write covering the table area commits the staged image.
+  EXPECT_TRUE(d.Service(500, 2, /*is_read=*/false, 0).ok());
+  EXPECT_EQ(observer.durable, 1);
+  EXPECT_EQ(observer.torn, 0);
+
+  // Reads of the area and writes elsewhere do not touch the observer.
+  EXPECT_TRUE(d.Service(500, 2, /*is_read=*/true, 0).ok());
+  EXPECT_EQ(observer.durable, 1);
+
+  // A crash mid table write tears it instead.
+  EXPECT_EQ(d.Service(500, 2, /*is_read=*/false, 0).media,
+            disk::MediaStatus::kCrashed);
+  EXPECT_EQ(observer.durable, 1);
+  EXPECT_EQ(observer.torn, 1);
+  EXPECT_GE(observer.last_fraction, 0.0);
+  EXPECT_LE(observer.last_fraction, 1.0);
+}
+
+TEST(FaultyDiskTest, DeterministicAcrossRuns) {
+  FaultPlanConfig pc;
+  pc.sector_count = disk::DriveSpec::TestDrive().geometry.total_sectors();
+  const FaultPlan plan = FaultPlan::Random(7, pc);
+
+  auto run = [&plan]() {
+    FaultyDisk d(disk::DriveSpec::TestDrive(), plan, 7);
+    std::uint64_t digest = 0;
+    for (int i = 0; i < 200; ++i) {
+      const disk::ServiceBreakdown b =
+          d.Service((i * 37) % 1000, 4, i % 3 == 0, i * 100);
+      digest = digest * 31 + static_cast<std::uint64_t>(b.media) * 7 +
+               static_cast<std::uint64_t>(b.sectors_ok);
+      if (d.crashed()) d.ClearCrash();
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace abr::fault

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then a ThreadSanitizer
-# build of the concurrency primitives (thread pool + parallel runner).
+# Repo verification: tier-1 build + full test suite, then an ASan+UBSan
+# build of the fault-injection / crash-recovery paths, then a
+# ThreadSanitizer build of the concurrency primitives (thread pool +
+# parallel runner).
 #
-# Usage: tools/check.sh [--no-tsan]
+# Usage: tools/check.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 NO_TSAN=0
+NO_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) NO_TSAN=1 ;;
+    --no-asan) NO_ASAN=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -19,6 +23,24 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
 
+if [[ "$NO_ASAN" == 1 ]]; then
+  echo "== asan: skipped (--no-asan) =="
+else
+  echo "== asan+ubsan: fault/crash/driver tests + crashday --quick =="
+  # The fault tests exercise truncated table images, torn writes, and
+  # mid-chain aborts — exactly where overflow and lifetime bugs would hide.
+  cmake -B build-asan -S . -DABR_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target \
+    fault_plan_test faulty_disk_test crash_harness_test \
+    adaptive_driver_test block_table_test abrsim >/dev/null
+  ./build-asan/tests/fault_plan_test
+  ./build-asan/tests/faulty_disk_test
+  ./build-asan/tests/crash_harness_test
+  ./build-asan/tests/adaptive_driver_test
+  ./build-asan/tests/block_table_test
+  ./build-asan/tools/abrsim crashday --quick --replicas=2
+fi
+
 if [[ "$NO_TSAN" == 1 ]]; then
   echo "== tsan: skipped (--no-tsan) =="
   exit 0
@@ -26,12 +48,17 @@ fi
 
 echo "== tsan: thread_pool_test + parallel_runner_test + bench_e2e --quick =="
 cmake -B build-tsan -S . -DABR_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target thread_pool_test parallel_runner_test bench_e2e >/dev/null
+cmake --build build-tsan -j --target thread_pool_test parallel_runner_test \
+  bench_e2e abrsim >/dev/null
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
 # Whole-pipeline smoke: a miniature day through the replication fan-out,
 # including the flat-vs-reference scheduler identity check. Run from the
 # build dir so its BENCH_e2e.json does not clobber the repo-root one.
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_e2e --quick)
+# Crash-harness replicas racing across worker threads: the results must
+# stay byte-identical and data-race-free.
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tools/abrsim crashday --quick --replicas=4 --jobs=4
 
 echo "== all checks passed =="
