@@ -101,22 +101,40 @@ core::ExperimentConfig BaseConfig(const Options& opt) {
   return config;
 }
 
-/// Measurement 1: flat production queues vs. the multimap oracles on the
-/// same whole-pipeline day, per scheduler kind.
+/// Measurement 1: the production configuration (flat queues + translation
+/// fast path) vs. its two oracles on the same whole-pipeline day, per
+/// scheduler kind — the multimap reference schedulers and the direct-probe
+/// translation path. Both must produce bit-identical metrics.
 void BenchSchedulers(const Options& opt,
                      std::vector<bench::BenchMetric>& metrics) {
-  bench::Banner("whole-pipeline day throughput: flat vs multimap queues");
+  bench::Banner(
+      "whole-pipeline day throughput: production vs multimap-queue and "
+      "direct-translation oracles");
   const sched::SchedulerKind kinds[] = {
       sched::SchedulerKind::kFcfs, sched::SchedulerKind::kSstf,
       sched::SchedulerKind::kScan, sched::SchedulerKind::kCLook};
+  struct Variant {
+    const char* what;
+    bool reference_scheduler;
+    bool translation_fast_path;
+  };
+  // Production last so its cache state matches the other runs' position.
+  const Variant variants[] = {
+      {"multimap queues", true, true},
+      {"direct translation", false, false},
+      {"production", false, true},
+  };
   for (const sched::SchedulerKind kind : kinds) {
     core::ExperimentConfig config = BaseConfig(opt);
     config.system.driver.scheduler = kind;
 
-    std::vector<std::vector<core::DayMetrics>> flat_days, ref_days;
-    double flat_s = 0, ref_s = 0;
-    for (const bool reference : {true, false}) {
-      config.system.driver.reference_scheduler = reference;
+    std::vector<std::vector<core::DayMetrics>> days[3];
+    double secs[3] = {0, 0, 0};
+    for (int v = 0; v < 3; ++v) {
+      config.system.driver.reference_scheduler =
+          variants[v].reference_scheduler;
+      config.system.driver.translation_fast_path =
+          variants[v].translation_fast_path;
       core::Experiment exp(config);
       const auto start = std::chrono::steady_clock::now();
       bench::CheckOk(core::RunOnOff(exp, opt.days_per_side).status(),
@@ -127,30 +145,33 @@ void BenchSchedulers(const Options& opt,
       const auto end = std::chrono::steady_clock::now();
       // Two back-to-back runs halve timer noise; metrics come from the
       // second (they are identical by determinism anyway).
-      (reference ? ref_s : flat_s) = Seconds(start, end) / 2;
-      (reference ? ref_days : flat_days)
-          .push_back(core::InterleaveOnOff(result));
+      secs[v] = Seconds(start, end) / 2;
+      days[v].push_back(core::InterleaveOnOff(result));
     }
 
-    if (Fingerprint(flat_days) != Fingerprint(ref_days)) {
-      std::fprintf(stderr,
-                   "FATAL: %s: flat scheduler changed the metrics vs the "
-                   "multimap reference\n",
-                   sched::SchedulerKindName(kind));
-      std::exit(1);
+    for (int v = 0; v < 2; ++v) {
+      if (Fingerprint(days[2]) != Fingerprint(days[v])) {
+        std::fprintf(stderr,
+                     "FATAL: %s: production changed the metrics vs %s\n",
+                     sched::SchedulerKindName(kind), variants[v].what);
+        std::exit(1);
+      }
     }
-    const std::int64_t requests = CountRequests(flat_days);
+    const std::int64_t requests = CountRequests(days[2]);
+    const double prod_s = secs[2];
     bench::BenchMetric m;
     m.name = std::string("e2e_day_") + sched::SchedulerKindName(kind);
-    m.ns_per_op = flat_s * 1e9 / static_cast<double>(requests);
-    m.ops_per_sec = static_cast<double>(requests) / flat_s;
+    m.ns_per_op = prod_s * 1e9 / static_cast<double>(requests);
+    m.ops_per_sec = static_cast<double>(requests) / prod_s;
     m.threads = 1;
-    m.speedup = flat_s > 0 ? ref_s / flat_s : 0;
+    m.speedup = prod_s > 0 ? secs[0] / prod_s : 0;
     std::printf(
-        "%-8s %9lld req  %8.0f req/s  (multimap %8.0f req/s, %.2fx)  "
-        "metrics identical\n",
+        "%-8s %9lld req  %8.0f req/s  (multimap %8.0f req/s, %.2fx; "
+        "direct xlat %8.0f req/s, %.2fx)  metrics identical\n",
         sched::SchedulerKindName(kind), static_cast<long long>(requests),
-        m.ops_per_sec, static_cast<double>(requests) / ref_s, m.speedup);
+        m.ops_per_sec, static_cast<double>(requests) / secs[0], m.speedup,
+        static_cast<double>(requests) / secs[1],
+        prod_s > 0 ? secs[1] / prod_s : 0);
     metrics.push_back(m);
   }
 }

@@ -15,16 +15,19 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "analyzer/exact_counter.h"
 #include "analyzer/space_saving_counter.h"
 #include "analyzer/space_saving_ref.h"
 #include "bench_util.h"
 #include "disk/disk.h"
 #include "driver/block_table.h"
 #include "driver/request_monitor.h"
+#include "driver/translation_filter.h"
 #include "sched/scheduler.h"
 #include "sched/scheduler_ref.h"
 #include "util/rng.h"
 #include "util/zipf.h"
+#include "util/zipf_ref.h"
 
 namespace {
 
@@ -355,6 +358,129 @@ void EmitBeforeAfterJson() {
   metrics.push_back(Compare("sstf_scheduler_cycle",
                             NsPerOp(kIters, sched_cycle(sstf_ref)),
                             NsPerOp(kIters, sched_cycle(sstf_flat))));
+
+  // Zipf sampling: the O(log n) inverse-CDF oracle (zipf_ref.h) vs the
+  // O(1) alias-table sampler, one draw per generated request.
+  {
+    ZipfSamplerRef zipf_ref(100000, 1.2);
+    ZipfSampler zipf_fast(100000, 1.2);
+    Rng rng_ref(29), rng_fast(29);
+    metrics.push_back(Compare(
+        "zipf_sample",
+        NsPerOp(kIters,
+                [&](std::int64_t) {
+                  benchmark::DoNotOptimize(zipf_ref.Sample(rng_ref));
+                }),
+        NsPerOp(kIters, [&](std::int64_t) {
+          benchmark::DoNotOptimize(zipf_fast.Sample(rng_fast));
+        })));
+  }
+
+  // Table persistence: the byte-at-a-time append + byte-wise-FNV
+  // serializer vs SerializeInto (single pass into a reused buffer, word
+  // checksum). The driver saves the table on every copy/clean mutation.
+  {
+    const auto legacy_serialize = [&table]() {
+      std::vector<std::uint8_t> out;
+      const auto put = [&out](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+          out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+        }
+      };
+      put(0xAB12B70C4BB71EULL);
+      put(static_cast<std::uint64_t>(table.entries().size()));
+      put(0);
+      for (const driver::BlockTableEntry& e : table.entries()) {
+        put(static_cast<std::uint64_t>(e.original));
+        put((static_cast<std::uint64_t>(e.relocated) << 1) |
+            (e.dirty ? 1u : 0u));
+      }
+      std::uint64_t h = 0xCBF29CE484222325ULL;
+      for (std::size_t b = 24; b < out.size(); ++b) {
+        h ^= out[b];
+        h *= 0x100000001B3ULL;
+      }
+      for (int b = 0; b < 8; ++b) {
+        out[16 + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(h >> (8 * b));
+      }
+      return out;
+    };
+    std::vector<std::uint8_t> reused;
+    constexpr std::int64_t kSerializeIters = 20000;
+    metrics.push_back(Compare(
+        "block_table_serialize",
+        NsPerOp(kSerializeIters,
+                [&](std::int64_t) {
+                  benchmark::DoNotOptimize(legacy_serialize());
+                }),
+        NsPerOp(kSerializeIters, [&](std::int64_t) {
+          table.SerializeInto(reused);
+          benchmark::DoNotOptimize(reused.data());
+        })));
+  }
+
+  // Analyzer drain: per-record virtual Observe through the base pointer vs
+  // one ObserveBatch per monitoring period.
+  {
+    std::vector<analyzer::BlockId> ids(kIters);
+    {
+      ZipfSampler zipf(100000, 1.0);
+      Rng rng(31);
+      for (auto& id : ids) id = analyzer::BlockId{0, zipf.Sample(rng)};
+    }
+    analyzer::ExactCounter seq_impl, batch_impl;
+    analyzer::ReferenceCounter* seq = &seq_impl;
+    analyzer::ReferenceCounter* batch = &batch_impl;
+    constexpr std::int64_t kBatch = 4096;
+    metrics.push_back(Compare(
+        "analyzer_observe_batch",
+        NsPerOp(kIters,
+                [&](std::int64_t i) {
+                  seq->Observe(ids[static_cast<std::size_t>(i)]);
+                }),
+        NsPerOp(kIters, [&](std::int64_t i) {
+          if (i % kBatch == 0) {
+            batch->ObserveBatch(&ids[static_cast<std::size_t>(i)],
+                                static_cast<std::size_t>(
+                                    std::min<std::int64_t>(kBatch,
+                                                           kIters - i)));
+          }
+        })));
+  }
+
+  // Per-request translation of an untranslated block: the direct probes
+  // (move-chain map + FlatMap64) vs the presence-filter fast path that
+  // skips both when the granule is empty.
+  {
+    constexpr std::int64_t kTotalSectors = 815 * 340;
+    driver::TranslationFilter filter(kTotalSectors, 16);
+    for (std::int32_t i = 0; i < kTableSize; ++i) filter.Add(i * 16);
+    std::unordered_map<SectorNo, int> moving;  // shape of driver::moving_
+    std::vector<SectorNo> keys(kIters);
+    {
+      Rng rng(37);
+      for (SectorNo& k : keys) {
+        k = static_cast<SectorNo>(
+            rng.NextBounded(static_cast<std::uint64_t>(kTotalSectors)));
+      }
+    }
+    metrics.push_back(Compare(
+        "translate_untranslated",
+        NsPerOp(kIters,
+                [&](std::int64_t i) {
+                  const SectorNo k = keys[static_cast<std::size_t>(i)];
+                  benchmark::DoNotOptimize(moving.find(k) != moving.end());
+                  benchmark::DoNotOptimize(table.Lookup(k));
+                }),
+        NsPerOp(kIters, [&](std::int64_t i) {
+          const SectorNo k = keys[static_cast<std::size_t>(i)];
+          if (filter.MayContain(k)) {
+            benchmark::DoNotOptimize(moving.find(k) != moving.end());
+            benchmark::DoNotOptimize(table.Lookup(k));
+          }
+        })));
+  }
 
   bench::EmitJson("micro", metrics);
 }

@@ -45,6 +45,9 @@ struct BenchMetric {
 /// Writes BENCH_<bench>.json in the working directory: one object per
 /// metric, so the perf trajectory of the hot paths can be tracked across
 /// PRs by diffing checked-in snapshots. Plain fprintf — no JSON library.
+/// Each snapshot is stamped with the producing revision (ABR_GIT_REV,
+/// exported by tools/check.sh) and the compiler configuration, so a
+/// regression report can always say which build produced the baseline.
 inline void EmitJson(const std::string& bench,
                      const std::vector<BenchMetric>& metrics) {
   const std::string path = "BENCH_" + bench + ".json";
@@ -53,8 +56,15 @@ inline void EmitJson(const std::string& bench,
     std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n",
-               bench.c_str());
+#ifndef ABR_BUILD_TYPE
+#define ABR_BUILD_TYPE "unknown"
+#endif
+  const char* rev = std::getenv("ABR_GIT_REV");
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
+               "  \"config\": \"%s\",\n  \"metrics\": [\n",
+               bench.c_str(), rev != nullptr ? rev : "unknown",
+               ABR_BUILD_TYPE);
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const BenchMetric& m = metrics[i];
     std::fprintf(f,

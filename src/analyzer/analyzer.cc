@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "analyzer/decaying_counter.h"
-
 namespace abr::analyzer {
 
 ReferenceStreamAnalyzer::ReferenceStreamAnalyzer(
@@ -13,23 +11,25 @@ ReferenceStreamAnalyzer::ReferenceStreamAnalyzer(
 }
 
 void ReferenceStreamAnalyzer::Drain(driver::AdaptiveDriver& driver) {
-  for (const driver::RequestRecord& record : driver.IoctlReadRequests()) {
-    ObserveRecord(record);
-  }
-}
-
-void ReferenceStreamAnalyzer::EndPeriod() {
-  if (auto* decaying = dynamic_cast<DecayingCounter*>(counter_.get())) {
-    decaying->EndPeriod();
-  } else {
-    counter_->Reset();
-  }
+  driver.IoctlReadRequests(drain_records_);
+  ObserveRecords(drain_records_.data(), drain_records_.size());
 }
 
 void ReferenceStreamAnalyzer::ObserveRecord(
     const driver::RequestRecord& record) {
   counter_->Observe(BlockId{record.device, record.block});
   ++records_consumed_;
+}
+
+void ReferenceStreamAnalyzer::ObserveRecords(
+    const driver::RequestRecord* records, std::size_t n) {
+  drain_ids_.clear();
+  drain_ids_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    drain_ids_.push_back(BlockId{records[i].device, records[i].block});
+  }
+  counter_->ObserveBatch(drain_ids_.data(), drain_ids_.size());
+  records_consumed_ += static_cast<std::int64_t>(n);
 }
 
 }  // namespace abr::analyzer

@@ -28,6 +28,10 @@ class ReferenceStreamAnalyzer {
   /// Feeds one record directly (tests / trace replay).
   void ObserveRecord(const driver::RequestRecord& record);
 
+  /// Feeds a whole monitoring period's records in order through one
+  /// ObserveBatch call, amortizing the counter's per-record dispatch.
+  void ObserveRecords(const driver::RequestRecord* records, std::size_t n);
+
   /// The ranked hot-block list: the k most-referenced blocks, hottest
   /// first.
   std::vector<HotBlock> HotList(std::size_t k) const {
@@ -37,10 +41,10 @@ class ReferenceStreamAnalyzer {
   /// Starts a new measurement period, discarding all counts.
   void Reset() { counter_->Reset(); }
 
-  /// Period boundary that respects aging: if the counter is a
-  /// DecayingCounter its history is aged rather than discarded; otherwise
-  /// equivalent to Reset().
-  void EndPeriod();
+  /// Period boundary that respects aging: an aging counter carries its
+  /// history forward (ReferenceCounter::EndPeriod), any other counter
+  /// resets.
+  void EndPeriod() { counter_->EndPeriod(); }
 
   /// Underlying counter (for inspection).
   const ReferenceCounter& counter() const { return *counter_; }
@@ -51,6 +55,10 @@ class ReferenceStreamAnalyzer {
  private:
   std::unique_ptr<ReferenceCounter> counter_;
   std::int64_t records_consumed_ = 0;
+  // Reused across Drain() calls: one request-table swap plus one BlockId
+  // repack per period, no per-period allocation after the first.
+  std::vector<driver::RequestRecord> drain_records_;
+  std::vector<BlockId> drain_ids_;
 };
 
 }  // namespace abr::analyzer

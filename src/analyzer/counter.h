@@ -46,6 +46,19 @@ class ReferenceCounter {
   /// Records one reference to the block.
   virtual void Observe(const BlockId& id) = 0;
 
+  /// Records one reference to each block, in order — equivalent to calling
+  /// Observe() per element. Implementations override to amortize the
+  /// per-call work (virtual dispatch, hash/bucket bookkeeping) over the
+  /// whole monitoring-period drain.
+  virtual void ObserveBatch(const BlockId* ids, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Observe(ids[i]);
+  }
+
+  /// Period boundary. The paper's protocol discards each day's counts
+  /// after rearranging, so the default is a hard Reset(); aging counters
+  /// override this to carry history forward.
+  virtual void EndPeriod() { Reset(); }
+
   /// Returns the k blocks with the highest (estimated) counts, ordered by
   /// descending count (ties broken by ascending block for determinism).
   /// Fewer than k are returned when fewer blocks were observed.

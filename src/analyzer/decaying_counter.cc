@@ -64,8 +64,16 @@ std::vector<HotBlock> DecayingCounter::Merged(std::size_t k) const {
     if (a.id.device != b.id.device) return a.id.device < b.id.device;
     return a.id.block < b.id.block;
   };
-  std::sort(all.begin(), all.end(), by_count_desc);
-  if (k < all.size()) all.resize(k);
+  if (k < all.size()) {
+    // The comparator totally orders entries (count, device, block), so the
+    // partial sort returns the same prefix a full sort would.
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+                      by_count_desc);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), by_count_desc);
+  }
   return all;
 }
 

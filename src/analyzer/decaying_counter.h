@@ -30,6 +30,9 @@ class DecayingCounter : public ReferenceCounter {
   DecayingCounter(std::unique_ptr<ReferenceCounter> base, double decay);
 
   void Observe(const BlockId& id) override { base_->Observe(id); }
+  void ObserveBatch(const BlockId* ids, std::size_t n) override {
+    base_->ObserveBatch(ids, n);
+  }
   std::vector<HotBlock> TopK(std::size_t k) const override {
     return Merged(k);
   }
@@ -39,7 +42,7 @@ class DecayingCounter : public ReferenceCounter {
 
   /// Period boundary: ages the history by `decay()` and folds the current
   /// period's counts into it.
-  void EndPeriod();
+  void EndPeriod() override;
 
   double decay() const { return decay_; }
 

@@ -9,6 +9,11 @@ void ExactCounter::Observe(const BlockId& id) {
   ++total_;
 }
 
+void ExactCounter::ObserveBatch(const BlockId* ids, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) ++counts_[PackBlockId(ids[i])];
+  total_ += static_cast<std::int64_t>(n);
+}
+
 std::vector<HotBlock> ExactCounter::TopK(std::size_t k) const {
   std::vector<HotBlock> all;
   all.reserve(counts_.size());

@@ -18,6 +18,7 @@ class ExactCounter : public ReferenceCounter {
   ExactCounter() = default;
 
   void Observe(const BlockId& id) override;
+  void ObserveBatch(const BlockId* ids, std::size_t n) override;
   std::vector<HotBlock> TopK(std::size_t k) const override;
   std::size_t tracked() const override { return counts_.size(); }
   std::int64_t total() const override { return total_; }

@@ -36,6 +36,7 @@ class SpaceSavingCounter : public ReferenceCounter {
   explicit SpaceSavingCounter(std::size_t capacity);
 
   void Observe(const BlockId& id) override;
+  void ObserveBatch(const BlockId* ids, std::size_t n) override;
   std::vector<HotBlock> TopK(std::size_t k) const override;
   std::size_t tracked() const override { return nodes_.size(); }
   std::int64_t total() const override { return total_; }

@@ -94,12 +94,19 @@ Status Experiment::Setup() {
 void Experiment::Tick(Micros now) {
   if (now > driver().now()) driver().AdvanceTo(now);
   driver().IoctlReadRequests(tick_records_);
+  system_->analyzer().ObserveRecords(tick_records_.data(),
+                                     tick_records_.size());
+  tick_ids_all_.clear();
+  tick_ids_reads_.clear();
+  tick_ids_all_.reserve(tick_records_.size());
   for (const driver::RequestRecord& rec : tick_records_) {
-    system_->analyzer().ObserveRecord(rec);
     const analyzer::BlockId id{rec.device, rec.block};
-    day_counts_all_.Observe(id);
-    if (rec.type == sched::IoType::kRead) day_counts_reads_.Observe(id);
+    tick_ids_all_.push_back(id);
+    if (rec.type == sched::IoType::kRead) tick_ids_reads_.push_back(id);
   }
+  day_counts_all_.ObserveBatch(tick_ids_all_.data(), tick_ids_all_.size());
+  day_counts_reads_.ObserveBatch(tick_ids_reads_.data(),
+                                 tick_ids_reads_.size());
 }
 
 StatusOr<DayMetrics> Experiment::RunMeasuredDay() {

@@ -118,6 +118,8 @@ class Experiment {
   /// Reused across Tick() calls so the per-monitoring-period drain of the
   /// request table allocates nothing once warm.
   std::vector<driver::RequestRecord> tick_records_;
+  std::vector<analyzer::BlockId> tick_ids_all_;
+  std::vector<analyzer::BlockId> tick_ids_reads_;
   std::int32_t day_ = 0;
 };
 

@@ -86,12 +86,20 @@ Status AdaptiveDriver::Attach(bool after_crash) {
         block_table_->MarkAllDirty();
         perf_monitor_.RecordRecoveryDirtied(block_table_->size());
         // Replace whatever torn image the store holds with a valid one.
-        store_->Save(block_table_->Serialize());
+        SaveTable();
       }
     } else {
-      store_->Save(block_table_->Serialize());
+      SaveTable();
     }
   }
+  // Rebuild the presence filter from the loaded table (empty on a
+  // non-rearranged disk, so the fast path skips all probes there).
+  translation_filter_ = TranslationFilter(
+      label_.physical_geometry().total_sectors(), block_sectors_);
+  for (const BlockTableEntry& e : block_table_->entries()) {
+    translation_filter_.Add(e.original);
+  }
+  InvalidateTranslationCache();
   attached_ = true;
   return Status::Ok();
 }
@@ -104,9 +112,7 @@ Status AdaptiveDriver::Detach() {
     // Charge the final table write like any other table update.
     MoveChain chain;
     chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
-    const SectorNo key = label_.reserved_first_sector();
-    moving_.emplace(key, std::move(chain));
-    PumpChain(key);
+    BeginChain(label_.reserved_first_sector(), std::move(chain));
     Drain();
   }
   attached_ = false;
@@ -174,28 +180,52 @@ Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
         RequestRecord{device, block, config_.block_size_bytes, type});
   }
 
-  if (auto it = moving_.find(original); it != moving_.end()) {
-    it->second.held.push_back(HeldRequest{device, block, /*raw_sector=*/0,
-                                          /*raw_count=*/0, type,
-                                          arrival_time});
-    return Status::Ok();
-  }
-
   PhysExtents finals = extents;
-  if (extents.size() == 1) {
-    if (std::optional<SectorNo> relocated = block_table_->Lookup(original)) {
-      if (type == sched::IoType::kWrite) {
-        // In-memory dirty bit only; the on-disk copy's bits may go stale,
-        // which recovery compensates for by marking everything dirty.
-        Status s = block_table_->MarkDirty(original);
-        assert(s.ok());
-        (void)s;
-      }
-      finals.extent[0].sector = *relocated;
+  if (config_.translation_fast_path &&
+      !translation_filter_.MayContain(original)) {
+    // Fast path: no table entry and no move chain can exist for this
+    // block, so the mapped extents go straight to the scheduler.
+  } else if (config_.translation_fast_path && cache_valid_ &&
+             cache_original_ == original && extents.size() == 1) {
+    // Last-translation cache hit; a valid entry proves the mapping still
+    // holds and no chain is active for it (any mutation invalidates).
+    if (type == sched::IoType::kWrite && !cache_dirty_) {
+      Status s = block_table_->MarkDirty(original);
+      assert(s.ok());
+      (void)s;
+      cache_dirty_ = true;
     }
+    finals.extent[0].sector = cache_relocated_;
+  } else {
+    if (auto it = moving_.find(original); it != moving_.end()) {
+      it->second.held.push_back(HeldRequest{device, block, /*raw_sector=*/0,
+                                            /*raw_count=*/0, type,
+                                            arrival_time});
+      return Status::Ok();
+    }
+    if (extents.size() == 1) {
+      if (std::optional<BlockTableEntry> entry =
+              block_table_->LookupEntry(original)) {
+        if (type == sched::IoType::kWrite && !entry->dirty) {
+          // In-memory dirty bit only; the on-disk copy's bits may go
+          // stale, which recovery compensates for by marking everything
+          // dirty.
+          Status s = block_table_->MarkDirty(original);
+          assert(s.ok());
+          (void)s;
+          entry->dirty = true;
+        }
+        finals.extent[0].sector = entry->relocated;
+        cache_valid_ = true;
+        cache_dirty_ = entry->dirty;
+        cache_original_ = original;
+        cache_relocated_ = entry->relocated;
+      }
+    }
+    // A block straddling the hidden-region boundary maps to two physical
+    // extents and is never eligible for rearrangement, so no lookup
+    // applies.
   }
-  // A block straddling the hidden-region boundary maps to two physical
-  // extents and is never eligible for rearrangement, so no lookup applies.
 
   for (const PhysExtent& e : finals) {
     sched::IoRequest req;
@@ -271,7 +301,28 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
         type});
   }
 
-  if (original_key != kInvalidBlock) {
+  if (original_key != kInvalidBlock &&
+      !(config_.translation_fast_path &&
+        !translation_filter_.MayContain(original_key))) {
+    if (config_.translation_fast_path && cache_valid_ &&
+        cache_original_ == original_key && block_extents.size() == 1) {
+      if (type == sched::IoType::kWrite && !cache_dirty_) {
+        Status s = block_table_->MarkDirty(original_key);
+        assert(s.ok());
+        (void)s;
+        cache_dirty_ = true;
+      }
+      sched::IoRequest req;
+      req.id = next_request_id_++;
+      req.type = type;
+      req.arrival_time = arrival_time;
+      req.sector = cache_relocated_ + (sector - block_start);
+      req.sector_count = count;
+      req.logical_block = block;
+      req.device = device;
+      system_.Submit(req);
+      return Status::Ok();
+    }
     if (auto it = moving_.find(original_key); it != moving_.end()) {
       it->second.held.push_back(
           HeldRequest{device, /*block=*/kInvalidBlock, sector, count, type,
@@ -279,18 +330,23 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
       return Status::Ok();
     }
     if (block_extents.size() == 1) {
-      if (std::optional<SectorNo> relocated =
-              block_table_->Lookup(original_key)) {
-        if (type == sched::IoType::kWrite) {
+      if (std::optional<BlockTableEntry> entry =
+              block_table_->LookupEntry(original_key)) {
+        if (type == sched::IoType::kWrite && !entry->dirty) {
           Status s = block_table_->MarkDirty(original_key);
           assert(s.ok());
           (void)s;
+          entry->dirty = true;
         }
+        cache_valid_ = true;
+        cache_dirty_ = entry->dirty;
+        cache_original_ = original_key;
+        cache_relocated_ = entry->relocated;
         sched::IoRequest req;
         req.id = next_request_id_++;
         req.type = type;
         req.arrival_time = arrival_time;
-        req.sector = *relocated + (sector - block_start);
+        req.sector = entry->relocated + (sector - block_start);
         req.sector_count = count;
         req.logical_block = block;
         req.device = device;
@@ -349,7 +405,31 @@ sched::IoRequest AdaptiveDriver::TableWriteOp() const {
 
 void AdaptiveDriver::SaveTable() {
   assert(store_ != nullptr);
-  store_->Save(block_table_->Serialize());
+  block_table_->SerializeInto(table_image_);
+  store_->Save(table_image_);
+}
+
+void AdaptiveDriver::TableInsert(SectorNo original, SectorNo relocated) {
+  Status s = block_table_->Insert(original, relocated);
+  assert(s.ok());
+  (void)s;
+  translation_filter_.Add(original);
+  InvalidateTranslationCache();
+}
+
+void AdaptiveDriver::TableRemove(SectorNo original) {
+  Status s = block_table_->Remove(original);
+  assert(s.ok());
+  (void)s;
+  translation_filter_.Remove(original);
+  InvalidateTranslationCache();
+}
+
+void AdaptiveDriver::BeginChain(SectorNo key, MoveChain chain) {
+  translation_filter_.Add(key);
+  InvalidateTranslationCache();
+  moving_.emplace(key, std::move(chain));
+  PumpChain(key);
 }
 
 AdaptiveDriver::GeometryInfo AdaptiveDriver::IoctlGetGeometry() const {
@@ -384,13 +464,19 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
       (target - data_first) % block_sectors_ != 0) {
     return Status::InvalidArgument("target is not a reserved-area slot");
   }
-  if (block_table_->TargetInUse(target)) {
+  // In-flight copy chains insert their entries only when the target write
+  // completes, so validation must count reservations alongside the table:
+  // otherwise two concurrent copies could claim one slot, or enough of
+  // them could overflow the table's capacity when their inserts land.
+  if (block_table_->TargetInUse(target) || pending_targets_.contains(target)) {
     return Status::AlreadyExists("target slot occupied");
   }
   if (block_table_->Lookup(original).has_value()) {
     return Status::AlreadyExists("block already rearranged");
   }
-  if (block_table_->size() >= block_table_->capacity()) {
+  if (block_table_->size() +
+          static_cast<std::int32_t>(pending_targets_.size()) >=
+      block_table_->capacity()) {
     return Status::ResourceExhausted("block table full");
   }
   if (IsMoving(original)) {
@@ -415,13 +501,11 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
   write_op.sector = target;
   write_op.sector_count = block_sectors_;
   write_op.internal = true;
-  chain.ops.push_back(
-      ChainOp{write_op, [this, original, target]() {
-                Status s = block_table_->Insert(original, target);
-                assert(s.ok());
-                (void)s;
-                SaveTable();
-              }});
+  chain.ops.push_back(ChainOp{write_op, [this, original, target]() {
+                                pending_targets_.erase(target);
+                                TableInsert(original, target);
+                                SaveTable();
+                              }});
 
   chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
 
@@ -432,17 +516,16 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
   // Clean-out chains need no rollback: whether or not Remove ran, both
   // locations hold the block's bytes at every abort point.
   chain.on_abort = [this, original, target]() {
+    pending_targets_.erase(target);
     std::optional<SectorNo> relocated = block_table_->Lookup(original);
     if (relocated.has_value() && *relocated == target) {
-      Status s = block_table_->Remove(original);
-      assert(s.ok());
-      (void)s;
+      TableRemove(original);
       SaveTable();
     }
   };
 
-  moving_.emplace(original, std::move(chain));
-  PumpChain(original);
+  pending_targets_.insert(target);
+  BeginChain(original, std::move(chain));
   return Status::Ok();
 }
 
@@ -462,16 +545,20 @@ Status AdaptiveDriver::IoctlClean() {
 }
 
 void AdaptiveDriver::PumpClean() {
-  if (clean_queue_.empty()) return;
-  const SectorNo original = clean_queue_.front();
-  clean_queue_.pop_front();
-  std::optional<BlockTableEntry> entry = block_table_->LookupEntry(original);
-  if (!entry.has_value()) {
-    // Entry disappeared (should not happen); move on.
-    PumpClean();
-    return;
+  SectorNo original = 0;
+  std::optional<BlockTableEntry> entry;
+  while (true) {
+    if (clean_queue_.empty()) return;
+    original = clean_queue_.front();
+    clean_queue_.pop_front();
+    entry = block_table_->LookupEntry(original);
+    // Skip entries with nothing left to do: the entry is already gone, or
+    // a chain for this block is still in flight — a DKIOCCLEAN issued
+    // while the previous clean's final chain was retiring re-lists the
+    // block, and starting a second chain under the same key would corrupt
+    // the move registry.
+    if (entry.has_value() && !IsMoving(original)) break;
   }
-  assert(!IsMoving(original));
 
   MoveChain chain;
   chain.on_finish = [this]() { PumpClean(); };
@@ -495,23 +582,18 @@ void AdaptiveDriver::PumpClean() {
     write_op.sector_count = block_sectors_;
     write_op.internal = true;
     chain.ops.push_back(ChainOp{write_op, [this, original]() {
-                                  Status s = block_table_->Remove(original);
-                                  assert(s.ok());
-                                  (void)s;
+                                  TableRemove(original);
                                   SaveTable();
                                 }});
   } else {
     // Clean block: the original still holds current data; just drop the
     // entry and rewrite the table (one I/O operation).
-    Status s = block_table_->Remove(original);
-    assert(s.ok());
-    (void)s;
+    TableRemove(original);
     SaveTable();
   }
   chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
 
-  moving_.emplace(original, std::move(chain));
-  PumpChain(original);
+  BeginChain(original, std::move(chain));
 }
 
 void AdaptiveDriver::PumpChain(SectorNo key) {
@@ -524,6 +606,8 @@ void AdaptiveDriver::PumpChain(SectorNo key) {
     std::vector<HeldRequest> held = std::move(chain.held);
     std::function<void()> on_finish = std::move(chain.on_finish);
     moving_.erase(it);
+    translation_filter_.Remove(key);
+    InvalidateTranslationCache();
     for (const HeldRequest& h : held) {
       Status s =
           h.block >= 0

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "disk/disk.h"
@@ -14,6 +15,7 @@
 #include "driver/perf_monitor.h"
 #include "driver/request_monitor.h"
 #include "driver/table_store.h"
+#include "driver/translation_filter.h"
 #include "sched/scheduler.h"
 #include "sim/disk_system.h"
 #include "util/status.h"
@@ -48,6 +50,14 @@ struct DriverConfig {
   /// before the driver gives up (external requests fail; internal move
   /// chains abort and roll back).
   std::int32_t max_io_retries = 3;
+
+  /// When set (the default), per-request translation consults a coarse
+  /// presence filter plus a last-translation cache before the exact
+  /// move-chain and block-table probes. When clear, every request takes
+  /// the direct probes — the oracle the differential test and bench_e2e
+  /// compare the fast path against. Both paths produce bit-identical
+  /// request streams and metrics.
+  bool translation_fast_path = true;
 };
 
 /// The modified UNIX disk driver of Section 4: logical-device to physical
@@ -281,6 +291,22 @@ class AdaptiveDriver : private sim::CompletionSink {
     return moving_.contains(original);
   }
 
+  // --- Translation fast-path maintenance (keep the presence filter and
+  // --- the last-translation cache coherent with every table / chain
+  // --- mutation; see translation_filter.h) ------------------------------
+
+  /// Inserts into the block table and registers the key with the filter.
+  void TableInsert(SectorNo original, SectorNo relocated);
+
+  /// Removes from the block table and withdraws the key from the filter.
+  void TableRemove(SectorNo original);
+
+  /// Registers a move chain under `key` (filter + cache coherence) and
+  /// starts pumping it.
+  void BeginChain(SectorNo key, MoveChain chain);
+
+  void InvalidateTranslationCache() { cache_valid_ = false; }
+
   /// Enqueues the next pending internal op of a chain, if any, or finishes
   /// the chain (releasing held requests).
   void PumpChain(SectorNo key);
@@ -324,12 +350,29 @@ class AdaptiveDriver : private sim::CompletionSink {
   std::int64_t internal_io_count_ = 0;
   Micros internal_io_time_ = 0;
 
+  // Presence filter over block-table originals and active chain keys.
+  TranslationFilter translation_filter_;
+  // Last successful table lookup; invalidated on any table/chain mutation,
+  // so a valid entry proves the mapping still holds and no chain is active
+  // for it.
+  bool cache_valid_ = false;
+  bool cache_dirty_ = false;
+  SectorNo cache_original_ = 0;
+  SectorNo cache_relocated_ = 0;
+  // Reused serialization buffer for SaveTable() (one save per table
+  // mutation during copy-in / clean-out).
+  std::vector<std::uint8_t> table_image_;
+
   // Active move chains keyed by the block's original physical start sector.
   std::unordered_map<SectorNo, MoveChain> moving_;
   // Internal request id -> chain key.
   std::unordered_map<std::int64_t, SectorNo> internal_ops_;
   // Blocks still awaiting clean-out (original start sectors).
   std::deque<SectorNo> clean_queue_;
+  // Reserved-area slots claimed by in-flight copy chains whose table
+  // entries have not landed yet; counted by DKIOCBCOPY validation so
+  // concurrent copies can neither share a slot nor overflow the table.
+  std::unordered_set<SectorNo> pending_targets_;
 };
 
 }  // namespace abr::driver

@@ -81,6 +81,11 @@ class BlockTable {
   /// written to the start of the reserved area.
   std::vector<std::uint8_t> Serialize() const;
 
+  /// Serializes into a caller-owned buffer, reusing its capacity. The
+  /// driver persists the table after every copy/clean table mutation, so
+  /// this path avoids one allocation plus byte-at-a-time appends per save.
+  void SerializeInto(std::vector<std::uint8_t>& out) const;
+
   /// Reconstructs a table from a serialized image. Fails with Corruption on
   /// bad magic or checksum. The result has the given capacity (which must
   /// hold all stored entries).

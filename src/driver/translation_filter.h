@@ -1,0 +1,77 @@
+#ifndef ABR_DRIVER_TRANSLATION_FILTER_H_
+#define ABR_DRIVER_TRANSLATION_FILTER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace abr::driver {
+
+/// Coarse presence filter over the physical sector space, consulted by the
+/// driver's strategy routine before the block-table probe.
+///
+/// On a typical day only a small fraction of blocks are rearranged, so the
+/// common case of the per-request translation is a wasted hash probe (plus a
+/// move-chain lookup). The filter keeps one small counter per granule — a
+/// power-of-two sector range no larger than one file-system block — counting
+/// how many translation keys (block-table originals and active move-chain
+/// keys) fall inside it. A zero counter proves the request's block is
+/// neither rearranged nor moving, so translation can submit the mapped
+/// extents directly: two loads and a compare instead of two hash probes.
+/// Nonzero counters fall back to the exact path, so false sharing of a
+/// granule costs only the old probe, never correctness.
+class TranslationFilter {
+ public:
+  /// An empty filter: MayContain() is false everywhere.
+  TranslationFilter() = default;
+
+  /// Covers physical sectors [0, total_sectors). `block_sectors` sets the
+  /// granule: the largest power of two not exceeding one block.
+  TranslationFilter(std::int64_t total_sectors, std::int32_t block_sectors) {
+    assert(total_sectors > 0);
+    assert(block_sectors > 0);
+    shift_ = 0;
+    while ((std::int64_t{2} << shift_) <= block_sectors) ++shift_;
+    counts_.assign(
+        static_cast<std::size_t>((total_sectors >> shift_) + 1), 0);
+  }
+
+  /// Registers a translation key (a block's original physical start sector).
+  void Add(SectorNo key) {
+    std::uint16_t& c = counts_[Granule(key)];
+    assert(c < UINT16_MAX);
+    ++c;
+  }
+
+  /// Withdraws a previously Add()ed key.
+  void Remove(SectorNo key) {
+    std::uint16_t& c = counts_[Granule(key)];
+    assert(c > 0);
+    --c;
+  }
+
+  /// False means no key in `key`'s granule: the exact probes may be
+  /// skipped. True means "possibly present" — fall back to the exact path.
+  bool MayContain(SectorNo key) const {
+    return counts_[Granule(key)] != 0;
+  }
+
+  /// Number of granule counters (for sizing introspection in benchmarks).
+  std::size_t granule_count() const { return counts_.size(); }
+
+ private:
+  std::size_t Granule(SectorNo key) const {
+    const std::size_t g = static_cast<std::size_t>(key >> shift_);
+    assert(g < counts_.size());
+    return g;
+  }
+
+  int shift_ = 0;
+  std::vector<std::uint16_t> counts_;
+};
+
+}  // namespace abr::driver
+
+#endif  // ABR_DRIVER_TRANSLATION_FILTER_H_

@@ -1,13 +1,16 @@
 #include "util/zipf.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace abr {
 
 ZipfSampler::ZipfSampler(std::int64_t n, double theta)
-    : n_(n), theta_(theta), cdf_(static_cast<std::size_t>(n)) {
+    : n_(n),
+      theta_(theta),
+      cdf_(static_cast<std::size_t>(n)),
+      accept_(static_cast<std::size_t>(n)),
+      alias_(static_cast<std::size_t>(n)) {
   assert(n > 0);
   assert(theta >= 0.0);
   double sum = 0.0;
@@ -18,13 +21,44 @@ ZipfSampler::ZipfSampler(std::int64_t n, double theta)
   const double inv = 1.0 / sum;
   for (auto& c : cdf_) c *= inv;
   cdf_.back() = 1.0;  // guard against rounding
-}
 
-std::int64_t ZipfSampler::Sample(Rng& rng) const {
-  const double u = rng.NextDouble();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) --it;
-  return static_cast<std::int64_t>(it - cdf_.begin());
+  // Vose's alias method: split the mass into n equal-width columns, each
+  // holding at most two ranks — the column's own rank (accepted with
+  // probability accept_[k]) and one donor (alias_[k]).
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<double> scaled(un);  // pmf * n
+  scaled[0] = cdf_[0] * static_cast<double>(n);
+  for (std::size_t k = 1; k < un; ++k) {
+    scaled[k] = (cdf_[k] - cdf_[k - 1]) * static_cast<double>(n);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(un);
+  large.reserve(un);
+  for (std::size_t k = 0; k < un; ++k) {
+    (scaled[k] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(k));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers hold (up to rounding) exactly one column of mass.
+  for (const std::uint32_t k : large) {
+    accept_[k] = 1.0;
+    alias_[k] = k;
+  }
+  for (const std::uint32_t k : small) {
+    accept_[k] = 1.0;
+    alias_[k] = k;
+  }
 }
 
 double ZipfSampler::Pmf(std::int64_t rank) const {

@@ -13,8 +13,11 @@ namespace abr {
 ///
 /// Disk block reference streams are highly skewed (paper Section 2, Figures
 /// 5 and 7); Zipf-like rank/frequency curves are the standard synthetic
-/// model for that skew. Sampling uses a precomputed CDF with binary search,
-/// which is exact and fast for the population sizes used here (<= millions).
+/// model for that skew. Sampling uses Vose's alias method: two table reads
+/// and one comparison per draw — O(1) regardless of n, where the previous
+/// inverse-CDF sampler (kept as util/zipf_ref.h) paid an O(log n) binary
+/// search per request. The workload generator draws one rank per generated
+/// request, so this sits on the end-to-end hot path.
 class ZipfSampler {
  public:
   /// Builds a sampler over n ranks with exponent theta >= 0.
@@ -22,7 +25,13 @@ class ZipfSampler {
   ZipfSampler(std::int64_t n, double theta);
 
   /// Draws one rank in [0, n).
-  std::int64_t Sample(Rng& rng) const;
+  std::int64_t Sample(Rng& rng) const {
+    const std::size_t slot =
+        static_cast<std::size_t>(rng.NextBounded(static_cast<std::uint64_t>(n_)));
+    return rng.NextDouble() < accept_[slot]
+               ? static_cast<std::int64_t>(slot)
+               : static_cast<std::int64_t>(alias_[slot]);
+  }
 
   /// Number of ranks.
   std::int64_t n() const { return n_; }
@@ -39,7 +48,9 @@ class ZipfSampler {
  private:
   std::int64_t n_;
   double theta_;
-  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+  std::vector<double> cdf_;            // cdf_[k] = P(rank <= k); Pmf/Cdf
+  std::vector<double> accept_;         // alias acceptance threshold per slot
+  std::vector<std::uint32_t> alias_;   // alias target per slot
 };
 
 }  // namespace abr

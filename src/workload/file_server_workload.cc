@@ -106,13 +106,14 @@ fs::FileId FileServerWorkload::FileAtRank(std::int64_t rank) const {
 }
 
 const ZipfSampler& FileServerWorkload::BlockSampler(std::int64_t n) {
-  auto it = block_samplers_.find(n);
-  if (it == block_samplers_.end()) {
-    it = block_samplers_
-             .emplace(n, ZipfSampler(n, profile_.block_zipf_theta))
-             .first;
+  assert(n > 0);
+  const std::size_t idx = static_cast<std::size_t>(n);
+  if (idx >= block_samplers_.size()) block_samplers_.resize(idx + 1);
+  std::unique_ptr<ZipfSampler>& slot = block_samplers_[idx];
+  if (slot == nullptr) {
+    slot = std::make_unique<ZipfSampler>(n, profile_.block_zipf_theta);
   }
-  return it->second;
+  return *slot;
 }
 
 std::int64_t FileServerWorkload::SampleRank() {

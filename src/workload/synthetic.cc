@@ -47,6 +47,7 @@ BlockNo SyntheticBlockWorkload::BlockAtRank(std::int64_t rank) const {
 
 void SyntheticBlockWorkload::Generate(Micros start, Micros end,
                                       Trace& trace) {
+  batch_.clear();
   BurstyArrivals arrivals(config_.arrivals, start, rng_.Fork());
   for (Micros t = arrivals.Next(); t < end; t = arrivals.Next()) {
     TraceRecord rec;
@@ -59,8 +60,9 @@ void SyntheticBlockWorkload::Generate(Micros start, Micros end,
       rec.type = sched::IoType::kRead;
       rec.block = BlockAtRank(read_sampler_.Sample(rng_));
     }
-    trace.Append(rec);
+    batch_.push_back(rec);
   }
+  trace.AppendBatch(batch_.data(), batch_.size());
 }
 
 }  // namespace abr::workload

@@ -44,7 +44,9 @@ class SyntheticBlockWorkload {
   SyntheticBlockWorkload(std::int32_t device, std::int64_t partition_blocks,
                          const SyntheticConfig& config, std::uint64_t seed);
 
-  /// Appends requests with arrival times in [start, end) to `trace`.
+  /// Appends requests with arrival times in [start, end) to `trace`. The
+  /// whole period is generated into a reused buffer and spliced in with
+  /// one AppendBatch — no per-request trace call.
   void Generate(Micros start, Micros end, Trace& trace);
 
   /// The logical block at popularity rank `rank`.
@@ -59,6 +61,7 @@ class SyntheticBlockWorkload {
   ZipfSampler read_sampler_;
   ZipfSampler write_sampler_;
   std::vector<BlockNo> rank_to_block_;
+  std::vector<TraceRecord> batch_;  // reused per Generate() call
 };
 
 }  // namespace abr::workload

@@ -12,6 +12,17 @@ void Trace::Append(const TraceRecord& record) {
   records_.push_back(record);
 }
 
+void Trace::AppendBatch(const TraceRecord* records, std::size_t n) {
+  if (n == 0) return;
+  assert(records_.empty() || records_.back().time <= records[0].time);
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < n; ++i) {
+    assert(records[i - 1].time <= records[i].time);
+  }
+#endif
+  records_.insert(records_.end(), records, records + n);
+}
+
 void Trace::MergeFrom(const Trace& other) {
   std::vector<TraceRecord> merged;
   merged.reserve(records_.size() + other.records_.size());

@@ -32,6 +32,11 @@ class Trace {
   /// order.
   void Append(const TraceRecord& record);
 
+  /// Appends `n` records in one splice — the batched generators emit a
+  /// whole period at a time. The batch must itself be time-ordered and
+  /// start no earlier than the trace's last record.
+  void AppendBatch(const TraceRecord* records, std::size_t n);
+
   /// All records.
   const std::vector<TraceRecord>& records() const { return records_; }
 

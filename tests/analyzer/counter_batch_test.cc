@@ -1,0 +1,118 @@
+// ObserveBatch / EndPeriod contract tests: for every counter
+// implementation, a batched drain must leave exactly the state that the
+// same stream observed one call at a time would have left, and the virtual
+// EndPeriod() must reset plain counters while aging the decaying wrapper —
+// the polymorphic replacement for the analyzer's former dynamic_cast
+// dispatch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "analyzer/counter.h"
+#include "analyzer/decaying_counter.h"
+#include "analyzer/exact_counter.h"
+#include "analyzer/space_saving_counter.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace abr::analyzer {
+namespace {
+
+/// A Zipf-skewed block stream shared by both sides of each comparison.
+std::vector<BlockId> MakeStream(std::size_t n, std::uint64_t seed) {
+  ZipfSampler zipf(500, 1.1);
+  Rng rng(seed);
+  std::vector<BlockId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(BlockId{static_cast<std::int32_t>(rng.NextBounded(3)),
+                          static_cast<BlockNo>(zipf.Sample(rng))});
+  }
+  return ids;
+}
+
+/// Feeds `ids` to `sequential` one Observe() at a time and to `batched`
+/// through ObserveBatch() in uneven chunks, then checks identical state.
+void ExpectBatchMatchesSequential(ReferenceCounter& sequential,
+                                  ReferenceCounter& batched,
+                                  const std::vector<BlockId>& ids) {
+  for (const BlockId& id : ids) sequential.Observe(id);
+  // Uneven chunk sizes (including empty) catch boundary bookkeeping.
+  const std::size_t chunks[] = {1, 0, 7, 64, 1000, 13};
+  std::size_t at = 0, c = 0;
+  while (at < ids.size()) {
+    const std::size_t take =
+        std::min(chunks[c++ % std::size(chunks)], ids.size() - at);
+    batched.ObserveBatch(ids.data() + at, take);
+    at += take;
+  }
+
+  EXPECT_EQ(batched.total(), sequential.total());
+  EXPECT_EQ(batched.tracked(), sequential.tracked());
+  const std::vector<HotBlock> want = sequential.TopK(50);
+  const std::vector<HotBlock> got = batched.TopK(50);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].count, want[i].count) << "rank " << i;
+  }
+}
+
+TEST(CounterBatchTest, ExactCounterBatchMatchesSequential) {
+  ExactCounter sequential, batched;
+  ExpectBatchMatchesSequential(sequential, batched, MakeStream(20000, 11));
+}
+
+TEST(CounterBatchTest, SpaceSavingBatchMatchesSequential) {
+  // Capacity smaller than the universe: evictions must land identically.
+  SpaceSavingCounter sequential(128), batched(128);
+  ExpectBatchMatchesSequential(sequential, batched, MakeStream(20000, 12));
+}
+
+TEST(CounterBatchTest, DecayingBatchMatchesSequential) {
+  DecayingCounter sequential(std::make_unique<ExactCounter>(), 0.5);
+  DecayingCounter batched(std::make_unique<ExactCounter>(), 0.5);
+  ExpectBatchMatchesSequential(sequential, batched, MakeStream(20000, 13));
+}
+
+TEST(CounterBatchTest, BatchThroughBasePointer) {
+  // The analyzer drains through ReferenceCounter*; the override must be
+  // reached virtually.
+  std::unique_ptr<ReferenceCounter> counter =
+      std::make_unique<SpaceSavingCounter>(64);
+  const std::vector<BlockId> ids = MakeStream(5000, 14);
+  counter->ObserveBatch(ids.data(), ids.size());
+  EXPECT_EQ(counter->total(), static_cast<std::int64_t>(ids.size()));
+}
+
+TEST(CounterBatchTest, DefaultEndPeriodResets) {
+  const auto check = [](std::unique_ptr<ReferenceCounter> counter) {
+    counter->Observe(BlockId{0, 7});
+    counter->Observe(BlockId{0, 7});
+    counter->EndPeriod();
+    EXPECT_EQ(counter->total(), 0);
+    EXPECT_EQ(counter->tracked(), 0u);
+  };
+  check(std::make_unique<ExactCounter>());
+  check(std::make_unique<SpaceSavingCounter>(32));
+}
+
+TEST(CounterBatchTest, DecayingEndPeriodAgesInsteadOfResetting) {
+  DecayingCounter counter(std::make_unique<ExactCounter>(), 0.5);
+  for (int i = 0; i < 4; ++i) counter.Observe(BlockId{0, 9});
+  ReferenceCounter& base = counter;  // dispatch as the analyzer does
+  base.EndPeriod();
+  // History survives the period boundary at half weight.
+  const std::vector<HotBlock> top = counter.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, (BlockId{0, 9}));
+  EXPECT_EQ(top[0].count, 2);
+}
+
+}  // namespace
+}  // namespace abr::analyzer

@@ -162,7 +162,7 @@ TEST_P(SpaceSavingCapacityTest, RecallImprovesWithCapacity) {
   ExactCounter exact;
   ZipfSampler zipf(2000, 1.1);
   Rng rng(123);
-  for (int i = 0; i < 100000; ++i) {
+  for (int i = 0; i < 200000; ++i) {
     BlockId id{0, zipf.Sample(rng)};
     ss.Observe(id);
     exact.Observe(id);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compares a freshly produced BENCH_*.json against a committed baseline.
+
+Each metric's ops_per_sec is compared; the check fails when any metric
+present in the baseline regresses by more than --tolerance (relative), or
+disappears from the current run. Metrics new in the current run are
+reported but never fail the check, so adding benchmarks does not require
+touching this tool.
+
+Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
+Exit status: 0 when within tolerance, 1 on regression, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        sys.exit(f"bench_diff: {path}: no 'metrics' array")
+    out = {}
+    for m in metrics:
+        name, ops = m.get("name"), m.get("ops_per_sec")
+        if not isinstance(name, str) or not isinstance(ops, (int, float)):
+            sys.exit(f"bench_diff: {path}: malformed metric entry: {m!r}")
+        out[name] = float(ops)
+    return doc, out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark throughput regresses vs a baseline."
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative drop in ops_per_sec (default 0.10)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    base_doc, base = load_metrics(args.baseline)
+    cur_doc, cur = load_metrics(args.current)
+
+    print(
+        f"bench_diff: {base_doc.get('bench', '?')}: "
+        f"baseline rev {base_doc.get('git_rev', 'unknown')} "
+        f"({base_doc.get('config', 'unknown')}) vs "
+        f"current rev {cur_doc.get('git_rev', 'unknown')} "
+        f"({cur_doc.get('config', 'unknown')}), "
+        f"tolerance {args.tolerance:.0%}"
+    )
+
+    failed = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  {name:28s} MISSING from current run")
+            failed.append(name)
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = "REGRESSED"
+            failed.append(name)
+        print(
+            f"  {name:28s} {base[name]:14.0f} -> {cur[name]:14.0f} "
+            f"ops/s  ({ratio:6.2f}x)  {verdict}"
+        )
+    for name in sorted(set(cur) - set(base)):
+        print(f"  {name:28s} new metric ({cur[name]:.0f} ops/s), no baseline")
+
+    if failed:
+        print(f"bench_diff: FAIL: {len(failed)} metric(s): {', '.join(failed)}")
+        return 1
+    print("bench_diff: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,16 +4,18 @@
 # ThreadSanitizer build of the concurrency primitives (thread pool +
 # parallel runner).
 #
-# Usage: tools/check.sh [--no-tsan] [--no-asan]
+# Usage: tools/check.sh [--no-tsan] [--no-asan] [--no-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 NO_TSAN=0
 NO_ASAN=0
+NO_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) NO_TSAN=1 ;;
     --no-asan) NO_ASAN=1 ;;
+    --no-bench) NO_BENCH=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -60,5 +62,27 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
 # stay byte-identical and data-race-free.
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tools/abrsim crashday --quick --replicas=4 --jobs=4
+
+if [[ "$NO_BENCH" == 1 ]]; then
+  echo "== bench: skipped (--no-bench) =="
+else
+  echo "== bench regression: bench_micro + bench_e2e vs committed baselines =="
+  # The committed BENCH_*.json snapshots were produced by full (not
+  # --quick) runs of a Release build, so the comparison must be too: an
+  # unoptimized or miniature run measures a different workload. A
+  # dedicated Release tree keeps the default build dir's flags alone.
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j --target bench_micro bench_e2e >/dev/null
+  ABR_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  export ABR_GIT_REV
+  # Run from the build dir so the fresh JSONs do not clobber the
+  # committed repo-root baselines they are compared against.
+  (cd build-bench && ./bench/bench_micro)
+  (cd build-bench && ./bench/bench_e2e)
+  python3 tools/bench_diff.py BENCH_micro.json build-bench/BENCH_micro.json \
+    --tolerance 0.10
+  python3 tools/bench_diff.py BENCH_e2e.json build-bench/BENCH_e2e.json \
+    --tolerance 0.10
+fi
 
 echo "== all checks passed =="
