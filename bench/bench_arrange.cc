@@ -1,0 +1,302 @@
+// bench_arrange: cost of one rearrangement pass — the incremental
+// delta-plan executor against the full clean-everything-then-recopy
+// rebuild — across three hot-set regimes:
+//
+//   stable:   ~98% of the hot set survives between passes (the paper's
+//             steady daily workload; the delta plan should shrink to a
+//             handful of moves),
+//   drifting: ~10% of the set turns over per pass plus rank shuffles,
+//   churning: a fully disjoint set each pass (worst case: the delta plan
+//             degenerates to evict-everything + admit-everything).
+//
+// Both paths run in lockstep on twin machines over identical dirtying
+// traffic, and every pass asserts the two block-table mapping sets are
+// bit-identical — the benchmark doubles as an oracle check. Emitted to
+// BENCH_arrange.json: wall-clock passes/sec of the incremental path per
+// scenario (arrange_<s>, ns_per_op = wall ns per pass, speedup = full
+// wall / incremental wall) and the movement-I/O reduction ratio
+// (arrange_<s>_io_reduction, the full/incremental internal_ios ratio
+// scaled x1000 in ops_per_sec so the JSON's integer formatting keeps
+// three digits of precision; the stable scenario must stay >= 1.8x or
+// the benchmark fails).
+//
+// Flags: --quick (fewer passes/reps, for the sanitizer smoke),
+//        --passes=N (default 8), --reps=N (repetitions, default 20).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "disk/drive_spec.h"
+#include "driver/adaptive_driver.h"
+#include "placement/arranger.h"
+#include "placement/policy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace abr;
+
+constexpr std::int32_t kHotSize = 48;   // == block table capacity
+constexpr BlockNo kBlockPool = 700;     // blocks the scenarios draw from
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct Options {
+  bool quick = false;
+  std::int32_t passes = 8;
+  std::int32_t reps = 20;
+};
+
+/// One machine: disk + store + driver + arranger.
+struct Instance {
+  std::unique_ptr<disk::Disk> disk;
+  driver::InMemoryTableStore store;
+  std::unique_ptr<driver::AdaptiveDriver> driver;
+  std::unique_ptr<placement::BlockArranger> arranger;
+
+  std::int64_t ios = 0;     // movement I/O operations across all passes
+  Micros io_time = 0;       // disk time consumed by movement I/O
+  double wall = 0;          // wall-clock seconds inside Rearrange()
+  std::int64_t passes = 0;
+
+  void Create(const placement::PlacementPolicy* policy, bool incremental) {
+    disk = std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive());
+    store = driver::InMemoryTableStore();
+    auto label = disk::DiskLabel::Rearranged(disk->geometry(), 10);
+    bench::CheckOk(label.status(), "label");
+    bench::CheckOk(label->PartitionEvenly(1), "partition");
+    driver::DriverConfig config;
+    config.block_table_capacity = kHotSize;
+    driver = std::make_unique<driver::AdaptiveDriver>(
+        disk.get(), std::move(*label), config, &store);
+    bench::CheckOk(driver->Attach(), "attach");
+    placement::ArrangerConfig acfg;
+    acfg.incremental = incremental;
+    arranger = std::make_unique<placement::BlockArranger>(policy, acfg);
+  }
+
+  void Arrange(const std::vector<analyzer::HotBlock>& ranked) {
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<placement::ArrangeResult> r =
+        arranger->Rearrange(*driver, ranked);
+    wall += Seconds(start, std::chrono::steady_clock::now());
+    bench::CheckOk(r.status(), "rearrange");
+    ios += r->internal_ios;
+    io_time += r->io_time;
+    ++passes;
+  }
+};
+
+/// Sorted (original, relocated) pairs — the comparable mapping set.
+std::vector<std::pair<SectorNo, SectorNo>> MappingSet(const Instance& inst) {
+  std::vector<std::pair<SectorNo, SectorNo>> out;
+  for (const driver::BlockTableEntry& e :
+       inst.driver->block_table().entries()) {
+    out.emplace_back(e.original, e.relocated);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Evolves the hot set between passes; each scenario mutates `hot` its own
+/// way. The rank order is the vector order (hottest first).
+struct Scenario {
+  const char* name;
+  void (*drift)(std::vector<BlockNo>& hot, std::int32_t pass, Rng& rng);
+};
+
+void DriftStable(std::vector<BlockNo>& hot, std::int32_t pass, Rng& rng) {
+  // ~98% survival: one member replaced every other pass, one adjacent
+  // rank swap per pass.
+  if (pass % 2 == 1) {
+    BlockNo repl;
+    do {
+      repl = static_cast<BlockNo>(rng.NextBounded(kBlockPool));
+    } while (std::find(hot.begin(), hot.end(), repl) != hot.end());
+    hot[rng.NextBounded(hot.size())] = repl;
+  }
+  const std::size_t i = rng.NextBounded(hot.size() - 1);
+  std::swap(hot[i], hot[i + 1]);
+}
+
+void DriftDrifting(std::vector<BlockNo>& hot, std::int32_t pass, Rng& rng) {
+  (void)pass;
+  // ~10% turnover plus a handful of rank swaps.
+  for (int n = 0; n < kHotSize / 10; ++n) {
+    BlockNo repl;
+    do {
+      repl = static_cast<BlockNo>(rng.NextBounded(kBlockPool));
+    } while (std::find(hot.begin(), hot.end(), repl) != hot.end());
+    hot[rng.NextBounded(hot.size())] = repl;
+  }
+  for (int n = 0; n < 6; ++n) {
+    const std::size_t i = rng.NextBounded(hot.size() - 1);
+    std::swap(hot[i], hot[i + 1]);
+  }
+}
+
+void DriftChurning(std::vector<BlockNo>& hot, std::int32_t pass, Rng& rng) {
+  (void)rng;
+  // Fully disjoint consecutive windows over the pool.
+  const BlockNo base = static_cast<BlockNo>(
+      ((pass + 1) * kHotSize) % (kBlockPool - kHotSize));
+  for (std::int32_t i = 0; i < kHotSize; ++i) {
+    hot[static_cast<std::size_t>(i)] = base + i;
+  }
+}
+
+std::vector<analyzer::HotBlock> Ranked(const std::vector<BlockNo>& hot) {
+  std::vector<analyzer::HotBlock> ranked;
+  ranked.reserve(hot.size());
+  std::int64_t count = 1 << 20;
+  for (BlockNo b : hot) {
+    ranked.push_back(analyzer::HotBlock{analyzer::BlockId{0, b}, count});
+    count -= 13;
+  }
+  return ranked;
+}
+
+/// A burst of day traffic on both machines: dirties about half the hot
+/// set (so eviction costs the write-back it costs in production) plus
+/// background reads.
+void DirtyTraffic(const std::vector<BlockNo>& hot, Rng& rng, Instance& a,
+                  Instance& b) {
+  Micros t = std::max(a.driver->now(), b.driver->now());
+  for (BlockNo block : hot) {
+    if (!rng.NextBernoulli(0.5)) continue;
+    t += 500;
+    bench::CheckOk(
+        a.driver->SubmitBlock(0, block, sched::IoType::kWrite, t), "write");
+    bench::CheckOk(
+        b.driver->SubmitBlock(0, block, sched::IoType::kWrite, t), "write");
+  }
+  for (int n = 0; n < 64; ++n) {
+    t += 500;
+    const BlockNo block = static_cast<BlockNo>(rng.NextBounded(kBlockPool));
+    bench::CheckOk(
+        a.driver->SubmitBlock(0, block, sched::IoType::kRead, t), "read");
+    bench::CheckOk(
+        b.driver->SubmitBlock(0, block, sched::IoType::kRead, t), "read");
+  }
+  a.driver->Drain();
+  b.driver->Drain();
+}
+
+void RunScenario(const Scenario& sc, const Options& opt,
+                 std::vector<bench::BenchMetric>& metrics) {
+  const placement::OrganPipePolicy policy;
+  Instance incr;
+  Instance full;
+
+  for (std::int32_t rep = 0; rep < opt.reps; ++rep) {
+    // Fresh machines per repetition; identical seeds drive both.
+    incr.Create(&policy, /*incremental=*/true);
+    full.Create(&policy, /*incremental=*/false);
+    Rng rng(0x5EED0000ULL + static_cast<std::uint64_t>(rep));
+    std::vector<BlockNo> hot;
+    for (BlockNo b = 0; b < kHotSize; ++b) hot.push_back(b);
+
+    for (std::int32_t pass = 0; pass < opt.passes; ++pass) {
+      DirtyTraffic(hot, rng, incr, full);
+      const std::vector<analyzer::HotBlock> ranked = Ranked(hot);
+      incr.Arrange(ranked);
+      full.Arrange(ranked);
+      if (MappingSet(incr) != MappingSet(full)) {
+        std::fprintf(stderr,
+                     "FATAL: %s pass %d: incremental and full-rebuild "
+                     "mapping sets diverged\n",
+                     sc.name, pass);
+        std::exit(1);
+      }
+      sc.drift(hot, pass, rng);
+    }
+  }
+
+  const double reduction =
+      incr.ios > 0 ? static_cast<double>(full.ios) /
+                         static_cast<double>(incr.ios)
+                   : 0;
+  const double incr_per_pass =
+      static_cast<double>(incr.ios) / static_cast<double>(incr.passes);
+  const double full_per_pass =
+      static_cast<double>(full.ios) / static_cast<double>(full.passes);
+  std::printf(
+      "%-9s passes %4lld | internal_ios/pass %7.1f vs %7.1f (%5.2fx) | "
+      "io_time/pass %7.2f ms vs %7.2f ms | wall/pass %7.1f us vs %7.1f us\n",
+      sc.name, static_cast<long long>(incr.passes), incr_per_pass,
+      full_per_pass, reduction,
+      static_cast<double>(incr.io_time) / 1000.0 /
+          static_cast<double>(incr.passes),
+      static_cast<double>(full.io_time) / 1000.0 /
+          static_cast<double>(full.passes),
+      incr.wall * 1e6 / static_cast<double>(incr.passes),
+      full.wall * 1e6 / static_cast<double>(full.passes));
+
+  bench::BenchMetric m;
+  m.name = std::string("arrange_") + sc.name;
+  m.ns_per_op = incr.wall * 1e9 / static_cast<double>(incr.passes);
+  m.ops_per_sec = static_cast<double>(incr.passes) / incr.wall;
+  m.speedup = incr.wall > 0 ? full.wall / incr.wall : 0;
+  metrics.push_back(m);
+
+  bench::BenchMetric r;
+  r.name = std::string("arrange_") + sc.name + "_io_reduction";
+  r.ns_per_op = incr_per_pass;  // incremental movement I/Os per pass
+  // full/incremental movement-I/O ratio, x1000 (the JSON stores
+  // ops_per_sec as an integer).
+  r.ops_per_sec = reduction * 1000;
+  metrics.push_back(r);
+
+  if (std::strcmp(sc.name, "stable") == 0 && reduction < 1.8) {
+    std::fprintf(stderr,
+                 "FATAL: stable-hot-set io reduction %.2fx below the 1.8x "
+                 "floor\n",
+                 reduction);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+      opt.passes = 4;
+      opt.reps = 2;
+    } else if (std::strncmp(argv[i], "--passes=", 9) == 0) {
+      opt.passes = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      opt.reps = std::atoi(argv[i] + 7);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::Banner(
+      "arrangement pass cost: incremental delta plan vs full rebuild "
+      "(lockstep oracle check every pass)");
+
+  std::vector<bench::BenchMetric> metrics;
+  const Scenario scenarios[] = {
+      {"stable", DriftStable},
+      {"drifting", DriftDrifting},
+      {"churning", DriftChurning},
+  };
+  for (const Scenario& sc : scenarios) RunScenario(sc, opt, metrics);
+
+  bench::EmitJson("arrange", metrics);
+  return 0;
+}

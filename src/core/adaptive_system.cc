@@ -35,7 +35,8 @@ AdaptiveSystem::AdaptiveSystem(disk::Disk* disk, disk::DiskLabel label,
   analyzer_ = std::make_unique<analyzer::ReferenceStreamAnalyzer>(
       MakeCounter(config.analyzer_entries, config.count_decay));
   policy_ = placement::MakePolicy(config.policy, config.interleave_factor);
-  arranger_ = std::make_unique<placement::BlockArranger>(policy_.get());
+  arranger_ = std::make_unique<placement::BlockArranger>(policy_.get(),
+                                                         config.arranger);
 }
 
 Status AdaptiveSystem::Start(bool after_crash) {

@@ -36,6 +36,10 @@ struct AdaptiveSystemConfig {
   /// Placement policy in the reserved region.
   placement::PolicyKind policy = placement::PolicyKind::kOrganPipe;
 
+  /// Arranger tuning: incremental delta-plan passes (the default) vs the
+  /// full clean-everything-then-recopy rebuild, and the pipelining window.
+  placement::ArrangerConfig arranger;
+
   /// Interleaving factor of the file systems (for the interleaved policy).
   std::int32_t interleave_factor = 1;
 };

@@ -124,16 +124,29 @@ StatusOr<DayMetrics> Experiment::RunMeasuredDay() {
   Tick(driver().now());
 
   ++day_;
-  return DayMetrics::From(driver().IoctlReadStats(/*clear=*/true),
-                          seek_model());
+  DayMetrics metrics = DayMetrics::From(
+      driver().IoctlReadStats(/*clear=*/true), seek_model());
+  metrics.arrange = last_arrange_;
+  last_arrange_ = placement::ArrangeResult{};
+  return metrics;
 }
 
 Status Experiment::RearrangeForNextDay() {
   StatusOr<placement::ArrangeResult> result = system_->Rearrange();
+  if (result.ok()) last_arrange_ = *result;
   return result.status();
 }
 
-Status Experiment::CleanForNextDay() { return system_->Clean(); }
+Status Experiment::CleanForNextDay() {
+  // Report the clean as a pass too: everything removed counts as evicted.
+  const std::int32_t entries_before = driver().block_table().size();
+  ABR_RETURN_IF_ERROR(system_->Clean());
+  last_arrange_ = placement::ArrangeResult{};
+  last_arrange_.cleaned = entries_before - driver().block_table().size();
+  last_arrange_.evicted = last_arrange_.cleaned;
+  last_arrange_.halted = driver().halted();
+  return Status::Ok();
+}
 
 void Experiment::set_rearrange_blocks(std::int32_t n) {
   config_.rearrange_blocks = n;

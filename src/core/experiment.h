@@ -67,12 +67,19 @@ class Experiment {
 
   /// Runs one measured day (traffic + monitoring) and returns its metrics.
   /// Statistics are cleared at day start; reference counts accumulate for
-  /// the end-of-day decision.
+  /// the end-of-day decision. The metrics carry the ArrangeResult of the
+  /// pass that prepared the day (see DayMetrics::arrange).
   StatusOr<DayMetrics> RunMeasuredDay();
 
   /// Uses the day's counts to rearrange blocks for the next day, then
   /// resets the counts.
   Status RearrangeForNextDay();
+
+  /// Result of the most recent RearrangeForNextDay()/CleanForNextDay()
+  /// pass; also attached to the next RunMeasuredDay() metrics.
+  const placement::ArrangeResult& last_arrange() const {
+    return last_arrange_;
+  }
 
   /// Empties the reserved area for an "off" day, then resets the counts.
   Status CleanForNextDay();
@@ -120,6 +127,7 @@ class Experiment {
   std::vector<driver::RequestRecord> tick_records_;
   std::vector<analyzer::BlockId> tick_ids_all_;
   std::vector<analyzer::BlockId> tick_ids_reads_;
+  placement::ArrangeResult last_arrange_;
   std::int32_t day_ = 0;
 };
 

@@ -26,6 +26,7 @@ DayMetrics DayMetrics::From(const driver::PerfSnapshot& snapshot,
   d.service_all = snapshot.all.service_time;
   d.service_reads = snapshot.reads.service_time;
   d.faults = snapshot.faults;
+  d.moves = snapshot.moves;
   return d;
 }
 

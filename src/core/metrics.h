@@ -3,6 +3,7 @@
 
 #include "disk/seek_model.h"
 #include "driver/perf_monitor.h"
+#include "placement/arranger.h"
 #include "stats/histogram.h"
 
 namespace abr::core {
@@ -37,8 +38,15 @@ struct DayMetrics {
   stats::TimeHistogram service_reads;
   /// Fault-path event counts for the day (zero on fault-free runs).
   driver::FaultCounters faults;
+  /// Movement-chain completions during the measured day itself (normally
+  /// zero: arrangement passes run between days).
+  driver::MoveCounters moves;
+  /// Outcome of the arrangement (or clean) pass that prepared this day.
+  /// Default-constructed on day 1 and after plain count resets.
+  placement::ArrangeResult arrange;
 
-  /// Builds day metrics from a driver stats snapshot.
+  /// Builds day metrics from a driver stats snapshot. `arrange` is filled
+  /// in by the caller that ran the preceding pass.
   static DayMetrics From(const driver::PerfSnapshot& snapshot,
                          const disk::SeekModel& model);
 };

@@ -111,7 +111,8 @@ Status AdaptiveDriver::Detach() {
     SaveTable();
     // Charge the final table write like any other table update.
     MoveChain chain;
-    chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
+    chain.ops.push_back(
+        ChainOp{TableWriteOp(), [this]() { ReleaseDurableQuarantine(); }});
     BeginChain(label_.reserved_first_sector(), std::move(chain));
     Drain();
   }
@@ -425,6 +426,24 @@ void AdaptiveDriver::TableRemove(SectorNo original) {
   InvalidateTranslationCache();
 }
 
+void AdaptiveDriver::TableUpdateRelocated(SectorNo original,
+                                          SectorNo relocated) {
+  Status s = block_table_->UpdateRelocated(original, relocated);
+  assert(s.ok());
+  (void)s;
+  InvalidateTranslationCache();
+}
+
+void AdaptiveDriver::QuarantineSlot(SectorNo slot) {
+  pending_targets_.insert(slot);
+  quarantined_slots_.push_back(slot);
+}
+
+void AdaptiveDriver::ReleaseDurableQuarantine() {
+  for (SectorNo slot : quarantined_slots_) pending_targets_.erase(slot);
+  quarantined_slots_.clear();
+}
+
 void AdaptiveDriver::BeginChain(SectorNo key, MoveChain chain) {
   translation_filter_.Add(key);
   InvalidateTranslationCache();
@@ -507,12 +526,20 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
                                 SaveTable();
                               }});
 
-  chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
+  // Count the copy-in only when the whole chain lands: an abort between
+  // the entry insert and the table write rolls the insert back.
+  chain.ops.push_back(ChainOp{TableWriteOp(), [this]() {
+                                perf_monitor_.RecordCopyIn();
+                                ReleaseDurableQuarantine();
+                              }});
 
   // Abort rollback: if the entry was already inserted (the target write
   // completed but the table write failed for good), withdraw it. The
   // original still holds current data — no redirected write can have
   // happened while the block was held — so dropping the entry is safe.
+  // The vacated slot is quarantined: a concurrent chain's table write may
+  // already have committed the insert durably, so the slot must not carry
+  // another block's payload until the removal is durable too.
   // Clean-out chains need no rollback: whether or not Remove ran, both
   // locations hold the block's bytes at every abort point.
   chain.on_abort = [this, original, target]() {
@@ -521,6 +548,7 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
     if (relocated.has_value() && *relocated == target) {
       TableRemove(original);
       SaveTable();
+      QuarantineSlot(target);
     }
   };
 
@@ -560,12 +588,21 @@ void AdaptiveDriver::PumpClean() {
     if (entry.has_value() && !IsMoving(original)) break;
   }
 
-  MoveChain chain;
+  MoveChain chain = MakeCleanOutChain(*entry);
   chain.on_finish = [this]() { PumpClean(); };
-  if (entry->dirty) {
+  BeginChain(original, std::move(chain));
+}
+
+AdaptiveDriver::MoveChain AdaptiveDriver::MakeCleanOutChain(
+    const BlockTableEntry& entry) {
+  const SectorNo original = entry.original;
+  MoveChain chain;
+  if (entry.dirty) {
     // Dirty block: copy it back to its original position first (two extra
-    // I/O operations), then update and rewrite the table.
-    const SectorNo relocated = entry->relocated;
+    // I/O operations), then update and rewrite the table. The eviction
+    // counts once the entry removal lands; a later table-write abort does
+    // not undo the removal (both locations hold the block's bytes).
+    const SectorNo relocated = entry.relocated;
     sched::IoRequest read_op;
     read_op.type = sched::IoType::kRead;
     read_op.sector = relocated;
@@ -581,19 +618,121 @@ void AdaptiveDriver::PumpClean() {
     write_op.sector = original;
     write_op.sector_count = block_sectors_;
     write_op.internal = true;
-    chain.ops.push_back(ChainOp{write_op, [this, original]() {
+    const SectorNo vacated = relocated;
+    chain.ops.push_back(ChainOp{write_op, [this, original, vacated]() {
                                   TableRemove(original);
+                                  perf_monitor_.RecordEviction();
                                   SaveTable();
+                                  QuarantineSlot(vacated);
                                 }});
   } else {
     // Clean block: the original still holds current data; just drop the
     // entry and rewrite the table (one I/O operation).
     TableRemove(original);
+    perf_monitor_.RecordEviction();
     SaveTable();
+    QuarantineSlot(entry.relocated);
   }
-  chain.ops.push_back(ChainOp{TableWriteOp(), nullptr});
+  chain.ops.push_back(
+      ChainOp{TableWriteOp(), [this]() { ReleaseDurableQuarantine(); }});
+  return chain;
+}
 
+Status AdaptiveDriver::IoctlMoveBlock(SectorNo original, SectorNo target) {
+  if (!attached_) return Status::FailedPrecondition("driver not attached");
+  if (!label_.rearranged()) {
+    return Status::FailedPrecondition("disk is not set up for rearrangement");
+  }
+  std::optional<BlockTableEntry> entry = block_table_->LookupEntry(original);
+  if (!entry.has_value()) {
+    return Status::NotFound("block is not rearranged");
+  }
+  const SectorNo res_end =
+      label_.reserved_first_sector() + label_.reserved_sector_count();
+  const SectorNo data_first = reserved_data_first_sector();
+  if (target < data_first || target + block_sectors_ > res_end ||
+      (target - data_first) % block_sectors_ != 0) {
+    return Status::InvalidArgument("target is not a reserved-area slot");
+  }
+  if (target == entry->relocated) {
+    return Status::InvalidArgument("block already occupies the target slot");
+  }
+  if (block_table_->TargetInUse(target) || pending_targets_.contains(target)) {
+    return Status::AlreadyExists("target slot occupied");
+  }
+  if (IsMoving(original)) {
+    return Status::Busy("block move already in progress");
+  }
+
+  // Intra-region shuffle: read the current slot, write the new slot,
+  // re-point the table entry, write the table (three I/O operations). The
+  // original location is untouched; the dirty bit travels with the entry.
+  const SectorNo source = entry->relocated;
+  MoveChain chain;
+  sched::IoRequest read_op;
+  read_op.type = sched::IoType::kRead;
+  read_op.sector = source;
+  read_op.sector_count = block_sectors_;
+  read_op.internal = true;
+  chain.ops.push_back(
+      ChainOp{read_op, [this, source, target]() {
+                disk_->CopyPayload(source, target, block_sectors_);
+              }});
+
+  sched::IoRequest write_op;
+  write_op.type = sched::IoType::kWrite;
+  write_op.sector = target;
+  write_op.sector_count = block_sectors_;
+  write_op.internal = true;
+  chain.ops.push_back(ChainOp{write_op, [this, original, source, target]() {
+                                pending_targets_.erase(target);
+                                TableUpdateRelocated(original, target);
+                                SaveTable();
+                                QuarantineSlot(source);
+                              }});
+
+  // Count the shuffle only when the whole chain lands (see the abort
+  // rollback below).
+  chain.ops.push_back(ChainOp{TableWriteOp(), [this]() {
+                                perf_monitor_.RecordShuffle();
+                                ReleaseDurableQuarantine();
+                              }});
+
+  // Abort rollback: if the entry was already re-pointed, point it back at
+  // the source slot, which still holds the block's current bytes — no
+  // redirected write can have happened while the block was held. The
+  // source slot is quarantined on re-point, so nothing can have claimed
+  // it; the abandoned target slot is quarantined in turn (a concurrent
+  // table write may have committed the re-point durably).
+  chain.on_abort = [this, original, source, target]() {
+    pending_targets_.erase(target);
+    std::optional<SectorNo> relocated = block_table_->Lookup(original);
+    if (relocated.has_value() && *relocated == target) {
+      TableUpdateRelocated(original, source);
+      SaveTable();
+      QuarantineSlot(target);
+    }
+  };
+
+  pending_targets_.insert(target);
   BeginChain(original, std::move(chain));
+  return Status::Ok();
+}
+
+Status AdaptiveDriver::IoctlEvictBlock(SectorNo original) {
+  if (!attached_) return Status::FailedPrecondition("driver not attached");
+  if (!label_.rearranged()) {
+    return Status::FailedPrecondition("disk is not set up for rearrangement");
+  }
+  std::optional<BlockTableEntry> entry = block_table_->LookupEntry(original);
+  if (!entry.has_value()) {
+    return Status::NotFound("block is not rearranged");
+  }
+  if (IsMoving(original)) {
+    return Status::Busy("block move already in progress");
+  }
+  BeginChain(original, MakeCleanOutChain(*entry));
+  return Status::Ok();
 }
 
 void AdaptiveDriver::PumpChain(SectorNo key) {

@@ -127,6 +127,20 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// the table is updated and rewritten to disk.
   Status IoctlClean();
 
+  /// DKIOCBMOVE: moves an already-rearranged block from its current
+  /// reserved-area slot to `target` (another slot start sector) without
+  /// touching its original location — the short intra-region shuffle the
+  /// incremental arranger uses when only the desired slot changed. Costs
+  /// three I/Os (read current slot, write target, table write); the dirty
+  /// bit is preserved. Requests for the block are held until the move
+  /// completes.
+  Status IoctlMoveBlock(SectorNo original, SectorNo target);
+
+  /// DKIOCBEVICT: removes the single block keyed by `original` from the
+  /// reserved area (clean-out of one entry, where DKIOCCLEAN takes all).
+  /// Dirty blocks are first copied back to their original position.
+  Status IoctlEvictBlock(SectorNo original);
+
   /// Reads and clears the request-monitoring table.
   std::vector<RequestRecord> IoctlReadRequests() {
     return request_monitor_.ReadAndClear();
@@ -215,6 +229,10 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// Number of requests currently held back because their block is moving.
   std::size_t held_request_count() const;
 
+  /// Number of move chains currently in flight (copy-ins, shuffles,
+  /// clean-outs). The arranger's pipelined executor bounds this.
+  std::size_t active_chain_count() const { return moving_.size(); }
+
   /// One physical piece of a mapped virtual extent.
   struct PhysExtent {
     SectorNo sector = 0;
@@ -301,6 +319,30 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// Removes from the block table and withdraws the key from the filter.
   void TableRemove(SectorNo original);
 
+  /// Re-points the entry for `original` at a new reserved slot (intra-
+  /// region shuffle). The presence filter is keyed by originals, so only
+  /// the translation cache needs invalidating.
+  void TableUpdateRelocated(SectorNo original, SectorNo relocated);
+
+  /// Builds the clean-out chain for one table entry (shared by the full
+  /// DKIOCCLEAN pump and the single-block DKIOCBEVICT). For a clean entry
+  /// the table mutation happens synchronously here; the returned chain
+  /// then only carries the table write.
+  MoveChain MakeCleanOutChain(const BlockTableEntry& entry);
+
+  /// Quarantines a reserved slot freed by a table mutation until that
+  /// mutation is durable. The on-disk image only advances when a table
+  /// write completes, so a slot vacated in memory may still be referenced
+  /// by the durable image; letting another chain write payload into it
+  /// before the next completed table write would corrupt crash recovery.
+  /// The slot joins pending_targets_ (blocking reuse) and is released by
+  /// ReleaseDurableQuarantine().
+  void QuarantineSlot(SectorNo slot);
+
+  /// Releases every quarantined slot; called when a table write completes
+  /// (which commits all mutations staged before that completion).
+  void ReleaseDurableQuarantine();
+
   /// Registers a move chain under `key` (filter + cache coherence) and
   /// starts pumping it.
   void BeginChain(SectorNo key, MoveChain chain);
@@ -372,7 +414,12 @@ class AdaptiveDriver : private sim::CompletionSink {
   // Reserved-area slots claimed by in-flight copy chains whose table
   // entries have not landed yet; counted by DKIOCBCOPY validation so
   // concurrent copies can neither share a slot nor overflow the table.
+  // Also holds slots quarantined until their freeing mutation is durable
+  // (see QuarantineSlot).
   std::unordered_set<SectorNo> pending_targets_;
+  // Slots awaiting the next completed table write before reuse; subset of
+  // pending_targets_.
+  std::vector<SectorNo> quarantined_slots_;
 };
 
 }  // namespace abr::driver

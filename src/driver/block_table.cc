@@ -115,6 +115,23 @@ void BlockTable::MarkAllDirty() {
   for (auto& e : entries_) e.dirty = true;
 }
 
+Status BlockTable::UpdateRelocated(SectorNo original,
+                                   SectorNo new_relocated) {
+  const std::uint32_t* found = index_.Find(OriginalKey(original));
+  if (found == nullptr) {
+    return Status::NotFound("no entry for block");
+  }
+  const std::uint32_t idx = *found;
+  if (entries_[idx].relocated == new_relocated) return Status::Ok();
+  if (index_.Contains(RelocatedKey(new_relocated))) {
+    return Status::AlreadyExists("reserved-area target already occupied");
+  }
+  index_.Erase(RelocatedKey(entries_[idx].relocated));
+  entries_[idx].relocated = new_relocated;
+  index_.Insert(RelocatedKey(new_relocated), idx);
+  return Status::Ok();
+}
+
 Status BlockTable::Remove(SectorNo original) {
   const std::uint32_t* found = index_.Find(OriginalKey(original));
   if (found == nullptr) {

@@ -66,6 +66,12 @@ class BlockTable {
   /// Marks every entry dirty (conservative crash recovery).
   void MarkAllDirty();
 
+  /// Changes the relocated address of the entry for `original`, preserving
+  /// its dirty bit (an intra-region shuffle: the payload moves between
+  /// slots, the origin does not change). Returns NotFound if no entry
+  /// exists and AlreadyExists if `new_relocated` is already a target.
+  Status UpdateRelocated(SectorNo original, SectorNo new_relocated);
+
   /// Removes the entry for `original`. Returns NotFound if absent.
   Status Remove(SectorNo original);
 

@@ -73,6 +73,7 @@ PerfSnapshot PerfMonitor::Snapshot(bool clear) {
     snapshot_.writes.Clear();
     snapshot_.all.Clear();
     snapshot_.faults.Clear();
+    snapshot_.moves.Clear();
     read_chain_ = Chain{};
     write_chain_ = Chain{};
     all_chain_ = Chain{};

@@ -58,6 +58,18 @@ struct FaultCounters {
   void Clear() { *this = FaultCounters{}; }
 };
 
+/// Block-movement event counts: what the rearrangement machinery did to
+/// the reserved area. Each counter ticks when the corresponding chain's
+/// table mutation lands (not when the ioctl is issued), so aborted chains
+/// never count.
+struct MoveCounters {
+  std::int64_t copy_ins = 0;    // blocks copied into the reserved area
+  std::int64_t shuffles = 0;    // intra-region slot-to-slot moves
+  std::int64_t evictions = 0;   // blocks removed from the reserved area
+
+  void Clear() { *this = MoveCounters{}; }
+};
+
 /// Snapshot returned by the stats ioctl. `all` is a true single-chain view
 /// of the whole request stream: its arrival-order seek distances are the
 /// distances between consecutive arrivals of *any* type, not a merge of the
@@ -67,6 +79,7 @@ struct PerfSnapshot {
   PerfSide writes;
   PerfSide all;
   FaultCounters faults;
+  MoveCounters moves;
 };
 
 /// In-driver performance monitor. The driver reports request arrivals (for
@@ -98,6 +111,11 @@ class PerfMonitor {
     snapshot_.faults.recovery_dirtied += entries;
   }
   void RecordRecoveryFallback() { ++snapshot_.faults.recovery_fallbacks; }
+
+  // --- Block-movement events (see MoveCounters) ------------------------
+  void RecordCopyIn() { ++snapshot_.moves.copy_ins; }
+  void RecordShuffle() { ++snapshot_.moves.shuffles; }
+  void RecordEviction() { ++snapshot_.moves.evictions; }
 
   /// Returns the current statistics; clears them when `clear` is set (the
   /// real ioctl always clears; tests sometimes want to peek).

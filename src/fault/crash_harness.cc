@@ -63,6 +63,9 @@ CrashHarness::CrashHarness(CrashHarnessConfig config)
   pc.crash_points = config_.crash_points;
   pc.io_horizon = static_cast<std::int64_t>(config_.phases) *
                   config_.requests_per_phase;
+  pc.timed_crash_points = config_.timed_crash_points;
+  pc.time_horizon = static_cast<Micros>(config_.phases) *
+                    config_.requests_per_phase * config_.mean_interarrival;
   disk_ = std::make_unique<FaultyDisk>(
       spec, FaultPlan::Random(config_.seed, pc), config_.seed ^ 0x51ED270BULL);
   disk_->set_table_observer(&store_);
@@ -106,6 +109,9 @@ CrashHarness::CrashHarness(CrashHarnessConfig config)
 CrashHarness::~CrashHarness() = default;
 
 void CrashHarness::BuildMachine(bool after_crash) {
+  // The boot's clock restarts near zero; the disk carries the accumulated
+  // global offset so timed crash points stay on the wall schedule.
+  disk_->set_time_offset(time_base_);
   driver::DriverConfig dcfg;
   dcfg.block_size_bytes = 8192;
   dcfg.block_table_capacity = config_.block_table_capacity;
@@ -115,8 +121,12 @@ void CrashHarness::BuildMachine(bool after_crash) {
                                                &store_);
   driver_->set_client_sink(this);
   Status s = driver_->Attach(after_crash);
-  if (!s.ok()) RecordError("attach failed: " + s.ToString());
-  if (clock_ < driver_->now()) clock_ = driver_->now();
+  // A timed crash point can fire during the attach reads themselves; that
+  // is a scheduled crash (the run loop rebuilds again), not a failure.
+  if (!s.ok() && !driver_->halted()) {
+    RecordError("attach failed: " + s.ToString());
+  }
+  clock_ = driver_->now();
 }
 
 void CrashHarness::RecordError(std::string what) {
@@ -217,7 +227,9 @@ void CrashHarness::MaybeArrange(std::int32_t phase) {
               return a.count != b.count ? a.count > b.count
                                         : a.id.block < b.id.block;
             });
-  placement::BlockArranger arranger(policy_.get());
+  placement::ArrangerConfig acfg;
+  acfg.incremental = config_.incremental;
+  placement::BlockArranger arranger(policy_.get(), acfg);
   arranging_ = true;
   StatusOr<placement::ArrangeResult> r = arranger.Rearrange(*driver_, ranked);
   // On a crash mid-pass the flag stays set so HandleCrash classifies the
@@ -284,6 +296,9 @@ void CrashHarness::HandleCrash() {
   pending_.clear();
 
   CollectDriverStats();
+  // Global simulated time keeps running across the reboot: the next boot
+  // starts where the crashed operation stopped the clock.
+  time_base_ += op.time;
   disk_->ClearCrash();
   BuildMachine(/*after_crash=*/true);
   VerifyAll();

@@ -48,6 +48,17 @@ struct CrashHarnessConfig {
   std::int32_t persistent_faults = 1;
   std::int32_t torn_writes = 2;
 
+  /// Crash points scheduled by *global simulated time* (accumulated across
+  /// reboots) rather than operation index. The harness tracks how much
+  /// simulated time every boot consumed and arms the disk with the running
+  /// offset, so a timed point can land anywhere on the wall schedule —
+  /// attach-time recovery reads, arrangement move chains, steady state.
+  std::int32_t timed_crash_points = 0;
+
+  /// Arranger mode for the harness's rearrangement passes: the incremental
+  /// delta-plan executor (default) or the full rebuild oracle.
+  bool incremental = true;
+
   /// Shrinks the run (fewer phases/requests) for smoke tests.
   CrashHarnessConfig Quick() const {
     CrashHarnessConfig q = *this;
@@ -149,7 +160,8 @@ class CrashHarness : public sim::CompletionSink {
   std::vector<std::int64_t> refs_;           // reference counts for ranking
   std::unordered_map<BlockNo, std::uint64_t> pending_;  // in-flight writes
   std::unordered_map<BlockNo, std::size_t> eligible_index_;
-  Micros clock_ = 0;
+  Micros clock_ = 0;       // current boot's clock (restarts at each reboot)
+  Micros time_base_ = 0;   // global simulated time when this boot started
   bool verifying_ = false;
   bool arranging_ = false;  // a rearrangement pass is (or was, at a crash) active
 };

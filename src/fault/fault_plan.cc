@@ -75,6 +75,25 @@ FaultPlan FaultPlan::Random(std::uint64_t seed,
         std::max(plan.crashes[i].at_io,
                  plan.crashes[i - 1].at_io + config.min_crash_spacing);
   }
+
+  // Timed points go after the io-indexed ones (the list is consumed in
+  // order), themselves sorted by schedule time so each reboot survives at
+  // least until the next instant on the schedule.
+  if (config.timed_crash_points > 0) {
+    assert(config.time_horizon > 0);
+    std::vector<CrashPoint> timed;
+    for (std::int32_t i = 0; i < config.timed_crash_points; ++i) {
+      CrashPoint c;
+      c.at_time = static_cast<Micros>(
+          rng.NextBounded(static_cast<std::uint64_t>(config.time_horizon)));
+      timed.push_back(c);
+    }
+    std::sort(timed.begin(), timed.end(),
+              [](const CrashPoint& a, const CrashPoint& b) {
+                return a.at_time < b.at_time;
+              });
+    plan.crashes.insert(plan.crashes.end(), timed.begin(), timed.end());
+  }
   return plan;
 }
 

@@ -52,6 +52,15 @@ struct FaultPlanConfig {
   std::int32_t torn_writes = 2;
   std::int32_t crash_points = 1;
 
+  /// Crash points scheduled by global simulated time instead of operation
+  /// index, drawn from [0, time_horizon). Timed points land wherever the
+  /// machine happens to be at that instant — including inside attach-time
+  /// recovery I/O and the arranger's pipelined move chains, which
+  /// io-indexed points tend to miss. They are consumed after the io-indexed
+  /// points (the crash list is consumed in order).
+  std::int32_t timed_crash_points = 0;
+  Micros time_horizon = 0;  // required when timed_crash_points > 0
+
   /// Random io-indexed events (crash points, fault arming) are drawn from
   /// [0, io_horizon); torn-write indices from [0, io_horizon / 4) so they
   /// usually fire before the first crash.

@@ -39,7 +39,8 @@ disk::ServiceBreakdown FaultyDisk::Service(SectorNo sector,
   if (next_crash_ < plan_.crashes.size()) {
     const CrashPoint& cp = plan_.crashes[next_crash_];
     const bool fire = (cp.at_io >= 0 && io >= cp.at_io) ||
-                      (cp.at_time >= 0 && start_time >= cp.at_time);
+                      (cp.at_time >= 0 &&
+                       time_offset_ + start_time >= cp.at_time);
     if (fire) {
       ++next_crash_;
       ++injected_crashes_;

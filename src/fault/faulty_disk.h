@@ -52,6 +52,15 @@ class FaultyDisk : public disk::Disk {
   disk::ServiceBreakdown Service(SectorNo sector, std::int64_t count,
                                  bool is_read, Micros start_time) override;
 
+  /// Declares the global simulated time at which the current boot's clock
+  /// started. Per-boot clocks restart near zero after a reboot; crash
+  /// points scheduled by absolute time (CrashPoint::at_time) compare
+  /// against `time_offset + start_time`, so a harness that accumulates
+  /// boot durations can schedule a crash in wall-schedule terms across
+  /// any number of reboots.
+  void set_time_offset(Micros offset) { time_offset_ = offset; }
+  Micros time_offset() const { return time_offset_; }
+
   /// Declares where the on-disk block table lives so table-area writes can
   /// be reported to the observer; count <= 0 disables the hook.
   void SetTableArea(SectorNo first, std::int64_t count) {
@@ -105,6 +114,8 @@ class FaultyDisk : public disk::Disk {
 
   bool crashed_ = false;
   std::optional<CrashedOp> crashed_op_;
+
+  Micros time_offset_ = 0;
 
   SectorNo table_first_ = -1;
   std::int64_t table_count_ = 0;

@@ -1,11 +1,16 @@
 #include "placement/arranger.h"
 
+#include <algorithm>
 #include <cassert>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace abr::placement {
 
-BlockArranger::BlockArranger(const PlacementPolicy* policy)
-    : policy_(policy) {
+BlockArranger::BlockArranger(const PlacementPolicy* policy,
+                             ArrangerConfig config)
+    : policy_(policy), config_(config) {
   assert(policy != nullptr);
 }
 
@@ -60,13 +65,6 @@ StatusOr<ArrangeResult> BlockArranger::Rearrange(
   driver.Drain();
   if (driver.halted()) return finish();
 
-  // Empty the reserved area: cooled blocks return to their original
-  // locations (dirty ones are copied back by the driver).
-  result.cleaned = driver.block_table().size();
-  ABR_RETURN_IF_ERROR(driver.IoctlClean());
-  driver.Drain();
-  if (driver.halted()) return finish();  // crash mid-clean: partial pass
-
   // Filter the ranked list down to eligible blocks, preserving rank order.
   const ReservedRegion region = ReservedRegion::FromDriver(driver);
   std::vector<analyzer::HotBlock> eligible;
@@ -85,6 +83,29 @@ StatusOr<ArrangeResult> BlockArranger::Rearrange(
       return original.status();
     }
   }
+
+  if (config_.incremental) {
+    RearrangeIncremental(driver, eligible, region, result);
+  } else {
+    ABR_RETURN_IF_ERROR(RearrangeFull(driver, eligible, region, result));
+  }
+  return finish();
+}
+
+Status BlockArranger::RearrangeFull(
+    driver::AdaptiveDriver& driver,
+    const std::vector<analyzer::HotBlock>& eligible,
+    const ReservedRegion& region, ArrangeResult& result) const {
+  // Empty the reserved area: cooled blocks return to their original
+  // locations (dirty ones are copied back by the driver). Cleaned counts
+  // the clean-outs that actually landed — a crash or abort mid-clean
+  // leaves entries behind, so the table-size delta is the truth.
+  const std::int32_t entries_before = driver.block_table().size();
+  ABR_RETURN_IF_ERROR(driver.IoctlClean());
+  driver.Drain();
+  result.cleaned = entries_before - driver.block_table().size();
+  result.evicted = result.cleaned;
+  if (driver.halted()) return Status::Ok();  // crash mid-clean: partial pass
 
   // Place and copy. Each DKIOCBCOPY costs three I/Os which the driver
   // sequences; other requests may interleave, so the arranger simply lets
@@ -105,8 +126,138 @@ StatusOr<ArrangeResult> BlockArranger::Rearrange(
     driver.Drain();
     ++result.copied;
   }
+  result.admitted = result.copied;
+  return Status::Ok();
+}
 
-  return finish();
+void BlockArranger::RearrangeIncremental(
+    driver::AdaptiveDriver& driver,
+    const std::vector<analyzer::HotBlock>& eligible,
+    const ReservedRegion& region, ArrangeResult& result) const {
+  // Ask the policy for the desired layout, then diff it against what the
+  // driver already holds.
+  const PlacementPlan plan = policy_->Place(eligible, region);
+  std::vector<SlotTarget> desired;
+  desired.reserve(plan.size());
+  for (const SlotAssignment& a : plan) {
+    StatusOr<SectorNo> original = OriginalSector(driver, a.id);
+    assert(original.ok());
+    desired.push_back(SlotTarget{*original, a.slot});
+  }
+  const DeltaPlan delta = BuildDeltaPlan(driver.block_table(), desired,
+                                         region);
+  result.kept = delta.kept;
+
+  // Flatten the plan into one issue queue: evicts free slots, shuffles
+  // repack survivors, admits fill what remains.
+  struct Op {
+    enum Kind { kEvict, kShuffle, kAdmit } kind;
+    SectorNo original;
+    SectorNo target;  // physical slot start (unused for evicts)
+    bool done = false;
+  };
+  std::vector<Op> ops;
+  ops.reserve(delta.evicts.size() + delta.shuffles.size() +
+              delta.admits.size());
+  for (SectorNo original : delta.evicts) {
+    ops.push_back(Op{Op::kEvict, original, 0, false});
+  }
+  for (const DeltaMove& m : delta.shuffles) {
+    ops.push_back(
+        Op{Op::kShuffle, m.original, region.SlotSector(m.to_slot), false});
+  }
+  for (const DeltaMove& m : delta.admits) {
+    ops.push_back(
+        Op{Op::kAdmit, m.original, region.SlotSector(m.to_slot), false});
+  }
+
+  // Pipelined executor: keep up to max_inflight chains going, advancing
+  // the clock one completion at a time to top the window back up. The
+  // driver's own validation is the dependency mechanism — an op whose
+  // target slot is still held (by an entry or an in-flight chain) comes
+  // back AlreadyExists/Busy/ResourceExhausted and is retried once
+  // something completes. Ops are kept in order per block: a later op for
+  // the same original never jumps an earlier one still waiting.
+  const std::size_t window =
+      static_cast<std::size_t>(std::max<std::int32_t>(1, config_.max_inflight));
+  std::unordered_set<SectorNo> deferred;
+  while (!driver.halted()) {
+    bool issued = false;
+    bool all_done = true;
+    deferred.clear();
+    for (Op& op : ops) {
+      if (op.done) continue;
+      all_done = false;
+      if (driver.active_chain_count() >= window) break;
+      if (deferred.contains(op.original)) continue;
+      Status s = op.kind == Op::kEvict
+                     ? driver.IoctlEvictBlock(op.original)
+                     : op.kind == Op::kShuffle
+                           ? driver.IoctlMoveBlock(op.original, op.target)
+                           : driver.IoctlCopyBlock(op.original, op.target);
+      if (s.ok()) {
+        op.done = true;
+        issued = true;
+      } else if (op.kind == Op::kEvict &&
+                 s.code() == StatusCode::kNotFound) {
+        op.done = true;  // already gone — nothing to do
+      } else if (s.code() == StatusCode::kAlreadyExists ||
+                 s.code() == StatusCode::kBusy ||
+                 s.code() == StatusCode::kResourceExhausted) {
+        deferred.insert(op.original);  // retry after a completion
+      } else {
+        op.done = true;  // permanently rejected (e.g. aborted-chain debris)
+        ++result.skipped;
+      }
+      if (driver.halted()) break;
+    }
+    if (all_done) break;
+    if (!issued && driver.active_chain_count() == 0) {
+      // Nothing in flight and nothing issuable: the remaining ops are
+      // wedged (slots pinned by aborted chains or quarantined forever).
+      for (Op& op : ops) {
+        if (!op.done) {
+          op.done = true;
+          ++result.skipped;
+        }
+      }
+      break;
+    }
+    const std::optional<Micros> next =
+        driver.disk_system().next_completion_time();
+    if (next.has_value()) {
+      driver.AdvanceTo(*next);
+    }
+  }
+  driver.Drain();  // retire the tail of the window (no-op when halted)
+
+  // Account from the post-pass table: only moves whose table mutation
+  // actually landed count (aborted or halted chains do not).
+  const driver::BlockTable& table = driver.block_table();
+  for (SectorNo original : delta.evicts) {
+    if (!table.Lookup(original).has_value()) ++result.evicted;
+  }
+  // A spare-slot cycle break moves one block twice; its last planned hop
+  // is the real target.
+  std::unordered_map<SectorNo, SectorNo> final_slot;
+  final_slot.reserve(delta.shuffles.size());
+  for (const DeltaMove& m : delta.shuffles) {
+    final_slot[m.original] = region.SlotSector(m.to_slot);
+  }
+  for (const auto& [original, target] : final_slot) {
+    const std::optional<SectorNo> relocated = table.Lookup(original);
+    if (relocated.has_value() && *relocated == target) ++result.shuffled;
+  }
+  for (const DeltaMove& m : delta.admits) {
+    const std::optional<SectorNo> relocated = table.Lookup(m.original);
+    if (relocated.has_value() && *relocated == region.SlotSector(m.to_slot)) {
+      ++result.admitted;
+    }
+  }
+  // Legacy aliases: the incremental pass "cleans" what it evicts and
+  // "copies" what it admits.
+  result.cleaned = result.evicted;
+  result.copied = result.admitted;
 }
 
 }  // namespace abr::placement

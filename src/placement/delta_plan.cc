@@ -1,0 +1,156 @@
+#include "placement/delta_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace abr::placement {
+
+namespace {
+
+/// Inverse of ReservedRegion::SlotSector: the slot index whose start
+/// sector is `sector`, or -1 when the sector is not a slot start.
+std::int32_t SlotIndexOf(const ReservedRegion& region, SectorNo sector) {
+  const SectorNo base = region.SlotSector(0);
+  if (sector < base) return -1;
+  const SectorNo offset = sector - base;
+  if (offset % region.block_sectors() != 0) return -1;
+  const std::int64_t slot = offset / region.block_sectors();
+  if (slot >= region.slot_count()) return -1;
+  return static_cast<std::int32_t>(slot);
+}
+
+struct PendingShuffle {
+  SectorNo original = 0;
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+  bool emitted = false;
+};
+
+}  // namespace
+
+DeltaPlan BuildDeltaPlan(const driver::BlockTable& table,
+                         const std::vector<SlotTarget>& desired,
+                         const ReservedRegion& region) {
+  DeltaPlan plan;
+  const std::size_t slots = static_cast<std::size_t>(region.slot_count());
+
+  std::unordered_map<SectorNo, std::int32_t> want;
+  want.reserve(desired.size());
+  std::vector<bool> slot_desired(slots, false);
+  for (const SlotTarget& t : desired) {
+    assert(t.slot >= 0 && t.slot < region.slot_count());
+    const bool fresh = want.emplace(t.original, t.slot).second;
+    assert(fresh && "duplicate original in desired layout");
+    (void)fresh;
+    assert(!slot_desired[static_cast<std::size_t>(t.slot)] &&
+           "duplicate slot in desired layout");
+    slot_desired[static_cast<std::size_t>(t.slot)] = true;
+  }
+
+  // Classify every current entry. `occupied` tracks slot occupancy after
+  // the evicts run: kept blocks hold their slot for good, shuffles hold
+  // their source slot until emitted.
+  std::vector<bool> occupied(slots, false);
+  std::vector<PendingShuffle> pending;
+  std::unordered_set<SectorNo> placed;  // originals kept or shuffled
+  placed.reserve(table.entries().size());
+  for (const driver::BlockTableEntry& e : table.entries()) {
+    const std::int32_t cur = SlotIndexOf(region, e.relocated);
+    const auto it = want.find(e.original);
+    if (it == want.end() || cur < 0) {
+      // Cooled off — or parked outside the slot grid (possible only if the
+      // region geometry changed under the table); either way, clean out.
+      plan.evicts.push_back(e.original);
+      continue;
+    }
+    placed.insert(e.original);
+    if (it->second == cur) {
+      ++plan.kept;
+    } else {
+      pending.push_back(PendingShuffle{e.original, cur, it->second, false});
+    }
+    occupied[static_cast<std::size_t>(cur)] = true;
+  }
+
+  for (const SlotTarget& t : desired) {
+    if (!placed.contains(t.original)) {
+      plan.admits.push_back(DeltaMove{t.original, t.slot});
+    }
+  }
+
+  // Canonical ordering: independent of the table's entry order.
+  std::sort(plan.evicts.begin(), plan.evicts.end());
+  std::sort(plan.admits.begin(), plan.admits.end(),
+            [](const DeltaMove& a, const DeltaMove& b) {
+              return a.to_slot < b.to_slot;
+            });
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingShuffle& a, const PendingShuffle& b) {
+              return a.to < b.to;
+            });
+
+  // Spare slots: neither desired by the new layout nor occupied after the
+  // evicts; handed out round-robin to cycle breaks.
+  std::vector<std::int32_t> spares;
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (!slot_desired[s] && !occupied[s]) {
+      spares.push_back(static_cast<std::int32_t>(s));
+    }
+  }
+  std::size_t next_spare = 0;
+
+  // Dependency pass: emit any shuffle whose target slot is free, freeing
+  // its source; repeat to fixpoint. What remains is a union of pure
+  // cycles (each blocked shuffle's target is held by another blocked
+  // shuffle — never by a kept block, since desired slots are distinct).
+  std::size_t emitted = 0;
+  while (emitted < pending.size()) {
+    bool progress = false;
+    for (PendingShuffle& p : pending) {
+      if (p.emitted || occupied[static_cast<std::size_t>(p.to)]) continue;
+      plan.shuffles.push_back(DeltaMove{p.original, p.to});
+      occupied[static_cast<std::size_t>(p.to)] = true;
+      occupied[static_cast<std::size_t>(p.from)] = false;
+      p.emitted = true;
+      ++emitted;
+      progress = true;
+    }
+    if (progress) continue;
+    // All remaining shuffles are in cycles. Break the one holding the
+    // smallest target slot (pending is sorted by target, so the first
+    // un-emitted entry is it).
+    PendingShuffle* brk = nullptr;
+    for (PendingShuffle& p : pending) {
+      if (!p.emitted) {
+        brk = &p;
+        break;
+      }
+    }
+    assert(brk != nullptr);
+    if (next_spare < spares.size()) {
+      // Hop to the spare now; the real move re-enters the pool with the
+      // spare as its source and emits once the cycle unwinds to free its
+      // target.
+      const std::int32_t sp = spares[next_spare++];
+      plan.shuffles.push_back(DeltaMove{brk->original, sp});
+      occupied[static_cast<std::size_t>(sp)] = true;
+      occupied[static_cast<std::size_t>(brk->from)] = false;
+      brk->from = sp;
+      ++plan.spare_breaks;
+    } else {
+      // No spare: demote to a full evict + admit round trip.
+      plan.evicts.push_back(brk->original);
+      plan.admits.push_back(DeltaMove{brk->original, brk->to});
+      occupied[static_cast<std::size_t>(brk->from)] = false;
+      brk->emitted = true;
+      ++emitted;
+      ++plan.demotions;
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace abr::placement

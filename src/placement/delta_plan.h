@@ -1,0 +1,67 @@
+#ifndef ABR_PLACEMENT_DELTA_PLAN_H_
+#define ABR_PLACEMENT_DELTA_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/block_table.h"
+#include "placement/reserved_region.h"
+#include "util/types.h"
+
+namespace abr::placement {
+
+/// One desired placement: the block whose original physical start sector
+/// is `original` should occupy reserved slot `slot`. Slots are distinct
+/// across a desired layout (as PlacementPolicy::Place guarantees).
+struct SlotTarget {
+  SectorNo original = 0;
+  std::int32_t slot = 0;
+};
+
+/// One planned movement: bring the block keyed by `original` to reserved
+/// slot `to_slot` (from wherever its table entry currently points).
+struct DeltaMove {
+  SectorNo original = 0;
+  std::int32_t to_slot = 0;
+};
+
+/// Minimal plan turning the current block table into the desired layout:
+///  - blocks already at their target slot are *kept* (zero I/O);
+///  - blocks still hot but assigned a different slot are *shuffled* inside
+///    the region (3 I/Os instead of clean-out + re-copy, 6-7 I/Os);
+///  - blocks that cooled off are *evicted*;
+///  - newly hot blocks are *admitted*.
+/// Execution order is evicts, then shuffles (dependency-ordered), then
+/// admits; within that order every move's target slot is free by the time
+/// the move runs.
+struct DeltaPlan {
+  std::vector<SectorNo> evicts;     // ascending original sector
+  std::vector<DeltaMove> shuffles;  // dependency order (see BuildDeltaPlan)
+  std::vector<DeltaMove> admits;    // ascending to_slot
+  std::int32_t kept = 0;            // blocks needing no movement at all
+  std::int32_t spare_breaks = 0;    // shuffle cycles broken via a spare slot
+  std::int32_t demotions = 0;       // cycles broken as evict+admit (no spare)
+};
+
+/// Diffs `table` (the driver's current placement) against `desired` and
+/// returns the minimal movement plan.
+///
+/// Shuffles form a functional dependency graph: a shuffle into slot `s`
+/// must wait for the block currently occupying `s` to depart (that
+/// occupant is never a kept block, since desired slots are distinct). The
+/// planner orders chains by repeated emission of unblocked shuffles and
+/// breaks pure cycles deterministically: the cycle member with the
+/// smallest target slot first hops to a spare slot (one not desired and
+/// not occupied), unwinding the cycle, and finally hops into its real
+/// target. When no spare exists the member is demoted to an evict + admit
+/// pair, which is payload-equivalent but costs the full clean-out/re-copy.
+///
+/// The output is canonical: independent of table entry order, so two
+/// drivers holding equal mapping sets produce identical plans.
+DeltaPlan BuildDeltaPlan(const driver::BlockTable& table,
+                         const std::vector<SlotTarget>& desired,
+                         const ReservedRegion& region);
+
+}  // namespace abr::placement
+
+#endif  // ABR_PLACEMENT_DELTA_PLAN_H_

@@ -80,6 +80,15 @@ class DiskSystem {
   /// True iff an operation is in flight.
   bool busy() const { return in_flight_; }
 
+  /// Completion time of the in-flight operation, or nullopt when idle.
+  /// Lets a caller step the clock one completion at a time — the arranger's
+  /// pipelined executor advances exactly to the next retirement so it can
+  /// top up its in-flight move chains without draining everything.
+  std::optional<Micros> next_completion_time() const {
+    if (!in_flight_ || halted_) return std::nullopt;
+    return current_.completion_time;
+  }
+
   /// True once the disk reported a crash (MediaStatus::kCrashed) on a
   /// dispatch. The operation that observed the crash never completes, the
   /// queue is frozen, and every later AdvanceTo/Submit/Drain is a no-op —

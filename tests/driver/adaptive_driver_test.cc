@@ -735,5 +735,201 @@ TEST_F(AdaptiveDriverTest, CleanAfterCrashCopiesAllDirtyBlocksBack) {
   driver_->Drain();
 }
 
+TEST_F(AdaptiveDriverTest, MoveBlockShufflesWithinRegionAndCostsThreeIos) {
+  Build();
+  const SectorNo original = OriginalOf(7);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  const SectorNo slot1 = driver_->ReservedSlotSector(1);
+  Stamp(original, 0x700);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(original, slot0).ok());
+  driver_->Drain();
+  const std::int64_t ios_before = driver_->internal_io_count();
+
+  ASSERT_TRUE(driver_->IoctlMoveBlock(original, slot1).ok());
+  driver_->Drain();
+  EXPECT_EQ(driver_->internal_io_count() - ios_before, 3);  // read+write+table
+  EXPECT_TRUE(HasStamp(slot1, 0x700));
+  EXPECT_EQ(driver_->block_table().Lookup(original).value(), slot1);
+  EXPECT_EQ(driver_->IoctlReadStats().moves.shuffles, 1);
+
+  // The on-disk image followed the shuffle.
+  auto image = store_.Load();
+  ASSERT_TRUE(image.has_value());
+  auto loaded = BlockTable::Deserialize(*image, 32);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Lookup(original).value(), slot1);
+
+  // Reads of the block now land on the new slot.
+  ASSERT_TRUE(driver_->SubmitBlock(0, 7, IoType::kRead, driver_->now()).ok());
+  driver_->Drain();
+}
+
+TEST_F(AdaptiveDriverTest, MoveBlockPreservesDirtyBit) {
+  Build();
+  const SectorNo original = OriginalOf(7);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  const SectorNo slot1 = driver_->ReservedSlotSector(1);
+  Stamp(original, 0x700);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(original, slot0).ok());
+  driver_->Drain();
+  ASSERT_TRUE(
+      driver_->SubmitBlock(0, 7, IoType::kWrite, driver_->now()).ok());
+  driver_->Drain();
+  Stamp(slot0, 0xA700);  // the redirected write's new payload
+  ASSERT_TRUE(driver_->block_table().LookupEntry(original)->dirty);
+
+  ASSERT_TRUE(driver_->IoctlMoveBlock(original, slot1).ok());
+  driver_->Drain();
+  // The dirty bit travels with the entry, so a later clean-out still
+  // copies the updated payload back to the original location.
+  ASSERT_TRUE(driver_->block_table().LookupEntry(original)->dirty);
+  ASSERT_TRUE(driver_->IoctlEvictBlock(original).ok());
+  driver_->Drain();
+  EXPECT_FALSE(driver_->block_table().Lookup(original).has_value());
+  EXPECT_TRUE(HasStamp(original, 0xA700));
+}
+
+TEST_F(AdaptiveDriverTest, MoveBlockValidation) {
+  Build();
+  const SectorNo original = OriginalOf(7);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  const SectorNo slot1 = driver_->ReservedSlotSector(1);
+  // Not rearranged yet.
+  EXPECT_EQ(driver_->IoctlMoveBlock(original, slot1).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(original, slot0).ok());
+  ASSERT_TRUE(driver_->IoctlCopyBlock(OriginalOf(9), slot1).ok());
+  driver_->Drain();
+  // Target off the slot grid / outside the region.
+  EXPECT_EQ(driver_->IoctlMoveBlock(original, slot1 + 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(driver_->IoctlMoveBlock(original, 0).code(),
+            StatusCode::kInvalidArgument);
+  // Already at the target.
+  EXPECT_EQ(driver_->IoctlMoveBlock(original, slot0).code(),
+            StatusCode::kInvalidArgument);
+  // Target occupied by another entry.
+  EXPECT_EQ(driver_->IoctlMoveBlock(original, slot1).code(),
+            StatusCode::kAlreadyExists);
+  // A block whose move is still in flight is busy.
+  ASSERT_TRUE(
+      driver_->IoctlMoveBlock(original, driver_->ReservedSlotSector(2)).ok());
+  EXPECT_EQ(
+      driver_->IoctlMoveBlock(original, driver_->ReservedSlotSector(3)).code(),
+      StatusCode::kBusy);
+  // And its in-flight target slot is reserved against other claims.
+  EXPECT_EQ(driver_->IoctlCopyBlock(OriginalOf(11),
+                                    driver_->ReservedSlotSector(2))
+                .code(),
+            StatusCode::kAlreadyExists);
+  driver_->Drain();
+}
+
+TEST_F(AdaptiveDriverTest, EvictBlockRemovesSingleEntry) {
+  Build();
+  const SectorNo orig7 = OriginalOf(7);
+  const SectorNo orig9 = OriginalOf(9);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  const SectorNo slot1 = driver_->ReservedSlotSector(1);
+  Stamp(orig7, 0x700);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(orig7, slot0).ok());
+  ASSERT_TRUE(driver_->IoctlCopyBlock(orig9, slot1).ok());
+  driver_->Drain();
+  const std::int64_t ios_before = driver_->internal_io_count();
+
+  // Clean entry: the original still holds current bytes, so eviction is
+  // just the table write.
+  ASSERT_TRUE(driver_->IoctlEvictBlock(orig7).ok());
+  driver_->Drain();
+  EXPECT_EQ(driver_->internal_io_count() - ios_before, 1);
+  EXPECT_FALSE(driver_->block_table().Lookup(orig7).has_value());
+  // The other entry is untouched — unlike DKIOCCLEAN, which empties all.
+  EXPECT_TRUE(driver_->block_table().Lookup(orig9).has_value());
+  EXPECT_TRUE(HasStamp(orig7, 0x700));
+  EXPECT_EQ(driver_->IoctlReadStats().moves.evictions, 1);
+
+  // Absent blocks report NotFound.
+  EXPECT_EQ(driver_->IoctlEvictBlock(orig7).code(), StatusCode::kNotFound);
+}
+
+TEST_F(AdaptiveDriverTest, EvictDirtyBlockCopiesBack) {
+  Build();
+  const SectorNo original = OriginalOf(7);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  Stamp(original, 0x700);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(original, slot0).ok());
+  driver_->Drain();
+  ASSERT_TRUE(
+      driver_->SubmitBlock(0, 7, IoType::kWrite, driver_->now()).ok());
+  driver_->Drain();
+  Stamp(slot0, 0xA700);
+  const std::int64_t ios_before = driver_->internal_io_count();
+
+  ASSERT_TRUE(driver_->IoctlEvictBlock(original).ok());
+  driver_->Drain();
+  // Dirty eviction: read relocation + write original + table write.
+  EXPECT_EQ(driver_->internal_io_count() - ios_before, 3);
+  EXPECT_FALSE(driver_->block_table().Lookup(original).has_value());
+  EXPECT_TRUE(HasStamp(original, 0xA700));
+}
+
+TEST_F(AdaptiveDriverTest, VacatedSlotQuarantinedUntilTableWriteDurable) {
+  Build();
+  const SectorNo orig7 = OriginalOf(7);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(orig7, slot0).ok());
+  driver_->Drain();
+
+  // The eviction's entry removal happens synchronously for clean entries,
+  // but its table write is still in flight: the vacated slot must refuse
+  // new claims until the removal is durable on disk.
+  ASSERT_TRUE(driver_->IoctlEvictBlock(orig7).ok());
+  EXPECT_FALSE(driver_->block_table().Lookup(orig7).has_value());
+  EXPECT_EQ(driver_->IoctlCopyBlock(OriginalOf(9), slot0).code(),
+            StatusCode::kAlreadyExists);
+  driver_->Drain();
+  // Once durable, the slot is reusable.
+  ASSERT_TRUE(driver_->IoctlCopyBlock(OriginalOf(9), slot0).ok());
+  driver_->Drain();
+  EXPECT_EQ(driver_->block_table().Lookup(OriginalOf(9)).value(), slot0);
+}
+
+TEST_F(FaultyDriverTest, PersistentErrorAbortsMoveChainAndRollsBack) {
+  Build(fault::FaultPlan{});
+  const SectorNo original = OriginalOf(7);
+  const SectorNo slot0 = driver_->ReservedSlotSector(0);
+  const SectorNo slot1 = driver_->ReservedSlotSector(1);
+  // Rebuild with a permanently bad second slot so the shuffle's write leg
+  // can never land.
+  fault::FaultPlan bad;
+  bad.media.push_back(fault::MediaFault{slot1, /*count=*/1,
+                                        /*persistent=*/true,
+                                        /*fail_budget=*/1,
+                                        /*arm_after_io=*/0});
+  driver_ = nullptr;
+  disk_ = nullptr;
+  store_ = fault::CrashTableStore{};
+  sink_.completions.clear();
+  Build(std::move(bad));
+
+  Stamp(original, 0x700);
+  ASSERT_TRUE(driver_->IoctlCopyBlock(original, slot0).ok());
+  driver_->Drain();
+  ASSERT_TRUE(driver_->IoctlMoveBlock(original, slot1).ok());
+  driver_->Drain();
+
+  const FaultCounters faults = driver_->IoctlReadStats().faults;
+  EXPECT_EQ(faults.aborted_chains, 1);
+  // Rollback: the entry still points at the source slot, whose payload is
+  // intact, and reads of the block succeed.
+  EXPECT_EQ(driver_->block_table().Lookup(original).value(), slot0);
+  EXPECT_TRUE(HasStamp(slot0, 0x700));
+  EXPECT_EQ(driver_->IoctlReadStats().moves.shuffles, 0);
+  ASSERT_TRUE(driver_->SubmitBlock(0, 7, IoType::kRead, driver_->now()).ok());
+  driver_->Drain();
+  ASSERT_FALSE(sink_.completions.empty());
+  EXPECT_TRUE(sink_.completions.back().breakdown.ok());
+}
+
 }  // namespace
 }  // namespace abr::driver

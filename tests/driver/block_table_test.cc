@@ -287,5 +287,39 @@ TEST(BlockTableTest, ManyEntriesRoundTrip) {
   }
 }
 
+TEST(BlockTableTest, UpdateRelocatedRepointsEntry) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  ASSERT_TRUE(t.MarkDirty(100).ok());
+  ASSERT_TRUE(t.UpdateRelocated(100, 5016).ok());
+  EXPECT_EQ(t.Lookup(100).value(), 5016);
+  // The dirty bit survives the re-point; the old target is free again.
+  EXPECT_TRUE(t.LookupEntry(100)->dirty);
+  EXPECT_FALSE(t.TargetInUse(5000));
+  EXPECT_TRUE(t.TargetInUse(5016));
+  ASSERT_TRUE(t.Insert(200, 5000).ok());
+}
+
+TEST(BlockTableTest, UpdateRelocatedValidation) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  ASSERT_TRUE(t.Insert(200, 5016).ok());
+  EXPECT_EQ(t.UpdateRelocated(300, 5032).code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.UpdateRelocated(100, 5016).code(), StatusCode::kAlreadyExists);
+  // Re-pointing to the current target is a no-op success.
+  ASSERT_TRUE(t.UpdateRelocated(100, 5000).ok());
+  EXPECT_EQ(t.Lookup(100).value(), 5000);
+}
+
+TEST(BlockTableTest, UpdateRelocatedSurvivesSerialization) {
+  BlockTable t(4);
+  ASSERT_TRUE(t.Insert(100, 5000).ok());
+  ASSERT_TRUE(t.UpdateRelocated(100, 5016).ok());
+  StatusOr<BlockTable> loaded = BlockTable::Deserialize(t.Serialize(), 4);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Lookup(100).value(), 5016);
+  EXPECT_FALSE(loaded->TargetInUse(5000));
+}
+
 }  // namespace
 }  // namespace abr::driver

@@ -121,5 +121,42 @@ TEST(CrashHarnessTest, FullSizeRunWithCrashes) {
   EXPECT_EQ(r.crashes, 2);
 }
 
+
+TEST(CrashHarnessTest, TimedCrashPointsSweepGlobalSchedule) {
+  std::int64_t crashes = 0, arrangement = 0, table_save = 0, steady = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+    config.seed = seed * 977 + 5;
+    config.crash_points = 0;
+    config.timed_crash_points = 2;
+    config.arrange_every = 1;
+    const CrashHarnessResult r = CrashHarness(config).Run();
+    ASSERT_TRUE(r.ok()) << "seed=" << config.seed << ": " << r.first_error;
+    crashes += r.crashes;
+    arrangement += r.crash_in_arrangement;
+    table_save += r.crash_in_table_save;
+    steady += r.crash_in_steady_state;
+  }
+  EXPECT_EQ(crashes, arrangement + table_save + steady);
+  EXPECT_GT(crashes, 0);
+  // Timed points must land inside the pipelined arrangement windows too --
+  // the site io-indexed points tend to miss on the incremental arranger.
+  EXPECT_GT(arrangement, 0);
+  std::printf(
+      "timed sweep: %lld crashes (table %lld / arrange %lld / steady %lld)\n",
+      static_cast<long long>(crashes), static_cast<long long>(table_save),
+      static_cast<long long>(arrangement), static_cast<long long>(steady));
+}
+
+TEST(CrashHarnessTest, FullRebuildArrangerSurvivesTimedCrashes) {
+  CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+  config.seed = 4242;
+  config.crash_points = 1;
+  config.timed_crash_points = 2;
+  config.incremental = false;  // the oracle path under the same schedule
+  const CrashHarnessResult r = CrashHarness(config).Run();
+  EXPECT_TRUE(r.ok()) << r.first_error;
+}
+
 }  // namespace
 }  // namespace abr::fault

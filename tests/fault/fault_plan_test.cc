@@ -115,5 +115,27 @@ TEST(FaultPlanTest, ZeroEventsYieldEmptyPlan) {
   EXPECT_TRUE(plan.crashes.empty());
 }
 
+
+TEST(FaultPlanTest, TimedCrashPointsAppendedSorted) {
+  FaultPlanConfig config;
+  config.sector_count = 10000;
+  config.crash_points = 2;
+  config.timed_crash_points = 3;
+  config.time_horizon = 1000000;
+  const FaultPlan plan = FaultPlan::Random(7, config);
+  ASSERT_EQ(plan.crashes.size(), 5u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(plan.crashes[i].at_io, 0);
+    EXPECT_LT(plan.crashes[i].at_time, 0);
+  }
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_LT(plan.crashes[i].at_io, 0);
+    EXPECT_GE(plan.crashes[i].at_time, 0);
+    EXPECT_LT(plan.crashes[i].at_time, config.time_horizon);
+  }
+  EXPECT_LE(plan.crashes[2].at_time, plan.crashes[3].at_time);
+  EXPECT_LE(plan.crashes[3].at_time, plan.crashes[4].at_time);
+}
+
 }  // namespace
 }  // namespace abr::fault

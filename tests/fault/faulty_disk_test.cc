@@ -180,5 +180,25 @@ TEST(FaultyDiskTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+
+TEST(FaultyDiskTest, TimedCrashPointHonorsBootTimeOffset) {
+  FaultPlan plan;
+  CrashPoint c;
+  c.at_time = 10000;
+  plan.crashes.push_back(c);
+  FaultyDisk d = MakeDisk(std::move(plan));
+  // First boot: local time == global time.
+  EXPECT_TRUE(d.Service(100, 8, /*is_read=*/true, 5000).ok());
+  // Second boot: the clock restarts, the harness arms the global offset.
+  d.set_time_offset(8000);
+  EXPECT_TRUE(d.Service(100, 8, /*is_read=*/true, 1000).ok());  // global 9000
+  const disk::ServiceBreakdown b =
+      d.Service(100, 8, /*is_read=*/true, 2500);  // global 10500: fires
+  EXPECT_EQ(b.media, disk::MediaStatus::kCrashed);
+  EXPECT_TRUE(d.crashed());
+  ASSERT_TRUE(d.crashed_op().has_value());
+  EXPECT_EQ(d.crashed_op()->time, 2500);  // local boot time, offset excluded
+}
+
 }  // namespace
 }  // namespace abr::fault

@@ -1,0 +1,457 @@
+// Randomized differential test of the arrangement engine: two machines —
+// one running the incremental delta-plan executor (production), one the
+// full clean-everything-then-recopy rebuild (the oracle) — are driven
+// through identical day workloads and identical ranked hot lists, over
+// disks with identical fault plans. After every pass the block-table
+// mapping sets must be bit-identical, the translated payload view of
+// every block must equal its original contents on both machines, and —
+// after a head/clock sync barrier — subsequent-day request streams must
+// produce bit-identical timing, request records and performance
+// histograms. The incremental path may differ only in how much movement
+// I/O it spends and in which surviving entries still carry a dirty bit
+// (it keeps bits the rebuild launders; its dirty set is a superset).
+
+#include "placement/arranger.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "disk/drive_spec.h"
+#include "driver/adaptive_driver.h"
+#include "fault/crash_table_store.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_disk.h"
+#include "placement/policy.h"
+#include "util/rng.h"
+
+namespace abr::placement {
+namespace {
+
+using analyzer::BlockId;
+using analyzer::HotBlock;
+
+constexpr std::int32_t kBlockSectors = 16;
+constexpr BlockNo kHotPool = 48;  // hot sets are drawn from [0, kHotPool)
+constexpr BlockNo kBlocks = 56;   // day traffic spans [0, kBlocks)
+
+std::uint64_t StampTag(BlockNo b) {
+  return 0xB0000000ull + static_cast<std::uint64_t>(b) * 0x100;
+}
+
+/// Flattens a PerfSnapshot into an exactly comparable integer vector.
+std::vector<std::int64_t> PerfFingerprint(const driver::PerfSnapshot& s) {
+  std::vector<std::int64_t> fp;
+  for (const driver::PerfSide* side : {&s.reads, &s.writes, &s.all}) {
+    for (std::int64_t c : side->fcfs_seek_distance.counts()) fp.push_back(c);
+    fp.push_back(-1);
+    for (std::int64_t c : side->sched_seek_distance.counts()) fp.push_back(c);
+    fp.push_back(-1);
+    fp.push_back(side->service_time.count());
+    fp.push_back(side->service_time.total());
+    fp.push_back(side->queue_time.count());
+    fp.push_back(side->queue_time.total());
+    fp.push_back(side->rotation_total);
+    fp.push_back(side->transfer_total);
+    fp.push_back(side->buffer_hits);
+  }
+  fp.push_back(s.faults.media_errors);
+  fp.push_back(s.faults.retries);
+  fp.push_back(s.faults.failed_requests);
+  fp.push_back(s.faults.aborted_chains);
+  fp.push_back(s.faults.recovery_dirtied);
+  fp.push_back(s.faults.recovery_fallbacks);
+  // No movement may happen during a measured day on either machine.
+  fp.push_back(s.moves.copy_ins);
+  fp.push_back(s.moves.shuffles);
+  fp.push_back(s.moves.evictions);
+  return fp;
+}
+
+/// One machine: faulty disk + crash-accurate table store + driver + its
+/// arranger. Both instances see the same workloads and ranked lists; only
+/// ArrangerConfig::incremental differs.
+struct Instance {
+  std::unique_ptr<fault::FaultyDisk> disk;
+  fault::CrashTableStore store;
+  std::unique_ptr<driver::AdaptiveDriver> driver;
+  OrganPipePolicy policy;
+  std::unique_ptr<BlockArranger> arranger;
+
+  void Create(fault::FaultPlan plan, std::uint64_t seed, bool incremental) {
+    disk = std::make_unique<fault::FaultyDisk>(disk::DriveSpec::TestDrive(),
+                                               std::move(plan), seed);
+    ArrangerConfig config;
+    config.incremental = incremental;
+    arranger = std::make_unique<BlockArranger>(&policy, config);
+    Rebuild(/*after_crash=*/false);
+  }
+
+  void Rebuild(bool after_crash) {
+    driver.reset();
+    disk->ClearCrash();
+    auto label = disk::DiskLabel::Rearranged(disk->geometry(), 10);
+    ASSERT_TRUE(label.ok());
+    ASSERT_TRUE(label->PartitionEvenly(1).ok());
+    driver::DriverConfig config;
+    config.block_table_capacity = 16;
+    driver = std::make_unique<driver::AdaptiveDriver>(
+        disk.get(), std::move(*label), config, &store);
+    disk->set_table_observer(&store);
+    ASSERT_TRUE(driver->Attach(after_crash).ok());
+    disk->SetTableArea(45 * 128, driver->table_area_sectors());
+  }
+
+  SectorNo OriginalOf(BlockNo b) const {
+    const auto extents =
+        driver->MapVirtualExtent(b * kBlockSectors, kBlockSectors);
+    EXPECT_EQ(extents.size(), 1u);
+    return extents[0].sector;
+  }
+};
+
+class ArrangerDiffTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void Start(const fault::FaultPlan& plan) {
+    incr_.Create(plan, GetParam(), /*incremental=*/true);
+    full_.Create(plan, GetParam(), /*incremental=*/false);
+    for (BlockNo b = 0; b < kBlocks; ++b) {
+      for (Instance* inst : {&incr_, &full_}) {
+        const SectorNo start = inst->OriginalOf(b);
+        for (std::int32_t k = 0; k < kBlockSectors; ++k) {
+          inst->disk->WritePayload(start + k,
+                                   StampTag(b) + static_cast<std::uint64_t>(k));
+        }
+      }
+    }
+    hot_.clear();
+    for (BlockNo b = 0; b < 12; ++b) hot_.push_back(b);
+  }
+
+  /// Replaces a few hot-set members and re-ranks the rest, so successive
+  /// passes mix kept blocks, rank-order shuffles, evictions and admits.
+  void DriftHotSet(Rng& rng) {
+    const std::size_t churn = rng.NextBounded(4);
+    for (std::size_t i = 0; i < churn; ++i) {
+      BlockNo repl;
+      do {
+        repl = static_cast<BlockNo>(rng.NextBounded(kHotPool));
+      } while (std::find(hot_.begin(), hot_.end(), repl) != hot_.end());
+      hot_[rng.NextBounded(hot_.size())] = repl;
+    }
+    for (std::size_t i = hot_.size(); i > 1; --i) {
+      std::swap(hot_[i - 1], hot_[rng.NextBounded(i)]);
+    }
+  }
+
+  std::vector<HotBlock> Ranked() const {
+    std::vector<HotBlock> ranked;
+    std::int64_t count = 1 << 20;
+    for (BlockNo b : hot_) {
+      ranked.push_back(HotBlock{BlockId{0, b}, count});
+      count -= 13;
+    }
+    return ranked;
+  }
+
+  /// Runs one day of identical traffic on both machines, then proves the
+  /// day was bit-identical (timing, records, histograms) and clears the
+  /// monitors on both sides.
+  void RunDay(Rng& rng, int steps) {
+    ASSERT_EQ(incr_.driver->now(), full_.driver->now());
+    Micros t = incr_.driver->now();
+    for (int i = 0; i < steps; ++i) {
+      t += 1 + static_cast<Micros>(rng.NextBounded(4000));
+      const BlockNo b = static_cast<BlockNo>(rng.NextBounded(kBlocks));
+      const sched::IoType type = rng.NextBernoulli(0.3)
+                                     ? sched::IoType::kWrite
+                                     : sched::IoType::kRead;
+      const Status a = incr_.driver->SubmitBlock(0, b, type, t);
+      const Status c = full_.driver->SubmitBlock(0, b, type, t);
+      ASSERT_EQ(a.ToString(), c.ToString()) << "step " << i;
+    }
+    incr_.driver->Drain();
+    full_.driver->Drain();
+    ASSERT_EQ(incr_.driver->now(), full_.driver->now());
+    const std::vector<driver::RequestRecord> ir =
+        incr_.driver->IoctlReadRequests();
+    const std::vector<driver::RequestRecord> fr =
+        full_.driver->IoctlReadRequests();
+    ASSERT_EQ(ir.size(), fr.size());
+    for (std::size_t i = 0; i < ir.size(); ++i) {
+      ASSERT_EQ(ir[i].device, fr[i].device) << "record " << i;
+      ASSERT_EQ(ir[i].block, fr[i].block) << "record " << i;
+      ASSERT_EQ(ir[i].size_bytes, fr[i].size_bytes) << "record " << i;
+      ASSERT_EQ(ir[i].type, fr[i].type) << "record " << i;
+    }
+    ASSERT_EQ(PerfFingerprint(incr_.driver->IoctlReadStats()),
+              PerfFingerprint(full_.driver->IoctlReadStats()));
+  }
+
+  /// The two passes spend different amounts of movement I/O, so clocks and
+  /// head positions diverge during a pass. Re-synchronize: drain both,
+  /// level the clocks, issue one identical positioning read (a never-hot,
+  /// never-faulted block), level again, and clear the monitors. After the
+  /// barrier the machines are in bit-identical externally-visible state.
+  void SyncBarrier() {
+    incr_.driver->Drain();
+    full_.driver->Drain();
+    Micros m = std::max(incr_.driver->now(), full_.driver->now());
+    incr_.driver->AdvanceTo(m);
+    full_.driver->AdvanceTo(m);
+    ASSERT_TRUE(
+        incr_.driver->SubmitBlock(0, kBlocks - 1, sched::IoType::kRead, m)
+            .ok());
+    ASSERT_TRUE(
+        full_.driver->SubmitBlock(0, kBlocks - 1, sched::IoType::kRead, m)
+            .ok());
+    incr_.driver->Drain();
+    full_.driver->Drain();
+    m = std::max(incr_.driver->now(), full_.driver->now());
+    incr_.driver->AdvanceTo(m);
+    full_.driver->AdvanceTo(m);
+    (void)incr_.driver->IoctlReadStats();
+    (void)full_.driver->IoctlReadStats();
+    (void)incr_.driver->IoctlReadRequests();
+    (void)full_.driver->IoctlReadRequests();
+  }
+
+  /// Post-pass invariant: identical mapping sets; the incremental dirty
+  /// set is a superset of the rebuild's (which launders bits by recopying).
+  void CheckConverged() {
+    std::vector<driver::BlockTableEntry> a(
+        incr_.driver->block_table().entries().begin(),
+        incr_.driver->block_table().entries().end());
+    std::vector<driver::BlockTableEntry> b(
+        full_.driver->block_table().entries().begin(),
+        full_.driver->block_table().entries().end());
+    const auto by_original = [](const driver::BlockTableEntry& x,
+                                const driver::BlockTableEntry& y) {
+      return x.original < y.original;
+    };
+    std::sort(a.begin(), a.end(), by_original);
+    std::sort(b.begin(), b.end(), by_original);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].original, b[i].original) << "entry " << i;
+      ASSERT_EQ(a[i].relocated, b[i].relocated) << "entry " << i;
+      if (b[i].dirty) {
+        EXPECT_TRUE(a[i].dirty) << "entry " << i
+                                << ": oracle dirty, incremental clean";
+      }
+    }
+  }
+
+  /// The translated view of every block must read its original contents on
+  /// both machines — movement may never lose or misplace a payload.
+  void CheckPayloads() {
+    for (BlockNo b = 0; b < kBlocks; ++b) {
+      const SectorNo origin = incr_.OriginalOf(b);
+      ASSERT_EQ(origin, full_.OriginalOf(b));
+      const SectorNo il =
+          incr_.driver->block_table().Lookup(origin).value_or(origin);
+      const SectorNo fl =
+          full_.driver->block_table().Lookup(origin).value_or(origin);
+      for (std::int32_t k = 0; k < kBlockSectors; ++k) {
+        const std::uint64_t want =
+            StampTag(b) + static_cast<std::uint64_t>(k);
+        ASSERT_EQ(incr_.disk->ReadPayload(il + k), want)
+            << "block " << b << " sector " << k << " (incremental)";
+        ASSERT_EQ(full_.disk->ReadPayload(fl + k), want)
+            << "block " << b << " sector " << k << " (full rebuild)";
+      }
+    }
+  }
+
+  Instance incr_;
+  Instance full_;
+  std::vector<BlockNo> hot_;
+};
+
+TEST_P(ArrangerDiffTest, BitIdenticalAcrossPassesAndFaults) {
+  Rng rng(GetParam());
+  // Media defects sit on never-hot blocks: arrangement never touches them,
+  // so both machines hit them through identical day traffic only. Blocks
+  // 49/51 are permanently bad, 53 is a marginal sector that heals within
+  // the driver's retry budget.
+  fault::FaultPlan plan;
+  plan.media.push_back(fault::MediaFault{49 * kBlockSectors + 3, 2,
+                                         /*persistent=*/true, 1, 0});
+  plan.media.push_back(fault::MediaFault{51 * kBlockSectors + 9, 1,
+                                         /*persistent=*/true, 1, 0});
+  plan.media.push_back(fault::MediaFault{53 * kBlockSectors, 1,
+                                         /*persistent=*/false, 2, 0});
+  Start(plan);
+
+  for (int pass = 0; pass < 8; ++pass) {
+    RunDay(rng, 120);
+    DriftHotSet(rng);
+    const std::vector<HotBlock> ranked = Ranked();
+    const auto ri = incr_.arranger->Rearrange(*incr_.driver, ranked);
+    const auto rf = full_.arranger->Rearrange(*full_.driver, ranked);
+    ASSERT_TRUE(ri.ok()) << ri.status().ToString();
+    ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+    EXPECT_FALSE(ri->halted);
+    EXPECT_FALSE(rf->halted);
+    EXPECT_EQ(ri->aborted, 0);
+    EXPECT_EQ(ri->skipped, 0);
+    // Incremental accounting must explain the whole post-pass table and
+    // keep the legacy aliases coherent.
+    EXPECT_EQ(ri->kept + ri->shuffled + ri->admitted,
+              incr_.driver->block_table().size());
+    EXPECT_EQ(ri->cleaned, ri->evicted);
+    EXPECT_EQ(ri->copied, ri->admitted);
+    CheckConverged();
+    CheckPayloads();
+    SyncBarrier();
+  }
+
+  // One more full day after the last barrier: translation behaviour over
+  // the final layout is bit-identical too.
+  RunDay(rng, 150);
+}
+
+TEST_P(ArrangerDiffTest, ConvergesAfterCrashMidPass) {
+  Rng rng(GetParam() * 977 + 13);
+
+  // Measure the attach cost once (identical for every instance of this
+  // geometry), then plant a crash point a few operations into the first
+  // arrangement pass of both machines.
+  Instance probe;
+  probe.Create(fault::FaultPlan{}, /*seed=*/1, /*incremental=*/true);
+  const std::int64_t attach_ios = probe.disk->io_index();
+
+  fault::FaultPlan plan;
+  fault::CrashPoint cp;
+  cp.at_io = attach_ios + 4 + static_cast<std::int64_t>(rng.NextBounded(24));
+  plan.crashes.push_back(cp);
+  Start(plan);
+
+  // First pass from an empty table: twelve admits on each machine, far
+  // more I/O than the crash point leaves — both die mid-pass.
+  const std::vector<HotBlock> first = Ranked();
+  const auto ri = incr_.arranger->Rearrange(*incr_.driver, first);
+  const auto rf = full_.arranger->Rearrange(*full_.driver, first);
+  ASSERT_TRUE(ri.ok());
+  ASSERT_TRUE(rf.ok());
+  EXPECT_TRUE(ri->halted);
+  EXPECT_TRUE(rf->halted);
+  EXPECT_TRUE(incr_.driver->halted());
+  EXPECT_TRUE(full_.driver->halted());
+
+  // Reboot both. Conservative recovery marks every surviving entry dirty;
+  // the machines hold different partial layouts at this point.
+  incr_.Rebuild(/*after_crash=*/true);
+  full_.Rebuild(/*after_crash=*/true);
+  CheckPayloads();  // no payload may be lost by the crash on either side
+
+  // The next completed pass must converge both machines onto the same
+  // layout regardless of where each one died.
+  DriftHotSet(rng);
+  const std::vector<HotBlock> second = Ranked();
+  const auto ri2 = incr_.arranger->Rearrange(*incr_.driver, second);
+  const auto rf2 = full_.arranger->Rearrange(*full_.driver, second);
+  ASSERT_TRUE(ri2.ok());
+  ASSERT_TRUE(rf2.ok());
+  EXPECT_FALSE(ri2->halted);
+  EXPECT_FALSE(rf2->halted);
+  CheckConverged();
+  CheckPayloads();
+  SyncBarrier();
+  RunDay(rng, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrangerDiffTest,
+                         ::testing::Values(7, 11, 19, 23, 42, 1993));
+
+/// Regression for the cleaned-count over-report: a pass that dies mid-clean
+/// must report the clean-outs that actually landed, not the whole table.
+TEST(ArrangerCrashAccountingTest, CleanedCountsOnlyLandedRemovals) {
+  const auto run_prefix = [](Instance& inst) {
+    // Six admitted blocks, all dirtied by user writes, fully drained.
+    std::vector<HotBlock> ranked;
+    std::int64_t count = 1000;
+    for (BlockNo b : {3, 7, 11, 19, 23, 31}) {
+      ranked.push_back(HotBlock{BlockId{0, b}, count});
+      count -= 10;
+    }
+    ASSERT_TRUE(inst.arranger->Rearrange(*inst.driver, ranked).ok());
+    Micros t = inst.driver->now();
+    for (BlockNo b : {3, 7, 11, 19, 23, 31}) {
+      t += 1000;
+      ASSERT_TRUE(
+          inst.driver->SubmitBlock(0, b, sched::IoType::kWrite, t).ok());
+    }
+    inst.driver->Drain();
+    ASSERT_EQ(inst.driver->block_table().size(), 6);
+  };
+
+  Instance probe;
+  probe.Create(fault::FaultPlan{}, /*seed=*/1, /*incremental=*/false);
+  run_prefix(probe);
+  const std::int64_t prefix_ios = probe.disk->io_index();
+
+  // Each dirty clean-out is a three-I/O chain; dying four operations in
+  // leaves most of the table behind.
+  fault::FaultPlan plan;
+  fault::CrashPoint cp;
+  cp.at_io = prefix_ios + 4;
+  plan.crashes.push_back(cp);
+  Instance inst;
+  inst.Create(plan, /*seed=*/1, /*incremental=*/false);
+  run_prefix(inst);
+
+  const auto result = inst.arranger->Rearrange(*inst.driver, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->halted);
+  EXPECT_EQ(result->cleaned, 6 - inst.driver->block_table().size());
+  EXPECT_GE(result->cleaned, 1);
+  EXPECT_LT(result->cleaned, 6);  // the old code claimed all six
+}
+
+/// A hot block straddling the hidden-region boundary reaches the planner
+/// as ineligible: it is skipped, never shuffled, and never admitted.
+TEST(ArrangerStraddlerTest, StraddlerFeedsPlannerAsSkipped) {
+  // 34 sectors/track makes cylinders (136 sectors) misaligned with blocks:
+  // the hidden region starts at 45 * 136 = 6120, and block 382 spans
+  // virtual sectors 6112..6127 — across the boundary.
+  auto disk =
+      std::make_unique<disk::Disk>(disk::DriveSpec::TestDrive(100, 4, 34));
+  auto label = disk::DiskLabel::Rearranged(disk->geometry(), 10);
+  ASSERT_TRUE(label.ok());
+  ASSERT_TRUE(label->PartitionEvenly(1).ok());
+  driver::DriverConfig config;
+  config.block_table_capacity = 16;
+  driver::InMemoryTableStore store;
+  driver::AdaptiveDriver driver(disk.get(), std::move(*label), config,
+                                &store);
+  ASSERT_TRUE(driver.Attach().ok());
+
+  OrganPipePolicy policy;
+  BlockArranger arranger(&policy);  // incremental by default
+  const auto first = arranger.Rearrange(
+      driver, {HotBlock{BlockId{0, 3}, 1000}, HotBlock{BlockId{0, 5}, 990}});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->admitted, 2);
+
+  // Same two blocks again, now outranked by the straddler.
+  const auto second =
+      arranger.Rearrange(driver, {HotBlock{BlockId{0, 382}, 2000},
+                                  HotBlock{BlockId{0, 3}, 1000},
+                                  HotBlock{BlockId{0, 5}, 990}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->skipped, 1);
+  EXPECT_EQ(second->kept, 2);      // same ranks, same slots: untouched
+  EXPECT_EQ(second->shuffled, 0);  // a straddler never becomes a shuffle
+  EXPECT_EQ(second->admitted, 0);
+  EXPECT_EQ(second->evicted, 0);
+  EXPECT_EQ(driver.block_table().size(), 2);
+  EXPECT_FALSE(driver.block_table().Lookup(6112).has_value());
+}
+
+}  // namespace
+}  // namespace abr::placement

@@ -1,0 +1,255 @@
+#include "placement/delta_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "disk/drive_spec.h"
+#include "driver/block_table.h"
+
+namespace abr::placement {
+namespace {
+
+class DeltaPlanTest : public ::testing::Test {
+ protected:
+  DeltaPlanTest()
+      : region_(disk::DriveSpec::TestDrive().geometry,
+                /*data_first_sector=*/1000, /*slot_count=*/8,
+                /*block_sectors=*/16),
+        table_(/*capacity=*/16) {}
+
+  SectorNo Slot(std::int32_t slot) const { return region_.SlotSector(slot); }
+
+  /// Replays the plan against the table's mapping and checks the step
+  /// invariant: every move's target slot is free when the move runs.
+  /// Returns the final slot -> original occupancy.
+  std::map<std::int32_t, SectorNo> Apply(const DeltaPlan& plan) {
+    std::map<std::int32_t, SectorNo> by_slot;
+    std::map<SectorNo, std::int32_t> by_original;
+    for (const driver::BlockTableEntry& e : table_.entries()) {
+      const std::int32_t slot =
+          static_cast<std::int32_t>((e.relocated - Slot(0)) /
+                                    region_.block_sectors());
+      by_slot[slot] = e.original;
+      by_original[e.original] = slot;
+    }
+    for (SectorNo original : plan.evicts) {
+      auto it = by_original.find(original);
+      EXPECT_TRUE(it != by_original.end()) << "evicting absent " << original;
+      if (it == by_original.end()) continue;
+      by_slot.erase(it->second);
+      by_original.erase(it);
+    }
+    for (const DeltaMove& m : plan.shuffles) {
+      EXPECT_FALSE(by_slot.contains(m.to_slot))
+          << "shuffle into occupied slot " << m.to_slot;
+      auto it = by_original.find(m.original);
+      EXPECT_TRUE(it != by_original.end()) << "shuffling absent " << m.original;
+      if (it == by_original.end()) continue;
+      by_slot.erase(it->second);
+      by_slot[m.to_slot] = m.original;
+      it->second = m.to_slot;
+    }
+    for (const DeltaMove& m : plan.admits) {
+      EXPECT_FALSE(by_slot.contains(m.to_slot))
+          << "admit into occupied slot " << m.to_slot;
+      EXPECT_FALSE(by_original.contains(m.original));
+      by_slot[m.to_slot] = m.original;
+      by_original[m.original] = m.to_slot;
+    }
+    return by_slot;
+  }
+
+  /// Checks that applying the plan lands exactly the desired layout.
+  void ExpectLandsDesired(const DeltaPlan& plan,
+                          const std::vector<SlotTarget>& desired) {
+    const std::map<std::int32_t, SectorNo> landed = Apply(plan);
+    EXPECT_EQ(landed.size(), desired.size());
+    for (const SlotTarget& t : desired) {
+      auto it = landed.find(t.slot);
+      ASSERT_TRUE(it != landed.end()) << "slot " << t.slot << " empty";
+      EXPECT_EQ(it->second, t.original) << "slot " << t.slot;
+    }
+  }
+
+  ReservedRegion region_;
+  driver::BlockTable table_;
+};
+
+TEST_F(DeltaPlanTest, EmptyTableAllAdmits) {
+  const std::vector<SlotTarget> desired = {{800, 0}, {816, 1}, {832, 2}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.kept, 0);
+  EXPECT_TRUE(plan.evicts.empty());
+  EXPECT_TRUE(plan.shuffles.empty());
+  ASSERT_EQ(plan.admits.size(), 3u);
+  ExpectLandsDesired(plan, desired);
+}
+
+TEST_F(DeltaPlanTest, IdenticalLayoutAllKept) {
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());
+  const std::vector<SlotTarget> desired = {{800, 0}, {816, 1}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.kept, 2);
+  EXPECT_TRUE(plan.evicts.empty());
+  EXPECT_TRUE(plan.shuffles.empty());
+  EXPECT_TRUE(plan.admits.empty());
+}
+
+TEST_F(DeltaPlanTest, CooledBlocksEvicted) {
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());
+  const std::vector<SlotTarget> desired = {{800, 0}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.kept, 1);
+  ASSERT_EQ(plan.evicts.size(), 1u);
+  EXPECT_EQ(plan.evicts[0], 816);
+  ExpectLandsDesired(plan, desired);
+}
+
+TEST_F(DeltaPlanTest, ChainShufflesDependencyOrdered) {
+  // X wants Y's slot; Y wants a free slot. Y must move first.
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());  // X
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());  // Y
+  const std::vector<SlotTarget> desired = {{800, 1}, {816, 2}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.kept, 0);
+  EXPECT_EQ(plan.spare_breaks, 0);
+  ASSERT_EQ(plan.shuffles.size(), 2u);
+  EXPECT_EQ(plan.shuffles[0].original, 816);
+  EXPECT_EQ(plan.shuffles[0].to_slot, 2);
+  EXPECT_EQ(plan.shuffles[1].original, 800);
+  EXPECT_EQ(plan.shuffles[1].to_slot, 1);
+  ExpectLandsDesired(plan, desired);
+}
+
+TEST_F(DeltaPlanTest, EvictFreesSlotForShuffle) {
+  // Z cools off; X shuffles into Z's old slot.
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());  // X
+  ASSERT_TRUE(table_.Insert(832, Slot(1)).ok());  // Z (cooling)
+  const std::vector<SlotTarget> desired = {{800, 1}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  ASSERT_EQ(plan.evicts.size(), 1u);
+  EXPECT_EQ(plan.evicts[0], 832);
+  ASSERT_EQ(plan.shuffles.size(), 1u);
+  EXPECT_EQ(plan.shuffles[0].original, 800);
+  ExpectLandsDesired(plan, desired);
+}
+
+TEST_F(DeltaPlanTest, CycleBrokenViaSpareSlot) {
+  // X and Y swap slots: a pure 2-cycle. With 8 slots there is a spare, so
+  // the member targeting the smaller slot hops there first.
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());  // X
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());  // Y
+  const std::vector<SlotTarget> desired = {{800, 1}, {816, 0}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.spare_breaks, 1);
+  EXPECT_EQ(plan.demotions, 0);
+  EXPECT_TRUE(plan.evicts.empty());
+  EXPECT_TRUE(plan.admits.empty());
+  // Three hops: Y to a spare, X into slot 1, Y into slot 0.
+  ASSERT_EQ(plan.shuffles.size(), 3u);
+  EXPECT_EQ(plan.shuffles[0].original, 816);
+  EXPECT_GE(plan.shuffles[0].to_slot, 2);  // some spare slot
+  EXPECT_EQ(plan.shuffles[1].original, 800);
+  EXPECT_EQ(plan.shuffles[1].to_slot, 1);
+  EXPECT_EQ(plan.shuffles[2].original, 816);
+  EXPECT_EQ(plan.shuffles[2].to_slot, 0);
+  ExpectLandsDesired(plan, desired);
+}
+
+TEST_F(DeltaPlanTest, ThreeCycleBrokenWithOneSpare) {
+  // X -> Y's slot -> Z's slot -> X's slot: a 3-cycle needs only one spare.
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());
+  ASSERT_TRUE(table_.Insert(832, Slot(2)).ok());
+  const std::vector<SlotTarget> desired = {{800, 1}, {816, 2}, {832, 0}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.spare_breaks, 1);
+  EXPECT_EQ(plan.shuffles.size(), 4u);  // one extra hop for the break
+  ExpectLandsDesired(plan, desired);
+}
+
+TEST_F(DeltaPlanTest, CycleWithoutSpareDemotedToEvictAdmit) {
+  // A fully desired region (every slot wanted) leaves no spare: the swap
+  // cycle is broken by evicting one member and re-admitting it.
+  ReservedRegion tiny(disk::DriveSpec::TestDrive().geometry,
+                      /*data_first_sector=*/1000, /*slot_count=*/2,
+                      /*block_sectors=*/16);
+  ASSERT_TRUE(table_.Insert(800, tiny.SlotSector(0)).ok());
+  ASSERT_TRUE(table_.Insert(816, tiny.SlotSector(1)).ok());
+  const std::vector<SlotTarget> desired = {{800, 1}, {816, 0}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, tiny);
+  EXPECT_EQ(plan.spare_breaks, 0);
+  EXPECT_EQ(plan.demotions, 1);
+  // The member targeting slot 0 (Y=816) is demoted.
+  ASSERT_EQ(plan.evicts.size(), 1u);
+  EXPECT_EQ(plan.evicts[0], 816);
+  ASSERT_EQ(plan.admits.size(), 1u);
+  EXPECT_EQ(plan.admits[0].original, 816);
+  EXPECT_EQ(plan.admits[0].to_slot, 0);
+  ASSERT_EQ(plan.shuffles.size(), 1u);
+  EXPECT_EQ(plan.shuffles[0].original, 800);
+}
+
+TEST_F(DeltaPlanTest, EntryOutsideSlotGridIsEvicted) {
+  // A relocated address not on the slot grid (stale geometry) is cleaned
+  // out even if the block is still wanted, then re-admitted.
+  ASSERT_TRUE(table_.Insert(800, Slot(0) + 3).ok());
+  const std::vector<SlotTarget> desired = {{800, 0}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  ASSERT_EQ(plan.evicts.size(), 1u);
+  EXPECT_EQ(plan.evicts[0], 800);
+  ASSERT_EQ(plan.admits.size(), 1u);
+  EXPECT_EQ(plan.admits[0].original, 800);
+}
+
+TEST_F(DeltaPlanTest, CanonicalAcrossEntryOrder) {
+  driver::BlockTable other(/*capacity=*/16);
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());
+  ASSERT_TRUE(table_.Insert(832, Slot(2)).ok());
+  ASSERT_TRUE(other.Insert(832, Slot(2)).ok());
+  ASSERT_TRUE(other.Insert(800, Slot(0)).ok());
+  ASSERT_TRUE(other.Insert(816, Slot(1)).ok());
+  const std::vector<SlotTarget> desired = {{816, 0}, {800, 1}, {848, 3}};
+  const DeltaPlan a = BuildDeltaPlan(table_, desired, region_);
+  const DeltaPlan b = BuildDeltaPlan(other, desired, region_);
+  ASSERT_EQ(a.evicts.size(), b.evicts.size());
+  for (std::size_t i = 0; i < a.evicts.size(); ++i) {
+    EXPECT_EQ(a.evicts[i], b.evicts[i]);
+  }
+  ASSERT_EQ(a.shuffles.size(), b.shuffles.size());
+  for (std::size_t i = 0; i < a.shuffles.size(); ++i) {
+    EXPECT_EQ(a.shuffles[i].original, b.shuffles[i].original);
+    EXPECT_EQ(a.shuffles[i].to_slot, b.shuffles[i].to_slot);
+  }
+  ASSERT_EQ(a.admits.size(), b.admits.size());
+  for (std::size_t i = 0; i < a.admits.size(); ++i) {
+    EXPECT_EQ(a.admits[i].original, b.admits[i].original);
+    EXPECT_EQ(a.admits[i].to_slot, b.admits[i].to_slot);
+  }
+  EXPECT_EQ(a.kept, b.kept);
+  EXPECT_EQ(a.spare_breaks, b.spare_breaks);
+  EXPECT_EQ(a.demotions, b.demotions);
+}
+
+TEST_F(DeltaPlanTest, MixedPassLandsDesiredLayout) {
+  // Kept + shuffle + evict + admit all in one plan.
+  ASSERT_TRUE(table_.Insert(800, Slot(0)).ok());   // kept
+  ASSERT_TRUE(table_.Insert(816, Slot(1)).ok());   // shuffled to 3
+  ASSERT_TRUE(table_.Insert(832, Slot(2)).ok());   // evicted
+  const std::vector<SlotTarget> desired = {{800, 0}, {816, 3}, {848, 1}};
+  const DeltaPlan plan = BuildDeltaPlan(table_, desired, region_);
+  EXPECT_EQ(plan.kept, 1);
+  EXPECT_EQ(plan.evicts.size(), 1u);
+  EXPECT_EQ(plan.shuffles.size(), 1u);
+  EXPECT_EQ(plan.admits.size(), 1u);
+  ExpectLandsDesired(plan, desired);
+}
+
+}  // namespace
+}  // namespace abr::placement

@@ -6,13 +6,13 @@
 //                 [--days=N] [--policy=organpipe|interleaved|serial]
 //                 [--blocks=N] [--cylinders=N] [--scheduler=scan|fcfs|
 //                 sstf|clook] [--seed=N] [--decay=F] [--replicas=R]
-//                 [--jobs=N]
+//                 [--jobs=N] [--no-incremental]
 //   abrsim sweep  [--disk=...] [--workload=...] [--seed=N]
 //                 [--blocks-list=a,b,c,...] [--jobs=N]
 //   abrsim policy [--disk=...] [--workload=...] [--days=N] [--seed=N]
 //                 [--jobs=N]
 //   abrsim crashday [--fault-seed=N] [--crash-points=N] [--replicas=R]
-//                 [--jobs=N] [--quick]
+//                 [--jobs=N] [--quick] [--no-incremental]
 //
 // Every run prints paper-style tables on stdout.
 
@@ -134,6 +134,11 @@ core::ExperimentConfig BuildConfig(Flags& flags) {
     std::exit(2);
   }
 
+  // Pins the arranger to the full clean-and-recopy rebuild instead of the
+  // incremental delta plan (A/B runs of the paper's original pass).
+  config.system.arranger.incremental =
+      flags.Get("no-incremental", "") != "true";
+
   const std::string scheduler = flags.Get("scheduler", "scan");
   if (scheduler == "scan") {
     config.system.driver.scheduler = sched::SchedulerKind::kScan;
@@ -225,6 +230,9 @@ int CmdOnOff(Flags& flags) {
               sched::SchedulerKindName(config.system.driver.scheduler),
               config.rearrange_blocks, config.reserved_cylinders);
   if (replicas > 1) std::printf("  replicas=%d", replicas);
+  if (!config.system.arranger.incremental) {
+    std::printf("  arranger=full-rebuild");
+  }
   std::printf("\n\n");
 
   // Replication 0 keeps the config's own seed, so the default
@@ -262,6 +270,43 @@ int CmdOnOff(Flags& flags) {
               Table::Fmt(row.wait_ms.avg())});
   }
   std::printf("%s", t.ToString().c_str());
+
+  // The arrangement (or clean) pass that prepared each measured day: the
+  // delta-plan outcome counters plus the movement I/O it cost. Off days run
+  // a clean pass, so their removals land in "evicted". Values are summed
+  // across replicas in replica order — output stays byte-identical for
+  // every --jobs value.
+  Table a({"pass before", "kept", "shuffled", "evicted", "admitted",
+           "skipped", "internal ios", "io ms"});
+  const auto add_rows = [&](const char* label,
+                            const std::vector<core::DayMetrics>& daysv) {
+    for (std::int32_t d = 0; d < days; ++d) {
+      placement::ArrangeResult sum;
+      for (std::size_t r = static_cast<std::size_t>(d); r < daysv.size();
+           r += static_cast<std::size_t>(days)) {
+        const placement::ArrangeResult& ar = daysv[r].arrange;
+        sum.kept += ar.kept;
+        sum.shuffled += ar.shuffled;
+        sum.evicted += ar.evicted;
+        sum.admitted += ar.admitted;
+        sum.skipped += ar.skipped;
+        sum.internal_ios += ar.internal_ios;
+        sum.io_time += ar.io_time;
+      }
+      char name[16];
+      std::snprintf(name, sizeof(name), "%s %d", label, d + 1);
+      a.AddRow({name, Table::Fmt((std::int64_t)sum.kept),
+                Table::Fmt((std::int64_t)sum.shuffled),
+                Table::Fmt((std::int64_t)sum.evicted),
+                Table::Fmt((std::int64_t)sum.admitted),
+                Table::Fmt((std::int64_t)sum.skipped),
+                Table::Fmt(sum.internal_ios),
+                Table::Fmt(MicrosToMillis(sum.io_time), 1)});
+    }
+  };
+  add_rows("Off", merged.off_days);
+  add_rows("On", merged.on_days);
+  std::printf("\n%s", a.ToString().c_str());
   return 0;
 }
 
@@ -383,6 +428,7 @@ int CmdCrashDay(Flags& flags) {
   const std::int32_t jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   const bool quick = flags.Get("quick", "") == "true";
+  const bool incremental = flags.Get("no-incremental", "") != "true";
   flags.CheckAllUsed();
   if (replicas < 1 || jobs < 1 || crash_points < 0) {
     std::fprintf(stderr, "--replicas/--jobs must be >= 1, "
@@ -390,9 +436,10 @@ int CmdCrashDay(Flags& flags) {
     return 2;
   }
 
-  std::printf("fault-seed=%llu  crash-points=%d  replicas=%d%s\n\n",
+  std::printf("fault-seed=%llu  crash-points=%d  replicas=%d%s%s\n\n",
               static_cast<unsigned long long>(fault_seed), crash_points,
-              replicas, quick ? "  (quick)" : "");
+              replicas, quick ? "  (quick)" : "",
+              incremental ? "" : "  arranger=full-rebuild");
 
   // Each replica is a fully independent seeded run; results land in a
   // replica-indexed vector, so the table below is byte-identical for
@@ -402,6 +449,7 @@ int CmdCrashDay(Flags& flags) {
     fault::CrashHarnessConfig config;
     config.seed = fault_seed + static_cast<std::uint64_t>(index) * 0x9E37;
     config.crash_points = crash_points;
+    config.incremental = incremental;
     if (quick) config = config.Quick();
     fault::CrashHarness harness(config);
     return harness.Run();
@@ -473,6 +521,8 @@ void Usage() {
       "  --days=N --policy=organpipe|interleaved|serial --blocks=N\n"
       "  --cylinders=N --scheduler=scan|fcfs|sstf|clook --seed=N "
       "--decay=F\n"
+      "  --no-incremental  full clean-and-recopy rearrangement passes\n"
+      "    instead of the incremental delta plan (also for crashday)\n"
       "sweep only: --blocks-list=a,b,c\n"
       "sweep/policy: --jobs=N  run grid points on N worker threads\n"
       "  (output is byte-identical for every N; N=1 runs inline)\n"

@@ -7,6 +7,11 @@ disappears from the current run. Metrics new in the current run are
 reported but never fail the check, so adding benchmarks does not require
 touching this tool.
 
+A baseline that does not exist yet is not a regression: the first run of a
+new benchmark has nothing to compare against, so a missing BASELINE.json
+prints a warning and exits 0 (commit the fresh snapshot to arm the check).
+A missing or unreadable CURRENT.json is always an error.
+
 Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
 Exit status: 0 when within tolerance, 1 on regression, 2 on usage errors.
 """
@@ -16,10 +21,14 @@ import json
 import sys
 
 
-def load_metrics(path):
+def load_metrics(path, missing_ok=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        if missing_ok:
+            return None, None
+        sys.exit(f"bench_diff: cannot read {path}: file not found")
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"bench_diff: cannot read {path}: {e}")
     metrics = doc.get("metrics")
@@ -50,8 +59,14 @@ def main():
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
 
-    base_doc, base = load_metrics(args.baseline)
+    base_doc, base = load_metrics(args.baseline, missing_ok=True)
     cur_doc, cur = load_metrics(args.current)
+    if base_doc is None:
+        print(
+            f"bench_diff: WARNING: no baseline at {args.baseline}; "
+            f"nothing to compare — commit {args.current} to arm the check"
+        )
+        return 0
 
     print(
         f"bench_diff: {base_doc.get('bench', '?')}: "

@@ -34,13 +34,17 @@ else
   cmake -B build-asan -S . -DABR_SANITIZE=address >/dev/null
   cmake --build build-asan -j --target \
     fault_plan_test faulty_disk_test crash_harness_test \
-    adaptive_driver_test block_table_test abrsim >/dev/null
+    adaptive_driver_test block_table_test abrsim bench_arrange >/dev/null
   ./build-asan/tests/fault_plan_test
   ./build-asan/tests/faulty_disk_test
   ./build-asan/tests/crash_harness_test
   ./build-asan/tests/adaptive_driver_test
   ./build-asan/tests/block_table_test
   ./build-asan/tools/abrsim crashday --quick --replicas=2
+  # Incremental arranger vs full-rebuild oracle in lockstep — the move
+  # chains and deferred-retry paths under ASan. Run from the build dir so
+  # its BENCH_arrange.json does not clobber the repo-root baseline.
+  (cd build-asan && ./bench/bench_arrange --quick)
 fi
 
 if [[ "$NO_TSAN" == 1 ]]; then
@@ -72,17 +76,21 @@ else
   # unoptimized or miniature run measures a different workload. A
   # dedicated Release tree keeps the default build dir's flags alone.
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-bench -j --target bench_micro bench_e2e >/dev/null
+  cmake --build build-bench -j --target bench_micro bench_e2e \
+    bench_arrange >/dev/null
   ABR_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
   export ABR_GIT_REV
   # Run from the build dir so the fresh JSONs do not clobber the
   # committed repo-root baselines they are compared against.
   (cd build-bench && ./bench/bench_micro)
   (cd build-bench && ./bench/bench_e2e)
+  (cd build-bench && ./bench/bench_arrange)
   python3 tools/bench_diff.py BENCH_micro.json build-bench/BENCH_micro.json \
     --tolerance 0.10
   python3 tools/bench_diff.py BENCH_e2e.json build-bench/BENCH_e2e.json \
     --tolerance 0.10
+  python3 tools/bench_diff.py BENCH_arrange.json \
+    build-bench/BENCH_arrange.json --tolerance 0.10
 fi
 
 echo "== all checks passed =="
