@@ -33,13 +33,18 @@ inline void Banner(const std::string& title) {
 /// One measured quantity for the machine-readable perf record every bench
 /// binary can emit. `speedup` compares against a recorded baseline (the
 /// pre-optimization implementation re-run in the same process); 0 means
-/// "no baseline for this metric".
+/// "no baseline for this metric". `kind` disambiguates what a multi-thread
+/// speedup measures: "replication" (independent seeded copies of the same
+/// device, throughput scaling only) vs "scaling" (one sharded device
+/// partitioned across workers — the deterministic fleet engine). Empty for
+/// single-implementation micro metrics.
 struct BenchMetric {
   std::string name;
   double ns_per_op = 0;
   double ops_per_sec = 0;  // requests/sec for request-shaped metrics
   int threads = 1;
   double speedup = 0;
+  std::string kind;
 };
 
 /// Writes BENCH_<bench>.json in the working directory: one object per
@@ -70,9 +75,11 @@ inline void EmitJson(const std::string& bench,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.2f, "
                  "\"ops_per_sec\": %.0f, \"threads\": %d, "
-                 "\"speedup\": %.2f}%s\n",
+                 "\"speedup\": %.2f",
                  m.name.c_str(), m.ns_per_op, m.ops_per_sec, m.threads,
-                 m.speedup, i + 1 < metrics.size() ? "," : "");
+                 m.speedup);
+    if (!m.kind.empty()) std::fprintf(f, ", \"kind\": \"%s\"", m.kind.c_str());
+    std::fprintf(f, "}%s\n", i + 1 < metrics.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

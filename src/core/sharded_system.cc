@@ -1,0 +1,461 @@
+#include "core/sharded_system.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace abr::core {
+
+// --- ShardedSystem ---------------------------------------------------------
+
+void ShardedSystem::Shard::OnIoComplete(const sim::CompletedIo& done) {
+  if (owner->merge_sink_ == nullptr) return;
+  owner->merger_.lane(index).push_back(done);
+}
+
+ShardedSystem::ShardedSystem(const ShardedSystemConfig& config, Deps deps)
+    : config_(config),
+      map_(std::max<std::int32_t>(1, config.shards), 0),
+      merger_(std::max<std::int32_t>(1, config.shards)) {
+  config_.shards = std::max<std::int32_t>(1, config_.shards);
+  config_.threads = std::max<std::int32_t>(1, config_.threads);
+  if (config_.epoch <= 0) config_.epoch = 2 * kMinute;
+  // Size each member's table to exactly what its arranger moves, the same
+  // tight sizing Experiment::Setup uses.
+  config_.system.driver.block_table_capacity = config_.rearrange_blocks;
+  config_.system.rearrange_blocks = config_.rearrange_blocks;
+
+  StatusOr<disk::DiskLabel> label = disk::DiskLabel::Rearranged(
+      config_.drive.geometry, config_.reserved_cylinders);
+  if (!label.ok()) {
+    init_error_ = label.status();
+    return;
+  }
+  init_error_ = label->PartitionEvenly(1);
+  if (!init_error_.ok()) return;
+  member_label_ = std::move(*label);
+
+  const std::int32_t block_sectors =
+      config_.system.driver.block_size_bytes /
+      config_.drive.geometry.bytes_per_sector;
+  if (block_sectors <= 0) {
+    init_error_ = Status::InvalidArgument("block smaller than a sector");
+    return;
+  }
+  map_ = sim::ShardMap(
+      config_.shards,
+      member_label_.partitions()[0].sector_count / block_sectors);
+
+  const bool external = !deps.disks.empty() || !deps.stores.empty();
+  if (external &&
+      (deps.disks.size() != static_cast<std::size_t>(config_.shards) ||
+       deps.stores.size() != static_cast<std::size_t>(config_.shards))) {
+    init_error_ = Status::InvalidArgument(
+        "Deps must supply exactly one disk and one store per shard");
+    return;
+  }
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (std::int32_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->owner = this;
+    shard->index = s;
+    if (external) {
+      shard->disk = deps.disks[static_cast<std::size_t>(s)];
+      shard->store = deps.stores[static_cast<std::size_t>(s)];
+    } else {
+      shard->owned_disk = std::make_unique<disk::Disk>(config_.drive);
+      shard->owned_store = std::make_unique<driver::InMemoryTableStore>();
+      shard->disk = shard->owned_disk.get();
+      shard->store = shard->owned_store.get();
+    }
+    shard->system = std::make_unique<AdaptiveSystem>(
+        shard->disk, member_label_, config_.system, shard->store);
+    shards_.push_back(std::move(shard));
+  }
+
+  if (config_.threads > 1 && config_.shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(
+        std::min(config_.threads, config_.shards)));
+  }
+}
+
+ShardedSystem::~ShardedSystem() = default;
+
+Status ShardedSystem::Start(bool after_crash) {
+  if (!init_error_.ok()) return init_error_;
+  if (started_) return Status::FailedPrecondition("Start() already ran");
+  for (auto& shard : shards_) {
+    ABR_RETURN_IF_ERROR(shard->system->Start(after_crash));
+    shard->system->driver().set_client_sink(shard.get());
+  }
+  started_ = true;
+  advanced_to_ = now();
+  last_submit_time_ = advanced_to_;
+  return Status::Ok();
+}
+
+Status ShardedSystem::SubmitBatch(const workload::TraceRecord* records,
+                                  std::size_t n) {
+  if (!started_) return Status::FailedPrecondition("Start() has not run");
+  for (std::size_t i = 0; i < n; ++i) {
+    const workload::TraceRecord& rec = records[i];
+    if (rec.device != 0) {
+      return Status::InvalidArgument("sharded device has one partition");
+    }
+    if (!map_.Contains(rec.block)) {
+      return Status::OutOfRange("block outside the virtual device");
+    }
+    if (rec.time < last_submit_time_) {
+      return Status::InvalidArgument("requests must be time-ordered");
+    }
+    last_submit_time_ = rec.time;
+    workload::TraceRecord local = rec;
+    local.block = map_.LocalOf(rec.block);
+    shards_[static_cast<std::size_t>(map_.ShardOf(rec.block))]
+        ->pending.push_back(local);
+  }
+  return Status::Ok();
+}
+
+void ShardedSystem::FlushPending() {
+  for (auto& shard : shards_) {
+    if (shard->pending.empty()) continue;
+    shard->run_queue.insert(shard->run_queue.end(), shard->pending.begin(),
+                            shard->pending.end());
+    shard->pending.clear();
+  }
+}
+
+void ShardedSystem::StepShard(Shard& shard, Micros target) {
+  shard.step_status = Status::Ok();
+  driver::AdaptiveDriver& drv = shard.system->driver();
+  std::vector<workload::TraceRecord>& q = shard.run_queue;
+  while (shard.run_cursor < q.size() && q[shard.run_cursor].time <= target) {
+    const workload::TraceRecord& rec = q[shard.run_cursor++];
+    // A crashed member is a dead machine: its requests are simply lost.
+    if (drv.halted()) continue;
+    Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
+    if (!st.ok()) {
+      shard.step_status = st;
+      return;
+    }
+  }
+  if (!drv.halted() && target > drv.now()) drv.AdvanceTo(target);
+  // The barrier doubles as the monitoring tick: drain this member's
+  // request table into its analyzer (epoch ~= the 2-minute period).
+  shard.system->PeriodicTick(std::max(target, drv.now()));
+  if (shard.run_cursor == q.size()) {
+    q.clear();
+    shard.run_cursor = 0;
+  } else if (shard.run_cursor > 4096 && shard.run_cursor * 2 > q.size()) {
+    q.erase(q.begin(),
+            q.begin() + static_cast<std::ptrdiff_t>(shard.run_cursor));
+    shard.run_cursor = 0;
+  }
+}
+
+template <typename Fn>
+void ShardedSystem::ForEachShard(Fn&& fn) {
+  if (pool_ != nullptr) {
+    step_futures_.clear();
+    for (auto& shard : shards_) {
+      Shard* p = shard.get();
+      step_futures_.push_back(pool_->Submit([&fn, p]() { fn(*p); }));
+    }
+    for (auto& f : step_futures_) f.get();
+    step_futures_.clear();
+  } else {
+    for (auto& shard : shards_) fn(*shard);
+  }
+}
+
+Status ShardedSystem::BeginStep(Micros t) {
+  if (!started_) return Status::FailedPrecondition("Start() has not run");
+  if (step_active_) return Status::FailedPrecondition("step already active");
+  if (t < advanced_to_) t = advanced_to_;
+  step_target_ = std::min(t, advanced_to_ + config_.epoch);
+  FlushPending();
+  step_active_ = true;
+  if (pool_ != nullptr) {
+    step_futures_.clear();
+    const Micros target = step_target_;
+    for (auto& shard : shards_) {
+      Shard* p = shard.get();
+      step_futures_.push_back(
+          pool_->Submit([p, target]() { StepShard(*p, target); }));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedSystem::EndStep() {
+  if (!step_active_) return Status::FailedPrecondition("no active step");
+  if (pool_ != nullptr) {
+    for (auto& f : step_futures_) f.get();
+    step_futures_.clear();
+  } else {
+    for (auto& shard : shards_) StepShard(*shard, step_target_);
+  }
+  step_active_ = false;
+  advanced_to_ = step_target_;
+  merger_.DrainInto(merge_sink_);
+  for (const auto& shard : shards_) {
+    if (!shard->step_status.ok()) return shard->step_status;
+  }
+  return Status::Ok();
+}
+
+Status ShardedSystem::AdvanceTo(Micros t) {
+  while (advanced_to_ < t) {
+    ABR_RETURN_IF_ERROR(BeginStep(t));
+    ABR_RETURN_IF_ERROR(EndStep());
+  }
+  return Status::Ok();
+}
+
+StatusOr<Micros> ShardedSystem::Drain() {
+  if (!started_) return Status::FailedPrecondition("Start() has not run");
+  if (step_active_) return Status::FailedPrecondition("step active");
+  FlushPending();
+  ForEachShard([](Shard& shard) {
+    shard.step_status = Status::Ok();
+    driver::AdaptiveDriver& drv = shard.system->driver();
+    // Release any still-queued requests, then run the member dry and take
+    // a final monitoring tick at its own quiesce time.
+    std::vector<workload::TraceRecord>& q = shard.run_queue;
+    while (shard.run_cursor < q.size()) {
+      const workload::TraceRecord& rec = q[shard.run_cursor++];
+      if (drv.halted()) continue;
+      Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
+      if (!st.ok()) {
+        shard.step_status = st;
+        break;
+      }
+    }
+    q.clear();
+    shard.run_cursor = 0;
+    shard.drain_time = drv.Drain();
+    shard.system->PeriodicTick(drv.now());
+  });
+  merger_.DrainInto(merge_sink_);
+  Micros latest = advanced_to_;
+  for (const auto& shard : shards_) {
+    if (!shard->step_status.ok()) return shard->step_status;
+    latest = std::max(latest, shard->drain_time);
+  }
+  advanced_to_ = std::max(advanced_to_, now());
+  return latest;
+}
+
+Micros ShardedSystem::now() const {
+  Micros t = 0;
+  for (const auto& shard : shards_) {
+    t = std::max(t, shard->system->driver().now());
+  }
+  return t;
+}
+
+StatusOr<placement::ArrangeResult> ShardedSystem::RearrangeAll() {
+  if (!started_) return Status::FailedPrecondition("Start() has not run");
+  if (step_active_) return Status::FailedPrecondition("step active");
+  ForEachShard([](Shard& shard) {
+    shard.pass_result = shard.system->Rearrange();
+  });
+  merger_.DrainInto(merge_sink_);
+  placement::ArrangeResult total;
+  for (const auto& shard : shards_) {
+    if (!shard->pass_result.ok()) return shard->pass_result.status();
+    const placement::ArrangeResult& r = *shard->pass_result;
+    total.cleaned += r.cleaned;
+    total.copied += r.copied;
+    total.skipped += r.skipped;
+    total.aborted += r.aborted;
+    total.kept += r.kept;
+    total.shuffled += r.shuffled;
+    total.evicted += r.evicted;
+    total.admitted += r.admitted;
+    total.halted = total.halted || r.halted;
+    total.internal_ios += r.internal_ios;
+    total.io_time += r.io_time;
+  }
+  advanced_to_ = std::max(advanced_to_, now());
+  return total;
+}
+
+StatusOr<placement::ArrangeResult> ShardedSystem::CleanAll() {
+  if (!started_) return Status::FailedPrecondition("Start() has not run");
+  if (step_active_) return Status::FailedPrecondition("step active");
+  ForEachShard([](Shard& shard) {
+    driver::AdaptiveDriver& drv = shard.system->driver();
+    const std::int32_t before = drv.block_table().size();
+    Status st = shard.system->Clean();
+    if (!st.ok()) {
+      shard.pass_result = st;
+      return;
+    }
+    placement::ArrangeResult r;
+    r.cleaned = before - drv.block_table().size();
+    r.evicted = r.cleaned;
+    r.halted = drv.halted();
+    shard.pass_result = r;
+  });
+  merger_.DrainInto(merge_sink_);
+  placement::ArrangeResult total;
+  for (const auto& shard : shards_) {
+    if (!shard->pass_result.ok()) return shard->pass_result.status();
+    total.cleaned += shard->pass_result->cleaned;
+    total.evicted += shard->pass_result->evicted;
+    total.halted = total.halted || shard->pass_result->halted;
+  }
+  advanced_to_ = std::max(advanced_to_, now());
+  return total;
+}
+
+void ShardedSystem::ResetCounts() {
+  for (auto& shard : shards_) shard->system->ResetCounts();
+}
+
+void ShardedSystem::set_rearrange_blocks(std::int32_t n) {
+  config_.rearrange_blocks = n;
+  config_.system.rearrange_blocks = n;
+  for (auto& shard : shards_) shard->system->set_rearrange_blocks(n);
+}
+
+driver::PerfSnapshot ShardedSystem::ReadStatsMerged(bool clear) {
+  driver::PerfSnapshot merged;
+  for (auto& shard : shards_) {
+    merged.MergeFrom(shard->system->driver().IoctlReadStats(clear));
+  }
+  return merged;
+}
+
+std::vector<analyzer::HotBlock> ShardedSystem::HotList(std::size_t k) const {
+  std::vector<std::vector<analyzer::HotBlock>> lists;
+  lists.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    lists.push_back(shard->system->analyzer().HotList(k));
+  }
+  std::vector<std::size_t> heads(lists.size(), 0);
+  std::vector<analyzer::HotBlock> merged;
+  merged.reserve(k);
+  while (merged.size() < k) {
+    std::int32_t best = -1;
+    for (std::int32_t s = 0; s < shards(); ++s) {
+      const auto& list = lists[static_cast<std::size_t>(s)];
+      const std::size_t h = heads[static_cast<std::size_t>(s)];
+      if (h >= list.size()) continue;
+      // Highest count wins; ties keep the lower shard.
+      if (best < 0 ||
+          list[h].count >
+              lists[static_cast<std::size_t>(best)]
+                   [heads[static_cast<std::size_t>(best)]].count) {
+        best = s;
+      }
+    }
+    if (best < 0) break;
+    analyzer::HotBlock hot =
+        lists[static_cast<std::size_t>(best)]
+             [heads[static_cast<std::size_t>(best)]++];
+    hot.id.block = map_.GlobalOf(best, hot.id.block);
+    merged.push_back(hot);
+  }
+  return merged;
+}
+
+bool ShardedSystem::halted() const {
+  for (const auto& shard : shards_) {
+    if (shard->system->driver().halted()) return true;
+  }
+  return false;
+}
+
+// --- ShardedDayRunner ------------------------------------------------------
+
+ShardedDayRunner::ShardedDayRunner(ShardedSystem* system,
+                                   const ShardedDayConfig& config)
+    : system_(system),
+      config_(config),
+      workload_(/*device=*/0, system->device_blocks(), config.synthetic,
+                config.seed) {}
+
+StatusOr<DayMetrics> ShardedDayRunner::RunMeasuredDay() {
+  ShardedSystem& sys = *system_;
+  (void)sys.ReadStatsMerged(/*clear=*/true);
+  const Micros start = sys.now();
+  const Micros end = start + config_.day_length;
+  const Micros epoch = sys.config().epoch;
+
+  // Chunks are epoch-length *durations* from day start, so the generated
+  // sequence (blocks, types, intra-day offsets) is the same for every
+  // shard count and thread count; only the absolute day start shifts.
+  front_.Clear();
+  Micros cur = start;
+  Micros cur_end = std::min(end, start + epoch);
+  workload_.Generate(cur, cur_end, front_);
+  requests_ += static_cast<std::int64_t>(front_.size());
+  ABR_RETURN_IF_ERROR(
+      sys.SubmitBatch(front_.records().data(), front_.size()));
+
+  while (cur < end) {
+    // Shards service [cur, cur_end) while the coordinator generates the
+    // next chunk — the double-buffered pipeline keeping generation off
+    // the parallel critical path.
+    ABR_RETURN_IF_ERROR(sys.BeginStep(cur_end));
+    const Micros next_end = std::min(end, cur_end + epoch);
+    back_.Clear();
+    if (cur_end < end) workload_.Generate(cur_end, next_end, back_);
+    ABR_RETURN_IF_ERROR(sys.EndStep());
+    if (!back_.empty()) {
+      requests_ += static_cast<std::int64_t>(back_.size());
+      ABR_RETURN_IF_ERROR(
+          sys.SubmitBatch(back_.records().data(), back_.size()));
+    }
+    cur = cur_end;
+    cur_end = next_end;
+  }
+
+  StatusOr<Micros> quiesce = sys.Drain();
+  if (!quiesce.ok()) return quiesce.status();
+  ++day_;
+  DayMetrics metrics =
+      DayMetrics::From(sys.ReadStatsMerged(/*clear=*/true), sys.seek_model());
+  metrics.arrange = last_arrange_;
+  last_arrange_ = placement::ArrangeResult{};
+  return metrics;
+}
+
+Status ShardedDayRunner::RearrangeForNextDay() {
+  StatusOr<placement::ArrangeResult> result = system_->RearrangeAll();
+  if (result.ok()) last_arrange_ = *result;
+  return result.status();
+}
+
+Status ShardedDayRunner::CleanForNextDay() {
+  StatusOr<placement::ArrangeResult> result = system_->CleanAll();
+  if (result.ok()) last_arrange_ = *result;
+  return result.status();
+}
+
+StatusOr<ShardedOnOffResult> RunShardedOnOff(ShardedDayRunner& runner,
+                                             std::int32_t days_per_side) {
+  // Warm-up day: traffic and counts only; we start "off" like the paper.
+  StatusOr<DayMetrics> warmup = runner.RunMeasuredDay();
+  if (!warmup.ok()) return warmup.status();
+
+  ShardedOnOffResult result;
+  const std::int32_t total_days = 2 * days_per_side;
+  for (std::int32_t i = 0; i < total_days; ++i) {
+    const bool on = (i % 2) == 1;
+    if (on) {
+      ABR_RETURN_IF_ERROR(runner.RearrangeForNextDay());
+    } else {
+      ABR_RETURN_IF_ERROR(runner.CleanForNextDay());
+    }
+    StatusOr<DayMetrics> day = runner.RunMeasuredDay();
+    if (!day.ok()) return day.status();
+    (on ? result.on_days : result.off_days).push_back(std::move(day.value()));
+  }
+  return result;
+}
+
+}  // namespace abr::core

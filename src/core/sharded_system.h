@@ -1,0 +1,293 @@
+#ifndef ABR_CORE_SHARDED_SYSTEM_H_
+#define ABR_CORE_SHARDED_SYSTEM_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_system.h"
+#include "core/metrics.h"
+#include "disk/drive_spec.h"
+#include "sim/completion_merge.h"
+#include "sim/shard_map.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace abr::core {
+
+/// Configuration of the sharded (fleet) simulation engine.
+struct ShardedSystemConfig {
+  /// Member drives the virtual device is striped across.
+  std::int32_t shards = 1;
+
+  /// Worker threads advancing shards in parallel. Results are byte-
+  /// identical for every value — 1 runs the same per-shard computations
+  /// inline in shard order.
+  std::int32_t threads = 1;
+
+  /// Barrier horizon: every shard advances to the same epoch boundary
+  /// before the coordinator merges completion streams and ticks the
+  /// monitors. Matches the paper's ~2-minute monitoring period so each
+  /// barrier doubles as the request-monitor drain.
+  Micros epoch = 2 * kMinute;
+
+  /// Member drive model (all members are identical).
+  disk::DriveSpec drive = disk::DriveSpec::ToshibaMK156F();
+
+  /// Hidden reserved cylinders per member.
+  std::int32_t reserved_cylinders = 48;
+
+  /// Hot blocks each member's arranger moves per pass (sizes each member's
+  /// block table, exactly as Experiment does).
+  std::int32_t rearrange_blocks = 1018;
+
+  /// Per-member adaptive system (driver/analyzer/policy/arranger) tuning.
+  AdaptiveSystemConfig system;
+};
+
+/// A fleet of identical member drives serving one virtual logical device.
+///
+/// The virtual device is a single drive's partition-sized block space,
+/// striped round-robin across the members (sim::ShardMap): block b lives
+/// on member b mod S as local block b div S. Each shard owns a complete
+/// per-member stack — Disk, scheduler/DiskSystem, AdaptiveDriver with its
+/// block table and monitors, analyzer, and arranger — so shards share no
+/// mutable state and can advance on independent worker threads.
+///
+/// Time runs on a conservative epoch-barrier protocol: the coordinator
+/// hands each shard its routed requests, every shard advances to the same
+/// epoch boundary (servicing its queue and draining its request monitor),
+/// and at the barrier the coordinator k-way merges the per-shard
+/// completion streams into global (completion_time, shard) order. All
+/// cross-shard folds (metrics, hot lists, arrangement results, the merged
+/// completion stream) happen on the coordinator in fixed shard order, so
+/// the entire run is a pure function of (config, request stream):
+/// byte-identical for any `threads`, with `shards=1` equal to a plain
+/// serial single-disk simulation.
+///
+/// What is *not* promised — and cannot be, for a physical reason — is
+/// identical metrics across different shard *counts*: seek distances and
+/// queueing depend on each member's head position and queue, so a 4-member
+/// fleet measures different physics than one drive. The request stream,
+/// however, is identical for every S: one generator over the fixed virtual
+/// block space, split by the shard map.
+class ShardedSystem {
+ public:
+  /// Externally-owned member resources (crash/reboot tests hand in
+  /// FaultyDisks and table stores that outlive the system). Either both
+  /// vectors are empty (the system owns default members) or both have
+  /// exactly `shards` entries.
+  struct Deps {
+    std::vector<disk::Disk*> disks;
+    std::vector<driver::BlockTableStore*> stores;
+  };
+
+  explicit ShardedSystem(const ShardedSystemConfig& config, Deps deps = {});
+  ~ShardedSystem();
+
+  ShardedSystem(const ShardedSystem&) = delete;
+  ShardedSystem& operator=(const ShardedSystem&) = delete;
+
+  /// Attaches every member driver (after_crash runs the conservative
+  /// recovery on each). Must be called once before submitting requests.
+  Status Start(bool after_crash = false);
+
+  std::int32_t shards() const { return map_.shards(); }
+  const sim::ShardMap& shard_map() const { return map_; }
+
+  /// Logical blocks of the virtual device (one member's partition size,
+  /// independent of the shard count — striping spreads the same space).
+  std::int64_t device_blocks() const { return map_.total_blocks(); }
+
+  const disk::SeekModel& seek_model() const { return config_.drive.seek_model; }
+
+  /// Registers the consumer of the globally time-ordered completion
+  /// stream (may be null). Only external requests' final outcomes are
+  /// forwarded, in (completion_time, shard) order.
+  void set_completion_sink(sim::ShardCompletionSink* sink) {
+    merge_sink_ = sink;
+  }
+
+  /// Routes virtual-device requests to their owning shards' staging
+  /// buffers. Times must be nondecreasing; records become visible to
+  /// shard workers at the next BeginStep().
+  Status SubmitBatch(const workload::TraceRecord* records, std::size_t n);
+  Status Submit(const workload::TraceRecord& record) {
+    return SubmitBatch(&record, 1);
+  }
+
+  /// Advances every shard to `t` in epoch barriers, merging completions
+  /// at each barrier.
+  Status AdvanceTo(Micros t);
+
+  /// One barrier step, split so a caller can overlap coordinator work
+  /// (e.g. generating the next epoch's requests) with shard execution:
+  /// BeginStep dispatches every shard toward min(t, one epoch ahead);
+  /// EndStep blocks until all shards reach the boundary, then merges.
+  /// With threads <= 1 the step runs inline in EndStep — same results.
+  Status BeginStep(Micros t);
+  Status EndStep();
+
+  /// Target time of the last completed step.
+  Micros advanced_to() const { return advanced_to_; }
+
+  /// Services everything still queued on every shard, runs a final
+  /// monitoring tick per shard, and merges the completion tail. Returns
+  /// the latest member completion time (the fleet quiesce point).
+  StatusOr<Micros> Drain();
+
+  /// Fleet clock: the furthest member's simulated time.
+  Micros now() const;
+
+  /// Runs each member's arrangement pass in parallel (every member
+  /// quiesces its own queue; shards share nothing) and folds the results
+  /// in shard order.
+  StatusOr<placement::ArrangeResult> RearrangeAll();
+
+  /// Empties every member's reserved area; the folded result reports the
+  /// evictions like Experiment::CleanForNextDay.
+  StatusOr<placement::ArrangeResult> CleanAll();
+
+  /// Resets every member's reference counts.
+  void ResetCounts();
+
+  /// Changes how many blocks each member's next pass moves.
+  void set_rearrange_blocks(std::int32_t n);
+
+  /// Folds every member's performance monitor into one fleet snapshot
+  /// (histogram merges + counter sums, in shard order).
+  driver::PerfSnapshot ReadStatsMerged(bool clear = true);
+
+  /// Fleet-wide ranked hot list: k-way merge of the members' top-k by
+  /// (count desc, shard asc), with block numbers mapped back to the
+  /// virtual device.
+  std::vector<analyzer::HotBlock> HotList(std::size_t k) const;
+
+  /// True iff any member crashed.
+  bool halted() const;
+
+  AdaptiveSystem& shard_system(std::int32_t s) { return *shards_[s]->system; }
+  driver::AdaptiveDriver& shard_driver(std::int32_t s) {
+    return shards_[s]->system->driver();
+  }
+  const ShardedSystemConfig& config() const { return config_; }
+
+ private:
+  /// One member drive's complete stack plus its coordinator-side buffers.
+  /// Worker tasks touch only their own Shard; the coordinator touches a
+  /// shard only between its dispatch and its join.
+  struct Shard : sim::CompletionSink {
+    ShardedSystem* owner = nullptr;
+    std::int32_t index = 0;
+    std::unique_ptr<disk::Disk> owned_disk;
+    std::unique_ptr<driver::InMemoryTableStore> owned_store;
+    disk::Disk* disk = nullptr;
+    driver::BlockTableStore* store = nullptr;
+    std::unique_ptr<AdaptiveSystem> system;
+    /// Coordinator staging: routed records not yet handed to the worker.
+    std::vector<workload::TraceRecord> pending;
+    /// Records the worker consumes this step (local block numbers).
+    std::vector<workload::TraceRecord> run_queue;
+    std::size_t run_cursor = 0;
+    /// Per-step results, folded by the coordinator at the barrier.
+    Status step_status;
+    StatusOr<placement::ArrangeResult> pass_result{placement::ArrangeResult{}};
+    Micros drain_time = 0;
+
+    /// Driver client sink: external completions land in this shard's
+    /// merge lane (worker thread; the lane is this shard's own).
+    void OnIoComplete(const sim::CompletedIo& done) override;
+  };
+
+  /// Worker body: submit this shard's due requests, advance to `target`,
+  /// tick the monitors.
+  static void StepShard(Shard& shard, Micros target);
+
+  /// Runs `fn(shard)` for every shard — on the pool when threads > 1,
+  /// inline in shard order otherwise — and returns after all finish.
+  /// `fn` must be exception-free (report through the Shard's result
+  /// slots).
+  template <typename Fn>
+  void ForEachShard(Fn&& fn);
+
+  /// Moves staged records into the shards' run queues.
+  void FlushPending();
+
+  ShardedSystemConfig config_;
+  sim::ShardMap map_;
+  disk::DiskLabel member_label_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  sim::CompletionMerger merger_;
+  sim::ShardCompletionSink* merge_sink_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> step_futures_;
+  Status init_error_;
+  bool started_ = false;
+  bool step_active_ = false;
+  Micros step_target_ = 0;
+  Micros advanced_to_ = 0;
+  Micros last_submit_time_ = 0;
+};
+
+/// Workload half of a sharded measured day.
+struct ShardedDayConfig {
+  workload::SyntheticConfig synthetic;
+  Micros day_length = 15 * kHour;
+  std::uint64_t seed = 0xAB12;
+};
+
+/// Runs measured days of synthetic traffic against a ShardedSystem with
+/// the paper's daily protocol (clear stats, traffic + monitoring ticks,
+/// quiesce, snapshot), pipelining generation one epoch ahead of execution:
+/// while the shards service epoch e, the coordinator generates epoch e+1.
+/// Generation chunks are day-relative (epoch-length durations from day
+/// start), so every shard count sees the identical per-day request
+/// sequence.
+class ShardedDayRunner {
+ public:
+  /// `system` must be Start()ed and outlive the runner.
+  ShardedDayRunner(ShardedSystem* system, const ShardedDayConfig& config);
+
+  /// One measured day. The returned metrics carry the ArrangeResult of
+  /// the pass that prepared the day.
+  StatusOr<DayMetrics> RunMeasuredDay();
+
+  /// End-of-day passes, mirroring Experiment.
+  Status RearrangeForNextDay();
+  Status CleanForNextDay();
+
+  const placement::ArrangeResult& last_arrange() const {
+    return last_arrange_;
+  }
+  std::int64_t requests_generated() const { return requests_; }
+  std::int32_t day() const { return day_; }
+  ShardedSystem& system() { return *system_; }
+
+ private:
+  ShardedSystem* system_;
+  ShardedDayConfig config_;
+  workload::SyntheticBlockWorkload workload_;
+  workload::Trace front_;  // chunk being executed
+  workload::Trace back_;   // chunk being generated
+  placement::ArrangeResult last_arrange_;
+  std::int64_t requests_ = 0;
+  std::int32_t day_ = 0;
+};
+
+/// Alternating off/on protocol over a sharded runner: a warm-up day
+/// (counts only), then days_per_side off days interleaved with on days,
+/// rearranging from the immediately preceding day's counts — the sharded
+/// twin of core::RunOnOffDays.
+struct ShardedOnOffResult {
+  std::vector<DayMetrics> off_days;
+  std::vector<DayMetrics> on_days;
+};
+StatusOr<ShardedOnOffResult> RunShardedOnOff(ShardedDayRunner& runner,
+                                             std::int32_t days_per_side);
+
+}  // namespace abr::core
+
+#endif  // ABR_CORE_SHARDED_SYSTEM_H_

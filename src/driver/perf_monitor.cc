@@ -31,6 +31,24 @@ void PerfSide::Clear() {
   buffer_hits = 0;
 }
 
+void PerfSide::MergeFrom(const PerfSide& other) {
+  fcfs_seek_distance.Merge(other.fcfs_seek_distance);
+  sched_seek_distance.Merge(other.sched_seek_distance);
+  service_time.Merge(other.service_time);
+  queue_time.Merge(other.queue_time);
+  rotation_total += other.rotation_total;
+  transfer_total += other.transfer_total;
+  buffer_hits += other.buffer_hits;
+}
+
+void PerfSnapshot::MergeFrom(const PerfSnapshot& other) {
+  reads.MergeFrom(other.reads);
+  writes.MergeFrom(other.writes);
+  all.MergeFrom(other.all);
+  faults.MergeFrom(other.faults);
+  moves.MergeFrom(other.moves);
+}
+
 void PerfMonitor::Advance(Chain& chain, Cylinder cylinder, PerfSide& side) {
   if (chain.has_prev) {
     side.fcfs_seek_distance.Add(std::abs(

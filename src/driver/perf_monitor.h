@@ -41,6 +41,11 @@ struct PerfSide {
 
   /// Resets everything.
   void Clear();
+
+  /// Accumulates another slice into this one (histogram merge + counter
+  /// sums). Used by the sharded engine to fold per-shard monitors into one
+  /// fleet-wide view in shard order.
+  void MergeFrom(const PerfSide& other);
 };
 
 /// Fault-path event counts (the crash/fault subsystem's view of the day):
@@ -56,6 +61,15 @@ struct FaultCounters {
   std::int64_t recovery_fallbacks = 0;  // attaches that lost the primary image
 
   void Clear() { *this = FaultCounters{}; }
+
+  void MergeFrom(const FaultCounters& o) {
+    media_errors += o.media_errors;
+    retries += o.retries;
+    failed_requests += o.failed_requests;
+    aborted_chains += o.aborted_chains;
+    recovery_dirtied += o.recovery_dirtied;
+    recovery_fallbacks += o.recovery_fallbacks;
+  }
 };
 
 /// Block-movement event counts: what the rearrangement machinery did to
@@ -68,6 +82,12 @@ struct MoveCounters {
   std::int64_t evictions = 0;   // blocks removed from the reserved area
 
   void Clear() { *this = MoveCounters{}; }
+
+  void MergeFrom(const MoveCounters& o) {
+    copy_ins += o.copy_ins;
+    shuffles += o.shuffles;
+    evictions += o.evictions;
+  }
 };
 
 /// Snapshot returned by the stats ioctl. `all` is a true single-chain view
@@ -80,6 +100,12 @@ struct PerfSnapshot {
   PerfSide all;
   FaultCounters faults;
   MoveCounters moves;
+
+  /// Accumulates another snapshot into this one, slice by slice. Note the
+  /// merged arrival-order distance chains remain per-shard chains: distances
+  /// between requests that ran on different shards are not (and cannot be)
+  /// reconstructed, which is the honest semantics for a fleet of drives.
+  void MergeFrom(const PerfSnapshot& other);
 };
 
 /// In-driver performance monitor. The driver reports request arrivals (for

@@ -1,0 +1,99 @@
+#ifndef ABR_SIM_COMPLETION_MERGE_H_
+#define ABR_SIM_COMPLETION_MERGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/disk_system.h"
+#include "util/types.h"
+
+namespace abr::sim {
+
+/// Receives the fleet-wide completion stream in global time order. The
+/// shard index identifies the member drive that serviced the request; the
+/// request's sector/block addresses are shard-local.
+class ShardCompletionSink {
+ public:
+  virtual ~ShardCompletionSink() = default;
+  virtual void OnShardIoComplete(std::int32_t shard,
+                                 const CompletedIo& done) = 0;
+};
+
+/// Deterministic k-way merge of per-shard completion streams.
+///
+/// Each shard's worker appends its completions to its own lane (no other
+/// thread touches that lane until the epoch barrier, so lanes need no
+/// locking); at the barrier the coordinator drains every lane in global
+/// (completion_time, shard, lane position) order. Within one shard the lane
+/// preserves the DiskSystem's delivery order, which is already
+/// time-nondecreasing, so the merge only ever compares lane heads. Ties
+/// across shards break toward the lower shard index, making the merged
+/// stream a pure function of the per-shard streams — independent of worker
+/// scheduling, which is what the byte-identity contract rests on.
+class CompletionMerger {
+ public:
+  explicit CompletionMerger(std::int32_t shards)
+      : lanes_(static_cast<std::size_t>(shards)) {}
+
+  std::int32_t shards() const { return static_cast<std::int32_t>(lanes_.size()); }
+
+  /// Shard `shard`'s append-only lane. Worker-side.
+  std::vector<CompletedIo>& lane(std::int32_t shard) {
+    return lanes_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Buffered completions across all lanes.
+  std::size_t buffered() const {
+    std::size_t n = 0;
+    for (const auto& lane : lanes_) n += lane.size();
+    return n;
+  }
+
+  /// Merges every buffered completion into `sink` in global time order and
+  /// empties the lanes. Coordinator-side, between epochs. A null sink just
+  /// empties the lanes.
+  void DrainInto(ShardCompletionSink* sink) {
+    if (sink == nullptr) {
+      for (auto& lane : lanes_) lane.clear();
+      return;
+    }
+    heads_.assign(lanes_.size(), 0);
+    for (;;) {
+      std::int32_t best = -1;
+      for (std::int32_t s = 0; s < shards(); ++s) {
+        const auto& lane = lanes_[static_cast<std::size_t>(s)];
+        const std::size_t h = heads_[static_cast<std::size_t>(s)];
+        if (h >= lane.size()) continue;
+        if (best < 0 || Before(lane[h], lanes_[static_cast<std::size_t>(best)]
+                                            [heads_[static_cast<std::size_t>(
+                                                best)]])) {
+          best = s;
+        }
+      }
+      if (best < 0) break;
+      const std::size_t h = heads_[static_cast<std::size_t>(best)]++;
+      sink->OnShardIoComplete(best, lanes_[static_cast<std::size_t>(best)][h]);
+      ++merged_;
+    }
+    for (auto& lane : lanes_) lane.clear();
+  }
+
+  /// Completions delivered through DrainInto so far (lifetime total).
+  std::int64_t merged_count() const { return merged_; }
+
+ private:
+  /// Strictly-before in the global order; on equal completion times the
+  /// caller's ascending scan keeps the lower-index shard.
+  static bool Before(const CompletedIo& a, const CompletedIo& b) {
+    return a.completion_time < b.completion_time;
+  }
+
+  std::vector<std::vector<CompletedIo>> lanes_;
+  std::vector<std::size_t> heads_;
+  std::int64_t merged_ = 0;
+};
+
+}  // namespace abr::sim
+
+#endif  // ABR_SIM_COMPLETION_MERGE_H_

@@ -1,0 +1,72 @@
+#ifndef ABR_SIM_SHARD_MAP_H_
+#define ABR_SIM_SHARD_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace abr::sim {
+
+/// Round-robin striping of one virtual device's logical block space across
+/// N shards. Block b lives on shard b mod N as that shard's local block
+/// b div N — the RAID0 stripe map, at file-system block granularity, so
+/// consecutive logical blocks land on distinct members and a hot range
+/// spreads evenly over the fleet.
+///
+/// The map is pure arithmetic: the same (shards, total_blocks) pair always
+/// routes identically, which is what lets the sharded engine promise
+/// byte-identical results for any worker-thread count — routing never
+/// depends on execution order.
+class ShardMap {
+ public:
+  ShardMap(std::int32_t shards, std::int64_t total_blocks)
+      : shards_(shards), total_blocks_(total_blocks) {
+    assert(shards_ >= 1);
+    assert(total_blocks_ >= 0);
+  }
+
+  std::int32_t shards() const { return shards_; }
+
+  /// Logical blocks of the virtual device.
+  std::int64_t total_blocks() const { return total_blocks_; }
+
+  /// True iff `block` is a valid virtual-device block.
+  bool Contains(BlockNo block) const {
+    return block >= 0 && block < total_blocks_;
+  }
+
+  /// Shard owning virtual block `block`.
+  std::int32_t ShardOf(BlockNo block) const {
+    assert(Contains(block));
+    return static_cast<std::int32_t>(block % shards_);
+  }
+
+  /// `block` as its owning shard's local block number.
+  BlockNo LocalOf(BlockNo block) const {
+    assert(Contains(block));
+    return block / shards_;
+  }
+
+  /// Inverse: the virtual block that shard `shard` serves as `local`.
+  BlockNo GlobalOf(std::int32_t shard, BlockNo local) const {
+    assert(shard >= 0 && shard < shards_);
+    assert(local >= 0);
+    return local * shards_ + shard;
+  }
+
+  /// Number of local blocks shard `shard` owns (shards with index below
+  /// total_blocks mod shards own one extra block).
+  std::int64_t LocalCount(std::int32_t shard) const {
+    assert(shard >= 0 && shard < shards_);
+    return (total_blocks_ - shard + shards_ - 1) / shards_;
+  }
+
+ private:
+  std::int32_t shards_;
+  std::int64_t total_blocks_;
+};
+
+}  // namespace abr::sim
+
+#endif  // ABR_SIM_SHARD_MAP_H_

@@ -37,6 +37,10 @@ class Trace {
   /// start no earlier than the trace's last record.
   void AppendBatch(const TraceRecord* records, std::size_t n);
 
+  /// Discards all records (the buffer keeps its capacity, so a reused
+  /// per-chunk trace allocates nothing once warm).
+  void Clear() { records_.clear(); }
+
   /// All records.
   const std::vector<TraceRecord>& records() const { return records_; }
 

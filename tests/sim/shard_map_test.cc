@@ -1,0 +1,67 @@
+#include "sim/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abr::sim {
+namespace {
+
+TEST(ShardMapTest, SingleShardIsIdentity) {
+  ShardMap map(1, 100);
+  for (BlockNo b = 0; b < 100; ++b) {
+    EXPECT_EQ(map.ShardOf(b), 0);
+    EXPECT_EQ(map.LocalOf(b), b);
+    EXPECT_EQ(map.GlobalOf(0, b), b);
+  }
+  EXPECT_EQ(map.LocalCount(0), 100);
+}
+
+TEST(ShardMapTest, RoundRobinStriping) {
+  ShardMap map(3, 10);
+  // Blocks 0..9 land on shards 0,1,2,0,1,2,... with consecutive locals.
+  EXPECT_EQ(map.ShardOf(0), 0);
+  EXPECT_EQ(map.ShardOf(1), 1);
+  EXPECT_EQ(map.ShardOf(2), 2);
+  EXPECT_EQ(map.ShardOf(3), 0);
+  EXPECT_EQ(map.LocalOf(0), 0);
+  EXPECT_EQ(map.LocalOf(3), 1);
+  EXPECT_EQ(map.LocalOf(7), 2);
+}
+
+TEST(ShardMapTest, RoundTripCoversEveryBlockExactlyOnce) {
+  const std::int32_t shards = 5;
+  const std::int64_t total = 137;  // not a multiple of the shard count
+  ShardMap map(shards, total);
+  std::vector<int> seen(static_cast<std::size_t>(total), 0);
+  for (std::int32_t s = 0; s < shards; ++s) {
+    for (BlockNo local = 0; local < map.LocalCount(s); ++local) {
+      const BlockNo global = map.GlobalOf(s, local);
+      ASSERT_TRUE(map.Contains(global));
+      EXPECT_EQ(map.ShardOf(global), s);
+      EXPECT_EQ(map.LocalOf(global), local);
+      ++seen[static_cast<std::size_t>(global)];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ShardMapTest, LocalCountsSumToTotal) {
+  for (std::int32_t shards = 1; shards <= 8; ++shards) {
+    ShardMap map(shards, 1000);
+    std::int64_t sum = 0;
+    for (std::int32_t s = 0; s < shards; ++s) sum += map.LocalCount(s);
+    EXPECT_EQ(sum, 1000) << "shards=" << shards;
+  }
+}
+
+TEST(ShardMapTest, ContainsRejectsOutOfRange) {
+  ShardMap map(4, 64);
+  EXPECT_TRUE(map.Contains(0));
+  EXPECT_TRUE(map.Contains(63));
+  EXPECT_FALSE(map.Contains(-1));
+  EXPECT_FALSE(map.Contains(64));
+}
+
+}  // namespace
+}  // namespace abr::sim

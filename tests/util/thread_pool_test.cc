@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace abr {
@@ -93,6 +95,72 @@ TEST(ThreadPoolTest, ShutdownIsIdempotent) {
   ThreadPool pool(2);
   pool.Shutdown();
   pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, ShutdownWakesProducerBlockedOnFullQueue) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::atomic<bool> release{false};
+  // Occupy the single worker and fill the queue so the next Submit blocks
+  // on back-pressure.
+  std::future<void> busy = pool.Submit([&release]() {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::future<void> queued = pool.Submit([]() {});
+
+  std::atomic<bool> producer_threw{false};
+  std::atomic<bool> producer_ran{false};
+  std::thread producer([&]() {
+    try {
+      (void)pool.Submit([&producer_ran]() { producer_ran.store(true); });
+    } catch (const std::runtime_error&) {
+      producer_threw.store(true);
+    }
+  });
+  // Give the producer time to block inside Submit, then shut down while
+  // it waits: it must either land the task (accepted before shutdown) or
+  // throw — never hang.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  pool.Shutdown();
+  producer.join();
+  busy.get();
+  queued.get();
+  EXPECT_TRUE(producer_threw.load() || producer_ran.load());
+}
+
+TEST(ThreadPoolTest, PoolSurvivesThrowingTasks) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        pool.Submit([]() { throw std::runtime_error("task failure"); }));
+  }
+  for (auto& f : futures) EXPECT_THROW(f.get(), std::runtime_error);
+  // The workers must still be alive and accepting work.
+  EXPECT_EQ(pool.Submit([]() { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolTest, ShutdownFromAnotherThreadDrainsBehindBusyWorkers) {
+  ThreadPool pool(2, /*queue_capacity=*/32);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  // Gate both workers, then queue work behind them.
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(pool.Submit([&]() {
+      while (!release.load()) std::this_thread::yield();
+      ran.fetch_add(1);
+    }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&ran]() { ran.fetch_add(1); }));
+  }
+  std::thread closer([&pool]() { pool.Shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);
+  closer.join();  // Shutdown drains everything already queued
+  EXPECT_EQ(ran.load(), 22);
+  for (auto& f : futures) f.get();
 }
 
 TEST(ThreadPoolTest, DestructorJoinsWithoutShutdownCall) {

@@ -26,6 +26,7 @@
 
 #include "core/experiment.h"
 #include "core/parallel_runner.h"
+#include "core/sharded_system.h"
 #include "fault/crash_harness.h"
 #include "workload/trace_stats.h"
 #include "core/onoff.h"
@@ -155,6 +156,199 @@ core::ExperimentConfig BuildConfig(Flags& flags) {
   return config;
 }
 
+// --- Sharded (fleet) engine paths -----------------------------------------
+//
+// `--shards=S` switches onoff/sweep/policy onto the ShardedSystem fleet
+// engine: S identical member drives striped into one virtual device, each
+// member advanced on a worker thread (`--jobs`). Output is byte-identical
+// for every --jobs value; --shards=1 is the single-member oracle that the
+// differential tests pin against a plain serial AdaptiveSystem. Metrics
+// across different shard *counts* legitimately differ (a fleet measures
+// different physics than one drive); the request stream does not.
+
+core::ShardedSystemConfig BuildShardedConfig(const core::ExperimentConfig& base,
+                                             std::int32_t shards,
+                                             std::int32_t jobs) {
+  core::ShardedSystemConfig config;
+  config.shards = shards;
+  config.threads = jobs;
+  config.drive = base.drive;
+  config.reserved_cylinders = base.reserved_cylinders;
+  config.rearrange_blocks = base.rearrange_blocks;
+  config.system = base.system;
+  return config;
+}
+
+core::ShardedDayConfig BuildShardedDay(Flags& flags,
+                                       const core::ExperimentConfig& base) {
+  core::ShardedDayConfig day;
+  day.seed = base.seed;
+  day.day_length = flags.GetInt("day-minutes", 60) * kMinute;
+  day.synthetic.population = flags.GetInt("population", 4000);
+  day.synthetic.theta = 1.0;
+  day.synthetic.write_fraction = 0.3;
+  day.synthetic.arrivals.mean_burst_gap = kSecond;
+  day.synthetic.arrivals.mean_burst_size = 6.0;
+  day.synthetic.arrivals.mean_intra_gap = 10 * kMillisecond;
+  return day;
+}
+
+void PrintShardedHeader(const core::ShardedSystemConfig& config,
+                        const core::ShardedDayConfig& day) {
+  std::printf("disk=%s  policy=%s  scheduler=%s  blocks=%d  reserved=%d "
+              "cylinders  shards=%d  (synthetic fleet day, %lld min)",
+              config.drive.name.c_str(),
+              placement::PolicyKindName(config.system.policy),
+              sched::SchedulerKindName(config.system.driver.scheduler),
+              config.rearrange_blocks, config.reserved_cylinders,
+              config.shards,
+              static_cast<long long>(day.day_length / kMinute));
+  if (!config.system.arranger.incremental) {
+    std::printf("  arranger=full-rebuild");
+  }
+  std::printf("\n\n");
+}
+
+int CmdOnOffSharded(Flags& flags, std::int32_t shards) {
+  core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t days =
+      static_cast<std::int32_t>(flags.GetInt("days", 3));
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  core::ShardedDayConfig day = BuildShardedDay(flags, base);
+  flags.CheckAllUsed();
+
+  const core::ShardedSystemConfig config =
+      BuildShardedConfig(base, shards, jobs);
+  PrintShardedHeader(config, day);
+  core::ShardedSystem sys(config);
+  if (Status st = sys.Start(); !st.ok()) Die("onoff", st);
+  core::ShardedDayRunner runner(&sys, day);
+  StatusOr<core::ShardedOnOffResult> result =
+      core::RunShardedOnOff(runner, days);
+  if (!result.ok()) Die("onoff", result.status());
+
+  Table t({"On/Off", "seek min", "seek avg", "seek max", "svc avg",
+           "wait avg"});
+  for (const auto& [label, daysv] :
+       {std::pair{"Off", &result->off_days}, {"On", &result->on_days}}) {
+    core::SummaryRow row =
+        core::OnOffResult::Summarize(*daysv, core::OnOffResult::Slice::kAll);
+    t.AddRow({label, Table::Fmt(row.seek_ms.min()),
+              Table::Fmt(row.seek_ms.avg()), Table::Fmt(row.seek_ms.max()),
+              Table::Fmt(row.service_ms.avg()),
+              Table::Fmt(row.wait_ms.avg())});
+  }
+  std::printf("%s", t.ToString().c_str());
+
+  // Per-day pass outcomes, summed across the fleet's members in shard
+  // order by RearrangeAll/CleanAll.
+  Table a({"pass before", "kept", "shuffled", "evicted", "admitted",
+           "skipped", "internal ios", "io ms"});
+  const auto add_rows = [&](const char* label,
+                            const std::vector<core::DayMetrics>& daysv) {
+    for (std::size_t d = 0; d < daysv.size(); ++d) {
+      const placement::ArrangeResult& ar = daysv[d].arrange;
+      char name[32];
+      std::snprintf(name, sizeof(name), "%s %u", label,
+                    static_cast<unsigned>(d + 1));
+      a.AddRow({name, Table::Fmt((std::int64_t)ar.kept),
+                Table::Fmt((std::int64_t)ar.shuffled),
+                Table::Fmt((std::int64_t)ar.evicted),
+                Table::Fmt((std::int64_t)ar.admitted),
+                Table::Fmt((std::int64_t)ar.skipped),
+                Table::Fmt(ar.internal_ios),
+                Table::Fmt(MicrosToMillis(ar.io_time), 1)});
+    }
+  };
+  add_rows("Off", result->off_days);
+  add_rows("On", result->on_days);
+  std::printf("\n%s", a.ToString().c_str());
+  return 0;
+}
+
+int CmdSweepSharded(Flags& flags, std::int32_t shards,
+                    const std::vector<std::int32_t>& points) {
+  core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  core::ShardedDayConfig day = BuildShardedDay(flags, base);
+  flags.CheckAllUsed();
+
+  const core::ShardedSystemConfig config =
+      BuildShardedConfig(base, shards, jobs);
+  PrintShardedHeader(config, day);
+  Table t({"blocks", "seek ms", "zero-seek %", "service ms", "wait ms"});
+  // Points run one after another (each point's fleet is internally
+  // parallel), so rows never depend on --jobs scheduling.
+  for (const std::int32_t blocks : points) {
+    core::ShardedSystem sys(config);
+    if (Status st = sys.Start(); !st.ok()) Die("sweep", st);
+    core::ShardedDayRunner runner(&sys, day);
+    if (auto warmup = runner.RunMeasuredDay(); !warmup.ok()) {
+      Die("sweep", warmup.status());
+    }
+    sys.set_rearrange_blocks(blocks);
+    Status pass = blocks > 0 ? runner.RearrangeForNextDay()
+                             : runner.CleanForNextDay();
+    if (!pass.ok()) Die("sweep", pass);
+    StatusOr<core::DayMetrics> metrics = runner.RunMeasuredDay();
+    if (!metrics.ok()) Die("sweep", metrics.status());
+    t.AddRow({Table::Fmt((std::int64_t)blocks),
+              Table::Fmt(metrics->all.mean_seek_ms, 2),
+              Table::Fmt(metrics->all.zero_seek_pct, 0),
+              Table::Fmt(metrics->all.mean_service_ms, 2),
+              Table::Fmt(metrics->all.mean_wait_ms, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+int CmdPolicySharded(Flags& flags, std::int32_t shards) {
+  core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t days =
+      static_cast<std::int32_t>(flags.GetInt("days", 2));
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  core::ShardedDayConfig day = BuildShardedDay(flags, base);
+  flags.CheckAllUsed();
+
+  PrintShardedHeader(BuildShardedConfig(base, shards, jobs), day);
+  const std::vector<placement::PolicyKind> kinds = {
+      placement::PolicyKind::kOrganPipe, placement::PolicyKind::kInterleaved,
+      placement::PolicyKind::kSerial};
+  Table t({"policy", "on-day seek ms", "zero-seek %", "service ms",
+           "rot+xfer ms (reads)"});
+  for (const placement::PolicyKind kind : kinds) {
+    core::ExperimentConfig variant = base;
+    variant.system.policy = kind;
+    core::ShardedSystem sys(BuildShardedConfig(variant, shards, jobs));
+    if (Status st = sys.Start(); !st.ok()) Die("policy", st);
+    core::ShardedDayRunner runner(&sys, day);
+    if (auto warmup = runner.RunMeasuredDay(); !warmup.ok()) {
+      Die("policy", warmup.status());
+    }
+    double seek = 0, zero = 0, service = 0, rot = 0;
+    for (std::int32_t i = 0; i < days; ++i) {
+      if (Status st = runner.RearrangeForNextDay(); !st.ok()) {
+        Die("policy", st);
+      }
+      StatusOr<core::DayMetrics> metrics = runner.RunMeasuredDay();
+      if (!metrics.ok()) Die("policy", metrics.status());
+      seek += metrics->all.mean_seek_ms;
+      zero += metrics->all.zero_seek_pct;
+      service += metrics->all.mean_service_ms;
+      rot += metrics->reads.rot_plus_transfer_ms;
+    }
+    const double n = days;
+    t.AddRow({placement::PolicyKindName(kind), Table::Fmt(seek / n, 2),
+              Table::Fmt(zero / n, 0), Table::Fmt(service / n, 2),
+              Table::Fmt(rot / n, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
 int CmdTraceStats(Flags& flags) {
   const std::string path = flags.Get("file", "");
   flags.CheckAllUsed();
@@ -210,6 +404,9 @@ int CmdSpecs() {
 }
 
 int CmdOnOff(Flags& flags) {
+  const std::int32_t shards =
+      static_cast<std::int32_t>(flags.GetInt("shards", 0));
+  if (shards > 0) return CmdOnOffSharded(flags, shards);
   core::ExperimentConfig config = BuildConfig(flags);
   const std::int32_t days =
       static_cast<std::int32_t>(flags.GetInt("days", 3));
@@ -316,9 +513,8 @@ int CmdOnOff(Flags& flags) {
 // results, so the printed tables are byte-identical for every --jobs value.
 
 int CmdSweep(Flags& flags) {
-  core::ExperimentConfig base = BuildConfig(flags);
-  const std::int32_t jobs =
-      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  const std::int32_t shards =
+      static_cast<std::int32_t>(flags.GetInt("shards", 0));
   std::vector<std::int32_t> points;
   {
     std::string list = flags.Get("blocks-list", "0,25,100,400,1018");
@@ -330,6 +526,10 @@ int CmdSweep(Flags& flags) {
       pos = comma + 1;
     }
   }
+  if (shards > 0) return CmdSweepSharded(flags, shards, points);
+  core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   flags.CheckAllUsed();
 
   // One identical config per point; the per-point block count is applied
@@ -366,6 +566,9 @@ int CmdSweep(Flags& flags) {
 }
 
 int CmdPolicy(Flags& flags) {
+  const std::int32_t shards =
+      static_cast<std::int32_t>(flags.GetInt("shards", 0));
+  if (shards > 0) return CmdPolicySharded(flags, shards);
   core::ExperimentConfig base = BuildConfig(flags);
   const std::int32_t days =
       static_cast<std::int32_t>(flags.GetInt("days", 2));
@@ -427,27 +630,39 @@ int CmdCrashDay(Flags& flags) {
       static_cast<std::int32_t>(flags.GetInt("replicas", 4));
   const std::int32_t jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  const std::int32_t shards =
+      static_cast<std::int32_t>(flags.GetInt("shards", 1));
   const bool quick = flags.Get("quick", "") == "true";
   const bool incremental = flags.Get("no-incremental", "") != "true";
   flags.CheckAllUsed();
-  if (replicas < 1 || jobs < 1 || crash_points < 0) {
-    std::fprintf(stderr, "--replicas/--jobs must be >= 1, "
+  if (replicas < 1 || jobs < 1 || crash_points < 0 || shards < 1) {
+    std::fprintf(stderr, "--replicas/--jobs/--shards must be >= 1, "
                  "--crash-points >= 0\n");
     return 2;
   }
 
-  std::printf("fault-seed=%llu  crash-points=%d  replicas=%d%s%s\n\n",
+  std::printf("fault-seed=%llu  crash-points=%d  replicas=%d%s%s",
               static_cast<unsigned long long>(fault_seed), crash_points,
               replicas, quick ? "  (quick)" : "",
               incremental ? "" : "  arranger=full-rebuild");
+  // shards=1 keeps the header (and everything below) byte-identical to
+  // the historical single-machine output.
+  if (shards > 1) std::printf("  shards=%d", shards);
+  std::printf("\n\n");
 
-  // Each replica is a fully independent seeded run; results land in a
-  // replica-indexed vector, so the table below is byte-identical for
-  // every --jobs value (and each run's fingerprint hash is itself a
-  // deterministic function of its seed).
+  // Each replica is a fleet of `shards` fully independent member machines
+  // (crash consistency is per member: every member has its own media,
+  // table, and fault plan). Member 0 keeps the historical replica seed so
+  // --shards=1 reproduces the old bytes; results land in a (replica,
+  // member)-indexed vector and fold in member order, so the table below is
+  // byte-identical for every --jobs value.
+  const std::int32_t total = replicas * shards;
   auto run_one = [&](std::int32_t index) {
+    const std::int32_t replica = index / shards;
+    const std::int32_t member = index % shards;
     fault::CrashHarnessConfig config;
-    config.seed = fault_seed + static_cast<std::uint64_t>(index) * 0x9E37;
+    config.seed = fault_seed + static_cast<std::uint64_t>(replica) * 0x9E37 +
+                  static_cast<std::uint64_t>(member) * 0x51ED;
     config.crash_points = crash_points;
     config.incremental = incremental;
     if (quick) config = config.Quick();
@@ -455,19 +670,19 @@ int CmdCrashDay(Flags& flags) {
     return harness.Run();
   };
   std::vector<fault::CrashHarnessResult> results(
-      static_cast<std::size_t>(replicas));
+      static_cast<std::size_t>(total));
   if (jobs == 1) {
-    for (std::int32_t i = 0; i < replicas; ++i) {
+    for (std::int32_t i = 0; i < total; ++i) {
       results[static_cast<std::size_t>(i)] = run_one(i);
     }
   } else {
     ThreadPool pool(static_cast<std::size_t>(jobs));
     std::vector<std::future<fault::CrashHarnessResult>> futures;
-    futures.reserve(static_cast<std::size_t>(replicas));
-    for (std::int32_t i = 0; i < replicas; ++i) {
+    futures.reserve(static_cast<std::size_t>(total));
+    for (std::int32_t i = 0; i < total; ++i) {
       futures.push_back(pool.Submit([&run_one, i]() { return run_one(i); }));
     }
-    for (std::int32_t i = 0; i < replicas; ++i) {
+    for (std::int32_t i = 0; i < total; ++i) {
       results[static_cast<std::size_t>(i)] =
           futures[static_cast<std::size_t>(i)].get();
     }
@@ -477,8 +692,26 @@ int CmdCrashDay(Flags& flags) {
            "indet", "retries", "aborts", "mism", "fingerprint"});
   bool all_ok = true;
   for (std::int32_t i = 0; i < replicas; ++i) {
-    const fault::CrashHarnessResult& r =
-        results[static_cast<std::size_t>(i)];
+    // Fold the replica's members in member order. With one member the
+    // fold is the identity, fingerprint included.
+    fault::CrashHarnessResult r =
+        results[static_cast<std::size_t>(i * shards)];
+    for (std::int32_t s = 1; s < shards; ++s) {
+      const fault::CrashHarnessResult& m =
+          results[static_cast<std::size_t>(i * shards + s)];
+      r.crashes += m.crashes;
+      r.crash_in_table_save += m.crash_in_table_save;
+      r.crash_in_arrangement += m.crash_in_arrangement;
+      r.crash_in_steady_state += m.crash_in_steady_state;
+      r.writes_acked += m.writes_acked;
+      r.blocks_verified += m.blocks_verified;
+      r.blocks_indeterminate += m.blocks_indeterminate;
+      r.faults.MergeFrom(m.faults);
+      r.mismatches += m.mismatches;
+      r.fingerprint_hash ^= m.fingerprint_hash * 0x9E3779B97F4A7C15ULL +
+                            static_cast<std::uint64_t>(s);
+      if (r.first_error.empty()) r.first_error = m.first_error;
+    }
     char where[32];
     std::snprintf(where, sizeof(where), "%d/%d/%d", r.crash_in_table_save,
                   r.crash_in_arrangement, r.crash_in_steady_state);
@@ -530,7 +763,16 @@ void Usage() {
       "  --seed, so R=1 reproduces the serial run); --jobs=N fans the\n"
       "  replications across N workers with identical output for every N\n"
       "crashday: --fault-seed=N --crash-points=N --replicas=R --jobs=N\n"
-      "  --quick  (output is byte-identical across runs and --jobs)\n");
+      "  --quick  (output is byte-identical across runs and --jobs)\n"
+      "sharded fleet (onoff/sweep/policy): --shards=S  partition the\n"
+      "  virtual block space across S member drives, each on its own\n"
+      "  scheduler/driver/disk, stepped in epochs with a deterministic\n"
+      "  time-ordered completion merge; --jobs=N picks the worker-thread\n"
+      "  count and the output is byte-identical for every N at fixed S\n"
+      "  (S=1 is the single-machine oracle). Runs a synthetic fleet day:\n"
+      "  --day-minutes=M (default 60) --population=B hot blocks (4000)\n"
+      "crashday: --shards=S  runs S independent member harnesses per\n"
+      "  replica and folds their counters (S=1 keeps the legacy bytes)\n");
 }
 
 }  // namespace

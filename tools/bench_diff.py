@@ -7,6 +7,15 @@ disappears from the current run. Metrics new in the current run are
 reported but never fail the check, so adding benchmarks does not require
 touching this tool.
 
+With --speedup-tolerance the `speedup` field of metrics that carry a
+positive one in the baseline is compared as well, under its own
+(typically looser) tolerance: a speedup is a ratio of two noisy
+wall-clock times, so it jitters more than throughput. Multi-thread
+metrics (kind "replication" or "scaling") are skipped when the current
+machine has fewer CPUs than the metric's recorded thread count — a
+1-core runner cannot reproduce an 8-way fan-out, and failing on it would
+just teach people to ignore the check.
+
 A baseline that does not exist yet is not a regression: the first run of a
 new benchmark has nothing to compare against, so a missing BASELINE.json
 prints a warning and exits 0 (commit the fresh snapshot to arm the check).
@@ -18,6 +27,7 @@ Exit status: 0 when within tolerance, 1 on regression, 2 on usage errors.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -39,7 +49,7 @@ def load_metrics(path, missing_ok=False):
         name, ops = m.get("name"), m.get("ops_per_sec")
         if not isinstance(name, str) or not isinstance(ops, (int, float)):
             sys.exit(f"bench_diff: {path}: malformed metric entry: {m!r}")
-        out[name] = float(ops)
+        out[name] = m
     return doc, out
 
 
@@ -55,9 +65,18 @@ def main():
         default=0.10,
         help="allowed relative drop in ops_per_sec (default 0.10)",
     )
+    parser.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=None,
+        help="also compare baseline speedup fields, allowing this relative "
+        "drop (off unless given)",
+    )
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if args.speedup_tolerance is not None and not 0.0 <= args.speedup_tolerance < 1.0:
+        parser.error("--speedup-tolerance must be in [0, 1)")
 
     base_doc, base = load_metrics(args.baseline, missing_ok=True)
     cur_doc, cur = load_metrics(args.current)
@@ -77,23 +96,53 @@ def main():
         f"tolerance {args.tolerance:.0%}"
     )
 
+    cpus = os.cpu_count() or 1
     failed = []
     for name in sorted(base):
         if name not in cur:
             print(f"  {name:28s} MISSING from current run")
             failed.append(name)
             continue
-        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        base_ops = float(base[name]["ops_per_sec"])
+        cur_ops = float(cur[name]["ops_per_sec"])
+        ratio = cur_ops / base_ops if base_ops > 0 else float("inf")
         verdict = "ok"
         if ratio < 1.0 - args.tolerance:
             verdict = "REGRESSED"
             failed.append(name)
         print(
-            f"  {name:28s} {base[name]:14.0f} -> {cur[name]:14.0f} "
+            f"  {name:28s} {base_ops:14.0f} -> {cur_ops:14.0f} "
             f"ops/s  ({ratio:6.2f}x)  {verdict}"
         )
+
+        if args.speedup_tolerance is None:
+            continue
+        base_speedup = base[name].get("speedup", 0)
+        if not isinstance(base_speedup, (int, float)) or base_speedup <= 0:
+            continue
+        if (
+            base[name].get("kind") in ("replication", "scaling")
+            and int(base[name].get("threads", 1)) > cpus
+        ):
+            print(
+                f"  {name:28s} speedup skipped: needs "
+                f"{base[name]['threads']} threads, machine has {cpus} CPUs"
+            )
+            continue
+        cur_speedup = float(cur[name].get("speedup", 0))
+        s_verdict = "ok"
+        if cur_speedup < base_speedup * (1.0 - args.speedup_tolerance):
+            s_verdict = "REGRESSED"
+            failed.append(name + ".speedup")
+        print(
+            f"  {name:28s} speedup {base_speedup:6.2f}x -> "
+            f"{cur_speedup:6.2f}x  {s_verdict}"
+        )
     for name in sorted(set(cur) - set(base)):
-        print(f"  {name:28s} new metric ({cur[name]:.0f} ops/s), no baseline")
+        print(
+            f"  {name:28s} new metric "
+            f"({float(cur[name]['ops_per_sec']):.0f} ops/s), no baseline"
+        )
 
     if failed:
         print(f"bench_diff: FAIL: {len(failed)} metric(s): {', '.join(failed)}")

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then an ASan+UBSan
 # build of the fault-injection / crash-recovery paths, then a
-# ThreadSanitizer build of the concurrency primitives (thread pool +
-# parallel runner).
+# ThreadSanitizer build of the concurrency machinery (thread pool,
+# parallel runner, sharded fleet engine).
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan] [--no-bench]
 set -euo pipefail
@@ -20,10 +20,75 @@ for arg in "$@"; do
   esac
 done
 
+# A BENCH_*.json baseline is only meaningful while HEAD is near the
+# revision that produced it: after enough commits the comparison mixes
+# many PRs' worth of drift into one tolerance. Fail fast with the fix
+# spelled out rather than letting the diff below rot quietly.
+MAX_BASELINE_AGE=30
+check_baseline_age() {
+  local f="$1"
+  [[ -f "$f" ]] || return 0
+  local rev
+  rev=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1])).get('git_rev',''))" "$f")
+  [[ -n "$rev" && "$rev" != "unknown" ]] || {
+    echo "STALE BASELINE: $f has no git_rev stamp." >&2
+    echo "  Regenerate it from a Release build with ABR_GIT_REV set" >&2
+    echo "  (the bench stage of this script does that) and commit it." >&2
+    exit 1
+  }
+  if ! git cat-file -e "${rev}^{commit}" 2>/dev/null; then
+    echo "STALE BASELINE: $f was stamped by revision '$rev', which is not" >&2
+    echo "  in this repository's history. Regenerate and commit it." >&2
+    exit 1
+  fi
+  local age
+  age=$(git rev-list --count "${rev}..HEAD")
+  if (( age > MAX_BASELINE_AGE )); then
+    echo "STALE BASELINE: $f was produced at $rev, $age commits behind" >&2
+    echo "  HEAD (limit $MAX_BASELINE_AGE). Perf drift across that many" >&2
+    echo "  PRs makes the regression tolerance meaningless. Re-run the" >&2
+    echo "  bench stage and commit the fresh snapshot." >&2
+    exit 1
+  fi
+}
+for f in BENCH_*.json; do
+  check_baseline_age "$f"
+done
+
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
+
+echo "== determinism: sharded fleet output is --jobs invariant =="
+# The sharded engine's core contract: at a fixed shard count, the worker
+# thread count must never change a byte of output. Each command pair runs
+# the same fleet serial and parallel and the transcripts must compare
+# equal. (Identity across different shard counts is not expected — a
+# 4-member fleet measures different physics than one drive.)
+DET_TMP=$(mktemp -d)
+trap 'rm -rf "$DET_TMP"' EXIT
+./build/tools/abrsim onoff --shards=3 --jobs=1 --day-minutes=4 --days=1 \
+  > "$DET_TMP/onoff_j1.txt"
+./build/tools/abrsim onoff --shards=3 --jobs=8 --day-minutes=4 --days=1 \
+  > "$DET_TMP/onoff_j8.txt"
+cmp "$DET_TMP/onoff_j1.txt" "$DET_TMP/onoff_j8.txt"
+./build/tools/abrsim sweep --shards=2 --jobs=1 --day-minutes=3 \
+  --blocks-list=0,200 > "$DET_TMP/sweep_j1.txt"
+./build/tools/abrsim sweep --shards=2 --jobs=4 --day-minutes=3 \
+  --blocks-list=0,200 > "$DET_TMP/sweep_j4.txt"
+cmp "$DET_TMP/sweep_j1.txt" "$DET_TMP/sweep_j4.txt"
+./build/tools/abrsim policy --shards=2 --jobs=1 --day-minutes=3 --days=1 \
+  > "$DET_TMP/policy_j1.txt"
+./build/tools/abrsim policy --shards=2 --jobs=4 --day-minutes=3 --days=1 \
+  > "$DET_TMP/policy_j4.txt"
+cmp "$DET_TMP/policy_j1.txt" "$DET_TMP/policy_j4.txt"
+./build/tools/abrsim crashday --shards=2 --quick --replicas=2 --jobs=1 \
+  > "$DET_TMP/crash_j1.txt"
+./build/tools/abrsim crashday --shards=2 --quick --replicas=2 --jobs=4 \
+  > "$DET_TMP/crash_j4.txt"
+cmp "$DET_TMP/crash_j1.txt" "$DET_TMP/crash_j4.txt"
+echo "sharded onoff/sweep/policy/crashday byte-identical across --jobs"
 
 if [[ "$NO_ASAN" == 1 ]]; then
   echo "== asan: skipped (--no-asan) =="
@@ -66,6 +131,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
 # stay byte-identical and data-race-free.
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tools/abrsim crashday --quick --replicas=4 --jobs=4
+# Sharded fleet under TSan: four member stacks advancing on four workers
+# through the epoch-barrier merge — the engine's coordinator/worker
+# handoff is exactly where a missed happens-before edge would live.
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tools/abrsim onoff --shards=4 --jobs=4 --day-minutes=4 --days=1
 
 if [[ "$NO_BENCH" == 1 ]]; then
   echo "== bench: skipped (--no-bench) =="
@@ -87,8 +157,11 @@ else
   (cd build-bench && ./bench/bench_arrange)
   python3 tools/bench_diff.py BENCH_micro.json build-bench/BENCH_micro.json \
     --tolerance 0.10
+  # e2e also carries multi-thread speedup fields (replication fan-out and
+  # sharded scaling); compare them under a looser tolerance of their own —
+  # wall-clock ratios jitter more than throughput.
   python3 tools/bench_diff.py BENCH_e2e.json build-bench/BENCH_e2e.json \
-    --tolerance 0.10
+    --tolerance 0.10 --speedup-tolerance 0.25
   python3 tools/bench_diff.py BENCH_arrange.json \
     build-bench/BENCH_arrange.json --tolerance 0.10
 fi
