@@ -114,28 +114,27 @@ fi
 
 if [[ "$NO_TSAN" == 1 ]]; then
   echo "== tsan: skipped (--no-tsan) =="
-  exit 0
+else
+  echo "== tsan: thread_pool_test + parallel_runner_test + bench_e2e --quick =="
+  cmake -B build-tsan -S . -DABR_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target thread_pool_test parallel_runner_test \
+    bench_e2e abrsim >/dev/null
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
+  # Whole-pipeline smoke: a miniature day through the replication fan-out,
+  # including the flat-vs-reference scheduler identity check. Run from the
+  # build dir so its BENCH_e2e.json does not clobber the repo-root one.
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_e2e --quick)
+  # Crash-harness replicas racing across worker threads: the results must
+  # stay byte-identical and data-race-free.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tools/abrsim crashday --quick --replicas=4 --jobs=4
+  # Sharded fleet under TSan: four member stacks advancing on four workers
+  # through the epoch-barrier merge — the engine's coordinator/worker
+  # handoff is exactly where a missed happens-before edge would live.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tools/abrsim onoff --shards=4 --jobs=4 --day-minutes=4 --days=1
 fi
-
-echo "== tsan: thread_pool_test + parallel_runner_test + bench_e2e --quick =="
-cmake -B build-tsan -S . -DABR_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target thread_pool_test parallel_runner_test \
-  bench_e2e abrsim >/dev/null
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
-# Whole-pipeline smoke: a miniature day through the replication fan-out,
-# including the flat-vs-reference scheduler identity check. Run from the
-# build dir so its BENCH_e2e.json does not clobber the repo-root one.
-(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_e2e --quick)
-# Crash-harness replicas racing across worker threads: the results must
-# stay byte-identical and data-race-free.
-TSAN_OPTIONS="halt_on_error=1" \
-  ./build-tsan/tools/abrsim crashday --quick --replicas=4 --jobs=4
-# Sharded fleet under TSan: four member stacks advancing on four workers
-# through the epoch-barrier merge — the engine's coordinator/worker
-# handoff is exactly where a missed happens-before edge would live.
-TSAN_OPTIONS="halt_on_error=1" \
-  ./build-tsan/tools/abrsim onoff --shards=4 --jobs=4 --day-minutes=4 --days=1
 
 if [[ "$NO_BENCH" == 1 ]]; then
   echo "== bench: skipped (--no-bench) =="
