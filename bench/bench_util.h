@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/status.h"
@@ -65,11 +66,16 @@ inline void EmitJson(const std::string& bench,
 #define ABR_BUILD_TYPE "unknown"
 #endif
   const char* rev = std::getenv("ABR_GIT_REV");
+  // Hardware-thread count of the recording machine: thread-scaling
+  // speedups are only comparable between machines with the same count, so
+  // the diff tool skips speedup comparisons when it differs.
+  const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
-               "  \"config\": \"%s\",\n  \"metrics\": [\n",
+               "  \"config\": \"%s\",\n  \"hw_threads\": %u,\n"
+               "  \"metrics\": [\n",
                bench.c_str(), rev != nullptr ? rev : "unknown",
-               ABR_BUILD_TYPE);
+               ABR_BUILD_TYPE, hw);
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const BenchMetric& m = metrics[i];
     std::fprintf(f,

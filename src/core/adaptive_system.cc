@@ -37,10 +37,16 @@ AdaptiveSystem::AdaptiveSystem(disk::Disk* disk, disk::DiskLabel label,
   policy_ = placement::MakePolicy(config.policy, config.interleave_factor);
   arranger_ = std::make_unique<placement::BlockArranger>(policy_.get(),
                                                          config.arranger);
+  if (config.continuous) {
+    continuous_ = std::make_unique<placement::ContinuousArranger>(
+        policy_.get(), config.continuous_arranger);
+  }
 }
 
 Status AdaptiveSystem::Start(bool after_crash) {
-  return driver_->Attach(after_crash);
+  ABR_RETURN_IF_ERROR(driver_->Attach(after_crash));
+  if (continuous_ != nullptr) driver_->set_idle_sink(continuous_.get());
+  return Status::Ok();
 }
 
 void AdaptiveSystem::PeriodicTick(Micros now) {
@@ -59,6 +65,21 @@ StatusOr<placement::ArrangeResult> AdaptiveSystem::Rearrange() {
       arranger_->Rearrange(*driver_, HotList());
   analyzer_->EndPeriod();
   return result;
+}
+
+Status AdaptiveSystem::OpenContinuousPlan() {
+  if (continuous_ == nullptr) {
+    return Status::FailedPrecondition("continuous mode is not configured");
+  }
+  analyzer_->Drain(*driver_);
+  Status s = continuous_->OpenPlan(*driver_, HotList());
+  analyzer_->EndPeriod();
+  return s;
+}
+
+placement::ArrangeResult AdaptiveSystem::CloseContinuousDay() {
+  if (continuous_ == nullptr) return placement::ArrangeResult{};
+  return continuous_->CloseDay();
 }
 
 Status AdaptiveSystem::Clean() {

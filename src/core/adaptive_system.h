@@ -10,6 +10,7 @@
 #include "disk/disk_label.h"
 #include "driver/adaptive_driver.h"
 #include "placement/arranger.h"
+#include "placement/continuous_arranger.h"
 #include "placement/policy.h"
 #include "util/status.h"
 
@@ -39,6 +40,16 @@ struct AdaptiveSystemConfig {
   /// Arranger tuning: incremental delta-plan passes (the default) vs the
   /// full clean-everything-then-recopy rebuild, and the pipelining window.
   placement::ArrangerConfig arranger;
+
+  /// When set, the system runs the continuous arranger instead of the
+  /// daily batch pass: a utility-priced delta plan stays open across each
+  /// measured day and executes during disk idle time (OpenContinuousPlan /
+  /// CloseContinuousDay replace Rearrange in the day protocol). The batch
+  /// pass remains available as the oracle.
+  bool continuous = false;
+
+  /// Continuous-arranger tuning (idle window size, move economics).
+  placement::ContinuousArrangerConfig continuous_arranger;
 
   /// Interleaving factor of the file systems (for the interleaved policy).
   std::int32_t interleave_factor = 1;
@@ -87,6 +98,26 @@ class AdaptiveSystem {
   /// resets the reference counts.
   Status Clean();
 
+  // --- Continuous mode (config().continuous) ----------------------------
+
+  /// Opens the next day's continuous plan from the traffic observed since
+  /// the last plan/pass, then resets the counts. The plan executes during
+  /// disk idle time as the day runs.
+  Status OpenContinuousPlan();
+
+  /// Closes the open plan at day end and returns what it accomplished.
+  placement::ArrangeResult CloseContinuousDay();
+
+  /// True while a continuous plan is open.
+  bool continuous_plan_open() const {
+    return continuous_ != nullptr && continuous_->plan_open();
+  }
+
+  /// The continuous arranger, or null when config().continuous is clear.
+  placement::ContinuousArranger* continuous_arranger() {
+    return continuous_.get();
+  }
+
   /// Resets reference counts without moving blocks.
   void ResetCounts() { analyzer_->Reset(); }
 
@@ -102,6 +133,7 @@ class AdaptiveSystem {
   std::unique_ptr<analyzer::ReferenceStreamAnalyzer> analyzer_;
   std::unique_ptr<placement::PlacementPolicy> policy_;
   std::unique_ptr<placement::BlockArranger> arranger_;
+  std::unique_ptr<placement::ContinuousArranger> continuous_;
 };
 
 }  // namespace abr::core

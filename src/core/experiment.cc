@@ -116,6 +116,7 @@ StatusOr<DayMetrics> Experiment::RunMeasuredDay() {
   driver().IoctlReadStats(/*clear=*/true);
   day_counts_all_.Reset();
   day_counts_reads_.Reset();
+  const Micros day_start = driver().now();
 
   StatusOr<std::int64_t> ops = workload_->RunDay(
       driver().now(), [this](Micros t) { Tick(t); });
@@ -126,7 +127,15 @@ StatusOr<DayMetrics> Experiment::RunMeasuredDay() {
   ++day_;
   DayMetrics metrics = DayMetrics::From(
       driver().IoctlReadStats(/*clear=*/true), seek_model());
-  metrics.arrange = last_arrange_;
+  metrics.elapsed = driver().now() - day_start;
+  if (system_->continuous_plan_open()) {
+    // Continuous mode: the plan opened for this day closes with it; its
+    // movement I/O ran inside the measured day (unlike batch passes, which
+    // run quiesced between days).
+    metrics.arrange = system_->CloseContinuousDay();
+  } else {
+    metrics.arrange = last_arrange_;
+  }
   last_arrange_ = placement::ArrangeResult{};
   return metrics;
 }
@@ -135,6 +144,11 @@ Status Experiment::RearrangeForNextDay() {
   StatusOr<placement::ArrangeResult> result = system_->Rearrange();
   if (result.ok()) last_arrange_ = *result;
   return result.status();
+}
+
+Status Experiment::OpenContinuousPlanForNextDay() {
+  last_arrange_ = placement::ArrangeResult{};
+  return system_->OpenContinuousPlan();
 }
 
 Status Experiment::CleanForNextDay() {

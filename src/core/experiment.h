@@ -81,6 +81,11 @@ class Experiment {
     return last_arrange_;
   }
 
+  /// Continuous-mode "on" day: opens a utility-priced plan from the day's
+  /// counts instead of running a batch pass; the plan executes during the
+  /// next day's idle time and its outcome lands in that day's metrics.
+  Status OpenContinuousPlanForNextDay();
+
   /// Empties the reserved area for an "off" day, then resets the counts.
   Status CleanForNextDay();
 

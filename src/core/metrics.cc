@@ -27,6 +27,7 @@ DayMetrics DayMetrics::From(const driver::PerfSnapshot& snapshot,
   d.service_reads = snapshot.reads.service_time;
   d.faults = snapshot.faults;
   d.moves = snapshot.moves;
+  d.util = snapshot.util;
   return d;
 }
 

@@ -42,8 +42,31 @@ struct DayMetrics {
   /// zero: arrangement passes run between days).
   driver::MoveCounters moves;
   /// Outcome of the arrangement (or clean) pass that prepared this day.
-  /// Default-constructed on day 1 and after plain count resets.
+  /// Default-constructed on day 1 and after plain count resets. In
+  /// continuous mode this is instead the day's own plan, closed at day
+  /// end — its movement I/O ran inside the measured day.
   placement::ArrangeResult arrange;
+  /// Disk-time split of the measured day (see driver::UtilCounters).
+  driver::UtilCounters util;
+  /// Simulated span of the measured day (summed over members on a sharded
+  /// fleet, so idle fractions stay per-disk quantities). Filled by the
+  /// runner; 0 when unknown.
+  Micros elapsed = 0;
+
+  /// Seconds the disk(s) sat completely idle.
+  double idle_seconds() const {
+    const Micros busy = util.external_busy + util.internal_busy;
+    return elapsed > busy ? MicrosToSeconds(elapsed - busy) : 0.0;
+  }
+  /// Seconds spent servicing movement/table I/O.
+  double move_seconds() const { return MicrosToSeconds(util.internal_busy); }
+  /// Seconds external arrivals spent stalled behind movement I/O.
+  double stall_seconds() const { return MicrosToSeconds(util.arrange_stall); }
+  /// Fraction of non-user disk time the arranger actually used.
+  double idle_move_fraction() const {
+    const double denom = move_seconds() + idle_seconds();
+    return denom > 0.0 ? move_seconds() / denom : 0.0;
+  }
 
   /// Builds day metrics from a driver stats snapshot. `arrange` is filled
   /// in by the caller that ran the preceding pass.

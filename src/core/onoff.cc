@@ -42,7 +42,11 @@ StatusOr<OnOffResult> RunOnOffDays(Experiment& experiment,
   for (std::int32_t i = 0; i < total_days; ++i) {
     const bool on = (i % 2) == 1;
     if (on) {
-      ABR_RETURN_IF_ERROR(experiment.RearrangeForNextDay());
+      if (experiment.system().config().continuous) {
+        ABR_RETURN_IF_ERROR(experiment.OpenContinuousPlanForNextDay());
+      } else {
+        ABR_RETURN_IF_ERROR(experiment.RearrangeForNextDay());
+      }
     } else {
       ABR_RETURN_IF_ERROR(experiment.CleanForNextDay());
     }

@@ -5,6 +5,28 @@
 
 namespace abr::core {
 
+namespace {
+
+/// Field-by-field fold of one member's pass into the fleet total (shard
+/// order, so the total is deterministic).
+void FoldInto(placement::ArrangeResult& total,
+              const placement::ArrangeResult& r) {
+  total.cleaned += r.cleaned;
+  total.copied += r.copied;
+  total.skipped += r.skipped;
+  total.aborted += r.aborted;
+  total.kept += r.kept;
+  total.shuffled += r.shuffled;
+  total.evicted += r.evicted;
+  total.admitted += r.admitted;
+  total.deferred += r.deferred;
+  total.halted = total.halted || r.halted;
+  total.internal_ios += r.internal_ios;
+  total.io_time += r.io_time;
+}
+
+}  // namespace
+
 // --- ShardedSystem ---------------------------------------------------------
 
 void ShardedSystem::Shard::OnIoComplete(const sim::CompletedIo& done) {
@@ -265,21 +287,43 @@ StatusOr<placement::ArrangeResult> ShardedSystem::RearrangeAll() {
   placement::ArrangeResult total;
   for (const auto& shard : shards_) {
     if (!shard->pass_result.ok()) return shard->pass_result.status();
-    const placement::ArrangeResult& r = *shard->pass_result;
-    total.cleaned += r.cleaned;
-    total.copied += r.copied;
-    total.skipped += r.skipped;
-    total.aborted += r.aborted;
-    total.kept += r.kept;
-    total.shuffled += r.shuffled;
-    total.evicted += r.evicted;
-    total.admitted += r.admitted;
-    total.halted = total.halted || r.halted;
-    total.internal_ios += r.internal_ios;
-    total.io_time += r.io_time;
+    FoldInto(total, *shard->pass_result);
   }
   advanced_to_ = std::max(advanced_to_, now());
   return total;
+}
+
+Status ShardedSystem::OpenContinuousPlanAll() {
+  if (!started_) return Status::FailedPrecondition("Start() has not run");
+  if (step_active_) return Status::FailedPrecondition("step active");
+  ForEachShard([](Shard& shard) {
+    shard.step_status = shard.system->OpenContinuousPlan();
+  });
+  for (const auto& shard : shards_) {
+    if (!shard->step_status.ok()) return shard->step_status;
+  }
+  return Status::Ok();
+}
+
+placement::ArrangeResult ShardedSystem::CloseContinuousDayAll() {
+  placement::ArrangeResult total;
+  if (!started_ || step_active_) return total;
+  ForEachShard([](Shard& shard) {
+    shard.pass_result = shard.system->CloseContinuousDay();
+  });
+  merger_.DrainInto(merge_sink_);
+  for (const auto& shard : shards_) {
+    FoldInto(total, *shard->pass_result);
+  }
+  advanced_to_ = std::max(advanced_to_, now());
+  return total;
+}
+
+bool ShardedSystem::continuous_plan_open() const {
+  for (const auto& shard : shards_) {
+    if (shard->system->continuous_plan_open()) return true;
+  }
+  return false;
 }
 
 StatusOr<placement::ArrangeResult> ShardedSystem::CleanAll() {
@@ -419,9 +463,21 @@ StatusOr<DayMetrics> ShardedDayRunner::RunMeasuredDay() {
   ++day_;
   DayMetrics metrics =
       DayMetrics::From(sys.ReadStatsMerged(/*clear=*/true), sys.seek_model());
-  metrics.arrange = last_arrange_;
+  // Every member ran the same day span; the fleet's disk-time budget for
+  // idle accounting is the span times the member count.
+  metrics.elapsed = (*quiesce - start) * sys.shards();
+  if (sys.continuous_plan_open()) {
+    metrics.arrange = sys.CloseContinuousDayAll();
+  } else {
+    metrics.arrange = last_arrange_;
+  }
   last_arrange_ = placement::ArrangeResult{};
   return metrics;
+}
+
+Status ShardedDayRunner::OpenContinuousPlanForNextDay() {
+  last_arrange_ = placement::ArrangeResult{};
+  return system_->OpenContinuousPlanAll();
 }
 
 Status ShardedDayRunner::RearrangeForNextDay() {
@@ -447,7 +503,11 @@ StatusOr<ShardedOnOffResult> RunShardedOnOff(ShardedDayRunner& runner,
   for (std::int32_t i = 0; i < total_days; ++i) {
     const bool on = (i % 2) == 1;
     if (on) {
-      ABR_RETURN_IF_ERROR(runner.RearrangeForNextDay());
+      if (runner.system().config().system.continuous) {
+        ABR_RETURN_IF_ERROR(runner.OpenContinuousPlanForNextDay());
+      } else {
+        ABR_RETURN_IF_ERROR(runner.RearrangeForNextDay());
+      }
     } else {
       ABR_RETURN_IF_ERROR(runner.CleanForNextDay());
     }

@@ -151,6 +151,19 @@ class ShardedSystem {
   /// evictions like Experiment::CleanForNextDay.
   StatusOr<placement::ArrangeResult> CleanAll();
 
+  /// Continuous mode (config().system.continuous): opens each member's
+  /// utility-priced plan from its own counts. Plans execute during member
+  /// idle time; folds are per-member so results stay byte-identical for
+  /// every thread count.
+  Status OpenContinuousPlanAll();
+
+  /// Closes every member's open plan and folds the outcomes in shard
+  /// order (no-op total when no plans are open).
+  placement::ArrangeResult CloseContinuousDayAll();
+
+  /// True while any member has an open continuous plan.
+  bool continuous_plan_open() const;
+
   /// Resets every member's reference counts.
   void ResetCounts();
 
@@ -258,6 +271,7 @@ class ShardedDayRunner {
   /// End-of-day passes, mirroring Experiment.
   Status RearrangeForNextDay();
   Status CleanForNextDay();
+  Status OpenContinuousPlanForNextDay();
 
   const placement::ArrangeResult& last_arrange() const {
     return last_arrange_;

@@ -159,6 +159,12 @@ AdaptiveDriver::PhysExtents AdaptiveDriver::MapVirtualExtent(
 Status AdaptiveDriver::SubmitBlock(std::int32_t device, BlockNo block,
                                    sched::IoType type, Micros arrival_time) {
   if (!attached_) return Status::FailedPrecondition("driver not attached");
+  // With a continuous arranger listening, walk the clock up to the arrival
+  // first: the idle span this request terminates is offered to the sink,
+  // and the arrival then preempts exactly at its timestamp.
+  if (idle_sink_ != nullptr && arrival_time > system_.now()) {
+    AdvanceTo(arrival_time);
+  }
   return RouteBlock(device, block, type, arrival_time, /*record_stats=*/true);
 }
 
@@ -179,6 +185,7 @@ Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
         type, label_.physical_geometry().CylinderOf(original));
     request_monitor_.Record(
         RequestRecord{device, block, config_.block_size_bytes, type});
+    NoteExternalArrival();
   }
 
   PhysExtents finals = extents;
@@ -251,6 +258,9 @@ Status AdaptiveDriver::SubmitRaw(std::int32_t device, SectorNo sector,
   if (sector < 0 || count <= 0 || sector + count > part->sector_count) {
     return Status::OutOfRange("raw extent outside partition");
   }
+  if (idle_sink_ != nullptr && arrival_time > system_.now()) {
+    AdvanceTo(arrival_time);
+  }
   // physio: split at file-system block boundaries so that each piece is
   // either wholly rearranged or wholly not.
   SectorNo at = sector;
@@ -300,6 +310,7 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
         static_cast<std::int32_t>(
             count * label_.physical_geometry().bytes_per_sector),
         type});
+    NoteExternalArrival();
   }
 
   if (original_key != kInvalidBlock &&
@@ -784,6 +795,7 @@ void AdaptiveDriver::OnIoComplete(const sim::CompletedIo& done) {
   if (done.request.internal) {
     ++internal_io_count_;
     internal_io_time_ += done.service_time;
+    perf_monitor_.RecordInternalBusy(done.service_time);
     auto it = internal_ops_.find(done.request.id);
     assert(it != internal_ops_.end());
     const SectorNo key = it->second;
@@ -853,6 +865,46 @@ void AdaptiveDriver::AbortChain(SectorNo key) {
   // are released against the rolled-back table and on_finish (the clean
   // pass's pump) keeps going with the next block.
   PumpChain(key);
+}
+
+void AdaptiveDriver::NoteExternalArrival() {
+  if (idle_sink_ == nullptr) return;
+  if (!moving_.empty()) idle_sink_->OnBusy();
+  if (system_.current_is_internal()) {
+    // The arriving request is stalled at least until the in-flight
+    // movement/table operation retires; charge that remainder as
+    // arrangement interference.
+    const std::optional<Micros> next = system_.next_completion_time();
+    if (next.has_value() && *next > system_.now()) {
+      perf_monitor_.RecordArrangeStall(*next - system_.now());
+    }
+  }
+}
+
+void AdaptiveDriver::AdvanceTo(Micros t) {
+  if (idle_sink_ == nullptr) {
+    system_.AdvanceTo(t);
+    return;
+  }
+  // Step completion by completion so every idle span inside [now, t) is
+  // offered to the sink. The sink is consulted only when the disk is fully
+  // idle (nothing queued, nothing in flight — so no stale-translated
+  // request can race a chain it starts); once it declines to submit, the
+  // remaining span really is idle and the clock jumps it in one go.
+  while (!system_.halted() && system_.now() < t) {
+    const std::optional<Micros> next = system_.next_completion_time();
+    if (next.has_value() && *next <= t) {
+      system_.AdvanceTo(*next);
+      continue;
+    }
+    if (!system_.busy() && system_.queued() == 0) {
+      const std::int64_t before = next_request_id_;
+      idle_sink_->OnIdle(t);
+      if (next_request_id_ != before) continue;  // sink submitted work
+    }
+    break;
+  }
+  system_.AdvanceTo(t);
 }
 
 Micros AdaptiveDriver::Drain() {

@@ -60,6 +60,21 @@ struct DriverConfig {
   bool translation_fast_path = true;
 };
 
+/// Receives disk-idle windows from the driver. Registered by the
+/// continuous arranger: whenever the simulated clock is about to cross a
+/// span with nothing queued and nothing in flight, the driver offers the
+/// span to the sink, which may submit internal move chains (and nothing
+/// else — external traffic always comes first). OnBusy() fires when an
+/// external request arrives while internal chains are still in flight:
+/// the suspend signal — no new idle window opens until the queue drains,
+/// so an open plan simply pauses where it is.
+class IdleSink {
+ public:
+  virtual ~IdleSink() = default;
+  virtual void OnIdle(Micros horizon) = 0;
+  virtual void OnBusy() {}
+};
+
 /// The modified UNIX disk driver of Section 4: logical-device to physical
 /// translation, virtual-to-actual disk mapping around the hidden reserved
 /// cylinders, block-table redirection of rearranged blocks, the
@@ -172,8 +187,11 @@ class AdaptiveDriver : private sim::CompletionSink {
 
   // --- Simulated-time control -------------------------------------------
 
-  /// Advances simulated time, completing I/O that finishes by `t`.
-  void AdvanceTo(Micros t) { system_.AdvanceTo(t); }
+  /// Advances simulated time, completing I/O that finishes by `t`. With an
+  /// idle sink registered, every idle span crossed on the way is offered
+  /// to it first (see IdleSink); without one the call is a plain clock
+  /// advance, byte-identical to the pre-continuous driver.
+  void AdvanceTo(Micros t);
 
   /// Completes all outstanding work (including in-flight block moves).
   Micros Drain();
@@ -201,6 +219,13 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// I/O and retried attempts are not forwarded. The crash harness uses
   /// this to track acknowledged writes; may be null.
   void set_client_sink(sim::CompletionSink* sink) { client_sink_ = sink; }
+
+  /// Registers the idle-time consumer (the continuous arranger); may be
+  /// null. While registered, external submissions with future arrival
+  /// times first advance the clock to the arrival so the preceding idle
+  /// span is offered to the sink — which is what makes "preempt the
+  /// moment user requests arrive" exact rather than tick-granular.
+  void set_idle_sink(IdleSink* sink) { idle_sink_ = sink; }
 
   /// Sectors per file-system block.
   std::int32_t block_sectors() const { return block_sectors_; }
@@ -304,6 +329,11 @@ class AdaptiveDriver : private sim::CompletionSink {
                           std::int64_t count, sched::IoType type,
                           Micros arrival_time, bool record_stats);
 
+  /// Stall/preemption bookkeeping for one stats-recorded external arrival:
+  /// notifies the idle sink (suspend signal) and charges the remaining
+  /// service time of an in-flight internal op as arrangement stall.
+  void NoteExternalArrival();
+
   /// True iff a move chain is active for the block keyed by `original`.
   bool IsMoving(SectorNo original) const {
     return moving_.contains(original);
@@ -380,6 +410,7 @@ class AdaptiveDriver : private sim::CompletionSink {
   BlockTableStore* store_;
   sim::DiskSystem system_;
   sim::CompletionSink* client_sink_ = nullptr;
+  IdleSink* idle_sink_ = nullptr;
   std::unique_ptr<BlockTable> block_table_;
   RequestMonitor request_monitor_;
   PerfMonitor perf_monitor_;

@@ -47,6 +47,7 @@ void PerfSnapshot::MergeFrom(const PerfSnapshot& other) {
   all.MergeFrom(other.all);
   faults.MergeFrom(other.faults);
   moves.MergeFrom(other.moves);
+  util.MergeFrom(other.util);
 }
 
 void PerfMonitor::Advance(Chain& chain, Cylinder cylinder, PerfSide& side) {
@@ -72,6 +73,7 @@ void PerfMonitor::RecordCompletion(sched::IoType type, Micros queue_time,
                                    Micros service_time,
                                    std::int64_t seek_distance, Micros rotation,
                                    Micros transfer, bool buffer_hit) {
+  snapshot_.util.external_busy += service_time;
   PerfSide& side =
       type == sched::IoType::kRead ? snapshot_.reads : snapshot_.writes;
   for (PerfSide* s : {&side, &snapshot_.all}) {
@@ -92,6 +94,7 @@ PerfSnapshot PerfMonitor::Snapshot(bool clear) {
     snapshot_.all.Clear();
     snapshot_.faults.Clear();
     snapshot_.moves.Clear();
+    snapshot_.util.Clear();
     read_chain_ = Chain{};
     write_chain_ = Chain{};
     all_chain_ = Chain{};

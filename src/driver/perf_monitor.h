@@ -90,6 +90,26 @@ struct MoveCounters {
   }
 };
 
+/// Disk-utilization accounting: how the day's disk time splits between
+/// serving users, moving blocks, and sitting idle. external_busy and
+/// internal_busy accumulate service time of successful completions;
+/// arrange_stall totals the time external arrivals spent blocked behind an
+/// in-flight internal (movement/table) operation — the continuous
+/// arranger's interference with user traffic.
+struct UtilCounters {
+  Micros external_busy = 0;
+  Micros internal_busy = 0;
+  Micros arrange_stall = 0;
+
+  void Clear() { *this = UtilCounters{}; }
+
+  void MergeFrom(const UtilCounters& o) {
+    external_busy += o.external_busy;
+    internal_busy += o.internal_busy;
+    arrange_stall += o.arrange_stall;
+  }
+};
+
 /// Snapshot returned by the stats ioctl. `all` is a true single-chain view
 /// of the whole request stream: its arrival-order seek distances are the
 /// distances between consecutive arrivals of *any* type, not a merge of the
@@ -100,6 +120,7 @@ struct PerfSnapshot {
   PerfSide all;
   FaultCounters faults;
   MoveCounters moves;
+  UtilCounters util;
 
   /// Accumulates another snapshot into this one, slice by slice. Note the
   /// merged arrival-order distance chains remain per-shard chains: distances
@@ -142,6 +163,14 @@ class PerfMonitor {
   void RecordCopyIn() { ++snapshot_.moves.copy_ins; }
   void RecordShuffle() { ++snapshot_.moves.shuffles; }
   void RecordEviction() { ++snapshot_.moves.evictions; }
+
+  // --- Disk-utilization events (see UtilCounters) ----------------------
+  void RecordInternalBusy(Micros service_time) {
+    snapshot_.util.internal_busy += service_time;
+  }
+  void RecordArrangeStall(Micros stall) {
+    snapshot_.util.arrange_stall += stall;
+  }
 
   /// Returns the current statistics; clears them when `clear` is set (the
   /// real ioctl always clears; tests sometimes want to peek).

@@ -120,6 +120,11 @@ void CrashHarness::BuildMachine(bool after_crash) {
       std::make_unique<driver::AdaptiveDriver>(disk_.get(), label_, dcfg,
                                                &store_);
   driver_->set_client_sink(this);
+  if (config_.continuous) {
+    continuous_ = std::make_unique<placement::ContinuousArranger>(
+        policy_.get(), placement::ContinuousArrangerConfig{});
+    driver_->set_idle_sink(continuous_.get());
+  }
   Status s = driver_->Attach(after_crash);
   // A timed crash point can fire during the attach reads themselves; that
   // is a scheduled crash (the run loop rebuilds again), not a failure.
@@ -227,6 +232,20 @@ void CrashHarness::MaybeArrange(std::int32_t phase) {
               return a.count != b.count ? a.count > b.count
                                         : a.id.block < b.id.block;
             });
+  if (config_.continuous) {
+    // Retire the previous plan (its unexecuted tail is simply dropped) and
+    // open a fresh one from the counts so far; the new plan's chains run
+    // during idle gaps in the next phases' traffic.
+    if (continuous_->plan_open()) (void)continuous_->CloseDay();
+    if (driver_->halted()) return;
+    Status s = continuous_->OpenPlan(*driver_, ranked);
+    if (!s.ok()) {
+      RecordError("open plan failed: " + s.ToString());
+      return;
+    }
+    ++result_.arrange_passes;
+    return;
+  }
   placement::ArrangerConfig acfg;
   acfg.incremental = config_.incremental;
   placement::BlockArranger arranger(policy_.get(), acfg);
@@ -253,6 +272,11 @@ void CrashHarness::HandleCrash() {
   const SectorNo table_first = label_.reserved_first_sector();
   const SectorNo table_end =
       table_first + driver_->table_area_sectors();
+  // In continuous mode arrangement I/O interleaves with user traffic; a
+  // live move chain at the crash marks it as in-arrangement.
+  if (continuous_ != nullptr && driver_->active_chain_count() > 0) {
+    arranging_ = true;
+  }
   if (!op.is_read && op.sector < table_end &&
       table_first < op.sector + op.count) {
     ++result_.crash_in_table_save;
@@ -338,6 +362,10 @@ CrashHarnessResult CrashHarness::Run() {
     ++phase;
     if (driver_->halted()) continue;
     MaybeArrange(phase);
+  }
+  while (driver_->halted()) HandleCrash();
+  if (continuous_ != nullptr && continuous_->plan_open()) {
+    (void)continuous_->CloseDay();
   }
   while (driver_->halted()) HandleCrash();
   driver_->Drain();

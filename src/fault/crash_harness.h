@@ -13,6 +13,7 @@
 #include "fault/crash_table_store.h"
 #include "fault/fault_plan.h"
 #include "fault/faulty_disk.h"
+#include "placement/continuous_arranger.h"
 #include "placement/policy.h"
 #include "sim/disk_system.h"
 #include "util/rng.h"
@@ -58,6 +59,14 @@ struct CrashHarnessConfig {
   /// Arranger mode for the harness's rearrangement passes: the incremental
   /// delta-plan executor (default) or the full rebuild oracle.
   bool incremental = true;
+
+  /// Continuous mode: instead of quiesced batch passes, each arrangement
+  /// point opens a utility-priced plan that executes during disk idle time
+  /// under the following phases' traffic — so crashes (index- and
+  /// timed-scheduled alike) can land inside a suspended plan's move
+  /// chains. The in-memory plan dies with the boot; recovery must still
+  /// come up clean from the driver's on-disk state alone.
+  bool continuous = false;
 
   /// Shrinks the run (fewer phases/requests) for smoke tests.
   CrashHarnessConfig Quick() const {
@@ -149,6 +158,9 @@ class CrashHarness : public sim::CompletionSink {
   CrashTableStore store_;
   std::unique_ptr<driver::AdaptiveDriver> driver_;
   std::unique_ptr<placement::PlacementPolicy> policy_;
+  /// Continuous mode only; rebuilt fresh on every boot (a crash loses the
+  /// open plan, as it would the user-level arranger process).
+  std::unique_ptr<placement::ContinuousArranger> continuous_;
 
   Rng workload_rng_;
   std::unique_ptr<ZipfSampler> zipf_;

@@ -23,6 +23,10 @@ struct ArrangeResult {
   std::int32_t shuffled = 0;      // intra-region slot-to-slot moves
   std::int32_t evicted = 0;       // cooled blocks cleaned out
   std::int32_t admitted = 0;      // newly hot blocks copied in
+  std::int32_t deferred = 0;      // moves declined by the continuous
+                                  // arranger's utility threshold or left
+                                  // unexecuted when its day closed (always
+                                  // 0 for batch passes)
   bool halted = false;            // the machine died mid-pass (crash point)
   std::int64_t internal_ios = 0;  // driver I/O operations consumed
   Micros io_time = 0;             // disk time consumed by those I/Os

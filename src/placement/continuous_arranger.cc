@@ -1,0 +1,289 @@
+#include "placement/continuous_arranger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace abr::placement {
+
+ContinuousArranger::ContinuousArranger(const PlacementPolicy* policy,
+                                       ContinuousArrangerConfig config)
+    : policy_(policy), config_(config), threshold_(config.utility) {
+  assert(policy != nullptr);
+}
+
+Status ContinuousArranger::OpenPlan(
+    driver::AdaptiveDriver& driver,
+    const std::vector<analyzer::HotBlock>& ranked) {
+  if (plan_open_) {
+    return Status::FailedPrecondition("a continuous plan is already open");
+  }
+  if (!driver.label().rearranged()) {
+    return Status::FailedPrecondition("disk is not set up for rearrangement");
+  }
+  driver_ = &driver;
+  ops_.clear();
+  first_pending_ = 0;
+  rejected_ = 0;
+  idle_windows_ = 0;
+  preemptions_ = 0;
+  ios_before_ = driver.internal_io_count();
+  time_before_ = driver.internal_io_time();
+  aborted_before_ =
+      driver.IoctlReadStats(/*clear=*/false).faults.aborted_chains;
+  region_.emplace(ReservedRegion::FromDriver(driver));
+  const ReservedRegion& region = *region_;
+
+  // Eligibility filter, identical to the batch arranger's: rank order,
+  // bounded by the slot count, straddlers and bad addresses dropped.
+  std::int32_t ineligible = 0;
+  std::vector<analyzer::HotBlock> eligible;
+  std::vector<SectorNo> originals;
+  eligible.reserve(ranked.size());
+  originals.reserve(ranked.size());
+  for (const analyzer::HotBlock& hb : ranked) {
+    if (eligible.size() >= static_cast<std::size_t>(region.slot_count())) {
+      break;
+    }
+    StatusOr<SectorNo> original = BlockArranger::OriginalSector(driver, hb.id);
+    if (original.ok()) {
+      eligible.push_back(hb);
+      originals.push_back(*original);
+    } else if (original.status().code() == StatusCode::kNotFound ||
+               original.status().code() == StatusCode::kOutOfRange) {
+      ++ineligible;
+    } else {
+      return original.status();
+    }
+  }
+
+  // Price every action in the policy's desired layout and build the
+  // admitted layout `desired`: an in-table block prefers staying put (zero
+  // I/O) unless the shuffle to its assigned slot clears the threshold; a
+  // new block is admitted only when its reference count pays for the copy
+  // chain. Cooled blocks keep their slot when nobody wants it — evicting a
+  // block no one references buys nothing.
+  const PlacementPlan plan = policy_->Place(eligible, region);
+  assert(plan.size() == eligible.size());
+  const MoveUtilityModel model(&driver.disk().spec().seek_model,
+                               region.OrganPipeCylinderOrder().front());
+  const double thr = threshold_.value();
+  const std::int32_t chain_ios = config_.utility.chain_ios;
+  const disk::Geometry& geometry = driver.label().physical_geometry();
+  const driver::BlockTable& table = driver.block_table();
+  const SectorNo data_first = driver.reserved_data_first_sector();
+  const std::int32_t block_sectors = driver.block_sectors();
+
+  std::vector<bool> taken(static_cast<std::size_t>(region.slot_count()),
+                          false);
+  auto first_free = [&taken]() {
+    for (std::size_t s = 0; s < taken.size(); ++s) {
+      if (!taken[s]) return static_cast<std::int32_t>(s);
+    }
+    assert(false && "desired layout larger than the region");
+    return 0;
+  };
+  std::vector<SlotTarget> desired;
+  desired.reserve(table.size() + plan.size());
+  std::unordered_set<SectorNo> placed;
+  placed.reserve(table.size() + plan.size());
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const SlotAssignment& a = plan[i];
+    const SectorNo original = originals[i];
+    const std::int64_t refs = eligible[i].count;
+    const std::optional<SectorNo> relocated = table.Lookup(original);
+    if (relocated.has_value()) {
+      const std::int32_t cur_slot = static_cast<std::int32_t>(
+          (*relocated - data_first) / block_sectors);
+      if (cur_slot == a.slot && !taken[static_cast<std::size_t>(a.slot)]) {
+        desired.push_back(SlotTarget{original, cur_slot});
+      } else if (!taken[static_cast<std::size_t>(a.slot)] &&
+                 model.AdmitShuffle(refs, region.SlotCylinder(cur_slot),
+                                    region.SlotCylinder(a.slot), thr,
+                                    chain_ios)) {
+        desired.push_back(SlotTarget{original, a.slot});
+      } else if (!taken[static_cast<std::size_t>(cur_slot)]) {
+        // Shuffle priced out (or slot contended): stay where it is.
+        if (cur_slot != a.slot) ++rejected_;
+        desired.push_back(SlotTarget{original, cur_slot});
+      } else {
+        // Its slot was claimed by a hotter block: it must move somewhere.
+        const std::int32_t slot =
+            taken[static_cast<std::size_t>(a.slot)] ? first_free() : a.slot;
+        desired.push_back(SlotTarget{original, slot});
+      }
+    } else {
+      if (model.AdmitCopy(refs, geometry.CylinderOf(original), thr,
+                          chain_ios)) {
+        const std::int32_t slot =
+            taken[static_cast<std::size_t>(a.slot)] ? first_free() : a.slot;
+        desired.push_back(SlotTarget{original, slot});
+      } else {
+        ++rejected_;
+        continue;
+      }
+    }
+    taken[static_cast<std::size_t>(desired.back().slot)] = true;
+    placed.insert(original);
+  }
+
+  // Cooled residents: keep any whose slot survived unclaimed (canonical
+  // order — sorted by original — so equal mapping sets yield equal plans).
+  std::vector<const driver::BlockTableEntry*> cooled;
+  for (const driver::BlockTableEntry& e : table.entries()) {
+    if (!placed.contains(e.original)) cooled.push_back(&e);
+  }
+  std::sort(cooled.begin(), cooled.end(),
+            [](const driver::BlockTableEntry* a,
+               const driver::BlockTableEntry* b) {
+              return a->original < b->original;
+            });
+  for (const driver::BlockTableEntry* e : cooled) {
+    const std::int32_t cur_slot = static_cast<std::int32_t>(
+        (e->relocated - data_first) / block_sectors);
+    if (!taken[static_cast<std::size_t>(cur_slot)]) {
+      taken[static_cast<std::size_t>(cur_slot)] = true;
+      desired.push_back(SlotTarget{e->original, cur_slot});
+    }
+  }
+
+  chain_cost_ = model.MoveCost(chain_ios);
+  delta_ = BuildDeltaPlan(table, desired, region);
+  ops_.reserve(delta_.evicts.size() + delta_.shuffles.size() +
+               delta_.admits.size());
+  for (SectorNo original : delta_.evicts) {
+    ops_.push_back(Op{Op::kEvict, original, 0, false, false});
+  }
+  for (const DeltaMove& m : delta_.shuffles) {
+    ops_.push_back(Op{Op::kShuffle, m.original, region.SlotSector(m.to_slot),
+                      false, false});
+  }
+  for (const DeltaMove& m : delta_.admits) {
+    ops_.push_back(Op{Op::kAdmit, m.original, region.SlotSector(m.to_slot),
+                      false, false});
+  }
+  ineligible_ = ineligible;
+  plan_open_ = true;
+  return Status::Ok();
+}
+
+void ContinuousArranger::OnIdle(Micros horizon) {
+  if (!plan_open_ || driver_ == nullptr || driver_->halted()) return;
+  driver::AdaptiveDriver& driver = *driver_;
+  const std::size_t window = static_cast<std::size_t>(
+      std::max<std::int32_t>(1, config_.max_inflight));
+  // Chains serialize on the one disk arm, so the window drains in about
+  // active * chain_cost_; issue only chains the horizon has room for —
+  // one that spilled past the next known arrival would stall it.
+  const Micros budget = horizon - driver.now();
+  bool issued = false;
+  deferred_.clear();
+  while (first_pending_ < ops_.size() && ops_[first_pending_].done) {
+    ++first_pending_;
+  }
+  for (std::size_t i = first_pending_; i < ops_.size(); ++i) {
+    Op& op = ops_[i];
+    if (op.done) continue;
+    if (driver.active_chain_count() >= window) break;
+    if (static_cast<Micros>(driver.active_chain_count() + 1) * chain_cost_ >
+        budget) {
+      break;
+    }
+    if (deferred_.contains(op.original)) continue;
+    Status s = op.kind == Op::kEvict
+                   ? driver.IoctlEvictBlock(op.original)
+                   : op.kind == Op::kShuffle
+                         ? driver.IoctlMoveBlock(op.original, op.target)
+                         : driver.IoctlCopyBlock(op.original, op.target);
+    if (s.ok()) {
+      op.done = true;
+      issued = true;
+    } else if (op.kind == Op::kEvict && s.code() == StatusCode::kNotFound) {
+      op.done = true;  // already gone — nothing to do
+    } else if (s.code() == StatusCode::kAlreadyExists ||
+               s.code() == StatusCode::kBusy ||
+               s.code() == StatusCode::kResourceExhausted) {
+      // Target still held (by an entry or an in-flight chain): retry in a
+      // later window, and keep this block's later ops behind it.
+      deferred_.insert(op.original);
+    } else {
+      op.done = true;  // permanently rejected (e.g. aborted-chain debris)
+      op.skipped = true;
+    }
+    if (driver.halted()) return;
+  }
+  if (issued) ++idle_windows_;
+}
+
+void ContinuousArranger::OnBusy() {
+  if (plan_open_ && driver_ != nullptr && driver_->active_chain_count() > 0) {
+    ++preemptions_;
+  }
+}
+
+ArrangeResult ContinuousArranger::CloseDay() {
+  ArrangeResult result;
+  if (!plan_open_ || driver_ == nullptr) return result;
+  driver::AdaptiveDriver& driver = *driver_;
+  // Retire the in-flight tail (no-op on a quiesced or halted machine); the
+  // plan itself is never force-finished — unexecuted ops are simply
+  // dropped and replanned from fresh counts tomorrow.
+  if (!driver.halted()) driver.Drain();
+
+  result.halted = driver.halted();
+  result.kept = delta_.kept;
+  result.skipped = ineligible_;
+  result.internal_ios = driver.internal_io_count() - ios_before_;
+  result.io_time = driver.internal_io_time() - time_before_;
+  const std::int64_t aborted_now =
+      driver.IoctlReadStats(/*clear=*/false).faults.aborted_chains;
+  // The day's stats clear may have reset the counter after OpenPlan
+  // snapped its baseline; all aborts since then are ours either way.
+  result.aborted = static_cast<std::int32_t>(
+      aborted_now >= aborted_before_ ? aborted_now - aborted_before_
+                                     : aborted_now);
+
+  std::int64_t executed = 0;
+  for (const Op& op : ops_) {
+    if (op.done && !op.skipped) ++executed;
+    if (op.skipped) ++result.skipped;
+    if (!op.done) ++result.deferred;
+  }
+  result.deferred += rejected_;
+
+  // Account from the table: only moves whose mutation landed count.
+  const driver::BlockTable& table = driver.block_table();
+  const ReservedRegion& region = *region_;
+  for (SectorNo original : delta_.evicts) {
+    if (!table.Lookup(original).has_value()) ++result.evicted;
+  }
+  std::unordered_map<SectorNo, SectorNo> final_slot;
+  final_slot.reserve(delta_.shuffles.size());
+  for (const DeltaMove& m : delta_.shuffles) {
+    final_slot[m.original] = region.SlotSector(m.to_slot);
+  }
+  for (const auto& [original, target] : final_slot) {
+    const std::optional<SectorNo> relocated = table.Lookup(original);
+    if (relocated.has_value() && *relocated == target) ++result.shuffled;
+  }
+  for (const DeltaMove& m : delta_.admits) {
+    const std::optional<SectorNo> relocated = table.Lookup(m.original);
+    if (relocated.has_value() &&
+        *relocated == region.SlotSector(m.to_slot)) {
+      ++result.admitted;
+    }
+  }
+  result.cleaned = result.evicted;
+  result.copied = result.admitted;
+
+  threshold_.Update(static_cast<std::int64_t>(ops_.size()), executed,
+                    rejected_);
+  plan_open_ = false;
+  ops_.clear();
+  first_pending_ = 0;
+  delta_ = DeltaPlan{};
+  return result;
+}
+
+}  // namespace abr::placement

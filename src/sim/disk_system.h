@@ -80,6 +80,14 @@ class DiskSystem {
   /// True iff an operation is in flight.
   bool busy() const { return in_flight_; }
 
+  /// True iff the in-flight operation is driver-internal (movement or
+  /// table I/O). An external arrival landing while this holds is stalled
+  /// behind arrangement work — the continuous arranger's interference,
+  /// which the driver accounts separately.
+  bool current_is_internal() const {
+    return in_flight_ && current_.request.internal;
+  }
+
   /// Completion time of the in-flight operation, or nullopt when idle.
   /// Lets a caller step the clock one completion at a time — the arranger's
   /// pipelined executor advances exactly to the next retirement so it can

@@ -33,6 +33,11 @@ constexpr double MicrosToMillis(Micros us) {
   return static_cast<double>(us) / 1000.0;
 }
 
+/// Converts a simulator duration to fractional seconds for reporting.
+constexpr double MicrosToSeconds(Micros us) {
+  return static_cast<double>(us) / 1000000.0;
+}
+
 /// Physical sector address on a disk (SCSI logical sector number).
 /// Sectors are the disk's addressing unit; file-system blocks span a fixed
 /// number of consecutive sectors.

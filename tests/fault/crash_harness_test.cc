@@ -40,6 +40,27 @@ TEST(CrashHarnessTest, DeterministicFingerprint) {
   EXPECT_EQ(a.faults.retries, b.faults.retries);
 }
 
+TEST(CrashHarnessTest, ContinuousModeDeterministicWithTimedCrashes) {
+  // Continuous mode keeps a suspended plan's move chains in flight under
+  // traffic; timed crash points can land inside one. Same seed must still
+  // reproduce the exact same run, and every boot must verify clean.
+  CrashHarnessConfig config = CrashHarnessConfig{}.Quick();
+  config.seed = 51;
+  config.continuous = true;
+  config.crash_points = 1;
+  config.timed_crash_points = 2;
+  const CrashHarnessResult a = CrashHarness(config).Run();
+  const CrashHarnessResult b = CrashHarness(config).Run();
+  EXPECT_TRUE(a.ok()) << a.first_error;
+  EXPECT_EQ(a.mismatches, 0);
+  EXPECT_GT(a.crashes, 0);
+  EXPECT_EQ(a.fingerprint_hash, b.fingerprint_hash);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.writes_acked, b.writes_acked);
+  EXPECT_EQ(a.blocks_verified, b.blocks_verified);
+  EXPECT_EQ(a.injected_faults, b.injected_faults);
+}
+
 TEST(CrashHarnessTest, RetriesSurviveTransientFaults) {
   // Plenty of transient faults, no crashes: the driver's bounded retry
   // must absorb every one of them without losing a request.

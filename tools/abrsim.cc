@@ -140,6 +140,11 @@ core::ExperimentConfig BuildConfig(Flags& flags) {
   config.system.arranger.incremental =
       flags.Get("no-incremental", "") != "true";
 
+  // Continuous cost-bounded rearrangement: on-days open a utility-priced
+  // plan that executes during disk idle time instead of a quiesced batch
+  // pass (the batch pass stays available as the oracle).
+  config.system.continuous = flags.Get("continuous", "") == "true";
+
   const std::string scheduler = flags.Get("scheduler", "scan");
   if (scheduler == "scan") {
     config.system.driver.scheduler = sched::SchedulerKind::kScan;
@@ -206,6 +211,7 @@ void PrintShardedHeader(const core::ShardedSystemConfig& config,
   if (!config.system.arranger.incremental) {
     std::printf("  arranger=full-rebuild");
   }
+  if (config.system.continuous) std::printf("  arranger=continuous");
   std::printf("\n\n");
 }
 
@@ -242,9 +248,14 @@ int CmdOnOffSharded(Flags& flags, std::int32_t shards) {
   std::printf("%s", t.ToString().c_str());
 
   // Per-day pass outcomes, summed across the fleet's members in shard
-  // order by RearrangeAll/CleanAll.
+  // order by RearrangeAll/CleanAll (or CloseContinuousDayAll). The idle
+  // columns are the fleet's disk-time budget: seconds no member spent
+  // serving anything, seconds spent on movement I/O, seconds user requests
+  // stalled behind an in-flight move, and the share of slack time the
+  // arranger used.
   Table a({"pass before", "kept", "shuffled", "evicted", "admitted",
-           "skipped", "internal ios", "io ms"});
+           "skipped", "deferred", "internal ios", "io ms", "idle s",
+           "move s", "stall s", "mv/idle"});
   const auto add_rows = [&](const char* label,
                             const std::vector<core::DayMetrics>& daysv) {
     for (std::size_t d = 0; d < daysv.size(); ++d) {
@@ -257,8 +268,13 @@ int CmdOnOffSharded(Flags& flags, std::int32_t shards) {
                 Table::Fmt((std::int64_t)ar.evicted),
                 Table::Fmt((std::int64_t)ar.admitted),
                 Table::Fmt((std::int64_t)ar.skipped),
+                Table::Fmt((std::int64_t)ar.deferred),
                 Table::Fmt(ar.internal_ios),
-                Table::Fmt(MicrosToMillis(ar.io_time), 1)});
+                Table::Fmt(MicrosToMillis(ar.io_time), 1),
+                Table::Fmt(daysv[d].idle_seconds(), 1),
+                Table::Fmt(daysv[d].move_seconds(), 1),
+                Table::Fmt(daysv[d].stall_seconds(), 1),
+                Table::Fmt(daysv[d].idle_move_fraction(), 3)});
     }
   };
   add_rows("Off", result->off_days);
@@ -430,6 +446,7 @@ int CmdOnOff(Flags& flags) {
   if (!config.system.arranger.incremental) {
     std::printf("  arranger=full-rebuild");
   }
+  if (config.system.continuous) std::printf("  arranger=continuous");
   std::printf("\n\n");
 
   // Replication 0 keeps the config's own seed, so the default
@@ -474,11 +491,13 @@ int CmdOnOff(Flags& flags) {
   // across replicas in replica order — output stays byte-identical for
   // every --jobs value.
   Table a({"pass before", "kept", "shuffled", "evicted", "admitted",
-           "skipped", "internal ios", "io ms"});
+           "skipped", "deferred", "internal ios", "io ms", "idle s",
+           "move s", "stall s", "mv/idle"});
   const auto add_rows = [&](const char* label,
                             const std::vector<core::DayMetrics>& daysv) {
     for (std::int32_t d = 0; d < days; ++d) {
       placement::ArrangeResult sum;
+      core::DayMetrics day_sum;
       for (std::size_t r = static_cast<std::size_t>(d); r < daysv.size();
            r += static_cast<std::size_t>(days)) {
         const placement::ArrangeResult& ar = daysv[r].arrange;
@@ -487,8 +506,11 @@ int CmdOnOff(Flags& flags) {
         sum.evicted += ar.evicted;
         sum.admitted += ar.admitted;
         sum.skipped += ar.skipped;
+        sum.deferred += ar.deferred;
         sum.internal_ios += ar.internal_ios;
         sum.io_time += ar.io_time;
+        day_sum.elapsed += daysv[r].elapsed;
+        day_sum.util.MergeFrom(daysv[r].util);
       }
       char name[16];
       std::snprintf(name, sizeof(name), "%s %d", label, d + 1);
@@ -497,8 +519,13 @@ int CmdOnOff(Flags& flags) {
                 Table::Fmt((std::int64_t)sum.evicted),
                 Table::Fmt((std::int64_t)sum.admitted),
                 Table::Fmt((std::int64_t)sum.skipped),
+                Table::Fmt((std::int64_t)sum.deferred),
                 Table::Fmt(sum.internal_ios),
-                Table::Fmt(MicrosToMillis(sum.io_time), 1)});
+                Table::Fmt(MicrosToMillis(sum.io_time), 1),
+                Table::Fmt(day_sum.idle_seconds(), 1),
+                Table::Fmt(day_sum.move_seconds(), 1),
+                Table::Fmt(day_sum.stall_seconds(), 1),
+                Table::Fmt(day_sum.idle_move_fraction(), 3)});
     }
   };
   add_rows("Off", merged.off_days);
@@ -632,12 +659,16 @@ int CmdCrashDay(Flags& flags) {
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   const std::int32_t shards =
       static_cast<std::int32_t>(flags.GetInt("shards", 1));
+  const std::int32_t timed_crash_points =
+      static_cast<std::int32_t>(flags.GetInt("timed-crash-points", 0));
   const bool quick = flags.Get("quick", "") == "true";
   const bool incremental = flags.Get("no-incremental", "") != "true";
+  const bool continuous = flags.Get("continuous", "") == "true";
   flags.CheckAllUsed();
-  if (replicas < 1 || jobs < 1 || crash_points < 0 || shards < 1) {
+  if (replicas < 1 || jobs < 1 || crash_points < 0 || shards < 1 ||
+      timed_crash_points < 0) {
     std::fprintf(stderr, "--replicas/--jobs/--shards must be >= 1, "
-                 "--crash-points >= 0\n");
+                 "--crash-points/--timed-crash-points >= 0\n");
     return 2;
   }
 
@@ -648,6 +679,10 @@ int CmdCrashDay(Flags& flags) {
   // shards=1 keeps the header (and everything below) byte-identical to
   // the historical single-machine output.
   if (shards > 1) std::printf("  shards=%d", shards);
+  if (timed_crash_points > 0) {
+    std::printf("  timed-crash-points=%d", timed_crash_points);
+  }
+  if (continuous) std::printf("  arranger=continuous");
   std::printf("\n\n");
 
   // Each replica is a fleet of `shards` fully independent member machines
@@ -664,7 +699,9 @@ int CmdCrashDay(Flags& flags) {
     config.seed = fault_seed + static_cast<std::uint64_t>(replica) * 0x9E37 +
                   static_cast<std::uint64_t>(member) * 0x51ED;
     config.crash_points = crash_points;
+    config.timed_crash_points = timed_crash_points;
     config.incremental = incremental;
+    config.continuous = continuous;
     if (quick) config = config.Quick();
     fault::CrashHarness harness(config);
     return harness.Run();
@@ -756,6 +793,9 @@ void Usage() {
       "--decay=F\n"
       "  --no-incremental  full clean-and-recopy rearrangement passes\n"
       "    instead of the incremental delta plan (also for crashday)\n"
+      "  --continuous  utility-priced plans executed during disk idle\n"
+      "    time instead of quiesced daily batch passes (onoff serial and\n"
+      "    sharded, and crashday; batch remains the default oracle)\n"
       "sweep only: --blocks-list=a,b,c\n"
       "sweep/policy: --jobs=N  run grid points on N worker threads\n"
       "  (output is byte-identical for every N; N=1 runs inline)\n"
@@ -763,6 +803,8 @@ void Usage() {
       "  --seed, so R=1 reproduces the serial run); --jobs=N fans the\n"
       "  replications across N workers with identical output for every N\n"
       "crashday: --fault-seed=N --crash-points=N --replicas=R --jobs=N\n"
+      "  --timed-crash-points=N  crashes scheduled by global simulated\n"
+      "  time (they can land inside a suspended continuous plan)\n"
       "  --quick  (output is byte-identical across runs and --jobs)\n"
       "sharded fleet (onoff/sweep/policy): --shards=S  partition the\n"
       "  virtual block space across S member drives, each on its own\n"

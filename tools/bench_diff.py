@@ -14,7 +14,11 @@ wall-clock times, so it jitters more than throughput. Multi-thread
 metrics (kind "replication" or "scaling") are skipped when the current
 machine has fewer CPUs than the metric's recorded thread count — a
 1-core runner cannot reproduce an 8-way fan-out, and failing on it would
-just teach people to ignore the check.
+just teach people to ignore the check. When the baseline document
+carries the recording machine's hardware-thread count ("hw_threads")
+and it differs from this machine's, every speedup comparison is
+skipped: parallel scaling measured on different hardware is not
+comparable at any thread count.
 
 A baseline that does not exist yet is not a regression: the first run of a
 new benchmark has nothing to compare against, so a missing BASELINE.json
@@ -97,6 +101,13 @@ def main():
     )
 
     cpus = os.cpu_count() or 1
+    base_hw = base_doc.get("hw_threads")
+    hw_mismatch = isinstance(base_hw, int) and base_hw > 0 and base_hw != cpus
+    if hw_mismatch and args.speedup_tolerance is not None:
+        print(
+            f"bench_diff: baseline recorded on a {base_hw}-thread machine, "
+            f"this machine has {cpus}; skipping all speedup comparisons"
+        )
     failed = []
     for name in sorted(base):
         if name not in cur:
@@ -115,7 +126,7 @@ def main():
             f"ops/s  ({ratio:6.2f}x)  {verdict}"
         )
 
-        if args.speedup_tolerance is None:
+        if args.speedup_tolerance is None or hw_mismatch:
             continue
         base_speedup = base[name].get("speedup", 0)
         if not isinstance(base_speedup, (int, float)) or base_speedup <= 0:

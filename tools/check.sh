@@ -88,7 +88,14 @@ cmp "$DET_TMP/policy_j1.txt" "$DET_TMP/policy_j4.txt"
 ./build/tools/abrsim crashday --shards=2 --quick --replicas=2 --jobs=4 \
   > "$DET_TMP/crash_j4.txt"
 cmp "$DET_TMP/crash_j1.txt" "$DET_TMP/crash_j4.txt"
-echo "sharded onoff/sweep/policy/crashday byte-identical across --jobs"
+# The continuous arranger's idle-time executor advances with each member's
+# own clock, so the same invariant must hold with per-member open plans.
+./build/tools/abrsim onoff --continuous --shards=3 --jobs=1 --day-minutes=4 \
+  --days=1 > "$DET_TMP/cont_j1.txt"
+./build/tools/abrsim onoff --continuous --shards=3 --jobs=8 --day-minutes=4 \
+  --days=1 > "$DET_TMP/cont_j8.txt"
+cmp "$DET_TMP/cont_j1.txt" "$DET_TMP/cont_j8.txt"
+echo "sharded onoff/sweep/policy/crashday/continuous byte-identical across --jobs"
 
 if [[ "$NO_ASAN" == 1 ]]; then
   echo "== asan: skipped (--no-asan) =="
@@ -106,6 +113,11 @@ else
   ./build-asan/tests/adaptive_driver_test
   ./build-asan/tests/block_table_test
   ./build-asan/tools/abrsim crashday --quick --replicas=2
+  # Timed crash points landing inside a suspended continuous plan: the
+  # in-memory plan dies with the boot, recovery must come up clean from
+  # the on-disk state alone.
+  ./build-asan/tools/abrsim crashday --quick --replicas=2 --continuous \
+    --timed-crash-points=2
   # Incremental arranger vs full-rebuild oracle in lockstep — the move
   # chains and deferred-retry paths under ASan. Run from the build dir so
   # its BENCH_arrange.json does not clobber the repo-root baseline.
@@ -134,6 +146,11 @@ else
   # handoff is exactly where a missed happens-before edge would live.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tools/abrsim onoff --shards=4 --jobs=4 --day-minutes=4 --days=1
+  # Same fleet with per-member continuous arrangers: idle-sink callbacks
+  # fire inside each worker's AdvanceTo, a fresh surface for races.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tools/abrsim onoff --continuous --shards=4 --jobs=4 \
+    --day-minutes=4 --days=1
 fi
 
 if [[ "$NO_BENCH" == 1 ]]; then
