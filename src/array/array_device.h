@@ -1,0 +1,392 @@
+#ifndef ABR_ARRAY_ARRAY_DEVICE_H_
+#define ABR_ARRAY_ARRAY_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "disk/disk_label.h"
+#include "disk/drive_spec.h"
+#include "driver/adaptive_driver.h"
+#include "driver/perf_monitor.h"
+#include "fault/crash_table_store.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_disk.h"
+#include "placement/arranger.h"
+#include "placement/policy.h"
+#include "sim/disk_system.h"
+#include "sim/stripe_map.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+#include "workload/trace.h"
+
+namespace abr::array {
+
+/// How the member disks compose into one virtual device.
+enum class RaidLevel {
+  kRaid0,  // chunked striping: capacity scales, no redundancy
+  kRaid1,  // mirroring: every member holds the full device
+};
+
+const char* RaidLevelName(RaidLevel level);
+
+/// Availability state of one member.
+enum class MemberState {
+  kOnline,  // serving traffic, tables in lockstep (RAID1)
+  kDead,    // crashed; requests routed elsewhere or lost
+  kResync,  // reattached, catching up divergent regions; takes writes
+};
+
+const char* MemberStateName(MemberState state);
+
+/// Receives every *external* completion from every member, tagged with the
+/// member index. Only usable with threads == 1 (the crash harness): with a
+/// worker pool the per-member streams interleave nondeterministically and
+/// the array refuses to start.
+class ArrayCompletionSink {
+ public:
+  virtual ~ArrayCompletionSink() = default;
+  virtual void OnMemberIoComplete(std::int32_t member,
+                                  const sim::CompletedIo& done) = 0;
+};
+
+/// Configuration of the multi-disk array layer.
+struct ArrayConfig {
+  RaidLevel level = RaidLevel::kRaid1;
+
+  /// Member drives (identical). RAID1 needs at least 2.
+  std::int32_t members = 2;
+
+  /// Worker threads advancing members in parallel. Results are byte-
+  /// identical for every value: all cross-member decisions (routing,
+  /// dirty-region merging, resync copies, remaps) happen on the
+  /// coordinator at epoch barriers, in member order.
+  std::int32_t threads = 1;
+
+  /// RAID0 stripe unit in blocks: virtual blocks [k*chunk, (k+1)*chunk)
+  /// land contiguously on one member before the stripe advances.
+  std::int64_t chunk_blocks = 4;
+
+  /// Barrier horizon (see ShardedSystemConfig::epoch).
+  Micros epoch = 2 * kMinute;
+
+  /// Member drive model.
+  disk::DriveSpec drive = disk::DriveSpec::ToshibaMK156F();
+
+  /// Hidden reserved cylinders per member.
+  std::int32_t reserved_cylinders = 48;
+
+  /// Hot blocks each member's arranger moves per pass. The member block
+  /// tables are sized rearrange_blocks + spare_slots.
+  std::int32_t rearrange_blocks = 1018;
+
+  /// Reserved-area slots set aside for persistent-error remaps (never used
+  /// by the arranger).
+  std::int32_t spare_slots = 8;
+
+  /// Dirty-region log granule, in blocks. Writes applied while a member is
+  /// dead are tracked at this granularity; resync copies only dirty
+  /// granules.
+  std::int64_t resync_granule_blocks = 64;
+
+  /// Cold blocks queued per member per barrier for background scrub
+  /// verification; 0 disables scrubbing.
+  std::int32_t scrub_batch = 0;
+
+  /// Per-member driver tuning. block_table_capacity and spare_slots are
+  /// overwritten from the fields above.
+  driver::DriverConfig driver;
+
+  /// Placement policy for the per-member arrangers.
+  placement::PolicyKind policy = placement::PolicyKind::kOrganPipe;
+
+  /// Arranger mode. The crash harness forces incremental = false: the
+  /// full-rebuild oracle makes an executed pass's end table a pure
+  /// function of its ranked list, which is what lets a killed-and-resynced
+  /// run converge bit-identically with its uninterrupted twin.
+  placement::ArrangerConfig arranger;
+
+  /// Per-member fault plans; empty (no faults) or exactly `members` long.
+  std::vector<fault::FaultPlan> fault_plans;
+
+  /// Seeds the members' fault RNGs.
+  std::uint64_t fault_seed = 0x51ED2A17ULL;
+};
+
+/// One virtual block device composed of N member stacks (FaultyDisk +
+/// crash-accurate table store + AdaptiveDriver), in either a RAID0 chunked
+/// stripe or a RAID1 mirror.
+///
+/// RAID1 invariant: every member sees the same submission stream of writes
+/// and the same ranked hot-block list, and rearrangement passes only run
+/// when all members are online — so the member block tables stay in
+/// lockstep and any online member can serve any read. Reads pick the
+/// member whose head is predicted closest to the target cylinder.
+///
+/// Availability: a member whose crash point fires goes kDead at the next
+/// barrier; acked writes live on the surviving mirrors. While it is dead,
+/// every write applied to a survivor is folded into the victim's
+/// dirty-region log (granules). ReattachMember() rebuilds the member's
+/// driver from a survivor's durable table image and enters kResync: new
+/// writes fan to it immediately, while a background pump — running through
+/// the source member's idle-sink path so it yields to user traffic —
+/// verifies and copies only the dirty granules. Scrubbing walks cold
+/// blocks through the same idle path; persistent errors found there are
+/// remapped into spare reserved-area slots via the block-table redirection
+/// ioctl, on every member in lockstep.
+///
+/// Time runs on the same conservative epoch-barrier protocol as
+/// ShardedSystem; all maintenance (death detection, dirty merging, resync
+/// copies, remaps, scrub refills) happens at barriers in member order.
+class ArrayDevice {
+ public:
+  explicit ArrayDevice(ArrayConfig config);
+  ~ArrayDevice();
+
+  ArrayDevice(const ArrayDevice&) = delete;
+  ArrayDevice& operator=(const ArrayDevice&) = delete;
+
+  /// Builds the member stacks and attaches the drivers.
+  Status Start();
+
+  /// Registers the harness completion sink. Must be called before Start();
+  /// requires threads == 1.
+  void set_client_sink(ArrayCompletionSink* sink) { client_sink_ = sink; }
+
+  /// Virtual device size in blocks.
+  std::int64_t device_blocks() const { return device_blocks_; }
+
+  /// Blocks a single member contributes (RAID1: the whole device).
+  std::int64_t member_blocks() const { return member_blocks_; }
+
+  std::int32_t members() const { return config_.members; }
+  RaidLevel level() const { return config_.level; }
+  std::int32_t block_sectors() const { return block_sectors_; }
+  const disk::SeekModel& seek_model() const;
+
+  /// Routes one logical request (device must be 0, block in
+  /// [0, device_blocks)). Requests must arrive time-ordered.
+  Status Submit(const workload::TraceRecord& record);
+  Status SubmitBatch(const workload::TraceRecord* records, std::size_t count);
+
+  /// Advances all members to `t` in epoch barriers, running maintenance at
+  /// each barrier.
+  Status AdvanceTo(Micros t);
+
+  /// Runs every member dry (plus one maintenance barrier) and returns the
+  /// latest member completion time.
+  StatusOr<Micros> Drain();
+
+  /// Latest member clock.
+  Micros now() const;
+
+  /// One rearrangement pass on every member. The ranked list is built from
+  /// the array-level reference counts accumulated since the last pass
+  /// (RAID1: one shared list; RAID0: per member), and the counts are reset
+  /// whether or not the pass runs. The pass itself is skipped — counted in
+  /// passes_skipped_degraded() — unless every member is online: executing
+  /// it on a partial mirror would break table lockstep.
+  StatusOr<placement::ArrangeResult> RearrangeAll();
+
+  /// DKIOCBCLEAN on every member (skipped, like RearrangeAll, unless all
+  /// members are online). Also resets the reference counts.
+  StatusOr<placement::ArrangeResult> CleanAll();
+
+  /// Folds every member's performance snapshot (including generations
+  /// stranded by crashes) in member order.
+  driver::PerfSnapshot ReadStatsMerged(bool clear = true);
+
+  /// Per-member fault counters accumulated across driver generations.
+  driver::FaultCounters MemberFaults(std::int32_t member) const;
+
+  /// Brings a dead RAID1 member back: mirrors a survivor's durable table
+  /// image into its store, clears the crash latch, rebuilds the driver
+  /// with crash recovery, and starts the resync pump over the member's
+  /// dirty-region log. The member takes new writes immediately (kResync)
+  /// but serves no reads until the pump drains.
+  Status ReattachMember(std::int32_t member);
+
+  MemberState member_state(std::int32_t member) const {
+    return members_[member]->state;
+  }
+  std::int32_t online_members() const;
+  bool degraded() const;  // any member not online
+  bool failed() const;    // no redundancy left: data has been lost
+
+  bool resync_active() const { return resync_.target >= 0; }
+  std::int64_t resync_granules_copied() const { return resync_copied_; }
+  std::int64_t resync_granules_pending() const;
+  std::int64_t dirty_granules(std::int32_t member) const {
+    return static_cast<std::int64_t>(members_[member]->dirty.size());
+  }
+  std::int64_t resyncs_completed() const { return resyncs_completed_; }
+  std::int64_t passes_skipped_degraded() const {
+    return passes_skipped_degraded_;
+  }
+  std::int64_t lost_requests() const { return lost_requests_; }
+  std::int32_t spares_used() const { return spare_cursor_; }
+
+  /// Bitmask of members that currently receive writes (online + resync).
+  std::uint64_t LiveWriteMask() const;
+
+  /// Member internals, for tests and the crash harness.
+  driver::AdaptiveDriver& member_driver(std::int32_t member) {
+    return *members_[member]->driver;
+  }
+  const driver::AdaptiveDriver& member_driver(std::int32_t member) const {
+    return *members_[member]->driver;
+  }
+  fault::FaultyDisk& member_disk(std::int32_t member) {
+    return *members_[member]->disk;
+  }
+
+  /// First error the array ran into (sticky), empty when healthy.
+  const std::string& first_error() const { return first_error_; }
+
+ private:
+  /// One member stack. Implements the driver's completion sink (to track
+  /// outstanding writes and forward to the harness), the idle sink (resync
+  /// reads and scrub verifies run in idle windows), and the disk's write
+  /// observer (per-epoch write lanes feeding the dirty-region log).
+  struct Member : sim::CompletionSink,
+                  driver::IdleSink,
+                  fault::WriteObserver {
+    Member(ArrayDevice* device, std::int32_t index)
+        : device(device), index(index) {}
+
+    void OnIoComplete(const sim::CompletedIo& done) override;
+    void OnIdle(Micros horizon) override;
+    void OnWriteServiced(SectorNo sector, std::int64_t count) override;
+
+    ArrayDevice* device;
+    std::int32_t index;
+
+    std::unique_ptr<fault::FaultyDisk> disk;
+    fault::CrashTableStore store;
+    std::unique_ptr<placement::PlacementPolicy> policy;
+    std::unique_ptr<driver::AdaptiveDriver> driver;
+    MemberState state = MemberState::kOnline;
+
+    // Step machinery (see ShardedSystem::Shard).
+    std::vector<workload::TraceRecord> pending;
+    std::vector<workload::TraceRecord> run_queue;
+    std::size_t run_cursor = 0;
+    Status step_status;
+    StatusOr<placement::ArrangeResult> pass_result =
+        placement::ArrangeResult{};
+
+    // Physical extents written this epoch (external + internal), cleared
+    // at every barrier after folding into the dead members' dirty logs.
+    std::vector<std::pair<SectorNo, std::int64_t>> write_lane;
+
+    // Logical writes routed here and not yet completed (block -> count).
+    // Written by this member's step thread, read by the coordinator at
+    // barriers.
+    std::unordered_map<BlockNo, std::int32_t> outstanding_writes;
+
+    // Dirty-region log: granules whose payload may diverge from the
+    // mirror set, accumulated while this member is dead, drained by
+    // resync. Ordered so resync sweeps the platter in address order.
+    std::set<std::int64_t> dirty;
+
+    // RAID0 per-member reference counts (local block space).
+    std::vector<std::int64_t> refs;
+
+    // Scrub: (local block, mapped sector) queue refilled at barriers;
+    // blocks that hit a persistent error, collected for remapping.
+    std::deque<std::pair<BlockNo, SectorNo>> scrub_queue;
+    bool scrub_inflight = false;
+    std::vector<BlockNo> scrub_bad;
+    std::int64_t scrub_cursor = 0;  // next local block to consider
+
+    // Stats stranded by dead driver generations.
+    driver::PerfSnapshot carry;
+    driver::FaultCounters faults_total;
+    bool carry_valid = false;
+  };
+
+  /// Resync pump state (coordinator-owned; the read-side fields are
+  /// touched by the source member's step thread inside a step and by the
+  /// coordinator at barriers, never both at once).
+  struct Resync {
+    std::int32_t target = -1;
+    std::int32_t source = -1;
+    std::deque<std::int64_t> reads;       // granules awaiting verify-read
+    bool read_inflight = false;
+    std::vector<std::int64_t> read_done;  // verified, copy at next barrier
+    std::int64_t writes_inflight = 0;     // IoctlWriteExtent on the target
+  };
+
+  Status Validate() const;
+  Status BuildMember(std::int32_t index);
+  Status BuildMemberDriver(Member& m, bool after_crash);
+  Status RouteRaid1(const workload::TraceRecord& record);
+  std::int32_t PickReadMember(BlockNo block) const;
+  void StepMember(Member& m, Micros target);
+  template <typename Fn>
+  void ForEachMember(Fn&& fn);
+  void FlushPending();
+  Status StepTo(Micros target);
+
+  /// Barrier maintenance, in member order: death detection, write-lane
+  /// folding, resync copies, remap retries, scrub refills.
+  void MaintainAtBarrier();
+  void HandleDeath(Member& m);
+  void FoldWriteLanes();
+  void MarkDirtyExtent(Member& dead, SectorNo sector, std::int64_t count);
+  void MarkDirtyBlock(Member& dead, BlockNo block);
+  void PumpResyncAtBarrier();
+  void CopyGranule(std::int64_t granule);
+  void ProcessScrubAtBarrier();
+  Status RemapBlock(BlockNo block, std::int32_t bad_member);
+  void CollectStats(Member& m);
+  void RecordError(const std::string& what);
+
+  std::int64_t GranuleOf(SectorNo sector) const {
+    return sector / granule_sectors_;
+  }
+  bool OutstandingOverlapsGranule(const Member& m, std::int64_t granule) const;
+  SectorNo OriginalSectorOf(BlockNo local_block) const;  // -1 if straddling
+
+  ArrayConfig config_;
+  ArrayCompletionSink* client_sink_ = nullptr;
+
+  disk::DiskLabel label_;
+  std::int32_t block_sectors_ = 0;
+  std::int64_t member_blocks_ = 0;
+  std::int64_t device_blocks_ = 0;
+  std::int64_t granule_sectors_ = 0;
+  std::unique_ptr<sim::StripeMap> stripe_;  // RAID0 only
+
+  std::vector<std::unique_ptr<Member>> members_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> step_futures_;
+
+  std::vector<std::int64_t> refs_;  // RAID1 shared reference counts
+
+  Resync resync_;
+  // Remaps awaiting their preconditions: (local block, member that hit
+  // the persistent error). Retried every barrier.
+  std::vector<std::pair<BlockNo, std::int32_t>> pending_remaps_;
+
+  bool started_ = false;
+  Micros advanced_to_ = 0;
+  Micros last_submit_ = 0;
+  std::int32_t spare_cursor_ = 0;
+  std::int64_t resync_copied_ = 0;
+  std::int64_t resyncs_completed_ = 0;
+  std::int64_t passes_skipped_degraded_ = 0;
+  std::int64_t lost_requests_ = 0;
+  std::string first_error_;
+};
+
+}  // namespace abr::array
+
+#endif  // ABR_ARRAY_ARRAY_DEVICE_H_

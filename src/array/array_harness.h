@@ -1,0 +1,174 @@
+#ifndef ABR_ARRAY_ARRAY_HARNESS_H_
+#define ABR_ARRAY_ARRAY_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "array/array_device.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "util/zipf.h"
+
+namespace abr::array {
+
+/// Configuration for one seeded RAID1 availability run. A (seed, config)
+/// pair reproduces the run exactly; two configs that differ only in the
+/// kill schedule see the *same* request schedule, which is what makes the
+/// killed run comparable to its uninterrupted twin.
+struct ArrayHarnessConfig {
+  std::uint64_t seed = 1;
+
+  std::int32_t members = 2;
+
+  // Member drive shape (small, so a run is fast).
+  std::int32_t cylinders = 60;
+  std::int32_t tracks_per_cylinder = 2;
+  std::int32_t sectors_per_track = 32;
+  std::int32_t reserved_cylinders = 8;
+  std::int32_t rearrange_blocks = 16;
+  std::int32_t spare_slots = 4;
+  std::int64_t resync_granule_blocks = 4;
+  Micros epoch = 50 * kMillisecond;
+
+  // Workload: seeded Zipf references, exponential interarrivals. At most
+  // one write per block per phase (each phase ends with a drain), so no
+  // two writes to one block are ever concurrently in flight and the
+  // submission schedule is a pure function of the seed.
+  std::int32_t phases = 10;
+  std::int32_t requests_per_phase = 300;
+  double write_fraction = 0.5;
+  double zipf_theta = 0.9;
+  Micros mean_interarrival = 1500;
+  std::int32_t arrange_every = 2;  // rearrangement pass cadence, in phases
+
+  /// Member to kill (-1: none — the uninterrupted twin) at the victim's
+  /// kill_at_io'th serviced operation. The crash can land anywhere: under
+  /// phase traffic, inside a rearrangement pass's move chains, or during
+  /// a block-table save.
+  std::int32_t kill_member = -1;
+  std::int64_t kill_at_io = -1;
+
+  /// Full phases the array runs degraded before the victim is reattached.
+  std::int32_t reattach_after_phases = 2;
+
+  ArrayHarnessConfig Quick() const {
+    ArrayHarnessConfig q = *this;
+    q.phases = 6;
+    q.requests_per_phase = 120;
+    return q;
+  }
+};
+
+/// What one run observed and verified.
+struct ArrayHarnessResult {
+  std::int32_t crashes = 0;
+  std::int64_t writes_submitted = 0;
+  std::int64_t writes_acked = 0;
+  std::int64_t reads_checked = 0;
+  std::int64_t mismatches = 0;
+  std::int32_t arrange_passes = 0;       // passes that actually executed
+  std::int64_t passes_skipped = 0;       // skipped while degraded
+  std::int64_t resync_granules_copied = 0;
+  std::int64_t lost_requests = 0;
+  std::int32_t resyncs_completed = 0;
+
+  /// Order-independent digest of (block, expected version, payloads at the
+  /// mapped location on every member). A killed-and-resynced run must
+  /// produce the same hash as its uninterrupted twin.
+  std::uint64_t fingerprint_hash = 0;
+
+  /// Digest of member 0's sorted (original, relocated) mapping set; the
+  /// run also asserts every member's set is identical.
+  std::uint64_t mapping_hash = 0;
+
+  std::string first_error;
+  bool ok() const { return mismatches == 0 && first_error.empty(); }
+};
+
+/// Proves the mirror's availability story end to end: runs a seeded
+/// workload against a RAID1 ArrayDevice, kills one member at a scheduled
+/// crash point (possibly mid-arrangement), keeps serving degraded,
+/// reattaches and resyncs, then verifies that no acknowledged write was
+/// lost and that the final payload fingerprints and mapping sets are
+/// bit-identical to an uninterrupted twin (same seed, no kill).
+///
+/// Acknowledgement semantics: a write is acked when it has completed on
+/// every member it was fanned to that is still in the mirror — a member's
+/// death retroactively releases its unfinished copies, exactly like a
+/// mirror controller failing over. The harness stamps each member's
+/// payload at the completed request's physical sector at completion time.
+///
+/// The arranger runs in full-rebuild (oracle) mode: an executed pass's
+/// end table is then a pure function of its ranked list, and ranked lists
+/// derive from submission-only reference counts — so once the reattached
+/// member has resynced and one final all-online pass runs, both runs'
+/// tables provably coincide.
+class ArrayCrashHarness : public ArrayCompletionSink {
+ public:
+  explicit ArrayCrashHarness(ArrayHarnessConfig config);
+  ~ArrayCrashHarness() override;
+
+  ArrayCrashHarness(const ArrayCrashHarness&) = delete;
+  ArrayCrashHarness& operator=(const ArrayCrashHarness&) = delete;
+
+  /// Runs the whole schedule and returns the verified result. Call once.
+  ArrayHarnessResult Run();
+
+  /// Deterministic payload stamp for sector `offset` of `block` at
+  /// `version` (same construction as fault::CrashHarness).
+  static std::uint64_t PayloadValue(BlockNo block, std::uint64_t version,
+                                    std::int64_t offset);
+
+  // ArrayCompletionSink
+  void OnMemberIoComplete(std::int32_t member,
+                          const sim::CompletedIo& done) override;
+
+  /// The device under test (null only if construction failed before the
+  /// array was built); abrsim's crashday table reads per-member fault
+  /// counters through this.
+  const ArrayDevice* device() const { return device_.get(); }
+
+ private:
+  struct PendingWrite {
+    std::uint64_t version = 0;
+    std::uint64_t needed = 0;  // members whose completion is still owed
+  };
+
+  void GeneratePhase(std::vector<workload::TraceRecord>& out,
+                     std::vector<bool>& is_write);
+  void PruneAcks();
+  void Ack(BlockNo block, const PendingWrite& w);
+  void MaybeKillProgress();
+  void Arrange();
+  void FinishResync();
+  void Finalize();
+  void RecordError(const std::string& what);
+
+  ArrayHarnessConfig config_;
+  std::unique_ptr<ArrayDevice> device_;
+  ArrayHarnessResult result_;
+
+  Rng rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  Micros clock_ = 0;
+
+  std::vector<BlockNo> eligible_;
+  std::vector<SectorNo> original_sector_;
+  std::unordered_map<BlockNo, std::size_t> eligible_index_;
+  std::vector<std::uint64_t> expected_;      // last acked version
+  std::vector<std::uint64_t> next_version_;  // next version to assign
+  std::unordered_map<BlockNo, PendingWrite> pending_;
+
+  bool death_seen_ = false;
+  std::int32_t phases_since_death_ = 0;
+  bool reattached_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace abr::array
+
+#endif  // ABR_ARRAY_ARRAY_HARNESS_H_

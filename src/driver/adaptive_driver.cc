@@ -392,8 +392,40 @@ std::int32_t AdaptiveDriver::reserved_slot_count() const {
   const std::int64_t data_sectors =
       label_.reserved_sector_count() - table_area_sectors_;
   const std::int64_t slots = data_sectors / block_sectors_;
+  const std::int64_t usable =
+      std::min<std::int64_t>(slots, config_.block_table_capacity);
+  // The tail of the usable slots is held back as remap spares.
   return static_cast<std::int32_t>(
-      std::min<std::int64_t>(slots, config_.block_table_capacity));
+      std::max<std::int64_t>(0, usable - config_.spare_slots));
+}
+
+std::int32_t AdaptiveDriver::spare_slot_count() const {
+  if (!label_.rearranged()) return 0;
+  const std::int64_t data_sectors =
+      label_.reserved_sector_count() - table_area_sectors_;
+  const std::int64_t slots = data_sectors / block_sectors_;
+  const std::int64_t usable =
+      std::min<std::int64_t>(slots, config_.block_table_capacity);
+  return static_cast<std::int32_t>(
+      std::min<std::int64_t>(config_.spare_slots, usable));
+}
+
+SectorNo AdaptiveDriver::SpareSlotSector(std::int32_t spare) const {
+  assert(spare >= 0 && spare < spare_slot_count());
+  return reserved_data_first_sector() +
+         static_cast<SectorNo>(reserved_slot_count() + spare) *
+             block_sectors_;
+}
+
+bool AdaptiveDriver::IsSpareSlot(SectorNo sector) const {
+  if (!label_.rearranged() || spare_slot_count() == 0) return false;
+  const SectorNo data_first = reserved_data_first_sector();
+  if (sector < data_first || (sector - data_first) % block_sectors_ != 0) {
+    return false;
+  }
+  const std::int64_t slot = (sector - data_first) / block_sectors_;
+  return slot >= reserved_slot_count() &&
+         slot < reserved_slot_count() + spare_slot_count();
 }
 
 SectorNo AdaptiveDriver::ReservedSlotSector(std::int32_t slot) const {
@@ -494,6 +526,9 @@ Status AdaptiveDriver::IoctlCopyBlock(SectorNo original, SectorNo target) {
       (target - data_first) % block_sectors_ != 0) {
     return Status::InvalidArgument("target is not a reserved-area slot");
   }
+  if (IsSpareSlot(target)) {
+    return Status::InvalidArgument("target is a remap spare slot");
+  }
   // In-flight copy chains insert their entries only when the target write
   // completes, so validation must count reservations alongside the table:
   // otherwise two concurrent copies could claim one slot, or enough of
@@ -577,6 +612,9 @@ Status AdaptiveDriver::IoctlClean() {
     return Status::Busy("clean already in progress");
   }
   for (const BlockTableEntry& e : block_table_->entries()) {
+    // Blocks remapped into spare slots are permanent redirections (their
+    // original location is bad media); the clean pass leaves them alone.
+    if (IsSpareSlot(e.relocated)) continue;
     clean_queue_.push_back(e.original);
   }
   PumpClean();
@@ -665,6 +703,9 @@ Status AdaptiveDriver::IoctlMoveBlock(SectorNo original, SectorNo target) {
       (target - data_first) % block_sectors_ != 0) {
     return Status::InvalidArgument("target is not a reserved-area slot");
   }
+  if (IsSpareSlot(target)) {
+    return Status::InvalidArgument("target is a remap spare slot");
+  }
   if (target == entry->relocated) {
     return Status::InvalidArgument("block already occupies the target slot");
   }
@@ -746,6 +787,167 @@ Status AdaptiveDriver::IoctlEvictBlock(SectorNo original) {
   return Status::Ok();
 }
 
+Status AdaptiveDriver::IoctlVerifyExtent(
+    SectorNo sector, std::int64_t count, bool scrub,
+    std::function<void(bool ok, SectorNo bad)> done) {
+  if (!attached_) return Status::FailedPrecondition("driver not attached");
+  if (count <= 0) return Status::InvalidArgument("empty verify extent");
+  if (!label_.physical_geometry().ContainsRange(sector, count)) {
+    return Status::OutOfRange("verify extent outside the disk");
+  }
+  if (IsMoving(sector)) {
+    return Status::Busy("a chain is active for this key");
+  }
+
+  // One internal read; no table mutation. The shared-state dance mirrors
+  // the move chains' abort protocol: a persistent failure aborts the chain
+  // (setting the flag), and on_finish — which runs on abort too — reports
+  // the outcome exactly once.
+  struct VerifyState {
+    bool failed = false;
+    SectorNo bad = -1;
+  };
+  auto state = std::make_shared<VerifyState>();
+
+  MoveChain chain;
+  sched::IoRequest read_op;
+  read_op.type = sched::IoType::kRead;
+  read_op.sector = sector;
+  read_op.sector_count = count;
+  read_op.internal = true;
+  chain.ops.push_back(ChainOp{read_op, nullptr});
+  chain.on_abort = [this, state, scrub]() {
+    state->failed = true;
+    state->bad = last_internal_error_sector_;
+    if (scrub) perf_monitor_.RecordScrubHit();
+  };
+  chain.on_finish = [state, done = std::move(done)]() {
+    if (done) done(!state->failed, state->bad);
+  };
+  BeginChain(sector, std::move(chain));
+  return Status::Ok();
+}
+
+Status AdaptiveDriver::IoctlWriteExtent(SectorNo sector, std::int64_t count,
+                                        std::function<void(bool ok)> done) {
+  if (!attached_) return Status::FailedPrecondition("driver not attached");
+  if (count <= 0) return Status::InvalidArgument("empty write extent");
+  if (!label_.physical_geometry().ContainsRange(sector, count)) {
+    return Status::OutOfRange("write extent outside the disk");
+  }
+  if (IsMoving(sector)) {
+    return Status::Busy("a chain is active for this key");
+  }
+
+  auto failed = std::make_shared<bool>(false);
+  MoveChain chain;
+  sched::IoRequest write_op;
+  write_op.type = sched::IoType::kWrite;
+  write_op.sector = sector;
+  write_op.sector_count = count;
+  write_op.internal = true;
+  chain.ops.push_back(ChainOp{write_op, nullptr});
+  chain.on_abort = [failed]() { *failed = true; };
+  chain.on_finish = [failed, done = std::move(done)]() {
+    if (done) done(!*failed);
+  };
+  BeginChain(sector, std::move(chain));
+  return Status::Ok();
+}
+
+Status AdaptiveDriver::IoctlRepairBlock(SectorNo original, SectorNo target) {
+  if (!attached_) return Status::FailedPrecondition("driver not attached");
+  if (!label_.rearranged()) {
+    return Status::FailedPrecondition("disk is not set up for rearrangement");
+  }
+  const disk::Geometry& g = label_.physical_geometry();
+  if (!g.ContainsRange(original, block_sectors_)) {
+    return Status::OutOfRange("original block outside the disk");
+  }
+  const SectorNo res_first = label_.reserved_first_sector();
+  const SectorNo res_end = res_first + label_.reserved_sector_count();
+  if (original + block_sectors_ > res_first && original < res_end) {
+    return Status::InvalidArgument(
+        "original block overlaps the reserved region");
+  }
+  if (!IsSpareSlot(target)) {
+    return Status::InvalidArgument("target is not a spare slot");
+  }
+  if (block_table_->TargetInUse(target) || pending_targets_.contains(target)) {
+    return Status::AlreadyExists("target slot occupied");
+  }
+  if (IsMoving(original)) {
+    return Status::Busy("block move already in progress");
+  }
+  std::optional<BlockTableEntry> entry = block_table_->LookupEntry(original);
+  if (!entry.has_value() &&
+      block_table_->size() +
+              static_cast<std::int32_t>(pending_targets_.size()) >=
+          block_table_->capacity()) {
+    return Status::ResourceExhausted("block table full");
+  }
+
+  // Two I/Os, neither of which touches the failing location: write the
+  // spare slot (its payload was staged by the caller), then re-point or
+  // insert the table entry — dirty, so nothing ever copies it back — and
+  // rewrite the table.
+  MoveChain chain;
+  sched::IoRequest write_op;
+  write_op.type = sched::IoType::kWrite;
+  write_op.sector = target;
+  write_op.sector_count = block_sectors_;
+  write_op.internal = true;
+  if (entry.has_value()) {
+    const SectorNo source = entry->relocated;
+    chain.ops.push_back(ChainOp{write_op, [this, original, source, target]() {
+                                  pending_targets_.erase(target);
+                                  TableUpdateRelocated(original, target);
+                                  Status s = block_table_->MarkDirty(original);
+                                  assert(s.ok());
+                                  (void)s;
+                                  SaveTable();
+                                  QuarantineSlot(source);
+                                }});
+    // Abort rollback mirrors DKIOCBMOVE: re-point at the source slot,
+    // which is quarantined and still holds the last-known-good bytes.
+    chain.on_abort = [this, original, source, target]() {
+      pending_targets_.erase(target);
+      std::optional<SectorNo> relocated = block_table_->Lookup(original);
+      if (relocated.has_value() && *relocated == target) {
+        TableUpdateRelocated(original, source);
+        SaveTable();
+        QuarantineSlot(target);
+      }
+    };
+  } else {
+    chain.ops.push_back(ChainOp{write_op, [this, original, target]() {
+                                  pending_targets_.erase(target);
+                                  TableInsert(original, target);
+                                  Status s = block_table_->MarkDirty(original);
+                                  assert(s.ok());
+                                  (void)s;
+                                  SaveTable();
+                                }});
+    chain.on_abort = [this, original, target]() {
+      pending_targets_.erase(target);
+      std::optional<SectorNo> relocated = block_table_->Lookup(original);
+      if (relocated.has_value() && *relocated == target) {
+        TableRemove(original);
+        SaveTable();
+        QuarantineSlot(target);
+      }
+    };
+  }
+  chain.ops.push_back(ChainOp{TableWriteOp(), [this]() {
+                                perf_monitor_.RecordRemap();
+                                ReleaseDurableQuarantine();
+                              }});
+
+  pending_targets_.insert(target);
+  BeginChain(original, std::move(chain));
+  return Status::Ok();
+}
+
 void AdaptiveDriver::PumpChain(SectorNo key) {
   auto it = moving_.find(key);
   assert(it != moving_.end());
@@ -811,6 +1013,9 @@ void AdaptiveDriver::OnIoComplete(const sim::CompletedIo& done) {
         ++retry.retries;
         SubmitInternal(key, retry);
       } else {
+        last_internal_error_sector_ = done.breakdown.error_sector >= 0
+                                          ? done.breakdown.error_sector
+                                          : done.request.sector;
         AbortChain(key);
       }
       return;

@@ -51,6 +51,15 @@ struct DriverConfig {
   /// chains abort and roll back).
   std::int32_t max_io_retries = 3;
 
+  /// Reserved-area slots held back from the arranger as spare capacity for
+  /// persistent-error remaps (DKIOCBREPAIR). The spares are the *last*
+  /// slots of the reserved data area; reserved_slot_count() excludes them,
+  /// so the placement policies never use them, and DKIOCCLEAN never evicts
+  /// a block remapped into one (its original location is bad media — the
+  /// redirection is permanent). block_table_capacity must leave room for
+  /// them on top of the arranger's share.
+  std::int32_t spare_slots = 0;
+
   /// When set (the default), per-request translation consults a coarse
   /// presence filter plus a last-translation cache before the exact
   /// move-chain and block-table probes. When clear, every request takes
@@ -156,6 +165,34 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// Dirty blocks are first copied back to their original position.
   Status IoctlEvictBlock(SectorNo original);
 
+  /// DKIOCVERIFY-style scrub/resync read: reads the physical extent
+  /// [sector, sector+count) as an internal chain — it yields to user
+  /// traffic exactly like a block move, and requests keyed by `sector`
+  /// are held until it retires. `done` (may be empty) runs when the chain
+  /// retires: ok=true after a successful read, ok=false after the retry
+  /// budget is exhausted, with `bad` the first failing sector. When
+  /// `scrub` is set an unrecoverable failure also ticks the scrub-hit
+  /// fault counter.
+  Status IoctlVerifyExtent(SectorNo sector, std::int64_t count, bool scrub,
+                           std::function<void(bool ok, SectorNo bad)> done);
+
+  /// Internal timed write of the physical extent [sector, sector+count).
+  /// The array layer's resync uses it to charge a reattached member for
+  /// rewriting divergent granules; the payload plane is updated by the
+  /// caller (the coordinator copies bytes from the surviving mirror while
+  /// both members are quiescent). `done` may be empty.
+  Status IoctlWriteExtent(SectorNo sector, std::int64_t count,
+                          std::function<void(bool ok)> done);
+
+  /// DKIOCBREPAIR: redirects the block whose original physical start
+  /// sector is `original` into spare slot `target` without ever touching
+  /// its current (failing) location: writes the target — the good payload
+  /// must already be staged there by the caller, typically copied from a
+  /// healthy mirror peer — re-points or inserts the table entry with the
+  /// dirty bit set, and rewrites the table. The entry survives DKIOCCLEAN:
+  /// spare-slot redirections are permanent.
+  Status IoctlRepairBlock(SectorNo original, SectorNo target);
+
   /// Reads and clears the request-monitoring table.
   std::vector<RequestRecord> IoctlReadRequests() {
     return request_monitor_.ReadAndClear();
@@ -244,6 +281,16 @@ class AdaptiveDriver : private sim::CompletionSink {
 
   /// Physical cylinder holding the start of reserved slot `slot`.
   Cylinder ReservedSlotCylinder(std::int32_t slot) const;
+
+  /// Number of spare slots available for DKIOCBREPAIR (the tail of the
+  /// reserved data area; see DriverConfig::spare_slots).
+  std::int32_t spare_slot_count() const;
+
+  /// Physical start sector of spare slot `spare` (0-based).
+  SectorNo SpareSlotSector(std::int32_t spare) const;
+
+  /// True iff `sector` is the start of a spare slot.
+  bool IsSpareSlot(SectorNo sector) const;
 
   /// Count of driver-generated I/O operations (block moves, table writes).
   std::int64_t internal_io_count() const { return internal_io_count_; }
@@ -422,6 +469,11 @@ class AdaptiveDriver : private sim::CompletionSink {
   std::int64_t next_request_id_ = 1;
   std::int64_t internal_io_count_ = 0;
   Micros internal_io_time_ = 0;
+
+  // First failing sector of the most recent unrecoverable internal error;
+  // read by verify chains' on_abort so their completion callback can
+  // report which sector went bad.
+  SectorNo last_internal_error_sector_ = -1;
 
   // Presence filter over block-table originals and active chain keys.
   TranslationFilter translation_filter_;

@@ -59,6 +59,8 @@ struct FaultCounters {
   std::int64_t aborted_chains = 0;      // move chains aborted + rolled back
   std::int64_t recovery_dirtied = 0;    // entries dirtied by crash attach
   std::int64_t recovery_fallbacks = 0;  // attaches that lost the primary image
+  std::int64_t remaps = 0;              // blocks redirected into spare slots
+  std::int64_t scrub_hits = 0;          // scrub verifies that found bad media
 
   void Clear() { *this = FaultCounters{}; }
 
@@ -69,6 +71,8 @@ struct FaultCounters {
     aborted_chains += o.aborted_chains;
     recovery_dirtied += o.recovery_dirtied;
     recovery_fallbacks += o.recovery_fallbacks;
+    remaps += o.remaps;
+    scrub_hits += o.scrub_hits;
   }
 };
 
@@ -158,6 +162,8 @@ class PerfMonitor {
     snapshot_.faults.recovery_dirtied += entries;
   }
   void RecordRecoveryFallback() { ++snapshot_.faults.recovery_fallbacks; }
+  void RecordRemap() { ++snapshot_.faults.remaps; }
+  void RecordScrubHit() { ++snapshot_.faults.scrub_hits; }
 
   // --- Block-movement events (see MoveCounters) ------------------------
   void RecordCopyIn() { ++snapshot_.moves.copy_ins; }

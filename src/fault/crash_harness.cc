@@ -24,12 +24,7 @@ std::uint64_t Mix(std::uint64_t x) {
 
 void AccumulateFaults(driver::FaultCounters& into,
                       const driver::FaultCounters& from) {
-  into.media_errors += from.media_errors;
-  into.retries += from.retries;
-  into.failed_requests += from.failed_requests;
-  into.aborted_chains += from.aborted_chains;
-  into.recovery_dirtied += from.recovery_dirtied;
-  into.recovery_fallbacks += from.recovery_fallbacks;
+  into.MergeFrom(from);
 }
 
 }  // namespace

@@ -70,6 +70,21 @@ class CrashTableStore : public driver::BlockTableStore,
     ++tears_;
   }
 
+  // --- Array resync -----------------------------------------------------
+
+  /// Overwrites both durable areas with a surviving mirror peer's, as the
+  /// array layer's reattach does after physically copying the table-area
+  /// granules: the rebuilt member must boot from the survivor's committed
+  /// image, not from whatever its own platter held when it died. Any torn
+  /// or staged image of the dead boot is discarded — it lost the race the
+  /// moment the member dropped out of the mirror.
+  void MirrorDurableFrom(const CrashTableStore& peer) {
+    committed_ = peer.committed_;
+    previous_ = peer.previous_;
+    pending_.reset();
+    torn_.reset();
+  }
+
   // --- Introspection ----------------------------------------------------
 
   std::int64_t saves() const { return saves_; }

@@ -27,6 +27,13 @@ disk::ServiceBreakdown FaultyDisk::Service(SectorNo sector,
       !is_read && table_count_ > 0 && sector < table_first_ + table_count_ &&
       table_first_ < sector + count;
 
+  if (!is_read && write_observer_ != nullptr) {
+    // Fired on the attempt, not the outcome: even a write that crashes or
+    // errors mid-transfer may have altered the medium, and the dirty-region
+    // log must over-approximate divergence, never under-approximate it.
+    write_observer_->OnWriteServiced(sector, count);
+  }
+
   disk::ServiceBreakdown out;
   if (crashed_) {
     // Defensive: a dead machine services nothing. DiskSystem freezes on the

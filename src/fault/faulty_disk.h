@@ -27,6 +27,20 @@ class TableWriteObserver {
   virtual void OnTableWriteTorn(double keep_fraction) = 0;
 };
 
+/// Observes every write the disk is asked to service, successful or not.
+/// The array layer's dirty-region log hangs off this hook: while a mirror
+/// member is dead, each surviving member's write stream (user writes,
+/// movement chains, table writes — anything that can diverge the platters)
+/// marks granules that resync must copy. The hook fires on the *attempt*,
+/// before the outcome is known, which is deliberately conservative: a
+/// failed or crashed write may still have changed the medium.
+class WriteObserver {
+ public:
+  virtual ~WriteObserver() = default;
+
+  virtual void OnWriteServiced(SectorNo sector, std::int64_t count) = 0;
+};
+
 /// Fault-injecting decorator over the Disk data/timing plane. Interprets a
 /// FaultPlan: media faults fail operations touching their range (transient
 /// ones heal after a bounded number of touches), torn writes land a prefix
@@ -71,6 +85,11 @@ class FaultyDisk : public disk::Disk {
   /// Registers the table-write observer (may be null).
   void set_table_observer(TableWriteObserver* observer) {
     table_observer_ = observer;
+  }
+
+  /// Registers the write observer (may be null). Survives ClearCrash().
+  void set_write_observer(WriteObserver* observer) {
+    write_observer_ = observer;
   }
 
   /// True after a crash point fired; every further Service reports
@@ -120,6 +139,7 @@ class FaultyDisk : public disk::Disk {
   SectorNo table_first_ = -1;
   std::int64_t table_count_ = 0;
   TableWriteObserver* table_observer_ = nullptr;
+  WriteObserver* write_observer_ = nullptr;
 
   std::int64_t injected_faults_ = 0;
   std::int64_t injected_crashes_ = 0;

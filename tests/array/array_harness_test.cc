@@ -1,0 +1,99 @@
+#include "array/array_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace abr::array {
+namespace {
+
+ArrayHarnessConfig Base(std::uint64_t seed) {
+  ArrayHarnessConfig c = ArrayHarnessConfig{}.Quick();
+  c.seed = seed;
+  return c;
+}
+
+TEST(ArrayCrashHarnessTest, UninterruptedTwinIsCleanAndDeterministic) {
+  const ArrayHarnessConfig config = Base(7);
+  const ArrayHarnessResult a = ArrayCrashHarness(config).Run();
+  EXPECT_TRUE(a.ok()) << a.first_error;
+  EXPECT_EQ(a.crashes, 0);
+  EXPECT_EQ(a.lost_requests, 0);
+  EXPECT_GT(a.writes_acked, 0);
+  EXPECT_GT(a.reads_checked, 0);
+  EXPECT_GT(a.arrange_passes, 0);
+
+  const ArrayHarnessResult b = ArrayCrashHarness(config).Run();
+  EXPECT_EQ(a.fingerprint_hash, b.fingerprint_hash);
+  EXPECT_EQ(a.mapping_hash, b.mapping_hash);
+  EXPECT_EQ(a.writes_acked, b.writes_acked);
+  EXPECT_EQ(a.reads_checked, b.reads_checked);
+}
+
+// The ISSUE's acceptance gate: kill a mirror member at a sweep of seeded
+// crash points — under phase traffic, inside arrangement passes, during
+// table saves — reattach it, resync, and require the post-resync payload
+// fingerprints and mapping sets to be bit-identical to the uninterrupted
+// twin's. Any acked write the mirror dropped would diverge the hash.
+TEST(ArrayCrashHarnessTest, KilledRunConvergesToUninterruptedTwin) {
+  const std::uint64_t seed = 33;
+  const ArrayHarnessResult twin = ArrayCrashHarness(Base(seed)).Run();
+  ASSERT_TRUE(twin.ok()) << twin.first_error;
+
+  const std::vector<std::int64_t> kill_points = {1,   3,   10,  25,  60, 90,
+                                                 150, 250, 400, 600, 900};
+  std::int32_t fired = 0;
+  for (const std::int64_t at_io : kill_points) {
+    ArrayHarnessConfig config = Base(seed);
+    config.kill_member = 1;
+    config.kill_at_io = at_io;
+    const ArrayHarnessResult r = ArrayCrashHarness(config).Run();
+    EXPECT_TRUE(r.ok()) << "kill_at_io=" << at_io << ": " << r.first_error;
+    EXPECT_EQ(r.fingerprint_hash, twin.fingerprint_hash)
+        << "kill_at_io=" << at_io;
+    EXPECT_EQ(r.mapping_hash, twin.mapping_hash) << "kill_at_io=" << at_io;
+    EXPECT_EQ(r.lost_requests, 0) << "kill_at_io=" << at_io;
+    if (r.crashes > 0) {
+      ++fired;
+      EXPECT_EQ(r.crashes, 1) << "kill_at_io=" << at_io;
+      EXPECT_EQ(r.resyncs_completed, 1) << "kill_at_io=" << at_io;
+      EXPECT_GT(r.resync_granules_copied, 0) << "kill_at_io=" << at_io;
+    }
+  }
+  // The sweep is only meaningful if most points actually fired.
+  EXPECT_GE(fired, 8);
+}
+
+TEST(ArrayCrashHarnessTest, KilledRunItselfIsDeterministic) {
+  ArrayHarnessConfig config = Base(91);
+  config.kill_member = 0;
+  config.kill_at_io = 40;
+  const ArrayHarnessResult a = ArrayCrashHarness(config).Run();
+  const ArrayHarnessResult b = ArrayCrashHarness(config).Run();
+  EXPECT_TRUE(a.ok()) << a.first_error;
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.fingerprint_hash, b.fingerprint_hash);
+  EXPECT_EQ(a.mapping_hash, b.mapping_hash);
+  EXPECT_EQ(a.writes_acked, b.writes_acked);
+  EXPECT_EQ(a.resync_granules_copied, b.resync_granules_copied);
+}
+
+TEST(ArrayCrashHarnessTest, ThreeWayMirrorSurvivesAKill) {
+  ArrayHarnessConfig twin_config = Base(55);
+  twin_config.members = 3;
+  const ArrayHarnessResult twin = ArrayCrashHarness(twin_config).Run();
+  ASSERT_TRUE(twin.ok()) << twin.first_error;
+
+  ArrayHarnessConfig config = twin_config;
+  config.kill_member = 2;
+  config.kill_at_io = 60;
+  const ArrayHarnessResult r = ArrayCrashHarness(config).Run();
+  EXPECT_TRUE(r.ok()) << r.first_error;
+  EXPECT_EQ(r.crashes, 1);
+  EXPECT_EQ(r.fingerprint_hash, twin.fingerprint_hash);
+  EXPECT_EQ(r.mapping_hash, twin.mapping_hash);
+}
+
+}  // namespace
+}  // namespace abr::array

@@ -63,5 +63,54 @@ TEST(ShardMapTest, ContainsRejectsOutOfRange) {
   EXPECT_FALSE(map.Contains(64));
 }
 
+TEST(ShardMapTest, IndivisibleTotalsGiveEarlyShardsOneExtraBlock) {
+  // total mod shards = r: shards 0..r-1 own ceil(total/shards) blocks,
+  // the rest floor(total/shards) — for every remainder class.
+  for (std::int64_t total = 97; total <= 103; ++total) {
+    ShardMap map(7, total);
+    const std::int64_t floor_count = total / 7;
+    const std::int64_t rem = total % 7;
+    std::int64_t sum = 0;
+    for (std::int32_t s = 0; s < 7; ++s) {
+      const std::int64_t expected = floor_count + (s < rem ? 1 : 0);
+      EXPECT_EQ(map.LocalCount(s), expected)
+          << "total=" << total << " shard=" << s;
+      sum += map.LocalCount(s);
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
+
+TEST(ShardMapTest, SingleShardDegenerateEdges) {
+  ShardMap map(1, 1);
+  EXPECT_EQ(map.ShardOf(0), 0);
+  EXPECT_EQ(map.LocalOf(0), 0);
+  EXPECT_EQ(map.GlobalOf(0, 0), 0);
+  EXPECT_EQ(map.LocalCount(0), 1);
+
+  ShardMap empty(3, 0);
+  EXPECT_FALSE(empty.Contains(0));
+  for (std::int32_t s = 0; s < 3; ++s) EXPECT_EQ(empty.LocalCount(s), 0);
+}
+
+TEST(ShardMapTest, RoundTripAtBothBoundaries) {
+  // First and last virtual block, and the first/last local block of each
+  // shard, all survive the global -> (shard, local) -> global round trip.
+  ShardMap map(5, 137);
+  for (BlockNo b : {BlockNo{0}, BlockNo{136}}) {
+    EXPECT_EQ(map.GlobalOf(map.ShardOf(b), map.LocalOf(b)), b);
+  }
+  for (std::int32_t s = 0; s < 5; ++s) {
+    const std::int64_t count = map.LocalCount(s);
+    ASSERT_GT(count, 0);
+    for (BlockNo local : {BlockNo{0}, BlockNo{count - 1}}) {
+      const BlockNo global = map.GlobalOf(s, local);
+      ASSERT_TRUE(map.Contains(global));
+      EXPECT_EQ(map.ShardOf(global), s);
+      EXPECT_EQ(map.LocalOf(global), local);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace abr::sim

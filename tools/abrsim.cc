@@ -13,6 +13,10 @@
 //                 [--jobs=N]
 //   abrsim crashday [--fault-seed=N] [--crash-points=N] [--replicas=R]
 //                 [--jobs=N] [--quick] [--no-incremental]
+//   abrsim onoff    --array=raid0:N|raid1:N [--chunk=C] [--scrub=N]
+//                 [--kill-member[=M]] [--jobs=N]
+//   abrsim crashday --array=raid1:N [--kill-member[=M]] [--pairs=P]
+//                 [--jobs=N] [--quick]
 //
 // Every run prints paper-style tables on stdout.
 
@@ -24,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "array/array_harness.h"
+#include "core/array_day.h"
 #include "core/experiment.h"
 #include "core/parallel_runner.h"
 #include "core/sharded_system.h"
@@ -70,6 +76,14 @@ class Flags {
   double GetDouble(const std::string& key, double fallback) {
     const std::string v = Get(key, "");
     return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  /// True if the flag was given at all (with or without a value). Marks it
+  /// used, so callers can reject flag combinations with a specific message
+  /// instead of the generic unknown-flag error.
+  bool Has(const std::string& key) {
+    used_.push_back(key);
+    return values_.count(key) != 0;
   }
 
   /// Errors out on flags nobody consumed (typo protection).
@@ -419,7 +433,351 @@ int CmdSpecs() {
   return 0;
 }
 
+// --- Multi-disk array paths -----------------------------------------------
+//
+// `--array=raid0:N|raid1:N` switches onoff and crashday onto the ArrayDevice
+// layer: N member stacks composed into one virtual device, either chunk-
+// striped (raid0) or mirrored (raid1) with degraded mode, dirty-region
+// resync, background scrubbing, and spare-slot remapping. Output is
+// byte-identical for every --jobs value (the epoch-barrier protocol).
+
+bool ParseArraySpec(const std::string& s, array::RaidLevel* level,
+                    std::int32_t* members) {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string lv = s.substr(0, colon);
+  if (lv == "raid0") {
+    *level = array::RaidLevel::kRaid0;
+  } else if (lv == "raid1") {
+    *level = array::RaidLevel::kRaid1;
+  } else {
+    return false;
+  }
+  *members = std::atoi(s.c_str() + colon + 1);
+  return *members >= 1;
+}
+
+/// Rejects flag combinations that have no meaning in array mode. Returns
+/// false (after printing a one-line error) if any is present.
+bool RejectNonArrayFleetFlags(Flags& flags) {
+  if (flags.Has("shards")) {
+    std::fprintf(stderr,
+                 "--array cannot be combined with --shards: an array is "
+                 "already a fleet of member disks\n");
+    return false;
+  }
+  if (flags.Has("replicas")) {
+    std::fprintf(stderr, "--replicas is not supported with --array "
+                         "(crashday --array replicates internally)\n");
+    return false;
+  }
+  if (flags.Has("continuous")) {
+    std::fprintf(stderr, "--continuous is not supported with --array\n");
+    return false;
+  }
+  return true;
+}
+
+int CmdOnOffArray(Flags& flags, const std::string& spec) {
+  array::RaidLevel level;
+  std::int32_t members = 0;
+  if (!ParseArraySpec(spec, &level, &members)) {
+    std::fprintf(stderr, "bad --array=%s (want raid0:N or raid1:N)\n",
+                 spec.c_str());
+    return 2;
+  }
+  if (!RejectNonArrayFleetFlags(flags)) return 2;
+  const bool has_chunk = flags.Has("chunk");
+  if (has_chunk && level != array::RaidLevel::kRaid0) {
+    std::fprintf(stderr, "--chunk only applies to raid0 arrays\n");
+    return 2;
+  }
+  const std::int32_t kill_member = flags.Has("kill-member")
+                                       ? static_cast<std::int32_t>(
+                                             flags.GetInt("kill-member", 0))
+                                       : -1;
+  if (kill_member >= 0 && level != array::RaidLevel::kRaid1) {
+    std::fprintf(stderr, "--kill-member requires a raid1 array (raid0 has "
+                         "no redundancy to survive it)\n");
+    return 2;
+  }
+  if (kill_member >= members) {
+    std::fprintf(stderr, "--kill-member=%d out of range (array has %d "
+                         "members)\n", kill_member, members);
+    return 2;
+  }
+  const std::int64_t scrub = flags.GetInt("scrub", 0);
+  if (scrub < 0) {
+    std::fprintf(stderr, "--scrub must be >= 0\n");
+    return 2;
+  }
+
+  core::ExperimentConfig base = BuildConfig(flags);
+  const std::int32_t days =
+      static_cast<std::int32_t>(flags.GetInt("days", 3));
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  core::ArrayDayConfig day;
+  day.seed = base.seed;
+  day.day_length = flags.GetInt("day-minutes", 60) * kMinute;
+  day.synthetic.population = flags.GetInt("population", 4000);
+  day.synthetic.theta = 1.0;
+  day.synthetic.write_fraction = 0.3;
+  day.synthetic.arrivals.mean_burst_gap = kSecond;
+  day.synthetic.arrivals.mean_burst_size = 6.0;
+  day.synthetic.arrivals.mean_intra_gap = 10 * kMillisecond;
+  flags.CheckAllUsed();
+
+  array::ArrayConfig ac;
+  ac.level = level;
+  ac.members = members;
+  ac.threads = jobs;
+  ac.chunk_blocks = flags.GetInt("chunk", 4);
+  ac.drive = base.drive;
+  ac.reserved_cylinders = base.reserved_cylinders;
+  ac.rearrange_blocks = base.rearrange_blocks;
+  ac.scrub_batch = static_cast<std::int32_t>(scrub);
+  ac.driver = base.system.driver;
+  ac.policy = base.system.policy;
+  ac.arranger = base.system.arranger;
+  if (kill_member >= 0) {
+    // A timed crash point mid first on-day: the member dies under live
+    // traffic and the runner reattaches it a day later.
+    ac.fault_plans.resize(static_cast<std::size_t>(members));
+    fault::CrashPoint cp;
+    cp.at_time = (5 * day.day_length) / 2;
+    ac.fault_plans[static_cast<std::size_t>(kill_member)].crashes.push_back(
+        cp);
+  }
+
+  std::printf("disk=%s  policy=%s  scheduler=%s  blocks=%d  reserved=%d "
+              "cylinders  array=%s:%d",
+              ac.drive.name.c_str(),
+              placement::PolicyKindName(ac.policy),
+              sched::SchedulerKindName(ac.driver.scheduler),
+              ac.rearrange_blocks, ac.reserved_cylinders,
+              array::RaidLevelName(level), members);
+  if (level == array::RaidLevel::kRaid0) {
+    std::printf("  chunk=%lld", static_cast<long long>(ac.chunk_blocks));
+  }
+  if (scrub > 0) std::printf("  scrub=%lld", static_cast<long long>(scrub));
+  if (kill_member >= 0) std::printf("  kill-member=%d", kill_member);
+  if (!ac.arranger.incremental) std::printf("  arranger=full-rebuild");
+  std::printf("  (synthetic array day, %lld min)\n\n",
+              static_cast<long long>(day.day_length / kMinute));
+
+  array::ArrayDevice dev(ac);
+  if (Status st = dev.Start(); !st.ok()) Die("onoff", st);
+  core::ArrayDayRunner runner(&dev, day);
+  StatusOr<core::ArrayOnOffResult> result = core::RunArrayOnOff(runner, days);
+  if (!result.ok()) Die("onoff", result.status());
+  if (!dev.first_error().empty()) {
+    std::fprintf(stderr, "array error: %s\n", dev.first_error().c_str());
+    return 1;
+  }
+
+  Table t({"On/Off", "seek min", "seek avg", "seek max", "svc avg",
+           "wait avg"});
+  for (const auto& [label, daysv] :
+       {std::pair{"Off", &result->off_days}, {"On", &result->on_days}}) {
+    core::SummaryRow row =
+        core::OnOffResult::Summarize(*daysv, core::OnOffResult::Slice::kAll);
+    t.AddRow({label, Table::Fmt(row.seek_ms.min()),
+              Table::Fmt(row.seek_ms.avg()), Table::Fmt(row.seek_ms.max()),
+              Table::Fmt(row.service_ms.avg()),
+              Table::Fmt(row.wait_ms.avg())});
+  }
+  std::printf("%s", t.ToString().c_str());
+
+  // Availability story of the run: a kill shows up as one crash, a string
+  // of passes skipped while degraded, and a resync that copied only the
+  // dirty granules.
+  std::printf("\ncrashes=%d  resyncs=%d  granules-copied=%lld  "
+              "passes-skipped=%lld  lost-requests=%lld  spares-used=%d\n",
+              result->crashes_seen, result->resyncs_completed,
+              static_cast<long long>(dev.resync_granules_copied()),
+              static_cast<long long>(result->passes_skipped_degraded),
+              static_cast<long long>(result->lost_requests),
+              result->spares_used);
+
+  // Per-member fault-path counters across driver generations.
+  Table f({"member", "state", "retries", "aborts", "remaps", "scrub hits"});
+  for (std::int32_t m = 0; m < members; ++m) {
+    const driver::FaultCounters fc = dev.MemberFaults(m);
+    f.AddRow({Table::Fmt((std::int64_t)m),
+              array::MemberStateName(dev.member_state(m)),
+              Table::Fmt(fc.retries), Table::Fmt(fc.aborted_chains),
+              Table::Fmt(fc.remaps), Table::Fmt(fc.scrub_hits)});
+  }
+  std::printf("\n%s", f.ToString().c_str());
+  return 0;
+}
+
+int CmdCrashDayArray(Flags& flags, const std::string& spec) {
+  array::RaidLevel level;
+  std::int32_t members = 0;
+  if (!ParseArraySpec(spec, &level, &members)) {
+    std::fprintf(stderr, "bad --array=%s (want raid0:N or raid1:N)\n",
+                 spec.c_str());
+    return 2;
+  }
+  if (level != array::RaidLevel::kRaid1) {
+    std::fprintf(stderr, "crashday --array requires raid1: the harness "
+                         "proves mirror availability\n");
+    return 2;
+  }
+  if (!RejectNonArrayFleetFlags(flags)) return 2;
+  if (flags.Has("chunk") || flags.Has("scrub")) {
+    std::fprintf(stderr, "--chunk/--scrub are onoff-mode array flags\n");
+    return 2;
+  }
+  const std::uint64_t fault_seed =
+      static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0xC4A5));
+  const std::int32_t pairs =
+      static_cast<std::int32_t>(flags.GetInt("pairs", 4));
+  const std::int32_t jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  // Bare --kill-member kills member 0 (the point of the exercise); an
+  // explicit index picks the victim.
+  const std::int32_t kill_member = flags.Has("kill-member")
+                                       ? static_cast<std::int32_t>(
+                                             flags.GetInt("kill-member", 0))
+                                       : 0;
+  const bool quick = flags.Get("quick", "") == "true";
+  flags.CheckAllUsed();
+  if (pairs < 1 || jobs < 1) {
+    std::fprintf(stderr, "--pairs/--jobs must be >= 1\n");
+    return 2;
+  }
+  if (kill_member < 0 || kill_member >= members) {
+    std::fprintf(stderr, "--kill-member=%d out of range (array has %d "
+                         "members)\n", kill_member, members);
+    return 2;
+  }
+
+  std::printf("fault-seed=%llu  array=raid1:%d  kill-member=%d  pairs=%d%s"
+              "\n\n",
+              static_cast<unsigned long long>(fault_seed), members,
+              kill_member, pairs, quick ? "  (quick)" : "");
+
+  // Each pair runs the same seeded workload twice: once uninterrupted,
+  // once with the victim killed at a seed-derived crash point and later
+  // reattached. The mirror is consistent iff both runs verify clean AND
+  // land on bit-identical payload fingerprints and mapping sets. Pairs fan
+  // out across --jobs workers; each run is single-threaded, so the table
+  // is byte-identical for every --jobs value.
+  struct RunOut {
+    array::ArrayHarnessResult r;
+    std::vector<driver::FaultCounters> faults;
+  };
+  const auto kill_point = [&](std::int32_t pair) -> std::int64_t {
+    std::uint64_t x = fault_seed + static_cast<std::uint64_t>(pair) * 0x9E37;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return 1 + static_cast<std::int64_t>(x % 997);
+  };
+  const auto run_one = [&](std::int32_t index) -> RunOut {
+    const std::int32_t pair = index / 2;
+    const bool killed = (index % 2) == 1;
+    array::ArrayHarnessConfig c;
+    if (quick) c = c.Quick();
+    c.seed = fault_seed + static_cast<std::uint64_t>(pair) * 0x51ED;
+    c.members = members;
+    if (killed) {
+      c.kill_member = kill_member;
+      c.kill_at_io = kill_point(pair);
+    }
+    array::ArrayCrashHarness harness(c);
+    RunOut out;
+    out.r = harness.Run();
+    if (harness.device() != nullptr) {
+      for (std::int32_t m = 0; m < members; ++m) {
+        out.faults.push_back(harness.device()->MemberFaults(m));
+      }
+    }
+    return out;
+  };
+
+  const std::int32_t total = pairs * 2;
+  std::vector<RunOut> results(static_cast<std::size_t>(total));
+  if (jobs == 1) {
+    for (std::int32_t i = 0; i < total; ++i) {
+      results[static_cast<std::size_t>(i)] = run_one(i);
+    }
+  } else {
+    ThreadPool pool(static_cast<std::size_t>(jobs));
+    std::vector<std::future<RunOut>> futures;
+    futures.reserve(static_cast<std::size_t>(total));
+    for (std::int32_t i = 0; i < total; ++i) {
+      futures.push_back(pool.Submit([&run_one, i]() { return run_one(i); }));
+    }
+    for (std::int32_t i = 0; i < total; ++i) {
+      results[static_cast<std::size_t>(i)] =
+          futures[static_cast<std::size_t>(i)].get();
+    }
+  }
+
+  Table t({"pair", "kill@io", "crashes", "acked", "reads ok", "granules",
+           "skipped", "mism", "twin match"});
+  bool all_ok = true;
+  for (std::int32_t p = 0; p < pairs; ++p) {
+    const array::ArrayHarnessResult& twin =
+        results[static_cast<std::size_t>(p * 2)].r;
+    const array::ArrayHarnessResult& killed =
+        results[static_cast<std::size_t>(p * 2 + 1)].r;
+    const bool match = twin.fingerprint_hash == killed.fingerprint_hash &&
+                       twin.mapping_hash == killed.mapping_hash;
+    const bool ok = twin.ok() && killed.ok() && match;
+    t.AddRow({Table::Fmt((std::int64_t)p), Table::Fmt(kill_point(p)),
+              Table::Fmt((std::int64_t)killed.crashes),
+              Table::Fmt(killed.writes_acked),
+              Table::Fmt(killed.reads_checked),
+              Table::Fmt(killed.resync_granules_copied),
+              Table::Fmt(killed.passes_skipped),
+              Table::Fmt(twin.mismatches + killed.mismatches),
+              ok ? (match ? "yes" : "-") : "NO"});
+    if (!ok) {
+      all_ok = false;
+      const std::string& err = !twin.first_error.empty()
+                                   ? twin.first_error
+                                   : killed.first_error;
+      std::fprintf(stderr, "pair %d FAILED: %s\n", p,
+                   err.empty() ? "fingerprint diverged from twin"
+                               : err.c_str());
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+
+  // Per-member fault-path counters of the killed runs, in (pair, member)
+  // order: where the retries, aborted move chains, remaps, and scrub hits
+  // landed.
+  Table f({"pair", "member", "retries", "aborts", "remaps", "scrub hits"});
+  for (std::int32_t p = 0; p < pairs; ++p) {
+    const RunOut& killed = results[static_cast<std::size_t>(p * 2 + 1)];
+    for (std::size_t m = 0; m < killed.faults.size(); ++m) {
+      const driver::FaultCounters& fc = killed.faults[m];
+      f.AddRow({Table::Fmt((std::int64_t)p), Table::Fmt((std::int64_t)m),
+                Table::Fmt(fc.retries), Table::Fmt(fc.aborted_chains),
+                Table::Fmt(fc.remaps), Table::Fmt(fc.scrub_hits)});
+    }
+  }
+  std::printf("\n%s", f.ToString().c_str());
+  std::printf("\n%s\n", all_ok
+                            ? "mirror consistent: no acknowledged write lost"
+                            : "CONSISTENCY FAILURE");
+  return all_ok ? 0 : 1;
+}
+
 int CmdOnOff(Flags& flags) {
+  const std::string array_spec = flags.Get("array", "");
+  if (!array_spec.empty()) return CmdOnOffArray(flags, array_spec);
+  for (const char* f : {"kill-member", "scrub", "chunk"}) {
+    if (flags.Has(f)) {
+      std::fprintf(stderr, "--%s requires --array\n", f);
+      return 2;
+    }
+  }
   const std::int32_t shards =
       static_cast<std::int32_t>(flags.GetInt("shards", 0));
   if (shards > 0) return CmdOnOffSharded(flags, shards);
@@ -649,6 +1007,14 @@ int CmdPolicy(Flags& flags) {
 }
 
 int CmdCrashDay(Flags& flags) {
+  const std::string array_spec = flags.Get("array", "");
+  if (!array_spec.empty()) return CmdCrashDayArray(flags, array_spec);
+  for (const char* f : {"kill-member", "scrub", "chunk", "pairs"}) {
+    if (flags.Has(f)) {
+      std::fprintf(stderr, "--%s requires --array\n", f);
+      return 2;
+    }
+  }
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0xC4A5));
   const std::int32_t crash_points =
@@ -814,7 +1180,22 @@ void Usage() {
       "  (S=1 is the single-machine oracle). Runs a synthetic fleet day:\n"
       "  --day-minutes=M (default 60) --population=B hot blocks (4000)\n"
       "crashday: --shards=S  runs S independent member harnesses per\n"
-      "  replica and folds their counters (S=1 keeps the legacy bytes)\n");
+      "  replica and folds their counters (S=1 keeps the legacy bytes)\n"
+      "multi-disk arrays (onoff/crashday): --array=raid0:N|raid1:N\n"
+      "  compose N member drives into one virtual device — raid0 stripes\n"
+      "  in --chunk=C block units (raid0 only); raid1 mirrors writes and\n"
+      "  routes reads to the member with the shortest predicted seek.\n"
+      "  Output is byte-identical for every --jobs value at a fixed array\n"
+      "  shape. --array excludes --shards/--replicas/--continuous.\n"
+      "onoff --array: --scrub=N  verify N cold blocks per member per epoch\n"
+      "  in idle time, remapping persistent errors into spare slots;\n"
+      "  --kill-member[=M]  (raid1 only) kill member M mid measured day,\n"
+      "  serve degraded, reattach a day later, and resync only the dirty\n"
+      "  granules in the background of later traffic\n"
+      "crashday --array=raid1:N: --kill-member[=M] --pairs=P --jobs=N\n"
+      "  run P twin pairs (uninterrupted vs killed-at-seeded-crash-point\n"
+      "  and resynced); each pair must land on bit-identical payload\n"
+      "  fingerprints and mapping sets, proving no acked write is lost\n");
 }
 
 }  // namespace

@@ -25,6 +25,12 @@ new benchmark has nothing to compare against, so a missing BASELINE.json
 prints a warning and exits 0 (commit the fresh snapshot to arm the check).
 A missing or unreadable CURRENT.json is always an error.
 
+A baseline metric whose `kind` this tool does not recognize (written by a
+newer bench schema than the tool understands) is warned about and skipped
+rather than compared: the semantics of an unknown kind — what it measures,
+whether its numbers are thread-count dependent — are by definition unknown
+here, so any pass/fail verdict on it would be noise.
+
 Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
 Exit status: 0 when within tolerance, 1 on regression, 2 on usage errors.
 """
@@ -33,6 +39,12 @@ import argparse
 import json
 import os
 import sys
+
+# Metric kinds this tool knows how to judge. Single-thread metrics carry
+# no kind at all; the two multi-thread kinds get the CPU-count skip in
+# the speedup comparison below. Anything else is a newer schema: warn
+# and skip instead of rendering a meaningless verdict.
+KNOWN_KINDS = (None, "", "replication", "scaling")
 
 
 def load_metrics(path, missing_ok=False):
@@ -109,7 +121,16 @@ def main():
             f"this machine has {cpus}; skipping all speedup comparisons"
         )
     failed = []
+    skipped_kinds = 0
     for name in sorted(base):
+        kind = base[name].get("kind")
+        if kind not in KNOWN_KINDS:
+            print(
+                f"  {name:28s} WARNING: unrecognized kind '{kind}'; "
+                f"skipped (update tools/bench_diff.py to judge it)"
+            )
+            skipped_kinds += 1
+            continue
         if name not in cur:
             print(f"  {name:28s} MISSING from current run")
             failed.append(name)
@@ -158,7 +179,13 @@ def main():
     if failed:
         print(f"bench_diff: FAIL: {len(failed)} metric(s): {', '.join(failed)}")
         return 1
-    print("bench_diff: all metrics within tolerance")
+    if skipped_kinds:
+        print(
+            f"bench_diff: all judged metrics within tolerance "
+            f"({skipped_kinds} skipped on unrecognized kind)"
+        )
+    else:
+        print("bench_diff: all metrics within tolerance")
     return 0
 
 

@@ -95,24 +95,45 @@ cmp "$DET_TMP/crash_j1.txt" "$DET_TMP/crash_j4.txt"
 ./build/tools/abrsim onoff --continuous --shards=3 --jobs=8 --day-minutes=4 \
   --days=1 > "$DET_TMP/cont_j8.txt"
 cmp "$DET_TMP/cont_j1.txt" "$DET_TMP/cont_j8.txt"
-echo "sharded onoff/sweep/policy/crashday/continuous byte-identical across --jobs"
+# The array layer makes the same promise: every cross-member decision
+# happens at an epoch barrier in member order, so a RAID0 stripe set (and
+# the crashday twin-comparison harness fanned over worker threads) must
+# print identical bytes at any --jobs.
+./build/tools/abrsim onoff --array=raid0:4 --jobs=1 --day-minutes=4 \
+  --days=1 > "$DET_TMP/array_j1.txt"
+./build/tools/abrsim onoff --array=raid0:4 --jobs=8 --day-minutes=4 \
+  --days=1 > "$DET_TMP/array_j8.txt"
+cmp "$DET_TMP/array_j1.txt" "$DET_TMP/array_j8.txt"
+./build/tools/abrsim crashday --array=raid1:2 --kill-member --pairs=2 \
+  --quick --jobs=1 > "$DET_TMP/arraycrash_j1.txt"
+./build/tools/abrsim crashday --array=raid1:2 --kill-member --pairs=2 \
+  --quick --jobs=4 > "$DET_TMP/arraycrash_j4.txt"
+cmp "$DET_TMP/arraycrash_j1.txt" "$DET_TMP/arraycrash_j4.txt"
+echo "sharded onoff/sweep/policy/crashday/continuous/array byte-identical across --jobs"
 
 if [[ "$NO_ASAN" == 1 ]]; then
   echo "== asan: skipped (--no-asan) =="
 else
-  echo "== asan+ubsan: fault/crash/driver tests + crashday --quick =="
+  echo "== asan+ubsan: fault/crash/driver/array tests + crashday --quick =="
   # The fault tests exercise truncated table images, torn writes, and
   # mid-chain aborts — exactly where overflow and lifetime bugs would hide.
   cmake -B build-asan -S . -DABR_SANITIZE=address >/dev/null
   cmake --build build-asan -j --target \
     fault_plan_test faulty_disk_test crash_harness_test \
-    adaptive_driver_test block_table_test abrsim bench_arrange >/dev/null
+    adaptive_driver_test block_table_test array_device_test \
+    array_harness_test abrsim bench_arrange >/dev/null
   ./build-asan/tests/fault_plan_test
   ./build-asan/tests/faulty_disk_test
   ./build-asan/tests/crash_harness_test
   ./build-asan/tests/adaptive_driver_test
   ./build-asan/tests/block_table_test
+  ./build-asan/tests/array_device_test
+  ./build-asan/tests/array_harness_test
   ./build-asan/tools/abrsim crashday --quick --replicas=2
+  # Mirror member killed mid-arrangement, reattached, resynced: the
+  # degraded-mode and resync buffer handling under ASan.
+  ./build-asan/tools/abrsim crashday --array=raid1:2 --kill-member \
+    --pairs=2 --quick
   # Timed crash points landing inside a suspended continuous plan: the
   # in-memory plan dies with the boot, recovery must come up clean from
   # the on-disk state alone.
@@ -151,6 +172,15 @@ else
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tools/abrsim onoff --continuous --shards=4 --jobs=4 \
     --day-minutes=4 --days=1
+  # RAID0 array with members advancing on four workers through the same
+  # epoch-barrier machinery, plus crashday twin pairs racing across the
+  # pool with a member death and resync inside each killed run.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tools/abrsim onoff --array=raid0:4 --jobs=4 \
+    --day-minutes=4 --days=1
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tools/abrsim crashday --array=raid1:2 --kill-member \
+    --pairs=2 --quick --jobs=4
 fi
 
 if [[ "$NO_BENCH" == 1 ]]; then
