@@ -6,6 +6,7 @@
 
 #include "analyzer/counter.h"
 #include "driver/block_table.h"
+#include "sim/lookahead.h"
 
 namespace abr::array {
 
@@ -375,11 +376,22 @@ void ArrayDevice::StepMember(Member& m, Micros target) {
 
 Status ArrayDevice::StepTo(Micros target) {
   FlushPending();
-  ForEachMember([this, target](Member& m) {
+  const Micros from = advanced_to_;
+  const Micros grid = config_.epoch;
+  // Members replay every grid boundary inside the window, so a fused
+  // multi-grid window leaves the same member timelines as single-grid
+  // stepping; only the coordinator's barrier work is elided.
+  ForEachMember([this, from, target, grid](Member& m) {
     m.step_status = Status::Ok();
     if (m.state == MemberState::kDead || m.driver == nullptr) return;
-    StepMember(m, target);
+    Micros boundary = from;
+    do {
+      boundary = (target - boundary <= grid) ? target : boundary + grid;
+      StepMember(m, boundary);
+      if (!m.step_status.ok()) return;
+    } while (boundary < target);
   });
+  ++barriers_;
   advanced_to_ = target;
   for (auto& m : members_) {
     if (!m->step_status.ok()) {
@@ -391,10 +403,55 @@ Status ArrayDevice::StepTo(Micros target) {
   return Status::Ok();
 }
 
+bool ArrayDevice::ExtensionSafe() const {
+  if (config_.level != RaidLevel::kRaid0) return false;
+  if (config_.scrub_batch > 0) return false;
+  if (resync_.target >= 0) return false;
+  if (!pending_remaps_.empty()) return false;
+  for (const auto& m : members_) {
+    if (m->state != MemberState::kOnline || m->driver == nullptr) return false;
+    if (m->disk->crashed()) return false;
+    if (m->scrub_inflight || !m->scrub_queue.empty() ||
+        !m->scrub_bad.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Micros ArrayDevice::FaultEventBound() const {
+  Micros bound = disk::kNoFaultEvent;
+  for (const auto& m : members_) {
+    if (m->state == MemberState::kDead || m->disk == nullptr) continue;
+    bound = std::min(bound, m->disk->NextFaultEventBound());
+  }
+  return bound;
+}
+
+Micros ArrayDevice::PlanStepEnd(Micros limit) const {
+  if (limit < advanced_to_) limit = advanced_to_;
+  if (!config_.adaptive_epoch || !ExtensionSafe()) {
+    return std::min(limit, advanced_to_ + config_.epoch);
+  }
+  const Micros floor = sim::LookaheadFloor(config_.drive.geometry);
+  const Micros bound = std::max(FaultEventBound(), advanced_to_ + floor);
+  return sim::PlanWindowEnd(advanced_to_, config_.epoch, limit, bound,
+                            std::max<std::int32_t>(1, config_.max_epoch_grids));
+}
+
+Micros ArrayDevice::PlanSubmitHorizon(Micros limit) const {
+  if (limit < advanced_to_) return advanced_to_;
+  if (!config_.adaptive_epoch || !ExtensionSafe()) return advanced_to_;
+  // RAID0 routing is a pure function of the block address while no member
+  // dies, so submissions may be batched ahead up to the earliest possible
+  // fault/crash event.
+  return std::min(limit, FaultEventBound());
+}
+
 Status ArrayDevice::AdvanceTo(Micros t) {
   if (!started_) return Status::FailedPrecondition("Start() has not run");
   while (advanced_to_ < t) {
-    Status s = StepTo(std::min(t, advanced_to_ + config_.epoch));
+    Status s = StepTo(PlanStepEnd(t));
     if (!s.ok()) return s;
   }
   return Status::Ok();

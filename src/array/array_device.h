@@ -74,8 +74,23 @@ struct ArrayConfig {
   /// land contiguously on one member before the stripe advances.
   std::int64_t chunk_blocks = 4;
 
-  /// Barrier horizon (see ShardedSystemConfig::epoch).
+  /// Barrier horizon (see ShardedSystemConfig::epoch). With
+  /// adaptive_epoch this stays the base grid: adaptive windows always
+  /// cover a whole number of these grids.
   Micros epoch = 2 * kMinute;
+
+  /// Lookahead-adaptive barriers (see ShardedSystemConfig::adaptive_epoch).
+  /// Quiet RAID0 stretches fuse up to max_epoch_grids grids into one
+  /// parallel window; any window that could contain a cross-member event
+  /// (a member fault/crash point, active resync or scrub, a pending
+  /// remap) falls back to single-grid stepping, and RAID1 always steps
+  /// single-grid because its read routing reads live member head
+  /// positions at submit time. Output is bit-identical to
+  /// adaptive_epoch = false for every member/thread count.
+  bool adaptive_epoch = false;
+
+  /// Upper bound on grids fused into one adaptive window.
+  std::int32_t max_epoch_grids = 32;
 
   /// Member drive model.
   disk::DriveSpec drive = disk::DriveSpec::ToshibaMK156F();
@@ -176,9 +191,29 @@ class ArrayDevice {
   Status Submit(const workload::TraceRecord& record);
   Status SubmitBatch(const workload::TraceRecord* records, std::size_t count);
 
-  /// Advances all members to `t` in epoch barriers, running maintenance at
-  /// each barrier.
+  /// Advances all members to `t` in barrier windows (fixed single-grid
+  /// epochs, or lookahead-fused multiples of the grid with
+  /// adaptive_epoch), running maintenance at each barrier. Members replay
+  /// every grid boundary inside a window, so the member-side timelines
+  /// are grid-identical in both modes.
   Status AdvanceTo(Micros t);
+
+  /// Where the next barrier window starting at the current clock would
+  /// end if asked to advance to `limit`. Pure function of simulation
+  /// state — identical for every member/thread count.
+  Micros PlanStepEnd(Micros limit) const;
+
+  /// Latest simulated time T such that routing every external submission
+  /// timed before T *now* (instead of chunk-by-chunk between barriers) is
+  /// bit-identical: extension-safe RAID0 with no member fault/crash event
+  /// before T. Returns the current clock when no batching ahead is safe
+  /// (fixed mode, RAID1, degraded or busy arrays).
+  Micros PlanSubmitHorizon(Micros limit) const;
+
+  /// Barrier windows stepped by AdvanceTo so far. Deterministic.
+  std::int64_t barriers() const { return barriers_; }
+
+  const ArrayConfig& config() const { return config_; }
 
   /// Runs every member dry (plus one maintenance barrier) and returns the
   /// latest member completion time.
@@ -335,6 +370,17 @@ class ArrayDevice {
   void FlushPending();
   Status StepTo(Micros target);
 
+  /// True when a multi-grid window is behaviorally equivalent to
+  /// single-grid stepping: RAID0 (address-only routing), every member
+  /// online and uncrashed, and no barrier-granular machinery (scrub,
+  /// resync, pending remaps) armed — the skipped intermediate
+  /// MaintainAtBarrier calls are then provably no-ops.
+  bool ExtensionSafe() const;
+
+  /// Earliest possible cross-member fault/crash event over the live
+  /// members (simulated time; disk::kNoFaultEvent when none remain).
+  Micros FaultEventBound() const;
+
   /// Barrier maintenance, in member order: death detection, write-lane
   /// folding, resync copies, remap retries, scrub refills.
   void MaintainAtBarrier();
@@ -378,6 +424,7 @@ class ArrayDevice {
 
   bool started_ = false;
   Micros advanced_to_ = 0;
+  std::int64_t barriers_ = 0;
   Micros last_submit_ = 0;
   std::int32_t spare_cursor_ = 0;
   std::int64_t resync_copied_ = 0;

@@ -38,6 +38,9 @@ ArrayCrashHarness::ArrayCrashHarness(ArrayHarnessConfig config)
   ac.members = config_.members;
   ac.threads = 1;  // required by the completion sink
   ac.epoch = config_.epoch;
+  // RAID1 devices never fuse windows, but the flag still exercises the
+  // adaptive planner's fall-back path end to end.
+  ac.adaptive_epoch = config_.adaptive_epoch;
   ac.drive = disk::DriveSpec::TestDrive(config_.cylinders,
                                         config_.tracks_per_cylinder,
                                         config_.sectors_per_track);

@@ -33,6 +33,8 @@ struct ArrayHarnessConfig {
   std::int32_t spare_slots = 4;
   std::int64_t resync_granule_blocks = 4;
   Micros epoch = 50 * kMillisecond;
+  /// Lookahead-adaptive barriers (see ArrayConfig::adaptive_epoch).
+  bool adaptive_epoch = false;
 
   // Workload: seeded Zipf references, exponential interarrivals. At most
   // one write per block per phase (each phase ends with a drain), so no

@@ -18,16 +18,37 @@ StatusOr<DayMetrics> ArrayDayRunner::RunMeasuredDay() {
   const Micros start = dev.now();
   const Micros end = start + config_.day_length;
 
+  const std::int64_t barriers_before = dev.barriers();
+
   // Chunks are day-relative durations, so every configuration sees the
   // identical per-day request sequence; only the absolute start shifts.
+  // Under an adaptive device, quiet stretches batch several chunks into
+  // one submit-and-advance window (the device's submit horizon proves the
+  // batched routing bit-identical); generation itself always stays on the
+  // chunk grid so the request sequence cannot depend on the windowing.
+  const bool adaptive = dev.config().adaptive_epoch;
+  const std::int32_t max_chunks =
+      std::max<std::int32_t>(1, dev.config().max_epoch_grids);
   Micros cur = start;
   while (cur < end) {
-    const Micros cur_end = std::min(end, cur + config_.chunk);
-    trace_.Clear();
-    workload_.Generate(cur, cur_end, trace_);
-    requests_ += static_cast<std::int64_t>(trace_.size());
-    ABR_RETURN_IF_ERROR(
-        dev.SubmitBatch(trace_.records().data(), trace_.size()));
+    Micros cur_end = std::min(end, cur + config_.chunk);
+    if (adaptive) {
+      const Micros horizon = dev.PlanSubmitHorizon(end);
+      for (std::int32_t k = 1; k < max_chunks && cur_end < end; ++k) {
+        const Micros next = std::min(end, cur_end + config_.chunk);
+        if (next > horizon) break;
+        cur_end = next;
+      }
+    }
+    for (Micros piece = cur; piece < cur_end;) {
+      const Micros piece_end = std::min(cur_end, piece + config_.chunk);
+      trace_.Clear();
+      workload_.Generate(piece, piece_end, trace_);
+      requests_ += static_cast<std::int64_t>(trace_.size());
+      ABR_RETURN_IF_ERROR(
+          dev.SubmitBatch(trace_.records().data(), trace_.size()));
+      piece = piece_end;
+    }
     ABR_RETURN_IF_ERROR(dev.AdvanceTo(cur_end));
     cur = cur_end;
   }
@@ -37,6 +58,7 @@ StatusOr<DayMetrics> ArrayDayRunner::RunMeasuredDay() {
   ++day_;
   DayMetrics metrics =
       DayMetrics::From(dev.ReadStatsMerged(/*clear=*/true), dev.seek_model());
+  metrics.barriers = dev.barriers() - barriers_before;
   // Every member ran the same span; the array's disk-time budget for idle
   // accounting is the span times the member count.
   metrics.elapsed = (*quiesce - start) * dev.members();

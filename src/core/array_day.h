@@ -27,7 +27,10 @@ struct ArrayDayConfig {
 /// the paper's daily protocol (clear stats, traffic, quiesce, snapshot).
 /// Unlike ShardedDayRunner there is no generation pipeline: chunks are
 /// generated and submitted sequentially, which keeps shortest-seek mirror
-/// routing deterministic for any member/thread count.
+/// routing deterministic for any member/thread count. On an
+/// adaptive-epoch RAID0 device, quiet stretches batch whole chunks ahead
+/// of one AdvanceTo — gated by ArrayDevice::PlanSubmitHorizon so the
+/// result stays bit-identical to the chunk-at-a-time protocol.
 class ArrayDayRunner {
  public:
   /// `device` must be Start()ed and outlive the runner.

@@ -53,6 +53,18 @@ struct DayMetrics {
   /// runner; 0 when unknown.
   Micros elapsed = 0;
 
+  /// Parallel-window barriers the engine ran during the measured day.
+  /// Deterministic — a pure function of config, request stream, and fault
+  /// plans — so it is safe to print on byte-compared output. 0 on serial
+  /// (non-barrier) engines.
+  std::int64_t barriers = 0;
+  /// Wall-clock seconds the coordinator spent blocked on the slowest
+  /// member at those barriers, and spent merging per-member completion
+  /// lanes. Host-timing measurements: they vary run to run and MUST NOT
+  /// be printed on byte-compared output (bench breakdowns only).
+  double barrier_stall_wall = 0;
+  double barrier_merge_wall = 0;
+
   /// Seconds the disk(s) sat completely idle.
   double idle_seconds() const {
     const Micros busy = util.external_busy + util.internal_busy;

@@ -1,11 +1,21 @@
 #include "core/sharded_system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "sim/lookahead.h"
 
 namespace abr::core {
 
 namespace {
+
+/// Seconds elapsed since `t0` on the host clock (barrier stall/merge
+/// accounting only — never simulation state).
+double WallSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// Field-by-field fold of one member's pass into the fleet total (shard
 /// order, so the total is deterministic).
@@ -148,24 +158,33 @@ void ShardedSystem::FlushPending() {
   }
 }
 
-void ShardedSystem::StepShard(Shard& shard, Micros target) {
+void ShardedSystem::StepShard(Shard& shard, Micros from, Micros target,
+                              Micros grid) {
   shard.step_status = Status::Ok();
   driver::AdaptiveDriver& drv = shard.system->driver();
   std::vector<workload::TraceRecord>& q = shard.run_queue;
-  while (shard.run_cursor < q.size() && q[shard.run_cursor].time <= target) {
-    const workload::TraceRecord& rec = q[shard.run_cursor++];
-    // A crashed member is a dead machine: its requests are simply lost.
-    if (drv.halted()) continue;
-    Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
-    if (!st.ok()) {
-      shard.step_status = st;
-      return;
+  // A window covers whole grids; replay them one at a time so a multi-grid
+  // adaptive window computes exactly what the fixed-epoch oracle's
+  // grid-by-grid steps would: submissions due by each boundary, an advance
+  // to it, and the monitoring tick that lives there (the grid ~= the
+  // paper's 2-minute period).
+  Micros boundary = from;
+  do {
+    boundary = (target - boundary <= grid) ? target : boundary + grid;
+    while (shard.run_cursor < q.size() &&
+           q[shard.run_cursor].time <= boundary) {
+      const workload::TraceRecord& rec = q[shard.run_cursor++];
+      // A crashed member is a dead machine: its requests are simply lost.
+      if (drv.halted()) continue;
+      Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
+      if (!st.ok()) {
+        shard.step_status = st;
+        return;
+      }
     }
-  }
-  if (!drv.halted() && target > drv.now()) drv.AdvanceTo(target);
-  // The barrier doubles as the monitoring tick: drain this member's
-  // request table into its analyzer (epoch ~= the 2-minute period).
-  shard.system->PeriodicTick(std::max(target, drv.now()));
+    if (!drv.halted() && boundary > drv.now()) drv.AdvanceTo(boundary);
+    shard.system->PeriodicTick(std::max(boundary, drv.now()));
+  } while (boundary < target);
   if (shard.run_cursor == q.size()) {
     q.clear();
     shard.run_cursor = 0;
@@ -191,21 +210,60 @@ void ShardedSystem::ForEachShard(Fn&& fn) {
   }
 }
 
+Micros ShardedSystem::FaultEventBound() const {
+  Micros bound = disk::kNoFaultEvent;
+  for (const auto& shard : shards_) {
+    const driver::AdaptiveDriver& drv = shard->system->driver();
+    // A crashed member is a dead machine in a live fleet: it services
+    // nothing, so its remaining plan cannot produce events.
+    if (drv.halted()) continue;
+    bound = std::min(bound, drv.NextFaultEventBound());
+  }
+  return bound;
+}
+
+Micros ShardedSystem::PlanStepEnd(Micros t) const {
+  if (t < advanced_to_) t = advanced_to_;
+  if (!config_.adaptive_epoch) {
+    return std::min(t, advanced_to_ + config_.epoch);
+  }
+  // One grid is always admissible (it is exactly the fixed oracle's step);
+  // extensions must stay provably event-free, and nothing can cross
+  // members faster than the lookahead floor.
+  const Micros bound =
+      std::max(FaultEventBound(),
+               advanced_to_ + sim::LookaheadFloor(config_.drive.geometry));
+  return sim::PlanWindowEnd(advanced_to_, config_.epoch, t, bound,
+                            std::max<std::int32_t>(1, config_.max_epoch_grids));
+}
+
 Status ShardedSystem::BeginStep(Micros t) {
   if (!started_) return Status::FailedPrecondition("Start() has not run");
   if (step_active_) return Status::FailedPrecondition("step already active");
-  if (t < advanced_to_) t = advanced_to_;
-  step_target_ = std::min(t, advanced_to_ + config_.epoch);
+  step_target_ = PlanStepEnd(t);
   FlushPending();
+  ++barriers_;
   step_active_ = true;
+  if (config_.adaptive_epoch) {
+    // Bank the previous window's completions and hand the workers fresh
+    // lanes; the merge below then overlaps their execution.
+    merger_.StageLanes();
+  }
   if (pool_ != nullptr) {
     step_futures_.clear();
+    const Micros from = advanced_to_;
     const Micros target = step_target_;
+    const Micros grid = config_.epoch;
     for (auto& shard : shards_) {
       Shard* p = shard.get();
-      step_futures_.push_back(
-          pool_->Submit([p, target]() { StepShard(*p, target); }));
+      step_futures_.push_back(pool_->Submit(
+          [p, from, target, grid]() { StepShard(*p, from, target, grid); }));
     }
+  }
+  if (config_.adaptive_epoch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    merger_.DrainStaged(merge_sink_);
+    merge_wall_ += WallSince(t0);
   }
   return Status::Ok();
 }
@@ -213,14 +271,22 @@ Status ShardedSystem::BeginStep(Micros t) {
 Status ShardedSystem::EndStep() {
   if (!step_active_) return Status::FailedPrecondition("no active step");
   if (pool_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
     for (auto& f : step_futures_) f.get();
+    stall_wall_ += WallSince(t0);
     step_futures_.clear();
   } else {
-    for (auto& shard : shards_) StepShard(*shard, step_target_);
+    for (auto& shard : shards_) {
+      StepShard(*shard, advanced_to_, step_target_, config_.epoch);
+    }
   }
   step_active_ = false;
   advanced_to_ = step_target_;
-  merger_.DrainInto(merge_sink_);
+  if (!config_.adaptive_epoch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    merger_.DrainInto(merge_sink_);
+    merge_wall_ += WallSince(t0);
+  }
   for (const auto& shard : shards_) {
     if (!shard->step_status.ok()) return shard->step_status;
   }
@@ -231,6 +297,14 @@ Status ShardedSystem::AdvanceTo(Micros t) {
   while (advanced_to_ < t) {
     ABR_RETURN_IF_ERROR(BeginStep(t));
     ABR_RETURN_IF_ERROR(EndStep());
+  }
+  if (config_.adaptive_epoch) {
+    // Flush the last window's banked completions so the public contract —
+    // the sink has everything up to advanced_to_ when AdvanceTo returns —
+    // holds in both epoch modes.
+    const auto t0 = std::chrono::steady_clock::now();
+    merger_.DrainInto(merge_sink_);
+    merge_wall_ += WallSince(t0);
   }
   return Status::Ok();
 }
@@ -366,43 +440,48 @@ void ShardedSystem::set_rearrange_blocks(std::int32_t n) {
 }
 
 driver::PerfSnapshot ShardedSystem::ReadStatsMerged(bool clear) {
+  // Gather in parallel (each shard touches only its own monitor), reduce
+  // in fixed shard order so the fold stays deterministic.
+  ForEachShard([clear](Shard& shard) {
+    shard.stat_slot = shard.system->driver().IoctlReadStats(clear);
+  });
   driver::PerfSnapshot merged;
   for (auto& shard : shards_) {
-    merged.MergeFrom(shard->system->driver().IoctlReadStats(clear));
+    merged.MergeFrom(shard->stat_slot);
+    shard->stat_slot = driver::PerfSnapshot();
   }
   return merged;
 }
 
-std::vector<analyzer::HotBlock> ShardedSystem::HotList(std::size_t k) const {
-  std::vector<std::vector<analyzer::HotBlock>> lists;
-  lists.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    lists.push_back(shard->system->analyzer().HotList(k));
-  }
-  std::vector<std::size_t> heads(lists.size(), 0);
+std::vector<analyzer::HotBlock> ShardedSystem::HotList(std::size_t k) {
+  ForEachShard([k](Shard& shard) {
+    shard.hot_slot = shard.system->analyzer().HotList(k);
+  });
+  std::vector<std::size_t> heads(shards_.size(), 0);
   std::vector<analyzer::HotBlock> merged;
   merged.reserve(k);
   while (merged.size() < k) {
     std::int32_t best = -1;
     for (std::int32_t s = 0; s < shards(); ++s) {
-      const auto& list = lists[static_cast<std::size_t>(s)];
+      const auto& list = shards_[static_cast<std::size_t>(s)]->hot_slot;
       const std::size_t h = heads[static_cast<std::size_t>(s)];
       if (h >= list.size()) continue;
       // Highest count wins; ties keep the lower shard.
       if (best < 0 ||
           list[h].count >
-              lists[static_cast<std::size_t>(best)]
-                   [heads[static_cast<std::size_t>(best)]].count) {
+              shards_[static_cast<std::size_t>(best)]
+                  ->hot_slot[heads[static_cast<std::size_t>(best)]].count) {
         best = s;
       }
     }
     if (best < 0) break;
     analyzer::HotBlock hot =
-        lists[static_cast<std::size_t>(best)]
-             [heads[static_cast<std::size_t>(best)]++];
+        shards_[static_cast<std::size_t>(best)]
+            ->hot_slot[heads[static_cast<std::size_t>(best)]++];
     hot.id.block = map_.GlobalOf(best, hot.id.block);
     merged.push_back(hot);
   }
+  for (auto& shard : shards_) shard->hot_slot.clear();
   return merged;
 }
 
@@ -425,37 +504,49 @@ ShardedDayRunner::ShardedDayRunner(ShardedSystem* system,
 StatusOr<DayMetrics> ShardedDayRunner::RunMeasuredDay() {
   ShardedSystem& sys = *system_;
   (void)sys.ReadStatsMerged(/*clear=*/true);
+  const std::int64_t barriers_before = sys.barriers();
+  const double stall_before = sys.barrier_stall_wall();
+  const double merge_before = sys.barrier_merge_wall();
   const Micros start = sys.now();
   const Micros end = start + config_.day_length;
   const Micros epoch = sys.config().epoch;
 
   // Chunks are epoch-length *durations* from day start, so the generated
   // sequence (blocks, types, intra-day offsets) is the same for every
-  // shard count and thread count; only the absolute day start shifts.
-  front_.Clear();
+  // shard count, thread count, and window width; only the absolute day
+  // start shifts. `gen` tracks how far generation has run.
   Micros cur = start;
-  Micros cur_end = std::min(end, start + epoch);
-  workload_.Generate(cur, cur_end, front_);
-  requests_ += static_cast<std::int64_t>(front_.size());
-  ABR_RETURN_IF_ERROR(
-      sys.SubmitBatch(front_.records().data(), front_.size()));
+  Micros gen = start;
+  auto generate_until = [&](Micros until) -> Status {
+    while (gen < until && gen < end) {
+      const Micros chunk_end = std::min(end, gen + epoch);
+      chunk_.Clear();
+      workload_.Generate(gen, chunk_end, chunk_);
+      requests_ += static_cast<std::int64_t>(chunk_.size());
+      ABR_RETURN_IF_ERROR(
+          sys.SubmitBatch(chunk_.records().data(), chunk_.size()));
+      gen = chunk_end;
+    }
+    return Status::Ok();
+  };
 
   while (cur < end) {
-    // Shards service [cur, cur_end) while the coordinator generates the
-    // next chunk — the double-buffered pipeline keeping generation off
-    // the parallel critical path.
+    // Plan the window first so every record it will consume is routed
+    // before dispatch; an adaptive window may cover many grid chunks.
+    const Micros cur_end = sys.PlanStepEnd(end);
+    ABR_RETURN_IF_ERROR(generate_until(cur_end));
     ABR_RETURN_IF_ERROR(sys.BeginStep(cur_end));
-    const Micros next_end = std::min(end, cur_end + epoch);
-    back_.Clear();
-    if (cur_end < end) workload_.Generate(cur_end, next_end, back_);
-    ABR_RETURN_IF_ERROR(sys.EndStep());
-    if (!back_.empty()) {
-      requests_ += static_cast<std::int64_t>(back_.size());
-      ABR_RETURN_IF_ERROR(
-          sys.SubmitBatch(back_.records().data(), back_.size()));
-    }
+    // Shards service [cur, cur_end) while the coordinator generates and
+    // routes roughly the next window's worth of traffic — the pipeline
+    // keeping generation and routing (and, in adaptive mode, the previous
+    // window's merge) off the parallel critical path. Over-generation is
+    // harmless: run queues hold records until their grid comes up.
+    Status gen_status =
+        generate_until(std::min(end, cur_end + (cur_end - cur)));
+    Status end_status = sys.EndStep();
+    ABR_RETURN_IF_ERROR(gen_status);
+    ABR_RETURN_IF_ERROR(end_status);
     cur = cur_end;
-    cur_end = next_end;
   }
 
   StatusOr<Micros> quiesce = sys.Drain();
@@ -466,6 +557,9 @@ StatusOr<DayMetrics> ShardedDayRunner::RunMeasuredDay() {
   // Every member ran the same day span; the fleet's disk-time budget for
   // idle accounting is the span times the member count.
   metrics.elapsed = (*quiesce - start) * sys.shards();
+  metrics.barriers = sys.barriers() - barriers_before;
+  metrics.barrier_stall_wall = sys.barrier_stall_wall() - stall_before;
+  metrics.barrier_merge_wall = sys.barrier_merge_wall() - merge_before;
   if (sys.continuous_plan_open()) {
     metrics.arrange = sys.CloseContinuousDayAll();
   } else {

@@ -28,11 +28,25 @@ struct ShardedSystemConfig {
   /// inline in shard order.
   std::int32_t threads = 1;
 
-  /// Barrier horizon: every shard advances to the same epoch boundary
-  /// before the coordinator merges completion streams and ticks the
-  /// monitors. Matches the paper's ~2-minute monitoring period so each
-  /// barrier doubles as the request-monitor drain.
+  /// Base barrier grid: every shard advances through epoch-aligned
+  /// boundaries, and each boundary doubles as the request-monitor drain
+  /// (matching the paper's ~2-minute monitoring period). Workload
+  /// generation is chunked on this grid too, so the grid is part of the
+  /// simulation's definition — adaptive mode never changes it.
   Micros epoch = 2 * kMinute;
+
+  /// Lookahead-adaptive barriers: one parallel step (window) may cover
+  /// several whole grids when no cross-member event — fault, crash point —
+  /// can provably occur inside the extension. Workers still replay every
+  /// grid boundary inside the window (submissions, advance, monitoring
+  /// tick), so the run is bit-identical to the fixed-epoch oracle
+  /// (adaptive_epoch=false, the differential twin) and byte-identical for
+  /// any thread count; only the number of dispatch/join barriers — the
+  /// coordinator stall — shrinks.
+  bool adaptive_epoch = false;
+
+  /// Most grids one adaptive window may cover.
+  std::int32_t max_epoch_grids = 32;
 
   /// Member drive model (all members are identical).
   disk::DriveSpec drive = disk::DriveSpec::ToshibaMK156F();
@@ -125,14 +139,38 @@ class ShardedSystem {
 
   /// One barrier step, split so a caller can overlap coordinator work
   /// (e.g. generating the next epoch's requests) with shard execution:
-  /// BeginStep dispatches every shard toward min(t, one epoch ahead);
-  /// EndStep blocks until all shards reach the boundary, then merges.
-  /// With threads <= 1 the step runs inline in EndStep — same results.
+  /// BeginStep dispatches every shard toward PlanStepEnd(t); EndStep
+  /// blocks until all shards reach the boundary. With threads <= 1 the
+  /// step runs inline in EndStep — same results. Fixed-epoch mode merges
+  /// completions synchronously in EndStep; adaptive mode banks them and
+  /// merges window e-1 inside window e's BeginStep, overlapping the merge
+  /// with shard execution (AdvanceTo, Drain, and the pass entry points
+  /// flush the tail, so the stream is complete whenever they return).
   Status BeginStep(Micros t);
   Status EndStep();
 
+  /// The boundary the next step would run to: min(t, one grid ahead), or —
+  /// in adaptive mode — up to max_epoch_grids whole grids, never past any
+  /// member's next provable fault/crash event. Pure function of simulation
+  /// state; callers use it to pre-route a whole window's requests.
+  Micros PlanStepEnd(Micros t) const;
+
   /// Target time of the last completed step.
   Micros advanced_to() const { return advanced_to_; }
+
+  /// Parallel windows run so far (deterministic). Adaptive mode's whole
+  /// point is making this smaller than the fixed-epoch grid count.
+  std::int64_t barriers() const { return barriers_; }
+
+  /// Wall-clock coordinator time spent joining workers at barriers and
+  /// merging completion lanes (host timing — never byte-compared output).
+  double barrier_stall_wall() const { return stall_wall_; }
+  double barrier_merge_wall() const { return merge_wall_; }
+  void ResetBarrierStats() {
+    barriers_ = 0;
+    stall_wall_ = 0;
+    merge_wall_ = 0;
+  }
 
   /// Services everything still queued on every shard, runs a final
   /// monitoring tick per shard, and merges the completion tail. Returns
@@ -170,14 +208,16 @@ class ShardedSystem {
   /// Changes how many blocks each member's next pass moves.
   void set_rearrange_blocks(std::int32_t n);
 
-  /// Folds every member's performance monitor into one fleet snapshot
-  /// (histogram merges + counter sums, in shard order).
+  /// Folds every member's performance monitor into one fleet snapshot.
+  /// The per-member snapshots are gathered in parallel (each shard reads
+  /// only its own monitor), then reduced in fixed shard order on the
+  /// coordinator so the fold stays deterministic.
   driver::PerfSnapshot ReadStatsMerged(bool clear = true);
 
-  /// Fleet-wide ranked hot list: k-way merge of the members' top-k by
-  /// (count desc, shard asc), with block numbers mapped back to the
-  /// virtual device.
-  std::vector<analyzer::HotBlock> HotList(std::size_t k) const;
+  /// Fleet-wide ranked hot list: per-member top-k gathered in parallel,
+  /// then k-way merged by (count desc, shard asc) in fixed order, with
+  /// block numbers mapped back to the virtual device.
+  std::vector<analyzer::HotBlock> HotList(std::size_t k);
 
   /// True iff any member crashed.
   bool halted() const;
@@ -209,15 +249,24 @@ class ShardedSystem {
     Status step_status;
     StatusOr<placement::ArrangeResult> pass_result{placement::ArrangeResult{}};
     Micros drain_time = 0;
+    /// Parallel-gather slots for the coordinator's fixed-order folds.
+    driver::PerfSnapshot stat_slot;
+    std::vector<analyzer::HotBlock> hot_slot;
 
     /// Driver client sink: external completions land in this shard's
     /// merge lane (worker thread; the lane is this shard's own).
     void OnIoComplete(const sim::CompletedIo& done) override;
   };
 
-  /// Worker body: submit this shard's due requests, advance to `target`,
-  /// tick the monitors.
-  static void StepShard(Shard& shard, Micros target);
+  /// Worker body for the window (`from`, `target`]: replays every grid
+  /// boundary inside it — submit the shard's due requests, advance, tick
+  /// the monitors — so a multi-grid window computes exactly what the
+  /// fixed-epoch oracle's grid-by-grid steps would.
+  static void StepShard(Shard& shard, Micros from, Micros target, Micros grid);
+
+  /// Earliest provable fault/crash event across live members
+  /// (disk::kNoFaultEvent when none is scheduled).
+  Micros FaultEventBound() const;
 
   /// Runs `fn(shard)` for every shard — on the pool when threads > 1,
   /// inline in shard order otherwise — and returns after all finish.
@@ -243,6 +292,9 @@ class ShardedSystem {
   Micros step_target_ = 0;
   Micros advanced_to_ = 0;
   Micros last_submit_time_ = 0;
+  std::int64_t barriers_ = 0;
+  double stall_wall_ = 0;  // seconds blocked joining workers
+  double merge_wall_ = 0;  // seconds merging completion lanes
 };
 
 /// Workload half of a sharded measured day.
@@ -254,10 +306,12 @@ struct ShardedDayConfig {
 
 /// Runs measured days of synthetic traffic against a ShardedSystem with
 /// the paper's daily protocol (clear stats, traffic + monitoring ticks,
-/// quiesce, snapshot), pipelining generation one epoch ahead of execution:
-/// while the shards service epoch e, the coordinator generates epoch e+1.
-/// Generation chunks are day-relative (epoch-length durations from day
-/// start), so every shard count sees the identical per-day request
+/// quiesce, snapshot), pipelining coordinator work against execution:
+/// while the shards service window e, the coordinator generates and
+/// routes roughly window e+1's traffic (and, in adaptive mode, the engine
+/// merges window e-1's completions). Generation chunks are epoch-length
+/// durations from day start regardless of window widths, so every shard
+/// count, thread count, and epoch mode sees the identical per-day request
 /// sequence.
 class ShardedDayRunner {
  public:
@@ -284,8 +338,7 @@ class ShardedDayRunner {
   ShardedSystem* system_;
   ShardedDayConfig config_;
   workload::SyntheticBlockWorkload workload_;
-  workload::Trace front_;  // chunk being executed
-  workload::Trace back_;   // chunk being generated
+  workload::Trace chunk_;  // generation scratch, reused every chunk
   placement::ArrangeResult last_arrange_;
   std::int64_t requests_ = 0;
   std::int32_t day_ = 0;

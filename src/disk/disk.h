@@ -2,6 +2,7 @@
 #define ABR_DISK_DISK_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "disk/drive_spec.h"
@@ -10,6 +11,10 @@
 #include "util/types.h"
 
 namespace abr::disk {
+
+/// Sentinel for NextFaultEventBound(): no deterministically scheduled
+/// fault/crash event remains on this disk's plan.
+inline constexpr Micros kNoFaultEvent = std::numeric_limits<Micros>::max();
 
 /// Outcome of one media operation. The base Disk always reports kOk; the
 /// fault-injection decorator (fault::FaultyDisk) uses the other values.
@@ -68,6 +73,13 @@ class Disk {
   /// fault-injection decorator can interpose on the data/timing plane.
   virtual ServiceBreakdown Service(SectorNo sector, std::int64_t count,
                                    bool is_read, Micros start_time);
+
+  /// Lookahead for conservative parallel stepping: a simulated time B such
+  /// that no fault/crash event can fire during any operation starting
+  /// strictly before B. The plain disk schedules no events, so its horizon
+  /// is unbounded; fault decorators tighten it (and must stay conservative:
+  /// returning 0 is always correct, overshooting never is).
+  virtual Micros NextFaultEventBound() const { return kNoFaultEvent; }
 
   /// Head position after the last operation.
   Cylinder head_cylinder() const { return head_cylinder_; }

@@ -245,6 +245,11 @@ class AdaptiveDriver : private sim::CompletionSink {
   disk::Disk& disk() { return *disk_; }
   const RequestMonitor& request_monitor() const { return request_monitor_; }
 
+  /// Lookahead passthrough for parallel barrier planning: a sim time before
+  /// which no fault/crash event can fire on this member's disk
+  /// (disk::kNoFaultEvent when none is scheduled).
+  Micros NextFaultEventBound() const { return disk_->NextFaultEventBound(); }
+
   /// True once the underlying disk reported a crash point: the machine is
   /// dead, no further I/O runs, and only a fresh driver instance with
   /// Attach(after_crash=true) can resume service.

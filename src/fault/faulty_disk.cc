@@ -18,6 +18,28 @@ MediaFault* FaultyDisk::FindFault(SectorNo sector, std::int64_t count,
   return nullptr;
 }
 
+Micros FaultyDisk::NextFaultEventBound() const {
+  for (const MediaFault& f : plan_.media) {
+    // Not-yet-armed faults still become fireable as io_index_ advances, so
+    // they bind just like armed ones; only a spent transient budget frees
+    // the range for good.
+    if (f.persistent || f.fail_budget > 0) return 0;
+  }
+  if (next_torn_ < plan_.torn.size()) return 0;
+  if (next_crash_ < plan_.crashes.size()) {
+    // Crash points are consumed strictly in order, so only the next one can
+    // fire; later points are unreachable until it does (and firing halts
+    // the machine anyway).
+    const CrashPoint& cp = plan_.crashes[next_crash_];
+    if (cp.at_io >= 0) return 0;
+    if (cp.at_time >= 0) {
+      const Micros bound = cp.at_time - time_offset_;
+      return bound > 0 ? bound : 0;
+    }
+  }
+  return disk::kNoFaultEvent;
+}
+
 disk::ServiceBreakdown FaultyDisk::Service(SectorNo sector,
                                            std::int64_t count, bool is_read,
                                            Micros start_time) {

@@ -66,6 +66,14 @@ class FaultyDisk : public disk::Disk {
   disk::ServiceBreakdown Service(SectorNo sector, std::int64_t count,
                                  bool is_read, Micros start_time) override;
 
+  /// Conservative lookahead over the remaining plan. Any still-fireable
+  /// io-indexed trigger (media fault, torn write, io-counted crash point)
+  /// pins the bound to 0: operation counts advance with every serviced op,
+  /// so no sim-time window is provably event-free. With only a timed crash
+  /// point left, the bound is its per-boot firing time; with nothing left,
+  /// disk::kNoFaultEvent.
+  Micros NextFaultEventBound() const override;
+
   /// Declares the global simulated time at which the current boot's clock
   /// started. Per-boot clocks restart near zero after a reboot; crash
   /// points scheduled by absolute time (CrashPoint::at_time) compare

@@ -1,0 +1,52 @@
+#ifndef ABR_SIM_LOOKAHEAD_H_
+#define ABR_SIM_LOOKAHEAD_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "disk/disk.h"
+#include "disk/geometry.h"
+#include "util/types.h"
+
+namespace abr::sim {
+
+/// Conservative-PDES window planning shared by the sharded fleet and the
+/// array layer. Both engines advance their members in parallel between
+/// barriers; the helpers here derive how far the next barrier may safely
+/// be pushed from simulation state alone, so the answer is a pure function
+/// of (config, request stream, fault plans) — identical on every thread
+/// count and identical to the fixed-epoch oracle that steps one grid at a
+/// time.
+
+/// The per-member lookahead floor: the minimum time any operation can
+/// occupy a member drive (zero seek, zero rotational delay, a one-sector
+/// transfer). No member can affect another sooner than this, so a window
+/// reaching at least `now + floor` is always admissible.
+inline Micros LookaheadFloor(const disk::Geometry& geometry) {
+  return std::max<Micros>(1, geometry.sector_time());
+}
+
+/// Chooses the end of the next parallel window starting at `from`.
+///
+/// The first grid is unconditional: stepping one grid is exactly what the
+/// fixed-epoch oracle does, so it needs no lookahead argument. Extension
+/// grids are appended while the window stays within `limit` (the caller's
+/// requested advance) and at or before `event_bound` — a time such that no
+/// cross-member event (fault, crash, barrier-granular maintenance trigger)
+/// can occur during an operation starting strictly before it — up to
+/// `max_grids` whole grids. Windows always end on the grid, because
+/// monitoring ticks and workload generation live on grid boundaries.
+inline Micros PlanWindowEnd(Micros from, Micros grid, Micros limit,
+                            Micros event_bound, std::int32_t max_grids) {
+  Micros end = std::min(limit, from + grid);
+  for (std::int32_t k = 2; k <= max_grids; ++k) {
+    const Micros next = from + grid * k;
+    if (next > limit || next > event_bound) break;
+    end = next;
+  }
+  return end;
+}
+
+}  // namespace abr::sim
+
+#endif  // ABR_SIM_LOOKAHEAD_H_

@@ -200,5 +200,74 @@ TEST(FaultyDiskTest, TimedCrashPointHonorsBootTimeOffset) {
   EXPECT_EQ(d.crashed_op()->time, 2500);  // local boot time, offset excluded
 }
 
+TEST(FaultyDiskTest, FaultEventBoundCleanPlanIsUnbounded) {
+  FaultyDisk d = MakeDisk(FaultPlan{});
+  EXPECT_EQ(d.NextFaultEventBound(), disk::kNoFaultEvent);
+}
+
+TEST(FaultyDiskTest, FaultEventBoundMediaFaultPinsToZeroUntilSpent) {
+  FaultPlan plan;
+  plan.media.push_back(MediaFault{/*first=*/50, /*count=*/2,
+                                  /*persistent=*/false, /*fail_budget=*/1,
+                                  /*arm_after_io=*/0});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  // Io-indexed triggers advance with every op, so no sim-time window is
+  // provably event-free while the budget lasts.
+  EXPECT_EQ(d.NextFaultEventBound(), 0);
+  EXPECT_FALSE(d.Service(50, 1, /*is_read=*/true, 0).ok());
+  // Budget spent: the transient fault healed for good, nothing binds.
+  EXPECT_EQ(d.NextFaultEventBound(), disk::kNoFaultEvent);
+}
+
+TEST(FaultyDiskTest, FaultEventBoundPersistentFaultNeverReleases) {
+  FaultPlan plan;
+  plan.media.push_back(MediaFault{/*first=*/64, /*count=*/1,
+                                  /*persistent=*/true, /*fail_budget=*/1,
+                                  /*arm_after_io=*/0});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  EXPECT_EQ(d.NextFaultEventBound(), 0);
+  EXPECT_FALSE(d.Service(64, 1, /*is_read=*/false, 0).ok());
+  EXPECT_EQ(d.NextFaultEventBound(), 0);
+}
+
+TEST(FaultyDiskTest, FaultEventBoundTornWritePinsToZeroUntilConsumed) {
+  FaultPlan plan;
+  plan.torn.push_back(TornWrite{/*write_index=*/0, /*keep_fraction=*/0.5});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  EXPECT_EQ(d.NextFaultEventBound(), 0);
+  EXPECT_FALSE(d.Service(0, 8, /*is_read=*/false, 0).ok());
+  EXPECT_EQ(d.NextFaultEventBound(), disk::kNoFaultEvent);
+}
+
+TEST(FaultyDiskTest, FaultEventBoundIoCrashPinsToZero) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashPoint{/*at_io=*/5, /*at_time=*/-1});
+  FaultyDisk d = MakeDisk(std::move(plan));
+  EXPECT_EQ(d.NextFaultEventBound(), 0);
+}
+
+TEST(FaultyDiskTest, FaultEventBoundTimedCrashIsItsBootLocalFiringTime) {
+  FaultPlan plan;
+  CrashPoint c;
+  c.at_time = 10000;
+  plan.crashes.push_back(c);
+  FaultyDisk d = MakeDisk(std::move(plan));
+  // First boot: fires at local 10000.
+  EXPECT_EQ(d.NextFaultEventBound(), 10000);
+  // Later boot with its clock restarted: the global schedule converts to
+  // boot-local time, clamped at zero once the firing time has passed.
+  d.set_time_offset(8000);
+  EXPECT_EQ(d.NextFaultEventBound(), 2000);
+  d.set_time_offset(12000);
+  EXPECT_EQ(d.NextFaultEventBound(), 0);
+
+  // Once the point fires it stays consumed: the bound opens up.
+  d.set_time_offset(0);
+  EXPECT_EQ(d.Service(0, 1, /*is_read=*/true, 10500).media,
+            disk::MediaStatus::kCrashed);
+  d.ClearCrash();
+  EXPECT_EQ(d.NextFaultEventBound(), disk::kNoFaultEvent);
+}
+
 }  // namespace
 }  // namespace abr::fault

@@ -1,0 +1,103 @@
+#include "sim/lookahead.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+#include "disk/geometry.h"
+#include "util/types.h"
+
+namespace abr::sim {
+namespace {
+
+constexpr Micros kGrid = 2 * kMinute;
+
+TEST(LookaheadFloorTest, IsTheOneSectorTransferTime) {
+  disk::Geometry g;
+  g.cylinders = 100;
+  g.tracks_per_cylinder = 4;
+  g.sectors_per_track = 48;
+  g.rpm = 3600;
+  // One revolution at 3600 rpm is 16667us; 48 sectors/track -> 347us.
+  EXPECT_EQ(LookaheadFloor(g), g.sector_time());
+  EXPECT_EQ(LookaheadFloor(g), 347);
+}
+
+TEST(LookaheadFloorTest, NeverBelowOneMicrosecond) {
+  // A degenerate geometry (absurdly dense track) must not yield a zero
+  // floor: a zero-width window would never make progress.
+  disk::Geometry g;
+  g.cylinders = 1;
+  g.tracks_per_cylinder = 1;
+  g.sectors_per_track = 100000000;
+  g.rpm = 3600;
+  ASSERT_EQ(g.sector_time(), 0);
+  EXPECT_EQ(LookaheadFloor(g), 1);
+}
+
+TEST(PlanWindowEndTest, FirstGridIsUnconditional) {
+  // Even with an event bound of "now", the window covers one grid: one
+  // grid is exactly the fixed-epoch oracle's step, so it needs no
+  // lookahead to be admissible.
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/10 * kGrid,
+                          /*event_bound=*/0, /*max_grids=*/32),
+            kGrid);
+}
+
+TEST(PlanWindowEndTest, FirstGridClampsToLimit) {
+  // A caller advancing less than one grid (day tail) gets exactly the
+  // remainder, never beyond the requested advance.
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/kGrid / 2,
+                          /*event_bound=*/disk::kNoFaultEvent,
+                          /*max_grids=*/32),
+            kGrid / 2);
+}
+
+TEST(PlanWindowEndTest, QuietHorizonFusesUpToTheLimit) {
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/5 * kGrid,
+                          /*event_bound=*/disk::kNoFaultEvent,
+                          /*max_grids=*/32),
+            5 * kGrid);
+}
+
+TEST(PlanWindowEndTest, NeverOvershootsACrossMemberEvent) {
+  // A fault event due mid-grid-4 stops extension at the last grid
+  // boundary at or before it: grids 2 and 3 extend, grid 4 would end
+  // past the bound and is refused.
+  const Micros bound = 3 * kGrid + kGrid / 2;
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/32 * kGrid, bound,
+                          /*max_grids=*/32),
+            3 * kGrid);
+  // A bound exactly on a grid boundary admits that grid (events at the
+  // window end happen at the barrier, after the window is serviced).
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/32 * kGrid,
+                          /*event_bound=*/3 * kGrid, /*max_grids=*/32),
+            3 * kGrid);
+  // A bound inside the first grid cannot shrink it below one grid.
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/32 * kGrid,
+                          /*event_bound=*/kGrid / 4, /*max_grids=*/32),
+            kGrid);
+}
+
+TEST(PlanWindowEndTest, MaxGridsCapsTheWindow) {
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/100 * kGrid,
+                          /*event_bound=*/disk::kNoFaultEvent,
+                          /*max_grids=*/4),
+            4 * kGrid);
+  EXPECT_EQ(PlanWindowEnd(/*from=*/0, kGrid, /*limit=*/100 * kGrid,
+                          /*event_bound=*/disk::kNoFaultEvent,
+                          /*max_grids=*/1),
+            kGrid);
+}
+
+TEST(PlanWindowEndTest, WindowsEndOnTheGridFromAnyStart) {
+  // Starting mid-stream: extensions are whole grids from `from`, so the
+  // fused window still replays the same boundaries the oracle visits.
+  const Micros from = 7 * kGrid;
+  EXPECT_EQ(PlanWindowEnd(from, kGrid, /*limit=*/from + 10 * kGrid,
+                          /*event_bound=*/from + 3 * kGrid + 1,
+                          /*max_grids=*/32),
+            from + 3 * kGrid);
+}
+
+}  // namespace
+}  // namespace abr::sim

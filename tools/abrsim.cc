@@ -6,7 +6,8 @@
 //                 [--days=N] [--policy=organpipe|interleaved|serial]
 //                 [--blocks=N] [--cylinders=N] [--scheduler=scan|fcfs|
 //                 sstf|clook] [--seed=N] [--decay=F] [--replicas=R]
-//                 [--jobs=N] [--no-incremental]
+//                 [--jobs=N] [--no-incremental] [--shards=S]
+//                 [--epoch=<minutes>|auto]
 //   abrsim sweep  [--disk=...] [--workload=...] [--seed=N]
 //                 [--blocks-list=a,b,c,...] [--jobs=N]
 //   abrsim policy [--disk=...] [--workload=...] [--days=N] [--seed=N]
@@ -185,9 +186,40 @@ core::ExperimentConfig BuildConfig(Flags& flags) {
 // across different shard *counts* legitimately differ (a fleet measures
 // different physics than one drive); the request stream does not.
 
+/// --epoch=<minutes>|auto: barrier-window control for the barrier engines
+/// (sharded fleets and arrays). A minute count re-grids the fixed epoch;
+/// `auto` turns on lookahead-adaptive windows over the default grid.
+/// Serial paths and the fleet crashday (independent per-member harnesses,
+/// no barriers) reject the flag.
+struct EpochFlag {
+  bool given = false;
+  bool adaptive = false;
+  std::int64_t minutes = 0;  // >= 1 when given and not adaptive
+};
+
+EpochFlag ParseEpochFlag(Flags& flags) {
+  EpochFlag e;
+  const std::string v = flags.Get("epoch", "");
+  if (v.empty()) return e;
+  e.given = true;
+  if (v == "auto") {
+    e.adaptive = true;
+    return e;
+  }
+  e.minutes = std::atoll(v.c_str());
+  if (e.minutes < 1) {
+    std::fprintf(stderr,
+                 "bad --epoch=%s (want a minute count >= 1, or auto)\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  return e;
+}
+
 core::ShardedSystemConfig BuildShardedConfig(const core::ExperimentConfig& base,
                                              std::int32_t shards,
-                                             std::int32_t jobs) {
+                                             std::int32_t jobs,
+                                             const EpochFlag& epoch) {
   core::ShardedSystemConfig config;
   config.shards = shards;
   config.threads = jobs;
@@ -195,6 +227,11 @@ core::ShardedSystemConfig BuildShardedConfig(const core::ExperimentConfig& base,
   config.reserved_cylinders = base.reserved_cylinders;
   config.rearrange_blocks = base.rearrange_blocks;
   config.system = base.system;
+  if (epoch.adaptive) {
+    config.adaptive_epoch = true;
+  } else if (epoch.given) {
+    config.epoch = epoch.minutes * kMinute;
+  }
   return config;
 }
 
@@ -213,14 +250,22 @@ core::ShardedDayConfig BuildShardedDay(Flags& flags,
 }
 
 void PrintShardedHeader(const core::ShardedSystemConfig& config,
-                        const core::ShardedDayConfig& day) {
+                        const core::ShardedDayConfig& day,
+                        const EpochFlag& epoch) {
   std::printf("disk=%s  policy=%s  scheduler=%s  blocks=%d  reserved=%d "
-              "cylinders  shards=%d  (synthetic fleet day, %lld min)",
+              "cylinders  shards=%d",
               config.drive.name.c_str(),
               placement::PolicyKindName(config.system.policy),
               sched::SchedulerKindName(config.system.driver.scheduler),
               config.rearrange_blocks, config.reserved_cylinders,
-              config.shards,
+              config.shards);
+  // Echoed only when given, so default runs keep the historical bytes.
+  if (epoch.adaptive) {
+    std::printf("  epoch=auto");
+  } else if (epoch.given) {
+    std::printf("  epoch=%lldmin", static_cast<long long>(epoch.minutes));
+  }
+  std::printf("  (synthetic fleet day, %lld min)",
               static_cast<long long>(day.day_length / kMinute));
   if (!config.system.arranger.incremental) {
     std::printf("  arranger=full-rebuild");
@@ -236,11 +281,12 @@ int CmdOnOffSharded(Flags& flags, std::int32_t shards) {
   const std::int32_t jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   core::ShardedDayConfig day = BuildShardedDay(flags, base);
+  const EpochFlag epoch = ParseEpochFlag(flags);
   flags.CheckAllUsed();
 
   const core::ShardedSystemConfig config =
-      BuildShardedConfig(base, shards, jobs);
-  PrintShardedHeader(config, day);
+      BuildShardedConfig(base, shards, jobs, epoch);
+  PrintShardedHeader(config, day, epoch);
   core::ShardedSystem sys(config);
   if (Status st = sys.Start(); !st.ok()) Die("onoff", st);
   core::ShardedDayRunner runner(&sys, day);
@@ -303,11 +349,12 @@ int CmdSweepSharded(Flags& flags, std::int32_t shards,
   const std::int32_t jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   core::ShardedDayConfig day = BuildShardedDay(flags, base);
+  const EpochFlag epoch = ParseEpochFlag(flags);
   flags.CheckAllUsed();
 
   const core::ShardedSystemConfig config =
-      BuildShardedConfig(base, shards, jobs);
-  PrintShardedHeader(config, day);
+      BuildShardedConfig(base, shards, jobs, epoch);
+  PrintShardedHeader(config, day, epoch);
   Table t({"blocks", "seek ms", "zero-seek %", "service ms", "wait ms"});
   // Points run one after another (each point's fleet is internally
   // parallel), so rows never depend on --jobs scheduling.
@@ -341,9 +388,11 @@ int CmdPolicySharded(Flags& flags, std::int32_t shards) {
   const std::int32_t jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   core::ShardedDayConfig day = BuildShardedDay(flags, base);
+  const EpochFlag epoch = ParseEpochFlag(flags);
   flags.CheckAllUsed();
 
-  PrintShardedHeader(BuildShardedConfig(base, shards, jobs), day);
+  PrintShardedHeader(BuildShardedConfig(base, shards, jobs, epoch), day,
+                     epoch);
   const std::vector<placement::PolicyKind> kinds = {
       placement::PolicyKind::kOrganPipe, placement::PolicyKind::kInterleaved,
       placement::PolicyKind::kSerial};
@@ -352,7 +401,7 @@ int CmdPolicySharded(Flags& flags, std::int32_t shards) {
   for (const placement::PolicyKind kind : kinds) {
     core::ExperimentConfig variant = base;
     variant.system.policy = kind;
-    core::ShardedSystem sys(BuildShardedConfig(variant, shards, jobs));
+    core::ShardedSystem sys(BuildShardedConfig(variant, shards, jobs, epoch));
     if (Status st = sys.Start(); !st.ok()) Die("policy", st);
     core::ShardedDayRunner runner(&sys, day);
     if (auto warmup = runner.RunMeasuredDay(); !warmup.ok()) {
@@ -526,6 +575,7 @@ int CmdOnOffArray(Flags& flags, const std::string& spec) {
   day.synthetic.arrivals.mean_burst_gap = kSecond;
   day.synthetic.arrivals.mean_burst_size = 6.0;
   day.synthetic.arrivals.mean_intra_gap = 10 * kMillisecond;
+  const EpochFlag epoch = ParseEpochFlag(flags);
   flags.CheckAllUsed();
 
   array::ArrayConfig ac;
@@ -533,6 +583,11 @@ int CmdOnOffArray(Flags& flags, const std::string& spec) {
   ac.members = members;
   ac.threads = jobs;
   ac.chunk_blocks = flags.GetInt("chunk", 4);
+  if (epoch.adaptive) {
+    ac.adaptive_epoch = true;
+  } else if (epoch.given) {
+    ac.epoch = epoch.minutes * kMinute;
+  }
   ac.drive = base.drive;
   ac.reserved_cylinders = base.reserved_cylinders;
   ac.rearrange_blocks = base.rearrange_blocks;
@@ -562,6 +617,11 @@ int CmdOnOffArray(Flags& flags, const std::string& spec) {
   }
   if (scrub > 0) std::printf("  scrub=%lld", static_cast<long long>(scrub));
   if (kill_member >= 0) std::printf("  kill-member=%d", kill_member);
+  if (epoch.adaptive) {
+    std::printf("  epoch=auto");
+  } else if (epoch.given) {
+    std::printf("  epoch=%lldmin", static_cast<long long>(epoch.minutes));
+  }
   if (!ac.arranger.incremental) std::printf("  arranger=full-rebuild");
   std::printf("  (synthetic array day, %lld min)\n\n",
               static_cast<long long>(day.day_length / kMinute));
@@ -644,6 +704,7 @@ int CmdCrashDayArray(Flags& flags, const std::string& spec) {
                                              flags.GetInt("kill-member", 0))
                                        : 0;
   const bool quick = flags.Get("quick", "") == "true";
+  const EpochFlag epoch = ParseEpochFlag(flags);
   flags.CheckAllUsed();
   if (pairs < 1 || jobs < 1) {
     std::fprintf(stderr, "--pairs/--jobs must be >= 1\n");
@@ -655,10 +716,15 @@ int CmdCrashDayArray(Flags& flags, const std::string& spec) {
     return 2;
   }
 
-  std::printf("fault-seed=%llu  array=raid1:%d  kill-member=%d  pairs=%d%s"
-              "\n\n",
+  std::printf("fault-seed=%llu  array=raid1:%d  kill-member=%d  pairs=%d%s",
               static_cast<unsigned long long>(fault_seed), members,
               kill_member, pairs, quick ? "  (quick)" : "");
+  if (epoch.adaptive) {
+    std::printf("  epoch=auto");
+  } else if (epoch.given) {
+    std::printf("  epoch=%lldmin", static_cast<long long>(epoch.minutes));
+  }
+  std::printf("\n\n");
 
   // Each pair runs the same seeded workload twice: once uninterrupted,
   // once with the victim killed at a seed-derived crash point and later
@@ -684,6 +750,11 @@ int CmdCrashDayArray(Flags& flags, const std::string& spec) {
     if (quick) c = c.Quick();
     c.seed = fault_seed + static_cast<std::uint64_t>(pair) * 0x51ED;
     c.members = members;
+    if (epoch.adaptive) {
+      c.adaptive_epoch = true;
+    } else if (epoch.given) {
+      c.epoch = epoch.minutes * kMinute;
+    }
     if (killed) {
       c.kill_member = kill_member;
       c.kill_at_io = kill_point(pair);
@@ -781,6 +852,11 @@ int CmdOnOff(Flags& flags) {
   const std::int32_t shards =
       static_cast<std::int32_t>(flags.GetInt("shards", 0));
   if (shards > 0) return CmdOnOffSharded(flags, shards);
+  if (flags.Has("epoch")) {
+    std::fprintf(stderr, "--epoch requires a barrier engine "
+                         "(--shards or --array)\n");
+    return 2;
+  }
   core::ExperimentConfig config = BuildConfig(flags);
   const std::int32_t days =
       static_cast<std::int32_t>(flags.GetInt("days", 3));
@@ -912,6 +988,11 @@ int CmdSweep(Flags& flags) {
     }
   }
   if (shards > 0) return CmdSweepSharded(flags, shards, points);
+  if (flags.Has("epoch")) {
+    std::fprintf(stderr, "--epoch requires a barrier engine "
+                         "(--shards or --array)\n");
+    return 2;
+  }
   core::ExperimentConfig base = BuildConfig(flags);
   const std::int32_t jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", 1));
@@ -954,6 +1035,11 @@ int CmdPolicy(Flags& flags) {
   const std::int32_t shards =
       static_cast<std::int32_t>(flags.GetInt("shards", 0));
   if (shards > 0) return CmdPolicySharded(flags, shards);
+  if (flags.Has("epoch")) {
+    std::fprintf(stderr, "--epoch requires a barrier engine "
+                         "(--shards or --array)\n");
+    return 2;
+  }
   core::ExperimentConfig base = BuildConfig(flags);
   const std::int32_t days =
       static_cast<std::int32_t>(flags.GetInt("days", 2));
@@ -1014,6 +1100,12 @@ int CmdCrashDay(Flags& flags) {
       std::fprintf(stderr, "--%s requires --array\n", f);
       return 2;
     }
+  }
+  if (flags.Has("epoch")) {
+    std::fprintf(stderr, "--epoch is not supported on the crashday fleet: "
+                         "its per-member harnesses run serially, with no "
+                         "epoch barriers (use crashday --array)\n");
+    return 2;
   }
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0xC4A5));
@@ -1179,6 +1271,14 @@ void Usage() {
       "  count and the output is byte-identical for every N at fixed S\n"
       "  (S=1 is the single-machine oracle). Runs a synthetic fleet day:\n"
       "  --day-minutes=M (default 60) --population=B hot blocks (4000)\n"
+      "barrier engines (--shards and --array): --epoch=<minutes>|auto\n"
+      "  <minutes> re-grids the fixed barrier epoch; auto turns on\n"
+      "  lookahead-adaptive windows — quiet stretches fuse several grids\n"
+      "  into one parallel window, windows that could contain a fault or\n"
+      "  crash event fall back to single-grid stepping. Output stays\n"
+      "  byte-identical for every --jobs value and bit-identical to the\n"
+      "  fixed-epoch run at the same grid. Rejected on serial paths and\n"
+      "  the crashday fleet (no barriers there)\n"
       "crashday: --shards=S  runs S independent member harnesses per\n"
       "  replica and folds their counters (S=1 keeps the legacy bytes)\n"
       "multi-disk arrays (onoff/crashday): --array=raid0:N|raid1:N\n"

@@ -31,6 +31,10 @@ rather than compared: the semantics of an unknown kind — what it measures,
 whether its numbers are thread-count dependent — are by definition unknown
 here, so any pass/fail verdict on it would be noise.
 
+The summary line ends with a per-kind pass/fail tally (e.g.
+"[scaling 3/3 ok, single 12/12 ok]") so a CI log grepped down to one
+line still says which family of metrics a failure hit.
+
 Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
 Exit status: 0 when within tolerance, 1 on regression, 2 on usage errors.
 """
@@ -122,6 +126,16 @@ def main():
         )
     failed = []
     skipped_kinds = 0
+    # Per-kind tallies for the summary line. A metric counts once under
+    # its kind ("single" when it carries none); it lands in the fail
+    # column when either its throughput or its speedup regressed.
+    by_kind = {}
+
+    def tally(kind, ok):
+        label = kind if kind else "single"
+        passed, failed_n = by_kind.get(label, (0, 0))
+        by_kind[label] = (passed + (1 if ok else 0), failed_n + (0 if ok else 1))
+
     for name in sorted(base):
         kind = base[name].get("kind")
         if kind not in KNOWN_KINDS:
@@ -134,7 +148,9 @@ def main():
         if name not in cur:
             print(f"  {name:28s} MISSING from current run")
             failed.append(name)
+            tally(kind, False)
             continue
+        n_failed_before = len(failed)
         base_ops = float(base[name]["ops_per_sec"])
         cur_ops = float(cur[name]["ops_per_sec"])
         ratio = cur_ops / base_ops if base_ops > 0 else float("inf")
@@ -147,45 +163,59 @@ def main():
             f"ops/s  ({ratio:6.2f}x)  {verdict}"
         )
 
-        if args.speedup_tolerance is None or hw_mismatch:
-            continue
         base_speedup = base[name].get("speedup", 0)
-        if not isinstance(base_speedup, (int, float)) or base_speedup <= 0:
-            continue
         if (
-            base[name].get("kind") in ("replication", "scaling")
-            and int(base[name].get("threads", 1)) > cpus
+            args.speedup_tolerance is not None
+            and not hw_mismatch
+            and isinstance(base_speedup, (int, float))
+            and base_speedup > 0
         ):
-            print(
-                f"  {name:28s} speedup skipped: needs "
-                f"{base[name]['threads']} threads, machine has {cpus} CPUs"
-            )
-            continue
-        cur_speedup = float(cur[name].get("speedup", 0))
-        s_verdict = "ok"
-        if cur_speedup < base_speedup * (1.0 - args.speedup_tolerance):
-            s_verdict = "REGRESSED"
-            failed.append(name + ".speedup")
-        print(
-            f"  {name:28s} speedup {base_speedup:6.2f}x -> "
-            f"{cur_speedup:6.2f}x  {s_verdict}"
-        )
+            if (
+                base[name].get("kind") in ("replication", "scaling")
+                and int(base[name].get("threads", 1)) > cpus
+            ):
+                print(
+                    f"  {name:28s} speedup skipped: needs "
+                    f"{base[name]['threads']} threads, machine has {cpus} CPUs"
+                )
+            else:
+                cur_speedup = float(cur[name].get("speedup", 0))
+                s_verdict = "ok"
+                if cur_speedup < base_speedup * (1.0 - args.speedup_tolerance):
+                    s_verdict = "REGRESSED"
+                    failed.append(name + ".speedup")
+                print(
+                    f"  {name:28s} speedup {base_speedup:6.2f}x -> "
+                    f"{cur_speedup:6.2f}x  {s_verdict}"
+                )
+        tally(kind, len(failed) == n_failed_before)
     for name in sorted(set(cur) - set(base)):
         print(
             f"  {name:28s} new metric "
             f"({float(cur[name]['ops_per_sec']):.0f} ops/s), no baseline"
         )
 
+    kind_counts = ", ".join(
+        f"{label} {passed}/{passed + failed_n} ok"
+        for label, (passed, failed_n) in sorted(by_kind.items())
+    )
     if failed:
-        print(f"bench_diff: FAIL: {len(failed)} metric(s): {', '.join(failed)}")
+        print(
+            f"bench_diff: FAIL: {len(failed)} metric(s): {', '.join(failed)}"
+            + (f" [{kind_counts}]" if kind_counts else "")
+        )
         return 1
     if skipped_kinds:
         print(
             f"bench_diff: all judged metrics within tolerance "
             f"({skipped_kinds} skipped on unrecognized kind)"
+            + (f" [{kind_counts}]" if kind_counts else "")
         )
     else:
-        print("bench_diff: all metrics within tolerance")
+        print(
+            "bench_diff: all metrics within tolerance"
+            + (f" [{kind_counts}]" if kind_counts else "")
+        )
     return 0
 
 

@@ -109,7 +109,22 @@ cmp "$DET_TMP/array_j1.txt" "$DET_TMP/array_j8.txt"
 ./build/tools/abrsim crashday --array=raid1:2 --kill-member --pairs=2 \
   --quick --jobs=4 > "$DET_TMP/arraycrash_j4.txt"
 cmp "$DET_TMP/arraycrash_j1.txt" "$DET_TMP/arraycrash_j4.txt"
+# Lookahead-adaptive barriers (--epoch=auto): multi-grid windows must keep
+# the same --jobs invariance, and stripping the header echo must leave the
+# bytes the fixed-epoch oracle prints — the adaptive planner is allowed to
+# change scheduling, never results.
+./build/tools/abrsim onoff --shards=3 --epoch=auto --jobs=1 --day-minutes=4 \
+  --days=1 > "$DET_TMP/adapt_j1.txt"
+./build/tools/abrsim onoff --shards=3 --epoch=auto --jobs=8 --day-minutes=4 \
+  --days=1 > "$DET_TMP/adapt_j8.txt"
+cmp "$DET_TMP/adapt_j1.txt" "$DET_TMP/adapt_j8.txt"
+sed 's/  epoch=auto//' "$DET_TMP/adapt_j1.txt" | cmp - "$DET_TMP/onoff_j1.txt"
+./build/tools/abrsim onoff --array=raid0:4 --epoch=auto --jobs=8 \
+  --day-minutes=4 --days=1 > "$DET_TMP/array_adapt_j8.txt"
+sed 's/  epoch=auto//' "$DET_TMP/array_adapt_j8.txt" | \
+  cmp - "$DET_TMP/array_j1.txt"
 echo "sharded onoff/sweep/policy/crashday/continuous/array byte-identical across --jobs"
+echo "adaptive epoch (--epoch=auto) byte-identical across --jobs and vs fixed"
 
 if [[ "$NO_ASAN" == 1 ]]; then
   echo "== asan: skipped (--no-asan) =="
@@ -171,6 +186,12 @@ else
   # fire inside each worker's AdvanceTo, a fresh surface for races.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tools/abrsim onoff --continuous --shards=4 --jobs=4 \
+    --day-minutes=4 --days=1
+  # Adaptive barriers: the staged-bank merge runs on the coordinator while
+  # the workers fill the other bank, and next-window generation overlaps
+  # the in-flight step — both are new coordinator/worker edges.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tools/abrsim onoff --shards=4 --jobs=4 --epoch=auto \
     --day-minutes=4 --days=1
   # RAID0 array with members advancing on four workers through the same
   # epoch-barrier machinery, plus crashday twin pairs racing across the
