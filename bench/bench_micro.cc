@@ -23,6 +23,8 @@
 #include "driver/block_table.h"
 #include "driver/request_monitor.h"
 #include "driver/translation_filter.h"
+#include "disk/seek_model.h"
+#include "sched/flat_queue.h"
 #include "sched/scheduler.h"
 #include "sched/scheduler_ref.h"
 #include "util/rng.h"
@@ -478,6 +480,150 @@ void EmitBeforeAfterJson() {
           if (filter.MayContain(k)) {
             benchmark::DoNotOptimize(moving.find(k) != moving.end());
             benchmark::DoNotOptimize(table.Lookup(k));
+          }
+        })));
+  }
+
+  // Seek-time evaluation: the per-call analytic curve (sqrt/cbrt/log, the
+  // --analytic-seek oracle) vs the per-drive lookup table every
+  // Disk::Service and seek-distance metric conversion now reads.
+  {
+    const disk::SeekModel lut = disk::SeekModel::ToshibaMK156F();
+    disk::SeekModel analytic = lut;
+    analytic.set_analytic(true);
+    std::vector<std::int64_t> dists(kIters);
+    {
+      Rng rng(41);
+      for (std::int64_t& d : dists) {
+        d = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(lut.max_distance() + 1)));
+      }
+    }
+    metrics.push_back(Compare(
+        "seek_time_lookup",
+        NsPerOp(kIters,
+                [&](std::int64_t i) {
+                  benchmark::DoNotOptimize(
+                      analytic.TimeFor(dists[static_cast<std::size_t>(i)]));
+                }),
+        NsPerOp(kIters, [&](std::int64_t i) {
+          benchmark::DoNotOptimize(
+              lut.TimeFor(dists[static_cast<std::size_t>(i)]));
+        })));
+  }
+
+  // Rotation phase: the original two-modulo computation vs the rolling-
+  // anchor kernel (one add and a conditional subtract on monotone clocks)
+  // Disk::Service runs per media access. Identical pre-generated arrival
+  // stream; both variants produce — and must agree on — the same phases.
+  // The period is read through a volatile so it stays a runtime divisor,
+  // as Disk's rotation_us_ member is; a constexpr period would let the
+  // compiler strength-reduce the legacy modulos into multiply-shifts the
+  // real hot loop never gets.
+  {
+    static volatile Micros rotation_src = 16667;  // ~3600 rpm in micros
+    const Micros kRotation = rotation_src;
+    const Micros kSectorTime = kRotation / 32;
+    std::vector<Micros> gaps(kIters);
+    std::vector<Micros> targets(kIters);
+    {
+      Rng rng(43);
+      for (std::int64_t i = 0; i < kIters; ++i) {
+        gaps[static_cast<std::size_t>(i)] =
+            static_cast<Micros>(rng.NextBounded(3000));
+        targets[static_cast<std::size_t>(i)] =
+            static_cast<Micros>(rng.NextBounded(32)) * kSectorTime;
+      }
+    }
+    // Each computed delay feeds the clock the next request sees, exactly
+    // as Disk's busy-until feedback does; without it the CPU overlaps the
+    // legacy divides across iterations the real loop must serialize.
+    Micros legacy_clock = 0;
+    Micros clock = 0, anchor_time = 0, anchor_offset = 0;
+    metrics.push_back(Compare(
+        "rotation_phase_kernel",
+        NsPerOp(kIters,
+                [&](std::int64_t i) {
+                  legacy_clock += gaps[static_cast<std::size_t>(i)];
+                  const Micros target =
+                      targets[static_cast<std::size_t>(i)];
+                  const Micros now_offset = legacy_clock % kRotation;
+                  legacy_clock +=
+                      (target - now_offset + kRotation) % kRotation;
+                  benchmark::DoNotOptimize(legacy_clock);
+                }),
+        NsPerOp(kIters, [&](std::int64_t i) {
+          clock += gaps[static_cast<std::size_t>(i)];
+          const Micros target = targets[static_cast<std::size_t>(i)];
+          Micros now_offset;
+          const Micros delta = clock - anchor_time;
+          if (delta < kRotation && delta >= 0) {
+            now_offset = anchor_offset + delta;
+            if (now_offset >= kRotation) now_offset -= kRotation;
+          } else {
+            now_offset = clock % kRotation;
+          }
+          anchor_time = clock;
+          anchor_offset = now_offset;
+          Micros rot = target - now_offset;
+          if (target < now_offset) rot += kRotation;
+          clock += rot;
+          benchmark::DoNotOptimize(clock);
+        })));
+  }
+
+  // Scheduler bulk-load: a 64-request submit burst merged into a standing
+  // backlog by one InsertBatch sorted-run build vs the per-request ordered
+  // inserts it replaces. Each iteration handles one request (batches are
+  // loaded every 64th op, then the queue is drained back to depth).
+  {
+    constexpr std::size_t kBurst = 64;
+    std::vector<sched::IoRequest> burst(kBurst);
+    std::vector<SectorNo> burst_sectors(kIters);
+    {
+      Rng rng(47);
+      for (SectorNo& s : burst_sectors) {
+        s = static_cast<SectorNo>(rng.NextBounded(815 * 340));
+      }
+    }
+    const auto key_of = [](const sched::IoRequest& r) {
+      return static_cast<Cylinder>(r.sector / 340);
+    };
+    const auto load_burst = [&](std::int64_t i) {
+      for (std::size_t b = 0; b < kBurst; ++b) {
+        burst[b].sector = burst_sectors[static_cast<std::size_t>(
+            (static_cast<std::size_t>(i) + b) % burst_sectors.size())];
+        burst[b].sector_count = 16;
+      }
+    };
+    sched::FlatRequestQueue loop_q, batch_q;
+    // Standing backlog so merges displace real entries.
+    for (std::int64_t i = 0; i < 192; ++i) {
+      sched::IoRequest req;
+      req.sector = burst_sectors[static_cast<std::size_t>(i)];
+      req.sector_count = 16;
+      loop_q.Insert(key_of(req), req);
+      batch_q.Insert(key_of(req), req);
+    }
+    metrics.push_back(Compare(
+        "queue_bulk_load64",
+        NsPerOp(kIters,
+                [&](std::int64_t i) {
+                  if (i % static_cast<std::int64_t>(kBurst) != 0) return;
+                  load_burst(i);
+                  for (const sched::IoRequest& r : burst) {
+                    loop_q.Insert(key_of(r), r);
+                  }
+                  for (std::size_t b = 0; b < kBurst; ++b) {
+                    (void)loop_q.Take(loop_q.FirstLive());
+                  }
+                }),
+        NsPerOp(kIters, [&](std::int64_t i) {
+          if (i % static_cast<std::int64_t>(kBurst) != 0) return;
+          load_burst(i);
+          batch_q.InsertBatch(burst.data(), kBurst, key_of);
+          for (std::size_t b = 0; b < kBurst; ++b) {
+            (void)batch_q.Take(batch_q.FirstLive());
           }
         })));
   }

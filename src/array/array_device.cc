@@ -354,16 +354,28 @@ void ArrayDevice::StepMember(Member& m, Micros target) {
   m.step_status = Status::Ok();
   driver::AdaptiveDriver& drv = *m.driver;
   std::vector<workload::TraceRecord>& q = m.run_queue;
-  while (m.run_cursor < q.size() && q[m.run_cursor].time <= target) {
-    const workload::TraceRecord& rec = q[m.run_cursor++];
-    // A crashed member is a dead machine: its requests are simply lost.
-    if (drv.halted()) continue;
-    Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
+  std::size_t run_end = m.run_cursor;
+  while (run_end < q.size() && q[run_end].time <= target) ++run_end;
+  // Hand the step's run to the driver in one batch; it falls back to the
+  // per-record path while this member's idle sink is armed (resync source
+  // or scrub work queued). A crashed member is a dead machine: its
+  // requests are simply lost, with no stats recorded.
+  if (run_end > m.run_cursor && !drv.halted()) {
+    std::vector<driver::AdaptiveDriver::BlockRequest>& batch = m.submit_batch;
+    batch.clear();
+    batch.reserve(run_end - m.run_cursor);
+    for (std::size_t k = m.run_cursor; k < run_end; ++k) {
+      const workload::TraceRecord& rec = q[k];
+      batch.push_back({rec.device, rec.block, rec.type, rec.time});
+    }
+    Status st = drv.SubmitBlockBatch(batch.data(), batch.size());
     if (!st.ok()) {
+      m.run_cursor = run_end;
       m.step_status = st;
       return;
     }
   }
+  m.run_cursor = run_end;
   if (!drv.halted() && target > drv.now()) drv.AdvanceTo(target);
   if (m.run_cursor == q.size()) {
     q.clear();
@@ -464,10 +476,16 @@ StatusOr<Micros> ArrayDevice::Drain() {
     m.step_status = Status::Ok();
     if (m.state == MemberState::kDead || m.driver == nullptr) return;
     driver::AdaptiveDriver& drv = *m.driver;
-    for (std::size_t i = m.run_cursor; i < m.run_queue.size(); ++i) {
-      const workload::TraceRecord& rec = m.run_queue[i];
-      if (drv.halted()) continue;
-      Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
+    if (m.run_cursor < m.run_queue.size() && !drv.halted()) {
+      std::vector<driver::AdaptiveDriver::BlockRequest>& batch =
+          m.submit_batch;
+      batch.clear();
+      batch.reserve(m.run_queue.size() - m.run_cursor);
+      for (std::size_t i = m.run_cursor; i < m.run_queue.size(); ++i) {
+        const workload::TraceRecord& rec = m.run_queue[i];
+        batch.push_back({rec.device, rec.block, rec.type, rec.time});
+      }
+      Status st = drv.SubmitBlockBatch(batch.data(), batch.size());
       if (!st.ok()) {
         m.step_status = st;
         return;
@@ -565,6 +583,17 @@ void ArrayDevice::Member::OnIdle(Micros horizon) {
       scrub_queue.emplace_back(block, mapped);
     }
   }
+}
+
+bool ArrayDevice::Member::wants_idle() const {
+  // Mirrors exactly the conditions under which OnIdle() could act: the
+  // member is feeding an active resync, or scrubbing is configured and
+  // cold blocks are queued. Otherwise the driver may advance the clock
+  // batched — OnIdle would decline every window anyway.
+  const Resync& rs = device->resync_;
+  if (rs.target >= 0 && rs.source == index) return true;
+  return device->config_.scrub_batch > 0 && state == MemberState::kOnline &&
+         !scrub_queue.empty();
 }
 
 // --- Barrier maintenance -------------------------------------------------

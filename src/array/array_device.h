@@ -298,6 +298,7 @@ class ArrayDevice {
 
     void OnIoComplete(const sim::CompletedIo& done) override;
     void OnIdle(Micros horizon) override;
+    bool wants_idle() const override;
     void OnWriteServiced(SectorNo sector, std::int64_t count) override;
 
     ArrayDevice* device;
@@ -313,6 +314,8 @@ class ArrayDevice {
     std::vector<workload::TraceRecord> pending;
     std::vector<workload::TraceRecord> run_queue;
     std::size_t run_cursor = 0;
+    /// Reused staging for handing a whole step run to the driver at once.
+    std::vector<driver::AdaptiveDriver::BlockRequest> submit_batch;
     Status step_status;
     StatusOr<placement::ArrangeResult> pass_result =
         placement::ArrangeResult{};

@@ -171,17 +171,29 @@ void ShardedSystem::StepShard(Shard& shard, Micros from, Micros target,
   Micros boundary = from;
   do {
     boundary = (target - boundary <= grid) ? target : boundary + grid;
-    while (shard.run_cursor < q.size() &&
-           q[shard.run_cursor].time <= boundary) {
-      const workload::TraceRecord& rec = q[shard.run_cursor++];
-      // A crashed member is a dead machine: its requests are simply lost.
-      if (drv.halted()) continue;
-      Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
+    std::size_t run_end = shard.run_cursor;
+    while (run_end < q.size() && q[run_end].time <= boundary) ++run_end;
+    // Hand the whole grid run to the driver in one batch: it bulk-loads
+    // the scheduler across busy spans and falls back to the per-record
+    // path whenever an idle sink is armed. A crashed member is a dead
+    // machine — its requests are simply lost, with no stats recorded.
+    if (run_end > shard.run_cursor && !drv.halted()) {
+      std::vector<driver::AdaptiveDriver::BlockRequest>& batch =
+          shard.submit_batch;
+      batch.clear();
+      batch.reserve(run_end - shard.run_cursor);
+      for (std::size_t k = shard.run_cursor; k < run_end; ++k) {
+        const workload::TraceRecord& rec = q[k];
+        batch.push_back({rec.device, rec.block, rec.type, rec.time});
+      }
+      Status st = drv.SubmitBlockBatch(batch.data(), batch.size());
       if (!st.ok()) {
+        shard.run_cursor = run_end;
         shard.step_status = st;
         return;
       }
     }
+    shard.run_cursor = run_end;
     if (!drv.halted() && boundary > drv.now()) drv.AdvanceTo(boundary);
     shard.system->PeriodicTick(std::max(boundary, drv.now()));
   } while (boundary < target);
@@ -319,14 +331,17 @@ StatusOr<Micros> ShardedSystem::Drain() {
     // Release any still-queued requests, then run the member dry and take
     // a final monitoring tick at its own quiesce time.
     std::vector<workload::TraceRecord>& q = shard.run_queue;
-    while (shard.run_cursor < q.size()) {
-      const workload::TraceRecord& rec = q[shard.run_cursor++];
-      if (drv.halted()) continue;
-      Status st = drv.SubmitBlock(rec.device, rec.block, rec.type, rec.time);
-      if (!st.ok()) {
-        shard.step_status = st;
-        break;
+    if (shard.run_cursor < q.size() && !drv.halted()) {
+      std::vector<driver::AdaptiveDriver::BlockRequest>& batch =
+          shard.submit_batch;
+      batch.clear();
+      batch.reserve(q.size() - shard.run_cursor);
+      for (std::size_t k = shard.run_cursor; k < q.size(); ++k) {
+        const workload::TraceRecord& rec = q[k];
+        batch.push_back({rec.device, rec.block, rec.type, rec.time});
       }
+      Status st = drv.SubmitBlockBatch(batch.data(), batch.size());
+      if (!st.ok()) shard.step_status = st;
     }
     q.clear();
     shard.run_cursor = 0;

@@ -245,6 +245,8 @@ class ShardedSystem {
     /// Records the worker consumes this step (local block numbers).
     std::vector<workload::TraceRecord> run_queue;
     std::size_t run_cursor = 0;
+    /// Reused staging for handing a whole grid run to the driver at once.
+    std::vector<driver::AdaptiveDriver::BlockRequest> submit_batch;
     /// Per-step results, folded by the coordinator at the barrier.
     Status step_status;
     StatusOr<placement::ArrangeResult> pass_result{placement::ArrangeResult{}};

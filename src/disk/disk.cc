@@ -22,6 +22,9 @@ Disk::Disk(DriveSpec spec)
       static_cast<double>(spec_.geometry.bytes_per_sector) /
       (spec_.buffer_transfer_mb_per_s * 1e6) * 1e6;
   buffer_sector_time_ = static_cast<Micros>(us_per_sector + 0.5);
+  rotation_us_ = spec_.geometry.rotation_time();
+  sector_time_us_ = spec_.geometry.sector_time();
+  sectors_per_cylinder_ = spec_.geometry.sectors_per_cylinder();
 }
 
 ServiceBreakdown Disk::Service(SectorNo sector, std::int64_t count,
@@ -42,27 +45,43 @@ ServiceBreakdown Disk::Service(SectorNo sector, std::int64_t count,
   }
 
   const Geometry& g = spec_.geometry;
-  const Cylinder target = g.CylinderOf(sector);
+  const Cylinder target = static_cast<Cylinder>(sector / sectors_per_cylinder_);
   out.seek_distance = target >= head_cylinder_ ? target - head_cylinder_
                                                : head_cylinder_ - target;
   out.seek = spec_.seek_model.TimeFor(out.seek_distance);
   head_cylinder_ = target;
 
   // Rotational latency: the platter's angular position advances with
-  // absolute time; wait for the target sector's leading edge.
-  const Micros rotation = g.rotation_time();
+  // absolute time; wait for the target sector's leading edge. Both `%` of
+  // the textbook form are strength-reduced: target_offset < rotation by
+  // construction (sector_time = rotation / sectors_per_track, truncated),
+  // and the platter phase of `at` rolls forward from the last anchored
+  // phase when `at` lands within one revolution of it.
   const Micros at = start_time + out.seek;
+  Micros now_offset;
+  const Micros delta = at - rot_anchor_time_;
+  if (delta < rotation_us_ && delta >= 0) [[likely]] {
+    now_offset = rot_anchor_offset_ + delta;
+    if (now_offset >= rotation_us_) now_offset -= rotation_us_;
+  } else {
+    now_offset = at % rotation_us_;
+  }
+  rot_anchor_time_ = at;
+  rot_anchor_offset_ = now_offset;
   const Micros target_offset =
-      static_cast<Micros>(g.SectorInTrack(sector)) * g.sector_time();
-  const Micros now_offset = at % rotation;
-  out.rotation = (target_offset - now_offset + rotation) % rotation;
+      static_cast<Micros>(g.SectorInTrack(sector)) * sector_time_us_;
+  Micros rot = target_offset - now_offset;
+  if (target_offset < now_offset) rot += rotation_us_;
+  out.rotation = rot;
 
   // Media transfer: head switches within the cylinder are free; the
   // simulator does not model track skew.
-  out.transfer = g.sector_time() * count;
+  out.transfer = sector_time_us_ * count;
 
   if (is_read) {
-    const SectorNo cyl_end = g.FirstSectorOf(target) + g.sectors_per_cylinder();
+    const SectorNo cyl_end =
+        static_cast<SectorNo>(target) * sectors_per_cylinder_ +
+        sectors_per_cylinder_;
     buffer_.OnMediaRead(sector, count, cyl_end);
   } else {
     buffer_.OnWrite(sector, count);

@@ -124,6 +124,19 @@ class Disk {
   std::int64_t sectors_serviced_ = 0;
   std::int64_t buffer_hits_ = 0;
   Micros buffer_sector_time_;  // per-sector bus transfer time
+  // Geometry constants hoisted out of Service(): rotation_time() and
+  // sector_time() do floating-point work per call, and the two `%` they
+  // feed dominate the timing arithmetic. Cached once; the strength-reduced
+  // kernel below is an exact integer identity with the modulo form.
+  Micros rotation_us_;
+  Micros sector_time_us_;
+  std::int64_t sectors_per_cylinder_;
+  // Rolling platter-phase anchor: rot_anchor_offset_ == rot_anchor_time_ %
+  // rotation_us_. Service start times are usually monotone and close
+  // together, so `at % rotation` reduces to an add and a conditional
+  // subtract; any out-of-window time falls back to one real `%`.
+  Micros rot_anchor_time_ = 0;
+  Micros rot_anchor_offset_ = 0;
   std::vector<std::uint64_t> payload_;
 };
 

@@ -1,33 +1,24 @@
 #include "disk/seek_model.h"
 
-#include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace abr::disk {
 
 SeekModel::SeekModel(std::function<double(std::int64_t)> fn,
-                     std::int64_t max_distance) {
+                     std::int64_t max_distance)
+    : fn_(std::move(fn)) {
   assert(max_distance >= 0);
   table_ms_.resize(static_cast<std::size_t>(max_distance) + 1);
   table_us_.resize(table_ms_.size());
   table_ms_[0] = 0.0;
   table_us_[0] = 0;
   for (std::int64_t d = 1; d <= max_distance; ++d) {
-    const double ms = fn(d);
+    const double ms = fn_(d);
     assert(ms >= 0.0);
     table_ms_[static_cast<std::size_t>(d)] = ms;
     table_us_[static_cast<std::size_t>(d)] = MillisToMicros(ms);
   }
-}
-
-double SeekModel::Millis(std::int64_t distance) const {
-  assert(distance >= 0 && distance <= max_distance());
-  return table_ms_[static_cast<std::size_t>(distance)];
-}
-
-Micros SeekModel::TimeFor(std::int64_t distance) const {
-  assert(distance >= 0 && distance <= max_distance());
-  return table_us_[static_cast<std::size_t>(distance)];
 }
 
 SeekModel SeekModel::ToshibaMK156F() {

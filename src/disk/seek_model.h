@@ -1,6 +1,7 @@
 #ifndef ABR_DISK_SEEK_MODEL_H_
 #define ABR_DISK_SEEK_MODEL_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -13,6 +14,11 @@ namespace abr::disk {
 /// cylinders. The paper's Table 1 gives measured piecewise models for both
 /// experimental drives; this class evaluates such models and precomputes a
 /// per-distance table for O(1) lookup during simulation.
+///
+/// The table is the production kernel. The analytic function is retained and
+/// can be re-enabled per call with set_analytic(true) — the oracle mode used
+/// by the differential tests and the `--analytic-seek` check.sh stage to
+/// prove the table is bit-identical to evaluating the model every time.
 class SeekModel {
  public:
   /// Builds a model from an arbitrary distance->milliseconds function,
@@ -21,10 +27,28 @@ class SeekModel {
   SeekModel(std::function<double(std::int64_t)> fn, std::int64_t max_distance);
 
   /// Seek time in milliseconds for a distance in cylinders.
-  double Millis(std::int64_t distance) const;
+  double Millis(std::int64_t distance) const {
+    assert(distance >= 0 && distance <= max_distance());
+    if (analytic_) [[unlikely]] {
+      return distance == 0 ? 0.0 : fn_(distance);
+    }
+    return table_ms_[static_cast<std::size_t>(distance)];
+  }
 
   /// Seek time in simulator time units, rounded to the microsecond.
-  Micros TimeFor(std::int64_t distance) const;
+  Micros TimeFor(std::int64_t distance) const {
+    assert(distance >= 0 && distance <= max_distance());
+    if (analytic_) [[unlikely]] {
+      return distance == 0 ? 0 : MillisToMicros(fn_(distance));
+    }
+    return table_us_[static_cast<std::size_t>(distance)];
+  }
+
+  /// Oracle switch: when true, every Millis/TimeFor call evaluates the
+  /// analytic function (with the same fn(0)->0 override and microsecond
+  /// rounding used to build the table) instead of reading the table.
+  void set_analytic(bool analytic) { analytic_ = analytic; }
+  bool analytic() const { return analytic_; }
 
   /// Largest tabulated distance (the drive's cylinder count - 1).
   std::int64_t max_distance() const {
@@ -49,8 +73,10 @@ class SeekModel {
                           std::int64_t max_distance);
 
  private:
+  std::function<double(std::int64_t)> fn_;
   std::vector<double> table_ms_;
   std::vector<Micros> table_us_;
+  bool analytic_ = false;
 };
 
 }  // namespace abr::disk

@@ -120,13 +120,13 @@ Status AdaptiveDriver::Detach() {
   return Status::Ok();
 }
 
-StatusOr<disk::Partition> AdaptiveDriver::CheckedPartition(
+StatusOr<const disk::Partition*> AdaptiveDriver::CheckedPartition(
     std::int32_t device) const {
   if (device < 0 ||
       device >= static_cast<std::int32_t>(label_.partitions().size())) {
     return Status::InvalidArgument("no such logical device");
   }
-  return label_.partitions()[static_cast<std::size_t>(device)];
+  return &label_.partitions()[static_cast<std::size_t>(device)];
 }
 
 AdaptiveDriver::PhysExtents AdaptiveDriver::MapVirtualExtent(
@@ -171,14 +171,17 @@ Status AdaptiveDriver::SubmitBlock(std::int32_t device, BlockNo block,
 Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
                                   sched::IoType type, Micros arrival_time,
                                   bool record_stats) {
-  StatusOr<disk::Partition> part = CheckedPartition(device);
+  StatusOr<const disk::Partition*> part = CheckedPartition(device);
   if (!part.ok()) return part.status();
-  if (block < 0 || (block + 1) * block_sectors_ > part->sector_count) {
+  if (block < 0 || (block + 1) * block_sectors_ > (*part)->sector_count) {
     return Status::OutOfRange("block outside partition");
   }
-  const SectorNo vsector = part->first_sector + block * block_sectors_;
+  const SectorNo vsector = (*part)->first_sector + block * block_sectors_;
   const PhysExtents extents = MapVirtualExtent(vsector, block_sectors_);
   const SectorNo original = extents[0].sector;
+  // Kick off the filter-counter load now; the stats recording below gives
+  // the prefetch time to land before MayContain() reads it.
+  if (config_.translation_fast_path) translation_filter_.Prefetch(original);
 
   if (record_stats) {
     perf_monitor_.RecordArrival(
@@ -244,7 +247,59 @@ Status AdaptiveDriver::RouteBlock(std::int32_t device, BlockNo block,
     req.sector_count = e.count;
     req.logical_block = block;
     req.device = device;
-    system_.Submit(req);
+    if (batching_) {
+      staged_.push_back(req);
+    } else {
+      system_.Submit(req);
+    }
+  }
+  return Status::Ok();
+}
+
+Status AdaptiveDriver::SubmitBlockBatch(const BlockRequest* requests,
+                                        std::size_t n) {
+  if (!attached_) return Status::FailedPrecondition("driver not attached");
+  std::size_t i = 0;
+  while (i < n) {
+    if (system_.halted()) break;  // dead machine: the rest is simply lost
+    // A batched window is sound only when nobody needs the intermediate
+    // clock states: no armed idle sink (it would be offered idle spans by
+    // the per-request path), no stepped-advance oracle, and — when a sink
+    // is registered at all — no internal op in flight (its stall charge
+    // reads the clock at each arrival).
+    const bool stepped =
+        config_.stepped_advance ||
+        (idle_sink_ != nullptr &&
+         (idle_sink_->wants_idle() || system_.current_is_internal()));
+    std::size_t j = i;
+    if (!stepped && system_.busy()) {
+      const Micros completes = *system_.next_completion_time();
+      while (j < n && requests[j].arrival_time < completes) ++j;
+    }
+    if (j > i) {
+      staged_.clear();
+      batching_ = true;
+      Status err = Status::Ok();
+      for (std::size_t k = i; k < j; ++k) {
+        err = RouteBlock(requests[k].device, requests[k].block,
+                         requests[k].type, requests[k].arrival_time,
+                         /*record_stats=*/true);
+        if (!err.ok()) break;
+      }
+      batching_ = false;
+      // Requests routed before an error were accepted — flush them even
+      // when aborting, exactly as the per-record loop would have.
+      if (!staged_.empty()) {
+        system_.SubmitBatch(staged_.data(), staged_.size());
+      }
+      if (!err.ok()) return err;
+      i = j;
+    } else {
+      Status s = SubmitBlock(requests[i].device, requests[i].block,
+                             requests[i].type, requests[i].arrival_time);
+      if (!s.ok()) return s;
+      ++i;
+    }
   }
   return Status::Ok();
 }
@@ -253,9 +308,9 @@ Status AdaptiveDriver::SubmitRaw(std::int32_t device, SectorNo sector,
                                  std::int64_t count, sched::IoType type,
                                  Micros arrival_time) {
   if (!attached_) return Status::FailedPrecondition("driver not attached");
-  StatusOr<disk::Partition> part = CheckedPartition(device);
+  StatusOr<const disk::Partition*> part = CheckedPartition(device);
   if (!part.ok()) return part.status();
-  if (sector < 0 || count <= 0 || sector + count > part->sector_count) {
+  if (sector < 0 || count <= 0 || sector + count > (*part)->sector_count) {
     return Status::OutOfRange("raw extent outside partition");
   }
   if (idle_sink_ != nullptr && arrival_time > system_.now()) {
@@ -282,12 +337,12 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
                                         sched::IoType type,
                                         Micros arrival_time,
                                         bool record_stats) {
-  StatusOr<disk::Partition> part = CheckedPartition(device);
+  StatusOr<const disk::Partition*> part = CheckedPartition(device);
   if (!part.ok()) return part.status();
   const BlockNo block = sector / block_sectors_;
   const SectorNo block_start = block * block_sectors_;
   const bool whole_block_in_partition =
-      block_start + block_sectors_ <= part->sector_count;
+      block_start + block_sectors_ <= (*part)->sector_count;
 
   // Determine the containing block's original physical address; the block
   // table is keyed by it.
@@ -295,11 +350,11 @@ Status AdaptiveDriver::RouteRawFragment(std::int32_t device, SectorNo sector,
   PhysExtents block_extents;
   if (whole_block_in_partition) {
     block_extents =
-        MapVirtualExtent(part->first_sector + block_start, block_sectors_);
+        MapVirtualExtent((*part)->first_sector + block_start, block_sectors_);
     original_key = block_extents[0].sector;
   }
 
-  const SectorNo vsector = part->first_sector + sector;
+  const SectorNo vsector = (*part)->first_sector + sector;
   const PhysExtents direct = MapVirtualExtent(vsector, count);
 
   if (record_stats) {
@@ -1087,7 +1142,13 @@ void AdaptiveDriver::NoteExternalArrival() {
 }
 
 void AdaptiveDriver::AdvanceTo(Micros t) {
-  if (idle_sink_ == nullptr) {
+  // Batched advance whenever no sink wants the intermediate idle windows
+  // (no sink at all, or a continuous arranger with no plan open — the
+  // common case for onoff/sweep/policy/bench days). Exact: the stepped
+  // loop below performs the same completion sequence, and OnIdle would
+  // decline every offer. config_.stepped_advance forces the stepped oracle.
+  if ((idle_sink_ == nullptr || !idle_sink_->wants_idle()) &&
+      !config_.stepped_advance) {
     system_.AdvanceTo(t);
     return;
   }
@@ -1102,7 +1163,7 @@ void AdaptiveDriver::AdvanceTo(Micros t) {
       system_.AdvanceTo(*next);
       continue;
     }
-    if (!system_.busy() && system_.queued() == 0) {
+    if (idle_sink_ != nullptr && !system_.busy() && system_.queued() == 0) {
       const std::int64_t before = next_request_id_;
       idle_sink_->OnIdle(t);
       if (next_request_id_ != before) continue;  // sink submitted work

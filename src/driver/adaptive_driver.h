@@ -67,6 +67,12 @@ struct DriverConfig {
   /// compare the fast path against. Both paths produce bit-identical
   /// request streams and metrics.
   bool translation_fast_path = true;
+
+  /// Oracle switch (`abrsim --stepped-advance`): force AdvanceTo() to walk
+  /// the clock completion by completion even when no idle sink wants the
+  /// intermediate idle windows. The default batched advance is bit-identical
+  /// by construction; this flag exists so differential runs can prove it.
+  bool stepped_advance = false;
 };
 
 /// Receives disk-idle windows from the driver. Registered by the
@@ -82,6 +88,13 @@ class IdleSink {
   virtual ~IdleSink() = default;
   virtual void OnIdle(Micros horizon) = 0;
   virtual void OnBusy() {}
+
+  /// True while the sink could actually use an idle window (the continuous
+  /// arranger: while a plan is open). When false the driver advances the
+  /// clock in one batched call instead of stepping completion by completion
+  /// to carve out idle spans — exact, because OnIdle would decline every
+  /// offer anyway. Default is conservative: always step.
+  virtual bool wants_idle() const { return true; }
 };
 
 /// The modified UNIX disk driver of Section 4: logical-device to physical
@@ -129,6 +142,24 @@ class AdaptiveDriver : private sim::CompletionSink {
   /// cache issues them. `device` indexes the label's partition table.
   Status SubmitBlock(std::int32_t device, BlockNo block, sched::IoType type,
                      Micros arrival_time);
+
+  /// One element of a SubmitBlockBatch run.
+  struct BlockRequest {
+    std::int32_t device;
+    BlockNo block;
+    sched::IoType type;
+    Micros arrival_time;
+  };
+
+  /// Submits a run of block requests with nondecreasing arrival times.
+  /// Equivalent to the sharded fleet's per-record loop — `if (halted())
+  /// skip; else SubmitBlock(...)` for each element, with the first error
+  /// returned — but whenever no idle sink wants the intermediate windows
+  /// and the disk stays busy past a prefix of arrivals, that prefix is
+  /// routed in one go and its physical requests bulk-load the scheduler:
+  /// no completion can interleave inside such a window, so per-request
+  /// translation sees exactly the state the stepped path would.
+  Status SubmitBlockBatch(const BlockRequest* requests, std::size_t n);
 
   /// Raw-interface request: an arbitrary sector extent relative to the
   /// partition start. physio breaks it into block-sized sub-requests at
@@ -367,8 +398,10 @@ class AdaptiveDriver : private sim::CompletionSink {
     std::function<void()> on_abort;
   };
 
-  /// Validates device/extent and returns the partition.
-  StatusOr<disk::Partition> CheckedPartition(std::int32_t device) const;
+  /// Validates the device and returns its partition. Returns a pointer
+  /// into the label (stable while attached): a by-value Partition would
+  /// copy its name string on every routed request.
+  StatusOr<const disk::Partition*> CheckedPartition(std::int32_t device) const;
 
   /// Translates and enqueues one block request. `record_stats` is false
   /// when re-submitting a previously-held request.
@@ -492,6 +525,13 @@ class AdaptiveDriver : private sim::CompletionSink {
   // Reused serialization buffer for SaveTable() (one save per table
   // mutation during copy-in / clean-out).
   std::vector<std::uint8_t> table_image_;
+
+  // SubmitBlockBatch window state: while batching_ is set, RouteBlock
+  // stages its final physical requests here instead of submitting them
+  // one by one; the batch entry point flushes the run with one
+  // DiskSystem::SubmitBatch call.
+  bool batching_ = false;
+  std::vector<sched::IoRequest> staged_;
 
   // Active move chains keyed by the block's original physical start sector.
   std::unordered_map<SectorNo, MoveChain> moving_;

@@ -50,42 +50,6 @@ void PerfSnapshot::MergeFrom(const PerfSnapshot& other) {
   util.MergeFrom(other.util);
 }
 
-void PerfMonitor::Advance(Chain& chain, Cylinder cylinder, PerfSide& side) {
-  if (chain.has_prev) {
-    side.fcfs_seek_distance.Add(std::abs(
-        static_cast<std::int64_t>(cylinder) - chain.prev));
-  }
-  chain.prev = cylinder;
-  chain.has_prev = true;
-}
-
-void PerfMonitor::RecordArrival(sched::IoType type,
-                                Cylinder original_cylinder) {
-  Advance(all_chain_, original_cylinder, snapshot_.all);
-  if (type == sched::IoType::kRead) {
-    Advance(read_chain_, original_cylinder, snapshot_.reads);
-  } else {
-    Advance(write_chain_, original_cylinder, snapshot_.writes);
-  }
-}
-
-void PerfMonitor::RecordCompletion(sched::IoType type, Micros queue_time,
-                                   Micros service_time,
-                                   std::int64_t seek_distance, Micros rotation,
-                                   Micros transfer, bool buffer_hit) {
-  snapshot_.util.external_busy += service_time;
-  PerfSide& side =
-      type == sched::IoType::kRead ? snapshot_.reads : snapshot_.writes;
-  for (PerfSide* s : {&side, &snapshot_.all}) {
-    s->sched_seek_distance.Add(seek_distance);
-    s->service_time.Add(service_time);
-    s->queue_time.Add(queue_time);
-    s->rotation_total += rotation;
-    s->transfer_total += transfer;
-    if (buffer_hit) ++s->buffer_hits;
-  }
-}
-
 PerfSnapshot PerfMonitor::Snapshot(bool clear) {
   PerfSnapshot out = snapshot_;
   if (clear) {

@@ -2,6 +2,7 @@
 #define ABR_DRIVER_PERF_MONITOR_H_
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "disk/seek_model.h"
 #include "sched/request.h"
@@ -146,12 +147,34 @@ class PerfMonitor {
   /// `original_cylinder`. Maintains the read-only, write-only, and combined
   /// arrival chains so "FCFS with no rearrangement" seek distances can be
   /// reported for all requests and for reads alone (Tables 3 and 8).
-  void RecordArrival(sched::IoType type, Cylinder original_cylinder);
+  /// Inline: runs once per routed request, and the chain updates reduce to
+  /// a handful of adds once the histogram calls are flattened in.
+  void RecordArrival(sched::IoType type, Cylinder original_cylinder) {
+    Advance(all_chain_, original_cylinder, snapshot_.all);
+    if (type == sched::IoType::kRead) {
+      Advance(read_chain_, original_cylinder, snapshot_.reads);
+    } else {
+      Advance(write_chain_, original_cylinder, snapshot_.writes);
+    }
+  }
 
-  /// Records a completed request.
+  /// Records a completed request. Inline for the same reason as
+  /// RecordArrival: once per completion, all histogram work.
   void RecordCompletion(sched::IoType type, Micros queue_time,
                         Micros service_time, std::int64_t seek_distance,
-                        Micros rotation, Micros transfer, bool buffer_hit);
+                        Micros rotation, Micros transfer, bool buffer_hit) {
+    snapshot_.util.external_busy += service_time;
+    PerfSide& side =
+        type == sched::IoType::kRead ? snapshot_.reads : snapshot_.writes;
+    for (PerfSide* s : {&side, &snapshot_.all}) {
+      s->sched_seek_distance.Add(seek_distance);
+      s->service_time.Add(service_time);
+      s->queue_time.Add(queue_time);
+      s->rotation_total += rotation;
+      s->transfer_total += transfer;
+      if (buffer_hit) ++s->buffer_hits;
+    }
+  }
 
   // --- Fault-path events (see FaultCounters) ---------------------------
   void RecordMediaError() { ++snapshot_.faults.media_errors; }
@@ -189,7 +212,14 @@ class PerfMonitor {
   };
 
   /// Advances one arrival chain and records the distance into `side`.
-  static void Advance(Chain& chain, Cylinder cylinder, PerfSide& side);
+  static void Advance(Chain& chain, Cylinder cylinder, PerfSide& side) {
+    if (chain.has_prev) {
+      side.fcfs_seek_distance.Add(
+          std::abs(static_cast<std::int64_t>(cylinder) - chain.prev));
+    }
+    chain.prev = cylinder;
+    chain.has_prev = true;
+  }
 
   PerfSnapshot snapshot_;
   Chain read_chain_;

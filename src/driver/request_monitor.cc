@@ -9,16 +9,6 @@ RequestMonitor::RequestMonitor(std::int32_t capacity) : capacity_(capacity) {
   records_.reserve(static_cast<std::size_t>(capacity));
 }
 
-bool RequestMonitor::Record(const RequestRecord& record) {
-  if (suspended()) {
-    ++dropped_;
-    ++total_dropped_;
-    return false;
-  }
-  records_.push_back(record);
-  return true;
-}
-
 std::vector<RequestRecord> RequestMonitor::ReadAndClear() {
   std::vector<RequestRecord> out;
   ReadAndClearInto(out);

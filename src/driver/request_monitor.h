@@ -29,7 +29,17 @@ class RequestMonitor {
 
   /// Records one request; returns false (and counts a drop) when the table
   /// is full.
-  bool Record(const RequestRecord& record);
+  bool Record(const RequestRecord& record) {
+    // Inline: one table append per routed request; the call overhead was
+    // measurable in the day loop.
+    if (suspended()) {
+      ++dropped_;
+      ++total_dropped_;
+      return false;
+    }
+    records_.push_back(record);
+    return true;
+  }
 
   /// Implements the read-and-clear ioctl: returns all records and empties
   /// the table, resuming recording if it was suspended.

@@ -54,8 +54,25 @@ class TranslationFilter {
 
   /// False means no key in `key`'s granule: the exact probes may be
   /// skipped. True means "possibly present" — fall back to the exact path.
+  /// Hinted toward false: on a typical day only a small fraction of
+  /// granules carry a key, so the predictor should assume the fast path.
   bool MayContain(SectorNo key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_expect(counts_[Granule(key)] != 0, 0);
+#else
     return counts_[Granule(key)] != 0;
+#endif
+  }
+
+  /// Starts the counter load for `key` early so the work between
+  /// translation-key computation and the MayContain() probe (arrival
+  /// stats, request monitoring) hides the cache miss.
+  void Prefetch(SectorNo key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!counts_.empty()) __builtin_prefetch(&counts_[Granule(key)]);
+#else
+    (void)key;
+#endif
   }
 
   /// Number of granule counters (for sizing introspection in benchmarks).

@@ -5,73 +5,105 @@
 namespace abr::fs {
 
 BufferCache::BufferCache(std::int64_t capacity_blocks, IoFn io)
-    : capacity_(capacity_blocks), io_(std::move(io)) {
+    : capacity_(capacity_blocks),
+      io_(std::move(io)),
+      map_(static_cast<std::size_t>(capacity_blocks)) {
   assert(capacity_ > 0);
   assert(io_ != nullptr);
+  slots_.reserve(static_cast<std::size_t>(capacity_));
 }
 
-void BufferCache::Touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
+void BufferCache::Unlink(std::int32_t i) {
+  Slot& s = slots_[static_cast<std::size_t>(i)];
+  if (s.prev >= 0) {
+    slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next >= 0) {
+    slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
 }
 
-BufferCache::LruList::iterator BufferCache::Insert(const Key& key, bool dirty,
-                                                   Micros t) {
+void BufferCache::PushFront(std::int32_t i) {
+  Slot& s = slots_[static_cast<std::size_t>(i)];
+  s.prev = -1;
+  s.next = head_;
+  if (head_ >= 0) slots_[static_cast<std::size_t>(head_)].prev = i;
+  head_ = i;
+  if (tail_ < 0) tail_ = i;
+}
+
+void BufferCache::Insert(const Key& key, bool dirty, Micros t) {
+  std::int32_t slot;
   if (static_cast<std::int64_t>(map_.size()) >= capacity_) {
     // Evict the LRU entry; a dirty victim is written back first.
-    Entry& victim = lru_.back();
+    slot = tail_;
+    Slot& victim = slots_[static_cast<std::size_t>(slot)];
     if (victim.dirty) {
       io_(victim.key.device, victim.key.block, /*is_read=*/false, t);
       --dirty_count_;
     }
-    map_.erase(victim.key);
-    lru_.pop_back();
+    map_.Erase(Pack(victim.key.device, victim.key.block));
+    Unlink(slot);
+  } else if (free_ >= 0) {
+    slot = free_;
+    free_ = slots_[static_cast<std::size_t>(slot)].next;
+  } else {
+    slot = static_cast<std::int32_t>(slots_.size());
+    slots_.emplace_back();
   }
-  lru_.push_front(Entry{key, dirty});
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.key = key;
+  s.dirty = dirty;
+  PushFront(slot);
   if (dirty) ++dirty_count_;
-  auto [mit, inserted] = map_.emplace(key, lru_.begin());
+  const bool inserted = map_.Insert(Pack(key.device, key.block), slot);
   assert(inserted);
   (void)inserted;
-  return mit->second;
 }
 
 bool BufferCache::Read(std::int32_t device, BlockNo block, Micros t) {
-  const Key key{device, block};
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    Touch(it->second);
+  const std::int32_t* slot = map_.Find(Pack(device, block));
+  if (slot != nullptr) {
+    Touch(*slot);
     ++hits_;
     return true;
   }
   ++misses_;
   // Allocate the buffer first (possibly writing back a dirty victim), then
   // read the block into it, as the real buffer cache does.
-  Insert(key, /*dirty=*/false, t);
+  Insert(Key{device, block}, /*dirty=*/false, t);
   io_(device, block, /*is_read=*/true, t);
   return false;
 }
 
 void BufferCache::Write(std::int32_t device, BlockNo block, Micros t) {
-  const Key key{device, block};
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    Touch(it->second);
-    if (!it->second->dirty) {
-      it->second->dirty = true;
+  const std::int32_t* slot = map_.Find(Pack(device, block));
+  if (slot != nullptr) {
+    Touch(*slot);
+    Slot& s = slots_[static_cast<std::size_t>(*slot)];
+    if (!s.dirty) {
+      s.dirty = true;
       ++dirty_count_;
     }
     return;
   }
   // Whole-block overwrite: no read-modify-write is modeled; the block is
   // installed dirty.
-  Insert(key, /*dirty=*/true, t);
+  Insert(Key{device, block}, /*dirty=*/true, t);
 }
 
 std::int64_t BufferCache::SyncAll(Micros t) {
   std::int64_t flushed = 0;
-  for (Entry& e : lru_) {
-    if (e.dirty) {
-      io_(e.key.device, e.key.block, /*is_read=*/false, t);
-      e.dirty = false;
+  for (std::int32_t i = head_; i >= 0;
+       i = slots_[static_cast<std::size_t>(i)].next) {
+    Slot& s = slots_[static_cast<std::size_t>(i)];
+    if (s.dirty) {
+      io_(s.key.device, s.key.block, /*is_read=*/false, t);
+      s.dirty = false;
       ++flushed;
     }
   }
@@ -80,12 +112,14 @@ std::int64_t BufferCache::SyncAll(Micros t) {
 }
 
 void BufferCache::Invalidate(std::int32_t device, BlockNo block) {
-  const Key key{device, block};
-  auto it = map_.find(key);
-  if (it == map_.end()) return;
-  if (it->second->dirty) --dirty_count_;
-  lru_.erase(it->second);
-  map_.erase(it);
+  const std::int32_t* found = map_.Find(Pack(device, block));
+  if (found == nullptr) return;
+  const std::int32_t slot = *found;
+  if (slots_[static_cast<std::size_t>(slot)].dirty) --dirty_count_;
+  map_.Erase(Pack(device, block));
+  Unlink(slot);
+  slots_[static_cast<std::size_t>(slot)].next = free_;
+  free_ = slot;
 }
 
 }  // namespace abr::fs

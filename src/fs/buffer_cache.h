@@ -1,12 +1,12 @@
 #ifndef ABR_FS_BUFFER_CACHE_H_
 #define ABR_FS_BUFFER_CACHE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/types.h"
 
 namespace abr::fs {
@@ -20,6 +20,13 @@ namespace abr::fs {
 /// The cache is global across logical devices (as in SunOS), keyed by
 /// (device, block). Capacity is in blocks; eviction is LRU, writing back
 /// a dirty victim immediately.
+///
+/// Storage is a fixed slab of slots threaded by an intrusive doubly-linked
+/// LRU list and indexed by an open-addressing map on the packed
+/// (device, block) key: no per-block node allocation, and a lookup probes
+/// one densely packed key array instead of chasing hash-bucket pointers.
+/// Behaviour (hit/miss accounting, eviction order, write-back order) is
+/// identical to the node-based implementation it replaces.
 class BufferCache {
  public:
   /// Key of one cached block.
@@ -62,32 +69,44 @@ class BufferCache {
   std::int64_t misses() const { return misses_; }
 
  private:
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>()(
-          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.device))
-           << 40) ^
-          static_cast<std::uint64_t>(k.block));
-    }
-  };
-
-  struct Entry {
+  struct Slot {
     Key key;
     bool dirty = false;
+    std::int32_t prev = -1;  // toward MRU
+    std::int32_t next = -1;  // toward LRU
   };
 
-  using LruList = std::list<Entry>;
+  /// Packs (device, block) into one map key: 24 bits of device over 40
+  /// bits of block. Both are tiny in every simulated configuration; the
+  /// asserts keep the packing injective (and away from the map's ~0
+  /// empty-slot sentinel).
+  static std::uint64_t Pack(std::int32_t device, BlockNo block) {
+    assert(device >= 0 && device < (1 << 20));
+    assert(block >= 0 && block < (BlockNo{1} << 40));
+    return (static_cast<std::uint64_t>(device) << 40) |
+           static_cast<std::uint64_t>(block);
+  }
+
+  void Unlink(std::int32_t i);
+  void PushFront(std::int32_t i);
 
   /// Moves an entry to the MRU position.
-  void Touch(LruList::iterator it);
+  void Touch(std::int32_t i) {
+    if (head_ == i) return;
+    Unlink(i);
+    PushFront(i);
+  }
 
   /// Inserts a block, evicting the LRU entry if full.
-  LruList::iterator Insert(const Key& key, bool dirty, Micros t);
+  void Insert(const Key& key, bool dirty, Micros t);
 
   std::int64_t capacity_;
   IoFn io_;
-  LruList lru_;  // front = MRU
-  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  std::vector<Slot> slots_;
+  std::int32_t head_ = -1;  // MRU
+  std::int32_t tail_ = -1;  // LRU
+  std::int32_t free_ = -1;  // free-slot list threaded through next
+  FlatMap64<std::int32_t> map_;
   std::int64_t dirty_count_ = 0;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;

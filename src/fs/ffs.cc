@@ -45,7 +45,36 @@ Ffs::Ffs(const FfsConfig& config) : config_(config) {
   (void)s;
   ++groups_[0].directories;
   root_ = next_file_id_++;
-  files_.emplace(root_, std::move(root_inode));
+  EmplaceInode(root_, std::move(root_inode));
+}
+
+void Ffs::EmplaceInode(FileId id, Inode&& inode) {
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    inode_slab_[static_cast<std::size_t>(slot)] = std::move(inode);
+    slot_id_[static_cast<std::size_t>(slot)] = id;
+  } else {
+    slot = static_cast<std::int32_t>(inode_slab_.size());
+    inode_slab_.push_back(std::move(inode));
+    slot_id_.push_back(id);
+  }
+  const bool inserted =
+      file_slot_.Insert(static_cast<std::uint64_t>(id), slot);
+  assert(inserted);
+  (void)inserted;
+}
+
+void Ffs::EraseInode(FileId file) {
+  const std::int32_t* found =
+      file_slot_.Find(static_cast<std::uint64_t>(file));
+  assert(found != nullptr);
+  const std::int32_t slot = *found;
+  inode_slab_[static_cast<std::size_t>(slot)] = Inode{};
+  slot_id_[static_cast<std::size_t>(slot)] = kInvalidFile;
+  free_slots_.push_back(slot);
+  file_slot_.Erase(static_cast<std::uint64_t>(file));
 }
 
 std::int32_t Ffs::EmptiestGroup() const {
@@ -120,27 +149,27 @@ StatusOr<BlockNo> Ffs::EntryBlock(FileId directory,
 }
 
 Status Ffs::AddEntry(FileId directory, FileId child) {
-  auto dir_it = files_.find(directory);
-  if (dir_it == files_.end()) return Status::NotFound("no such directory");
-  if (!dir_it->second.is_dir) {
+  Inode* dir = GetInode(directory);
+  if (dir == nullptr) return Status::NotFound("no such directory");
+  if (!dir->is_dir) {
     return Status::InvalidArgument("not a directory");
   }
   const std::int32_t entries_per_block =
       config_.block_size_bytes / config_.dirent_size_bytes;
   const std::int32_t entry_index =
-      static_cast<std::int32_t>(dir_it->second.entries.size());
+      static_cast<std::int32_t>(dir->entries.size());
   // Grow the directory when its entry blocks are full.
   if (entry_index / entries_per_block >=
-      static_cast<std::int32_t>(dir_it->second.blocks.size())) {
+      static_cast<std::int32_t>(dir->blocks.size())) {
     StatusOr<BlockNo> grown = AppendBlock(directory);
     if (!grown.ok()) return grown.status();
-    dir_it = files_.find(directory);  // AppendBlock may rehash
+    dir = GetInode(directory);  // AppendBlock may grow the slab
   }
-  dir_it->second.entries.push_back(child);
-  auto child_it = files_.find(child);
-  assert(child_it != files_.end());
-  child_it->second.parent = directory;
-  child_it->second.entry_index = entry_index;
+  dir->entries.push_back(child);
+  Inode* child_inode = GetInode(child);
+  assert(child_inode != nullptr);
+  child_inode->parent = directory;
+  child_inode->entry_index = entry_index;
   return Status::Ok();
 }
 
@@ -151,14 +180,14 @@ StatusOr<FileId> Ffs::CreateFile(std::int32_t group_hint) {
   Inode inode;
   ABR_RETURN_IF_ERROR(AllocInode(group, inode));
   const FileId id = next_file_id_++;
-  files_.emplace(id, std::move(inode));
+  EmplaceInode(id, std::move(inode));
   Status linked = AddEntry(root_, id);
   if (!linked.ok()) {
     // Roll back the i-node.
-    auto it = files_.find(id);
-    groups_[static_cast<std::size_t>(it->second.group)]
-        .inode_used[static_cast<std::size_t>(it->second.index)] = false;
-    files_.erase(it);
+    const Inode* ino = GetInode(id);
+    groups_[static_cast<std::size_t>(ino->group)]
+        .inode_used[static_cast<std::size_t>(ino->index)] = false;
+    EraseInode(id);
     return linked;
   }
   return id;
@@ -177,13 +206,13 @@ StatusOr<FileId> Ffs::CreateDirectory(FileId parent) {
   ABR_RETURN_IF_ERROR(AllocInode(GroupForNewDirectory(), inode));
   ++groups_[static_cast<std::size_t>(inode.group)].directories;
   const FileId id = next_file_id_++;
-  files_.emplace(id, std::move(inode));
+  EmplaceInode(id, std::move(inode));
   Status linked = AddEntry(parent, id);
   if (!linked.ok()) {
-    auto it = files_.find(id);
-    groups_[static_cast<std::size_t>(it->second.group)]
-        .inode_used[static_cast<std::size_t>(it->second.index)] = false;
-    files_.erase(it);
+    const Inode* ino = GetInode(id);
+    groups_[static_cast<std::size_t>(ino->group)]
+        .inode_used[static_cast<std::size_t>(ino->index)] = false;
+    EraseInode(id);
     return linked;
   }
   return id;
@@ -199,21 +228,21 @@ StatusOr<FileId> Ffs::CreateFileIn(FileId directory) {
   Inode inode;
   ABR_RETURN_IF_ERROR(AllocInode((*dir_inode)->group, inode));
   const FileId id = next_file_id_++;
-  files_.emplace(id, std::move(inode));
+  EmplaceInode(id, std::move(inode));
   Status linked = AddEntry(directory, id);
   if (!linked.ok()) {
-    auto it = files_.find(id);
-    groups_[static_cast<std::size_t>(it->second.group)]
-        .inode_used[static_cast<std::size_t>(it->second.index)] = false;
-    files_.erase(it);
+    const Inode* ino = GetInode(id);
+    groups_[static_cast<std::size_t>(ino->group)]
+        .inode_used[static_cast<std::size_t>(ino->index)] = false;
+    EraseInode(id);
     return linked;
   }
   return id;
 }
 
 bool Ffs::IsDirectory(FileId file) const {
-  auto it = files_.find(file);
-  return it != files_.end() && it->second.is_dir;
+  const Inode* inode = GetInode(file);
+  return inode != nullptr && inode->is_dir;
 }
 
 StatusOr<FileId> Ffs::ParentOf(FileId file) const {
@@ -233,9 +262,9 @@ StatusOr<std::vector<BlockNo>> Ffs::LookupBlocks(FileId file) const {
   FileId at = file;
   while (at != kInvalidFile) {
     chain.push_back(at);
-    auto it = files_.find(at);
-    assert(it != files_.end());
-    at = it->second.parent;
+    const Inode* link = GetInode(at);
+    assert(link != nullptr);
+    at = link->parent;
   }
   // Walk root-first: each directory contributes its i-node block and the
   // entry block of the next component; the file contributes its i-node.
@@ -246,9 +275,9 @@ StatusOr<std::vector<BlockNo>> Ffs::LookupBlocks(FileId file) const {
     StatusOr<BlockNo> dir_inode_block = InodeBlock(dir);
     if (!dir_inode_block.ok()) return dir_inode_block.status();
     blocks.push_back(*dir_inode_block);
-    auto next_it = files_.find(next);
+    const Inode* next_inode = GetInode(next);
     StatusOr<BlockNo> entry_block =
-        EntryBlock(dir, next_it->second.entry_index);
+        EntryBlock(dir, next_inode->entry_index);
     if (!entry_block.ok()) return entry_block.status();
     blocks.push_back(*entry_block);
   }
@@ -280,9 +309,9 @@ BlockNo Ffs::AllocInGroup(std::int32_t group, BlockNo near) {
 }
 
 StatusOr<BlockNo> Ffs::AppendBlock(FileId file) {
-  auto it = files_.find(file);
-  if (it == files_.end()) return Status::NotFound("no such file");
-  Inode& inode = it->second;
+  Inode* found = GetInode(file);
+  if (found == nullptr) return Status::NotFound("no such file");
+  Inode& inode = *found;
 
   // FFS rotates large files across groups every max_blocks_per_group_per_file
   // blocks so no single file monopolizes its group.
@@ -303,38 +332,37 @@ StatusOr<BlockNo> Ffs::AppendBlock(FileId file) {
     return Status::ResourceExhausted("file system full");
   }
   inode.blocks.push_back(block);
-  owner_of_block_.emplace(block, file);
+  owner_of_block_.Insert(static_cast<std::uint64_t>(block), file);
   return block;
 }
 
 Status Ffs::DeleteFile(FileId file) {
-  auto it = files_.find(file);
-  if (it == files_.end()) return Status::NotFound("no such file");
+  Inode* found = GetInode(file);
+  if (found == nullptr) return Status::NotFound("no such file");
   if (file == root_) {
     return Status::InvalidArgument("cannot delete the root directory");
   }
-  if (it->second.is_dir && !it->second.entries.empty()) {
+  if (found->is_dir && !found->entries.empty()) {
     return Status::FailedPrecondition("directory not empty");
   }
   // Unlink from the parent: swap-remove the entry and fix the moved
   // child's entry index.
-  if (it->second.parent != kInvalidFile) {
-    auto parent_it = files_.find(it->second.parent);
-    assert(parent_it != files_.end());
-    std::vector<FileId>& entries = parent_it->second.entries;
+  if (found->parent != kInvalidFile) {
+    Inode* parent_inode = GetInode(found->parent);
+    assert(parent_inode != nullptr);
+    std::vector<FileId>& entries = parent_inode->entries;
     const std::size_t idx =
-        static_cast<std::size_t>(it->second.entry_index);
+        static_cast<std::size_t>(found->entry_index);
     assert(idx < entries.size() && entries[idx] == file);
     entries[idx] = entries.back();
     entries.pop_back();
     if (idx < entries.size()) {
-      files_.find(entries[idx])->second.entry_index =
-          static_cast<std::int32_t>(idx);
+      GetInode(entries[idx])->entry_index = static_cast<std::int32_t>(idx);
     }
   }
-  const Inode& inode = it->second;
+  const Inode& inode = *found;
   for (BlockNo b : inode.blocks) {
-    owner_of_block_.erase(b);
+    owner_of_block_.Erase(static_cast<std::uint64_t>(b));
     for (Group& g : groups_) {
       if (b >= g.data_first && b < g.data_end) {
         std::size_t idx = static_cast<std::size_t>(b - g.data_first);
@@ -351,14 +379,14 @@ Status Ffs::DeleteFile(FileId file) {
   }
   groups_[static_cast<std::size_t>(inode.group)]
       .inode_used[static_cast<std::size_t>(inode.index)] = false;
-  files_.erase(it);
+  EraseInode(file);
   return Status::Ok();
 }
 
 StatusOr<const Ffs::Inode*> Ffs::FindInode(FileId file) const {
-  auto it = files_.find(file);
-  if (it == files_.end()) return Status::NotFound("no such file");
-  return &it->second;
+  const Inode* inode = GetInode(file);
+  if (inode == nullptr) return Status::NotFound("no such file");
+  return inode;
 }
 
 StatusOr<BlockNo> Ffs::FileBlock(FileId file, std::int64_t index) const {
@@ -393,17 +421,19 @@ StatusOr<std::int32_t> Ffs::FileGroup(FileId file) const {
 }
 
 StatusOr<FileId> Ffs::OwnerOf(BlockNo block) const {
-  auto it = owner_of_block_.find(block);
-  if (it == owner_of_block_.end()) {
+  const FileId* owner = owner_of_block_.Find(static_cast<std::uint64_t>(block));
+  if (owner == nullptr) {
     return Status::NotFound("block is free or holds metadata");
   }
-  return it->second;
+  return *owner;
 }
 
 std::vector<FileId> Ffs::FileIds() const {
   std::vector<FileId> ids;
-  ids.reserve(files_.size());
-  for (const auto& [id, inode] : files_) ids.push_back(id);
+  ids.reserve(file_slot_.size());
+  for (const FileId id : slot_id_) {
+    if (id != kInvalidFile) ids.push_back(id);
+  }
   return ids;
 }
 

@@ -2,9 +2,9 @@
 #define ABR_FS_FFS_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -123,7 +123,7 @@ class Ffs {
   std::int64_t data_block_capacity() const { return data_capacity_; }
 
   /// Live files.
-  std::size_t file_count() const { return files_.size(); }
+  std::size_t file_count() const { return file_slot_.size(); }
 
   /// All live file ids (unordered).
   std::vector<FileId> FileIds() const;
@@ -184,10 +184,36 @@ class Ffs {
 
   StatusOr<const Inode*> FindInode(FileId file) const;
 
+  /// Live i-node for `file`, or nullptr. The hot metadata lookup behind
+  /// every path resolution: one open-addressing probe into the slot map,
+  /// one slab index.
+  Inode* GetInode(FileId file) {
+    const std::int32_t* slot =
+        file_slot_.Find(static_cast<std::uint64_t>(file));
+    return slot == nullptr ? nullptr
+                           : &inode_slab_[static_cast<std::size_t>(*slot)];
+  }
+  const Inode* GetInode(FileId file) const {
+    return const_cast<Ffs*>(this)->GetInode(file);
+  }
+
+  /// Installs `inode` for a fresh id, reusing a freed slab slot if any.
+  void EmplaceInode(FileId id, Inode&& inode);
+
+  /// Frees `file`'s slab slot and slot-map entry.
+  void EraseInode(FileId file);
+
   FfsConfig config_;
   std::vector<Group> groups_;
-  std::unordered_map<FileId, Inode> files_;
-  std::unordered_map<BlockNo, FileId> owner_of_block_;
+  // I-nodes live in a slab indexed through an open-addressing map, so the
+  // per-request metadata lookups probe a flat key array instead of
+  // chasing hash-bucket pointers. slot_id_ holds the owning file id per
+  // slab slot (kInvalidFile = free), free_slots_ the reusable slots.
+  FlatMap64<std::int32_t> file_slot_;
+  std::vector<Inode> inode_slab_;
+  std::vector<FileId> slot_id_;
+  std::vector<std::int32_t> free_slots_;
+  FlatMap64<FileId> owner_of_block_;
   FileId root_ = kInvalidFile;
   FileId next_file_id_ = 1;
   std::int64_t free_blocks_ = 0;

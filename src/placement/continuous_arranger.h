@@ -72,6 +72,9 @@ class ContinuousArranger final : public driver::IdleSink {
   // --- driver::IdleSink -------------------------------------------------
   void OnIdle(Micros horizon) override;
   void OnBusy() override;
+  /// Idle windows matter only while a plan is open; between CloseDay and
+  /// the next OpenPlan the driver may advance the clock batched.
+  bool wants_idle() const override { return plan_open_; }
 
   // --- Introspection ----------------------------------------------------
   bool plan_open() const { return plan_open_; }

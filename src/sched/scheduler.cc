@@ -36,6 +36,10 @@ void FcfsScheduler::Enqueue(const IoRequest& request) {
   queue_.push_back(request);
 }
 
+void FcfsScheduler::EnqueueBatch(const IoRequest* requests, std::size_t n) {
+  queue_.insert(queue_.end(), requests, requests + n);
+}
+
 std::optional<IoRequest> FcfsScheduler::Dequeue(Cylinder /*head_cylinder*/) {
   if (queue_.empty()) return std::nullopt;
   IoRequest front = queue_.front();
@@ -50,6 +54,12 @@ SstfScheduler::SstfScheduler(std::int64_t sectors_per_cylinder)
 
 void SstfScheduler::Enqueue(const IoRequest& request) {
   queue_.Insert(CylinderOf(request, sectors_per_cylinder_), request);
+}
+
+void SstfScheduler::EnqueueBatch(const IoRequest* requests, std::size_t n) {
+  queue_.InsertBatch(requests, n, [this](const IoRequest& r) {
+    return CylinderOf(r, sectors_per_cylinder_);
+  });
 }
 
 std::optional<IoRequest> SstfScheduler::Dequeue(Cylinder head_cylinder) {
@@ -76,6 +86,12 @@ void ScanScheduler::Enqueue(const IoRequest& request) {
   queue_.Insert(CylinderOf(request, sectors_per_cylinder_), request);
 }
 
+void ScanScheduler::EnqueueBatch(const IoRequest* requests, std::size_t n) {
+  queue_.InsertBatch(requests, n, [this](const IoRequest& r) {
+    return CylinderOf(r, sectors_per_cylinder_);
+  });
+}
+
 std::optional<IoRequest> ScanScheduler::Dequeue(Cylinder head_cylinder) {
   if (queue_.empty()) return std::nullopt;
   if (sweeping_up_) {
@@ -98,6 +114,12 @@ CLookScheduler::CLookScheduler(std::int64_t sectors_per_cylinder)
 
 void CLookScheduler::Enqueue(const IoRequest& request) {
   queue_.Insert(CylinderOf(request, sectors_per_cylinder_), request);
+}
+
+void CLookScheduler::EnqueueBatch(const IoRequest* requests, std::size_t n) {
+  queue_.InsertBatch(requests, n, [this](const IoRequest& r) {
+    return CylinderOf(r, sectors_per_cylinder_);
+  });
 }
 
 std::optional<IoRequest> CLookScheduler::Dequeue(Cylinder head_cylinder) {

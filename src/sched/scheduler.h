@@ -31,6 +31,15 @@ class Scheduler {
   /// Adds a request to the queue.
   virtual void Enqueue(const IoRequest& request) = 0;
 
+  /// Adds a run of requests at once; exactly equivalent to calling
+  /// Enqueue() on each element in order. The cylinder-ordered policies
+  /// override this with one merged sorted-run build (FlatRequestQueue::
+  /// InsertBatch) so a whole submit burst skips the per-request array
+  /// insertions.
+  virtual void EnqueueBatch(const IoRequest* requests, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Enqueue(requests[i]);
+  }
+
   /// Removes and returns the next request to service given the head's
   /// current cylinder, or nullopt if the queue is empty.
   virtual std::optional<IoRequest> Dequeue(Cylinder head_cylinder) = 0;
@@ -58,6 +67,7 @@ class FcfsScheduler : public Scheduler {
   explicit FcfsScheduler(std::int64_t sectors_per_cylinder);
 
   void Enqueue(const IoRequest& request) override;
+  void EnqueueBatch(const IoRequest* requests, std::size_t n) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
   std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "FCFS"; }
@@ -73,6 +83,7 @@ class SstfScheduler : public Scheduler {
   explicit SstfScheduler(std::int64_t sectors_per_cylinder);
 
   void Enqueue(const IoRequest& request) override;
+  void EnqueueBatch(const IoRequest* requests, std::size_t n) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
   std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "SSTF"; }
@@ -90,6 +101,7 @@ class ScanScheduler : public Scheduler {
   explicit ScanScheduler(std::int64_t sectors_per_cylinder);
 
   void Enqueue(const IoRequest& request) override;
+  void EnqueueBatch(const IoRequest* requests, std::size_t n) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
   std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "SCAN"; }
@@ -107,6 +119,7 @@ class CLookScheduler : public Scheduler {
   explicit CLookScheduler(std::int64_t sectors_per_cylinder);
 
   void Enqueue(const IoRequest& request) override;
+  void EnqueueBatch(const IoRequest* requests, std::size_t n) override;
   std::optional<IoRequest> Dequeue(Cylinder head_cylinder) override;
   std::size_t size() const override { return queue_.size(); }
   const char* name() const override { return "C-LOOK"; }

@@ -41,6 +41,34 @@ void DiskSystem::Submit(const sched::IoRequest& request) {
   if (!in_flight_) MaybeStartNext();
 }
 
+void DiskSystem::SubmitBatch(const sched::IoRequest* requests, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n && !halted_) {
+    if (in_flight_) {
+      // Longest prefix whose arrivals all precede the in-flight
+      // completion: stepping the clock through them would only move now_
+      // forward — no completion fires, no dispatch happens — so the
+      // prefix bulk-loads the scheduler in one call.
+      const Micros completes = current_.completion_time;
+      std::size_t j = i;
+      Micros last = now_;
+      while (j < n && requests[j].arrival_time < completes) {
+        assert(requests[j].sector_count > 0);
+        if (requests[j].arrival_time > last) last = requests[j].arrival_time;
+        ++j;
+      }
+      if (j > i) {
+        now_ = last;
+        scheduler_->EnqueueBatch(requests + i, j - i);
+        i = j;
+        continue;
+      }
+    }
+    Submit(requests[i]);
+    ++i;
+  }
+}
+
 Micros DiskSystem::Drain() {
   while (in_flight_ && !halted_) AdvanceTo(current_.completion_time);
   return now_;

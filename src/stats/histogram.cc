@@ -10,21 +10,6 @@ TimeHistogram::TimeHistogram(Micros bucket_width)
   assert(bucket_width > 0);
 }
 
-void TimeHistogram::Add(Micros value) {
-  assert(value >= 0);
-  const std::size_t bucket = static_cast<std::size_t>(value / bucket_width_);
-  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
-  ++buckets_[bucket];
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++count_;
-  total_ += value;
-}
-
 void TimeHistogram::Merge(const TimeHistogram& other) {
   assert(bucket_width_ == other.bucket_width_);
   if (other.count_ == 0) return;
@@ -93,15 +78,6 @@ std::vector<std::pair<double, double>> TimeHistogram::CdfPoints() const {
         static_cast<double>(cum) / static_cast<double>(count_));
   }
   return points;
-}
-
-void DistanceHistogram::Add(std::int64_t distance) {
-  assert(distance >= 0);
-  const std::size_t d = static_cast<std::size_t>(distance);
-  if (d >= counts_.size()) counts_.resize(d + 1, 0);
-  ++counts_[d];
-  ++count_;
-  total_distance_ += distance;
 }
 
 void DistanceHistogram::Merge(const DistanceHistogram& other) {

@@ -57,12 +57,21 @@ class FlatMap64 {
     return true;
   }
 
-  /// Returns a pointer to the value for `key`, or nullptr.
+  /// Returns a pointer to the value for `key`, or nullptr. The home slot
+  /// is peeled out of the probe loop: under the 7/8 load bound most
+  /// lookups terminate there (hit or empty), so the common case is two
+  /// predictable branches with no loop overhead.
   V* Find(std::uint64_t key) {
+    assert(key != kEmptyKey);
     std::size_t i = IndexFor(key);
-    while (keys_[i] != kEmptyKey) {
-      if (keys_[i] == key) return &values_[i];
+    std::uint64_t k = keys_[i];
+    if (k == key) [[likely]] {
+      return &values_[i];
+    }
+    while (k != kEmptyKey) {
       i = (i + 1) & mask_;
+      k = keys_[i];
+      if (k == key) return &values_[i];
     }
     return nullptr;
   }

@@ -1,0 +1,184 @@
+// Differential tests for FlatRequestQueue::InsertBatch and the scheduler
+// EnqueueBatch entry points: a whole-batch sorted-run build must leave the
+// queue in exactly the state a sequential Insert loop produces, including
+// the FIFO-among-equals tie order (new entries after existing equals,
+// batch entries in input order).
+
+#include "sched/flat_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace abr::sched {
+namespace {
+
+constexpr std::int64_t kSpc = 128;
+constexpr Cylinder kCylinders = 815;
+
+IoRequest Req(std::int64_t id, Cylinder cylinder) {
+  IoRequest r;
+  r.id = id;
+  r.sector = static_cast<SectorNo>(cylinder) * kSpc;
+  r.sector_count = 16;
+  return r;
+}
+
+Cylinder KeyOf(const IoRequest& r) {
+  return static_cast<Cylinder>(r.sector / kSpc);
+}
+
+/// Drains both queues front to back (smallest key, oldest among equals)
+/// and checks identical id sequences.
+void ExpectSameDrain(FlatRequestQueue& batched, FlatRequestQueue& serial) {
+  ASSERT_EQ(batched.size(), serial.size());
+  while (serial.size() > 0) {
+    const IoRequest a = batched.Take(batched.FirstLive());
+    const IoRequest b = serial.Take(serial.FirstLive());
+    ASSERT_EQ(a.id, b.id);
+    ASSERT_EQ(a.sector, b.sector);
+  }
+  EXPECT_EQ(batched.size(), 0u);
+}
+
+TEST(FlatQueueBatchTest, BatchMatchesSequentialRandom) {
+  Rng rng(0xBA7C);
+  for (int round = 0; round < 30; ++round) {
+    FlatRequestQueue batched;
+    FlatRequestQueue serial;
+    // Pre-populate both with the same requests, one by one.
+    const std::int64_t pre = static_cast<std::int64_t>(rng.NextBounded(40));
+    std::int64_t next_id = 1;
+    for (std::int64_t i = 0; i < pre; ++i) {
+      const IoRequest r = Req(
+          next_id++, static_cast<Cylinder>(rng.NextBounded(kCylinders)));
+      batched.Insert(KeyOf(r), r);
+      serial.Insert(KeyOf(r), r);
+    }
+    // Then a batch with duplicate keys (both internal and vs existing).
+    std::vector<IoRequest> batch;
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.NextBounded(60));
+    Cylinder last = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Cylinder c = rng.NextBounded(3) == 0
+                             ? last
+                             : static_cast<Cylinder>(
+                                   rng.NextBounded(kCylinders));
+      last = c;
+      batch.push_back(Req(next_id++, c));
+    }
+    batched.InsertBatch(batch.data(), batch.size(),
+                        [](const IoRequest& r) { return KeyOf(r); });
+    for (const IoRequest& r : batch) serial.Insert(KeyOf(r), r);
+    ExpectSameDrain(batched, serial);
+  }
+}
+
+TEST(FlatQueueBatchTest, EmptyAndSingletonBatches) {
+  FlatRequestQueue batched;
+  FlatRequestQueue serial;
+  batched.InsertBatch(nullptr, 0, [](const IoRequest& r) { return KeyOf(r); });
+  EXPECT_EQ(batched.size(), 0u);
+  const IoRequest one = Req(1, 400);
+  batched.InsertBatch(&one, 1, [](const IoRequest& r) { return KeyOf(r); });
+  serial.Insert(KeyOf(one), one);
+  ExpectSameDrain(batched, serial);
+}
+
+TEST(FlatQueueBatchTest, AllEqualKeysKeepInputOrder) {
+  FlatRequestQueue batched;
+  FlatRequestQueue serial;
+  // Existing equals first, then the batch in input order.
+  for (std::int64_t id = 1; id <= 5; ++id) {
+    const IoRequest r = Req(id, 100);
+    batched.Insert(KeyOf(r), r);
+    serial.Insert(KeyOf(r), r);
+  }
+  std::vector<IoRequest> batch;
+  for (std::int64_t id = 6; id <= 15; ++id) batch.push_back(Req(id, 100));
+  batched.InsertBatch(batch.data(), batch.size(),
+                      [](const IoRequest& r) { return KeyOf(r); });
+  for (const IoRequest& r : batch) serial.Insert(KeyOf(r), r);
+  ExpectSameDrain(batched, serial);
+}
+
+/// EnqueueBatch vs an Enqueue loop on every scheduler: identical dequeue
+/// order from a moving head, interleaved with further singleton enqueues.
+void RunSchedulerBatchDiff(SchedulerKind kind, std::uint64_t seed) {
+  std::unique_ptr<Scheduler> batched = MakeScheduler(kind, kSpc);
+  std::unique_ptr<Scheduler> serial = MakeScheduler(kind, kSpc);
+  Rng rng(seed);
+  Cylinder head = 0;
+  std::int64_t next_id = 1;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<IoRequest> batch;
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.NextBounded(25));
+    Cylinder last = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Cylinder c = rng.NextBounded(4) == 0
+                             ? last
+                             : static_cast<Cylinder>(
+                                   rng.NextBounded(kCylinders));
+      last = c;
+      batch.push_back(Req(next_id++, c));
+    }
+    batched->EnqueueBatch(batch.data(), batch.size());
+    for (const IoRequest& r : batch) serial->Enqueue(r);
+    // Drain a few, so later batches merge into a live backlog.
+    const std::int64_t drains = rng.NextBounded(
+        static_cast<std::uint64_t>(batch.size() + 1));
+    for (std::int64_t i = 0; i < drains; ++i) {
+      const std::optional<IoRequest> got = batched->Dequeue(head);
+      const std::optional<IoRequest> want = serial->Dequeue(head);
+      ASSERT_EQ(got.has_value(), want.has_value());
+      if (!got.has_value()) break;
+      ASSERT_EQ(got->id, want->id) << "round " << round;
+      head = static_cast<Cylinder>(got->sector / kSpc);
+    }
+    ASSERT_EQ(batched->size(), serial->size());
+  }
+  while (true) {
+    const std::optional<IoRequest> got = batched->Dequeue(head);
+    const std::optional<IoRequest> want = serial->Dequeue(head);
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (!got.has_value()) break;
+    ASSERT_EQ(got->id, want->id);
+    head = static_cast<Cylinder>(got->sector / kSpc);
+  }
+}
+
+class SchedulerBatchDiffTest
+    : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(SchedulerBatchDiffTest, BatchMatchesLoop) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RunSchedulerBatchDiff(GetParam(), seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SchedulerBatchDiffTest,
+                         ::testing::Values(SchedulerKind::kFcfs,
+                                           SchedulerKind::kSstf,
+                                           SchedulerKind::kScan,
+                                           SchedulerKind::kCLook),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SchedulerKind::kFcfs:
+                               return "Fcfs";
+                             case SchedulerKind::kSstf:
+                               return "Sstf";
+                             case SchedulerKind::kScan:
+                               return "Scan";
+                             default:
+                               return "CLook";
+                           }
+                         });
+
+}  // namespace
+}  // namespace abr::sched

@@ -7,7 +7,8 @@
 //                 [--blocks=N] [--cylinders=N] [--scheduler=scan|fcfs|
 //                 sstf|clook] [--seed=N] [--decay=F] [--replicas=R]
 //                 [--jobs=N] [--no-incremental] [--shards=S]
-//                 [--epoch=<minutes>|auto]
+//                 [--epoch=<minutes>|auto] [--analytic-seek]
+//                 [--stepped-advance]
 //   abrsim sweep  [--disk=...] [--workload=...] [--seed=N]
 //                 [--blocks-list=a,b,c,...] [--jobs=N]
 //   abrsim policy [--disk=...] [--workload=...] [--days=N] [--seed=N]
@@ -173,7 +174,27 @@ core::ExperimentConfig BuildConfig(Flags& flags) {
     std::fprintf(stderr, "unknown --scheduler=%s\n", scheduler.c_str());
     std::exit(2);
   }
+
+  // Kernel oracle switches. --analytic-seek evaluates the seek curve per
+  // call instead of reading the lookup table; --stepped-advance walks the
+  // clock completion by completion instead of the batched fast path. Both
+  // must leave every printed byte unchanged (check.sh cmp-gates this), so
+  // they are echoed in the run headers and stripped by the comparison.
+  if (flags.Get("analytic-seek", "") == "true") {
+    config.drive.analytic_seek = true;
+    config.drive.seek_model.set_analytic(true);
+  }
+  config.system.driver.stepped_advance =
+      flags.Get("stepped-advance", "") == "true";
   return config;
+}
+
+/// Header echo for the oracle switches, emitted only when given so default
+/// runs keep the historical bytes (check.sh strips these tokens before its
+/// byte-identity cmp).
+void PrintKernelOracleEcho(const core::ExperimentConfig& config) {
+  if (config.drive.analytic_seek) std::printf("  seek=analytic");
+  if (config.system.driver.stepped_advance) std::printf("  advance=stepped");
 }
 
 // --- Sharded (fleet) engine paths -----------------------------------------
@@ -265,6 +286,8 @@ void PrintShardedHeader(const core::ShardedSystemConfig& config,
   } else if (epoch.given) {
     std::printf("  epoch=%lldmin", static_cast<long long>(epoch.minutes));
   }
+  if (config.drive.analytic_seek) std::printf("  seek=analytic");
+  if (config.system.driver.stepped_advance) std::printf("  advance=stepped");
   std::printf("  (synthetic fleet day, %lld min)",
               static_cast<long long>(day.day_length / kMinute));
   if (!config.system.arranger.incremental) {
@@ -622,6 +645,8 @@ int CmdOnOffArray(Flags& flags, const std::string& spec) {
   } else if (epoch.given) {
     std::printf("  epoch=%lldmin", static_cast<long long>(epoch.minutes));
   }
+  if (ac.drive.analytic_seek) std::printf("  seek=analytic");
+  if (ac.driver.stepped_advance) std::printf("  advance=stepped");
   if (!ac.arranger.incremental) std::printf("  arranger=full-rebuild");
   std::printf("  (synthetic array day, %lld min)\n\n",
               static_cast<long long>(day.day_length / kMinute));
@@ -690,6 +715,14 @@ int CmdCrashDayArray(Flags& flags, const std::string& spec) {
   if (flags.Has("chunk") || flags.Has("scrub")) {
     std::fprintf(stderr, "--chunk/--scrub are onoff-mode array flags\n");
     return 2;
+  }
+  for (const char* f : {"analytic-seek", "stepped-advance"}) {
+    if (flags.Has(f)) {
+      std::fprintf(stderr, "--%s has no effect on crashday --array: the "
+                           "crash harness pins its own small drive and "
+                           "driver models\n", f);
+      return 2;
+    }
   }
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0xC4A5));
@@ -877,6 +910,7 @@ int CmdOnOff(Flags& flags) {
               sched::SchedulerKindName(config.system.driver.scheduler),
               config.rearrange_blocks, config.reserved_cylinders);
   if (replicas > 1) std::printf("  replicas=%d", replicas);
+  PrintKernelOracleEcho(config);
   if (!config.system.arranger.incremental) {
     std::printf("  arranger=full-rebuild");
   }
@@ -1107,6 +1141,14 @@ int CmdCrashDay(Flags& flags) {
                          "epoch barriers (use crashday --array)\n");
     return 2;
   }
+  for (const char* f : {"analytic-seek", "stepped-advance"}) {
+    if (flags.Has(f)) {
+      std::fprintf(stderr, "--%s has no effect on crashday: the crash "
+                           "harnesses pin their own small drive and driver "
+                           "models\n", f);
+      return 2;
+    }
+  }
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(flags.GetInt("fault-seed", 0xC4A5));
   const std::int32_t crash_points =
@@ -1254,6 +1296,12 @@ void Usage() {
       "  --continuous  utility-priced plans executed during disk idle\n"
       "    time instead of quiesced daily batch passes (onoff serial and\n"
       "    sharded, and crashday; batch remains the default oracle)\n"
+      "  --analytic-seek  evaluate the drive's seek curve per request\n"
+      "    instead of the precomputed lookup table (kernel oracle; output\n"
+      "    must be byte-identical). --stepped-advance  walk the clock one\n"
+      "    completion at a time instead of the batched driver fast path\n"
+      "    (same oracle contract). Both apply to onoff/sweep/policy on\n"
+      "    every engine; crashday rejects them (it pins its own models)\n"
       "sweep only: --blocks-list=a,b,c\n"
       "sweep/policy: --jobs=N  run grid points on N worker threads\n"
       "  (output is byte-identical for every N; N=1 runs inline)\n"

@@ -110,9 +110,11 @@ def main():
     print(
         f"bench_diff: {base_doc.get('bench', '?')}: "
         f"baseline rev {base_doc.get('git_rev', 'unknown')} "
-        f"({base_doc.get('config', 'unknown')}) vs "
+        f"({base_doc.get('config', 'unknown')}, "
+        f"hw_threads {base_doc.get('hw_threads', '?')}) vs "
         f"current rev {cur_doc.get('git_rev', 'unknown')} "
-        f"({cur_doc.get('config', 'unknown')}), "
+        f"({cur_doc.get('config', 'unknown')}, "
+        f"hw_threads {cur_doc.get('hw_threads', '?')}), "
         f"tolerance {args.tolerance:.0%}"
     )
 

@@ -126,6 +126,45 @@ sed 's/  epoch=auto//' "$DET_TMP/array_adapt_j8.txt" | \
 echo "sharded onoff/sweep/policy/crashday/continuous/array byte-identical across --jobs"
 echo "adaptive epoch (--epoch=auto) byte-identical across --jobs and vs fixed"
 
+# Hot-loop kernel oracles: --analytic-seek evaluates the seek curve per
+# call instead of the lookup table, --stepped-advance walks the clock one
+# completion at a time instead of the batched driver fast path. Both are
+# pure implementation switches — stripping their header echo must leave
+# exactly the bytes the fast kernels print, on every engine.
+./build/tools/abrsim onoff --shards=3 --analytic-seek --jobs=1 \
+  --day-minutes=4 --days=1 > "$DET_TMP/seek_onoff.txt"
+sed 's/  seek=analytic//' "$DET_TMP/seek_onoff.txt" | \
+  cmp - "$DET_TMP/onoff_j1.txt"
+./build/tools/abrsim onoff --shards=3 --stepped-advance --jobs=8 \
+  --day-minutes=4 --days=1 > "$DET_TMP/adv_onoff.txt"
+sed 's/  advance=stepped//' "$DET_TMP/adv_onoff.txt" | \
+  cmp - "$DET_TMP/onoff_j1.txt"
+# Both oracles at once, against the same default bytes.
+./build/tools/abrsim onoff --shards=3 --analytic-seek --stepped-advance \
+  --jobs=1 --day-minutes=4 --days=1 > "$DET_TMP/both_onoff.txt"
+sed 's/  seek=analytic  advance=stepped//' "$DET_TMP/both_onoff.txt" | \
+  cmp - "$DET_TMP/onoff_j1.txt"
+# Continuous arranger armed: open plans are exactly where the batched
+# AdvanceTo must fall back to stepping, so the stepped oracle must agree.
+./build/tools/abrsim onoff --continuous --shards=3 --stepped-advance \
+  --jobs=1 --day-minutes=4 --days=1 > "$DET_TMP/adv_cont.txt"
+sed 's/  advance=stepped//' "$DET_TMP/adv_cont.txt" | \
+  cmp - "$DET_TMP/cont_j1.txt"
+./build/tools/abrsim sweep --shards=2 --analytic-seek --jobs=1 \
+  --day-minutes=3 --blocks-list=0,200 > "$DET_TMP/seek_sweep.txt"
+sed 's/  seek=analytic//' "$DET_TMP/seek_sweep.txt" | \
+  cmp - "$DET_TMP/sweep_j1.txt"
+./build/tools/abrsim policy --shards=2 --stepped-advance --jobs=1 \
+  --day-minutes=3 --days=1 > "$DET_TMP/adv_policy.txt"
+sed 's/  advance=stepped//' "$DET_TMP/adv_policy.txt" | \
+  cmp - "$DET_TMP/policy_j1.txt"
+./build/tools/abrsim onoff --array=raid0:4 --analytic-seek \
+  --stepped-advance --jobs=1 --day-minutes=4 --days=1 \
+  > "$DET_TMP/both_array.txt"
+sed 's/  seek=analytic  advance=stepped//' "$DET_TMP/both_array.txt" | \
+  cmp - "$DET_TMP/array_j1.txt"
+echo "kernel oracles (--analytic-seek, --stepped-advance) byte-identical on onoff/sweep/policy/continuous/array"
+
 if [[ "$NO_ASAN" == 1 ]]; then
   echo "== asan: skipped (--no-asan) =="
 else
@@ -136,7 +175,8 @@ else
   cmake --build build-asan -j --target \
     fault_plan_test faulty_disk_test crash_harness_test \
     adaptive_driver_test block_table_test array_device_test \
-    array_harness_test abrsim bench_arrange >/dev/null
+    array_harness_test seek_kernel_diff_test flat_queue_batch_test \
+    advance_kernel_diff_test abrsim bench_arrange >/dev/null
   ./build-asan/tests/fault_plan_test
   ./build-asan/tests/faulty_disk_test
   ./build-asan/tests/crash_harness_test
@@ -144,6 +184,12 @@ else
   ./build-asan/tests/block_table_test
   ./build-asan/tests/array_device_test
   ./build-asan/tests/array_harness_test
+  # The hot-loop kernel rewrites (seek LUT/analytic oracle, rotation
+  # anchor, batched stepping, queue bulk-load): index arithmetic and
+  # backward merges are exactly where an off-by-one would hide.
+  ./build-asan/tests/seek_kernel_diff_test
+  ./build-asan/tests/flat_queue_batch_test
+  ./build-asan/tests/advance_kernel_diff_test
   ./build-asan/tools/abrsim crashday --quick --replicas=2
   # Mirror member killed mid-arrangement, reattached, resynced: the
   # degraded-mode and resync buffer handling under ASan.
@@ -166,9 +212,12 @@ else
   echo "== tsan: thread_pool_test + parallel_runner_test + bench_e2e --quick =="
   cmake -B build-tsan -S . -DABR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target thread_pool_test parallel_runner_test \
-    bench_e2e abrsim >/dev/null
+    advance_kernel_diff_test bench_e2e abrsim >/dev/null
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_runner_test
+  # Batched-vs-stepped twins through the fleet engine: the batched submit
+  # path hands whole request runs across the worker handoff.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/advance_kernel_diff_test
   # Whole-pipeline smoke: a miniature day through the replication fan-out,
   # including the flat-vs-reference scheduler identity check. Run from the
   # build dir so its BENCH_e2e.json does not clobber the repo-root one.
